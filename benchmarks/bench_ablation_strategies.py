@@ -1,0 +1,164 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+1. Snapshot trigger: voltage interrupt (Hibernus) vs compile-time sites
+   (Mementos) vs register-only (QuickRecall) vs hardware (NVP) vs nothing.
+2. Capacitance: how added storage moves a Hibernus system through the
+   Fig. 2 storage axis (fewer, later snapshots as C grows).
+3. Restore threshold V_R: active time against snapshot churn.
+"""
+
+from repro.analysis.report import format_table, print_section
+from repro.core.metrics import RunReport
+from repro.core.system import EnergyDrivenSystem
+from repro.harvest.synthetic import SquareWavePowerHarvester
+from repro.mcu.clock import ClockPlan, OperatingPoint
+from repro.mcu.engine import SyntheticEngine
+from repro.mcu.power_model import MSP430_FRAM_MODEL, MSP430_SRAM_MODEL
+from repro.power.rail import ResistiveLoad
+from repro.storage.capacitor import Capacitor
+from repro.transient.base import NullStrategy, TransientPlatform, TransientPlatformConfig
+from repro.transient.hibernus import Hibernus
+from repro.transient.hibernus_pp import HibernusPP
+from repro.transient.mementos import Mementos
+from repro.transient.nvp import NVProcessor
+from repro.transient.quickrecall import QuickRecall
+
+from conftest import once
+
+WORKLOAD = 600_000  # cycles at 1 MHz: 0.6 s of compute
+DURATION = 6.0
+
+
+def run_strategy(strategy, power_model=MSP430_SRAM_MODEL, capacitance=22e-6):
+    engine = SyntheticEngine(total_cycles=WORKLOAD, checkpoint_interval=2000)
+    platform = TransientPlatform(
+        engine,
+        strategy,
+        power_model=power_model,
+        clock=ClockPlan([OperatingPoint(1e6, 3.0)]),
+        config=TransientPlatformConfig(rail_capacitance=capacitance),
+    )
+    system = EnergyDrivenSystem(dt=1e-4)
+    system.set_storage(Capacitor(capacitance, v_max=3.3))
+    system.add_power_source(SquareWavePowerHarvester(20e-3, period=0.1, duty=0.3))
+    system.set_platform(platform)
+    # Bleed sized so the off-phases genuinely brown the rail out on
+    # decoupling-scale capacitance: the supply is truly intermittent.
+    system.add_load(ResistiveLoad(10000.0))
+    result = system.run(DURATION)
+    return RunReport.from_run(platform, result.t_end), platform
+
+
+def test_ablation_snapshot_trigger(benchmark):
+    strategies = [
+        ("null", NullStrategy(), MSP430_SRAM_MODEL, False),
+        ("mementos", Mementos(), MSP430_SRAM_MODEL, False),
+        ("hibernus", Hibernus(), MSP430_SRAM_MODEL, False),
+        ("hibernus++", HibernusPP(), MSP430_SRAM_MODEL, False),
+        ("quickrecall", QuickRecall(), MSP430_FRAM_MODEL, False),
+        ("nvp", NVProcessor(), MSP430_SRAM_MODEL, False),
+    ]
+
+    def run_all():
+        return {
+            name: run_strategy(strategy, model)[0]
+            for name, strategy, model, _ in strategies
+        }
+
+    reports = once(benchmark, run_all)
+    print_section(
+        "Ablation: snapshot trigger mechanism (same workload, same supply)",
+        format_table(
+            ["strategy", "completed", "t_complete (s)", "snapshots",
+             "overhead energy (uJ)", "total energy (mJ)"],
+            [
+                [
+                    name,
+                    r.completed,
+                    f"{r.completion_time:.2f}" if r.completed else "-",
+                    r.snapshots,
+                    r.energy_overhead * 1e6,
+                    r.energy_total * 1e3,
+                ]
+                for name, r in reports.items()
+            ],
+        ),
+    )
+
+    # Every checkpointing strategy finishes; the baseline does not.
+    for name in ("mementos", "hibernus", "hibernus++", "quickrecall", "nvp"):
+        assert reports[name].completed, name
+    assert not reports["null"].completed
+    # Redundant-snapshot ordering: Mementos >= Hibernus (paper downside 1).
+    assert reports["mementos"].snapshots >= reports["hibernus"].snapshots
+    # Overhead-energy ordering: hardware backup < register-only < full-RAM.
+    assert (
+        reports["nvp"].energy_overhead
+        < reports["quickrecall"].energy_overhead
+        < reports["hibernus"].energy_overhead
+    )
+    # Hand-calibrated Hibernus completes no later than self-calibrating
+    # Hibernus++ on the platform it was calibrated for (the paper's
+    # 'slightly less efficient' claim).
+    assert reports["hibernus"].completion_time <= reports["hibernus++"].completion_time * 1.1
+
+
+def test_ablation_capacitance_sweep(benchmark):
+    capacitances = [15e-6, 22e-6, 47e-6, 100e-6, 220e-6]
+
+    def run_all():
+        rows = []
+        for c in capacitances:
+            report, platform = run_strategy(Hibernus(), capacitance=c)
+            rows.append((c, report, platform.strategy.v_hibernate))
+        return rows
+
+    rows = once(benchmark, run_all)
+    print_section(
+        "Ablation: rail capacitance (Hibernus)",
+        format_table(
+            ["C (uF)", "V_H (V)", "completed", "snapshots", "availability"],
+            [
+                [c * 1e6, f"{vh:.2f}", r.completed, r.snapshots,
+                 f"{100 * r.availability:.0f}%"]
+                for c, r, vh in rows
+            ],
+        ),
+    )
+    # Eq. (4): V_H falls as C grows.
+    thresholds = [vh for _, _, vh in rows]
+    assert thresholds == sorted(thresholds, reverse=True)
+    # All complete; more storage never hurts snapshot counts.
+    assert all(r.completed for _, r, _ in rows)
+    assert rows[-1][1].snapshots <= rows[0][1].snapshots
+
+
+def test_ablation_restore_threshold(benchmark):
+    """V_R is the source-characterisation knob (§III item 2): too low and
+    the system restores into a still-weak supply (churn); higher V_R means
+    fewer, later restores."""
+    v_restores = [2.5, 2.8, 3.1]
+
+    def run_all():
+        return [
+            (vr, run_strategy(Hibernus(v_restore=vr))[0]) for vr in v_restores
+        ]
+
+    rows = once(benchmark, run_all)
+    print_section(
+        "Ablation: restore threshold V_R (Hibernus)",
+        format_table(
+            ["V_R (V)", "completed", "t_complete (s)", "restores", "snapshots"],
+            [
+                [vr, r.completed, f"{r.completion_time:.2f}" if r.completed else "-",
+                 r.restores, r.snapshots]
+                for vr, r in rows
+            ],
+        ),
+    )
+    assert all(r.completed for _, r in rows)
+    # A higher V_R waits longer before resuming, so completion never gets
+    # faster as V_R rises (it trades active time for restore confidence).
+    times = [r.completion_time for _, r in rows]
+    for earlier, later in zip(times, times[1:]):
+        assert later >= earlier * 0.99

@@ -1,0 +1,91 @@
+"""Expression (4) — sizing the hibernate threshold.
+
+    E_s <= C * (V_H^2 - V_min^2) / 2
+
+The bench validates the expression against the simulator in both
+directions: a snapshot started exactly at the analytic V_H (with margin)
+completes before brownout, and one started below the analytic minimum
+aborts — across a sweep of capacitances.  It prints the V_H-vs-C design
+table a Hibernus integrator would use.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table, print_section
+from repro.core.design import hibernate_threshold, required_vh_vs_capacitance
+from repro.core.system import EnergyDrivenSystem
+from repro.mcu.engine import SyntheticEngine
+from repro.storage.capacitor import Capacitor
+from repro.transient.base import (
+    PlatformState,
+    TransientPlatform,
+    TransientPlatformConfig,
+)
+from repro.transient.hibernus import Hibernus
+
+from conftest import once
+
+V_MIN = 1.8
+CAPACITANCES = [15e-6, 22e-6, 33e-6, 47e-6, 100e-6]
+
+
+def snapshot_outcome(capacitance: float, v_start: float) -> bool:
+    """Start a full snapshot at ``v_start`` on an unpowered rail of
+    ``capacitance``; True if it commits before brownout."""
+    engine = SyntheticEngine(total_cycles=10**9)
+    platform = TransientPlatform(
+        engine,
+        Hibernus(v_hibernate=v_start - 1e-6, v_restore=3.4),
+        config=TransientPlatformConfig(rail_capacitance=capacitance),
+    )
+    system = EnergyDrivenSystem(dt=2e-5)
+    system.set_storage(Capacitor(capacitance, v_max=3.5, v_initial=v_start))
+    system.set_platform(platform)
+    # Boot straight into active (sleep path needs V_R; force it).
+    platform.go_active()
+    system.run(0.05)
+    return platform.metrics.snapshots_completed == 1
+
+
+def run_eq4_sweep():
+    engine = SyntheticEngine(total_cycles=10**9)
+    reference = TransientPlatform(
+        engine, Hibernus(v_hibernate=2.5, v_restore=3.4)
+    )
+    e_s = reference.strategy.snapshot_energy(reference)
+    rows = []
+    for capacitance in CAPACITANCES:
+        v_h = hibernate_threshold(e_s, capacitance, V_MIN, margin=1.05)
+        ok_at = snapshot_outcome(capacitance, v_h)
+        # Starting clearly below the analytic requirement must fail.
+        v_low = V_MIN + 0.6 * (v_h - V_MIN)
+        ok_below = snapshot_outcome(capacitance, v_low)
+        rows.append((capacitance, e_s, v_h, ok_at, v_low, ok_below))
+    return e_s, rows
+
+
+def test_eq4_threshold_sweep(benchmark):
+    e_s, rows = once(benchmark, run_eq4_sweep)
+
+    print_section(
+        "Eq. (4): hibernate threshold vs capacitance "
+        f"(E_s = {e_s * 1e6:.1f} uJ, V_min = {V_MIN} V)",
+        format_table(
+            ["C (uF)", "analytic V_H (V)", "snapshot at V_H", "V below", "snapshot below"],
+            [
+                [c * 1e6, f"{vh:.3f}", ok_at, f"{vlow:.3f}", ok_below]
+                for c, _, vh, ok_at, vlow, ok_below in rows
+            ],
+        ),
+    )
+
+    for capacitance, _, v_h, ok_at, _, ok_below in rows:
+        assert ok_at, f"snapshot at analytic V_H must survive (C={capacitance})"
+        assert not ok_below, f"snapshot below Eq. 4 V_H must abort (C={capacitance})"
+
+    # The analytic curve itself: V_H falls monotonically with C toward V_min.
+    analytic = required_vh_vs_capacitance(e_s, V_MIN, CAPACITANCES)
+    assert analytic == sorted(analytic, reverse=True)
+    assert analytic[-1] < analytic[0]
+    big_c = required_vh_vs_capacitance(e_s, V_MIN, [10.0])[0]
+    assert abs(big_c - V_MIN) < 1e-3

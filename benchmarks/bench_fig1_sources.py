@@ -1,0 +1,82 @@
+"""Fig. 1 — example energy harvesting source outputs.
+
+(a) voltage output of a micro wind turbine during a single gust;
+(b) available current from an indoor photovoltaic cell over two days.
+"""
+
+import numpy as np
+
+from repro.analysis.report import print_section, series_summary
+from repro.harvest.solar import PhotovoltaicHarvester
+from repro.harvest.traces import record_voltage
+from repro.harvest.wind import MicroWindTurbine
+from repro.sim import waveform
+from repro.sim.probes import Trace
+from repro.units import days
+
+from conftest import once
+
+
+def run_fig1a():
+    turbine = MicroWindTurbine.single_gust()
+    times, volts = record_voltage(turbine, duration=9.0, dt=1e-3)
+    return Trace("wind", times, volts)
+
+
+def test_fig1a_wind_gust(benchmark):
+    trace = once(benchmark, run_fig1a)
+    mid = trace.between(3.0, 5.5)
+    frequency = waveform.dominant_frequency(mid)
+    env = waveform.envelope(trace, window=0.25)
+
+    print_section(
+        "Fig. 1a: micro wind turbine voltage during a single gust",
+        "\n".join(
+            [
+                series_summary("voltage (V)", trace.values),
+                f"dominant frequency mid-gust: {frequency:.1f} Hz",
+                f"peak envelope: {env.maximum():.2f} V at t={env.times[int(np.argmax(env.values))]:.1f} s",
+            ]
+        ),
+    )
+
+    # Shape criteria from DESIGN.md: AC, ~zero mean, +/-(4-6) V peaks,
+    # several-Hz output, swell-then-decay envelope.
+    assert abs(trace.mean()) < 0.4
+    assert 3.5 < trace.maximum() < 6.5
+    assert -6.5 < trace.minimum() < -3.5
+    assert 2.0 < frequency < 12.0
+    assert env.between(8.0, 9.0).maximum() < 0.5 * env.maximum()
+
+
+def run_fig1b():
+    cell = PhotovoltaicHarvester.indoor_fig1b()
+    times = np.arange(0.0, days(2), 120.0)
+    currents = np.array([cell.current(float(t)) for t in times])
+    return Trace("pv_current", times, currents)
+
+
+def test_fig1b_indoor_pv(benchmark):
+    trace = once(benchmark, run_fig1b)
+    day1_peak = trace.between(0, days(1)).maximum()
+    day2_peak = trace.between(days(1), days(2)).maximum()
+    periodicity = waveform.periodicity_strength(trace, days(1))
+
+    print_section(
+        "Fig. 1b: indoor photovoltaic harvested current over two days",
+        "\n".join(
+            [
+                series_summary("current (uA)", trace.values * 1e6),
+                f"night floor: {trace.minimum() * 1e6:.0f} uA, "
+                f"daytime peaks: {day1_peak * 1e6:.0f} / {day2_peak * 1e6:.0f} uA",
+                f"diurnal periodicity strength: {periodicity:.2f}",
+            ]
+        ),
+    )
+
+    # Fig. 1b band: ~280 uA floor to ~430 uA peak, two diurnal humps.
+    assert 240e-6 < trace.minimum() < 320e-6
+    assert 380e-6 < trace.maximum() < 460e-6
+    assert day1_peak > 1.2 * trace.minimum()
+    assert day2_peak > 1.2 * trace.minimum()
+    assert periodicity > 0.5

@@ -1,0 +1,79 @@
+"""Fig. 2 — the taxonomy of energy-neutral / transient / energy-driven /
+power-neutral computing systems.
+
+Reproduces the placement of every example system the paper discusses and
+prints the classification table.
+"""
+
+from repro.analysis.report import format_table, print_section
+from repro.core.taxonomy import AdaptationClass, StorageClass, classify, exemplars
+
+from conftest import once
+
+#: The placements Fig. 2 (and §II's prose) assigns, as (axis,
+#: energy-driven?, adaptation) triples.
+EXPECTED = {
+    "Desktop PC": ("energy-neutral", False, None),
+    "Smartphone": ("energy-neutral", False, None),
+    "Laptop (hibernation)": ("transient", True, None),
+    "Energy-Neutral WSN": ("energy-neutral", True, None),
+    "WISPCam": ("transient", True, AdaptationClass.TASK_BASED),
+    "Monjolo": ("transient", True, AdaptationClass.TASK_BASED),
+    "Gomez burst scaling": ("transient", True, AdaptationClass.TASK_BASED),
+    "Mementos": ("transient", True, AdaptationClass.TASK_BASED),
+    "Hibernus": ("transient", True, AdaptationClass.CONTINUOUS),
+    "QuickRecall": ("transient", True, AdaptationClass.CONTINUOUS),
+    "hibernus-PN": ("transient", True, AdaptationClass.CONTINUOUS),
+    "Power-Neutral MPSoC": ("energy-neutral", True, AdaptationClass.CONTINUOUS),
+}
+
+
+def run_classification():
+    return {d.name: classify(d) for d in exemplars()}
+
+
+def test_fig2_taxonomy_placements(benchmark):
+    placements = once(benchmark, run_classification)
+
+    rows = [
+        [
+            p.name,
+            p.axis,
+            p.storage_class.value,
+            f"{p.autonomy_seconds:.3g}",
+            p.adaptation.value,
+            p.energy_driven,
+        ]
+        for p in placements.values()
+    ]
+    print_section(
+        "Fig. 2: taxonomy placements",
+        format_table(
+            ["system", "axis", "storage", "autonomy (s)", "adaptation", "energy-driven"],
+            rows,
+        ),
+    )
+
+    assert set(placements) == set(EXPECTED)
+    for name, (axis, energy_driven, adaptation) in EXPECTED.items():
+        placement = placements[name]
+        assert placement.axis == axis, name
+        assert placement.energy_driven == energy_driven, name
+        if adaptation is not None:
+            assert placement.adaptation is adaptation, name
+
+    # Storage-axis ordering: desktop ~ theoretical arc, smartphone far
+    # right; hibernus below WISPCam below WSN.
+    assert placements["Desktop PC"].autonomy_seconds < 1.0
+    assert placements["Smartphone"].autonomy_seconds > 3600.0
+    assert (
+        placements["Hibernus"].autonomy_seconds
+        < placements["WISPCam"].autonomy_seconds
+        < placements["Energy-Neutral WSN"].autonomy_seconds
+    )
+    # The 'theoretical' arc: continuous-adaptation transient systems sit on
+    # parasitic/decoupling-scale storage.
+    assert placements["Hibernus"].storage_class in (
+        StorageClass.PARASITIC,
+        StorageClass.MINIMAL,
+    )

@@ -1,0 +1,120 @@
+"""Figs. 3 & 4 — the two energy-subsystem architectures.
+
+Fig. 3 (energy-neutral): supply -> conversion -> storage -> conversion ->
+load.  Fig. 4 (power-neutral): harvester -> rectifier -> harvesting-aware
+load, no added storage.  The experiment quantifies the paper's argument:
+each conversion stage costs efficiency and quiescent drain, which is what
+the zero-storage architecture eliminates.
+"""
+
+from repro.analysis.report import format_table, print_section
+from repro.core.system import EnergyDrivenSystem
+from repro.harvest.base import ConstantPowerHarvester
+from repro.power.converter import BoostConverter, LinearRegulator
+from repro.power.rail import RailLoad
+from repro.storage.battery import RechargeableBattery
+from repro.storage.capacitor import Capacitor
+
+from conftest import once
+
+HARVEST_POWER = 2e-3
+DURATION = 20.0
+
+
+class RegulatedLoad(RailLoad):
+    """A fixed-power load behind an LDO (the Fig. 3 load-side conversion)."""
+
+    def __init__(self, power: float, regulator: LinearRegulator):
+        self.power = power
+        self.regulator = regulator
+        self.useful_energy = 0.0
+
+    def advance(self, t, dt, v_rail):
+        if v_rail <= 0.0:
+            return 0.0
+        demand = self.power * dt
+        # Work backwards: to deliver `demand` at v_out, the regulator draws
+        # demand / efficiency from the rail.
+        eta = self.regulator.efficiency(demand / dt, v_rail) or 1e-9
+        drawn = demand / eta
+        self.useful_energy += demand
+        return drawn
+
+    def reset(self):
+        self.useful_energy = 0.0
+
+
+class DirectLoad(RailLoad):
+    """A harvesting-aware load running directly off the rail (Fig. 4)."""
+
+    def __init__(self, power: float, v_min: float = 1.8):
+        self.power = power
+        self.v_min = v_min
+        self.useful_energy = 0.0
+
+    def advance(self, t, dt, v_rail):
+        if v_rail < self.v_min:
+            return 0.0
+        energy = self.power * dt
+        self.useful_energy += energy
+        return energy
+
+    def reset(self):
+        self.useful_energy = 0.0
+
+
+def run_energy_neutral_architecture():
+    """Fig. 3: two conversion stages around a battery."""
+    system = EnergyDrivenSystem(dt=1e-3)
+    battery = RechargeableBattery(capacity=1.0, soc_initial=0.5)
+    system.set_storage(battery)
+    system.add_power_source(
+        ConstantPowerHarvester(HARVEST_POWER),
+        converter=BoostConverter(peak_efficiency=0.85, p_knee=100e-6),
+    )
+    load = RegulatedLoad(1e-3, LinearRegulator(v_out=1.8))
+    system.add_load(load)
+    system.run(DURATION)
+    return system.rail.stats, load.useful_energy
+
+
+def run_power_neutral_architecture():
+    """Fig. 4: rectified source straight onto decoupling capacitance."""
+    system = EnergyDrivenSystem(dt=1e-3)
+    system.set_storage(Capacitor(22e-6, v_max=3.3))
+    system.add_power_source(ConstantPowerHarvester(HARVEST_POWER))
+    load = DirectLoad(1e-3)
+    system.add_load(load)
+    system.run(DURATION)
+    return system.rail.stats, load.useful_energy
+
+
+def test_fig3_fig4_architecture_efficiency(benchmark):
+    def run_both():
+        return run_energy_neutral_architecture(), run_power_neutral_architecture()
+
+    (en_stats, en_useful), (pn_stats, pn_useful) = once(benchmark, run_both)
+
+    # Delivered-to-load fraction of every joule that entered the system:
+    # conversion and storage losses are exactly what separates the two.
+    en_eff = en_useful / en_stats.harvested
+    pn_eff = pn_useful / pn_stats.harvested
+    print_section(
+        "Figs. 3/4: architecture end-to-end efficiency",
+        format_table(
+            ["architecture", "harvested (mJ)", "useful (mJ)", "efficiency"],
+            [
+                ["Fig.3 energy-neutral", en_stats.harvested * 1e3, en_useful * 1e3, en_eff],
+                ["Fig.4 power-neutral", pn_stats.harvested * 1e3, pn_useful * 1e3, pn_eff],
+            ],
+        ),
+    )
+
+    # Both run the same load from the same source; the double-conversion
+    # architecture delivers meaningfully less of the harvested energy.
+    assert pn_eff > 0.9
+    assert en_eff < 0.85
+    assert pn_eff > en_eff * 1.15
+    # But the Fig. 3 architecture holds the large buffer that makes it
+    # battery-like (expression (2) margin), which Fig. 4 gives up.
+    assert en_stats.harvested > 0

@@ -1,0 +1,86 @@
+"""Fig. 5 — ODROID-XU4 raytrace performance vs board power.
+
+The paper plots operating points (DVFS level x enabled-core combinations)
+showing "the power consumption can be modulated by an order of magnitude".
+This bench regenerates the point cloud and checks its shape against the
+figure's axes (power up to ~18 W, FPS up to ~0.25 s^-1), then exercises the
+power-neutral scaler over the cloud (ref [11]).
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table, print_section, series_summary
+from repro.neutral.mpsoc import OdroidXU4Model, PowerNeutralMpsocScaler, pareto_frontier
+
+from conftest import once
+
+
+def run_point_cloud():
+    model = OdroidXU4Model()
+    return model, model.operating_points()
+
+
+def test_fig5_point_cloud(benchmark):
+    model, points = once(benchmark, run_point_cloud)
+    powers = np.array([p.power for p in points])
+    fps = np.array([p.fps for p in points])
+    frontier = pareto_frontier(points)
+
+    print_section(
+        "Fig. 5: raytrace FPS vs board power point cloud",
+        "\n".join(
+            [
+                series_summary("power (W)", powers),
+                series_summary("fps", fps),
+                f"points: {len(points)}, power modulation: "
+                f"{powers.max() / powers.min():.1f}x",
+                "Pareto frontier (power W -> fps):",
+                format_table(
+                    ["power (W)", "fps", "big cores", "big level", "LITTLE cores"],
+                    [
+                        [p.power, p.fps, p.big_cores, p.big_level, p.little_cores]
+                        for p in frontier[:: max(1, len(frontier) // 10)]
+                    ],
+                ),
+            ]
+        ),
+    )
+
+    # Shape of the figure: order-of-magnitude modulation, axis ranges.
+    assert powers.max() / powers.min() >= 10.0
+    assert 10.0 < powers.max() < 25.0
+    assert 0.15 < fps.max() < 0.35
+    # Higher power buys higher achievable fps along the frontier.
+    frontier_fps = [p.fps for p in frontier]
+    assert frontier_fps == sorted(frontier_fps)
+
+
+def test_fig5_power_neutral_tracking(benchmark):
+    """Ref [11]: walk the frontier as the power budget varies, as a
+    harvesting-powered MPSoC would."""
+
+    def run():
+        scaler = PowerNeutralMpsocScaler(OdroidXU4Model())
+        budget_trace = 9.0 + 8.0 * np.sin(np.linspace(0.0, 2.0 * np.pi, 100))
+        decisions = scaler.track([float(b) for b in budget_trace])
+        return budget_trace, decisions
+
+    budgets, decisions = once(benchmark, run)
+    achieved = [d.fps if d else 0.0 for d in decisions]
+    used = [d.power if d else 0.0 for d in decisions]
+
+    print_section(
+        "Fig. 5 (tracking): power-neutral scaling over a varying budget",
+        "\n".join(
+            [
+                series_summary("budget (W)", budgets),
+                series_summary("used (W)", used),
+                series_summary("achieved fps", achieved),
+            ]
+        ),
+    )
+
+    # Never exceeds the budget; performance follows the budget.
+    assert all(u <= b + 1e-9 for u, b in zip(used, budgets))
+    correlation = np.corrcoef(budgets, achieved)[0, 1]
+    assert correlation > 0.85

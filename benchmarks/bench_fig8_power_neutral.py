@@ -1,0 +1,124 @@
+"""Fig. 8 — power-neutral operation from a micro wind turbine (ref [14]).
+
+A hibernus-PN system runs directly from the half-wave rectified output of
+a micro wind turbine.  As the gust swells and fades, the DFS governor
+modulates the core frequency so consumption tracks the harvested power:
+during the strong-wind window (0.5-1.1 s here; 0.4-1.1 s in the paper's
+trace) V_cc is never interrupted — no snapshot/restore overhead — and
+performance gracefully degrades as the wind weakens rather than
+collapsing.
+
+The bench also runs the same scenario with plain (static-frequency)
+Hibernus, quantifying what power-neutral operation buys: the static system
+hibernates through every ripple trough its fixed draw cannot ride.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table, print_section
+from repro.core.metrics import expression2_holds
+from repro.core.system import EnergyDrivenSystem
+from repro.harvest.wind import GustProfile, MicroWindTurbine
+from repro.mcu.clock import ClockPlan
+from repro.mcu.engine import SyntheticEngine
+from repro.neutral.power_neutral import PowerNeutralGovernor, PowerNeutralHibernus
+from repro.storage.capacitor import Capacitor
+from repro.transient.base import TransientPlatform, TransientPlatformConfig
+from repro.transient.hibernus import Hibernus
+
+from conftest import once
+
+#: The sustained-wind window during which power-neutral operation must
+#: keep V_cc uninterrupted (the paper's 0.4-1.1 s band).
+WINDOW = (0.5, 1.1)
+STRONG = (0.5, 0.85)   # wind envelope ~6 m/s
+WEAK = (0.9, 1.1)      # wind envelope ~4 m/s
+DURATION = 1.6
+DT = 5e-5
+CAPACITANCE = 47e-6
+
+
+def make_turbine():
+    """A gust sequence: strong shoulder, peak, then a weaker tail — so the
+    governor has an envelope to track, not just a plateau."""
+    gusts = [
+        GustProfile(start=0.25, duration=0.35, base_speed=0.3, peak_speed=5.5),
+        GustProfile(start=0.40, duration=0.45, base_speed=0.3, peak_speed=6.5),
+        GustProfile(start=0.70, duration=0.45, base_speed=0.3, peak_speed=4.4),
+        GustProfile(start=0.90, duration=0.50, base_speed=0.3, peak_speed=4.4),
+    ]
+    return MicroWindTurbine(
+        gusts, ke=1.4, hz_per_mps=10.0, rotor_lag=0.12, source_resistance=200.0
+    )
+
+
+def run_system(strategy):
+    engine = SyntheticEngine(total_cycles=10**9)  # open-ended workload
+    platform = TransientPlatform(
+        engine,
+        strategy,
+        clock=ClockPlan.msp430_like(),
+        config=TransientPlatformConfig(rail_capacitance=CAPACITANCE),
+    )
+    system = EnergyDrivenSystem(dt=DT)
+    system.set_storage(Capacitor(CAPACITANCE, v_max=3.3))
+    system.add_voltage_source(make_turbine())
+    system.set_platform(platform)
+    result = system.run(DURATION)
+    return platform, result
+
+
+def run_fig8():
+    pn_strategy = PowerNeutralHibernus(
+        governor=PowerNeutralGovernor(v_target=2.9, deadband=0.15, period=1e-3)
+    )
+    pn_platform, pn_result = run_system(pn_strategy)
+    static_platform, static_result = run_system(Hibernus())
+    return pn_strategy, pn_platform, pn_result, static_platform, static_result
+
+
+def test_fig8_power_neutral_wind(benchmark):
+    pn_strategy, pn, pn_result, static, static_result = once(benchmark, run_fig8)
+
+    vcc_window = pn_result.vcc().between(*WINDOW)
+    freq = pn_result.traces["frequency"]
+    active_freqs = sorted({f for f in freq.between(*WINDOW).values if f > 0})
+    f_strong = freq.between(*STRONG).mean()
+    f_weak = freq.between(*WEAK).mean()
+    state_window = pn_result.traces["state"].between(*WINDOW)
+
+    print_section(
+        "Fig. 8: hibernus-PN from a micro wind turbine",
+        format_table(
+            ["quantity", "hibernus-PN", "static hibernus"],
+            [
+                ["snapshots (whole run)", pn.metrics.snapshots_completed,
+                 static.metrics.snapshots_completed],
+                ["restores (whole run)", pn.metrics.restores_completed,
+                 static.metrics.restores_completed],
+                ["checkpoint overhead (uJ)",
+                 pn.metrics.overhead_energy() * 1e6,
+                 static.metrics.overhead_energy() * 1e6],
+                ["V_cc min in window", f"{vcc_window.minimum():.2f} V",
+                 f"{static_result.vcc().between(*WINDOW).minimum():.2f} V"],
+                ["distinct DFS points in window", len(active_freqs), 1],
+                ["mean f strong wind (MHz)", f_strong / 1e6, 8.0],
+                ["mean f weak wind (MHz)", f_weak / 1e6, "-"],
+            ],
+        ),
+    )
+
+    # The Fig. 8 claims, point by point:
+    # 1. Within the sustained window, V_cc is never interrupted — it stays
+    #    above even the hibernate threshold, so no save/restore overheads.
+    assert expression2_holds(vcc_window, v_min=pn.config.v_min)
+    assert vcc_window.minimum() > pn_strategy.v_hibernate
+    assert not np.any(state_window.values == 3.0), "no SNAPSHOT state in window"
+    # 2. The governor genuinely modulates the clock (graceful increase and
+    #    degradation), tracking the wind envelope.
+    assert len(active_freqs) >= 3
+    assert f_strong > 2.0 * f_weak
+    # 3. Power-neutral operation avoids the hibernate/restore churn the
+    #    static system pays on the same wind.
+    assert pn.metrics.snapshots_completed < static.metrics.snapshots_completed
+    assert pn.metrics.overhead_energy() < static.metrics.overhead_energy()

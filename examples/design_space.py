@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Designing an energy-driven system, end to end.
+
+The paper's thesis is a *design flow*: start from the energy environment,
+then choose storage and operating strategy together.  This example walks
+that flow for a hypothetical sensor deployment:
+
+1. describe the energy environment (outdoor PV through a week of weather);
+2. size storage for the energy-neutral (battery-backed) option;
+3. quantitatively compare transient strategies for the battery-free option;
+4. classify both outcomes on the paper's Fig. 2 taxonomy.
+
+Run:  python examples/design_space.py
+"""
+
+from repro.analysis.report import format_table
+from repro.core.taxonomy import SystemDescriptor, classify
+from repro.harvest.environment import (
+    EnvironmentHarvester,
+    WeatherSequence,
+    required_storage,
+)
+from repro.harvest.solar import PhotovoltaicHarvester
+from repro.harvest.synthetic import SquareWavePowerHarvester
+from repro.mcu.engine import SyntheticEngine
+from repro.mcu.power_model import MSP430_FRAM_MODEL, MSP430_SRAM_MODEL
+from repro.transient.base import NullStrategy
+from repro.transient.comparison import (
+    COMPARISON_HEADERS,
+    ComparisonScenario,
+    compare_strategies,
+    winner_by,
+)
+from repro.transient.hibernus import Hibernus
+from repro.transient.nvp import NVProcessor
+from repro.transient.quickrecall import QuickRecall
+from repro.units import days
+
+LOAD_POWER = 5e-3  # the application's average draw if run continuously
+
+
+def main() -> None:
+    print("Energy-driven design flow")
+    print("=" * 60)
+
+    # ---- 1. the energy environment -----------------------------------
+    weather = WeatherSequence.from_labels(
+        ["sunny", "sunny", "partly cloudy", "overcast", "stormy", "sunny", "sunny"]
+    )
+    cell = PhotovoltaicHarvester.outdoor(full_scale_current=40e-3, v_mpp=2.0)
+    environment = EnvironmentHarvester(cell, weather)
+    print(f"\n1. Environment: outdoor PV, week = "
+          f"{[c.label for c in weather.conditions]}")
+    print(f"   mean harvest scale {weather.mean_scale():.2f}")
+
+    # ---- 2. the energy-neutral option ---------------------------------
+    storage = required_storage(
+        environment, load_power=LOAD_POWER, horizon=days(7), window=days(1)
+    )
+    print(f"\n2. Energy-neutral option (Fig. 3 architecture):")
+    print(f"   storage to ride the worst day at {LOAD_POWER * 1e3:.0f} mW "
+          f"continuous: {storage:.0f} J "
+          f"(~{storage / 3600:.2f} Wh of battery)")
+
+    # ---- 3. the energy-driven (battery-free) option -------------------
+    scenario = ComparisonScenario(
+        harvester_factory=lambda: SquareWavePowerHarvester(
+            20e-3, period=0.1, duty=0.3
+        ),
+        duration=4.0,
+    )
+
+    def engine():
+        return SyntheticEngine(total_cycles=600_000, checkpoint_interval=2000)
+
+    def engine_fram():
+        return SyntheticEngine(
+            total_cycles=600_000, checkpoint_interval=2000,
+            full_state_words=17, register_state_words=17,
+        )
+
+    results = compare_strategies(
+        scenario,
+        [
+            ("null", NullStrategy, engine, MSP430_SRAM_MODEL),
+            ("hibernus", Hibernus, engine, MSP430_SRAM_MODEL),
+            ("quickrecall", QuickRecall, engine_fram, MSP430_FRAM_MODEL),
+            ("nvp", NVProcessor, engine, MSP430_SRAM_MODEL),
+        ],
+    )
+    print("\n3. Battery-free option (Fig. 4 architecture), 22 uF only:")
+    print(format_table(COMPARISON_HEADERS, [r.row() for r in results.values()]))
+    print(f"   fastest completion: {winner_by(results, 'completion_time')}; "
+          f"least overhead: {winner_by(results, 'energy_overhead')}")
+
+    # ---- 4. where each lands on Fig. 2 ---------------------------------
+    neutral = SystemDescriptor(
+        name="battery-backed node",
+        storage_energy=storage,
+        active_power=LOAD_POWER,
+        survives_outage=False,
+        designed_for_harvesting=True,
+    )
+    driven = SystemDescriptor(
+        name="battery-free node (hibernus)",
+        storage_energy=0.5 * 22e-6 * 3.3**2,
+        active_power=LOAD_POWER,
+        survives_outage=True,
+        task_energy=50e-3,
+        designed_for_harvesting=True,
+    )
+    print("\n4. Taxonomy placements (Fig. 2):")
+    for descriptor in (neutral, driven):
+        print("   " + classify(descriptor).summary())
+
+    print(
+        "\nThe trade the paper describes, quantified: the energy-neutral\n"
+        "option needs a battery thousands of times larger than the\n"
+        "decoupling capacitance the transient option runs on — the cost\n"
+        "of making the harvester 'look like a battery'."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,186 @@
+"""repro: energy-driven computing.
+
+A simulation framework for transient and power-neutral energy-harvesting
+systems, reproducing Merrett & Al-Hashimi, "Energy-Driven Computing:
+Rethinking the Design of Energy Harvesting Systems" (DATE 2017).
+
+Quickstart (the paper's Fig. 6 one-liner, translated)::
+
+    from repro import (
+        Capacitor, EnergyDrivenSystem, Hibernus, MachineEngine,
+        Machine, SignalGenerator, TransientPlatform, assemble,
+    )
+    from repro.mcu.programs import fft_program
+
+    engine = MachineEngine(Machine(assemble(fft_program(64))))
+    platform = TransientPlatform(engine, Hibernus())   # <- 'Hibernus();'
+    system = EnergyDrivenSystem(dt=50e-6)
+    system.set_storage(Capacitor(22e-6, v_max=3.3))
+    system.add_voltage_source(SignalGenerator(3.3, 4.7, rectified=True))
+    system.set_platform(platform)
+    result = system.run(1.0)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+figure-by-figure reproduction record.
+"""
+
+from repro.errors import (
+    AssemblerError,
+    BrownoutError,
+    ConfigurationError,
+    MachineError,
+    ReproError,
+    SimulationError,
+    SnapshotError,
+    TaxonomyError,
+)
+from repro.sim import Simulator, Trace
+from repro.harvest import (
+    ConstantPowerHarvester,
+    GatedPowerHarvester,
+    HalfWaveRectifiedSinePower,
+    ImpactKineticHarvester,
+    MicroWindTurbine,
+    PhotovoltaicHarvester,
+    RFHarvester,
+    SignalGenerator,
+    SineVoltageHarvester,
+    SquareWavePowerHarvester,
+    ThermoelectricHarvester,
+    TraceHarvester,
+    VibrationHarvester,
+)
+from repro.storage import Capacitor, DecouplingBudget, RechargeableBattery, Supercapacitor
+from repro.power import (
+    BoostConverter,
+    FractionalVocMPPT,
+    HalfWaveRectifier,
+    LinearRegulator,
+    SupplyRail,
+)
+from repro.mcu import (
+    ClockPlan,
+    Machine,
+    MachineConfig,
+    MachineEngine,
+    McuPowerModel,
+    SyntheticEngine,
+    assemble,
+)
+from repro.transient import (
+    EnergyBurstScaler,
+    Hibernus,
+    HibernusPP,
+    Mementos,
+    MonjoloMeter,
+    NVProcessor,
+    NullStrategy,
+    QuickRecall,
+    SnapshotStore,
+    TransientPlatform,
+    TransientPlatformConfig,
+    WispCam,
+    hibernate_threshold,
+)
+from repro.neutral import (
+    DutyCycleManager,
+    EwmaPredictor,
+    OdroidXU4Model,
+    PowerNeutralGovernor,
+    PowerNeutralHibernus,
+    PowerNeutralMpsocScaler,
+    WsnNode,
+)
+from repro.core import (
+    EnergyDrivenSystem,
+    RunReport,
+    SystemDescriptor,
+    classify,
+    crossover_frequency,
+    energy_neutral_over,
+    exemplars,
+    expression2_holds,
+    minimum_capacitance,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "BrownoutError",
+    "AssemblerError",
+    "MachineError",
+    "SnapshotError",
+    "TaxonomyError",
+    # sim
+    "Simulator",
+    "Trace",
+    # harvest
+    "ConstantPowerHarvester",
+    "SignalGenerator",
+    "SineVoltageHarvester",
+    "HalfWaveRectifiedSinePower",
+    "SquareWavePowerHarvester",
+    "GatedPowerHarvester",
+    "MicroWindTurbine",
+    "PhotovoltaicHarvester",
+    "RFHarvester",
+    "ImpactKineticHarvester",
+    "VibrationHarvester",
+    "ThermoelectricHarvester",
+    "TraceHarvester",
+    # storage
+    "Capacitor",
+    "Supercapacitor",
+    "RechargeableBattery",
+    "DecouplingBudget",
+    # power
+    "SupplyRail",
+    "HalfWaveRectifier",
+    "LinearRegulator",
+    "BoostConverter",
+    "FractionalVocMPPT",
+    # mcu
+    "Machine",
+    "MachineConfig",
+    "MachineEngine",
+    "SyntheticEngine",
+    "ClockPlan",
+    "McuPowerModel",
+    "assemble",
+    # transient
+    "TransientPlatform",
+    "TransientPlatformConfig",
+    "SnapshotStore",
+    "NullStrategy",
+    "Hibernus",
+    "HibernusPP",
+    "QuickRecall",
+    "Mementos",
+    "NVProcessor",
+    "hibernate_threshold",
+    "WispCam",
+    "MonjoloMeter",
+    "EnergyBurstScaler",
+    # neutral
+    "PowerNeutralGovernor",
+    "PowerNeutralHibernus",
+    "OdroidXU4Model",
+    "PowerNeutralMpsocScaler",
+    "EwmaPredictor",
+    "DutyCycleManager",
+    "WsnNode",
+    # core
+    "EnergyDrivenSystem",
+    "SystemDescriptor",
+    "classify",
+    "exemplars",
+    "RunReport",
+    "energy_neutral_over",
+    "expression2_holds",
+    "crossover_frequency",
+    "minimum_capacitance",
+]

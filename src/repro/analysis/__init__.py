@@ -1,0 +1,7 @@
+"""Analysis utilities shared by tests, benchmarks and examples."""
+
+from repro.analysis.crossover import find_crossover
+from repro.analysis.pareto import pareto_points
+from repro.analysis.report import format_table, series_summary
+
+__all__ = ["find_crossover", "pareto_points", "format_table", "series_summary"]

@@ -1,0 +1,41 @@
+"""Empirical crossover finding for the Eq. (5) experiment."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def find_crossover(
+    xs: Sequence[float],
+    ys_a: Sequence[float],
+    ys_b: Sequence[float],
+) -> Optional[float]:
+    """The x where curve A stops beating curve B (sign change of A - B).
+
+    Values are compared pointwise; the crossing is linearly interpolated
+    between the bracketing samples.  Returns None when the difference never
+    changes sign (one curve dominates over the whole sweep).
+
+    Args:
+        xs: strictly increasing sweep values.
+        ys_a / ys_b: metric per sweep point (same orientation: lower or
+            higher is better for both — the caller decides).
+    """
+    if not (len(xs) == len(ys_a) == len(ys_b)):
+        raise ConfigurationError("sequences must share a length")
+    if len(xs) < 2:
+        raise ConfigurationError("need at least two sweep points")
+    for i in range(1, len(xs)):
+        if xs[i] <= xs[i - 1]:
+            raise ConfigurationError("xs must be strictly increasing")
+    diffs = [a - b for a, b in zip(ys_a, ys_b)]
+    for i in range(1, len(diffs)):
+        d0, d1 = diffs[i - 1], diffs[i]
+        if d0 == 0.0:
+            return float(xs[i - 1])
+        if (d0 < 0.0) != (d1 < 0.0):
+            frac = abs(d0) / (abs(d0) + abs(d1))
+            return float(xs[i - 1] + frac * (xs[i] - xs[i - 1]))
+    return None

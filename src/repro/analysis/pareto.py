@@ -1,0 +1,27 @@
+"""Generic Pareto-frontier extraction over (cost, benefit) pairs."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def pareto_points(
+    costs: Sequence[float], benefits: Sequence[float]
+) -> List[Tuple[float, float]]:
+    """Non-dominated (cost, benefit) pairs, sorted by ascending cost.
+
+    A point dominates another when it has lower-or-equal cost and strictly
+    higher benefit (or equal benefit at strictly lower cost).
+    """
+    if len(costs) != len(benefits):
+        raise ConfigurationError("costs and benefits must share a length")
+    pairs = sorted(zip(costs, benefits), key=lambda p: (p[0], -p[1]))
+    frontier: List[Tuple[float, float]] = []
+    best = float("-inf")
+    for cost, benefit in pairs:
+        if benefit > best:
+            frontier.append((cost, benefit))
+            best = benefit
+    return frontier

@@ -1,0 +1,231 @@
+"""Command-line experiment runner.
+
+    python -m repro.cli list
+    python -m repro.cli taxonomy
+    python -m repro.cli fig7 [--fft-size 512] [--supply-hz 4.7]
+    python -m repro.cli crossover [--frequencies 2 10 40 80]
+    python -m repro.cli sources
+
+Each subcommand runs one of the reproduction scenarios and prints the same
+series the paper's figures show.  The benchmark suite (``pytest
+benchmarks/ --benchmark-only``) runs the full set with assertions; the CLI
+is the interactive, parameterisable view.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.analysis.crossover import find_crossover
+from repro.analysis.report import format_table, print_section
+from repro.core.system import EnergyDrivenSystem
+from repro.core.taxonomy import classify, exemplars
+from repro.harvest.solar import PhotovoltaicHarvester
+from repro.harvest.synthetic import SignalGenerator
+from repro.harvest.traces import record_voltage
+from repro.harvest.wind import MicroWindTurbine
+from repro.mcu.assembler import assemble
+from repro.mcu.engine import MachineEngine, SyntheticEngine
+from repro.mcu.machine import Machine, MachineConfig
+from repro.mcu.power_model import MSP430_FRAM_MODEL, MSP430_SRAM_MODEL
+from repro.mcu.programs import fft_golden, fft_program
+from repro.sim import waveform
+from repro.sim.probes import Trace
+from repro.storage.capacitor import Capacitor
+from repro.transient.base import TransientPlatform, TransientPlatformConfig
+from repro.transient.hibernus import Hibernus
+from repro.transient.quickrecall import QuickRecall
+from repro.units import days
+
+
+def cmd_list(_: argparse.Namespace) -> int:
+    """List the available experiments."""
+    rows = [
+        ["sources", "Fig. 1: wind gust + indoor PV source statistics"],
+        ["taxonomy", "Fig. 2: classify the paper's example systems"],
+        ["fig7", "Fig. 7: Hibernus FFT over a half-wave rectified supply"],
+        ["crossover", "Eq. 5: Hibernus vs QuickRecall energy sweep"],
+    ]
+    print(format_table(["command", "experiment"], rows))
+    return 0
+
+
+def cmd_sources(_: argparse.Namespace) -> int:
+    """Fig. 1 source statistics."""
+    turbine = MicroWindTurbine.single_gust()
+    times, volts = record_voltage(turbine, duration=9.0, dt=1e-3)
+    wind = Trace("wind", times, volts)
+    print_section(
+        "Fig. 1a: micro wind turbine (single gust)",
+        f"peaks {wind.minimum():.2f} .. {wind.maximum():.2f} V, "
+        f"dominant {waveform.dominant_frequency(wind.between(3.0, 5.5)):.1f} Hz "
+        "mid-gust",
+    )
+    cell = PhotovoltaicHarvester.indoor_fig1b()
+    import numpy as np
+
+    pv_times = np.arange(0.0, days(2), 300.0)
+    currents = np.array([cell.current(float(t)) for t in pv_times])
+    pv = Trace("pv", pv_times, currents)
+    print_section(
+        "Fig. 1b: indoor PV over two days",
+        f"current band {pv.minimum() * 1e6:.0f} .. {pv.maximum() * 1e6:.0f} uA, "
+        f"24 h periodicity {waveform.periodicity_strength(pv, days(1)):.2f}",
+    )
+    return 0
+
+
+def cmd_taxonomy(_: argparse.Namespace) -> int:
+    """Fig. 2 classification table."""
+    rows = []
+    for descriptor in exemplars():
+        placement = classify(descriptor)
+        rows.append(
+            [
+                placement.name,
+                placement.axis,
+                placement.storage_class.value,
+                placement.adaptation.value,
+                placement.energy_driven,
+            ]
+        )
+    print_section(
+        "Fig. 2: taxonomy placements",
+        format_table(
+            ["system", "axis", "storage", "adaptation", "energy-driven"], rows
+        ),
+    )
+    return 0
+
+
+def cmd_fig7(args: argparse.Namespace) -> int:
+    """Fig. 7 scenario with adjustable FFT size and supply frequency."""
+    machine = Machine(
+        assemble(fft_program(args.fft_size)),
+        MachineConfig(data_space_words=max(2048, 4 * args.fft_size)),
+    )
+    strategy = Hibernus()
+    platform = TransientPlatform(
+        MachineEngine(machine),
+        strategy,
+        config=TransientPlatformConfig(rail_capacitance=22e-6),
+    )
+    system = EnergyDrivenSystem(dt=50e-6)
+    system.set_storage(Capacitor(22e-6, v_max=3.3))
+    system.add_voltage_source(
+        SignalGenerator(
+            4.5, args.supply_hz, rectified=True, source_resistance=1500.0
+        )
+    )
+    system.set_platform(platform)
+    system.run(args.duration)
+
+    metrics = platform.metrics
+    completion = metrics.first_completion_time
+    golden = fft_golden(args.fft_size)[2]
+    rows = [
+        ["V_H (Eq. 4)", f"{strategy.v_hibernate:.2f} V"],
+        ["snapshots / restores",
+         f"{metrics.snapshots_completed} / {metrics.restores_completed}"],
+        ["completed", "no" if completion is None else f"t={completion:.3f} s"],
+        ["supply cycle", "-" if completion is None
+         else int(completion * args.supply_hz) + 1],
+        ["checksum ok", machine.output_port.last == golden],
+    ]
+    print_section(
+        f"Fig. 7: Hibernus FFT-{args.fft_size} at {args.supply_hz} Hz",
+        format_table(["quantity", "value"], rows),
+    )
+    return 0 if completion is not None else 1
+
+
+def _run_crossover_point(strategy, power_model, frequency: float) -> float:
+    engine = SyntheticEngine(total_cycles=4_000_000)
+    platform = TransientPlatform(
+        engine,
+        strategy,
+        power_model=power_model,
+        config=TransientPlatformConfig(rail_capacitance=22e-6),
+    )
+    period = 1.0 / frequency
+    v_high, v_low, ramp_down, ramp_up = 3.2, 1.6, 230.0, 4000.0
+    t_down = (v_high - v_low) / ramp_down
+    t_up = (v_high - v_low) / ramp_up
+
+    def v_of_t(t: float) -> float:
+        phase = t % period
+        if phase < t_down:
+            return v_high - ramp_down * phase
+        if phase < t_down + 2e-3:
+            return v_low
+        if phase < t_down + 2e-3 + t_up:
+            return v_low + ramp_up * (phase - t_down - 2e-3)
+        return v_high
+
+    t = 0.0
+    while platform.metrics.first_completion_time is None and t < 30.0:
+        platform.advance(t, 1e-4, v_of_t(t))
+        t += 1e-4
+    return platform.metrics.total_energy()
+
+
+def cmd_crossover(args: argparse.Namespace) -> int:
+    """Eq. 5 sweep over the given interruption frequencies."""
+    rows = []
+    for frequency in args.frequencies:
+        e_hib = _run_crossover_point(
+            Hibernus(v_hibernate=2.8, v_restore=3.0), MSP430_SRAM_MODEL, frequency
+        )
+        e_qr = _run_crossover_point(
+            QuickRecall(v_hibernate=2.1, v_restore=3.0), MSP430_FRAM_MODEL, frequency
+        )
+        rows.append([frequency, e_hib * 1e3, e_qr * 1e3,
+                     "hibernus" if e_hib < e_qr else "quickrecall"])
+    crossover = find_crossover(
+        [r[0] for r in rows], [r[1] for r in rows], [r[2] for r in rows]
+    )
+    print_section(
+        "Eq. (5): energy to complete 4 M cycles",
+        format_table(
+            ["f (Hz)", "E hibernus (mJ)", "E quickrecall (mJ)", "winner"], rows
+        )
+        + (f"\nmeasured crossover: {crossover:.1f} Hz" if crossover else
+           "\nno crossover inside the sweep"),
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Energy-driven computing experiments"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(fn=cmd_list)
+    sub.add_parser("sources", help="Fig. 1 sources").set_defaults(fn=cmd_sources)
+    sub.add_parser("taxonomy", help="Fig. 2 taxonomy").set_defaults(fn=cmd_taxonomy)
+
+    fig7 = sub.add_parser("fig7", help="Fig. 7 Hibernus FFT")
+    fig7.add_argument("--fft-size", type=int, default=512)
+    fig7.add_argument("--supply-hz", type=float, default=4.7)
+    fig7.add_argument("--duration", type=float, default=1.2)
+    fig7.set_defaults(fn=cmd_fig7)
+
+    crossover = sub.add_parser("crossover", help="Eq. 5 sweep")
+    crossover.add_argument(
+        "--frequencies", type=float, nargs="+", default=[2.0, 10.0, 40.0, 80.0]
+    )
+    crossover.set_defaults(fn=cmd_crossover)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""The paper's primary contribution: the energy-based taxonomy and the
+energy-driven system design flow built around it.
+
+* :mod:`repro.core.taxonomy` — Fig. 2 as an executable classifier.
+* :mod:`repro.core.metrics` — expressions (1) and (2) as checks over
+  simulation traces, plus run reports.
+* :mod:`repro.core.design` — expressions (4) and (5) as design helpers.
+* :mod:`repro.core.system` — composition API wiring harvesters, storage,
+  conversion and loads into a runnable system.
+"""
+
+from repro.core.taxonomy import (
+    AdaptationClass,
+    StorageClass,
+    SystemDescriptor,
+    TaxonomyPlacement,
+    classify,
+    descriptor_from_run,
+    exemplars,
+)
+from repro.core.metrics import (
+    RunReport,
+    energy_neutral_over,
+    expression2_holds,
+    first_violation_time,
+)
+from repro.core.design import (
+    crossover_frequency,
+    hibernate_threshold,
+    minimum_capacitance,
+)
+from repro.core.system import EnergyDrivenSystem, SystemRunResult
+
+__all__ = [
+    "SystemDescriptor",
+    "TaxonomyPlacement",
+    "StorageClass",
+    "AdaptationClass",
+    "classify",
+    "descriptor_from_run",
+    "exemplars",
+    "RunReport",
+    "energy_neutral_over",
+    "expression2_holds",
+    "first_violation_time",
+    "hibernate_threshold",
+    "crossover_frequency",
+    "minimum_capacitance",
+    "EnergyDrivenSystem",
+    "SystemRunResult",
+]

@@ -1,0 +1,101 @@
+"""Design-time helpers: the paper's expressions (4) and (5).
+
+Expression (4) sizes the hibernate threshold (or, rearranged, the minimum
+capacitance) so a snapshot always completes.  Expression (5) predicts the
+supply-interruption frequency at which QuickRecall's cheap snapshots start
+beating Hibernus' cheaper quiescent power:
+
+    f_crossover = (P_FRAM - P_SRAM) / (E_hibernus - E_quickrecall)
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.transient.hibernus import hibernate_threshold
+
+__all__ = [
+    "hibernate_threshold",
+    "minimum_capacitance",
+    "crossover_frequency",
+    "snapshot_survivable",
+    "required_vh_vs_capacitance",
+]
+
+
+def minimum_capacitance(
+    snapshot_energy: float, v_hibernate: float, v_min: float, margin: float = 1.0
+) -> float:
+    """Expression (4) rearranged for C: the least capacitance that lets a
+    snapshot taken at ``v_hibernate`` finish before V_cc reaches ``v_min``.
+
+    Args:
+        snapshot_energy: E_s in joules.
+        v_hibernate: the chosen hibernate threshold V_H.
+        v_min: brownout voltage.
+        margin: safety factor on E_s.
+    """
+    if snapshot_energy <= 0.0:
+        raise ConfigurationError("snapshot energy must be positive")
+    if v_hibernate <= v_min:
+        raise ConfigurationError("V_H must exceed V_min")
+    if margin < 1.0:
+        raise ConfigurationError("margin must be >= 1")
+    return 2.0 * snapshot_energy * margin / (v_hibernate**2 - v_min**2)
+
+
+def crossover_frequency(
+    p_fram: float,
+    p_sram: float,
+    e_hibernus: float,
+    e_quickrecall: float,
+) -> float:
+    """Expression (5): the interruption frequency where the two approaches
+    cost the same.
+
+    Below the crossover Hibernus wins (its rare, expensive snapshots cost
+    less than FRAM's permanent power penalty); above it QuickRecall wins.
+
+    Args:
+        p_fram: active power when executing from FRAM (QuickRecall), W.
+        p_sram: active power when executing from SRAM (Hibernus), W.
+        e_hibernus: energy per Hibernus snapshot+restore cycle, J.
+        e_quickrecall: energy per QuickRecall snapshot+restore cycle, J.
+
+    Raises:
+        ConfigurationError: when the denominators make no sense (Hibernus
+            snapshots must cost more than QuickRecall's, and FRAM execution
+            must draw more than SRAM execution — otherwise one approach
+            dominates everywhere and no crossover exists).
+    """
+    if p_fram <= p_sram:
+        raise ConfigurationError("no crossover: FRAM power must exceed SRAM power")
+    if e_hibernus <= e_quickrecall:
+        raise ConfigurationError(
+            "no crossover: Hibernus snapshots must cost more than QuickRecall's"
+        )
+    return (p_fram - p_sram) / (e_hibernus - e_quickrecall)
+
+
+def snapshot_survivable(
+    snapshot_energy: float, capacitance: float, v_start: float, v_min: float
+) -> bool:
+    """Can a snapshot starting at ``v_start`` complete before brownout?
+
+    The inequality form of expression (4) evaluated directly.
+    """
+    if capacitance <= 0.0:
+        raise ConfigurationError("capacitance must be positive")
+    available = 0.5 * capacitance * (v_start**2 - v_min**2)
+    return snapshot_energy <= available
+
+
+def required_vh_vs_capacitance(
+    snapshot_energy: float, v_min: float, capacitances: "list[float]"
+) -> "list[float]":
+    """V_H required by Eq. (4) across a capacitance sweep (for the Eq. 4
+    bench's table)."""
+    return [
+        math.sqrt(2.0 * snapshot_energy / c + v_min * v_min) for c in capacitances
+    ]

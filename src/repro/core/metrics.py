@@ -1,0 +1,138 @@
+"""Run metrics: the paper's expressions (1) and (2) over simulation traces.
+
+Expression (1): over an appropriate period T, harvested energy equals
+consumed energy — energy neutrality.
+Expression (2): V_cc >= V_min at all times — the supply never collapses.
+A system violating (2) fails *unless* it is transient, which is exactly the
+distinction the taxonomy engine consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.probes import Trace
+
+
+def energy_neutral_over(
+    harvested: Trace,
+    consumed: Trace,
+    period: float,
+    tolerance: float = 0.1,
+) -> bool:
+    """Check expression (1): per-period harvested vs consumed energy.
+
+    Args:
+        harvested: power trace of harvest into the system (W).
+        consumed: power trace of the load draw (W).
+        period: the neutrality period T (e.g. 24 h for outdoor solar).
+        tolerance: allowed relative mismatch per period.
+
+    Returns:
+        True when every complete period balances within tolerance.
+    """
+    if period <= 0.0:
+        raise ConfigurationError("period must be positive")
+    t_start = max(harvested.times[0], consumed.times[0])
+    t_end = min(harvested.times[-1], consumed.times[-1])
+    n_periods = int((t_end - t_start) / period)
+    if n_periods < 1:
+        raise ConfigurationError("traces shorter than one neutrality period")
+    for k in range(n_periods):
+        lo = t_start + k * period
+        hi = lo + period
+        e_in = harvested.between(lo, hi).integral()
+        e_out = consumed.between(lo, hi).integral()
+        scale = max(e_in, e_out, 1e-30)
+        if abs(e_in - e_out) / scale > tolerance:
+            return False
+    return True
+
+
+def expression2_holds(vcc: Trace, v_min: float) -> bool:
+    """Check expression (2): V_cc >= V_min for all t."""
+    if len(vcc) == 0:
+        raise ConfigurationError("empty V_cc trace")
+    return bool(vcc.minimum() >= v_min)
+
+
+def first_violation_time(vcc: Trace, v_min: float) -> Optional[float]:
+    """First time V_cc dips below V_min, or None if it never does."""
+    below = np.nonzero(vcc.values < v_min)[0]
+    if below.size == 0:
+        return None
+    return float(vcc.times[int(below[0])])
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Summary of one simulated run of a transient platform.
+
+    Built by :meth:`from_run`; rendered by :meth:`lines`.
+    """
+
+    completed: bool
+    completion_time: Optional[float]
+    brownouts: int
+    snapshots: int
+    snapshots_aborted: int
+    restores: int
+    cycles_executed: int
+    active_time: float
+    total_time: float
+    energy_total: float
+    energy_overhead: float
+
+    @classmethod
+    def from_run(cls, platform, t_end: float) -> "RunReport":
+        """Condense a platform's metrics after a run of length ``t_end``."""
+        m = platform.metrics
+        return cls(
+            completed=m.first_completion_time is not None,
+            completion_time=m.first_completion_time,
+            brownouts=m.brownouts,
+            snapshots=m.snapshots_completed,
+            snapshots_aborted=m.snapshots_aborted,
+            restores=m.restores_completed,
+            cycles_executed=m.cycles_executed,
+            active_time=m.time_in_state["active"],
+            total_time=t_end,
+            energy_total=m.total_energy(),
+            energy_overhead=m.overhead_energy(),
+        )
+
+    @property
+    def availability(self) -> float:
+        """Fraction of wall time spent actively computing."""
+        if self.total_time <= 0.0:
+            return 0.0
+        return self.active_time / self.total_time
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Fraction of consumed energy spent on snapshot/restore."""
+        if self.energy_total <= 0.0:
+            return 0.0
+        return self.energy_overhead / self.energy_total
+
+    def lines(self) -> "list[str]":
+        """Human-readable report lines."""
+        done = (
+            f"completed at t={self.completion_time:.4f} s"
+            if self.completed
+            else "did not complete"
+        )
+        return [
+            f"workload: {done}",
+            f"brownouts: {self.brownouts}",
+            f"snapshots: {self.snapshots} (+{self.snapshots_aborted} aborted), "
+            f"restores: {self.restores}",
+            f"cycles executed: {self.cycles_executed}",
+            f"availability: {100.0 * self.availability:.1f}%",
+            f"energy: {self.energy_total * 1e6:.1f} uJ "
+            f"({100.0 * self.overhead_fraction:.1f}% checkpoint overhead)",
+        ]

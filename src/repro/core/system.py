@@ -1,0 +1,159 @@
+"""System composition: wire harvester, conditioning, storage and loads.
+
+:class:`EnergyDrivenSystem` is the public build-and-run API the examples
+use.  It assembles the Fig. 3 (energy-neutral) or Fig. 4 (power-neutral /
+direct) architectures from parts, installs the standard probes, and runs
+the simulation kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.harvest.base import PowerHarvester, VoltageHarvester
+from repro.power.converter import ConversionStage
+from repro.power.mppt import FractionalVocMPPT
+from repro.power.rail import (
+    HarvesterInjector,
+    RailLoad,
+    RectifiedInjector,
+    SupplyRail,
+)
+from repro.power.rectifier import HalfWaveRectifier
+from repro.sim.engine import Simulator
+from repro.sim.probes import Trace
+from repro.storage.base import StorageElement
+from repro.transient.base import PlatformState, TransientPlatform
+
+
+@dataclass
+class SystemRunResult:
+    """Traces plus component references from one run."""
+
+    t_end: float
+    traces: Dict[str, Trace]
+    rail: SupplyRail
+    platform: Optional[TransientPlatform]
+
+    def vcc(self) -> Trace:
+        """The rail voltage trace (the oscilloscope's V_cc channel)."""
+        return self.traces["vcc"]
+
+
+#: Numeric encoding of platform states for the 'state' probe.
+STATE_CODES = {
+    PlatformState.OFF: 0.0,
+    PlatformState.SLEEP: 1.0,
+    PlatformState.RESTORE: 2.0,
+    PlatformState.SNAPSHOT: 3.0,
+    PlatformState.ACTIVE: 4.0,
+}
+
+
+class EnergyDrivenSystem:
+    """Builder/runner for a single-rail energy-driven system.
+
+    Typical use::
+
+        system = EnergyDrivenSystem(dt=50e-6)
+        system.set_storage(Capacitor(22e-6, v_max=3.3))
+        system.add_voltage_source(SignalGenerator(3.3, 4.7, rectified=True))
+        system.set_platform(platform)
+        result = system.run(1.0)
+    """
+
+    def __init__(self, dt: float):
+        self.simulator = Simulator(dt)
+        self.rail: Optional[SupplyRail] = None
+        self.platform: Optional[TransientPlatform] = None
+        self._probes_installed = False
+
+    # -- construction ------------------------------------------------------
+
+    def set_storage(self, storage: StorageElement) -> SupplyRail:
+        """Create the supply rail around ``storage``."""
+        if self.rail is not None:
+            raise ConfigurationError("storage already set")
+        self.rail = SupplyRail(storage)
+        self.simulator.add(self.rail)
+        return self.rail
+
+    def _require_rail(self) -> SupplyRail:
+        if self.rail is None:
+            raise ConfigurationError("call set_storage() first")
+        return self.rail
+
+    def add_power_source(
+        self,
+        harvester: PowerHarvester,
+        converter: Optional[ConversionStage] = None,
+        mppt: Optional[FractionalVocMPPT] = None,
+    ) -> None:
+        """Attach a power-domain harvester (Fig. 3 style front end)."""
+        self._require_rail().attach_injector(
+            HarvesterInjector(harvester, converter=converter, mppt=mppt)
+        )
+
+    def add_voltage_source(
+        self,
+        harvester: VoltageHarvester,
+        rectifier: Optional[HalfWaveRectifier] = None,
+    ) -> None:
+        """Attach a voltage-domain harvester through a rectifier (Fig. 4)."""
+        self._require_rail().attach_injector(RectifiedInjector(harvester, rectifier))
+
+    def set_platform(self, platform: TransientPlatform) -> None:
+        """Attach the MCU platform as the rail's load."""
+        if self.platform is not None:
+            raise ConfigurationError("platform already set")
+        self.platform = platform
+        self._require_rail().attach_load(platform)
+
+    def add_load(self, load: RailLoad) -> None:
+        """Attach an additional (non-platform) load."""
+        self._require_rail().attach_load(load)
+
+    # -- probes / running ----------------------------------------------------
+
+    def install_probes(self, decimate: int = 1) -> None:
+        """Install the standard probe set: vcc, state, frequency."""
+        if self._probes_installed:
+            return
+        rail = self._require_rail()
+        self.simulator.probe("vcc", lambda: rail.voltage, decimate=decimate)
+        if self.platform is not None:
+            platform = self.platform
+            self.simulator.probe(
+                "state", lambda: STATE_CODES[platform.state], decimate=decimate
+            )
+            self.simulator.probe(
+                "frequency",
+                lambda: (
+                    platform.clock.frequency
+                    if platform.state is PlatformState.ACTIVE
+                    else 0.0
+                ),
+                decimate=decimate,
+            )
+        self._probes_installed = True
+
+    def probe(self, name: str, fn, decimate: int = 1) -> None:
+        """Install a custom probe."""
+        self.simulator.probe(name, fn, decimate=decimate)
+
+    def run(self, duration: float, decimate: int = 1) -> SystemRunResult:
+        """Install standard probes (if not yet) and run for ``duration``."""
+        self.install_probes(decimate=decimate)
+        result = self.simulator.run(duration)
+        return SystemRunResult(
+            t_end=result.t_end,
+            traces=result.traces,
+            rail=self._require_rail(),
+            platform=self.platform,
+        )
+
+    def reset(self) -> None:
+        """Reset the simulator and all components for a fresh run."""
+        self.simulator.reset()

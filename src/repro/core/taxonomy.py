@@ -1,0 +1,304 @@
+"""The Fig. 2 taxonomy as an executable classifier.
+
+The figure organises systems along two axes:
+
+* the **energy-neutral axis** — systems that fail when expression (2) is
+  violated (supply to the load interrupted once storage is exhausted);
+* the **transient axis** — systems that keep operating correctly despite
+  expression (2) violations;
+
+with the distance from the origin measuring **contained energy storage**,
+an arc marking the practical 'Theoretical' minimum (parasitic/decoupling
+capacitance only), a second arc separating **task-based** from
+**continuous** adaptation, and a shaded **energy-driven** region covering
+systems whose design was driven by the energy environment.
+
+Storage is classified by *autonomy*: how long the store could run the load
+(storage energy / active power).  That is what makes a desktop PC (joules
+of PSU capacitance, but hundreds of watts) sit at the theoretical arc while
+a smartphone (a battery buffering a whole day) sits far right — matching
+where the paper places them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import TaxonomyError
+
+
+class AdaptationClass(enum.Enum):
+    """How the system accommodates supply variation."""
+
+    NONE = "none"
+    TASK_BASED = "task-based"
+    CONTINUOUS = "continuous"
+
+
+class StorageClass(enum.Enum):
+    """Storage amount, classified by load autonomy."""
+
+    PARASITIC = "parasitic"       # < ~10 ms of operation: decoupling only
+    MINIMAL = "minimal"           # < 1 s: barely more than decoupling
+    TASK_SIZED = "task-sized"     # enough for single tasks, < ~1 h
+    LARGE = "large"               # hours+ of autonomy (battery-like)
+
+
+#: Autonomy thresholds (seconds of operation) separating storage classes.
+PARASITIC_AUTONOMY = 0.010
+MINIMAL_AUTONOMY = 1.0
+TASK_AUTONOMY = 3600.0
+
+
+@dataclass(frozen=True)
+class SystemDescriptor:
+    """What the classifier needs to know about a system.
+
+    Attributes:
+        name: display name.
+        storage_energy: usable contained energy storage (J).
+        active_power: typical load power while operating (W).
+        survives_outage: operates correctly despite expression (2) being
+            violated (the transient property).
+        task_energy: energy of the system's natural atomic task (J), if it
+            has one; separates task-based from continuous adaptation.
+        designed_for_harvesting: the energy environment was an input to
+            the system's design (not just its power supply).
+        power_neutral: modulates consumption to track harvested power.
+    """
+
+    name: str
+    storage_energy: float
+    active_power: float
+    survives_outage: bool
+    task_energy: Optional[float] = None
+    designed_for_harvesting: bool = False
+    power_neutral: bool = False
+
+    def autonomy(self) -> float:
+        """Seconds the storage could run the active load."""
+        if self.active_power <= 0.0:
+            raise TaxonomyError(f"{self.name}: active power must be positive")
+        return self.storage_energy / self.active_power
+
+
+@dataclass(frozen=True)
+class TaxonomyPlacement:
+    """Where a system lands in Fig. 2."""
+
+    name: str
+    axis: str  # 'energy-neutral' or 'transient'
+    storage_class: StorageClass
+    adaptation: AdaptationClass
+    energy_driven: bool
+    autonomy_seconds: float
+
+    def summary(self) -> str:
+        """One-line human-readable placement."""
+        driven = "energy-driven" if self.energy_driven else "traditional"
+        return (
+            f"{self.name}: {self.axis} axis, {self.storage_class.value} storage "
+            f"({self.autonomy_seconds:.3g} s autonomy), "
+            f"{self.adaptation.value} adaptation, {driven}"
+        )
+
+
+def _storage_class(autonomy: float) -> StorageClass:
+    if autonomy < PARASITIC_AUTONOMY:
+        return StorageClass.PARASITIC
+    if autonomy < MINIMAL_AUTONOMY:
+        return StorageClass.MINIMAL
+    if autonomy < TASK_AUTONOMY:
+        return StorageClass.TASK_SIZED
+    return StorageClass.LARGE
+
+
+def _adaptation(descriptor: SystemDescriptor) -> AdaptationClass:
+    if descriptor.power_neutral:
+        return AdaptationClass.CONTINUOUS
+    if not descriptor.survives_outage and not descriptor.designed_for_harvesting:
+        return AdaptationClass.NONE
+    if descriptor.task_energy is None:
+        return AdaptationClass.CONTINUOUS
+    if descriptor.storage_energy >= descriptor.task_energy:
+        return AdaptationClass.TASK_BASED
+    return AdaptationClass.CONTINUOUS
+
+
+def classify(descriptor: SystemDescriptor) -> TaxonomyPlacement:
+    """Place a system in the Fig. 2 taxonomy.
+
+    Raises:
+        TaxonomyError: on nonsensical descriptors (non-positive power,
+            negative storage).
+    """
+    if descriptor.storage_energy < 0.0:
+        raise TaxonomyError(f"{descriptor.name}: storage energy must be >= 0")
+    autonomy = descriptor.autonomy()
+    axis = "transient" if descriptor.survives_outage else "energy-neutral"
+    adaptation = _adaptation(descriptor)
+    # The shaded Fig. 2 region: systems whose design was driven by the
+    # energy environment — all transient and power-neutral systems are,
+    # plus anything explicitly designed around harvesting.
+    energy_driven = (
+        descriptor.designed_for_harvesting
+        or descriptor.survives_outage
+        or descriptor.power_neutral
+    )
+    return TaxonomyPlacement(
+        name=descriptor.name,
+        axis=axis,
+        storage_class=_storage_class(autonomy),
+        adaptation=adaptation,
+        energy_driven=energy_driven,
+        autonomy_seconds=autonomy,
+    )
+
+
+def descriptor_from_run(
+    name: str,
+    platform,
+    storage,
+    task_energy: Optional[float] = None,
+) -> SystemDescriptor:
+    """Derive a taxonomy descriptor from a *simulated* system.
+
+    Closes the loop between simulation and classification: run a system,
+    then ask the taxonomy where it landed.
+
+    * storage: the rail's storage element (capacity -> storage axis);
+    * active power: evaluated from the platform's power model at its boot
+      operating point;
+    * transient: observed empirically — the system made forward progress
+      across at least one brownout, or checkpointed state it later
+      restored;
+    * power-neutral: the strategy carries a DFS governor.
+    """
+    metrics = platform.metrics
+    point = platform.clock.points[platform.clock.initial_index]
+    active_power = platform.power_model.active_power(point.frequency, point.voltage)
+    survived = metrics.brownouts > 0 and (
+        metrics.restores_completed > 0 or metrics.first_completion_time is not None
+    )
+    checkpointing = metrics.snapshots_completed > 0 and metrics.restores_completed > 0
+    from repro.transient.base import NullStrategy  # local: avoid cycle
+
+    return SystemDescriptor(
+        name=name,
+        storage_energy=storage.storage_capacity,
+        active_power=active_power,
+        survives_outage=survived or checkpointing,
+        task_energy=task_energy,
+        designed_for_harvesting=not isinstance(platform.strategy, NullStrategy),
+        power_neutral=getattr(platform.strategy, "governor", None) is not None,
+    )
+
+
+def exemplars() -> List[SystemDescriptor]:
+    """The example systems the paper places on Fig. 2 (plus §II.B's).
+
+    Numbers are order-of-magnitude transcriptions: what matters for the
+    classification (and the bench that checks it) is which *class* each
+    system falls into, not the third significant figure.
+    """
+    return [
+        # Traditional systems (energy-neutral axis, not energy-driven).
+        SystemDescriptor(
+            name="Desktop PC",
+            storage_energy=20.0,          # PSU bulk capacitance
+            active_power=120.0,           # ~0.17 s autonomy: theoretical arc
+            survives_outage=False,
+        ),
+        SystemDescriptor(
+            name="Smartphone",
+            storage_energy=4e4,           # ~11 Wh battery
+            active_power=1.0,             # ~11 h autonomy
+            survives_outage=False,
+        ),
+        SystemDescriptor(
+            name="Laptop (hibernation)",
+            storage_energy=2e5,           # ~55 Wh battery
+            active_power=15.0,
+            survives_outage=True,         # hibernates before the battery dies
+            task_energy=1.0,
+        ),
+        # Energy-neutral WSN (ref [3]): harvesting-aware but storage-backed.
+        SystemDescriptor(
+            name="Energy-Neutral WSN",
+            storage_energy=800.0,         # supercap/NiMH buffer
+            active_power=0.05,
+            survives_outage=False,
+            designed_for_harvesting=True,
+        ),
+        # Task-based transient systems (§II.B).
+        SystemDescriptor(
+            name="WISPCam",
+            storage_energy=36e-3,         # 6 mF between 4.1 V and 2.2 V
+            active_power=3.7e-3,
+            survives_outage=True,
+            task_energy=2.4e-3,           # one photo
+            designed_for_harvesting=True,
+        ),
+        SystemDescriptor(
+            name="Monjolo",
+            storage_energy=1.4e-3,        # 500 uF working range
+            active_power=15e-3,
+            survives_outage=True,
+            task_energy=180e-6,           # one ping
+            designed_for_harvesting=True,
+        ),
+        SystemDescriptor(
+            name="Gomez burst scaling",
+            storage_energy=200e-6,        # 80 uF working range
+            active_power=5e-3,
+            survives_outage=True,
+            task_energy=40e-6,
+            designed_for_harvesting=True,
+        ),
+        # Continuous-adaptation transient systems.
+        SystemDescriptor(
+            name="Mementos",
+            storage_energy=60e-6,         # tens of uF of capacitance
+            active_power=5e-3,
+            survives_outage=True,
+            task_energy=40e-6,            # one checkpoint-interval 'mini task'
+            designed_for_harvesting=True,
+        ),
+        SystemDescriptor(
+            name="Hibernus",
+            storage_energy=50e-6,         # decoupling-scale capacitance
+            active_power=5e-3,
+            survives_outage=True,
+            task_energy=20e-3,            # a whole FFT: far above storage
+            designed_for_harvesting=True,
+        ),
+        SystemDescriptor(
+            name="QuickRecall",
+            storage_energy=20e-6,
+            active_power=6.5e-3,
+            survives_outage=True,
+            task_energy=20e-3,
+            designed_for_harvesting=True,
+        ),
+        SystemDescriptor(
+            name="hibernus-PN",
+            storage_energy=50e-6,
+            active_power=5e-3,
+            survives_outage=True,
+            task_energy=20e-3,
+            designed_for_harvesting=True,
+            power_neutral=True,
+        ),
+        # Power-neutral MPSoC (ref [11]): energy-neutral axis (no transient
+        # functionality), small storage, power-neutral.
+        SystemDescriptor(
+            name="Power-Neutral MPSoC",
+            storage_energy=0.5,           # board capacitance
+            active_power=6.0,
+            survives_outage=False,
+            designed_for_harvesting=True,
+            power_neutral=True,
+        ),
+    ]

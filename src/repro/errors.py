@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` framework.
+
+All errors raised by the framework derive from :class:`ReproError` so that
+callers can catch framework errors without masking programming mistakes.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro framework."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or wired with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an invalid or inconsistent state."""
+
+
+class BrownoutError(SimulationError):
+    """The supply voltage collapsed while an atomic operation was running."""
+
+
+class AssemblerError(ReproError):
+    """The mini-ISA assembler rejected a source program."""
+
+
+class MachineError(ReproError):
+    """The MCU interpreter hit an invalid instruction or memory access."""
+
+
+class SnapshotError(ReproError):
+    """A checkpoint snapshot is missing, incomplete, or corrupt."""
+
+
+class TaxonomyError(ReproError):
+    """A system descriptor cannot be placed in the taxonomy."""

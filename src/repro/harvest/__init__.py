@@ -1,0 +1,78 @@
+"""Energy harvester models.
+
+Two electrical flavours exist:
+
+* :class:`~repro.harvest.base.PowerHarvester` — sources best described by an
+  available power ``P_h(t)`` (photovoltaic, RF rectenna, thermal).
+* :class:`~repro.harvest.base.VoltageHarvester` — sources best described by
+  an open-circuit voltage and a source resistance (micro wind turbine,
+  kinetic transducers, bench signal generators).  These feed the rail
+  through a rectifier from :mod:`repro.power`.
+
+All stochastic models carry their own seeded RNG so runs are reproducible
+and :meth:`reset` restores the exact same realisation.
+"""
+
+from repro.harvest.base import (
+    ConstantPowerHarvester,
+    Harvester,
+    PowerHarvester,
+    ScaledHarvester,
+    SummedHarvester,
+    VoltageHarvester,
+)
+from repro.harvest.synthetic import (
+    GatedPowerHarvester,
+    HalfWaveRectifiedSinePower,
+    SignalGenerator,
+    SineVoltageHarvester,
+    SquareWavePowerHarvester,
+)
+from repro.harvest.wind import GustProfile, MicroWindTurbine
+from repro.harvest.solar import (
+    IndoorLightingProfile,
+    OutdoorIrradianceProfile,
+    PhotovoltaicHarvester,
+)
+from repro.harvest.rf import RFHarvester
+from repro.harvest.kinetic import ImpactKineticHarvester, VibrationHarvester
+from repro.harvest.thermal import ThermoelectricHarvester
+from repro.harvest.traces import TraceHarvester, record_power, record_voltage
+from repro.harvest.environment import (
+    DayCondition,
+    EnvironmentHarvester,
+    WeatherSequence,
+    required_storage,
+    worst_window_energy,
+)
+
+__all__ = [
+    "Harvester",
+    "PowerHarvester",
+    "VoltageHarvester",
+    "ConstantPowerHarvester",
+    "ScaledHarvester",
+    "SummedHarvester",
+    "SineVoltageHarvester",
+    "HalfWaveRectifiedSinePower",
+    "SquareWavePowerHarvester",
+    "GatedPowerHarvester",
+    "SignalGenerator",
+    "MicroWindTurbine",
+    "GustProfile",
+    "PhotovoltaicHarvester",
+    "IndoorLightingProfile",
+    "OutdoorIrradianceProfile",
+    "RFHarvester",
+    "ImpactKineticHarvester",
+    "VibrationHarvester",
+    "ThermoelectricHarvester",
+    "TraceHarvester",
+    "record_power",
+    "record_voltage",
+    "DayCondition",
+    "WeatherSequence",
+    "EnvironmentHarvester",
+    "worst_window_energy",
+    "required_storage",
+]

@@ -1,0 +1,118 @@
+"""Harvester base classes and simple combinators."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class Harvester:
+    """Common base: reproducible randomness + reset semantics."""
+
+    def __init__(self, seed: Optional[int] = None):
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        """Restore the harvester to its initial (identically seeded) state."""
+        self._rng = np.random.default_rng(self._seed)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The harvester's private random generator."""
+        return self._rng
+
+
+class PowerHarvester(Harvester):
+    """A source characterised by instantaneous available power ``P_h(t)``.
+
+    Subclasses implement :meth:`power`.  Values are watts and must be
+    non-negative; the conditioning chain decides how much of this power can
+    actually be pushed into the rail at the rail's present voltage.
+    """
+
+    def power(self, t: float) -> float:
+        """Available harvested power (W) at simulation time ``t``."""
+        raise NotImplementedError
+
+    def mean_power(self, duration: float, dt: float) -> float:
+        """Average of :meth:`power` sampled every ``dt`` over ``duration``."""
+        if duration <= 0 or dt <= 0:
+            raise ConfigurationError("duration and dt must be positive")
+        samples = np.arange(0.0, duration, dt)
+        return float(np.mean([self.power(float(t)) for t in samples]))
+
+
+class VoltageHarvester(Harvester):
+    """A source characterised by open-circuit voltage and source resistance.
+
+    The paper's wind-turbine traces (Fig. 1a) and the signal-generator
+    validation (§III) are voltage sources; they reach the rail through a
+    rectifier (:mod:`repro.power.rectifier`).
+    """
+
+    def __init__(self, source_resistance: float, seed: Optional[int] = None):
+        super().__init__(seed)
+        if source_resistance <= 0.0:
+            raise ConfigurationError(
+                f"source resistance must be positive, got {source_resistance!r}"
+            )
+        self.source_resistance = source_resistance
+
+    def open_circuit_voltage(self, t: float) -> float:
+        """Open-circuit output voltage (V) at time ``t``; may be negative."""
+        raise NotImplementedError
+
+
+class ConstantPowerHarvester(PowerHarvester):
+    """A flat power source — the degenerate 'battery-like' case."""
+
+    def __init__(self, power: float):
+        super().__init__(seed=None)
+        if power < 0.0:
+            raise ConfigurationError(f"power must be non-negative, got {power!r}")
+        self._power = power
+
+    def power(self, t: float) -> float:
+        return self._power
+
+
+class ScaledHarvester(PowerHarvester):
+    """Scales another power harvester by a constant gain.
+
+    Useful for spatial variation studies: the same temporal profile at a
+    sunnier or shadier placement.
+    """
+
+    def __init__(self, inner: PowerHarvester, gain: float):
+        super().__init__(seed=None)
+        if gain < 0.0:
+            raise ConfigurationError(f"gain must be non-negative, got {gain!r}")
+        self._inner = inner
+        self._gain = gain
+
+    def power(self, t: float) -> float:
+        return self._gain * self._inner.power(t)
+
+    def reset(self) -> None:
+        self._inner.reset()
+
+
+class SummedHarvester(PowerHarvester):
+    """Sum of several power harvesters (multi-source energy harvesting)."""
+
+    def __init__(self, harvesters: Sequence[PowerHarvester]):
+        super().__init__(seed=None)
+        if not harvesters:
+            raise ConfigurationError("SummedHarvester needs at least one source")
+        self._harvesters = list(harvesters)
+
+    def power(self, t: float) -> float:
+        return sum(h.power(t) for h in self._harvesters)
+
+    def reset(self) -> None:
+        for harvester in self._harvesters:
+            harvester.reset()

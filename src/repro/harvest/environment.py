@@ -1,0 +1,145 @@
+"""Energy-environment composition: multi-day, multi-condition scenarios.
+
+The paper's framing is that the *energy environment* is a first-class
+design input.  This module lets scenarios be described as environments —
+sequences of daily weather, occupancy patterns, deployment placements —
+and compiled into harvester behaviour, rather than hand-tuning source
+parameters per experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.harvest.base import PowerHarvester
+from repro.units import days
+
+
+@dataclass(frozen=True)
+class DayCondition:
+    """Weather/usage for one day of a scenario.
+
+    Attributes:
+        label: human-readable name ('sunny', 'overcast'...).
+        harvest_scale: multiplier on the base source's output this day.
+    """
+
+    label: str
+    harvest_scale: float
+
+    def __post_init__(self) -> None:
+        if self.harvest_scale < 0.0:
+            raise ConfigurationError("harvest scale must be non-negative")
+
+
+#: Common conditions, roughly calibrated to PV yield fractions.
+SUNNY = DayCondition("sunny", 1.0)
+PARTLY_CLOUDY = DayCondition("partly cloudy", 0.7)
+OVERCAST = DayCondition("overcast", 0.35)
+STORMY = DayCondition("stormy", 0.15)
+
+
+class WeatherSequence:
+    """A repeating sequence of day conditions."""
+
+    def __init__(self, conditions: Sequence[DayCondition]):
+        if not conditions:
+            raise ConfigurationError("need at least one day condition")
+        self.conditions = list(conditions)
+
+    @classmethod
+    def from_labels(cls, labels: Sequence[str]) -> "WeatherSequence":
+        """Build from labels like ['sunny', 'overcast', ...]."""
+        table = {
+            c.label: c for c in (SUNNY, PARTLY_CLOUDY, OVERCAST, STORMY)
+        }
+        missing = [label for label in labels if label not in table]
+        if missing:
+            raise ConfigurationError(f"unknown conditions: {missing}")
+        return cls([table[label] for label in labels])
+
+    def condition_at(self, t: float) -> DayCondition:
+        """The condition in force at simulation time ``t``."""
+        index = int(t / days(1)) % len(self.conditions)
+        return self.conditions[index]
+
+    def scale_at(self, t: float) -> float:
+        """Harvest multiplier at time ``t``."""
+        return self.condition_at(t).harvest_scale
+
+    def mean_scale(self) -> float:
+        """Average multiplier across the sequence (sizing calculations)."""
+        return sum(c.harvest_scale for c in self.conditions) / len(self.conditions)
+
+
+class EnvironmentHarvester(PowerHarvester):
+    """A base harvester modulated by a weather sequence and a placement.
+
+    Args:
+        base: the clear-condition source.
+        weather: day-by-day multipliers.
+        placement_gain: spatial variation — the same device deployed at a
+            sunnier or shadier spot (the paper's 'spatial variation').
+    """
+
+    def __init__(
+        self,
+        base: PowerHarvester,
+        weather: WeatherSequence,
+        placement_gain: float = 1.0,
+    ):
+        super().__init__(seed=None)
+        if placement_gain < 0.0:
+            raise ConfigurationError("placement gain must be non-negative")
+        self.base = base
+        self.weather = weather
+        self.placement_gain = placement_gain
+
+    def power(self, t: float) -> float:
+        return self.base.power(t) * self.weather.scale_at(t) * self.placement_gain
+
+    def reset(self) -> None:
+        self.base.reset()
+
+
+def worst_window_energy(
+    harvester: PowerHarvester,
+    horizon: float,
+    window: float,
+    dt: float = 300.0,
+) -> float:
+    """Minimum energy harvested over any ``window`` inside ``horizon``.
+
+    The sizing quantity for expression (2): storage plus worst-window
+    harvest must cover the load's needs over the same window.
+    """
+    if window <= 0.0 or horizon < window:
+        raise ConfigurationError("need 0 < window <= horizon")
+    steps = int(horizon / dt)
+    powers = [harvester.power(i * dt) for i in range(steps + 1)]
+    per_step = [p * dt for p in powers]
+    window_steps = max(1, int(window / dt))
+    worst: Optional[float] = None
+    rolling = sum(per_step[:window_steps])
+    worst = rolling
+    for i in range(window_steps, len(per_step)):
+        rolling += per_step[i] - per_step[i - window_steps]
+        worst = min(worst, rolling)
+    return max(0.0, worst)
+
+
+def required_storage(
+    harvester: PowerHarvester,
+    load_power: float,
+    horizon: float,
+    window: float = days(1),
+) -> float:
+    """Storage (J) needed so a constant ``load_power`` survives the worst
+    harvest window — the energy-neutral sizing rule of §II.A."""
+    if load_power <= 0.0:
+        raise ConfigurationError("load power must be positive")
+    harvested = worst_window_energy(harvester, horizon, window)
+    needed = load_power * window
+    return max(0.0, needed - harvested)

@@ -1,0 +1,94 @@
+"""RF energy harvesting (the WISPCam substrate, ref [4]).
+
+A rectenna harvesting from an RFID reader: received power follows free-space
+path loss from the reader's EIRP, the reader interrogates in sessions (on/off
+bursts), and the rectenna has a sensitivity floor and saturation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.harvest.base import PowerHarvester
+
+
+class RFHarvester(PowerHarvester):
+    """Rectenna harvesting from a duty-cycled RFID reader.
+
+    Args:
+        eirp: reader effective isotropic radiated power (W), e.g. 4.0 for
+            a US-regulation UHF reader.
+        distance: tag-to-reader distance (m).
+        frequency: carrier frequency (Hz), default 915 MHz UHF.
+        rectifier_efficiency: RF-to-DC conversion efficiency in (0, 1].
+        sensitivity: minimum received RF power (W) below which the
+            rectifier produces nothing.
+        session_period / session_duty: the reader transmits for
+            ``session_duty`` of every ``session_period`` seconds.
+        distance_jitter: relative RMS jitter on distance (models a person
+            moving near the tag); resampled every session.
+    """
+
+    def __init__(
+        self,
+        eirp: float = 4.0,
+        distance: float = 3.0,
+        frequency: float = 915e6,
+        rectifier_efficiency: float = 0.3,
+        sensitivity: float = 1e-6,
+        session_period: float = 2.0,
+        session_duty: float = 0.8,
+        distance_jitter: float = 0.0,
+        seed: Optional[int] = 17,
+    ):
+        super().__init__(seed)
+        if eirp <= 0.0 or distance <= 0.0 or frequency <= 0.0:
+            raise ConfigurationError("eirp, distance, frequency must be positive")
+        if not 0.0 < rectifier_efficiency <= 1.0:
+            raise ConfigurationError("rectifier efficiency must be in (0, 1]")
+        if not 0.0 < session_duty <= 1.0:
+            raise ConfigurationError("session duty must be in (0, 1]")
+        self.eirp = eirp
+        self.distance = distance
+        self.frequency = frequency
+        self.rectifier_efficiency = rectifier_efficiency
+        self.sensitivity = sensitivity
+        self.session_period = session_period
+        self.session_duty = session_duty
+        self.distance_jitter = distance_jitter
+        self._session_index = -1
+        self._session_distance = distance
+
+    def _wavelength(self) -> float:
+        return 299792458.0 / self.frequency
+
+    def received_rf_power(self, t: float) -> float:
+        """Friis free-space received power (W) while the reader transmits."""
+        index = int(t / self.session_period)
+        if index != self._session_index:
+            self._session_index = index
+            jitter = 1.0
+            if self.distance_jitter > 0.0:
+                jitter = max(
+                    0.1, 1.0 + self.distance_jitter * float(self._rng.standard_normal())
+                )
+            self._session_distance = self.distance * jitter
+        phase = (t % self.session_period) / self.session_period
+        if phase >= self.session_duty:
+            return 0.0
+        lam = self._wavelength()
+        gain = (lam / (4.0 * math.pi * self._session_distance)) ** 2
+        return self.eirp * gain
+
+    def power(self, t: float) -> float:
+        rf = self.received_rf_power(t)
+        if rf < self.sensitivity:
+            return 0.0
+        return self.rectifier_efficiency * rf
+
+    def reset(self) -> None:
+        super().reset()
+        self._session_index = -1
+        self._session_distance = self.distance

@@ -1,0 +1,182 @@
+"""Photovoltaic harvester models (Fig. 1b).
+
+Fig. 1b plots the available current from an *indoor* photovoltaic cell over
+two days: a ~280 uA floor (overnight artificial/ambient light in the lab)
+with broad daytime humps peaking around 420-430 uA.  The model composes an
+illuminance profile (indoor or outdoor) with a linear small-cell response
+plus weather/occupancy noise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.harvest.base import Harvester, PowerHarvester
+from repro.units import days, hours
+
+
+class OutdoorIrradianceProfile(Harvester):
+    """Outdoor solar irradiance: clamped-cosine diurnal arc with cloud noise.
+
+    Irradiance is normalised: 1.0 is clear-sky solar noon.  Cloudiness is an
+    Ornstein-Uhlenbeck process sampled on a fixed internal grid so queries
+    are deterministic for a given seed.
+    """
+
+    def __init__(
+        self,
+        sunrise_hour: float = 6.0,
+        sunset_hour: float = 18.0,
+        cloud_intensity: float = 0.2,
+        cloud_timescale: float = hours(1.0),
+        seed: Optional[int] = 11,
+    ):
+        super().__init__(seed)
+        if not 0.0 <= sunrise_hour < sunset_hour <= 24.0:
+            raise ConfigurationError("need 0 <= sunrise < sunset <= 24")
+        if not 0.0 <= cloud_intensity < 1.0:
+            raise ConfigurationError("cloud intensity must be in [0, 1)")
+        self.sunrise_hour = sunrise_hour
+        self.sunset_hour = sunset_hour
+        self.cloud_intensity = cloud_intensity
+        self.cloud_timescale = cloud_timescale
+        self._cloud_grid_dt = cloud_timescale / 4.0
+        self._cloud_samples = [0.0]
+
+    def _cloud_factor(self, t: float) -> float:
+        """OU cloudiness in [0, 1]; 0 = clear."""
+        if self.cloud_intensity == 0.0:
+            return 0.0
+        index = int(t / self._cloud_grid_dt)
+        while len(self._cloud_samples) <= index + 1:
+            prev = self._cloud_samples[-1]
+            theta = self._cloud_grid_dt / self.cloud_timescale
+            noise = float(self._rng.standard_normal()) * math.sqrt(2.0 * theta)
+            nxt = prev + theta * (0.0 - prev) + noise * self.cloud_intensity
+            self._cloud_samples.append(nxt)
+        frac = t / self._cloud_grid_dt - index
+        value = (1 - frac) * self._cloud_samples[index] + frac * self._cloud_samples[index + 1]
+        return min(1.0, max(0.0, abs(value)))
+
+    def irradiance(self, t: float) -> float:
+        """Normalised irradiance at simulation time ``t`` (t=0 is midnight)."""
+        hour = (t % days(1)) / 3600.0
+        if hour <= self.sunrise_hour or hour >= self.sunset_hour:
+            return 0.0
+        span = self.sunset_hour - self.sunrise_hour
+        x = (hour - self.sunrise_hour) / span
+        clear = math.sin(math.pi * x)
+        return clear * (1.0 - self._cloud_factor(t))
+
+    def reset(self) -> None:
+        super().reset()
+        self._cloud_samples = [0.0]
+
+
+class IndoorLightingProfile(Harvester):
+    """Indoor illuminance: office lighting schedule + daylight through windows.
+
+    Produces a normalised illuminance with a night floor (emergency/ambient
+    lighting), a step up during occupied hours, and a daylight contribution
+    that follows the outdoor arc — matching the broad daytime humps with a
+    nonzero floor visible in Fig. 1b.
+    """
+
+    def __init__(
+        self,
+        night_level: float = 0.62,
+        occupied_level: float = 0.85,
+        daylight_gain: float = 0.15,
+        occupied_start_hour: float = 8.0,
+        occupied_end_hour: float = 19.0,
+        flicker: float = 0.01,
+        seed: Optional[int] = 13,
+    ):
+        super().__init__(seed)
+        if not 0.0 <= night_level <= occupied_level:
+            raise ConfigurationError("need 0 <= night_level <= occupied_level")
+        self.night_level = night_level
+        self.occupied_level = occupied_level
+        self.daylight_gain = daylight_gain
+        self.occupied_start_hour = occupied_start_hour
+        self.occupied_end_hour = occupied_end_hour
+        self.flicker = flicker
+        self._daylight = OutdoorIrradianceProfile(
+            cloud_intensity=0.1, seed=None if seed is None else seed + 1
+        )
+
+    def illuminance(self, t: float) -> float:
+        """Normalised illuminance at time ``t`` (t=0 is midnight)."""
+        hour = (t % days(1)) / 3600.0
+        level = self.night_level
+        if self.occupied_start_hour <= hour < self.occupied_end_hour:
+            # Smooth ramp at the schedule edges (people trickle in/out).
+            ramp_in = min(1.0, (hour - self.occupied_start_hour) / 0.75)
+            ramp_out = min(1.0, (self.occupied_end_hour - hour) / 0.75)
+            level += (self.occupied_level - self.night_level) * min(ramp_in, ramp_out)
+        level += self.daylight_gain * self._daylight.irradiance(t)
+        if self.flicker > 0.0:
+            level *= 1.0 + self.flicker * float(self._rng.standard_normal())
+        return max(0.0, level)
+
+    def reset(self) -> None:
+        super().reset()
+        self._daylight.reset()
+
+
+class PhotovoltaicHarvester(PowerHarvester):
+    """A small PV cell operated near its maximum power point.
+
+    The cell is linear in illuminance over the small indoor range: harvested
+    current is ``i = i_full * illuminance`` and the available power is
+    ``p = v_mpp * i``.  :meth:`current` exposes the Fig. 1b quantity
+    directly (the figure's y-axis is harvested current in microamps).
+
+    Args:
+        profile: an illuminance/irradiance source with a ``illuminance`` or
+            ``irradiance`` method returning a normalised level.
+        full_scale_current: cell current (A) at normalised level 1.0.
+        v_mpp: maximum-power-point voltage (V) of the cell.
+    """
+
+    def __init__(
+        self,
+        profile,
+        full_scale_current: float = 500e-6,
+        v_mpp: float = 2.4,
+    ):
+        super().__init__(seed=None)
+        if full_scale_current <= 0.0:
+            raise ConfigurationError("full-scale current must be positive")
+        if v_mpp <= 0.0:
+            raise ConfigurationError("v_mpp must be positive")
+        self._profile = profile
+        self.full_scale_current = full_scale_current
+        self.v_mpp = v_mpp
+
+    @classmethod
+    def indoor_fig1b(cls, seed: Optional[int] = 13) -> "PhotovoltaicHarvester":
+        """The Fig. 1b cell: ~280 uA night floor, ~430 uA daytime peak."""
+        return cls(IndoorLightingProfile(seed=seed), full_scale_current=430e-6)
+
+    @classmethod
+    def outdoor(cls, seed: Optional[int] = 11, **kwargs) -> "PhotovoltaicHarvester":
+        """An outdoor cell with a zero overnight floor."""
+        return cls(OutdoorIrradianceProfile(seed=seed), **kwargs)
+
+    def _level(self, t: float) -> float:
+        if hasattr(self._profile, "illuminance"):
+            return self._profile.illuminance(t)
+        return self._profile.irradiance(t)
+
+    def current(self, t: float) -> float:
+        """Harvested current (A) at time ``t`` — the Fig. 1b y-axis."""
+        return self.full_scale_current * self._level(t)
+
+    def power(self, t: float) -> float:
+        return self.v_mpp * self.current(t)
+
+    def reset(self) -> None:
+        self._profile.reset()

@@ -1,0 +1,56 @@
+"""Thermoelectric (TEG) harvester.
+
+Standard matched-load thermoelectric model: open-circuit voltage is
+``S * dT`` (Seebeck coefficient times temperature gradient) and the maximum
+transferable power is ``V_oc^2 / (4 * R_internal)``.  The gradient follows a
+configurable profile (e.g. body-worn: high when worn, zero on the desk).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.harvest.base import PowerHarvester
+
+
+class ThermoelectricHarvester(PowerHarvester):
+    """TEG with a time-varying temperature gradient.
+
+    Args:
+        seebeck: module Seebeck coefficient (V/K), tens of mV/K for
+            commercial multi-couple modules.
+        internal_resistance: module electrical resistance (ohm).
+        gradient_profile: callable ``t -> dT`` in kelvin. Defaults to a
+            constant 5 K gradient.
+        converter_efficiency: DC-DC boost efficiency applied on top of the
+            matched-load transfer (TEG outputs are tens of mV and always
+            need boosting).
+    """
+
+    def __init__(
+        self,
+        seebeck: float = 0.05,
+        internal_resistance: float = 5.0,
+        gradient_profile: Optional[Callable[[float], float]] = None,
+        converter_efficiency: float = 0.6,
+        seed: Optional[int] = None,
+    ):
+        super().__init__(seed)
+        if seebeck <= 0.0 or internal_resistance <= 0.0:
+            raise ConfigurationError("seebeck and resistance must be positive")
+        if not 0.0 < converter_efficiency <= 1.0:
+            raise ConfigurationError("converter efficiency must be in (0, 1]")
+        self.seebeck = seebeck
+        self.internal_resistance = internal_resistance
+        self.gradient_profile = gradient_profile or (lambda t: 5.0)
+        self.converter_efficiency = converter_efficiency
+
+    def open_circuit_voltage(self, t: float) -> float:
+        """Seebeck open-circuit voltage at time ``t``."""
+        return self.seebeck * max(0.0, self.gradient_profile(t))
+
+    def power(self, t: float) -> float:
+        v_oc = self.open_circuit_voltage(t)
+        matched = v_oc * v_oc / (4.0 * self.internal_resistance)
+        return self.converter_efficiency * matched

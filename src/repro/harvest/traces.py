@@ -1,0 +1,111 @@
+"""Trace recording and playback.
+
+The paper points at a public dataset (DOI 10.5258/SOTON/404058) of harvester
+traces.  We cannot fetch it offline, so :func:`record_power` /
+:func:`record_voltage` produce equivalent trace files from the parametric
+models, and :class:`TraceHarvester` plays any such trace back — which is how
+a user would feed *real* logged data into the framework.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.harvest.base import PowerHarvester, VoltageHarvester
+
+
+class TraceHarvester(PowerHarvester):
+    """Plays back a sampled power trace, with optional looping.
+
+    Between samples the power is linearly interpolated; beyond the end the
+    trace either loops (default) or holds zero.
+    """
+
+    def __init__(
+        self,
+        times: Sequence[float],
+        powers: Sequence[float],
+        loop: bool = True,
+    ):
+        super().__init__(seed=None)
+        self._times = np.asarray(times, dtype=float)
+        self._powers = np.asarray(powers, dtype=float)
+        if self._times.size != self._powers.size:
+            raise ConfigurationError("times and powers must have equal length")
+        if self._times.size < 2:
+            raise ConfigurationError("a trace needs at least two samples")
+        if np.any(np.diff(self._times) <= 0):
+            raise ConfigurationError("trace times must be strictly increasing")
+        if np.any(self._powers < 0):
+            raise ConfigurationError("trace powers must be non-negative")
+        self.loop = loop
+
+    @property
+    def duration(self) -> float:
+        """Length of one playback pass in seconds."""
+        return float(self._times[-1] - self._times[0])
+
+    @classmethod
+    def from_csv(cls, path: Union[str, Path], loop: bool = True) -> "TraceHarvester":
+        """Load a two-column (time, power) CSV file with a header row."""
+        times, powers = [], []
+        with open(path, newline="") as fh:
+            reader = csv.reader(fh)
+            header = next(reader, None)
+            if header is None:
+                raise ConfigurationError(f"empty trace file: {path}")
+            for row in reader:
+                if len(row) < 2:
+                    continue
+                times.append(float(row[0]))
+                powers.append(float(row[1]))
+        return cls(times, powers, loop=loop)
+
+    def to_csv(self, path: Union[str, Path]) -> None:
+        """Write the trace as a (time, power) CSV with a header row."""
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["time_s", "power_w"])
+            for t, p in zip(self._times, self._powers):
+                writer.writerow([f"{t:.9g}", f"{p:.9g}"])
+
+    def power(self, t: float) -> float:
+        t0 = float(self._times[0])
+        rel = t - t0
+        if self.loop:
+            rel = rel % self.duration
+        elif rel > self.duration or rel < 0.0:
+            return 0.0
+        return float(np.interp(t0 + rel, self._times, self._powers))
+
+
+def record_power(
+    harvester: PowerHarvester, duration: float, dt: float
+) -> TraceHarvester:
+    """Sample a power harvester into a playback trace."""
+    if duration <= 0.0 or dt <= 0.0:
+        raise ConfigurationError("duration and dt must be positive")
+    times = np.arange(0.0, duration + 0.5 * dt, dt)
+    powers = np.array([harvester.power(float(t)) for t in times])
+    return TraceHarvester(times, np.maximum(powers, 0.0))
+
+
+def record_voltage(
+    harvester: VoltageHarvester, duration: float, dt: float
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Sample a voltage harvester's open-circuit output.
+
+    Returns (times, voltages) arrays — voltage traces can be bipolar so they
+    do not fit :class:`TraceHarvester`; they are consumed by the waveform
+    analysis in the Fig. 1a bench.
+    """
+    if duration <= 0.0 or dt <= 0.0:
+        raise ConfigurationError("duration and dt must be positive")
+    times = np.arange(0.0, duration + 0.5 * dt, dt)
+    volts = np.array([harvester.open_circuit_voltage(float(t)) for t in times])
+    return times, volts

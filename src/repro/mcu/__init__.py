@@ -1,0 +1,45 @@
+"""A small microcontroller simulator (the paper's testbed substrate).
+
+The checkpointing strategies in :mod:`repro.transient` operate on *actual
+machine state*: a 16-register, 16-bit mini-ISA interpreter with SRAM and
+FRAM regions, per-instruction cycle costs, per-access memory energy, a
+DFS-capable clock and port-mapped peripherals.  Snapshots copy the real
+registers and memory, and correctness across power failures is checked by
+comparing program outputs against an uninterrupted run.
+
+This replaces the paper's MSP430FR57xx evaluation boards — see DESIGN.md
+for the substitution argument.
+"""
+
+from repro.mcu.isa import Instruction, OPCODES, OpSpec
+from repro.mcu.assembler import assemble, ProgramImage
+from repro.mcu.machine import Machine, MachineConfig, ExecutionSlice, MachineState
+from repro.mcu.clock import ClockPlan, OperatingPoint
+from repro.mcu.power_model import McuPowerModel, MemoryTechnology, SRAM_TECH, FRAM_TECH
+from repro.mcu.peripherals import ADCPeripheral, OutputPort, Radio, SensorPeripheral
+from repro.mcu.engine import ComputeEngine, MachineEngine, SyntheticEngine
+
+__all__ = [
+    "Instruction",
+    "OpSpec",
+    "OPCODES",
+    "assemble",
+    "ProgramImage",
+    "Machine",
+    "MachineConfig",
+    "MachineState",
+    "ExecutionSlice",
+    "ClockPlan",
+    "OperatingPoint",
+    "McuPowerModel",
+    "MemoryTechnology",
+    "SRAM_TECH",
+    "FRAM_TECH",
+    "ADCPeripheral",
+    "SensorPeripheral",
+    "Radio",
+    "OutputPort",
+    "ComputeEngine",
+    "MachineEngine",
+    "SyntheticEngine",
+]

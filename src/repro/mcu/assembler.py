@@ -1,0 +1,219 @@
+"""Two-pass assembler for the mini-ISA.
+
+Syntax::
+
+    ; comment
+    .data table: 1, 2, 3        ; initialised words in data memory
+    .reserve buf, 64            ; zero-initialised words
+    .equ N, 64                  ; symbolic constant
+
+    start:                      ; label
+        ldi  r1, N              ; immediates may be symbols/labels
+        ldi  r2, table
+    loop:
+        ld   r3, r2, 0
+        addi r2, r2, 1
+        subi r1, r1, 1
+        bne  r1, r0, loop
+        halt
+
+Conventions: ``r0`` reads as zero if never written (software convention —
+the assembler does not enforce it); ``r15`` is the stack pointer, set up by
+the machine at boot.  Data symbols resolve to word addresses in data space;
+labels resolve to instruction indices.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import AssemblerError
+from repro.mcu.isa import Instruction, NUM_REGISTERS, OPCODES, to_word
+
+
+@dataclass
+class ProgramImage:
+    """An assembled program.
+
+    Attributes:
+        instructions: decoded instruction list; the PC indexes into it.
+        data_image: initial contents of data memory (word address -> value),
+            applied by crt0 at every cold boot.
+        data_size: number of data words the program claims (initialised +
+            reserved); the stack lives above this.
+        symbols: resolved symbol table (labels, data names, constants).
+        source_lines: original source, for diagnostics.
+    """
+
+    instructions: List[Instruction]
+    data_image: Dict[int, int]
+    data_size: int
+    symbols: Dict[str, int]
+    source_lines: List[str] = field(default_factory=list)
+
+    @property
+    def text_words(self) -> int:
+        """Program memory footprint in words (one word per instruction,
+        a deliberate simplification)."""
+        return len(self.instructions)
+
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_REGISTER_RE = re.compile(r"^[rR](\d{1,2})$")
+
+
+def _strip_comment(line: str) -> str:
+    index = line.find(";")
+    if index >= 0:
+        return line[:index]
+    return line
+
+
+def _parse_register(token: str, lineno: int) -> int:
+    match = _REGISTER_RE.match(token)
+    if not match:
+        raise AssemblerError(f"line {lineno}: expected register, got {token!r}")
+    number = int(match.group(1))
+    if number >= NUM_REGISTERS:
+        raise AssemblerError(f"line {lineno}: register r{number} out of range")
+    return number
+
+
+def _parse_int(token: str, lineno: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"line {lineno}: expected integer, got {token!r}") from None
+
+
+def _parse_value(token: str, symbols: Dict[str, int], lineno: int) -> int:
+    """An immediate: integer literal or symbol (label/data/constant)."""
+    if _LABEL_RE.match(token):
+        if token not in symbols:
+            raise AssemblerError(f"line {lineno}: undefined symbol {token!r}")
+        return symbols[token]
+    return _parse_int(token, lineno)
+
+
+@dataclass
+class _PendingInstruction:
+    lineno: int
+    mnemonic: str
+    tokens: List[str]
+
+
+def assemble(source: str) -> ProgramImage:
+    """Assemble mini-ISA source into a :class:`ProgramImage`.
+
+    Raises:
+        AssemblerError: on any syntax error, unknown mnemonic, bad operand
+            count, out-of-range register, or undefined/duplicate symbol.
+    """
+    symbols: Dict[str, int] = {}
+    data_image: Dict[int, int] = {}
+    data_cursor = 0
+    pending: List[_PendingInstruction] = []
+    source_lines = source.splitlines()
+
+    def define(name: str, value: int, lineno: int) -> None:
+        if not _LABEL_RE.match(name):
+            raise AssemblerError(f"line {lineno}: invalid symbol name {name!r}")
+        if name in symbols:
+            raise AssemblerError(f"line {lineno}: duplicate symbol {name!r}")
+        symbols[name] = value
+
+    # --- Pass 1: collect symbols, layout data, gather instructions. -------
+    for lineno, raw in enumerate(source_lines, start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+
+        if line.startswith(".data"):
+            body = line[len(".data") :].strip()
+            if ":" not in body:
+                raise AssemblerError(f"line {lineno}: .data needs 'name: values'")
+            name, values = body.split(":", 1)
+            define(name.strip(), data_cursor, lineno)
+            for token in values.split(","):
+                token = token.strip()
+                if not token:
+                    continue
+                data_image[data_cursor] = to_word(_parse_int(token, lineno))
+                data_cursor += 1
+            continue
+
+        if line.startswith(".reserve"):
+            parts = [p.strip() for p in line[len(".reserve") :].split(",")]
+            if len(parts) != 2:
+                raise AssemblerError(f"line {lineno}: .reserve needs 'name, count'")
+            count = _parse_int(parts[1], lineno)
+            if count <= 0:
+                raise AssemblerError(f"line {lineno}: .reserve count must be positive")
+            define(parts[0], data_cursor, lineno)
+            data_cursor += count
+            continue
+
+        if line.startswith(".equ"):
+            parts = [p.strip() for p in line[len(".equ") :].split(",")]
+            if len(parts) != 2:
+                raise AssemblerError(f"line {lineno}: .equ needs 'name, value'")
+            define(parts[0], _parse_int(parts[1], lineno), lineno)
+            continue
+
+        if line.startswith("."):
+            raise AssemblerError(f"line {lineno}: unknown directive {line.split()[0]!r}")
+
+        # Labels (possibly followed by an instruction on the same line).
+        while ":" in line:
+            label, line = line.split(":", 1)
+            define(label.strip(), len(pending), lineno)
+            line = line.strip()
+        if not line:
+            continue
+
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        if mnemonic not in OPCODES:
+            raise AssemblerError(f"line {lineno}: unknown mnemonic {mnemonic!r}")
+        tokens = []
+        if len(parts) > 1:
+            tokens = [t.strip() for t in parts[1].split(",") if t.strip()]
+        pending.append(_PendingInstruction(lineno, mnemonic, tokens))
+
+    # --- Pass 2: resolve operands. ----------------------------------------
+    instructions: List[Instruction] = []
+    for item in pending:
+        spec = OPCODES[item.mnemonic]
+        if len(item.tokens) != len(spec.signature):
+            raise AssemblerError(
+                f"line {item.lineno}: {spec.name} expects {len(spec.signature)} "
+                f"operand(s), got {len(item.tokens)}"
+            )
+        operands: List[int] = []
+        for code, token in zip(spec.signature, item.tokens):
+            if code == "r":
+                operands.append(_parse_register(token, item.lineno))
+            elif code == "i":
+                operands.append(_parse_value(token, symbols, item.lineno))
+            elif code == "l":
+                value = _parse_value(token, symbols, item.lineno)
+                if not 0 <= value <= len(pending):
+                    raise AssemblerError(
+                        f"line {item.lineno}: branch target {token!r} out of range"
+                    )
+                operands.append(value)
+            elif code == "p":
+                operands.append(_parse_int(token, item.lineno))
+            else:  # pragma: no cover - signature codes are internal
+                raise AssemblerError(f"bad signature code {code!r}")
+        instructions.append(Instruction(spec, tuple(operands)))
+
+    return ProgramImage(
+        instructions=instructions,
+        data_image=data_image,
+        data_size=data_cursor,
+        symbols=symbols,
+        source_lines=source_lines,
+    )

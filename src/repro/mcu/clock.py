@@ -1,0 +1,101 @@
+"""Clock system: operating points for DFS / DVFS.
+
+Power-neutral operation (§II.C, §III) modulates consumption through "hooks
+such as DVFS and disabling processing elements".  On the MCU these hooks
+are the operating points below; on the MPSoC they are the per-cluster
+tables in :mod:`repro.neutral.mpsoc`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One DVFS point: core frequency plus the supply it requires."""
+
+    frequency: float
+    voltage: float
+
+    def __post_init__(self) -> None:
+        if self.frequency <= 0.0 or self.voltage <= 0.0:
+            raise ConfigurationError("frequency and voltage must be positive")
+
+
+class ClockPlan:
+    """An ordered set of operating points with step-up/down navigation.
+
+    Args:
+        points: operating points; stored sorted by frequency ascending.
+        initial_index: index (into the sorted list) selected at boot.
+    """
+
+    def __init__(self, points: Sequence[OperatingPoint], initial_index: int = -1):
+        if not points:
+            raise ConfigurationError("a clock plan needs at least one point")
+        self.points: List[OperatingPoint] = sorted(points, key=lambda p: p.frequency)
+        if initial_index < 0:
+            initial_index += len(self.points)
+        if not 0 <= initial_index < len(self.points):
+            raise ConfigurationError("initial_index out of range")
+        self.initial_index = initial_index
+        self._index = initial_index
+
+    @classmethod
+    def msp430_like(cls) -> "ClockPlan":
+        """The DCO steps of a 16-bit FRAM MCU: 1..24 MHz, boots at 8 MHz."""
+        frequencies = [1e6, 2e6, 4e6, 8e6, 16e6, 24e6]
+        points = [OperatingPoint(f, 3.0) for f in frequencies]
+        return cls(points, initial_index=3)
+
+    @property
+    def current(self) -> OperatingPoint:
+        """The active operating point."""
+        return self.points[self._index]
+
+    @property
+    def frequency(self) -> float:
+        """Active core frequency in Hz."""
+        return self.current.frequency
+
+    @property
+    def index(self) -> int:
+        """Index of the active point (0 = slowest)."""
+        return self._index
+
+    @property
+    def at_minimum(self) -> bool:
+        """True when running at the slowest point."""
+        return self._index == 0
+
+    @property
+    def at_maximum(self) -> bool:
+        """True when running at the fastest point."""
+        return self._index == len(self.points) - 1
+
+    def set_index(self, index: int) -> OperatingPoint:
+        """Select an operating point by index."""
+        if not 0 <= index < len(self.points):
+            raise ConfigurationError(f"operating point index {index} out of range")
+        self._index = index
+        return self.current
+
+    def step_up(self) -> OperatingPoint:
+        """Move one point faster (saturates at the top)."""
+        if not self.at_maximum:
+            self._index += 1
+        return self.current
+
+    def step_down(self) -> OperatingPoint:
+        """Move one point slower (saturates at the bottom)."""
+        if not self.at_minimum:
+            self._index -= 1
+        return self.current
+
+    def reset(self) -> None:
+        """Return to the boot operating point."""
+        self._index = self.initial_index

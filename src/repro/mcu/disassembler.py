@@ -1,0 +1,100 @@
+"""Disassembler for the mini-ISA.
+
+Turns a :class:`~repro.mcu.assembler.ProgramImage` back into readable
+assembly, resolving branch targets to labels and data addresses to symbol
+names — the debugging view of whatever the intermittent platform was
+executing when it died.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.mcu.assembler import ProgramImage
+from repro.mcu.isa import Instruction
+
+
+def _label_map(image: ProgramImage) -> Dict[int, str]:
+    """Instruction index -> label name (first label wins)."""
+    labels: Dict[int, str] = {}
+    text_words = image.text_words
+    for name, value in image.symbols.items():
+        # Heuristic: symbols pointing into the instruction range that are
+        # actually used as branch/call targets are code labels.
+        if 0 <= value <= text_words and value not in labels:
+            if _is_branch_target(image, value):
+                labels[value] = name
+    return labels
+
+
+def _is_branch_target(image: ProgramImage, index: int) -> bool:
+    for ins in image.instructions:
+        spec = ins.spec
+        for code, operand in zip(spec.signature, ins.operands):
+            if code == "l" and operand == index:
+                return True
+    return False
+
+
+def _data_symbols(image: ProgramImage) -> Dict[int, str]:
+    """Data address -> symbol name for .data/.reserve allocations."""
+    code_targets = set()
+    for ins in image.instructions:
+        for code, operand in zip(ins.spec.signature, ins.operands):
+            if code == "l":
+                code_targets.add(operand)
+    symbols: Dict[int, str] = {}
+    for name, value in sorted(image.symbols.items(), key=lambda kv: kv[1]):
+        if value in code_targets:
+            continue
+        if 0 <= value < image.data_size and value not in symbols:
+            symbols[value] = name
+    return symbols
+
+
+def format_instruction(ins: Instruction, labels: Dict[int, str]) -> str:
+    """One instruction as assembly text, with labelled targets."""
+    parts: List[str] = []
+    for code, operand in zip(ins.spec.signature, ins.operands):
+        if code == "r":
+            parts.append(f"r{operand}")
+        elif code == "l":
+            parts.append(labels.get(operand, str(operand)))
+        else:
+            parts.append(str(operand))
+    if parts:
+        return f"{ins.spec.name} {', '.join(parts)}"
+    return ins.spec.name
+
+
+def disassemble(image: ProgramImage) -> str:
+    """Full listing: data section summary plus labelled instructions."""
+    labels = _label_map(image)
+    data_symbols = _data_symbols(image)
+    lines: List[str] = []
+    if image.data_size:
+        lines.append(f"; data: {image.data_size} words")
+        for address, name in sorted(data_symbols.items()):
+            initial = image.data_image.get(address)
+            init_text = f" = {initial}" if initial is not None else " (reserved)"
+            lines.append(f";   [{address:#06x}] {name}{init_text}")
+    for index, ins in enumerate(image.instructions):
+        if index in labels:
+            lines.append(f"{labels[index]}:")
+        lines.append(f"  {index:4d}: {format_instruction(ins, labels)}")
+    return "\n".join(lines)
+
+
+def disassemble_window(image: ProgramImage, pc: int, radius: int = 3) -> str:
+    """A few instructions around ``pc`` — the crash-site view."""
+    labels = _label_map(image)
+    lo = max(0, pc - radius)
+    hi = min(len(image.instructions), pc + radius + 1)
+    lines = []
+    for index in range(lo, hi):
+        marker = "->" if index == pc else "  "
+        lines.append(
+            f"{marker} {index:4d}: "
+            f"{format_instruction(image.instructions[index], labels)}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""The mini-ISA: a 16-bit, 16-register load/store instruction set.
+
+The flavour is MSP430-meets-RISC: enough to write real signal-processing
+kernels (the FFT of Fig. 7, CRCs, filters) while keeping the interpreter
+small and fast.  Registers are 16-bit; ``mulq`` provides the Q15 fractional
+multiply every fixed-point DSP kernel needs.
+
+Operand signature codes (used by the assembler):
+    ``r`` register, ``i`` immediate/symbol, ``l`` label, ``p`` port number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Number of general-purpose registers (r0..r15).  r15 is the stack pointer
+#: by software convention (crt0 initialises it to the top of data memory).
+NUM_REGISTERS = 16
+
+#: Word width in bits; all register and memory values are 16-bit.
+WORD_BITS = 16
+WORD_MASK = 0xFFFF
+SIGN_BIT = 0x8000
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 16-bit word as two's-complement signed."""
+    value &= WORD_MASK
+    return value - 0x10000 if value & SIGN_BIT else value
+
+
+def to_word(value: int) -> int:
+    """Wrap an arbitrary Python int into a 16-bit word."""
+    return value & WORD_MASK
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one opcode.
+
+    Attributes:
+        name: mnemonic.
+        signature: operand signature string (see module docstring).
+        cycles: base cycle cost (memory wait states are added by the
+            machine according to the region technology).
+        kind: execution category the interpreter dispatches on.
+    """
+
+    name: str
+    signature: str
+    cycles: int
+    kind: str
+
+
+#: The instruction set.  Cycle counts are loosely modelled on a 16-bit MCU
+#: with a single-cycle ALU, a multi-cycle multiplier and 2-cycle taken
+#: branches.
+OPCODES: Dict[str, OpSpec] = {
+    spec.name: spec
+    for spec in [
+        # Register ALU, three-operand.
+        OpSpec("add", "rrr", 1, "alu"),
+        OpSpec("sub", "rrr", 1, "alu"),
+        OpSpec("and", "rrr", 1, "alu"),
+        OpSpec("or", "rrr", 1, "alu"),
+        OpSpec("xor", "rrr", 1, "alu"),
+        OpSpec("shl", "rrr", 1, "alu"),
+        OpSpec("shr", "rrr", 1, "alu"),  # logical right shift
+        OpSpec("sra", "rrr", 1, "alu"),  # arithmetic right shift
+        OpSpec("mul", "rrr", 4, "alu"),  # low 16 bits of product
+        OpSpec("mulq", "rrr", 5, "alu"),  # Q15 fractional multiply (signed)
+        OpSpec("slt", "rrr", 1, "alu"),  # rd = 1 if ra < rb (signed)
+        # Immediate ALU.
+        OpSpec("addi", "rri", 1, "alui"),
+        OpSpec("subi", "rri", 1, "alui"),
+        OpSpec("andi", "rri", 1, "alui"),
+        OpSpec("ori", "rri", 1, "alui"),
+        OpSpec("xori", "rri", 1, "alui"),
+        OpSpec("shli", "rri", 1, "alui"),
+        OpSpec("shri", "rri", 1, "alui"),
+        OpSpec("srai", "rri", 1, "alui"),
+        OpSpec("slti", "rri", 1, "alui"),
+        # Moves.
+        OpSpec("ldi", "ri", 1, "ldi"),  # rd = imm (also loads symbols)
+        OpSpec("mov", "rr", 1, "mov"),
+        # Memory (data space): ld rd, ra, off ; st rs, ra, off.
+        OpSpec("ld", "rri", 2, "load"),
+        OpSpec("st", "rri", 2, "store"),
+        # Control flow.
+        OpSpec("jmp", "l", 2, "jump"),
+        OpSpec("beq", "rrl", 2, "branch"),
+        OpSpec("bne", "rrl", 2, "branch"),
+        OpSpec("blt", "rrl", 2, "branch"),  # signed
+        OpSpec("bge", "rrl", 2, "branch"),  # signed
+        OpSpec("call", "l", 4, "call"),
+        OpSpec("ret", "", 4, "ret"),
+        OpSpec("push", "r", 2, "push"),
+        OpSpec("pop", "r", 2, "pop"),
+        # Peripheral ports.
+        OpSpec("in", "rp", 2, "in"),
+        OpSpec("out", "pr", 2, "out"),
+        # Misc.
+        OpSpec("nop", "", 1, "nop"),
+        OpSpec("halt", "", 1, "halt"),
+        # Potential-checkpoint marker (Mementos instrumentation point).
+        OpSpec("ckpt", "", 1, "ckpt"),
+    ]
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction: opcode spec + resolved integer operands."""
+
+    spec: OpSpec
+    operands: Tuple[int, ...]
+
+    def __str__(self) -> str:
+        return f"{self.spec.name} {', '.join(str(o) for o in self.operands)}"

@@ -1,0 +1,374 @@
+"""The MCU interpreter.
+
+A :class:`Machine` executes an assembled :class:`~repro.mcu.assembler.ProgramImage`
+cycle-budget by cycle-budget, which is how the intermittent-power wrapper
+drives it: each simulation timestep buys ``f * dt`` cycles of execution.
+
+Memory model
+------------
+* Program memory is FRAM (as on MSP430FR parts): every instruction fetch is
+  an FRAM read.
+* Data memory (one flat word-addressed space holding .data, heap and stack)
+  is SRAM by default, or FRAM when ``MachineConfig.data_in_fram`` is set —
+  the QuickRecall configuration.
+* ``r0`` is hardwired to zero.  ``r15`` is the stack pointer, initialised
+  to the top of data space at boot.
+
+Volatility: registers and PC are always volatile.  SRAM-backed data is lost
+on power failure; FRAM-backed data survives.  :meth:`Machine.cold_boot`
+re-runs crt0 (zero registers, re-initialise .data from the image, reset SP),
+which is what happens after an outage when no snapshot is restored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import MachineError
+from repro.mcu.assembler import ProgramImage
+from repro.mcu.isa import Instruction, to_signed, to_word
+from repro.mcu.peripherals import OutputPort, Peripheral
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Static machine configuration.
+
+    Attributes:
+        data_space_words: total words of data memory (data + heap + stack).
+        data_in_fram: place data memory in FRAM (QuickRecall's unified
+            memory) instead of SRAM.
+        fram_fetch_wait: extra cycles per instruction fetch from FRAM.
+        fram_data_wait: extra cycles per data access when data is in FRAM.
+    """
+
+    data_space_words: int = 2048
+    data_in_fram: bool = False
+    fram_fetch_wait: int = 0
+    fram_data_wait: int = 1
+
+
+@dataclass
+class ExecutionSlice:
+    """Accounting for one ``run`` call.
+
+    Attributes:
+        cycles: cycles consumed (including wait states).
+        instructions: instructions retired.
+        fram_reads/fram_writes/sram_reads/sram_writes: data+fetch accesses.
+        peripheral_energy: joules consumed by peripheral accesses.
+        halted: machine executed ``halt``.
+        hit_checkpoint: stopped at a ``ckpt`` marker (stop_at_ckpt mode).
+    """
+
+    cycles: int = 0
+    instructions: int = 0
+    fram_reads: int = 0
+    fram_writes: int = 0
+    sram_reads: int = 0
+    sram_writes: int = 0
+    peripheral_energy: float = 0.0
+    halted: bool = False
+    hit_checkpoint: bool = False
+
+
+@dataclass
+class MachineState:
+    """A captured snapshot of machine state.
+
+    ``data`` is None for register-only snapshots (QuickRecall): data memory
+    lives in FRAM and needs no copying.  ``peripherals`` is non-None only
+    for peripheral-aware snapshots (port -> opaque device state).
+    """
+
+    registers: Tuple[int, ...]
+    pc: int
+    data: Optional[List[int]]
+    peripherals: Optional[Dict[int, object]] = None
+
+    def words(self) -> int:
+        """Snapshot size in memory words (what must be written to NVM)."""
+        base = len(self.registers) + 1  # registers + pc
+        if self.data is not None:
+            base += len(self.data)
+        if self.peripherals is not None:
+            base += 8 * len(self.peripherals)
+        return base
+
+
+class Machine:
+    """Interpreter for the mini-ISA (see module docstring)."""
+
+    def __init__(self, image: ProgramImage, config: Optional[MachineConfig] = None):
+        self.image = image
+        self.config = config or MachineConfig()
+        if image.data_size > self.config.data_space_words:
+            raise MachineError(
+                f"program claims {image.data_size} data words, machine has "
+                f"{self.config.data_space_words}"
+            )
+        self.registers: List[int] = [0] * 16
+        self.pc = 0
+        self.halted = False
+        self.total_cycles = 0
+        self.ports: Dict[int, Peripheral] = {7: OutputPort()}
+        self.data: List[int] = [0] * self.config.data_space_words
+        # Precompute per-instruction cycle costs including fetch wait states.
+        self._cycle_cost = [
+            ins.spec.cycles + self.config.fram_fetch_wait
+            for ins in image.instructions
+        ]
+        self._data_wait = self.config.fram_data_wait if self.config.data_in_fram else 0
+        self.cold_boot()
+
+    # ------------------------------------------------------------------
+    # Boot / power management
+    # ------------------------------------------------------------------
+
+    def cold_boot(self) -> None:
+        """crt0: zero registers, initialise .data, set SP, PC to entry."""
+        self.registers = [0] * 16
+        self.registers[15] = self.config.data_space_words  # stack pointer
+        self.pc = 0
+        self.halted = False
+        self.data = [0] * self.config.data_space_words
+        for address, value in self.image.data_image.items():
+            self.data[address] = value
+
+    def power_fail(self) -> None:
+        """Lose all volatile state (registers, PC; SRAM data too; volatile
+        peripheral buffers)."""
+        self.registers = [0] * 16
+        self.pc = 0
+        self.halted = False
+        if not self.config.data_in_fram:
+            self.data = [0] * self.config.data_space_words
+        for peripheral in self.ports.values():
+            peripheral.on_power_fail()
+
+    def attach_peripheral(self, port: int, peripheral: Peripheral) -> None:
+        """Map ``peripheral`` at ``port`` for ``in``/``out`` instructions."""
+        self.ports[port] = peripheral
+
+    @property
+    def output_port(self) -> OutputPort:
+        """The default console/telemetry port at port 7."""
+        return self.ports[7]
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    def capture_full(self, include_peripherals: bool = False) -> MachineState:
+        """Capture registers + PC + all data memory (the Hibernus snapshot).
+
+        With ``include_peripherals`` the snapshot also carries every
+        mapped peripheral's device state — the peripheral-aware extension
+        the paper's discussion section calls for.
+        """
+        peripherals = None
+        if include_peripherals:
+            peripherals = {
+                port: peripheral.capture_state()
+                for port, peripheral in self.ports.items()
+            }
+        return MachineState(
+            tuple(self.registers), self.pc, list(self.data), peripherals
+        )
+
+    def capture_registers(self) -> MachineState:
+        """Capture registers + PC only (the QuickRecall snapshot)."""
+        return MachineState(tuple(self.registers), self.pc, None)
+
+    def restore(self, state: MachineState) -> None:
+        """Restore a snapshot taken by either capture method."""
+        self.registers = list(state.registers)
+        self.registers[0] = 0
+        self.pc = state.pc
+        self.halted = False
+        if state.data is not None:
+            if len(state.data) != len(self.data):
+                raise MachineError("snapshot data size mismatch")
+            self.data = list(state.data)
+        if state.peripherals is not None:
+            for port, payload in state.peripherals.items():
+                if port in self.ports and payload is not None:
+                    self.ports[port].restore_state(payload)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _read_mem(self, address: int, slice_: ExecutionSlice) -> int:
+        if not 0 <= address < len(self.data):
+            raise MachineError(f"data read out of range: {address} (pc={self.pc})")
+        if self.config.data_in_fram:
+            slice_.fram_reads += 1
+        else:
+            slice_.sram_reads += 1
+        return self.data[address]
+
+    def _write_mem(self, address: int, value: int, slice_: ExecutionSlice) -> None:
+        if not 0 <= address < len(self.data):
+            raise MachineError(f"data write out of range: {address} (pc={self.pc})")
+        if self.config.data_in_fram:
+            slice_.fram_writes += 1
+        else:
+            slice_.sram_writes += 1
+        self.data[address] = to_word(value)
+
+    def _set_reg(self, index: int, value: int) -> None:
+        if index != 0:
+            self.registers[index] = to_word(value)
+
+    def run(self, max_cycles: int, stop_at_ckpt: bool = False) -> ExecutionSlice:
+        """Execute until the cycle budget is spent, ``halt``, or a ``ckpt``.
+
+        Args:
+            max_cycles: cycle budget for this slice (>= 0).
+            stop_at_ckpt: when True, pause *after* executing a ``ckpt``
+                marker so a checkpointing supervisor can act.
+
+        Returns:
+            An :class:`ExecutionSlice` with cycle/access accounting.
+        """
+        slice_ = ExecutionSlice()
+        if self.halted:
+            slice_.halted = True
+            return slice_
+        regs = self.registers
+        instructions = self.image.instructions
+        n_instructions = len(instructions)
+        while slice_.cycles < max_cycles:
+            if not 0 <= self.pc < n_instructions:
+                raise MachineError(f"PC out of range: {self.pc}")
+            ins = instructions[self.pc]
+            cost = self._cycle_cost[self.pc]
+            slice_.fram_reads += 1  # instruction fetch
+            kind = ins.spec.kind
+            ops = ins.operands
+            next_pc = self.pc + 1
+
+            if kind == "alu":
+                a = regs[ops[1]]
+                b = regs[ops[2]]
+                self._set_reg(ops[0], self._alu(ins.spec.name, a, b))
+            elif kind == "alui":
+                a = regs[ops[1]]
+                self._set_reg(ops[0], self._alu(ins.spec.name.rstrip("i"), a, ops[2]))
+            elif kind == "ldi":
+                self._set_reg(ops[0], ops[1])
+            elif kind == "mov":
+                self._set_reg(ops[0], regs[ops[1]])
+            elif kind == "load":
+                address = to_signed(regs[ops[1]]) + to_signed(to_word(ops[2]))
+                self._set_reg(ops[0], self._read_mem(address, slice_))
+                cost += self._data_wait
+            elif kind == "store":
+                address = to_signed(regs[ops[1]]) + to_signed(to_word(ops[2]))
+                self._write_mem(address, regs[ops[0]], slice_)
+                cost += self._data_wait
+            elif kind == "jump":
+                next_pc = ops[0]
+            elif kind == "branch":
+                if self._branch_taken(ins.spec.name, regs[ops[0]], regs[ops[1]]):
+                    next_pc = ops[2]
+            elif kind == "call":
+                sp = to_word(regs[15] - 1)
+                self._write_mem(sp, next_pc, slice_)
+                regs[15] = sp
+                next_pc = ops[0]
+                cost += self._data_wait
+            elif kind == "ret":
+                sp = regs[15]
+                next_pc = self._read_mem(sp, slice_)
+                regs[15] = to_word(sp + 1)
+                cost += self._data_wait
+            elif kind == "push":
+                sp = to_word(regs[15] - 1)
+                self._write_mem(sp, regs[ops[0]], slice_)
+                regs[15] = sp
+                cost += self._data_wait
+            elif kind == "pop":
+                sp = regs[15]
+                self._set_reg(ops[0], self._read_mem(sp, slice_))
+                regs[15] = to_word(sp + 1)
+                cost += self._data_wait
+            elif kind == "in":
+                peripheral = self._port(ops[1])
+                self._set_reg(ops[0], to_word(peripheral.read()))
+                slice_.peripheral_energy += peripheral.access_energy
+            elif kind == "out":
+                peripheral = self._port(ops[0])
+                peripheral.write(regs[ops[1]])
+                slice_.peripheral_energy += peripheral.access_energy
+            elif kind == "nop":
+                pass
+            elif kind == "ckpt":
+                self.pc = next_pc
+                slice_.cycles += cost
+                slice_.instructions += 1
+                self.total_cycles += cost
+                if stop_at_ckpt:
+                    slice_.hit_checkpoint = True
+                    return slice_
+                continue
+            elif kind == "halt":
+                self.halted = True
+                slice_.halted = True
+                slice_.cycles += cost
+                slice_.instructions += 1
+                self.total_cycles += cost
+                return slice_
+            else:  # pragma: no cover - spec table is internal
+                raise MachineError(f"unhandled instruction kind {kind!r}")
+
+            self.pc = next_pc
+            slice_.cycles += cost
+            slice_.instructions += 1
+            self.total_cycles += cost
+        return slice_
+
+    def _port(self, port: int) -> Peripheral:
+        if port not in self.ports:
+            raise MachineError(f"no peripheral at port {port}")
+        return self.ports[port]
+
+    @staticmethod
+    def _alu(name: str, a: int, b: int) -> int:
+        if name == "add":
+            return a + b
+        if name == "sub":
+            return a - b
+        if name == "and":
+            return a & b
+        if name == "or":
+            return a | b
+        if name == "xor":
+            return a ^ b
+        if name == "shl":
+            return a << (b & 15)
+        if name == "shr":
+            return (a & 0xFFFF) >> (b & 15)
+        if name == "sra":
+            return to_signed(a) >> (b & 15)
+        if name == "mul":
+            return to_signed(a) * to_signed(b)
+        if name == "mulq":
+            return (to_signed(a) * to_signed(b)) >> 15
+        if name == "slt":
+            return 1 if to_signed(a) < to_signed(b) else 0
+        raise MachineError(f"unknown ALU op {name!r}")  # pragma: no cover
+
+    @staticmethod
+    def _branch_taken(name: str, a: int, b: int) -> bool:
+        if name == "beq":
+            return a == b
+        if name == "bne":
+            return a != b
+        if name == "blt":
+            return to_signed(a) < to_signed(b)
+        if name == "bge":
+            return to_signed(a) >= to_signed(b)
+        raise MachineError(f"unknown branch {name!r}")  # pragma: no cover

@@ -1,0 +1,224 @@
+"""Port-mapped peripherals.
+
+The paper's discussion section notes that transient computing work "has
+primarily focused on computation, and not the plethora of peripherals" —
+these models let the examples exercise exactly that gap: an ADC, a sensor
+front-end, and a packet radio, each with per-access energy costs that the
+MCU wrapper folds into the load's consumption.
+
+The external observer convention: :class:`OutputPort` is the *outside
+world* (a logic analyser on a UART pin).  Its log therefore survives device
+power failures — it belongs to the experimenter, not the device.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class Peripheral:
+    """Base peripheral: a 16-bit read/write port with a per-access energy."""
+
+    #: Joules consumed by each ``in``/``out`` access.
+    access_energy: float = 0.0
+
+    #: Words a peripheral-state checkpoint occupies in NVM (configuration
+    #: registers, FIFO pointers...).  Used by peripheral-aware snapshots.
+    state_words: int = 8
+
+    def read(self) -> int:
+        """Value returned to an ``in`` instruction."""
+        raise NotImplementedError
+
+    def write(self, value: int) -> None:
+        """Handle a value written by an ``out`` instruction."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Restore initial state (default: no-op)."""
+
+    def capture_state(self) -> object:
+        """Snapshot the peripheral's device-visible state (default: none).
+
+        The paper's discussion section points out that transient-computing
+        work "has primarily focused on computation, and not the plethora
+        of peripherals" — this hook (with :meth:`restore_state`) is the
+        extension that closes the gap: peripheral-aware strategies save
+        and restore peripheral context alongside the CPU state.
+        """
+        return None
+
+    def restore_state(self, state: object) -> None:
+        """Restore a :meth:`capture_state` snapshot (default: no-op)."""
+
+    def on_power_fail(self) -> None:
+        """Lose volatile device state when the rail collapses (default:
+        no-op — external-world observers keep their logs)."""
+
+
+class OutputPort(Peripheral):
+    """Append-only output log (UART as seen by the bench logic analyser)."""
+
+    access_energy = 5e-9
+
+    def __init__(self) -> None:
+        self.log: List[int] = []
+
+    def read(self) -> int:
+        return len(self.log) & 0xFFFF
+
+    def write(self, value: int) -> None:
+        self.log.append(value & 0xFFFF)
+
+    @property
+    def last(self) -> Optional[int]:
+        """Most recent word written, or None."""
+        return self.log[-1] if self.log else None
+
+    def reset(self) -> None:
+        self.log.clear()
+
+
+class ADCPeripheral(Peripheral):
+    """A sampled analogue input: successive reads walk a waveform.
+
+    The waveform is a deterministic sum of two sines plus seeded noise —
+    a plausible vibration/biopotential signal for the FIR/FFT workloads.
+    """
+
+    access_energy = 60e-9  # one SAR conversion
+
+    def __init__(
+        self,
+        amplitude: int = 900,
+        noise: float = 20.0,
+        seed: int = 42,
+        samples_per_cycle: int = 32,
+    ):
+        if amplitude <= 0 or amplitude > 0x3FFF:
+            raise ConfigurationError("amplitude must be in (0, 16383]")
+        self.amplitude = amplitude
+        self.noise = noise
+        self.samples_per_cycle = samples_per_cycle
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._index = 0
+
+    def read(self) -> int:
+        phase = 2.0 * math.pi * self._index / self.samples_per_cycle
+        value = self.amplitude * (
+            0.7 * math.sin(phase) + 0.3 * math.sin(3.1 * phase)
+        )
+        value += self.noise * float(self._rng.standard_normal())
+        self._index += 1
+        return int(value) & 0xFFFF
+
+    def write(self, value: int) -> None:
+        # Writing configures the channel index; accepted and ignored.
+        return None
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self._seed)
+        self._index = 0
+
+    def capture_state(self) -> object:
+        # The sample-stream position *is* the ADC's state: restoring it
+        # makes re-executed reads see the same samples again.
+        return (self._index, self._rng.bit_generator.state)
+
+    def restore_state(self, state: object) -> None:
+        index, rng_state = state
+        self._index = index
+        self._rng = np.random.default_rng()
+        self._rng.bit_generator.state = rng_state
+
+
+class SensorPeripheral(Peripheral):
+    """A slow environmental sensor returning a drifting value."""
+
+    access_energy = 200e-9  # wake + measure + I2C transfer
+
+    def __init__(self, base: int = 2500, drift_per_read: float = 0.8, seed: int = 5):
+        self.base = base
+        self.drift_per_read = drift_per_read
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._value = float(base)
+
+    def read(self) -> int:
+        self._value += self.drift_per_read * float(self._rng.standard_normal())
+        return int(self._value) & 0xFFFF
+
+    def write(self, value: int) -> None:
+        return None
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self._seed)
+        self._value = float(self.base)
+
+    def capture_state(self) -> object:
+        return (self._value, self._rng.bit_generator.state)
+
+    def restore_state(self, state: object) -> None:
+        value, rng_state = state
+        self._value = value
+        self._rng = np.random.default_rng()
+        self._rng.bit_generator.state = rng_state
+
+
+class Radio(Peripheral):
+    """A packet radio: each written word is queued; a flush word transmits.
+
+    Transmission is expensive (the dominant cost in WSN nodes): energy is
+    ``tx_energy_per_word * queued + tx_overhead`` charged at flush time.
+    """
+
+    #: Writing this value flushes the queue as one packet.
+    FLUSH = 0xFFFF
+
+    access_energy = 10e-9  # register write; real cost charged at flush
+
+    def __init__(self, tx_energy_per_word: float = 4e-6, tx_overhead: float = 12e-6):
+        if tx_energy_per_word < 0.0 or tx_overhead < 0.0:
+            raise ConfigurationError("radio energies must be non-negative")
+        self.tx_energy_per_word = tx_energy_per_word
+        self.tx_overhead = tx_overhead
+        self.queue: List[int] = []
+        self.packets: List[List[int]] = []
+        self.energy_spent = 0.0
+
+    def read(self) -> int:
+        return len(self.packets) & 0xFFFF
+
+    def write(self, value: int) -> None:
+        if value == self.FLUSH:
+            if self.queue:
+                self.packets.append(list(self.queue))
+                self.energy_spent += (
+                    self.tx_overhead + self.tx_energy_per_word * len(self.queue)
+                )
+                self.queue.clear()
+            return
+        self.queue.append(value & 0xFFFF)
+
+    def reset(self) -> None:
+        self.queue.clear()
+        self.packets.clear()
+        self.energy_spent = 0.0
+
+    def capture_state(self) -> object:
+        # The TX queue lives in the radio's buffer RAM; packets already on
+        # the air belong to the outside world and are not state.
+        return list(self.queue)
+
+    def restore_state(self, state: object) -> None:
+        self.queue = list(state)
+
+    def on_power_fail(self) -> None:
+        # The radio's buffer RAM is volatile: un-flushed words are lost.
+        self.queue.clear()

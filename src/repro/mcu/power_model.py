@@ -1,0 +1,165 @@
+"""MCU power and memory-energy model.
+
+Two ingredients:
+
+* a core power model ``P(f, V) = (i_leak + i_per_hz * f) * V`` for the
+  active state plus fixed sleep/off powers — the standard CMOS first-order
+  model, with per-mode currents transcribed from 16-bit FRAM-MCU data
+  sheets;
+* a per-access memory energy table for SRAM and FRAM.  FRAM's higher
+  access energy and quiescent draw is the crux of the paper's Eq. (5)
+  (the Hibernus-vs-QuickRecall crossover).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.mcu.machine import ExecutionSlice
+
+
+@dataclass(frozen=True)
+class MemoryTechnology:
+    """Energy/latency character of a memory technology.
+
+    Attributes:
+        name: technology label.
+        read_energy: joules per word read.
+        write_energy: joules per word written.
+        write_cycles_per_word: cycles a bulk (DMA) write spends per word —
+            sets snapshot duration.
+        read_cycles_per_word: cycles a bulk read spends per word — sets
+            restore duration.
+        quiescent_power: standby draw of the array while powered (W).
+    """
+
+    name: str
+    read_energy: float
+    write_energy: float
+    write_cycles_per_word: int
+    read_cycles_per_word: int
+    quiescent_power: float
+
+    def __post_init__(self) -> None:
+        if min(self.read_energy, self.write_energy, self.quiescent_power) < 0.0:
+            raise ConfigurationError("memory energies must be non-negative")
+        if self.write_cycles_per_word <= 0 or self.read_cycles_per_word <= 0:
+            raise ConfigurationError("cycles per word must be positive")
+
+
+#: On-chip SRAM: cheap, fast, volatile.
+SRAM_TECH = MemoryTechnology(
+    name="sram",
+    read_energy=10e-12,
+    write_energy=12e-12,
+    write_cycles_per_word=1,
+    read_cycles_per_word=1,
+    quiescent_power=1.5e-6,
+)
+
+#: FRAM: non-volatile, slower bulk writes, noticeably higher energy and
+#: quiescent draw — the QuickRecall trade-off of Eq. (5).
+FRAM_TECH = MemoryTechnology(
+    name="fram",
+    read_energy=50e-12,
+    write_energy=150e-12,
+    write_cycles_per_word=16,
+    read_cycles_per_word=4,
+    quiescent_power=9e-6,
+)
+
+
+@dataclass(frozen=True)
+class McuPowerModel:
+    """Core + memory power model for the simulated MCU.
+
+    Attributes:
+        i_leak: leakage current (A) while active, frequency-independent.
+        i_per_hz: dynamic current per hertz of core clock (A/Hz).
+        sleep_power: LPM draw with RAM retained and the voltage supervisor
+            alive (W).
+        off_power: draw below the brownout threshold (W); effectively the
+            supervisor alone.
+        fram_execution_factor: multiplier on active power when executing
+            from FRAM with data in FRAM (the QuickRecall configuration).
+    """
+
+    i_leak: float = 50e-6
+    i_per_hz: float = 0.21e-9  # 210 uA/MHz
+    sleep_power: float = 6e-6
+    off_power: float = 0.2e-6
+    fram_execution_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if min(self.i_leak, self.i_per_hz, self.sleep_power, self.off_power) < 0.0:
+            raise ConfigurationError("currents/powers must be non-negative")
+        if self.fram_execution_factor < 1.0:
+            raise ConfigurationError("fram execution factor must be >= 1")
+
+    def active_power(self, frequency: float, voltage: float) -> float:
+        """Core active power (W) at a given operating point."""
+        if frequency < 0.0 or voltage < 0.0:
+            raise ConfigurationError("frequency and voltage must be non-negative")
+        return (self.i_leak + self.i_per_hz * frequency) * voltage * self.fram_execution_factor
+
+    def slice_memory_energy(
+        self,
+        slice_: ExecutionSlice,
+        sram: MemoryTechnology = SRAM_TECH,
+        fram: MemoryTechnology = FRAM_TECH,
+    ) -> float:
+        """Joules of memory-access energy for an execution slice."""
+        return (
+            slice_.sram_reads * sram.read_energy
+            + slice_.sram_writes * sram.write_energy
+            + slice_.fram_reads * fram.read_energy
+            + slice_.fram_writes * fram.write_energy
+        )
+
+    def snapshot_cost(
+        self,
+        words: int,
+        frequency: float,
+        voltage: float,
+        fram: MemoryTechnology = FRAM_TECH,
+    ) -> "tuple[float, float]":
+        """(duration_s, energy_J) of writing a ``words``-word snapshot to NVM.
+
+        The core stays active for the DMA duration; per-word write energy is
+        added on top.  This is the E_s of the paper's expression (4).
+        """
+        if words < 0:
+            raise ConfigurationError("snapshot size must be non-negative")
+        if frequency <= 0.0:
+            raise ConfigurationError("frequency must be positive")
+        duration = words * fram.write_cycles_per_word / frequency
+        energy = self.active_power(frequency, voltage) * duration
+        energy += words * fram.write_energy
+        return duration, energy
+
+    def restore_cost(
+        self,
+        words: int,
+        frequency: float,
+        voltage: float,
+        fram: MemoryTechnology = FRAM_TECH,
+        sram: MemoryTechnology = SRAM_TECH,
+    ) -> "tuple[float, float]":
+        """(duration_s, energy_J) of copying a snapshot back from NVM."""
+        if words < 0:
+            raise ConfigurationError("snapshot size must be non-negative")
+        if frequency <= 0.0:
+            raise ConfigurationError("frequency must be positive")
+        duration = words * fram.read_cycles_per_word / frequency
+        energy = self.active_power(frequency, voltage) * duration
+        energy += words * (fram.read_energy + sram.write_energy)
+        return duration, energy
+
+
+#: Power model for the SRAM-data configuration (Hibernus platform).
+MSP430_SRAM_MODEL = McuPowerModel()
+
+#: Power model for unified-FRAM execution (QuickRecall platform): higher
+#: active power — the quiescent overhead the paper says is "always incurred".
+MSP430_FRAM_MODEL = McuPowerModel(fram_execution_factor=1.35)

@@ -1,0 +1,38 @@
+"""Workload programs written in the mini-ISA.
+
+Each module provides a source generator (returning assembly text) and a
+*golden model* — a plain-Python replication of the exact integer arithmetic
+— so tests can check that execution across power failures produces
+bit-identical results to an uninterrupted run.
+
+The FFT is the paper's own demonstration workload (Fig. 7 executes an FFT
+across an intermittent supply).
+"""
+
+from repro.mcu.programs.fft import fft_program, fft_golden, fft_input_samples
+from repro.mcu.programs.crc import crc_program, crc_golden, crc_message
+from repro.mcu.programs.matmul import matmul_program, matmul_golden
+from repro.mcu.programs.fir import fir_program, fir_golden
+from repro.mcu.programs.sieve import sieve_program, sieve_golden
+from repro.mcu.programs.sense import sense_program
+from repro.mcu.programs.sort import sort_golden, sort_program
+from repro.mcu.programs.counter import counter_program
+
+__all__ = [
+    "fft_program",
+    "fft_golden",
+    "fft_input_samples",
+    "crc_program",
+    "crc_golden",
+    "crc_message",
+    "matmul_program",
+    "matmul_golden",
+    "fir_program",
+    "fir_golden",
+    "sieve_program",
+    "sieve_golden",
+    "sense_program",
+    "sort_program",
+    "sort_golden",
+    "counter_program",
+]

@@ -1,0 +1,35 @@
+"""A minimal checkpoint-dense counting loop for unit tests.
+
+Counts to ``target`` in data memory (so progress lives in RAM, not just
+registers), hitting a ``ckpt`` marker every iteration, and finally emits
+the counter value.  Small enough that tests can reason about exact cycle
+counts.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def counter_program(target: int = 1000) -> str:
+    """Generate mini-ISA source counting to ``target``."""
+    if not 0 < target < 0x8000:
+        raise ConfigurationError(f"target must be in (0, 32768), got {target}")
+    return f"""
+; ---- count to {target} with a ckpt per iteration ----
+.equ TARGET, {target}
+.data count: 0
+
+start:
+    ldi r2, count
+loop:
+    ckpt
+    ld  r1, r2, 0
+    addi r1, r1, 1
+    st  r1, r2, 0
+    ldi r3, TARGET
+    blt r1, r3, loop
+    ld  r1, r2, 0
+    out 7, r1
+    halt
+"""

@@ -1,0 +1,75 @@
+"""CRC-16/CCITT over a message block.
+
+A branchy bit-twiddling kernel that stresses control flow and the shifter —
+a useful contrast to the FFT's multiply-heavy profile.  ``ckpt`` markers at
+the per-word loop boundary give Mementos a dense checkpoint lattice.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.mcu.isa import to_word
+
+
+def crc_message(length: int = 128) -> List[int]:
+    """Deterministic pseudo-random message words (LCG-generated)."""
+    if length <= 0:
+        raise ConfigurationError(f"message length must be positive, got {length}")
+    state = 0xACE1
+    words = []
+    for _ in range(length):
+        state = to_word(state * 25173 + 13849)
+        words.append(state)
+    return words
+
+
+def crc_program(length: int = 128) -> str:
+    """Generate mini-ISA source computing CRC-16/CCITT over the message."""
+    message = crc_message(length)
+    data = ", ".join(str(w) for w in message)
+    return f"""
+; ---- CRC-16/CCITT over {length} words ----
+.equ LEN, {length}
+.equ POLY, 0x1021
+.data msg: {data}
+
+start:
+    ldi r10, 0xFFFF        ; crc
+    ldi r9, 0              ; word index
+word_loop:
+    ckpt                   ; Mementos site: per-word boundary
+    ldi r5, msg
+    add r5, r5, r9
+    ld  r1, r5, 0          ; next word
+    xor r10, r10, r1
+    ldi r8, 16             ; bit counter
+bit_loop:
+    andi r2, r10, 0x8000
+    shli r10, r10, 1
+    beq  r2, r0, no_xor
+    xori r10, r10, POLY
+no_xor:
+    andi r10, r10, 0xFFFF
+    subi r8, r8, 1
+    bne  r8, r0, bit_loop
+    addi r9, r9, 1
+    ldi  r1, LEN
+    blt  r9, r1, word_loop
+    out 7, r10
+    halt
+"""
+
+
+def crc_golden(length: int = 128) -> int:
+    """Bit-exact model of :func:`crc_program`'s final CRC word."""
+    crc = 0xFFFF
+    for word in crc_message(length):
+        crc ^= word
+        for _ in range(16):
+            top = crc & 0x8000
+            crc = to_word(crc << 1)
+            if top:
+                crc ^= 0x1021
+    return to_word(crc)

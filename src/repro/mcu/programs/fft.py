@@ -1,0 +1,244 @@
+"""In-place radix-2 DIT fixed-point FFT for the mini-ISA.
+
+This is the Fig. 7 workload: "an FFT that began at the beginning of
+execution is completed" across an intermittent supply.  The implementation
+is a classic iterative Q15 FFT with per-stage scaling (each butterfly
+output is halved) to prevent overflow, and a final XOR/sum checksum
+emitted on the output port.
+
+``ckpt`` markers sit at the stage and k-loop headers — the loop-boundary
+heuristic Mementos uses for checkpoint placement.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.mcu.isa import to_signed, to_word
+
+
+def fft_input_samples(n: int) -> List[int]:
+    """Deterministic Q15 input block: two superposed tones."""
+    samples = []
+    for i in range(n):
+        value = 8192.0 * math.sin(2.0 * math.pi * 3.0 * i / n)
+        value += 4096.0 * math.sin(2.0 * math.pi * 7.0 * i / n + 0.5)
+        samples.append(to_word(int(round(value))))
+    return samples
+
+
+def _twiddles(n: int) -> Tuple[List[int], List[int]]:
+    """Q15 twiddle tables for W_n^k = exp(-j*2*pi*k/n), k in [0, n/2)."""
+    wr, wi = [], []
+    for k in range(n // 2):
+        angle = 2.0 * math.pi * k / n
+        wr.append(to_word(int(round(32767.0 * math.cos(angle)))))
+        wi.append(to_word(int(round(-32767.0 * math.sin(angle)))))
+    return wr, wi
+
+
+def fft_program(n: int = 64) -> str:
+    """Generate mini-ISA source for an in-place ``n``-point FFT.
+
+    Args:
+        n: transform size; must be a power of two >= 4.
+    """
+    if n < 4 or n & (n - 1):
+        raise ConfigurationError(f"FFT size must be a power of two >= 4, got {n}")
+    logn = n.bit_length() - 1
+    re = fft_input_samples(n)
+    im = [0] * n
+    wr, wi = _twiddles(n)
+
+    def words(values: List[int]) -> str:
+        return ", ".join(str(v) for v in values)
+
+    return f"""
+; ---- {n}-point Q15 radix-2 DIT FFT ----
+.equ N, {n}
+.equ LOGN, {logn}
+.data re_arr: {words(re)}
+.data im_arr: {words(im)}
+.data wr_arr: {words(wr)}
+.data wi_arr: {words(wi)}
+
+start:
+    ; ---------- bit-reversal permutation ----------
+    ldi r9, 1              ; i
+bitrev_loop:
+    ldi r1, N
+    subi r1, r1, 1
+    bge r9, r1, bitrev_done
+    mov r2, r9             ; x = i
+    ldi r3, 0              ; j = 0
+    ldi r4, LOGN
+brbit:
+    shli r3, r3, 1
+    andi r5, r2, 1
+    or   r3, r3, r5
+    shri r2, r2, 1
+    subi r4, r4, 1
+    bne  r4, r0, brbit
+    bge  r9, r3, no_swap   ; only swap when i < j
+    ldi r5, re_arr
+    add r6, r5, r9
+    add r7, r5, r3
+    ld  r1, r6, 0
+    ld  r2, r7, 0
+    st  r2, r6, 0
+    st  r1, r7, 0
+    ldi r5, im_arr
+    add r6, r5, r9
+    add r7, r5, r3
+    ld  r1, r6, 0
+    ld  r2, r7, 0
+    st  r2, r6, 0
+    st  r1, r7, 0
+no_swap:
+    addi r9, r9, 1
+    jmp bitrev_loop
+bitrev_done:
+    ; ---------- butterfly stages ----------
+    ldi r10, 2             ; m = 2
+    ldi r12, N
+    shri r12, r12, 1       ; step = N / 2
+stage_loop:
+    ckpt                   ; Mementos site: stage boundary
+    mov r11, r10
+    shri r11, r11, 1       ; half = m / 2
+    ldi r9, 0              ; k = 0
+k_loop:
+    ckpt                   ; Mementos site: k-loop boundary
+    ldi r8, 0              ; j = 0
+j_loop:
+    add r13, r9, r8        ; idx1 = k + j
+    add r14, r13, r11      ; idx2 = idx1 + half
+    mul r7, r8, r12        ; tw = j * step
+    ldi r6, wr_arr
+    add r6, r6, r7
+    ld  r1, r6, 0          ; wr
+    ldi r6, wi_arr
+    add r6, r6, r7
+    ld  r2, r6, 0          ; wi
+    ldi r6, re_arr
+    add r6, r6, r14
+    ld  r3, r6, 0          ; bre
+    ldi r6, im_arr
+    add r6, r6, r14
+    ld  r4, r6, 0          ; bim
+    mulq r5, r1, r3
+    mulq r6, r2, r4
+    sub  r5, r5, r6        ; tr = wr*bre - wi*bim
+    mulq r6, r1, r4
+    mulq r7, r2, r3
+    add  r6, r6, r7        ; ti = wr*bim + wi*bre
+    ldi r7, re_arr
+    add r7, r7, r13
+    ld  r1, r7, 0          ; are
+    ldi r4, im_arr
+    add r4, r4, r13
+    ld  r2, r4, 0          ; aim
+    add r3, r1, r5
+    srai r3, r3, 1
+    st  r3, r7, 0          ; re[idx1] = (are + tr) / 2
+    sub r3, r1, r5
+    srai r3, r3, 1
+    ldi r1, re_arr
+    add r1, r1, r14
+    st  r3, r1, 0          ; re[idx2] = (are - tr) / 2
+    add r3, r2, r6
+    srai r3, r3, 1
+    st  r3, r4, 0          ; im[idx1] = (aim + ti) / 2
+    sub r3, r2, r6
+    srai r3, r3, 1
+    ldi r2, im_arr
+    add r2, r2, r14
+    st  r3, r2, 0          ; im[idx2] = (aim - ti) / 2
+    addi r8, r8, 1
+    blt  r8, r11, j_loop
+    add  r9, r9, r10       ; k += m
+    ldi  r1, N
+    blt  r9, r1, k_loop
+    shli r10, r10, 1       ; m *= 2
+    shri r12, r12, 1       ; step /= 2
+    ldi  r1, N
+    bge  r1, r10, stage_loop
+    ; ---------- checksum ----------
+    ldi r9, 0
+    ldi r10, 0
+sum_loop:
+    ldi r5, re_arr
+    add r5, r5, r9
+    ld  r1, r5, 0
+    ldi r5, im_arr
+    add r5, r5, r9
+    ld  r2, r5, 0
+    xor r1, r1, r2
+    add r10, r10, r1
+    addi r9, r9, 1
+    ldi r1, N
+    blt r9, r1, sum_loop
+    out 7, r10
+    halt
+"""
+
+
+def fft_golden(n: int = 64) -> Tuple[List[int], List[int], int]:
+    """Bit-exact Python model of :func:`fft_program`.
+
+    Returns:
+        (re, im, checksum) — final memory contents (as 16-bit words) and
+        the checksum word the program writes to port 7.
+    """
+    if n < 4 or n & (n - 1):
+        raise ConfigurationError(f"FFT size must be a power of two >= 4, got {n}")
+    logn = n.bit_length() - 1
+    re = [to_signed(v) for v in fft_input_samples(n)]
+    im = [0] * n
+    wr_t, wi_t = _twiddles(n)
+    wr_t = [to_signed(v) for v in wr_t]
+    wi_t = [to_signed(v) for v in wi_t]
+
+    # Bit reversal.
+    for i in range(1, n - 1):
+        j, x = 0, i
+        for _ in range(logn):
+            j = (j << 1) | (x & 1)
+            x >>= 1
+        if i < j:
+            re[i], re[j] = re[j], re[i]
+            im[i], im[j] = im[j], im[i]
+
+    # Stages (replicating the 16-bit wrap/shift semantics exactly).
+    def q15(a: int, b: int) -> int:
+        return to_signed(to_word((a * b) >> 15))
+
+    def sra1(a: int) -> int:
+        return to_signed(to_word(to_signed(to_word(a)) >> 1))
+
+    m = 2
+    step = n // 2
+    while m <= n:
+        half = m // 2
+        for k in range(0, n, m):
+            for j in range(half):
+                tw = j * step
+                wr, wi = wr_t[tw], wi_t[tw]
+                idx1, idx2 = k + j, k + j + half
+                bre, bim = re[idx2], im[idx2]
+                tr = to_signed(to_word(q15(wr, bre) - q15(wi, bim)))
+                ti = to_signed(to_word(q15(wr, bim) + q15(wi, bre)))
+                are, aim = re[idx1], im[idx1]
+                re[idx1] = sra1(are + tr)
+                re[idx2] = sra1(are - tr)
+                im[idx1] = sra1(aim + ti)
+                im[idx2] = sra1(aim - ti)
+        m <<= 1
+        step >>= 1
+
+    checksum = 0
+    for i in range(n):
+        checksum = to_word(checksum + (to_word(re[i]) ^ to_word(im[i])))
+    return [to_word(v) for v in re], [to_word(v) for v in im], checksum

@@ -1,0 +1,111 @@
+"""8-tap Q15 FIR filter over ADC samples.
+
+Exercises the peripheral path: samples are read live from the ADC port, so
+intermittent execution interacts with an external data source.  The golden
+model replays the same deterministic ADC stream.
+
+Note the transient-computing subtlety this workload makes visible: an ADC
+read is *not idempotent* (each read consumes a sample).  Re-execution after
+a restore-from-snapshot replays only un-checkpointed reads; tests quantify
+the resulting sample slip, one of the peripheral problems the paper's
+discussion section calls out as open.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.mcu.isa import to_signed, to_word
+from repro.mcu.peripherals import ADCPeripheral
+
+#: Q15 low-pass taps (symmetric, sum < 32768).
+FIR_TAPS = [1024, 3072, 6144, 8192, 8192, 6144, 3072, 1024]
+
+#: Port the program reads samples from.
+ADC_PORT = 0
+
+
+def fir_program(n_samples: int = 96) -> str:
+    """Generate mini-ISA source filtering ``n_samples`` ADC samples."""
+    if n_samples <= len(FIR_TAPS):
+        raise ConfigurationError("need more samples than taps")
+    taps = ", ".join(str(t) for t in FIR_TAPS)
+    return f"""
+; ---- 8-tap FIR over {n_samples} ADC samples ----
+.equ NSAMP, {n_samples}
+.equ NTAPS, {len(FIR_TAPS)}
+.data taps: {taps}
+.reserve window, {len(FIR_TAPS)}
+
+start:
+    ldi r9, 0              ; sample index
+    ldi r10, 0             ; checksum accumulator
+sample_loop:
+    ckpt                   ; Mementos site: per-sample boundary
+    ; shift window left by one
+    ldi r1, 1              ; src index
+shift_loop:
+    ldi r3, window
+    add r4, r3, r1
+    ld  r5, r4, 0
+    subi r4, r4, 1
+    st  r5, r4, 0
+    addi r1, r1, 1
+    ldi  r2, NTAPS
+    blt  r1, r2, shift_loop
+    ; read new sample into window tail
+    in  r5, {ADC_PORT}
+    srai r5, r5, 2         ; scale to keep the MAC in range
+    ldi r3, window
+    ldi r2, NTAPS
+    add r3, r3, r2
+    subi r3, r3, 1
+    st  r5, r3, 0
+    ; MAC across taps
+    ldi r1, 0              ; tap index
+    ldi r6, 0              ; acc
+mac_loop:
+    ldi r3, window
+    add r3, r3, r1
+    ld  r4, r3, 0
+    ldi r3, taps
+    add r3, r3, r1
+    ld  r5, r3, 0
+    mulq r5, r4, r5
+    add  r6, r6, r5
+    addi r1, r1, 1
+    ldi  r2, NTAPS
+    blt  r1, r2, mac_loop
+    ; fold output into checksum
+    xor r10, r10, r6
+    addi r10, r10, 1
+    addi r9, r9, 1
+    ldi  r1, NSAMP
+    blt  r9, r1, sample_loop
+    out 7, r10
+    halt
+"""
+
+
+def fir_golden(n_samples: int = 96, adc: ADCPeripheral = None) -> Tuple[List[int], int]:
+    """Bit-exact model fed from a fresh (or supplied) ADC peripheral.
+
+    Returns:
+        (filter outputs as words, final checksum word).
+    """
+    adc = adc or ADCPeripheral()
+    window = [0] * len(FIR_TAPS)
+    checksum = 0
+    outputs: List[int] = []
+    for _ in range(n_samples):
+        window = window[1:] + [0]
+        raw = adc.read()
+        window[-1] = to_signed(to_word(to_signed(raw) >> 2))
+        acc = 0
+        for tap_index, tap in enumerate(FIR_TAPS):
+            prod = (to_signed(to_word(window[tap_index])) * tap) >> 15
+            acc = to_word(acc + to_word(prod))
+        outputs.append(acc)
+        checksum = to_word((checksum ^ acc) + 1)
+    return outputs, checksum

@@ -1,0 +1,107 @@
+"""Integer matrix multiply (C = A x B, low 16 bits).
+
+Dense load/store traffic through data memory: the workload whose snapshot
+*content* (a half-written C matrix) most obviously must survive power
+failures intact.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.mcu.isa import to_signed, to_word
+
+
+def _matrices(n: int) -> Tuple[List[int], List[int]]:
+    """Deterministic small-valued input matrices (row-major)."""
+    a = [to_word((i * 7 + 3) % 23 - 11) for i in range(n * n)]
+    b = [to_word((i * 13 + 5) % 19 - 9) for i in range(n * n)]
+    return a, b
+
+
+def matmul_program(n: int = 8) -> str:
+    """Generate mini-ISA source for an ``n x n`` integer matrix multiply."""
+    if n < 2 or n > 24:
+        raise ConfigurationError(f"matrix size must be in [2, 24], got {n}")
+    a, b = _matrices(n)
+    return f"""
+; ---- {n}x{n} integer matmul ----
+.equ N, {n}
+.data mat_a: {', '.join(str(v) for v in a)}
+.data mat_b: {', '.join(str(v) for v in b)}
+.reserve mat_c, {n * n}
+
+start:
+    ldi r9, 0              ; i
+i_loop:
+    ckpt                   ; Mementos site: row boundary
+    ldi r8, 0              ; j
+j_loop:
+    ldi r7, 0              ; k
+    ldi r10, 0             ; acc
+k_loop:
+    ldi r1, N
+    mul r1, r9, r1         ; i*N
+    add r1, r1, r7         ; i*N + k
+    ldi r2, mat_a
+    add r2, r2, r1
+    ld  r3, r2, 0          ; A[i][k]
+    ldi r1, N
+    mul r1, r7, r1         ; k*N
+    add r1, r1, r8         ; k*N + j
+    ldi r2, mat_b
+    add r2, r2, r1
+    ld  r4, r2, 0          ; B[k][j]
+    mul r5, r3, r4
+    add r10, r10, r5
+    addi r7, r7, 1
+    ldi  r1, N
+    blt  r7, r1, k_loop
+    ldi r1, N
+    mul r1, r9, r1
+    add r1, r1, r8
+    ldi r2, mat_c
+    add r2, r2, r1
+    st  r10, r2, 0         ; C[i][j] = acc
+    addi r8, r8, 1
+    ldi  r1, N
+    blt  r8, r1, j_loop
+    addi r9, r9, 1
+    ldi  r1, N
+    blt  r9, r1, i_loop
+    ; checksum over C
+    ldi r9, 0
+    ldi r10, 0
+sum_loop:
+    ldi r2, mat_c
+    add r2, r2, r9
+    ld  r1, r2, 0
+    add r10, r10, r1
+    xori r10, r10, 0x5A5A
+    addi r9, r9, 1
+    ldi r1, N
+    mul r1, r1, r1
+    blt r9, r1, sum_loop
+    out 7, r10
+    halt
+"""
+
+
+def matmul_golden(n: int = 8) -> Tuple[List[int], int]:
+    """Bit-exact model: returns (C row-major words, checksum)."""
+    a, b = _matrices(n)
+    a_s = [to_signed(v) for v in a]
+    b_s = [to_signed(v) for v in b]
+    c = [0] * (n * n)
+    for i in range(n):
+        for j in range(n):
+            acc = 0
+            for k in range(n):
+                prod = to_signed(to_word(a_s[i * n + k] * b_s[k * n + j]))
+                acc = to_word(acc + prod)
+            c[i * n + j] = acc
+    checksum = 0
+    for value in c:
+        checksum = to_word(checksum + value) ^ 0x5A5A
+    return c, checksum

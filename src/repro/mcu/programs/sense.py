@@ -1,0 +1,68 @@
+"""Sense-and-send loop: the canonical WSN / task-based workload.
+
+Reads the environmental sensor, keeps a 4-sample moving average, queues the
+averaged values on the radio and flushes one packet every 8 samples.  The
+task boundary (one packet) is exactly what the task-based transient systems
+of §II.B buffer energy for.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: Port assignments used by the program.
+SENSOR_PORT = 1
+RADIO_PORT = 2
+
+
+def sense_program(n_samples: int = 64) -> str:
+    """Generate mini-ISA source for the sense-and-send loop."""
+    if n_samples <= 0 or n_samples % 8 != 0:
+        raise ConfigurationError("n_samples must be a positive multiple of 8")
+    return f"""
+; ---- sense-and-send: {n_samples} samples, packet per 8 ----
+.equ NSAMP, {n_samples}
+.reserve window, 4
+
+start:
+    ldi r9, 0              ; sample counter
+    ldi r11, 0             ; samples since last flush
+loop:
+    ckpt                   ; Mementos site / task boundary
+    ; shift 4-sample window
+    ldi r1, 1
+shift:
+    ldi r3, window
+    add r4, r3, r1
+    ld  r5, r4, 0
+    subi r4, r4, 1
+    st  r5, r4, 0
+    addi r1, r1, 1
+    ldi  r2, 4
+    blt  r1, r2, shift
+    in  r5, {SENSOR_PORT}
+    ldi r3, window
+    st  r5, r3, 3
+    ; moving average of 4
+    ld  r1, r3, 0
+    ld  r2, r3, 1
+    add r1, r1, r2
+    ld  r2, r3, 2
+    add r1, r1, r2
+    ld  r2, r3, 3
+    add r1, r1, r2
+    shri r1, r1, 2
+    out {RADIO_PORT}, r1   ; queue averaged sample
+    addi r11, r11, 1
+    ldi  r2, 8
+    bne  r11, r2, no_flush
+    ldi r1, 0xFFFF
+    out {RADIO_PORT}, r1   ; flush packet
+    ldi r11, 0
+no_flush:
+    addi r9, r9, 1
+    ldi  r1, NSAMP
+    blt  r9, r1, loop
+    out 7, r9              ; report samples processed
+    halt
+"""

@@ -1,0 +1,75 @@
+"""Sieve of Eratosthenes: count primes below a limit.
+
+Division-free (the ISA has no divider) and memory-bound over a byte-map —
+a good long-running background workload for duty-cycle experiments.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.mcu.isa import to_word
+
+
+def sieve_program(limit: int = 400) -> str:
+    """Generate mini-ISA source counting primes in [2, limit)."""
+    if limit < 4 or limit > 1500:
+        raise ConfigurationError(f"limit must be in [4, 1500], got {limit}")
+    return f"""
+; ---- prime count below {limit} by sieve ----
+.equ LIMIT, {limit}
+.reserve flags, {limit}
+
+start:
+    ; mark all as candidate (0 = prime candidate, 1 = composite)
+    ldi r9, 2              ; p
+outer:
+    ckpt                   ; Mementos site: per-prime boundary
+    ldi r1, flags
+    add r1, r1, r9
+    ld  r2, r1, 0
+    bne r2, r0, next_p     ; already composite
+    ; strike multiples starting at p*p
+    mul r3, r9, r9
+    ldi r4, LIMIT
+    bge r3, r4, next_p
+strike:
+    ldi r1, flags
+    add r1, r1, r3
+    ldi r2, 1
+    st  r2, r1, 0
+    add r3, r3, r9
+    ldi r4, LIMIT
+    blt r3, r4, strike
+next_p:
+    addi r9, r9, 1
+    mul  r5, r9, r9
+    ldi  r4, LIMIT
+    blt  r5, r4, outer
+    ; count zeros in [2, LIMIT)
+    ldi r9, 2
+    ldi r10, 0
+count:
+    ldi r1, flags
+    add r1, r1, r9
+    ld  r2, r1, 0
+    bne r2, r0, not_prime
+    addi r10, r10, 1
+not_prime:
+    addi r9, r9, 1
+    ldi  r4, LIMIT
+    blt  r9, r4, count
+    out 7, r10
+    halt
+"""
+
+
+def sieve_golden(limit: int = 400) -> int:
+    """Prime count in [2, limit) as the program reports it."""
+    flags = [0] * limit
+    p = 2
+    while p * p < limit:
+        if flags[p] == 0:
+            for q in range(p * p, limit, p):
+                flags[q] = 1
+        p += 1
+    return to_word(sum(1 for i in range(2, limit) if flags[i] == 0))

@@ -1,0 +1,132 @@
+"""Recursive quicksort for the mini-ISA.
+
+The only workload that genuinely exercises the call stack: a snapshot taken
+mid-recursion must preserve return addresses and saved registers deep in
+SRAM, or the restore unwinds into garbage.  Lomuto partition, recursing on
+both halves via real ``call``/``ret``.
+
+Register conventions inside ``qsort(lo=r1, hi=r2)``:
+    r1 lo, r2 hi (arguments; caller-saved via push)
+    r3 pivot value, r4 i, r5 j, r6/r7 scratch
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.mcu.isa import to_signed, to_word
+
+
+def sort_input(length: int) -> List[int]:
+    """Deterministic shuffled values (LCG), signed 16-bit."""
+    state = 0xBEEF
+    values = []
+    for _ in range(length):
+        state = to_word(state * 31421 + 6927)
+        values.append(to_word(state % 2003 - 1001))
+    return values
+
+
+def sort_program(length: int = 64) -> str:
+    """Generate mini-ISA source quicksorting ``length`` words in place."""
+    if not 4 <= length <= 512:
+        raise ConfigurationError(f"length must be in [4, 512], got {length}")
+    data = ", ".join(str(v) for v in sort_input(length))
+    return f"""
+; ---- recursive quicksort of {length} words ----
+.equ LEN, {length}
+.data arr: {data}
+
+start:
+    ldi r1, 0
+    ldi r2, LEN
+    subi r2, r2, 1
+    call qsort
+    ; checksum: sum of value*(index+1) so order matters
+    ldi r9, 0
+    ldi r10, 0
+chk_loop:
+    ldi r5, arr
+    add r5, r5, r9
+    ld  r6, r5, 0
+    addi r7, r9, 1
+    mul r6, r6, r7
+    add r10, r10, r6
+    addi r9, r9, 1
+    ldi r1, LEN
+    blt r9, r1, chk_loop
+    out 7, r10
+    halt
+
+; ---- qsort(lo=r1, hi=r2), in place over arr ----
+qsort:
+    ckpt                   ; Mementos site: per-call boundary
+    bge r1, r2, qs_done    ; lo >= hi: nothing to sort
+    ; partition: pivot = arr[hi]
+    ldi r6, arr
+    add r6, r6, r2
+    ld  r3, r6, 0          ; pivot
+    mov r4, r1             ; i = lo
+    mov r5, r1             ; j = lo
+part_loop:
+    bge r5, r2, part_done  ; j >= hi
+    ldi r6, arr
+    add r6, r6, r5
+    ld  r7, r6, 0          ; arr[j]
+    bge r7, r3, no_swap    ; arr[j] >= pivot: skip
+    ; swap arr[i], arr[j]
+    ldi r6, arr
+    add r6, r6, r4
+    ld  r8, r6, 0          ; arr[i]
+    st  r7, r6, 0
+    ldi r6, arr
+    add r6, r6, r5
+    st  r8, r6, 0
+    addi r4, r4, 1
+no_swap:
+    addi r5, r5, 1
+    jmp part_loop
+part_done:
+    ; swap arr[i], arr[hi] -> pivot into place at i
+    ldi r6, arr
+    add r6, r6, r4
+    ld  r7, r6, 0
+    ldi r8, arr
+    add r8, r8, r2
+    ld  r5, r8, 0
+    st  r5, r6, 0
+    st  r7, r8, 0
+    ; recurse left: qsort(lo, i-1)
+    push r1
+    push r2
+    push r4
+    mov r2, r4
+    subi r2, r2, 1
+    call qsort
+    pop r4
+    pop r2
+    pop r1
+    ; recurse right: qsort(i+1, hi)
+    push r1
+    push r2
+    push r4
+    mov r1, r4
+    addi r1, r1, 1
+    call qsort
+    pop r4
+    pop r2
+    pop r1
+qs_done:
+    ret
+"""
+
+
+def sort_golden(length: int = 64) -> Tuple[List[int], int]:
+    """Bit-exact model: returns (sorted words, order-sensitive checksum)."""
+    values = sorted(to_signed(v) for v in sort_input(length))
+    checksum = 0
+    for index, value in enumerate(values):
+        term = to_signed(to_word(value * (index + 1)))
+        checksum = to_word(checksum + term)
+    return [to_word(v) for v in values], checksum

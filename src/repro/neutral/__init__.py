@@ -1,0 +1,45 @@
+"""Power-neutral and energy-neutral operation.
+
+* :mod:`repro.neutral.power_neutral` — Fig. 8: a DFS governor that holds
+  V_cc steady by modulating the MCU's clock, composed with Hibernus into
+  the paper's hibernus-PN point.
+* :mod:`repro.neutral.mpsoc` — Fig. 5: the ODROID-XU4 big.LITTLE model
+  whose DVFS x core-count operating points span an order of magnitude of
+  power, plus a power-neutral performance scaler over them (ref [11]).
+* :mod:`repro.neutral.energy_neutral` — §II.A: Kansal-style energy-neutral
+  duty-cycle management for a harvesting WSN node (ref [3]).
+"""
+
+from repro.neutral.power_neutral import (
+    GovernorTrace,
+    PowerNeutralGovernor,
+    PowerNeutralHibernus,
+)
+from repro.neutral.mpsoc import (
+    ClusterConfig,
+    CpuCluster,
+    MpsocLoad,
+    MpsocOperatingPoint,
+    OdroidXU4Model,
+    PowerNeutralMpsocScaler,
+)
+from repro.neutral.energy_neutral import (
+    DutyCycleManager,
+    EwmaPredictor,
+    WsnNode,
+)
+
+__all__ = [
+    "PowerNeutralGovernor",
+    "PowerNeutralHibernus",
+    "GovernorTrace",
+    "CpuCluster",
+    "ClusterConfig",
+    "MpsocLoad",
+    "MpsocOperatingPoint",
+    "OdroidXU4Model",
+    "PowerNeutralMpsocScaler",
+    "EwmaPredictor",
+    "DutyCycleManager",
+    "WsnNode",
+]

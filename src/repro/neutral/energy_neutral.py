@@ -1,0 +1,189 @@
+"""Energy-neutral duty-cycle management for harvesting WSN nodes (ref [3]).
+
+The §II.A approach: add enough storage that expression (2) always holds,
+then satisfy expression (1) — energy harvested equals energy consumed over
+a period T (24 h for solar) — by adapting the node's activity.
+
+The manager follows Kansal et al.'s structure: a slotted EWMA predictor
+learns the diurnal harvest profile; each slot the duty cycle is set so the
+predicted daily harvest covers the planned daily consumption, with a
+battery-level feedback term that nudges consumption whenever the stored
+energy drifts from its target (which is what actually enforces neutrality
+when predictions err).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.power.rail import RailLoad
+from repro.storage.base import StorageElement
+from repro.units import days
+
+
+class EwmaPredictor:
+    """Slotted exponentially-weighted moving-average harvest predictor.
+
+    The day is divided into ``slots`` equal slots; each maintains an EWMA
+    of the energy harvested during that slot on previous days — Kansal's
+    prediction structure, which captures the diurnal cycle without a model
+    of weather.
+    """
+
+    def __init__(self, slots: int = 48, alpha: float = 0.3):
+        if slots < 1:
+            raise ConfigurationError("need at least one slot")
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError("alpha must be in (0, 1]")
+        self.slots = slots
+        self.alpha = alpha
+        self._estimates: List[Optional[float]] = [None] * slots
+
+    @property
+    def slot_duration(self) -> float:
+        """Seconds per slot."""
+        return days(1) / self.slots
+
+    def slot_of(self, t: float) -> int:
+        """Slot index for simulation time ``t``."""
+        return int((t % days(1)) / self.slot_duration)
+
+    def observe(self, slot: int, energy: float) -> None:
+        """Record the energy actually harvested during ``slot``."""
+        if not 0 <= slot < self.slots:
+            raise ConfigurationError(f"slot {slot} out of range")
+        previous = self._estimates[slot]
+        if previous is None:
+            self._estimates[slot] = energy
+        else:
+            self._estimates[slot] = self.alpha * energy + (1.0 - self.alpha) * previous
+
+    def predict_slot(self, slot: int) -> float:
+        """Predicted energy for one slot (0 until first observation)."""
+        value = self._estimates[slot % self.slots]
+        return value if value is not None else 0.0
+
+    def predict_day(self) -> float:
+        """Predicted total energy over the next full day."""
+        return sum(self.predict_slot(s) for s in range(self.slots))
+
+    def trained(self) -> bool:
+        """True once every slot has at least one observation."""
+        return all(v is not None for v in self._estimates)
+
+
+@dataclass
+class DutySchedule:
+    """Record of one duty-cycle decision."""
+
+    t: float
+    duty: float
+    predicted_day_energy: float
+    soc: float
+
+
+class DutyCycleManager:
+    """Kansal-style energy-neutral duty-cycle controller.
+
+    Args:
+        predictor: the slotted harvest predictor.
+        p_active: node power while performing its duty (W).
+        p_sleep: node power while sleeping (W).
+        duty_min / duty_max: actuation limits.
+        soc_target: battery state-of-charge the feedback term defends.
+        feedback_gain: duty-cycle correction per unit SoC error.
+    """
+
+    def __init__(
+        self,
+        predictor: EwmaPredictor,
+        p_active: float,
+        p_sleep: float,
+        duty_min: float = 0.01,
+        duty_max: float = 1.0,
+        soc_target: float = 0.6,
+        feedback_gain: float = 0.8,
+    ):
+        if p_active <= p_sleep:
+            raise ConfigurationError("p_active must exceed p_sleep")
+        # Equality pins the duty cycle — useful for open-loop operation.
+        if not 0.0 <= duty_min <= duty_max <= 1.0:
+            raise ConfigurationError("need 0 <= duty_min <= duty_max <= 1")
+        self.predictor = predictor
+        self.p_active = p_active
+        self.p_sleep = p_sleep
+        self.duty_min = duty_min
+        self.duty_max = duty_max
+        self.soc_target = soc_target
+        self.feedback_gain = feedback_gain
+        self.schedule: List[DutySchedule] = []
+
+    def duty_for(self, t: float, soc: float) -> float:
+        """Duty cycle for the slot containing ``t`` given battery SoC."""
+        day_energy = self.predictor.predict_day()
+        day_seconds = days(1)
+        # Solve E_pred = d * P_active * T + (1-d) * P_sleep * T for d.
+        denom = (self.p_active - self.p_sleep) * day_seconds
+        base = (day_energy - self.p_sleep * day_seconds) / denom
+        corrected = base + self.feedback_gain * (soc - self.soc_target)
+        duty = min(self.duty_max, max(self.duty_min, corrected))
+        self.schedule.append(
+            DutySchedule(t=t, duty=duty, predicted_day_energy=day_energy, soc=soc)
+        )
+        return duty
+
+    def reset(self) -> None:
+        """Clear the decision history."""
+        self.schedule.clear()
+
+
+class WsnNode(RailLoad):
+    """A duty-cycled sensing node under energy-neutral management.
+
+    The node re-evaluates its duty cycle at every predictor slot boundary,
+    observes the harvest (through the rail's storage recovery — here
+    approximated by the manager being fed the harvested energy externally
+    via :meth:`observe_harvest`), and consumes accordingly.  'Work done'
+    is counted in sample units (one per active second at full rate).
+    """
+
+    def __init__(
+        self,
+        manager: DutyCycleManager,
+        storage: StorageElement,
+        samples_per_active_second: float = 2.0,
+    ):
+        self.manager = manager
+        self.storage = storage
+        self.samples_per_active_second = samples_per_active_second
+        self.duty = manager.duty_min
+        self.samples_taken = 0.0
+        self._current_slot = -1
+        self._slot_harvest = 0.0
+
+    def observe_harvest(self, energy: float) -> None:
+        """Feed the energy harvested since the last call (accumulated into
+        the current predictor slot)."""
+        self._slot_harvest += energy
+
+    def advance(self, t: float, dt: float, v_rail: float) -> float:
+        slot = self.manager.predictor.slot_of(t)
+        if slot != self._current_slot:
+            if self._current_slot >= 0:
+                self.manager.predictor.observe(self._current_slot, self._slot_harvest)
+            self._slot_harvest = 0.0
+            self._current_slot = slot
+            soc = self.storage.stored_energy / self.storage.storage_capacity
+            self.duty = self.manager.duty_for(t, soc)
+        power = self.duty * self.manager.p_active + (1.0 - self.duty) * self.manager.p_sleep
+        self.samples_taken += self.duty * self.samples_per_active_second * dt
+        return power * dt
+
+    def reset(self) -> None:
+        self.duty = self.manager.duty_min
+        self.samples_taken = 0.0
+        self._current_slot = -1
+        self._slot_harvest = 0.0
+        self.manager.reset()

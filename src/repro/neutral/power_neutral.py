@@ -1,0 +1,122 @@
+"""Power-neutral operation via DFS (§II.C, §III, Fig. 8).
+
+Power neutrality is expression (3): P_h(t) = P_c(t) at every instant, with
+only parasitic/decoupling capacitance smoothing the residual.  The control
+signal is the rail voltage itself: if V_cc falls the load is drawing more
+than the harvest (slow down); if it rises the harvest exceeds the draw
+(speed up).  Holding V_cc constant *is* power neutrality — exactly how the
+paper phrases it ("modulating this performance at runtime to keep V_cc
+constant").
+
+:class:`PowerNeutralHibernus` composes the governor with Hibernus: the
+system of Fig. 8 that gracefully degrades performance as the gust fades
+and, only when even the slowest operating point cannot be sustained,
+hibernates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.transient.base import TransientPlatform
+from repro.transient.hibernus import Hibernus
+
+
+@dataclass
+class GovernorTrace:
+    """Frequency decisions over time, for the Fig. 8 bottom panel."""
+
+    times: List[float] = field(default_factory=list)
+    frequencies: List[float] = field(default_factory=list)
+
+    def record(self, t: float, frequency: float) -> None:
+        """Append one decision."""
+        self.times.append(t)
+        self.frequencies.append(frequency)
+
+
+class PowerNeutralGovernor:
+    """Bang-bang-with-deadband DFS controller on the rail voltage.
+
+    Args:
+        v_target: the V_cc setpoint the governor tries to hold.
+        deadband: half-width of the hold band around the setpoint; inside
+            it the frequency stays put (avoids dithering).
+        period: control period in seconds (DFS transitions are not free on
+            real silicon; the governor acts at this rate, not every step).
+            Zero means 'every evaluation'.
+    """
+
+    def __init__(self, v_target: float = 2.9, deadband: float = 0.12, period: float = 0.004):
+        if deadband <= 0.0 or period < 0.0:
+            raise ConfigurationError("deadband must be positive, period non-negative")
+        self.v_target = v_target
+        self.deadband = deadband
+        self.period = period
+        self.trace = GovernorTrace()
+        self._last_decision = -1e30
+
+    def control(self, platform: TransientPlatform, t: float, v: float) -> None:
+        """One control evaluation; steps the platform clock up or down."""
+        if t - self._last_decision < self.period:
+            return
+        self._last_decision = t
+        if v < self.v_target - self.deadband:
+            platform.clock.step_down()
+        elif v > self.v_target + self.deadband:
+            platform.clock.step_up()
+        self.trace.record(t, platform.clock.frequency)
+
+    def reset(self) -> None:
+        """Clear the decision trace and timer."""
+        self.trace = GovernorTrace()
+        self._last_decision = -1e30
+
+
+class PowerNeutralHibernus(Hibernus):
+    """Hibernus + power-neutral DFS: the paper's hibernus-PN (§III, Fig. 8).
+
+    While active, the governor modulates the clock to match consumption to
+    harvest; the Hibernus voltage interrupt remains armed underneath and
+    fires only when even minimum-frequency operation cannot be sustained —
+    "between 0.4 and 1.1 seconds, power-neutral operation allows it to
+    modulate its performance ... such that V_cc is not interrupted and
+    hence does not incur the overheads of saving and restoring state".
+
+    Args:
+        governor: the DFS controller; defaults target V_cc above V_R so
+            governing and hibernation thresholds nest correctly.
+        kwargs: forwarded to :class:`Hibernus`.
+    """
+
+    name = "hibernus-pn"
+
+    def __init__(self, governor: Optional[PowerNeutralGovernor] = None, **kwargs):
+        super().__init__(**kwargs)
+        self.governor = governor or PowerNeutralGovernor()
+
+    def configure(self, platform: TransientPlatform) -> None:
+        super().configure(platform)
+        if self.governor.v_target - self.governor.deadband <= self.v_hibernate:
+            raise ConfigurationError(
+                "governor band must sit above V_H or DFS can never act "
+                f"(band floor {self.governor.v_target - self.governor.deadband:.2f} V, "
+                f"V_H {self.v_hibernate:.2f} V)"
+            )
+
+    def on_active(self, platform: TransientPlatform, t: float, v: float) -> None:
+        self.governor.control(platform, t, v)
+        super().on_active(platform, t, v)
+
+    def on_restore_complete(
+        self, platform: TransientPlatform, t: float, v: float
+    ) -> None:
+        # Resume cautiously: the supply just came back; let the governor
+        # ramp up from the slowest point instead of slamming the rail.
+        platform.clock.set_index(0)
+
+    def reset(self) -> None:
+        super().reset()
+        self.governor.reset()

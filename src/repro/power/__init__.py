@@ -1,0 +1,47 @@
+"""Power conversion and the supply rail.
+
+The paper contrasts two architectures:
+
+* Fig. 3 (energy-neutral): supply -> conversion -> storage -> conversion ->
+  load.  Modelled by chaining a :class:`ConversionStage` into a
+  :class:`HarvesterInjector` feeding a large store, with a regulator stage
+  on the load side.
+* Fig. 4 (power-neutral): harvester -> (minimal) conversion -> harvesting-
+  aware load, no storage beyond decoupling.  Modelled by a
+  :class:`RectifiedInjector` feeding the decoupling capacitance directly.
+
+:class:`SupplyRail` is the single simulated electrical node: storage element
+plus current injectors plus loads, integrated once per engine step.
+"""
+
+from repro.power.rectifier import Diode, FullWaveRectifier, HalfWaveRectifier
+from repro.power.converter import (
+    BoostConverter,
+    ConversionStage,
+    IdealConverter,
+    LinearRegulator,
+)
+from repro.power.mppt import FractionalVocMPPT
+from repro.power.rail import (
+    HarvesterInjector,
+    RailLoad,
+    RectifiedInjector,
+    ResistiveLoad,
+    SupplyRail,
+)
+
+__all__ = [
+    "Diode",
+    "HalfWaveRectifier",
+    "FullWaveRectifier",
+    "ConversionStage",
+    "IdealConverter",
+    "LinearRegulator",
+    "BoostConverter",
+    "FractionalVocMPPT",
+    "SupplyRail",
+    "RailLoad",
+    "HarvesterInjector",
+    "RectifiedInjector",
+    "ResistiveLoad",
+]

@@ -1,0 +1,112 @@
+"""DC-DC conversion stages.
+
+The energy-neutral architecture (Fig. 3) needs *two* of these — one between
+harvester and store, one between store and load — and the paper's argument
+is precisely that each stage adds cost, quiescent drain and complexity.
+Modelling the quiescent overhead is therefore essential: it is what makes
+zero-storage power-neutral designs competitive.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class ConversionStage:
+    """Base conversion stage: output power for a given input power/voltage."""
+
+    #: Quiescent power drawn whenever the stage is powered (W).
+    quiescent_power: float = 0.0
+
+    def output_power(self, p_in: float, v_in: float) -> float:
+        """Power delivered downstream for ``p_in`` watts at ``v_in`` volts."""
+        raise NotImplementedError
+
+    def efficiency(self, p_in: float, v_in: float) -> float:
+        """Net efficiency including quiescent drain (0 when starved)."""
+        if p_in <= 0.0:
+            return 0.0
+        return max(0.0, self.output_power(p_in, v_in)) / p_in
+
+
+class IdealConverter(ConversionStage):
+    """Lossless stage — the theoretical reference point."""
+
+    def output_power(self, p_in: float, v_in: float) -> float:
+        return max(0.0, p_in)
+
+
+class LinearRegulator(ConversionStage):
+    """LDO: efficiency is the voltage ratio, plus a quiescent drain.
+
+    Args:
+        v_out: regulated output voltage.
+        dropout: minimum headroom; below ``v_out + dropout`` the regulator
+            passes through with the input voltage (efficiency 1 in-band).
+        quiescent_power: ground-pin drain while operating.
+    """
+
+    def __init__(self, v_out: float, dropout: float = 0.15, quiescent_power: float = 3e-6):
+        if v_out <= 0.0 or dropout < 0.0 or quiescent_power < 0.0:
+            raise ConfigurationError("invalid regulator parameters")
+        self.v_out = v_out
+        self.dropout = dropout
+        self.quiescent_power = quiescent_power
+
+    def output_power(self, p_in: float, v_in: float) -> float:
+        if p_in <= 0.0 or v_in <= 0.0:
+            return 0.0
+        usable = p_in - self.quiescent_power
+        if usable <= 0.0:
+            return 0.0
+        if v_in <= self.v_out + self.dropout:
+            return usable
+        return usable * self.v_out / v_in
+
+
+class BoostConverter(ConversionStage):
+    """Switching boost converter with a load-dependent efficiency curve.
+
+    Efficiency follows the classic switching-converter shape: poor at light
+    load (fixed switching losses dominate), flat near ``peak_efficiency``
+    at and above ``p_knee``:
+
+        eta(p) = peak_efficiency * p / (p + p_knee * (1 - peak_efficiency))
+
+    Args:
+        peak_efficiency: asymptotic heavy-load efficiency in (0, 1].
+        p_knee: input power at which efficiency reaches roughly half its
+            asymptote (W).
+        v_in_min: cold-start threshold; below this input voltage the
+            converter cannot run at all.
+        quiescent_power: controller drain while running.
+    """
+
+    def __init__(
+        self,
+        peak_efficiency: float = 0.85,
+        p_knee: float = 50e-6,
+        v_in_min: float = 0.3,
+        quiescent_power: float = 1e-6,
+    ):
+        if not 0.0 < peak_efficiency <= 1.0:
+            raise ConfigurationError("peak efficiency must be in (0, 1]")
+        if p_knee < 0.0 or v_in_min < 0.0 or quiescent_power < 0.0:
+            raise ConfigurationError("invalid converter parameters")
+        self.peak_efficiency = peak_efficiency
+        self.p_knee = p_knee
+        self.v_in_min = v_in_min
+        self.quiescent_power = quiescent_power
+
+    def output_power(self, p_in: float, v_in: float) -> float:
+        if p_in <= 0.0 or v_in < self.v_in_min:
+            return 0.0
+        usable = p_in - self.quiescent_power
+        if usable <= 0.0:
+            return 0.0
+        eta = (
+            self.peak_efficiency
+            * usable
+            / (usable + self.p_knee * (1.0 - self.peak_efficiency))
+        )
+        return usable * eta

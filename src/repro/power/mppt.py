@@ -1,0 +1,65 @@
+"""Maximum power point tracking.
+
+A fractional open-circuit-voltage tracker: the classic ultra-low-power MPPT
+used in harvesting front-ends.  It captures a fraction of the truly
+available power, converging toward its steady tracking efficiency with a
+first-order lag after the operating point moves.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class FractionalVocMPPT:
+    """Fractional-Voc tracker with first-order convergence dynamics.
+
+    Args:
+        tracking_efficiency: steady-state fraction of available power
+            captured once converged (typ. 0.9-0.98 for fractional-Voc).
+        settle_time: time constant (s) of re-convergence after a step
+            change in available power.
+        disturbance_threshold: relative change in available power treated
+            as a disturbance (restarts convergence from ``floor``).
+        floor: capture fraction immediately after a disturbance.
+    """
+
+    def __init__(
+        self,
+        tracking_efficiency: float = 0.95,
+        settle_time: float = 0.05,
+        disturbance_threshold: float = 0.25,
+        floor: float = 0.6,
+    ):
+        if not 0.0 < tracking_efficiency <= 1.0:
+            raise ConfigurationError("tracking efficiency must be in (0, 1]")
+        if settle_time <= 0.0:
+            raise ConfigurationError("settle time must be positive")
+        if not 0.0 <= floor <= tracking_efficiency:
+            raise ConfigurationError("floor must be in [0, tracking_efficiency]")
+        self.tracking_efficiency = tracking_efficiency
+        self.settle_time = settle_time
+        self.disturbance_threshold = disturbance_threshold
+        self.floor = floor
+        self._capture = tracking_efficiency
+        self._last_power = 0.0
+
+    def captured_power(self, available: float, dt: float) -> float:
+        """Power captured from ``available`` watts during a ``dt`` step."""
+        if available <= 0.0:
+            self._last_power = 0.0
+            return 0.0
+        if self._last_power > 0.0:
+            rel_change = abs(available - self._last_power) / self._last_power
+            if rel_change > self.disturbance_threshold:
+                self._capture = self.floor
+        self._last_power = available
+        # First-order approach to the steady tracking efficiency.
+        alpha = min(1.0, dt / self.settle_time)
+        self._capture += alpha * (self.tracking_efficiency - self._capture)
+        return available * self._capture
+
+    def reset(self) -> None:
+        """Restore converged state."""
+        self._capture = self.tracking_efficiency
+        self._last_power = 0.0

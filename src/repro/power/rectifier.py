@@ -1,0 +1,70 @@
+"""Rectifiers: AC harvester output -> unidirectional rail current.
+
+Fig. 7 shows a system running directly from a half-wave rectified sine and
+Fig. 8 from the half-wave rectified output of a micro wind turbine — the
+rectifier is the *only* conversion element in those power-neutral setups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Diode:
+    """Piecewise-linear diode: forward drop + on-resistance."""
+
+    forward_drop: float = 0.3
+    on_resistance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.forward_drop < 0.0 or self.on_resistance <= 0.0:
+            raise ConfigurationError("invalid diode parameters")
+
+    def current(self, v_across: float) -> float:
+        """Forward current (A) for a given anode-cathode voltage."""
+        if v_across <= self.forward_drop:
+            return 0.0
+        return (v_across - self.forward_drop) / self.on_resistance
+
+
+class HalfWaveRectifier:
+    """Single-diode half-wave rectifier between source and rail.
+
+    Current flows only when the source's positive half-cycle exceeds the
+    rail voltage plus the diode drop; the source resistance limits it.
+    """
+
+    def __init__(self, diode: Diode = Diode()):
+        self.diode = diode
+
+    def current_into_rail(
+        self, v_source: float, v_rail: float, source_resistance: float
+    ) -> float:
+        """Instantaneous charging current (A), >= 0."""
+        if source_resistance <= 0.0:
+            raise ConfigurationError("source resistance must be positive")
+        headroom = v_source - v_rail - self.diode.forward_drop
+        if headroom <= 0.0:
+            return 0.0
+        return headroom / (source_resistance + self.diode.on_resistance)
+
+
+class FullWaveRectifier:
+    """Diode bridge: conducts on both half-cycles, two diode drops."""
+
+    def __init__(self, diode: Diode = Diode()):
+        self.diode = diode
+
+    def current_into_rail(
+        self, v_source: float, v_rail: float, source_resistance: float
+    ) -> float:
+        """Instantaneous charging current (A), >= 0."""
+        if source_resistance <= 0.0:
+            raise ConfigurationError("source resistance must be positive")
+        headroom = abs(v_source) - v_rail - 2.0 * self.diode.forward_drop
+        if headroom <= 0.0:
+            return 0.0
+        return headroom / (source_resistance + 2.0 * self.diode.on_resistance)

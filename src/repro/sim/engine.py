@@ -1,0 +1,189 @@
+"""The fixed-timestep simulation engine.
+
+Components implement a tiny protocol (:meth:`Component.step` plus an optional
+:meth:`Component.reset`).  The engine owns time: it calls each component once
+per step, in registration order, then samples every probe.  Registration
+order therefore defines the causal order within one timestep; systems built
+by :mod:`repro.core.system` register source conditioning before the rail and
+the rail before loads are sampled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.probes import Recorder, Trace
+
+
+class Component:
+    """Base class for anything stepped by the :class:`Simulator`.
+
+    Subclasses override :meth:`step`; :meth:`reset` restores construction
+    state so the same system object can be re-run.
+    """
+
+    def step(self, t: float, dt: float) -> None:
+        """Advance the component from ``t`` to ``t + dt``."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Restore the component to its initial state (default: no-op)."""
+
+
+StopCondition = Callable[[float], bool]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a :meth:`Simulator.run` call.
+
+    Attributes:
+        t_end: simulation time when the run stopped.
+        steps: number of timesteps executed.
+        stopped_early: True when a stop condition fired before ``duration``.
+        traces: recorded signal traces keyed by probe name.
+    """
+
+    t_end: float
+    steps: int
+    stopped_early: bool
+    traces: Dict[str, Trace] = field(default_factory=dict)
+
+    def trace(self, name: str) -> Trace:
+        """Return the trace recorded under ``name``.
+
+        Raises:
+            KeyError: if no probe with that name was registered.
+        """
+        return self.traces[name]
+
+
+class Simulator:
+    """Fixed-timestep simulator.
+
+    Args:
+        dt: timestep in seconds. Must be positive.
+        components: initial component list (more can be added later).
+
+    The engine is deliberately simple — a loop over components — because all
+    the interesting dynamics live in the components (rail integration, MCU
+    execution, governor control).  Determinism is guaranteed: no wall-clock
+    or global RNG access happens here.
+    """
+
+    def __init__(self, dt: float, components: Optional[Sequence[Component]] = None):
+        if dt <= 0.0:
+            raise ConfigurationError(f"timestep must be positive, got {dt!r}")
+        self.dt = dt
+        self.t = 0.0
+        self.steps = 0
+        self._components: List[Component] = list(components or [])
+        self._recorder = Recorder()
+        self._stop_conditions: List[StopCondition] = []
+
+    @property
+    def recorder(self) -> Recorder:
+        """The recorder holding all registered probes."""
+        return self._recorder
+
+    def add(self, component: Component) -> Component:
+        """Register a component; returns it for chaining."""
+        self._components.append(component)
+        return component
+
+    def probe(self, name: str, fn: Callable[[], float], decimate: int = 1) -> None:
+        """Register a probe sampling ``fn()`` every ``decimate`` steps."""
+        self._recorder.add(name, fn, decimate=decimate)
+
+    def stop_when(self, condition: StopCondition) -> None:
+        """Stop the run as soon as ``condition(t)`` returns True.
+
+        The condition is evaluated after each step, so the state that made it
+        true is already recorded.
+        """
+        self._stop_conditions.append(condition)
+
+    def reset(self) -> None:
+        """Reset time, probes and every component."""
+        self.t = 0.0
+        self.steps = 0
+        self._recorder.clear()
+        for component in self._components:
+            component.reset()
+
+    def step(self) -> None:
+        """Advance the simulation by one timestep."""
+        for component in self._components:
+            component.step(self.t, self.dt)
+        self.t += self.dt
+        self.steps += 1
+        self._recorder.sample(self.t)
+
+    def run(
+        self,
+        duration: Optional[float] = None,
+        max_steps: Optional[int] = None,
+    ) -> SimulationResult:
+        """Run for ``duration`` seconds (or until a stop condition fires).
+
+        Args:
+            duration: seconds of simulated time to advance. May be omitted
+                when ``max_steps`` is given.
+            max_steps: hard cap on step count regardless of duration.
+
+        Returns:
+            A :class:`SimulationResult` with the recorded traces.
+
+        Raises:
+            ConfigurationError: when neither bound is provided.
+        """
+        if duration is None and max_steps is None:
+            raise ConfigurationError("run() needs duration and/or max_steps")
+        t_stop = self.t + duration if duration is not None else None
+        stopped_early = False
+        steps_before = self.steps
+        while True:
+            if t_stop is not None and self.t >= t_stop - 0.5 * self.dt:
+                break
+            if max_steps is not None and self.steps - steps_before >= max_steps:
+                break
+            self.step()
+            if any(cond(self.t) for cond in self._stop_conditions):
+                stopped_early = True
+                break
+        return SimulationResult(
+            t_end=self.t,
+            steps=self.steps - steps_before,
+            stopped_early=stopped_early,
+            traces=self._recorder.traces(),
+        )
+
+    def run_steps(self, n: int) -> SimulationResult:
+        """Run exactly ``n`` steps (ignoring stop conditions would be wrong,
+        so they still apply)."""
+        if n < 0:
+            raise ConfigurationError(f"step count must be non-negative, got {n}")
+        return self.run(max_steps=n)
+
+
+def integrate_trapezoid(values: Sequence[float], dt: float) -> float:
+    """Trapezoidal integral of regularly sampled ``values`` with spacing ``dt``.
+
+    Utility used by energy accounting: the integral of a power trace is the
+    energy over the run.
+    """
+    n = len(values)
+    if n == 0:
+        return 0.0
+    if n == 1:
+        return 0.0
+    total = 0.5 * (values[0] + values[-1]) + sum(values[1:-1])
+    return total * dt
+
+
+def require_state(condition: bool, message: str) -> None:
+    """Raise :class:`SimulationError` unless ``condition`` holds."""
+    if not condition:
+        raise SimulationError(message)

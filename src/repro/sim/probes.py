@@ -1,0 +1,145 @@
+"""Signal probes and trace recording.
+
+A :class:`Probe` samples a scalar-returning callable once per engine step
+(optionally decimated).  The collected samples become a :class:`Trace`, a
+thin wrapper over numpy arrays with the handful of operations the analysis
+code needs (slicing by time, min/max, mean, integration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Trace:
+    """A regularly-ish sampled signal: paired time and value arrays."""
+
+    name: str
+    times: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=float)
+        self.values = np.asarray(self.values, dtype=float)
+        if self.times.shape != self.values.shape:
+            raise ConfigurationError(
+                f"trace {self.name!r}: times and values lengths differ "
+                f"({self.times.shape} vs {self.values.shape})"
+            )
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    @property
+    def dt(self) -> float:
+        """Median sample spacing (robust to decimation boundary effects)."""
+        if len(self) < 2:
+            return 0.0
+        return float(np.median(np.diff(self.times)))
+
+    def between(self, t_start: float, t_end: float) -> "Trace":
+        """Return the sub-trace with ``t_start <= t <= t_end``."""
+        mask = (self.times >= t_start) & (self.times <= t_end)
+        return Trace(self.name, self.times[mask], self.values[mask])
+
+    def value_at(self, t: float) -> float:
+        """Linearly interpolated value at time ``t``."""
+        return float(np.interp(t, self.times, self.values))
+
+    def minimum(self) -> float:
+        """Smallest sample value."""
+        return float(self.values.min())
+
+    def maximum(self) -> float:
+        """Largest sample value."""
+        return float(self.values.max())
+
+    def mean(self) -> float:
+        """Arithmetic mean of the samples."""
+        return float(self.values.mean())
+
+    def peak_to_peak(self) -> float:
+        """max - min."""
+        return self.maximum() - self.minimum()
+
+    def integral(self) -> float:
+        """Trapezoidal integral over time (e.g. power trace -> energy)."""
+        if len(self) < 2:
+            return 0.0
+        return float(np.trapezoid(self.values, self.times))
+
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of samples strictly above ``threshold``."""
+        if len(self) == 0:
+            return 0.0
+        return float(np.mean(self.values > threshold))
+
+
+class Probe:
+    """Samples ``fn()`` every ``decimate`` engine steps."""
+
+    def __init__(self, name: str, fn: Callable[[], float], decimate: int = 1):
+        if decimate < 1:
+            raise ConfigurationError(f"decimate must be >= 1, got {decimate}")
+        self.name = name
+        self._fn = fn
+        self._decimate = decimate
+        self._counter = 0
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def sample(self, t: float) -> None:
+        """Record a sample if this step is on the decimation grid."""
+        self._counter += 1
+        if self._counter >= self._decimate:
+            self._counter = 0
+            self._times.append(t)
+            self._values.append(float(self._fn()))
+
+    def clear(self) -> None:
+        """Drop all recorded samples."""
+        self._counter = 0
+        self._times.clear()
+        self._values.clear()
+
+    def trace(self) -> Trace:
+        """Materialise the samples as a :class:`Trace`."""
+        return Trace(self.name, np.array(self._times), np.array(self._values))
+
+
+class Recorder:
+    """A named collection of probes sampled together by the engine."""
+
+    def __init__(self) -> None:
+        self._probes: Dict[str, Probe] = {}
+
+    def add(self, name: str, fn: Callable[[], float], decimate: int = 1) -> Probe:
+        """Create and register a probe. Names must be unique."""
+        if name in self._probes:
+            raise ConfigurationError(f"duplicate probe name {name!r}")
+        probe = Probe(name, fn, decimate=decimate)
+        self._probes[name] = probe
+        return probe
+
+    def sample(self, t: float) -> None:
+        """Sample every probe at time ``t``."""
+        for probe in self._probes.values():
+            probe.sample(t)
+
+    def clear(self) -> None:
+        """Clear all probes' samples."""
+        for probe in self._probes.values():
+            probe.clear()
+
+    def traces(self) -> Dict[str, Trace]:
+        """Snapshot all probes as traces keyed by name."""
+        return {name: probe.trace() for name, probe in self._probes.items()}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._probes

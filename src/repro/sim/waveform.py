@@ -1,0 +1,176 @@
+"""Waveform analysis helpers.
+
+These functions turn probe traces into the quantities the paper's figures are
+judged on: threshold crossings (snapshot/restore events in Fig. 7), dominant
+frequency (the "many Hz" wind output of Fig. 1a), envelopes, duty cycles and
+diurnal periodicity (Fig. 1b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.probes import Trace
+
+
+@dataclass(frozen=True)
+class Crossing:
+    """A threshold crossing event."""
+
+    time: float
+    rising: bool
+
+
+def crossings(trace: Trace, threshold: float) -> List[Crossing]:
+    """All times where the trace crosses ``threshold``.
+
+    Crossing times are linearly interpolated between the bracketing samples.
+    """
+    t, v = trace.times, trace.values
+    events: List[Crossing] = []
+    above = v >= threshold
+    for i in range(1, len(v)):
+        if above[i] == above[i - 1]:
+            continue
+        v0, v1 = v[i - 1], v[i]
+        if v1 == v0:
+            tc = t[i]
+        else:
+            frac = (threshold - v0) / (v1 - v0)
+            tc = t[i - 1] + frac * (t[i] - t[i - 1])
+        events.append(Crossing(time=float(tc), rising=bool(above[i])))
+    return events
+
+
+def rising_crossings(trace: Trace, threshold: float) -> List[float]:
+    """Times of upward crossings of ``threshold``."""
+    return [c.time for c in crossings(trace, threshold) if c.rising]
+
+
+def falling_crossings(trace: Trace, threshold: float) -> List[float]:
+    """Times of downward crossings of ``threshold``."""
+    return [c.time for c in crossings(trace, threshold) if not c.rising]
+
+
+def dominant_frequency(trace: Trace) -> float:
+    """Dominant nonzero frequency of the trace, via the FFT magnitude peak.
+
+    Returns 0.0 for traces too short to analyse.  The mean is removed first
+    so a DC offset never wins.
+    """
+    if len(trace) < 8:
+        return 0.0
+    dt = trace.dt
+    if dt <= 0.0:
+        return 0.0
+    v = trace.values - trace.values.mean()
+    spectrum = np.abs(np.fft.rfft(v))
+    freqs = np.fft.rfftfreq(len(v), d=dt)
+    if len(spectrum) < 2:
+        return 0.0
+    peak = int(np.argmax(spectrum[1:])) + 1
+    return float(freqs[peak])
+
+
+def envelope(trace: Trace, window: float) -> Trace:
+    """Upper envelope: max over sliding windows of ``window`` seconds."""
+    if len(trace) == 0:
+        return Trace(trace.name + ".env", np.array([]), np.array([]))
+    dt = trace.dt if trace.dt > 0 else 1.0
+    n = max(1, int(round(window / dt)))
+    times, values = [], []
+    for start in range(0, len(trace), n):
+        chunk_t = trace.times[start : start + n]
+        chunk_v = trace.values[start : start + n]
+        times.append(float(chunk_t.mean()))
+        values.append(float(chunk_v.max()))
+    return Trace(trace.name + ".env", np.array(times), np.array(values))
+
+
+def duty_cycle(trace: Trace, threshold: float) -> float:
+    """Fraction of time the signal spends above ``threshold``."""
+    return trace.fraction_above(threshold)
+
+
+def rms(trace: Trace) -> float:
+    """Root-mean-square of the samples."""
+    if len(trace) == 0:
+        return 0.0
+    return float(np.sqrt(np.mean(trace.values**2)))
+
+
+def periodicity_strength(trace: Trace, period: float) -> float:
+    """Autocorrelation at lag ``period``, normalised to [-1, 1].
+
+    Used to check the diurnal (24 h) structure of the PV source in Fig. 1b:
+    a strongly periodic trace scores near 1 at its true period.
+    """
+    if len(trace) < 4 or trace.dt <= 0:
+        return 0.0
+    lag = int(round(period / trace.dt))
+    v = trace.values - trace.values.mean()
+    if lag <= 0 or lag >= len(v):
+        return 0.0
+    head, tail = v[:-lag], v[lag:]
+    denom = float(np.sqrt(np.sum(head * head) * np.sum(tail * tail)))
+    if denom == 0.0:
+        return 0.0
+    return float(np.sum(head * tail)) / denom
+
+
+def segment_above(trace: Trace, threshold: float) -> List[Tuple[float, float]]:
+    """(start, end) intervals during which the trace stays above ``threshold``.
+
+    Intervals that begin before the trace starts or end after it ends are
+    clipped to the trace extent.
+    """
+    if len(trace) == 0:
+        return []
+    events = crossings(trace, threshold)
+    segments: List[Tuple[float, float]] = []
+    open_start = trace.times[0] if trace.values[0] >= threshold else None
+    for event in events:
+        if event.rising:
+            open_start = event.time
+        elif open_start is not None:
+            segments.append((open_start, event.time))
+            open_start = None
+    if open_start is not None:
+        segments.append((open_start, float(trace.times[-1])))
+    return segments
+
+
+def longest_interval_above(trace: Trace, threshold: float) -> float:
+    """Length of the longest continuous interval above ``threshold``."""
+    segments = segment_above(trace, threshold)
+    if not segments:
+        return 0.0
+    return max(end - start for start, end in segments)
+
+
+def resample(trace: Trace, dt: float) -> Trace:
+    """Resample the trace onto a uniform grid with spacing ``dt``."""
+    if len(trace) == 0:
+        return Trace(trace.name, np.array([]), np.array([]))
+    t0, t1 = float(trace.times[0]), float(trace.times[-1])
+    n = max(2, int(round((t1 - t0) / dt)) + 1)
+    grid = np.linspace(t0, t1, n)
+    return Trace(trace.name, grid, np.interp(grid, trace.times, trace.values))
+
+
+def correlation(a: Sequence[float], b: Sequence[float]) -> float:
+    """Pearson correlation between two equal-length sequences.
+
+    Returns 0.0 when either input is constant (correlation undefined).
+    """
+    x = np.asarray(a, dtype=float)
+    y = np.asarray(b, dtype=float)
+    if x.size != y.size or x.size < 2:
+        return 0.0
+    sx, sy = x.std(), y.std()
+    if sx == 0.0 or sy == 0.0:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])

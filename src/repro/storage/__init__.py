@@ -1,0 +1,22 @@
+"""Energy storage elements.
+
+The taxonomy's horizontal axis (Fig. 2) is *the amount of energy storage in
+the system*, from large batteries on the right, through task-sized
+supercapacitors, down to nothing but parasitic/decoupling capacitance at the
+'Theoretical' arc on the left.  Every element here reports its
+:meth:`~repro.storage.base.StorageElement.storage_capacity` so the taxonomy
+engine can place the system it belongs to.
+"""
+
+from repro.storage.base import StorageElement
+from repro.storage.capacitor import Capacitor, DecouplingBudget
+from repro.storage.supercap import Supercapacitor
+from repro.storage.battery import RechargeableBattery
+
+__all__ = [
+    "StorageElement",
+    "Capacitor",
+    "DecouplingBudget",
+    "Supercapacitor",
+    "RechargeableBattery",
+]

@@ -1,0 +1,52 @@
+"""Storage element interface.
+
+Charge is the primary injection quantity (rectified sources push coulombs),
+energy is the primary extraction quantity (loads consume joules); each
+element keeps the two views consistent with its own physics.
+"""
+
+from __future__ import annotations
+
+
+class StorageElement:
+    """Abstract energy store attached to a supply rail."""
+
+    @property
+    def voltage(self) -> float:
+        """Terminal voltage in volts."""
+        raise NotImplementedError
+
+    @property
+    def stored_energy(self) -> float:
+        """Energy currently held, in joules."""
+        raise NotImplementedError
+
+    @property
+    def storage_capacity(self) -> float:
+        """Maximum energy the element can hold, in joules.
+
+        This is the quantity the Fig. 2 taxonomy axis measures.
+        """
+        raise NotImplementedError
+
+    def add_charge(self, charge: float) -> float:
+        """Push ``charge`` coulombs in; returns the charge actually accepted
+        (the rest is shunted by overvoltage protection)."""
+        raise NotImplementedError
+
+    def add_energy(self, energy: float) -> float:
+        """Push ``energy`` joules in; returns the energy actually accepted."""
+        raise NotImplementedError
+
+    def draw_energy(self, energy: float) -> float:
+        """Extract up to ``energy`` joules; returns the energy delivered
+        (less than requested once the element is empty)."""
+        raise NotImplementedError
+
+    def step_leakage(self, dt: float) -> float:
+        """Apply self-discharge over ``dt`` seconds; returns joules leaked."""
+        return 0.0
+
+    def reset(self) -> None:
+        """Restore the element to its initial state."""
+        raise NotImplementedError

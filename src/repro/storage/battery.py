@@ -1,0 +1,108 @@
+"""Rechargeable battery model.
+
+Batteries anchor the right-hand side of the Fig. 2 taxonomy (smartphone,
+laptop, energy-neutral WSN node).  The model is deliberately simple — a
+nearly flat discharge curve, coulombic efficiency on charge, and a small
+self-discharge — because the taxonomy cares about *capacity*, not chemistry.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.storage.base import StorageElement
+
+
+class RechargeableBattery(StorageElement):
+    """Energy-bucket battery with a mildly SoC-dependent terminal voltage.
+
+    Args:
+        capacity: full-charge energy in joules.
+        v_nominal: mid-charge terminal voltage.
+        v_swing: total voltage swing across the SoC range (terminal voltage
+            goes from ``v_nominal - v_swing/2`` empty to
+            ``v_nominal + v_swing/2`` full).
+        soc_initial: initial state of charge in [0, 1].
+        charge_efficiency: fraction of injected energy actually stored.
+        self_discharge_per_day: fractional energy loss per day at rest.
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        v_nominal: float = 3.7,
+        v_swing: float = 0.4,
+        soc_initial: float = 0.5,
+        charge_efficiency: float = 0.95,
+        self_discharge_per_day: float = 0.001,
+    ):
+        if capacity <= 0.0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity!r}")
+        if v_nominal <= 0.0 or v_swing < 0.0 or v_swing >= 2.0 * v_nominal:
+            raise ConfigurationError("invalid voltage parameters")
+        if not 0.0 <= soc_initial <= 1.0:
+            raise ConfigurationError("soc_initial must be in [0, 1]")
+        if not 0.0 < charge_efficiency <= 1.0:
+            raise ConfigurationError("charge efficiency must be in (0, 1]")
+        if not 0.0 <= self_discharge_per_day < 1.0:
+            raise ConfigurationError("self-discharge must be in [0, 1)")
+        self.capacity = capacity
+        self.v_nominal = v_nominal
+        self.v_swing = v_swing
+        self.soc_initial = soc_initial
+        self.charge_efficiency = charge_efficiency
+        self.self_discharge_per_day = self_discharge_per_day
+        self._energy = soc_initial * capacity
+
+    @property
+    def state_of_charge(self) -> float:
+        """State of charge in [0, 1]."""
+        return self._energy / self.capacity
+
+    @property
+    def voltage(self) -> float:
+        return self.v_nominal + self.v_swing * (self.state_of_charge - 0.5)
+
+    @property
+    def stored_energy(self) -> float:
+        return self._energy
+
+    @property
+    def storage_capacity(self) -> float:
+        return self.capacity
+
+    def add_charge(self, charge: float) -> float:
+        if charge < 0.0:
+            raise ConfigurationError("charge must be non-negative")
+        energy = charge * self.voltage
+        accepted = self.add_energy(energy)
+        if energy == 0.0:
+            return 0.0
+        return charge * accepted / energy
+
+    def add_energy(self, energy: float) -> float:
+        if energy < 0.0:
+            raise ConfigurationError("energy must be non-negative")
+        stored = energy * self.charge_efficiency
+        room = self.capacity - self._energy
+        if stored > room:
+            self._energy = self.capacity
+            # Report acceptance in terms of input energy.
+            return room / self.charge_efficiency
+        self._energy += stored
+        return energy
+
+    def draw_energy(self, energy: float) -> float:
+        if energy < 0.0:
+            raise ConfigurationError("energy must be non-negative")
+        drawn = min(energy, self._energy)
+        self._energy -= drawn
+        return drawn
+
+    def step_leakage(self, dt: float) -> float:
+        rate = self.self_discharge_per_day / 86400.0
+        leaked = self._energy * rate * dt
+        self._energy = max(0.0, self._energy - leaked)
+        return leaked
+
+    def reset(self) -> None:
+        self._energy = self.soc_initial * self.capacity

@@ -1,0 +1,145 @@
+"""Capacitor models.
+
+The transient-computing systems in the paper live or die on capacitor
+physics: expression (4) sets the hibernate threshold from ``C``, and the
+difference between a 6 mF WISPCam supercap and 10 uF of decoupling is the
+difference between task-based and continuous adaptation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.storage.base import StorageElement
+
+
+class Capacitor(StorageElement):
+    """An (optionally leaky) capacitor with an overvoltage clamp.
+
+    Args:
+        capacitance: farads.
+        v_max: overvoltage clamp — charge beyond this is shunted, modelling
+            the protection diode/regulator present in real harvesting
+            front-ends.
+        v_initial: voltage at t=0 (default 0: cold start).
+        leakage_resistance: parallel self-discharge resistance in ohms;
+            ``None`` means ideal (no leakage).
+    """
+
+    def __init__(
+        self,
+        capacitance: float,
+        v_max: float = 3.6,
+        v_initial: float = 0.0,
+        leakage_resistance: Optional[float] = None,
+    ):
+        if capacitance <= 0.0:
+            raise ConfigurationError(f"capacitance must be positive, got {capacitance!r}")
+        if v_max <= 0.0:
+            raise ConfigurationError(f"v_max must be positive, got {v_max!r}")
+        if not 0.0 <= v_initial <= v_max:
+            raise ConfigurationError(f"v_initial must be in [0, v_max], got {v_initial!r}")
+        if leakage_resistance is not None and leakage_resistance <= 0.0:
+            raise ConfigurationError("leakage resistance must be positive")
+        self.capacitance = capacitance
+        self.v_max = v_max
+        self.v_initial = v_initial
+        self.leakage_resistance = leakage_resistance
+        self._v = v_initial
+
+    @property
+    def voltage(self) -> float:
+        return self._v
+
+    @property
+    def stored_energy(self) -> float:
+        return 0.5 * self.capacitance * self._v * self._v
+
+    @property
+    def storage_capacity(self) -> float:
+        return 0.5 * self.capacitance * self.v_max * self.v_max
+
+    def add_charge(self, charge: float) -> float:
+        if charge < 0.0:
+            raise ConfigurationError("charge must be non-negative; use draw_energy")
+        v_new = self._v + charge / self.capacitance
+        if v_new > self.v_max:
+            accepted = (self.v_max - self._v) * self.capacitance
+            self._v = self.v_max
+            return max(0.0, accepted)
+        self._v = v_new
+        return charge
+
+    def add_energy(self, energy: float) -> float:
+        if energy < 0.0:
+            raise ConfigurationError("energy must be non-negative; use draw_energy")
+        e_new = self.stored_energy + energy
+        e_cap = self.storage_capacity
+        if e_new > e_cap:
+            accepted = e_cap - self.stored_energy
+            self._v = self.v_max
+            return max(0.0, accepted)
+        self._v = math.sqrt(2.0 * e_new / self.capacitance)
+        return energy
+
+    def draw_energy(self, energy: float) -> float:
+        if energy < 0.0:
+            raise ConfigurationError("energy must be non-negative; use add_energy")
+        available = self.stored_energy
+        if energy >= available:
+            self._v = 0.0
+            return available
+        self._v = math.sqrt(2.0 * (available - energy) / self.capacitance)
+        return energy
+
+    def step_leakage(self, dt: float) -> float:
+        if self.leakage_resistance is None or self._v == 0.0:
+            return 0.0
+        before = self.stored_energy
+        # Exact RC self-discharge over dt.
+        tau = self.leakage_resistance * self.capacitance
+        self._v *= math.exp(-dt / tau)
+        return before - self.stored_energy
+
+    def reset(self) -> None:
+        self._v = self.v_initial
+
+    def voltage_after_drawing(self, energy: float) -> float:
+        """Voltage the capacitor would sit at after supplying ``energy``.
+
+        The quantity expression (4) reasons about: drawing the snapshot
+        energy E_s from voltage V_H must leave at least V_min.
+        """
+        remaining = self.stored_energy - energy
+        if remaining <= 0.0:
+            return 0.0
+        return math.sqrt(2.0 * remaining / self.capacitance)
+
+
+@dataclass(frozen=True)
+class DecouplingBudget:
+    """The 'theoretical arc' of Fig. 2: capacitance present for other reasons.
+
+    Sums the parasitic and decoupling contributions a board carries anyway;
+    a continuous-adaptation transient system operates from exactly this.
+    """
+
+    bulk_decoupling: float = 10e-6
+    per_pin_decoupling: float = 100e-9
+    pin_count: int = 8
+    parasitic: float = 50e-9
+
+    def total(self) -> float:
+        """Total effective rail capacitance in farads."""
+        return (
+            self.bulk_decoupling
+            + self.per_pin_decoupling * self.pin_count
+            + self.parasitic
+        )
+
+    def as_capacitor(self, v_max: float = 3.6, v_initial: float = 0.0) -> Capacitor:
+        """Materialise the budget as an ideal rail capacitor."""
+        return Capacitor(self.total(), v_max=v_max, v_initial=v_initial)

@@ -1,0 +1,136 @@
+"""Structured strategy comparison: the quantitative-evaluation harness.
+
+Ref [13] (Rodriguez et al., ENSsys'15) compares transient-computing
+approaches quantitatively; this module is that experiment as a reusable
+API.  Give it a workload factory, a supply description and a set of
+strategies; it runs each strategy on an identical system and returns a
+comparison table of the metrics that matter (completion, overheads,
+energy, availability).
+
+Used by ``benchmarks/bench_ablation_strategies.py`` consumers and
+downstream users sizing a design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.metrics import RunReport
+from repro.core.system import EnergyDrivenSystem
+from repro.errors import ConfigurationError
+from repro.harvest.base import PowerHarvester
+from repro.mcu.clock import ClockPlan, OperatingPoint
+from repro.mcu.engine import ComputeEngine
+from repro.mcu.power_model import McuPowerModel
+from repro.power.rail import ResistiveLoad
+from repro.storage.capacitor import Capacitor
+from repro.transient.base import Strategy, TransientPlatform, TransientPlatformConfig
+
+
+@dataclass(frozen=True)
+class ComparisonScenario:
+    """The common conditions every strategy is run under.
+
+    Attributes:
+        harvester_factory: builds a fresh power source per run.
+        capacitance: rail capacitance (F).
+        duration: simulated seconds per run.
+        dt: timestep.
+        clock_frequency: core frequency (single-point plan).
+        bleed_resistance: optional parallel drain forcing real brownouts.
+        v_max: rail clamp voltage.
+    """
+
+    harvester_factory: Callable[[], PowerHarvester]
+    capacitance: float = 22e-6
+    duration: float = 6.0
+    dt: float = 1e-4
+    clock_frequency: float = 1e6
+    bleed_resistance: Optional[float] = 10000.0
+    v_max: float = 3.3
+
+    def __post_init__(self) -> None:
+        if self.capacitance <= 0.0 or self.duration <= 0.0 or self.dt <= 0.0:
+            raise ConfigurationError("invalid scenario parameters")
+
+
+@dataclass
+class StrategyResult:
+    """One strategy's outcome under the scenario."""
+
+    name: str
+    report: RunReport
+    platform: TransientPlatform
+
+    def row(self) -> List[object]:
+        """Table row: the ENSsys-style comparison columns."""
+        r = self.report
+        return [
+            self.name,
+            r.completed,
+            f"{r.completion_time:.3f}" if r.completed else "-",
+            r.snapshots,
+            r.snapshots_aborted,
+            r.restores,
+            f"{r.energy_overhead * 1e6:.1f}",
+            f"{r.energy_total * 1e3:.3f}",
+            f"{100.0 * r.availability:.1f}%",
+        ]
+
+
+#: Header matching :meth:`StrategyResult.row`.
+COMPARISON_HEADERS = [
+    "strategy", "completed", "t_complete (s)", "snapshots", "aborted",
+    "restores", "overhead (uJ)", "energy (mJ)", "availability",
+]
+
+
+def compare_strategies(
+    scenario: ComparisonScenario,
+    entries: Sequence[Tuple[str, Callable[[], Strategy], Callable[[], ComputeEngine], McuPowerModel]],
+) -> Dict[str, StrategyResult]:
+    """Run every (name, strategy factory, engine factory, power model)
+    entry under identical conditions.
+
+    Factories are called per run so no state leaks between strategies.
+    """
+    results: Dict[str, StrategyResult] = {}
+    for name, strategy_factory, engine_factory, power_model in entries:
+        platform = TransientPlatform(
+            engine_factory(),
+            strategy_factory(),
+            power_model=power_model,
+            clock=ClockPlan([OperatingPoint(scenario.clock_frequency, 3.0)]),
+            config=TransientPlatformConfig(rail_capacitance=scenario.capacitance),
+        )
+        system = EnergyDrivenSystem(scenario.dt)
+        system.set_storage(Capacitor(scenario.capacitance, v_max=scenario.v_max))
+        system.add_power_source(scenario.harvester_factory())
+        system.set_platform(platform)
+        if scenario.bleed_resistance:
+            system.add_load(ResistiveLoad(scenario.bleed_resistance))
+        run = system.run(scenario.duration)
+        results[name] = StrategyResult(
+            name=name,
+            report=RunReport.from_run(platform, run.t_end),
+            platform=platform,
+        )
+    return results
+
+
+def winner_by(results: Dict[str, StrategyResult], metric: str) -> str:
+    """Name of the completing strategy minimising ``metric``.
+
+    Supported metrics: 'completion_time', 'energy_total',
+    'energy_overhead', 'snapshots'.
+    """
+    completed = {
+        name: result for name, result in results.items() if result.report.completed
+    }
+    if not completed:
+        raise ConfigurationError("no strategy completed the workload")
+    def key(item: Tuple[str, StrategyResult]) -> float:
+        value = getattr(item[1].report, metric)
+        return float(value)
+    return min(completed.items(), key=key)[0]

@@ -1,0 +1,42 @@
+"""QuickRecall: unified-FRAM transient computing (ref [8]).
+
+Data and program both live in FRAM, so the only volatile state is the
+register file.  The snapshot is therefore tiny (registers + PC), V_H can
+sit barely above V_min, and snapshot/restore are near-instant — but the
+device pays FRAM's higher access energy and quiescent power *all the time*,
+the trade expression (5) quantifies.
+
+Requires an engine whose data memory is non-volatile
+(``MachineConfig(data_in_fram=True)`` or a synthetic engine configured with
+register-sized snapshots).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.transient.hibernus import Hibernus
+
+
+class QuickRecall(Hibernus):
+    """Register-only snapshot at a low threshold (see module docstring)."""
+
+    name = "quickrecall"
+
+    def __init__(
+        self,
+        v_hibernate: Optional[float] = None,
+        v_restore: float = 2.6,
+        margin: float = 1.5,
+        min_headroom: float = 0.1,
+    ):
+        # The register snapshot is so cheap that Eq. (4) would put V_H
+        # within millivolts of V_min; the comparator headroom floor, not
+        # the energy balance, sets the threshold in practice.
+        super().__init__(
+            v_hibernate=v_hibernate,
+            v_restore=v_restore,
+            margin=margin,
+            min_headroom=min_headroom,
+            full_snapshot=False,
+        )

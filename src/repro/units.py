@@ -1,0 +1,154 @@
+"""Unit conventions and small helpers.
+
+The framework uses unprefixed SI units everywhere: volts, amperes, watts,
+farads, ohms, joules, seconds, hertz.  The helpers below exist purely to
+make call sites read like the data sheets they are transcribed from, e.g.
+``capacitance=uF(10)`` instead of ``capacitance=10e-6``.
+"""
+
+from __future__ import annotations
+
+
+def kilo(value: float) -> float:
+    """Scale ``value`` by 1e3."""
+    return value * 1e3
+
+
+def mega(value: float) -> float:
+    """Scale ``value`` by 1e6."""
+    return value * 1e6
+
+
+def milli(value: float) -> float:
+    """Scale ``value`` by 1e-3."""
+    return value * 1e-3
+
+
+def micro(value: float) -> float:
+    """Scale ``value`` by 1e-6."""
+    return value * 1e-6
+
+
+def nano(value: float) -> float:
+    """Scale ``value`` by 1e-9."""
+    return value * 1e-9
+
+
+def pico(value: float) -> float:
+    """Scale ``value`` by 1e-12."""
+    return value * 1e-12
+
+
+# Readable aliases for common electrical quantities.
+def mV(value: float) -> float:
+    """Millivolts to volts."""
+    return milli(value)
+
+
+def uV(value: float) -> float:
+    """Microvolts to volts."""
+    return micro(value)
+
+
+def mA(value: float) -> float:
+    """Milliamps to amps."""
+    return milli(value)
+
+
+def uA(value: float) -> float:
+    """Microamps to amps."""
+    return micro(value)
+
+
+def mW(value: float) -> float:
+    """Milliwatts to watts."""
+    return milli(value)
+
+
+def uW(value: float) -> float:
+    """Microwatts to watts."""
+    return micro(value)
+
+
+def mF(value: float) -> float:
+    """Millifarads to farads."""
+    return milli(value)
+
+
+def uF(value: float) -> float:
+    """Microfarads to farads."""
+    return micro(value)
+
+
+def nF(value: float) -> float:
+    """Nanofarads to farads."""
+    return nano(value)
+
+
+def mJ(value: float) -> float:
+    """Millijoules to joules."""
+    return milli(value)
+
+
+def uJ(value: float) -> float:
+    """Microjoules to joules."""
+    return micro(value)
+
+
+def nJ(value: float) -> float:
+    """Nanojoules to joules."""
+    return nano(value)
+
+
+def pJ(value: float) -> float:
+    """Picojoules to joules."""
+    return pico(value)
+
+
+def kHz(value: float) -> float:
+    """Kilohertz to hertz."""
+    return kilo(value)
+
+
+def MHz(value: float) -> float:
+    """Megahertz to hertz."""
+    return mega(value)
+
+
+def ms(value: float) -> float:
+    """Milliseconds to seconds."""
+    return milli(value)
+
+
+def us(value: float) -> float:
+    """Microseconds to seconds."""
+    return micro(value)
+
+
+def minutes(value: float) -> float:
+    """Minutes to seconds."""
+    return value * 60.0
+
+
+def hours(value: float) -> float:
+    """Hours to seconds."""
+    return value * 3600.0
+
+
+def days(value: float) -> float:
+    """Days to seconds."""
+    return value * 86400.0
+
+
+def cap_energy(capacitance: float, voltage: float) -> float:
+    """Energy stored in a capacitor: E = C * V^2 / 2."""
+    return 0.5 * capacitance * voltage * voltage
+
+
+def cap_energy_between(capacitance: float, v_high: float, v_low: float) -> float:
+    """Energy released by a capacitor discharging from ``v_high`` to ``v_low``.
+
+    This is the left-hand side of the paper's expression (4) rearranged:
+    ``E = C * (v_high^2 - v_low^2) / 2``.
+    """
+    return 0.5 * capacitance * (v_high * v_high - v_low * v_low)

@@ -1,0 +1,44 @@
+"""Tests for empirical crossover finding."""
+
+import math
+
+import pytest
+
+from repro.analysis.crossover import find_crossover
+from repro.errors import ConfigurationError
+
+
+def test_linear_crossing_interpolated():
+    xs = [0.0, 1.0, 2.0, 3.0]
+    ys_a = [0.0, 1.0, 2.0, 3.0]
+    ys_b = [3.0, 2.0, 1.0, 0.0]
+    assert math.isclose(find_crossover(xs, ys_a, ys_b), 1.5)
+
+
+def test_no_crossover_returns_none():
+    xs = [0.0, 1.0, 2.0]
+    assert find_crossover(xs, [1.0, 1.0, 1.0], [2.0, 2.0, 2.0]) is None
+
+
+def test_exact_touch_returns_point():
+    xs = [0.0, 1.0, 2.0]
+    ys_a = [1.0, 2.0, 3.0]
+    ys_b = [3.0, 2.0, 1.0]
+    assert math.isclose(find_crossover(xs, ys_a, ys_b), 1.0)
+
+
+def test_crossing_between_non_uniform_xs():
+    xs = [1.0, 10.0, 100.0]
+    ys_a = [0.0, 0.0, 10.0]
+    ys_b = [5.0, 5.0, 5.0]
+    found = find_crossover(xs, ys_a, ys_b)
+    assert 10.0 < found < 100.0
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        find_crossover([1.0], [1.0], [1.0])
+    with pytest.raises(ConfigurationError):
+        find_crossover([1.0, 2.0], [1.0], [1.0, 2.0])
+    with pytest.raises(ConfigurationError):
+        find_crossover([2.0, 1.0], [1.0, 2.0], [2.0, 1.0])

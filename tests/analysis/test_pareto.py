@@ -1,0 +1,33 @@
+"""Tests for Pareto-frontier extraction."""
+
+import pytest
+
+from repro.analysis.pareto import pareto_points
+from repro.errors import ConfigurationError
+
+
+def test_simple_frontier():
+    costs = [1.0, 2.0, 3.0, 2.5]
+    benefits = [1.0, 3.0, 4.0, 2.0]
+    frontier = pareto_points(costs, benefits)
+    assert frontier == [(1.0, 1.0), (2.0, 3.0), (3.0, 4.0)]
+
+
+def test_dominated_points_removed():
+    frontier = pareto_points([1.0, 1.0, 2.0], [5.0, 3.0, 4.0])
+    assert frontier == [(1.0, 5.0)]
+
+
+def test_frontier_sorted_by_cost():
+    frontier = pareto_points([3.0, 1.0, 2.0], [9.0, 1.0, 4.0])
+    costs = [c for c, _ in frontier]
+    assert costs == sorted(costs)
+
+
+def test_empty_input():
+    assert pareto_points([], []) == []
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ConfigurationError):
+        pareto_points([1.0], [1.0, 2.0])

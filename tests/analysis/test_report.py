@@ -1,0 +1,50 @@
+"""Tests for report formatting."""
+
+import pytest
+
+from repro.analysis.report import (
+    bullet_list,
+    format_table,
+    relative_error,
+    series_summary,
+)
+from repro.errors import ConfigurationError
+
+
+def test_format_table_aligns_columns():
+    table = format_table(["name", "value"], [["a", 1], ["longer", 2.5]])
+    lines = table.splitlines()
+    assert len(lines) == 4  # header, rule, two rows
+    assert lines[0].startswith("name")
+    assert "longer" in lines[3]
+
+
+def test_format_table_formats_floats_and_bools():
+    table = format_table(["x"], [[0.000123], [True], [0.0]])
+    assert "0.000123" in table
+    assert "yes" in table
+    assert "\n0" in table
+
+
+def test_format_table_validation():
+    with pytest.raises(ConfigurationError):
+        format_table([], [])
+    with pytest.raises(ConfigurationError):
+        format_table(["a", "b"], [["only-one"]])
+
+
+def test_series_summary():
+    line = series_summary("vals", [1.0, 2.0, 3.0])
+    assert "n=3" in line and "min=1" in line and "max=3" in line
+    assert "(empty)" in series_summary("nothing", [])
+
+
+def test_bullet_list():
+    text = bullet_list(["one", "two"])
+    assert text.splitlines() == ["  - one", "  - two"]
+
+
+def test_relative_error():
+    assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+    assert relative_error(0.0, 0.0) == 0.0
+    assert relative_error(1.0, 0.0) == float("inf")

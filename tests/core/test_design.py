@@ -1,0 +1,61 @@
+"""Tests for the Eq. (4)/(5) design helpers."""
+
+import math
+
+import pytest
+
+from repro.core.design import (
+    crossover_frequency,
+    hibernate_threshold,
+    minimum_capacitance,
+    required_vh_vs_capacitance,
+    snapshot_survivable,
+)
+from repro.errors import ConfigurationError
+
+
+def test_minimum_capacitance_inverts_threshold():
+    e_s, v_min = 21e-6, 1.8
+    c = 22e-6
+    v_h = hibernate_threshold(e_s, c, v_min, margin=1.0)
+    assert math.isclose(minimum_capacitance(e_s, v_h, v_min), c, rel_tol=1e-9)
+
+
+def test_minimum_capacitance_validation():
+    with pytest.raises(ConfigurationError):
+        minimum_capacitance(0.0, 2.5, 1.8)
+    with pytest.raises(ConfigurationError):
+        minimum_capacitance(1e-6, 1.5, 1.8)
+    with pytest.raises(ConfigurationError):
+        minimum_capacitance(1e-6, 2.5, 1.8, margin=0.5)
+
+
+def test_crossover_frequency_eq5():
+    # f = (P_FRAM - P_SRAM) / (E_hib - E_qr)
+    f = crossover_frequency(
+        p_fram=7.0e-3, p_sram=5.2e-3, e_hibernus=21e-6, e_quickrecall=1e-6
+    )
+    assert math.isclose(f, 1.8e-3 / 20e-6)
+
+
+def test_crossover_frequency_no_crossover_cases():
+    with pytest.raises(ConfigurationError):
+        crossover_frequency(5.0e-3, 5.2e-3, 21e-6, 1e-6)
+    with pytest.raises(ConfigurationError):
+        crossover_frequency(7.0e-3, 5.2e-3, 1e-6, 21e-6)
+
+
+def test_snapshot_survivable_inequality():
+    # 22 uF from 2.33 V to 1.8 V holds ~24.9 uJ.
+    assert snapshot_survivable(21e-6, 22e-6, 2.33, 1.8)
+    assert not snapshot_survivable(30e-6, 22e-6, 2.33, 1.8)
+    with pytest.raises(ConfigurationError):
+        snapshot_survivable(1e-6, 0.0, 2.5, 1.8)
+
+
+def test_required_vh_falls_with_capacitance():
+    capacitances = [5e-6, 10e-6, 22e-6, 47e-6, 100e-6]
+    thresholds = required_vh_vs_capacitance(21e-6, 1.8, capacitances)
+    assert thresholds == sorted(thresholds, reverse=True)
+    # Asymptotically V_H -> V_min for huge capacitance.
+    assert required_vh_vs_capacitance(21e-6, 1.8, [1.0])[0] < 1.81

@@ -1,0 +1,103 @@
+"""Tests for expressions (1)/(2) checks and run reports."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    RunReport,
+    energy_neutral_over,
+    expression2_holds,
+    first_violation_time,
+)
+from repro.errors import ConfigurationError
+from repro.sim.probes import Trace
+from repro.transient.base import NullStrategy, TransientPlatform
+from repro.mcu.engine import SyntheticEngine
+
+
+def make_trace(values, dt=1.0):
+    times = np.arange(len(values)) * dt
+    return Trace("x", times, np.asarray(values, dtype=float))
+
+
+def test_energy_neutral_balanced_traces():
+    harvested = make_trace([1.0] * 100)
+    consumed = make_trace([1.0] * 100)
+    assert energy_neutral_over(harvested, consumed, period=10.0)
+
+
+def test_energy_neutral_tolerates_within_band():
+    harvested = make_trace([1.0] * 100)
+    consumed = make_trace([1.05] * 100)
+    assert energy_neutral_over(harvested, consumed, period=10.0, tolerance=0.1)
+    assert not energy_neutral_over(harvested, consumed, period=10.0, tolerance=0.01)
+
+
+def test_energy_neutral_detects_imbalance():
+    harvested = make_trace([1.0] * 100)
+    consumed = make_trace([2.0] * 100)
+    assert not energy_neutral_over(harvested, consumed, period=10.0)
+
+
+def test_energy_neutral_needs_full_period():
+    harvested = make_trace([1.0] * 5)
+    consumed = make_trace([1.0] * 5)
+    with pytest.raises(ConfigurationError):
+        energy_neutral_over(harvested, consumed, period=100.0)
+    with pytest.raises(ConfigurationError):
+        energy_neutral_over(harvested, consumed, period=-1.0)
+
+
+def test_energy_neutral_smoothed_by_period_choice():
+    """Alternating surplus/deficit balances over the right period — the
+    paper's point about choosing T to match the energy environment."""
+    pattern = [2.0] * 10 + [0.0] * 10
+    harvested = make_trace(pattern * 5)
+    consumed = make_trace([1.0] * 100)
+    assert energy_neutral_over(harvested, consumed, period=20.0, tolerance=0.15)
+
+
+def test_expression2_holds_checks_minimum():
+    assert expression2_holds(make_trace([3.0, 2.5, 2.0]), v_min=1.8)
+    assert not expression2_holds(make_trace([3.0, 1.5, 2.0]), v_min=1.8)
+
+
+def test_expression2_empty_trace_rejected():
+    with pytest.raises(ConfigurationError):
+        expression2_holds(make_trace([]), v_min=1.8)
+
+
+def test_first_violation_time():
+    trace = make_trace([3.0, 2.0, 1.0, 3.0], dt=0.5)
+    assert first_violation_time(trace, v_min=1.8) == 1.0
+    assert first_violation_time(trace, v_min=0.5) is None
+
+
+def test_run_report_from_platform():
+    platform = TransientPlatform(SyntheticEngine(total_cycles=1000), NullStrategy())
+    for i in range(20):
+        platform.advance(i * 1e-3, 1e-3, 3.0)
+    report = RunReport.from_run(platform, t_end=20e-3)
+    assert report.completed
+    assert report.cycles_executed > 0
+    assert 0.0 < report.availability <= 1.0
+    assert report.energy_total > 0.0
+    assert len(report.lines()) == 6
+
+
+def test_run_report_incomplete_run():
+    platform = TransientPlatform(SyntheticEngine(total_cycles=10**9), NullStrategy())
+    platform.advance(0.0, 1e-3, 3.0)
+    report = RunReport.from_run(platform, t_end=1e-3)
+    assert not report.completed
+    assert "did not complete" in report.lines()[0]
+
+
+def test_run_report_edge_ratios():
+    report = RunReport(
+        completed=False, completion_time=None, brownouts=0, snapshots=0,
+        snapshots_aborted=0, restores=0, cycles_executed=0, active_time=0.0,
+        total_time=0.0, energy_total=0.0, energy_overhead=0.0,
+    )
+    assert report.availability == 0.0
+    assert report.overhead_fraction == 0.0

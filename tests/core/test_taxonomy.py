@@ -1,0 +1,138 @@
+"""Tests for the Fig. 2 taxonomy classifier."""
+
+import pytest
+
+from repro.core.taxonomy import (
+    AdaptationClass,
+    StorageClass,
+    SystemDescriptor,
+    classify,
+    exemplars,
+)
+from repro.errors import TaxonomyError
+
+
+def find(name):
+    for descriptor in exemplars():
+        if descriptor.name == name:
+            return descriptor
+    raise KeyError(name)
+
+
+def test_desktop_pc_on_energy_neutral_axis_at_theoretical_arc():
+    placement = classify(find("Desktop PC"))
+    assert placement.axis == "energy-neutral"
+    assert placement.storage_class is StorageClass.MINIMAL
+    assert not placement.energy_driven
+    assert placement.autonomy_seconds < 1.0
+
+
+def test_smartphone_large_storage_not_energy_driven():
+    placement = classify(find("Smartphone"))
+    assert placement.axis == "energy-neutral"
+    assert placement.storage_class is StorageClass.LARGE
+    assert not placement.energy_driven
+
+
+def test_laptop_on_transient_axis_with_large_storage():
+    placement = classify(find("Laptop (hibernation)"))
+    assert placement.axis == "transient"
+    assert placement.storage_class is StorageClass.LARGE
+
+
+def test_wsn_energy_neutral_axis_but_energy_driven():
+    placement = classify(find("Energy-Neutral WSN"))
+    assert placement.axis == "energy-neutral"
+    assert placement.energy_driven
+
+
+def test_wispcam_task_based_transient():
+    placement = classify(find("WISPCam"))
+    assert placement.axis == "transient"
+    assert placement.adaptation is AdaptationClass.TASK_BASED
+    assert placement.energy_driven
+
+
+def test_monjolo_task_based():
+    placement = classify(find("Monjolo"))
+    assert placement.adaptation is AdaptationClass.TASK_BASED
+
+
+def test_hibernus_continuous_adaptation_minimal_storage():
+    placement = classify(find("Hibernus"))
+    assert placement.axis == "transient"
+    assert placement.adaptation is AdaptationClass.CONTINUOUS
+    assert placement.storage_class in (StorageClass.PARASITIC, StorageClass.MINIMAL)
+
+
+def test_mementos_boundary_task_based():
+    """The paper puts Mementos 'at the boundary between continuous and
+    task-based adaptation' — checkpoint intervals act as mini-tasks, so
+    the classifier calls it task-based with its tiny storage."""
+    placement = classify(find("Mementos"))
+    assert placement.axis == "transient"
+    assert placement.adaptation is AdaptationClass.TASK_BASED
+
+
+def test_power_neutral_mpsoc_energy_neutral_axis_continuous():
+    placement = classify(find("Power-Neutral MPSoC"))
+    assert placement.axis == "energy-neutral"
+    assert placement.adaptation is AdaptationClass.CONTINUOUS
+    assert placement.energy_driven
+
+
+def test_hibernus_pn_transient_and_continuous():
+    placement = classify(find("hibernus-PN"))
+    assert placement.axis == "transient"
+    assert placement.adaptation is AdaptationClass.CONTINUOUS
+    assert placement.energy_driven
+
+
+def test_all_exemplars_classify_cleanly():
+    placements = [classify(d) for d in exemplars()]
+    assert len(placements) == len(exemplars())
+    for placement in placements:
+        assert placement.summary()
+
+
+def test_energy_driven_region_covers_all_transient_systems():
+    for descriptor in exemplars():
+        placement = classify(descriptor)
+        if placement.axis == "transient":
+            assert placement.energy_driven
+
+
+def test_autonomy_computation():
+    descriptor = SystemDescriptor(
+        name="x", storage_energy=10.0, active_power=2.0, survives_outage=False
+    )
+    assert descriptor.autonomy() == 5.0
+
+
+def test_validation():
+    with pytest.raises(TaxonomyError):
+        SystemDescriptor(
+            name="bad", storage_energy=1.0, active_power=0.0, survives_outage=False
+        ).autonomy()
+    with pytest.raises(TaxonomyError):
+        classify(
+            SystemDescriptor(
+                name="bad", storage_energy=-1.0, active_power=1.0,
+                survives_outage=False,
+            )
+        )
+
+
+def test_storage_class_thresholds():
+    def placed(storage, power=1.0):
+        return classify(
+            SystemDescriptor(
+                name="x", storage_energy=storage, active_power=power,
+                survives_outage=False,
+            )
+        ).storage_class
+
+    assert placed(0.001) is StorageClass.PARASITIC
+    assert placed(0.5) is StorageClass.MINIMAL
+    assert placed(100.0) is StorageClass.TASK_SIZED
+    assert placed(1e6) is StorageClass.LARGE

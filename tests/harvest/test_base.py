@@ -1,0 +1,84 @@
+"""Tests for harvester base classes and combinators."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harvest.base import (
+    ConstantPowerHarvester,
+    PowerHarvester,
+    ScaledHarvester,
+    SummedHarvester,
+    VoltageHarvester,
+)
+
+
+def test_constant_power_is_constant():
+    h = ConstantPowerHarvester(2e-3)
+    assert h.power(0.0) == 2e-3
+    assert h.power(1e6) == 2e-3
+
+
+def test_constant_power_rejects_negative():
+    with pytest.raises(ConfigurationError):
+        ConstantPowerHarvester(-1.0)
+
+
+def test_mean_power_of_constant():
+    h = ConstantPowerHarvester(5e-3)
+    assert math.isclose(h.mean_power(1.0, 0.01), 5e-3)
+
+
+def test_mean_power_validates_args():
+    h = ConstantPowerHarvester(1.0)
+    with pytest.raises(ConfigurationError):
+        h.mean_power(0.0, 0.1)
+    with pytest.raises(ConfigurationError):
+        h.mean_power(1.0, 0.0)
+
+
+def test_scaled_harvester_applies_gain():
+    h = ScaledHarvester(ConstantPowerHarvester(2.0), gain=0.25)
+    assert h.power(0.0) == 0.5
+
+
+def test_scaled_harvester_rejects_negative_gain():
+    with pytest.raises(ConfigurationError):
+        ScaledHarvester(ConstantPowerHarvester(1.0), gain=-0.1)
+
+
+def test_summed_harvester_adds_sources():
+    h = SummedHarvester(
+        [ConstantPowerHarvester(1.0), ConstantPowerHarvester(2.0)]
+    )
+    assert h.power(0.0) == 3.0
+
+
+def test_summed_harvester_needs_sources():
+    with pytest.raises(ConfigurationError):
+        SummedHarvester([])
+
+
+def test_voltage_harvester_requires_positive_resistance():
+    with pytest.raises(ConfigurationError):
+        VoltageHarvester(source_resistance=0.0)
+
+
+def test_abstract_methods_raise():
+    with pytest.raises(NotImplementedError):
+        PowerHarvester().power(0.0)
+    with pytest.raises(NotImplementedError):
+        VoltageHarvester(source_resistance=1.0).open_circuit_voltage(0.0)
+
+
+def test_seeded_rng_reproducible_after_reset():
+    class Noisy(PowerHarvester):
+        def power(self, t):
+            return float(self.rng.random())
+
+    h = Noisy(seed=123)
+    first = [h.power(0.0) for _ in range(5)]
+    h.reset()
+    second = [h.power(0.0) for _ in range(5)]
+    assert first == second

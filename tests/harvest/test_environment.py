@@ -1,0 +1,99 @@
+"""Tests for environment/scenario composition."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harvest.base import ConstantPowerHarvester
+from repro.harvest.environment import (
+    OVERCAST,
+    PARTLY_CLOUDY,
+    STORMY,
+    SUNNY,
+    DayCondition,
+    EnvironmentHarvester,
+    WeatherSequence,
+    required_storage,
+    worst_window_energy,
+)
+from repro.harvest.solar import PhotovoltaicHarvester
+from repro.units import days, hours
+
+
+def test_day_condition_validation():
+    with pytest.raises(ConfigurationError):
+        DayCondition("bad", -0.1)
+
+
+def test_weather_sequence_indexes_days_and_repeats():
+    weather = WeatherSequence([SUNNY, OVERCAST])
+    assert weather.condition_at(hours(5)) is SUNNY
+    assert weather.condition_at(days(1) + hours(5)) is OVERCAST
+    assert weather.condition_at(days(2) + hours(5)) is SUNNY  # wraps
+
+
+def test_weather_sequence_from_labels():
+    weather = WeatherSequence.from_labels(["sunny", "stormy"])
+    assert weather.conditions == [SUNNY, STORMY]
+    with pytest.raises(ConfigurationError):
+        WeatherSequence.from_labels(["sunny", "apocalyptic"])
+    with pytest.raises(ConfigurationError):
+        WeatherSequence([])
+
+
+def test_mean_scale():
+    weather = WeatherSequence([SUNNY, OVERCAST])
+    assert math.isclose(weather.mean_scale(), (1.0 + 0.35) / 2.0)
+
+
+def test_environment_harvester_applies_weather_and_placement():
+    base = ConstantPowerHarvester(10e-3)
+    weather = WeatherSequence([SUNNY, OVERCAST])
+    env = EnvironmentHarvester(base, weather, placement_gain=0.5)
+    assert math.isclose(env.power(hours(3)), 10e-3 * 1.0 * 0.5)
+    assert math.isclose(env.power(days(1) + hours(3)), 10e-3 * 0.35 * 0.5)
+
+
+def test_environment_harvester_validation():
+    with pytest.raises(ConfigurationError):
+        EnvironmentHarvester(
+            ConstantPowerHarvester(1.0), WeatherSequence([SUNNY]), placement_gain=-1.0
+        )
+
+
+def test_worst_window_energy_constant_source():
+    source = ConstantPowerHarvester(2e-3)
+    worst = worst_window_energy(source, horizon=days(2), window=days(1))
+    assert math.isclose(worst, 2e-3 * days(1), rel_tol=0.01)
+
+
+def test_worst_window_finds_the_stormy_day():
+    base = PhotovoltaicHarvester.outdoor(full_scale_current=50e-3, v_mpp=2.0)
+    weather = WeatherSequence([SUNNY, STORMY, SUNNY])
+    env = EnvironmentHarvester(base, weather)
+    worst = worst_window_energy(env, horizon=days(3), window=days(1))
+    sunny_day = worst_window_energy(
+        EnvironmentHarvester(base, WeatherSequence([SUNNY])),
+        horizon=days(1),
+        window=days(1),
+    )
+    assert worst < 0.35 * sunny_day  # dominated by the stormy day
+
+
+def test_worst_window_validation():
+    with pytest.raises(ConfigurationError):
+        worst_window_energy(ConstantPowerHarvester(1.0), horizon=1.0, window=2.0)
+
+
+def test_required_storage_zero_when_harvest_covers_load():
+    source = ConstantPowerHarvester(10e-3)
+    assert required_storage(source, load_power=5e-3, horizon=days(2)) == 0.0
+
+
+def test_required_storage_covers_the_deficit():
+    source = ConstantPowerHarvester(2e-3)
+    needed = required_storage(source, load_power=5e-3, horizon=days(2))
+    assert math.isclose(needed, 3e-3 * days(1), rel_tol=0.02)
+    with pytest.raises(ConfigurationError):
+        required_storage(source, load_power=0.0, horizon=days(2))

@@ -1,0 +1,75 @@
+"""Tests for kinetic harvesters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harvest.kinetic import ImpactKineticHarvester, VibrationHarvester
+
+
+def test_impact_harvester_quiet_before_first_impact():
+    h = ImpactKineticHarvester(impact_rate=0.01, seed=1)
+    # With a tiny impact rate the first event is (very likely) far out;
+    # check the generated event list directly for determinism.
+    h.open_circuit_voltage(0.0)
+    assert all(t > 0.0 for t in h._impact_times)
+
+
+def test_impact_harvester_rings_after_impact():
+    h = ImpactKineticHarvester(impact_rate=5.0, peak_voltage=3.0, seed=4)
+    times = np.arange(0.0, 3.0, 5e-4)
+    volts = np.array([h.open_circuit_voltage(float(t)) for t in times])
+    assert volts.max() > 0.5
+    assert volts.min() < -0.5  # AC ringing
+
+
+def test_impact_decay_envelope():
+    h = ImpactKineticHarvester(impact_rate=0.2, ring_decay=0.05, seed=11)
+    # Force one known impact by reading the generated schedule.
+    h.open_circuit_voltage(10.0)
+    t0 = h._impact_times[0]
+    v_near = max(
+        abs(h.open_circuit_voltage(t0 + dt)) for dt in np.arange(0.0, 0.05, 1e-3)
+    )
+    v_far = max(
+        abs(h.open_circuit_voltage(t0 + 0.3 + dt)) for dt in np.arange(0.0, 0.05, 1e-3)
+    )
+    assert v_far < 0.2 * max(v_near, 1e-9)
+
+
+def test_impact_reset_reproducible():
+    h = ImpactKineticHarvester(seed=3)
+    first = [h.open_circuit_voltage(t / 10.0) for t in range(30)]
+    h.reset()
+    second = [h.open_circuit_voltage(t / 10.0) for t in range(30)]
+    assert np.allclose(first, second)
+
+
+def test_impact_validation():
+    with pytest.raises(ConfigurationError):
+        ImpactKineticHarvester(impact_rate=0.0)
+    with pytest.raises(ConfigurationError):
+        ImpactKineticHarvester(ring_decay=-1.0)
+
+
+def test_vibration_peaks_at_resonance():
+    on_res = VibrationHarvester(
+        resonance_frequency=50.0, vibration_frequency=50.0, amplitude_noise=0.0
+    )
+    off_res = VibrationHarvester(
+        resonance_frequency=50.0, vibration_frequency=60.0, amplitude_noise=0.0
+    )
+    assert on_res.power(0.0) > 10.0 * off_res.power(0.0)
+
+
+def test_vibration_scales_with_acceleration_squared():
+    weak = VibrationHarvester(acceleration_rms=1.0, amplitude_noise=0.0)
+    strong = VibrationHarvester(acceleration_rms=2.0, amplitude_noise=0.0)
+    assert np.isclose(strong.power(0.0) / weak.power(0.0), 4.0)
+
+
+def test_vibration_validation():
+    with pytest.raises(ConfigurationError):
+        VibrationHarvester(resonance_frequency=0.0)
+    with pytest.raises(ConfigurationError):
+        VibrationHarvester(quality_factor=-1.0)

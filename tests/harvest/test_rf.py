@@ -1,0 +1,64 @@
+"""Tests for the RF harvester (WISPCam substrate)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harvest.rf import RFHarvester
+
+
+def test_friis_received_power_at_distance():
+    h = RFHarvester(eirp=4.0, distance=3.0, session_duty=1.0, distance_jitter=0.0)
+    rf = h.received_rf_power(0.0)
+    lam = 299792458.0 / 915e6
+    expected = 4.0 * (lam / (4 * math.pi * 3.0)) ** 2
+    assert math.isclose(rf, expected, rel_tol=1e-9)
+
+
+def test_power_scales_inverse_square():
+    near = RFHarvester(distance=1.0, session_duty=1.0, distance_jitter=0.0)
+    far = RFHarvester(distance=2.0, session_duty=1.0, distance_jitter=0.0)
+    assert math.isclose(near.power(0.0) / far.power(0.0), 4.0, rel_tol=1e-6)
+
+
+def test_reader_duty_cycle_gates_output():
+    h = RFHarvester(session_period=1.0, session_duty=0.5, distance_jitter=0.0)
+    assert h.power(0.25) > 0.0
+    assert h.power(0.75) == 0.0
+
+
+def test_sensitivity_floor():
+    h = RFHarvester(distance=1000.0, session_duty=1.0, sensitivity=1e-6)
+    assert h.power(0.0) == 0.0
+
+
+def test_rectifier_efficiency_applied():
+    full = RFHarvester(rectifier_efficiency=1.0, session_duty=1.0, distance_jitter=0.0)
+    third = RFHarvester(rectifier_efficiency=1.0 / 3.0, session_duty=1.0, distance_jitter=0.0)
+    assert math.isclose(full.power(0.0) / third.power(0.0), 3.0, rel_tol=1e-9)
+
+
+def test_distance_jitter_varies_between_sessions():
+    h = RFHarvester(distance_jitter=0.3, session_period=1.0, session_duty=1.0, seed=2)
+    p1 = h.power(0.5)
+    p2 = h.power(1.5)
+    p3 = h.power(2.5)
+    assert len({round(p, 12) for p in (p1, p2, p3)}) > 1
+
+
+def test_reset_reproduces_jitter_sequence():
+    h = RFHarvester(distance_jitter=0.3, seed=7)
+    first = [h.power(t + 0.1) for t in range(5)]
+    h.reset()
+    second = [h.power(t + 0.1) for t in range(5)]
+    assert first == second
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        RFHarvester(eirp=0.0)
+    with pytest.raises(ConfigurationError):
+        RFHarvester(rectifier_efficiency=0.0)
+    with pytest.raises(ConfigurationError):
+        RFHarvester(session_duty=1.5)

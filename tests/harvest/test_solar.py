@@ -1,0 +1,105 @@
+"""Tests for photovoltaic models (the Fig. 1b source)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harvest.solar import (
+    IndoorLightingProfile,
+    OutdoorIrradianceProfile,
+    PhotovoltaicHarvester,
+)
+from repro.sim import waveform
+from repro.sim.probes import Trace
+from repro.units import days, hours
+
+
+def test_outdoor_profile_dark_at_night():
+    profile = OutdoorIrradianceProfile(cloud_intensity=0.0)
+    assert profile.irradiance(0.0) == 0.0                 # midnight
+    assert profile.irradiance(hours(3.0)) == 0.0
+    assert profile.irradiance(hours(22.0)) == 0.0
+
+
+def test_outdoor_profile_peaks_at_noon():
+    profile = OutdoorIrradianceProfile(cloud_intensity=0.0)
+    noon = profile.irradiance(hours(12.0))
+    morning = profile.irradiance(hours(8.0))
+    assert abs(noon - 1.0) < 1e-6
+    assert 0.0 < morning < noon
+
+
+def test_outdoor_profile_validation():
+    with pytest.raises(ConfigurationError):
+        OutdoorIrradianceProfile(sunrise_hour=10.0, sunset_hour=9.0)
+    with pytest.raises(ConfigurationError):
+        OutdoorIrradianceProfile(cloud_intensity=1.5)
+
+
+def test_clouds_reduce_but_never_negate():
+    clear = OutdoorIrradianceProfile(cloud_intensity=0.0)
+    cloudy = OutdoorIrradianceProfile(cloud_intensity=0.6, seed=3)
+    samples = [hours(h) for h in np.linspace(8, 16, 50)]
+    for t in samples:
+        value = cloudy.irradiance(t)
+        assert 0.0 <= value <= clear.irradiance(t) + 1e-9
+
+
+def test_indoor_profile_has_night_floor():
+    profile = IndoorLightingProfile(flicker=0.0)
+    night = profile.illuminance(hours(2.0))
+    day = profile.illuminance(hours(12.0))
+    assert night > 0.5          # lab lighting floor, not darkness
+    assert day > night
+
+
+def test_indoor_profile_validation():
+    with pytest.raises(ConfigurationError):
+        IndoorLightingProfile(night_level=0.9, occupied_level=0.5)
+
+
+def test_indoor_pv_fig1b_current_band():
+    """The Fig. 1b check: two days of indoor current within ~280-430 uA."""
+    cell = PhotovoltaicHarvester.indoor_fig1b()
+    times = np.arange(0.0, days(2), 300.0)
+    currents = np.array([cell.current(float(t)) for t in times])
+    assert currents.min() > 240e-6
+    assert currents.max() < 460e-6
+    # Daytime hump clearly above the night floor.
+    assert currents.max() > 1.25 * currents.min()
+
+
+def test_indoor_pv_diurnal_periodicity():
+    cell = PhotovoltaicHarvester.indoor_fig1b()
+    times = np.arange(0.0, days(2), 600.0)
+    trace = Trace("pv", times, [cell.current(float(t)) for t in times])
+    assert waveform.periodicity_strength(trace, days(1)) > 0.5
+
+
+def test_pv_power_scales_with_vmpp():
+    cell = PhotovoltaicHarvester(
+        IndoorLightingProfile(flicker=0.0), full_scale_current=400e-6, v_mpp=2.0
+    )
+    t = hours(12.0)
+    assert np.isclose(cell.power(t), 2.0 * cell.current(t))
+
+
+def test_pv_validation():
+    with pytest.raises(ConfigurationError):
+        PhotovoltaicHarvester(IndoorLightingProfile(), full_scale_current=0.0)
+    with pytest.raises(ConfigurationError):
+        PhotovoltaicHarvester(IndoorLightingProfile(), v_mpp=-1.0)
+
+
+def test_outdoor_pv_zero_at_night():
+    cell = PhotovoltaicHarvester.outdoor()
+    assert cell.power(hours(1.0)) == 0.0
+
+
+def test_reset_reproduces_stochastic_profile():
+    cell = PhotovoltaicHarvester.indoor_fig1b(seed=21)
+    times = np.arange(0.0, hours(6), 60.0)
+    first = [cell.current(float(t)) for t in times]
+    cell.reset()
+    second = [cell.current(float(t)) for t in times]
+    assert np.allclose(first, second)

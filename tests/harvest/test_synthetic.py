@@ -1,0 +1,105 @@
+"""Tests for synthetic/bench sources."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harvest.synthetic import (
+    GatedPowerHarvester,
+    HalfWaveRectifiedSinePower,
+    SignalGenerator,
+    SineVoltageHarvester,
+    SquareWavePowerHarvester,
+)
+from repro.harvest.base import ConstantPowerHarvester
+
+
+def test_sine_voltage_waveform():
+    h = SineVoltageHarvester(amplitude=2.0, frequency=1.0)
+    assert math.isclose(h.open_circuit_voltage(0.25), 2.0, abs_tol=1e-9)
+    assert math.isclose(h.open_circuit_voltage(0.75), -2.0, abs_tol=1e-9)
+
+
+def test_sine_voltage_validation():
+    with pytest.raises(ConfigurationError):
+        SineVoltageHarvester(amplitude=-1.0, frequency=1.0)
+    with pytest.raises(ConfigurationError):
+        SineVoltageHarvester(amplitude=1.0, frequency=-1.0)
+
+
+def test_signal_generator_dc_mode():
+    gen = SignalGenerator(amplitude=3.3, frequency=0.0)
+    assert gen.open_circuit_voltage(0.0) == 3.3
+    assert gen.open_circuit_voltage(42.0) == 3.3
+
+
+def test_signal_generator_rectified_never_negative():
+    gen = SignalGenerator(amplitude=3.3, frequency=4.7, rectified=True)
+    values = [gen.open_circuit_voltage(t / 1000.0) for t in range(1000)]
+    assert min(values) == 0.0
+    assert max(values) > 3.0
+
+
+def test_signal_generator_unrectified_is_bipolar():
+    gen = SignalGenerator(amplitude=2.0, frequency=5.0)
+    values = [gen.open_circuit_voltage(t / 1000.0) for t in range(400)]
+    assert min(values) < -1.9
+    assert max(values) > 1.9
+
+
+def test_half_wave_power_zero_on_negative_half_cycle():
+    h = HalfWaveRectifiedSinePower(peak_power=10e-3, frequency=1.0)
+    assert h.power(0.25) == 10e-3
+    assert h.power(0.75) == 0.0
+
+
+def test_half_wave_power_validation():
+    with pytest.raises(ConfigurationError):
+        HalfWaveRectifiedSinePower(peak_power=-1.0, frequency=1.0)
+    with pytest.raises(ConfigurationError):
+        HalfWaveRectifiedSinePower(peak_power=1.0, frequency=0.0)
+
+
+def test_square_wave_respects_duty():
+    h = SquareWavePowerHarvester(on_power=1.0, period=1.0, duty=0.25)
+    on = sum(1 for i in range(1000) if h.power(i / 1000.0) > 0)
+    assert abs(on / 1000.0 - 0.25) < 0.01
+
+
+def test_square_wave_offset_shifts_phase():
+    h = SquareWavePowerHarvester(on_power=1.0, period=1.0, duty=0.5, t_offset=0.5)
+    assert h.power(0.0) == 0.0
+    assert h.power(0.6) == 1.0
+
+
+def test_square_wave_validation():
+    with pytest.raises(ConfigurationError):
+        SquareWavePowerHarvester(on_power=1.0, period=0.0)
+    with pytest.raises(ConfigurationError):
+        SquareWavePowerHarvester(on_power=1.0, period=1.0, duty=0.0)
+    with pytest.raises(ConfigurationError):
+        SquareWavePowerHarvester(on_power=-1.0, period=1.0)
+
+
+def test_gated_harvester_is_on_or_inner_value():
+    inner = ConstantPowerHarvester(3.0)
+    gated = GatedPowerHarvester(inner, mean_on=0.1, mean_off=0.1, seed=1)
+    values = {gated.power(t / 100.0) for t in range(200)}
+    assert values <= {0.0, 3.0}
+    assert len(values) == 2  # both states observed
+
+
+def test_gated_harvester_reproducible_after_reset():
+    gated = GatedPowerHarvester(
+        ConstantPowerHarvester(1.0), mean_on=0.05, mean_off=0.05, seed=9
+    )
+    first = [gated.power(t / 50.0) for t in range(100)]
+    gated.reset()
+    second = [gated.power(t / 50.0) for t in range(100)]
+    assert first == second
+
+
+def test_gated_harvester_validation():
+    with pytest.raises(ConfigurationError):
+        GatedPowerHarvester(ConstantPowerHarvester(1.0), mean_on=0.0, mean_off=1.0)

@@ -1,0 +1,49 @@
+"""Tests for the thermoelectric harvester."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harvest.thermal import ThermoelectricHarvester
+
+
+def test_open_circuit_voltage_is_seebeck_times_gradient():
+    teg = ThermoelectricHarvester(seebeck=0.05, gradient_profile=lambda t: 10.0)
+    assert math.isclose(teg.open_circuit_voltage(0.0), 0.5)
+
+
+def test_negative_gradient_clamped_to_zero():
+    teg = ThermoelectricHarvester(gradient_profile=lambda t: -5.0)
+    assert teg.open_circuit_voltage(0.0) == 0.0
+    assert teg.power(0.0) == 0.0
+
+
+def test_matched_load_power():
+    teg = ThermoelectricHarvester(
+        seebeck=0.05,
+        internal_resistance=5.0,
+        gradient_profile=lambda t: 10.0,
+        converter_efficiency=1.0,
+    )
+    v_oc = 0.5
+    assert math.isclose(teg.power(0.0), v_oc**2 / 20.0)
+
+
+def test_power_quadratic_in_gradient():
+    teg1 = ThermoelectricHarvester(gradient_profile=lambda t: 5.0)
+    teg2 = ThermoelectricHarvester(gradient_profile=lambda t: 10.0)
+    assert math.isclose(teg2.power(0.0) / teg1.power(0.0), 4.0)
+
+
+def test_time_varying_profile():
+    teg = ThermoelectricHarvester(gradient_profile=lambda t: 5.0 if t < 10 else 0.0)
+    assert teg.power(0.0) > 0.0
+    assert teg.power(20.0) == 0.0
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        ThermoelectricHarvester(seebeck=0.0)
+    with pytest.raises(ConfigurationError):
+        ThermoelectricHarvester(converter_efficiency=0.0)

@@ -1,0 +1,85 @@
+"""Tests for trace record/playback."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harvest.base import ConstantPowerHarvester
+from repro.harvest.synthetic import SquareWavePowerHarvester
+from repro.harvest.traces import TraceHarvester, record_power, record_voltage
+from repro.harvest.synthetic import SineVoltageHarvester
+
+
+def test_trace_interpolates_between_samples():
+    trace = TraceHarvester([0.0, 1.0], [0.0, 2.0])
+    assert math.isclose(trace.power(0.5), 1.0)
+
+
+def test_trace_loops_by_default():
+    trace = TraceHarvester([0.0, 1.0], [0.0, 2.0])
+    assert math.isclose(trace.power(1.5), trace.power(0.5))
+
+
+def test_trace_without_loop_is_zero_beyond_end():
+    trace = TraceHarvester([0.0, 1.0], [1.0, 1.0], loop=False)
+    assert trace.power(2.0) == 0.0
+    assert trace.power(-1.0) == 0.0
+
+
+def test_trace_validation():
+    with pytest.raises(ConfigurationError):
+        TraceHarvester([0.0], [1.0])
+    with pytest.raises(ConfigurationError):
+        TraceHarvester([0.0, 0.0], [1.0, 1.0])  # non-increasing
+    with pytest.raises(ConfigurationError):
+        TraceHarvester([0.0, 1.0], [1.0, -1.0])  # negative power
+    with pytest.raises(ConfigurationError):
+        TraceHarvester([0.0, 1.0], [1.0])  # length mismatch
+
+
+def test_record_power_round_trips_constant_source():
+    recorded = record_power(ConstantPowerHarvester(5e-3), duration=1.0, dt=0.1)
+    assert math.isclose(recorded.power(0.37), 5e-3)
+
+
+def test_record_power_captures_square_wave_duty():
+    source = SquareWavePowerHarvester(on_power=1.0, period=0.2, duty=0.5)
+    recorded = record_power(source, duration=1.0, dt=1e-3)
+    on_fraction = np.mean([recorded.power(t / 500.0) > 0.5 for t in range(500)])
+    assert abs(on_fraction - 0.5) < 0.05
+
+
+def test_record_validation():
+    with pytest.raises(ConfigurationError):
+        record_power(ConstantPowerHarvester(1.0), duration=0.0, dt=0.1)
+
+
+def test_csv_round_trip(tmp_path):
+    trace = record_power(ConstantPowerHarvester(2e-3), duration=0.5, dt=0.05)
+    path = tmp_path / "trace.csv"
+    trace.to_csv(path)
+    loaded = TraceHarvester.from_csv(path)
+    assert math.isclose(loaded.power(0.2), 2e-3, rel_tol=1e-6)
+
+
+def test_csv_rejects_empty_file(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(ConfigurationError):
+        TraceHarvester.from_csv(path)
+
+
+def test_record_voltage_is_bipolar_for_sine():
+    source = SineVoltageHarvester(amplitude=2.0, frequency=2.0)
+    times, volts = record_voltage(source, duration=1.0, dt=1e-3)
+    assert volts.max() > 1.9
+    assert volts.min() < -1.9
+    assert len(times) == len(volts)
+
+
+def test_record_voltage_validation():
+    source = SineVoltageHarvester(amplitude=1.0, frequency=1.0)
+    with pytest.raises(ConfigurationError):
+        record_voltage(source, duration=-1.0, dt=0.1)

@@ -1,0 +1,82 @@
+"""Tests for the micro wind turbine model (the Fig. 1a source)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harvest.traces import record_voltage
+from repro.harvest.wind import GustProfile, MicroWindTurbine
+from repro.sim import waveform
+from repro.sim.probes import Trace
+
+
+def test_gust_profile_shape():
+    gust = GustProfile(start=1.0, duration=4.0, base_speed=0.5, peak_speed=5.0)
+    assert gust.speed(0.0) == 0.5          # before
+    assert gust.speed(6.0) == 0.5          # after
+    assert abs(gust.speed(3.0) - 5.0) < 1e-9  # mid-gust peak
+    assert 0.5 < gust.speed(1.5) < 5.0     # rising edge
+
+
+def test_gust_profile_zero_duration_is_flat():
+    gust = GustProfile(start=0.0, duration=0.0, base_speed=1.0, peak_speed=9.0)
+    assert gust.speed(0.0) == 1.0
+
+
+def test_turbine_requires_gusts():
+    with pytest.raises(ConfigurationError):
+        MicroWindTurbine(gusts=[])
+
+
+def test_turbine_validation():
+    gust = GustProfile(0.0, 1.0, 0.0, 3.0)
+    with pytest.raises(ConfigurationError):
+        MicroWindTurbine([gust], cut_in_speed=-1.0)
+    with pytest.raises(ConfigurationError):
+        MicroWindTurbine([gust], rotor_lag=0.0)
+
+
+def test_single_gust_output_is_ac_and_peaks_mid_gust():
+    turbine = MicroWindTurbine.single_gust(ke=1.25)
+    times, volts = record_voltage(turbine, duration=9.0, dt=1e-3)
+    trace = Trace("wind", times, volts)
+    # AC: roughly zero mean, bipolar.
+    assert abs(trace.mean()) < 0.4
+    assert trace.maximum() > 3.0
+    assert trace.minimum() < -3.0
+    # The envelope swells and decays (calm before and after the gust).
+    early = trace.between(0.0, 0.7)
+    mid = trace.between(3.5, 5.0)
+    late = trace.between(8.5, 9.0)
+    assert mid.maximum() > 4 * max(early.maximum(), 0.05)
+    assert late.maximum() < 0.5 * mid.maximum()
+
+
+def test_single_gust_frequency_in_several_hz_band():
+    turbine = MicroWindTurbine.single_gust()
+    times, volts = record_voltage(turbine, duration=9.0, dt=1e-3)
+    mid = Trace("wind", times, volts).between(3.0, 5.5)
+    frequency = waveform.dominant_frequency(mid)
+    assert 2.0 < frequency < 12.0
+
+
+def test_stalls_below_cut_in():
+    gust = GustProfile(start=0.0, duration=10.0, base_speed=0.2, peak_speed=0.4)
+    turbine = MicroWindTurbine([gust], cut_in_speed=1.0)
+    times, volts = record_voltage(turbine, duration=5.0, dt=1e-2)
+    assert np.max(np.abs(volts)) < 0.05
+
+
+def test_reset_reproduces_output():
+    turbine = MicroWindTurbine.single_gust(turbulence=0.05)
+    _, first = record_voltage(turbine, duration=3.0, dt=1e-2)
+    turbine.reset()
+    _, second = record_voltage(turbine, duration=3.0, dt=1e-2)
+    assert np.allclose(first, second)
+
+
+def test_backward_query_restarts_cleanly():
+    turbine = MicroWindTurbine.single_gust()
+    v_late = turbine.open_circuit_voltage(4.0)
+    v_early = turbine.open_circuit_voltage(1.0)  # backwards in time
+    assert np.isfinite(v_late) and np.isfinite(v_early)

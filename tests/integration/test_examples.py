@@ -1,0 +1,63 @@
+"""The examples are part of the public API surface: they must run clean.
+
+Each example is executed in-process (imported as a module and its main()
+called) with stdout captured, and its key claims re-checked here.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, capsys):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(name, None)
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart", capsys)
+    assert "bit-identical" in out
+    assert "completed" in out
+
+
+def test_wind_fft(capsys):
+    out = run_example("wind_fft", capsys)
+    assert "supply cycle 3" in out
+    assert "snapshot + hibernate" in out
+    assert "restore" in out
+
+
+def test_wsn_energy_neutral(capsys):
+    out = run_example("wsn_energy_neutral", capsys)
+    assert "cloudy" in out
+    assert "samples collected" in out
+
+
+def test_mpsoc_power_neutral(capsys):
+    out = run_example("mpsoc_power_neutral", capsys)
+    assert "Pareto frontier" in out
+    assert "correlation" in out
+
+
+def test_home_energy_monitor(capsys):
+    out = run_example("home_energy_monitor", capsys)
+    assert "kettle" in out
+    assert "pings" in out.lower() or "ping" in out
+
+
+def test_design_space(capsys):
+    out = run_example("design_space", capsys)
+    assert "Taxonomy placements" in out
+    assert "transient axis" in out
+    assert "energy-neutral axis" in out

@@ -1,0 +1,161 @@
+"""Failure injection: the unhappy paths of transient computing.
+
+Single-slot snapshot stores that lose everything mid-write, supplies that
+die during every snapshot, restores interrupted halfway, stack exhaustion
+in the interpreter, and NVM wear accounting under snapshot storms.
+"""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.mcu.assembler import assemble
+from repro.mcu.engine import SyntheticEngine
+from repro.mcu.machine import Machine, MachineConfig
+from repro.transient.base import (
+    PlatformState,
+    SnapshotStore,
+    TransientPlatform,
+    TransientPlatformConfig,
+)
+from repro.transient.hibernus import Hibernus
+
+from tests.conftest import make_counter_platform, run_intermittent
+
+
+def drive(platform, profile, dt=1e-4):
+    """Step a platform through a list of (duration, voltage) segments."""
+    t = 0.0
+    for duration, voltage in profile:
+        end = t + duration
+        while t < end:
+            platform.advance(t, dt, voltage)
+            t += dt
+    return t
+
+
+def test_single_slot_store_loses_snapshot_on_aborted_write():
+    engine = SyntheticEngine(total_cycles=10**9)
+    platform = TransientPlatform(
+        engine,
+        Hibernus(v_hibernate=2.5, v_restore=3.0),
+        store=SnapshotStore(slots=1),
+        config=TransientPlatformConfig(rail_capacitance=22e-6),
+    )
+    # Boot, run, snapshot completes once.
+    drive(platform, [(0.001, 3.2), (0.002, 3.2)])
+    platform.advance(0.01, 1e-4, 2.4)  # triggers snapshot
+    t = 0.011
+    while platform.state is PlatformState.SNAPSHOT:
+        platform.advance(t, 1e-4, 2.4)
+        t += 1e-4
+    assert platform.store.has_snapshot()
+    # Wake, run again, start another snapshot — then kill the supply
+    # mid-write.  With one slot the committed snapshot is overwritten.
+    platform.advance(t, 1e-4, 3.2)          # sleep -> restore path
+    while platform.state is PlatformState.RESTORE:
+        t += 1e-4
+        platform.advance(t, 1e-4, 3.2)
+    platform.advance(t + 1e-4, 1e-4, 2.4)   # second snapshot begins
+    platform.advance(t + 2e-4, 1e-4, 2.4)   # one step of writing
+    platform.advance(t + 3e-4, 1e-4, 0.5)   # supply dies mid-write
+    assert not platform.store.has_snapshot()
+    assert platform.metrics.snapshots_aborted == 1
+
+
+def test_two_slot_store_survives_the_same_abort():
+    engine = SyntheticEngine(total_cycles=10**9)
+    platform = TransientPlatform(
+        engine,
+        Hibernus(v_hibernate=2.5, v_restore=3.0),
+        store=SnapshotStore(slots=2),
+        config=TransientPlatformConfig(rail_capacitance=22e-6),
+    )
+    drive(platform, [(0.001, 3.2), (0.002, 3.2)])
+    platform.advance(0.01, 1e-4, 2.4)
+    t = 0.011
+    while platform.state is PlatformState.SNAPSHOT:
+        platform.advance(t, 1e-4, 2.4)
+        t += 1e-4
+    first_progress = platform.store.latest()
+    platform.advance(t, 1e-4, 3.2)
+    while platform.state is PlatformState.RESTORE:
+        t += 1e-4
+        platform.advance(t, 1e-4, 3.2)
+    platform.advance(t + 1e-4, 1e-4, 2.4)
+    platform.advance(t + 2e-4, 1e-4, 2.4)
+    platform.advance(t + 3e-4, 1e-4, 0.5)
+    assert platform.store.has_snapshot()
+    assert platform.store.latest() == first_progress
+
+
+def test_repeated_abort_storm_still_makes_progress_eventually():
+    """A supply that kills the first snapshots eventually lets one through;
+    the platform must not wedge."""
+    platform = make_counter_platform(Hibernus(), target=25000)
+    # Harsh: short on-phases early (aborts), then a clean supply.
+    run_intermittent(platform, duration=1.0, period=0.05, duty=0.3,
+                     bleed_resistance=3000.0)
+    run_intermittent_metrics = platform.metrics.snapshots_aborted
+    run_intermittent(platform, duration=3.0)  # normal conditions resume
+    assert platform.metrics.first_completion_time is not None or (
+        platform.engine.machine.output_port.log == [25000]
+    )
+
+
+def test_restore_interrupted_then_retried():
+    engine = SyntheticEngine(total_cycles=10**9)
+    platform = TransientPlatform(
+        engine,
+        Hibernus(v_hibernate=2.5, v_restore=3.0),
+        config=TransientPlatformConfig(rail_capacitance=22e-6),
+    )
+    drive(platform, [(0.001, 3.2), (0.003, 3.2)])
+    platform.advance(0.01, 1e-4, 2.4)
+    t = 0.011
+    while platform.state is PlatformState.SNAPSHOT:
+        platform.advance(t, 1e-4, 2.4)
+        t += 1e-4
+    saved = platform.store.latest()
+    # Supply recovers; restore begins; supply dies mid-restore.
+    platform.advance(t, 1e-4, 3.2)
+    assert platform.state is PlatformState.RESTORE
+    platform.advance(t + 1e-4, 1e-4, 0.5)
+    assert platform.metrics.restores_aborted == 1
+    assert platform.store.has_snapshot()  # NVM copy untouched
+    # Recovery: boot again, restore retries and succeeds.
+    t += 2e-4
+    platform.advance(t, 1e-4, 3.2)
+    while platform.state is PlatformState.RESTORE:
+        t += 1e-4
+        platform.advance(t, 1e-4, 3.2)
+    assert platform.metrics.restores_completed == 1
+    assert engine.executed == saved
+
+
+def test_nvm_wear_accounting_accumulates():
+    platform = make_counter_platform(Hibernus(), target=25000)
+    run_intermittent(platform, duration=3.0)
+    snapshots = platform.metrics.snapshots_completed + platform.metrics.snapshots_aborted
+    expected_min = snapshots * platform.engine.full_state_words
+    assert platform.store.words_written >= expected_min > 0
+
+
+def test_stack_exhaustion_raises_machine_error():
+    """Unbounded recursion must fail loudly, not scribble over data."""
+    source = """
+boom:
+    call boom
+    halt
+"""
+    machine = Machine(assemble(source), MachineConfig(data_space_words=32))
+    with pytest.raises(MachineError, match="out of range"):
+        machine.run(10**6)
+
+
+def test_sleep_forever_on_dead_supply_consumes_only_off_power():
+    platform = make_counter_platform(Hibernus())
+    for i in range(100):
+        platform.advance(i * 1e-3, 1e-3, 0.0)
+    assert platform.metrics.energy["off"] > 0.0
+    assert platform.metrics.energy["active"] == 0.0
+    assert platform.metrics.cycles_executed == 0

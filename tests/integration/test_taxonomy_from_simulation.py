@@ -1,0 +1,50 @@
+"""Closing the loop: simulated systems classify themselves on Fig. 2."""
+
+from repro.core.taxonomy import (
+    AdaptationClass,
+    classify,
+    descriptor_from_run,
+)
+from repro.storage.capacitor import Capacitor
+from repro.transient.base import NullStrategy
+from repro.transient.hibernus import Hibernus
+
+from tests.conftest import make_counter_platform, run_intermittent
+
+
+def test_simulated_hibernus_classifies_as_transient_energy_driven():
+    platform = make_counter_platform(Hibernus(), target=25000)
+    storage = Capacitor(22e-6, v_max=3.3)
+    run_intermittent(platform, duration=4.0)
+
+    descriptor = descriptor_from_run(
+        "simulated hibernus", platform, storage, task_energy=5e-3
+    )
+    placement = classify(descriptor)
+    assert placement.axis == "transient"
+    assert placement.energy_driven
+    # Decoupling-scale storage, task far larger than storage -> continuous.
+    assert placement.adaptation is AdaptationClass.CONTINUOUS
+    assert placement.autonomy_seconds < 1.0
+
+
+def test_simulated_null_platform_classifies_as_traditional():
+    platform = make_counter_platform(NullStrategy(), target=25000)
+    storage = Capacitor(22e-6, v_max=3.3)
+    run_intermittent(platform, duration=2.0)
+
+    descriptor = descriptor_from_run("bare MCU", platform, storage)
+    placement = classify(descriptor)
+    assert placement.axis == "energy-neutral"
+    assert not placement.energy_driven
+
+
+def test_descriptor_detects_power_neutral_strategy():
+    from repro.neutral.power_neutral import PowerNeutralHibernus
+
+    platform = make_counter_platform(PowerNeutralHibernus(), target=25000)
+    storage = Capacitor(22e-6, v_max=3.3)
+    run_intermittent(platform, duration=1.0)
+    descriptor = descriptor_from_run("simulated hibernus-PN", platform, storage)
+    assert descriptor.power_neutral
+    assert classify(descriptor).adaptation is AdaptationClass.CONTINUOUS

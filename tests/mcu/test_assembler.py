@@ -1,0 +1,124 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.mcu.assembler import assemble
+
+
+def test_assembles_minimal_program():
+    image = assemble("start:\n  ldi r1, 5\n  halt\n")
+    assert image.text_words == 2
+    assert image.symbols["start"] == 0
+
+
+def test_comments_and_blank_lines_ignored():
+    image = assemble("""
+; a comment
+  ldi r1, 1   ; trailing comment
+
+  halt
+""")
+    assert image.text_words == 2
+
+
+def test_data_directive_lays_out_words():
+    image = assemble(".data table: 1, 2, 3\n.data more: 9\nhalt\n")
+    assert image.symbols["table"] == 0
+    assert image.symbols["more"] == 3
+    assert image.data_image == {0: 1, 1: 2, 2: 3, 3: 9}
+    assert image.data_size == 4
+
+
+def test_data_accepts_negative_and_hex():
+    image = assemble(".data x: -1, 0x10\nhalt\n")
+    assert image.data_image[0] == 0xFFFF
+    assert image.data_image[1] == 16
+
+
+def test_reserve_allocates_without_init():
+    image = assemble(".reserve buf, 8\n.data y: 7\nhalt\n")
+    assert image.symbols["buf"] == 0
+    assert image.symbols["y"] == 8
+    assert image.data_size == 9
+    assert 0 not in image.data_image
+
+
+def test_equ_defines_constant():
+    image = assemble(".equ N, 42\n  ldi r1, N\n  halt\n")
+    assert image.instructions[0].operands == (1, 42)
+
+
+def test_forward_label_reference():
+    image = assemble("""
+  jmp end
+  nop
+end:
+  halt
+""")
+    assert image.instructions[0].operands == (2,)
+
+
+def test_label_with_instruction_on_same_line():
+    image = assemble("loop: addi r1, r1, 1\n  jmp loop\n  halt\n")
+    assert image.symbols["loop"] == 0
+
+
+def test_symbols_usable_as_immediates():
+    image = assemble(".data arr: 5, 6\n  ldi r2, arr\n  halt\n")
+    assert image.instructions[0].operands == (2, 0)
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(AssemblerError, match="unknown mnemonic"):
+        assemble("frobnicate r1\n")
+
+
+def test_wrong_operand_count_rejected():
+    with pytest.raises(AssemblerError, match="expects"):
+        assemble("add r1, r2\n")
+
+
+def test_bad_register_rejected():
+    with pytest.raises(AssemblerError, match="register"):
+        assemble("ldi r16, 0\n")
+    with pytest.raises(AssemblerError, match="register"):
+        assemble("mov r1, x5\n")
+
+
+def test_undefined_symbol_rejected():
+    with pytest.raises(AssemblerError, match="undefined symbol"):
+        assemble("ldi r1, nowhere\n")
+
+
+def test_duplicate_symbol_rejected():
+    with pytest.raises(AssemblerError, match="duplicate"):
+        assemble("a: nop\na: halt\n")
+    with pytest.raises(AssemblerError, match="duplicate"):
+        assemble(".equ N, 1\n.equ N, 2\nhalt\n")
+
+
+def test_unknown_directive_rejected():
+    with pytest.raises(AssemblerError, match="directive"):
+        assemble(".bogus x\n")
+
+
+def test_malformed_directives_rejected():
+    with pytest.raises(AssemblerError):
+        assemble(".data novalues\n")
+    with pytest.raises(AssemblerError):
+        assemble(".reserve onlyname\n")
+    with pytest.raises(AssemblerError):
+        assemble(".reserve buf, 0\n")
+    with pytest.raises(AssemblerError):
+        assemble(".equ N\n")
+
+
+def test_branch_target_must_resolve_to_code():
+    with pytest.raises(AssemblerError, match="out of range"):
+        assemble(".equ FAR, 999\n  jmp FAR\n  halt\n")
+
+
+def test_port_operand_is_plain_integer():
+    image = assemble("out 7, r3\nhalt\n")
+    assert image.instructions[0].operands == (7, 3)

@@ -1,0 +1,73 @@
+"""Tests for the clock plan."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mcu.clock import ClockPlan, OperatingPoint
+
+
+def test_operating_point_validation():
+    with pytest.raises(ConfigurationError):
+        OperatingPoint(frequency=0.0, voltage=3.0)
+    with pytest.raises(ConfigurationError):
+        OperatingPoint(frequency=1e6, voltage=-1.0)
+
+
+def test_plan_sorts_points_by_frequency():
+    plan = ClockPlan(
+        [OperatingPoint(8e6, 3.0), OperatingPoint(1e6, 3.0), OperatingPoint(4e6, 3.0)]
+    )
+    assert [p.frequency for p in plan.points] == [1e6, 4e6, 8e6]
+
+
+def test_plan_needs_points():
+    with pytest.raises(ConfigurationError):
+        ClockPlan([])
+
+
+def test_default_initial_index_is_fastest():
+    plan = ClockPlan([OperatingPoint(1e6, 3.0), OperatingPoint(8e6, 3.0)])
+    assert plan.frequency == 8e6
+    assert plan.at_maximum
+
+
+def test_step_navigation_saturates():
+    plan = ClockPlan.msp430_like()
+    plan.set_index(0)
+    assert plan.at_minimum
+    plan.step_down()
+    assert plan.index == 0
+    while not plan.at_maximum:
+        plan.step_up()
+    top = plan.frequency
+    plan.step_up()
+    assert plan.frequency == top
+
+
+def test_msp430_like_boots_at_8mhz():
+    plan = ClockPlan.msp430_like()
+    assert plan.frequency == 8e6
+
+
+def test_set_index_validation():
+    plan = ClockPlan.msp430_like()
+    with pytest.raises(ConfigurationError):
+        plan.set_index(99)
+
+
+def test_initial_index_validation():
+    with pytest.raises(ConfigurationError):
+        ClockPlan([OperatingPoint(1e6, 3.0)], initial_index=5)
+
+
+def test_reset_restores_boot_point():
+    plan = ClockPlan.msp430_like()
+    plan.set_index(0)
+    plan.reset()
+    assert plan.frequency == 8e6
+
+
+def test_negative_initial_index_counts_from_end():
+    plan = ClockPlan([OperatingPoint(1e6, 3.0), OperatingPoint(2e6, 3.0)],
+                     initial_index=-1)
+    assert plan.frequency == 2e6

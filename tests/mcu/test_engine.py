@@ -1,0 +1,129 @@
+"""Tests for the compute-engine abstraction."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SnapshotError
+from repro.mcu.assembler import assemble
+from repro.mcu.engine import MachineEngine, SyntheticEngine
+from repro.mcu.machine import Machine, MachineConfig
+from repro.mcu.programs import counter_program
+
+
+def make_machine_engine(target=200, data_in_fram=False):
+    machine = Machine(
+        assemble(counter_program(target)),
+        MachineConfig(data_space_words=64, data_in_fram=data_in_fram),
+    )
+    return MachineEngine(machine)
+
+
+class TestMachineEngine:
+    def test_runs_to_completion(self):
+        engine = make_machine_engine(100)
+        slice_ = engine.run_cycles(10**6)
+        assert slice_.halted and engine.done
+        assert engine.machine.output_port.last == 100
+
+    def test_budget_zero_is_noop(self):
+        engine = make_machine_engine()
+        assert engine.run_cycles(0).cycles == 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_machine_engine().run_cycles(-1)
+
+    def test_state_words_geometry(self):
+        engine = make_machine_engine()
+        assert engine.full_state_words == 17 + 64
+        assert engine.register_state_words == 17
+
+    def test_register_capture_requires_fram_data(self):
+        with pytest.raises(SnapshotError):
+            make_machine_engine(data_in_fram=False).capture(full=False)
+        engine = make_machine_engine(data_in_fram=True)
+        assert engine.capture(full=False) is not None
+
+    def test_capture_restore_resumes_exactly(self):
+        engine = make_machine_engine(150)
+        engine.run_cycles(300)
+        state = engine.capture(full=True)
+        engine.power_fail()
+        engine.restore(state)
+        engine.run_cycles(10**6)
+        assert engine.machine.output_port.last == 150
+
+    def test_progress_monotone_and_completes_at_one(self):
+        engine = MachineEngine(
+            Machine(assemble(counter_program(100)),
+                    MachineConfig(data_space_words=64)),
+            expected_total_cycles=2000,
+        )
+        p0 = engine.progress()
+        engine.run_cycles(500)
+        p1 = engine.progress()
+        engine.run_cycles(10**6)
+        assert p0 <= p1 <= engine.progress() == 1.0
+
+    def test_progress_without_estimate_is_zero_until_done(self):
+        engine = make_machine_engine()
+        assert engine.progress() == 0.0
+        engine.run_cycles(10**6)
+        assert engine.progress() == 1.0
+
+    def test_reset_clears_everything(self):
+        engine = make_machine_engine(100)
+        engine.run_cycles(10**6)
+        engine.reset()
+        assert not engine.done
+        assert engine.machine.output_port.log == []
+
+    def test_memory_energy_positive(self):
+        engine = make_machine_engine()
+        slice_ = engine.run_cycles(1000)
+        assert slice_.memory_energy > 0.0
+
+
+class TestSyntheticEngine:
+    def test_runs_to_total(self):
+        engine = SyntheticEngine(total_cycles=1000)
+        slice_ = engine.run_cycles(400)
+        assert slice_.cycles == 400 and not engine.done
+        slice_ = engine.run_cycles(10_000)
+        assert slice_.cycles == 600 and engine.done and slice_.halted
+
+    def test_checkpoint_sites_honoured(self):
+        engine = SyntheticEngine(total_cycles=10_000, checkpoint_interval=1000)
+        slice_ = engine.run_cycles(5000, stop_at_ckpt=True)
+        assert slice_.hit_checkpoint
+        assert engine.executed == 1000
+
+    def test_no_checkpoint_flag_at_completion(self):
+        engine = SyntheticEngine(total_cycles=1000, checkpoint_interval=1000)
+        slice_ = engine.run_cycles(5000, stop_at_ckpt=True)
+        assert engine.done and not slice_.hit_checkpoint
+
+    def test_capture_restore_round_trip(self):
+        engine = SyntheticEngine(total_cycles=1000)
+        engine.run_cycles(300)
+        state = engine.capture(full=True)
+        engine.power_fail()
+        assert engine.executed == 0
+        engine.restore(state)
+        assert engine.executed == 300
+
+    def test_restore_rejects_garbage(self):
+        with pytest.raises(SnapshotError):
+            SyntheticEngine(total_cycles=10).restore("junk")
+
+    def test_progress_fraction(self):
+        engine = SyntheticEngine(total_cycles=1000)
+        engine.run_cycles(250)
+        assert engine.progress() == 0.25
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticEngine(total_cycles=0)
+        with pytest.raises(ConfigurationError):
+            SyntheticEngine(total_cycles=10, checkpoint_interval=0)
+        with pytest.raises(ConfigurationError):
+            SyntheticEngine(total_cycles=10).run_cycles(-5)

@@ -1,0 +1,59 @@
+"""Tests for ISA definitions and word arithmetic."""
+
+from repro.mcu.isa import (
+    Instruction,
+    NUM_REGISTERS,
+    OPCODES,
+    WORD_MASK,
+    to_signed,
+    to_word,
+)
+
+
+def test_register_and_word_constants():
+    assert NUM_REGISTERS == 16
+    assert WORD_MASK == 0xFFFF
+
+
+def test_to_word_wraps():
+    assert to_word(0x10000) == 0
+    assert to_word(-1) == 0xFFFF
+    assert to_word(0x12345) == 0x2345
+
+
+def test_to_signed_interprets_twos_complement():
+    assert to_signed(0xFFFF) == -1
+    assert to_signed(0x8000) == -32768
+    assert to_signed(0x7FFF) == 32767
+    assert to_signed(0) == 0
+
+
+def test_signed_word_round_trip():
+    for value in (-32768, -1, 0, 1, 32767):
+        assert to_signed(to_word(value)) == value
+
+
+def test_opcode_table_well_formed():
+    for name, spec in OPCODES.items():
+        assert spec.name == name
+        assert spec.cycles >= 1
+        assert all(code in "rilp" for code in spec.signature)
+
+
+def test_expected_core_opcodes_present():
+    for mnemonic in (
+        "add", "sub", "mul", "mulq", "ld", "st", "beq", "bne", "blt",
+        "bge", "jmp", "call", "ret", "push", "pop", "in", "out", "halt",
+        "ckpt", "ldi", "mov", "nop", "slt",
+    ):
+        assert mnemonic in OPCODES
+
+
+def test_instruction_str():
+    ins = Instruction(OPCODES["add"], (1, 2, 3))
+    assert str(ins) == "add 1, 2, 3"
+
+
+def test_branch_and_call_costs_exceed_alu():
+    assert OPCODES["call"].cycles > OPCODES["add"].cycles
+    assert OPCODES["mulq"].cycles > OPCODES["add"].cycles

@@ -1,0 +1,109 @@
+"""Tests for port-mapped peripherals."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mcu.peripherals import (
+    ADCPeripheral,
+    OutputPort,
+    Peripheral,
+    Radio,
+    SensorPeripheral,
+)
+
+
+def test_output_port_logs_writes():
+    port = OutputPort()
+    port.write(1)
+    port.write(0x1FFFF)  # masked to 16 bits
+    assert port.log == [1, 0xFFFF]
+    assert port.last == 0xFFFF
+    assert port.read() == 2
+
+
+def test_output_port_reset():
+    port = OutputPort()
+    port.write(5)
+    port.reset()
+    assert port.log == []
+    assert port.last is None
+
+
+def test_adc_deterministic_for_seed():
+    a = ADCPeripheral(seed=9)
+    b = ADCPeripheral(seed=9)
+    assert [a.read() for _ in range(20)] == [b.read() for _ in range(20)]
+
+
+def test_adc_reset_replays_stream():
+    adc = ADCPeripheral(seed=3)
+    first = [adc.read() for _ in range(10)]
+    adc.reset()
+    assert [adc.read() for _ in range(10)] == first
+
+
+def test_adc_words_in_range():
+    adc = ADCPeripheral()
+    for _ in range(100):
+        assert 0 <= adc.read() <= 0xFFFF
+
+
+def test_adc_write_is_accepted_noop():
+    adc = ADCPeripheral()
+    adc.write(1)  # must not raise
+
+
+def test_adc_validation():
+    with pytest.raises(ConfigurationError):
+        ADCPeripheral(amplitude=0)
+
+
+def test_sensor_drifts_slowly():
+    sensor = SensorPeripheral(base=1000, drift_per_read=0.5, seed=2)
+    values = [sensor.read() for _ in range(50)]
+    assert all(900 < v < 1100 for v in values)
+
+
+def test_sensor_reset_reproducible():
+    sensor = SensorPeripheral(seed=4)
+    first = [sensor.read() for _ in range(10)]
+    sensor.reset()
+    assert [sensor.read() for _ in range(10)] == first
+
+
+def test_radio_queues_then_flushes_packets():
+    radio = Radio(tx_energy_per_word=1e-6, tx_overhead=10e-6)
+    for value in (1, 2, 3):
+        radio.write(value)
+    assert radio.packets == []
+    radio.write(Radio.FLUSH)
+    assert radio.packets == [[1, 2, 3]]
+    assert radio.read() == 1
+    assert radio.energy_spent == pytest.approx(13e-6)
+
+
+def test_radio_flush_of_empty_queue_is_noop():
+    radio = Radio()
+    radio.write(Radio.FLUSH)
+    assert radio.packets == []
+    assert radio.energy_spent == 0.0
+
+
+def test_radio_reset():
+    radio = Radio()
+    radio.write(1)
+    radio.write(Radio.FLUSH)
+    radio.reset()
+    assert radio.packets == [] and radio.queue == [] and radio.energy_spent == 0.0
+
+
+def test_radio_validation():
+    with pytest.raises(ConfigurationError):
+        Radio(tx_energy_per_word=-1.0)
+
+
+def test_base_peripheral_abstract():
+    with pytest.raises(NotImplementedError):
+        Peripheral().read()
+    with pytest.raises(NotImplementedError):
+        Peripheral().write(0)

@@ -1,0 +1,97 @@
+"""Tests for the MCU power/memory-energy model."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mcu.machine import ExecutionSlice
+from repro.mcu.power_model import (
+    FRAM_TECH,
+    MSP430_FRAM_MODEL,
+    MSP430_SRAM_MODEL,
+    McuPowerModel,
+    MemoryTechnology,
+    SRAM_TECH,
+)
+
+
+def test_active_power_linear_in_frequency():
+    model = McuPowerModel(i_leak=0.0, i_per_hz=1e-9)
+    assert math.isclose(model.active_power(8e6, 3.0), 8e6 * 1e-9 * 3.0)
+
+
+def test_active_power_includes_leakage():
+    model = McuPowerModel(i_leak=50e-6, i_per_hz=0.0)
+    assert math.isclose(model.active_power(1e6, 3.0), 150e-6)
+
+
+def test_fram_execution_factor_raises_power():
+    assert MSP430_FRAM_MODEL.active_power(8e6, 3.0) > MSP430_SRAM_MODEL.active_power(
+        8e6, 3.0
+    )
+
+
+def test_fram_tech_more_expensive_than_sram():
+    assert FRAM_TECH.read_energy > SRAM_TECH.read_energy
+    assert FRAM_TECH.write_energy > SRAM_TECH.write_energy
+    assert FRAM_TECH.quiescent_power > SRAM_TECH.quiescent_power
+
+
+def test_slice_memory_energy_counts_all_accesses():
+    model = McuPowerModel()
+    slice_ = ExecutionSlice(sram_reads=10, sram_writes=5, fram_reads=2, fram_writes=1)
+    expected = (
+        10 * SRAM_TECH.read_energy
+        + 5 * SRAM_TECH.write_energy
+        + 2 * FRAM_TECH.read_energy
+        + 1 * FRAM_TECH.write_energy
+    )
+    assert math.isclose(model.slice_memory_energy(slice_), expected)
+
+
+def test_snapshot_cost_scales_with_words():
+    model = McuPowerModel()
+    d1, e1 = model.snapshot_cost(1000, 8e6, 3.0)
+    d2, e2 = model.snapshot_cost(2000, 8e6, 3.0)
+    assert math.isclose(d2 / d1, 2.0)
+    assert math.isclose(e2 / e1, 2.0, rel_tol=0.01)
+
+
+def test_snapshot_cost_realistic_magnitude():
+    """The Hibernus design point: a 4 KiB + registers snapshot at 8 MHz
+    costs a few ms and tens of uJ."""
+    model = McuPowerModel()
+    duration, energy = model.snapshot_cost(2065, 8e6, 3.0)
+    assert 1e-3 < duration < 10e-3
+    assert 5e-6 < energy < 50e-6
+
+
+def test_restore_cheaper_than_snapshot():
+    model = McuPowerModel()
+    _, e_save = model.snapshot_cost(2065, 8e6, 3.0)
+    _, e_restore = model.restore_cost(2065, 8e6, 3.0)
+    assert e_restore < e_save
+
+
+def test_cost_validation():
+    model = McuPowerModel()
+    with pytest.raises(ConfigurationError):
+        model.snapshot_cost(-1, 8e6, 3.0)
+    with pytest.raises(ConfigurationError):
+        model.snapshot_cost(10, 0.0, 3.0)
+    with pytest.raises(ConfigurationError):
+        model.restore_cost(10, -1.0, 3.0)
+    with pytest.raises(ConfigurationError):
+        model.active_power(-1.0, 3.0)
+
+
+def test_model_validation():
+    with pytest.raises(ConfigurationError):
+        McuPowerModel(i_leak=-1.0)
+    with pytest.raises(ConfigurationError):
+        McuPowerModel(fram_execution_factor=0.5)
+    with pytest.raises(ConfigurationError):
+        MemoryTechnology("bad", -1.0, 1.0, 1, 1, 0.0)
+    with pytest.raises(ConfigurationError):
+        MemoryTechnology("bad", 1.0, 1.0, 0, 1, 0.0)

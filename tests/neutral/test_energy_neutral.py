@@ -1,0 +1,146 @@
+"""Tests for Kansal-style energy-neutral duty cycling."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.neutral.energy_neutral import DutyCycleManager, EwmaPredictor, WsnNode
+from repro.storage.battery import RechargeableBattery
+from repro.units import days, hours
+
+
+def test_predictor_validation():
+    with pytest.raises(ConfigurationError):
+        EwmaPredictor(slots=0)
+    with pytest.raises(ConfigurationError):
+        EwmaPredictor(alpha=0.0)
+
+
+def test_predictor_slot_mapping():
+    predictor = EwmaPredictor(slots=24)
+    assert predictor.slot_of(0.0) == 0
+    assert predictor.slot_of(hours(1.5)) == 1
+    assert predictor.slot_of(days(1) + hours(3.0)) == 3
+
+
+def test_predictor_first_observation_seeds_estimate():
+    predictor = EwmaPredictor(slots=4, alpha=0.5)
+    predictor.observe(0, 10.0)
+    assert predictor.predict_slot(0) == 10.0
+
+
+def test_predictor_ewma_blending():
+    predictor = EwmaPredictor(slots=4, alpha=0.5)
+    predictor.observe(0, 10.0)
+    predictor.observe(0, 20.0)
+    assert math.isclose(predictor.predict_slot(0), 15.0)
+
+
+def test_predictor_day_total():
+    predictor = EwmaPredictor(slots=4)
+    for slot in range(4):
+        predictor.observe(slot, 2.0)
+    assert math.isclose(predictor.predict_day(), 8.0)
+    assert predictor.trained()
+
+
+def test_predictor_untrained_slots_predict_zero():
+    predictor = EwmaPredictor(slots=4)
+    assert predictor.predict_slot(2) == 0.0
+    assert not predictor.trained()
+
+
+def test_predictor_slot_bounds():
+    predictor = EwmaPredictor(slots=4)
+    with pytest.raises(ConfigurationError):
+        predictor.observe(4, 1.0)
+
+
+def make_manager(**kwargs):
+    defaults = dict(p_active=100e-3, p_sleep=1e-3)
+    defaults.update(kwargs)
+    return DutyCycleManager(EwmaPredictor(slots=24), **defaults)
+
+
+def test_manager_validation():
+    with pytest.raises(ConfigurationError):
+        make_manager(p_active=1e-3, p_sleep=1e-3)
+    with pytest.raises(ConfigurationError):
+        make_manager(duty_min=0.5, duty_max=0.4)
+
+
+def test_duty_solves_energy_balance():
+    manager = make_manager(feedback_gain=0.0, duty_min=0.0)
+    # Predict a day's harvest exactly equal to 30% duty consumption.
+    p_day = days(1) * (0.3 * 100e-3 + 0.7 * 1e-3)
+    for slot in range(24):
+        manager.predictor.observe(slot, p_day / 24)
+    duty = manager.duty_for(0.0, soc=manager.soc_target)
+    assert abs(duty - 0.3) < 0.01
+
+
+def test_feedback_raises_duty_when_battery_full():
+    manager = make_manager(feedback_gain=1.0)
+    for slot in range(24):
+        manager.predictor.observe(slot, 10.0)
+    low = manager.duty_for(0.0, soc=0.3)
+    high = manager.duty_for(0.0, soc=0.9)
+    assert high > low
+
+
+def test_duty_clamped_to_limits():
+    manager = make_manager(duty_min=0.05, duty_max=0.8)
+    # Nothing harvested: duty pinned at the floor.
+    assert manager.duty_for(0.0, soc=0.0) == 0.05
+    # Absurd harvest: duty pinned at the ceiling.
+    for slot in range(24):
+        manager.predictor.observe(slot, 1e6)
+    assert manager.duty_for(0.0, soc=0.99) == 0.8
+
+
+def test_schedule_recorded():
+    manager = make_manager()
+    manager.duty_for(0.0, soc=0.5)
+    manager.duty_for(hours(1.0), soc=0.5)
+    assert len(manager.schedule) == 2
+    manager.reset()
+    assert manager.schedule == []
+
+
+def test_wsn_node_consumes_by_duty():
+    manager = make_manager(duty_min=0.2, duty_max=0.2)
+    battery = RechargeableBattery(capacity=100.0, soc_initial=0.6)
+    node = WsnNode(manager, battery)
+    energy = node.advance(0.0, 1.0, 3.7)
+    expected = 0.2 * 100e-3 + 0.8 * 1e-3
+    assert math.isclose(energy, expected, rel_tol=1e-6)
+
+
+def test_wsn_node_counts_samples():
+    manager = make_manager(duty_min=0.5, duty_max=0.5)
+    battery = RechargeableBattery(capacity=100.0)
+    node = WsnNode(manager, battery, samples_per_active_second=2.0)
+    for i in range(100):
+        node.advance(i * 1.0, 1.0, 3.7)
+    assert math.isclose(node.samples_taken, 100.0, rel_tol=0.01)
+
+
+def test_wsn_node_observes_harvest_per_slot():
+    manager = make_manager()
+    battery = RechargeableBattery(capacity=100.0)
+    node = WsnNode(manager, battery)
+    node.advance(0.0, 1.0, 3.7)
+    node.observe_harvest(5.0)
+    # Crossing into the next slot flushes the observation.
+    node.advance(hours(1.0) + 1.0, 1.0, 3.7)
+    assert manager.predictor.predict_slot(0) == 5.0
+
+
+def test_wsn_node_reset():
+    manager = make_manager()
+    battery = RechargeableBattery(capacity=100.0)
+    node = WsnNode(manager, battery)
+    node.advance(0.0, 1.0, 3.7)
+    node.reset()
+    assert node.samples_taken == 0.0

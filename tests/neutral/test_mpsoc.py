@@ -1,0 +1,132 @@
+"""Tests for the ODROID-XU4 model and power-neutral scaling (Fig. 5)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.neutral.mpsoc import (
+    ClusterConfig,
+    CpuCluster,
+    OdroidXU4Model,
+    PowerNeutralMpsocScaler,
+    pareto_frontier,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return OdroidXU4Model()
+
+
+@pytest.fixture(scope="module")
+def points(model):
+    return model.operating_points()
+
+
+def test_cluster_validation():
+    with pytest.raises(ConfigurationError):
+        ClusterConfig("x", cores=0, freqs_v=((1e9, 1.0),), c_eff=1e-9,
+                      static_per_core=0.1, ipc=1.0)
+    with pytest.raises(ConfigurationError):
+        ClusterConfig("x", cores=1, freqs_v=(), c_eff=1e-9,
+                      static_per_core=0.1, ipc=1.0)
+
+
+def test_cluster_power_zero_when_gated(model):
+    assert model.big.power(0, 0) == 0.0
+    assert model.big.throughput(0, 0) == 0.0
+
+
+def test_cluster_power_monotone_in_level_and_cores(model):
+    low = model.big.power(2, 0)
+    high_level = model.big.power(2, model.big.levels() - 1)
+    more_cores = model.big.power(4, 0)
+    assert high_level > low
+    assert more_cores > low
+
+
+def test_cluster_throughput_sublinear_in_cores(model):
+    one = model.big.throughput(1, 5)
+    four = model.big.throughput(4, 5)
+    assert 3.0 < four / one < 4.0  # parallel efficiency discount
+
+
+def test_cluster_range_checks(model):
+    with pytest.raises(ConfigurationError):
+        model.big.power(5, 0)
+    with pytest.raises(ConfigurationError):
+        model.big.power(1, 99)
+
+
+def test_point_cloud_size_and_minimum_one_core(points):
+    assert len(points) > 200
+    assert all(p.big_cores + p.little_cores >= 1 for p in points)
+
+
+def test_fig5_power_modulation_order_of_magnitude(points):
+    """The paper's claim: power modulated by ~an order of magnitude."""
+    powers = [p.power for p in points]
+    assert max(powers) / min(powers) >= 10.0
+
+
+def test_fig5_power_and_fps_ranges(points):
+    """Shape check against the Fig. 5 axes: up to ~18 W and ~0.25 FPS."""
+    assert 10.0 < max(p.power for p in points) < 25.0
+    assert 0.15 < max(p.fps for p in points) < 0.35
+    assert min(p.power for p in points) < 1.5
+
+
+def test_fps_monotone_along_frequency_sweep(model):
+    fps = [
+        model.evaluate(4, level, 0, 0).fps for level in range(model.big.levels())
+    ]
+    assert fps == sorted(fps)
+
+
+def test_big_cores_faster_but_hungrier_than_little(model):
+    big = model.evaluate(4, model.big.levels() - 1, 0, 0)
+    little = model.evaluate(0, 0, 4, model.little.levels() - 1)
+    assert big.fps > little.fps
+    assert big.power > little.power
+
+
+def test_pareto_frontier_monotone(points):
+    frontier = pareto_frontier(points)
+    assert len(frontier) >= 5
+    for a, b in zip(frontier, frontier[1:]):
+        assert b.power > a.power
+        assert b.fps > a.fps
+
+
+def test_scaler_selects_best_point_within_budget(model):
+    scaler = PowerNeutralMpsocScaler(model)
+    point = scaler.select_point(6.0)
+    assert point is not None
+    assert point.power <= 6.0
+    # No frontier point under budget does better.
+    for candidate in scaler.frontier:
+        if candidate.power <= 6.0:
+            assert candidate.fps <= point.fps
+
+
+def test_scaler_returns_none_below_floor(model):
+    scaler = PowerNeutralMpsocScaler(model)
+    assert scaler.select_point(0.1) is None
+
+
+def test_scaler_fps_monotone_in_budget(model):
+    scaler = PowerNeutralMpsocScaler(model)
+    budgets = [1.0, 2.0, 4.0, 8.0, 16.0]
+    fps = [scaler.select_point(b).fps for b in budgets]
+    assert fps == sorted(fps)
+
+
+def test_scaler_tracks_power_trace(model):
+    scaler = PowerNeutralMpsocScaler(model)
+    decisions = scaler.track([0.1, 3.0, 9.0, 1.0])
+    assert decisions[0] is None
+    assert decisions[2].fps > decisions[1].fps > decisions[3].fps
+
+
+def test_model_validation():
+    with pytest.raises(ConfigurationError):
+        OdroidXU4Model(instructions_per_frame=0.0)

@@ -1,0 +1,75 @@
+"""Tests for the rail-coupled power-neutral MPSoC load."""
+
+import numpy as np
+import pytest
+
+from repro.core.system import EnergyDrivenSystem
+from repro.errors import ConfigurationError
+from repro.harvest.base import ConstantPowerHarvester
+from repro.harvest.synthetic import SquareWavePowerHarvester
+from repro.neutral.mpsoc import MpsocLoad, OdroidXU4Model, PowerNeutralMpsocScaler
+from repro.storage.capacitor import Capacitor
+
+
+def make_load(**kwargs):
+    scaler = PowerNeutralMpsocScaler(OdroidXU4Model())
+    return MpsocLoad(scaler, **kwargs)
+
+
+def run_on_rail(load, harvester, duration=20.0, dt=5e-3, capacitance=0.2):
+    # A board-scale buffer: hundreds of mF at 5.5 V.
+    system = EnergyDrivenSystem(dt)
+    system.set_storage(Capacitor(capacitance, v_max=5.5, v_initial=5.0))
+    system.add_power_source(harvester)
+    system.add_load(load)
+    return system.run(duration)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        make_load(deadband=0.0)
+    with pytest.raises(ConfigurationError):
+        make_load(period=0.0)
+
+
+def test_holds_rail_near_target_with_ample_power():
+    load = make_load(v_target=5.0, deadband=0.25, period=0.05)
+    result = run_on_rail(load, ConstantPowerHarvester(8.0))
+    vcc = result.vcc().between(5.0, 20.0)  # after settling
+    assert 4.0 < vcc.mean() < 5.6
+    assert load.frames_rendered > 0.5
+
+
+def test_higher_harvest_buys_more_frames():
+    frames = []
+    for power in (2.0, 6.0, 14.0):
+        load = make_load(period=0.05)
+        run_on_rail(load, ConstantPowerHarvester(power))
+        frames.append(load.frames_rendered)
+    assert frames[0] < frames[1] < frames[2]
+
+
+def test_suspends_when_rail_collapses():
+    load = make_load(v_min_operate=4.0, period=0.05)
+    # 0.4 W cannot sustain even the floor point (~0.57 W): once the buffer
+    # drains the load duty-cycles, suspending whenever V falls below the
+    # operating floor instead of dragging the rail into brownout.
+    run_on_rail(load, ConstantPowerHarvester(0.4), duration=30.0)
+    assert load.suspended_time > 2.0
+
+
+def test_rides_through_intermittent_supply():
+    load = make_load(period=0.05)
+    source = SquareWavePowerHarvester(on_power=10.0, period=4.0, duty=0.5)
+    result = run_on_rail(load, source, duration=20.0)
+    assert load.frames_rendered > 0.3
+    # The governor backed off during off-phases instead of browning out.
+    assert result.vcc().minimum() > 2.0
+
+
+def test_reset_clears_accumulators():
+    load = make_load()
+    run_on_rail(load, ConstantPowerHarvester(5.0), duration=2.0)
+    load.reset()
+    assert load.frames_rendered == 0.0
+    assert load.current_point is None

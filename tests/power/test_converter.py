@@ -1,0 +1,87 @@
+"""Tests for conversion stages."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.converter import (
+    BoostConverter,
+    ConversionStage,
+    IdealConverter,
+    LinearRegulator,
+)
+
+
+def test_ideal_converter_lossless():
+    conv = IdealConverter()
+    assert conv.output_power(1e-3, 3.0) == 1e-3
+    assert conv.efficiency(1e-3, 3.0) == 1.0
+
+
+def test_ideal_converter_no_negative_output():
+    assert IdealConverter().output_power(-1.0, 3.0) == 0.0
+
+
+def test_base_stage_abstract():
+    with pytest.raises(NotImplementedError):
+        ConversionStage().output_power(1.0, 1.0)
+
+
+def test_ldo_efficiency_is_voltage_ratio():
+    ldo = LinearRegulator(v_out=1.8, quiescent_power=0.0)
+    assert math.isclose(ldo.output_power(1e-3, 3.6), 0.5e-3)
+    assert math.isclose(ldo.efficiency(1e-3, 3.6), 0.5)
+
+
+def test_ldo_in_dropout_passes_through():
+    ldo = LinearRegulator(v_out=3.0, dropout=0.2, quiescent_power=0.0)
+    assert math.isclose(ldo.output_power(1e-3, 3.1), 1e-3)
+
+
+def test_ldo_quiescent_starves_small_inputs():
+    ldo = LinearRegulator(v_out=1.8, quiescent_power=5e-6)
+    assert ldo.output_power(4e-6, 3.0) == 0.0
+
+
+def test_ldo_validation():
+    with pytest.raises(ConfigurationError):
+        LinearRegulator(v_out=0.0)
+    with pytest.raises(ConfigurationError):
+        LinearRegulator(v_out=1.8, dropout=-0.1)
+
+
+def test_boost_cold_start_threshold():
+    boost = BoostConverter(v_in_min=0.3)
+    assert boost.output_power(1e-3, 0.2) == 0.0
+    assert boost.output_power(1e-3, 0.4) > 0.0
+
+
+def test_boost_efficiency_rises_with_load():
+    boost = BoostConverter(peak_efficiency=0.9, p_knee=50e-6, quiescent_power=0.0)
+    light = boost.efficiency(10e-6, 1.0)
+    heavy = boost.efficiency(10e-3, 1.0)
+    assert light < heavy < 0.9 + 1e-9
+    assert heavy > 0.85
+
+
+def test_boost_never_exceeds_peak_efficiency():
+    boost = BoostConverter(peak_efficiency=0.85, quiescent_power=0.0)
+    for p in (1e-6, 1e-4, 1e-2, 1.0):
+        assert boost.efficiency(p, 1.0) <= 0.85 + 1e-12
+
+
+def test_boost_quiescent_starves_small_inputs():
+    boost = BoostConverter(quiescent_power=2e-6)
+    assert boost.output_power(1e-6, 1.0) == 0.0
+
+
+def test_boost_validation():
+    with pytest.raises(ConfigurationError):
+        BoostConverter(peak_efficiency=1.5)
+    with pytest.raises(ConfigurationError):
+        BoostConverter(p_knee=-1.0)
+
+
+def test_efficiency_zero_for_no_input():
+    assert BoostConverter().efficiency(0.0, 1.0) == 0.0

@@ -1,0 +1,57 @@
+"""Tests for the MPPT model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.mppt import FractionalVocMPPT
+
+
+def test_converged_capture_matches_tracking_efficiency():
+    mppt = FractionalVocMPPT(tracking_efficiency=0.95)
+    captured = mppt.captured_power(1e-3, dt=1.0)
+    assert abs(captured - 0.95e-3) < 1e-9
+
+
+def test_disturbance_drops_capture_then_recovers():
+    mppt = FractionalVocMPPT(
+        tracking_efficiency=0.95, settle_time=0.1, floor=0.6,
+        disturbance_threshold=0.25,
+    )
+    mppt.captured_power(1e-3, dt=0.01)
+    # Step change > threshold: capture collapses toward the floor.
+    after_step = mppt.captured_power(2e-3, dt=0.01)
+    assert after_step / 2e-3 < 0.75
+    # Many settled steps later it re-converges.
+    for _ in range(200):
+        last = mppt.captured_power(2e-3, dt=0.01)
+    assert last / 2e-3 > 0.9
+
+
+def test_small_changes_do_not_disturb():
+    mppt = FractionalVocMPPT(disturbance_threshold=0.25)
+    mppt.captured_power(1e-3, dt=0.01)
+    captured = mppt.captured_power(1.1e-3, dt=0.01)
+    assert captured / 1.1e-3 > 0.9
+
+
+def test_zero_available_returns_zero():
+    mppt = FractionalVocMPPT()
+    assert mppt.captured_power(0.0, dt=0.01) == 0.0
+
+
+def test_reset_restores_convergence():
+    mppt = FractionalVocMPPT(floor=0.5)
+    mppt.captured_power(1e-3, dt=0.01)
+    mppt.captured_power(10e-3, dt=0.01)  # disturb
+    mppt.reset()
+    captured = mppt.captured_power(1e-3, dt=1.0)
+    assert captured / 1e-3 > 0.9
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        FractionalVocMPPT(tracking_efficiency=0.0)
+    with pytest.raises(ConfigurationError):
+        FractionalVocMPPT(settle_time=0.0)
+    with pytest.raises(ConfigurationError):
+        FractionalVocMPPT(floor=0.99, tracking_efficiency=0.95)

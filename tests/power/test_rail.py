@@ -1,0 +1,134 @@
+"""Tests for the supply rail and injectors."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harvest.base import ConstantPowerHarvester
+from repro.harvest.synthetic import SignalGenerator
+from repro.power.converter import BoostConverter
+from repro.power.rail import (
+    HarvesterInjector,
+    RailLoad,
+    RectifiedInjector,
+    ResistiveLoad,
+    SupplyRail,
+)
+from repro.sim.engine import Simulator
+from repro.storage.capacitor import Capacitor
+
+
+def test_resistive_load_draws_v2_over_r():
+    load = ResistiveLoad(1000.0)
+    energy = load.advance(0.0, 0.1, 2.0)
+    assert math.isclose(energy, 4.0 / 1000.0 * 0.1)
+
+
+def test_resistive_load_validation():
+    with pytest.raises(ConfigurationError):
+        ResistiveLoad(0.0)
+
+
+def test_harvester_injector_charges_capacitor():
+    rail = SupplyRail(Capacitor(100e-6))
+    rail.attach_injector(HarvesterInjector(ConstantPowerHarvester(1e-3)))
+    sim = Simulator(dt=1e-3)
+    sim.add(rail)
+    sim.run(duration=0.1)
+    # 100 uJ into 100 uF -> V = sqrt(2E/C) = sqrt(2) volts.
+    assert math.isclose(rail.voltage, math.sqrt(2.0), rel_tol=1e-3)
+    assert math.isclose(rail.stats.harvested, 1e-4, rel_tol=1e-3)
+
+
+def test_harvester_injector_through_converter_loses_power():
+    direct = SupplyRail(Capacitor(100e-6))
+    direct.attach_injector(HarvesterInjector(ConstantPowerHarvester(1e-3)))
+    converted = SupplyRail(Capacitor(100e-6))
+    converted.attach_injector(
+        HarvesterInjector(
+            ConstantPowerHarvester(1e-3), converter=BoostConverter(peak_efficiency=0.8)
+        )
+    )
+    for rail in (direct, converted):
+        sim = Simulator(dt=1e-3)
+        sim.add(rail)
+        sim.run(duration=0.1)
+    assert converted.voltage < direct.voltage
+
+
+def test_rectified_injector_charges_toward_source_peak():
+    rail = SupplyRail(Capacitor(10e-6, v_max=5.0))
+    rail.attach_injector(
+        RectifiedInjector(SignalGenerator(3.3, 0.0, source_resistance=100.0))
+    )
+    sim = Simulator(dt=1e-4)
+    sim.add(rail)
+    sim.run(duration=0.2)
+    # DC source: rail should approach V_source - diode drop.
+    assert 2.8 < rail.voltage <= 3.05
+
+
+def test_load_draws_and_stats_account():
+    rail = SupplyRail(Capacitor(100e-6, v_initial=3.0))
+    rail.attach_load(ResistiveLoad(3000.0))
+    sim = Simulator(dt=1e-3)
+    sim.add(rail)
+    sim.run(duration=0.1)
+    assert rail.voltage < 3.0
+    assert rail.stats.consumed > 0.0
+    assert rail.stats.starved == 0.0
+
+
+def test_starvation_recorded_when_storage_empty():
+    rail = SupplyRail(Capacitor(1e-6, v_initial=0.5))
+
+    class Hungry(RailLoad):
+        def advance(self, t, dt, v_rail):
+            return 1.0  # one joule per step: far beyond storage
+
+    rail.attach_load(Hungry())
+    sim = Simulator(dt=1e-3)
+    sim.add(rail)
+    sim.run(max_steps=1)
+    assert rail.stats.starved > 0.99
+
+
+def test_negative_load_energy_rejected():
+    rail = SupplyRail(Capacitor(1e-6, v_initial=1.0))
+
+    class Generator(RailLoad):
+        def advance(self, t, dt, v_rail):
+            return -1.0
+
+    rail.attach_load(Generator())
+    sim = Simulator(dt=1e-3)
+    sim.add(rail)
+    with pytest.raises(ConfigurationError):
+        sim.run(max_steps=1)
+
+
+def test_leakage_accounted_in_stats():
+    rail = SupplyRail(Capacitor(10e-6, v_initial=3.0, leakage_resistance=1e4))
+    sim = Simulator(dt=1e-3)
+    sim.add(rail)
+    sim.run(duration=0.1)
+    assert rail.stats.leaked > 0.0
+    assert rail.voltage < 3.0
+
+
+def test_rail_reset_restores_everything():
+    rail = SupplyRail(Capacitor(10e-6, v_initial=1.0))
+    rail.attach_injector(HarvesterInjector(ConstantPowerHarvester(1e-3)))
+    rail.attach_load(ResistiveLoad(1e4))
+    sim = Simulator(dt=1e-3)
+    sim.add(rail)
+    sim.run(duration=0.05)
+    rail.reset()
+    assert rail.voltage == 1.0
+    assert rail.stats.harvested == 0.0
+
+
+def test_rail_load_base_advance_abstract():
+    with pytest.raises(NotImplementedError):
+        RailLoad().advance(0.0, 1e-3, 1.0)

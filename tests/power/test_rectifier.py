@@ -1,0 +1,69 @@
+"""Tests for rectifier models."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.rectifier import Diode, FullWaveRectifier, HalfWaveRectifier
+
+
+def test_diode_blocks_below_forward_drop():
+    diode = Diode(forward_drop=0.3, on_resistance=1.0)
+    assert diode.current(0.2) == 0.0
+    assert diode.current(-5.0) == 0.0
+
+
+def test_diode_conducts_linearly_above_drop():
+    diode = Diode(forward_drop=0.3, on_resistance=2.0)
+    assert math.isclose(diode.current(1.3), 0.5)
+
+
+def test_diode_validation():
+    with pytest.raises(ConfigurationError):
+        Diode(forward_drop=-0.1)
+    with pytest.raises(ConfigurationError):
+        Diode(on_resistance=0.0)
+
+
+def test_half_wave_blocks_negative_half_cycle():
+    rect = HalfWaveRectifier()
+    assert rect.current_into_rail(-3.0, 1.0, 100.0) == 0.0
+
+
+def test_half_wave_blocks_when_rail_higher():
+    rect = HalfWaveRectifier()
+    assert rect.current_into_rail(2.0, 2.5, 100.0) == 0.0
+
+
+def test_half_wave_current_through_source_resistance():
+    rect = HalfWaveRectifier(Diode(forward_drop=0.3, on_resistance=1.0))
+    current = rect.current_into_rail(3.3, 2.0, 99.0)
+    assert math.isclose(current, (3.3 - 2.0 - 0.3) / 100.0)
+
+
+def test_half_wave_requires_positive_resistance():
+    with pytest.raises(ConfigurationError):
+        HalfWaveRectifier().current_into_rail(3.0, 1.0, 0.0)
+
+
+def test_full_wave_conducts_both_polarities():
+    rect = FullWaveRectifier(Diode(forward_drop=0.3, on_resistance=0.5))
+    pos = rect.current_into_rail(3.0, 1.0, 99.0)
+    neg = rect.current_into_rail(-3.0, 1.0, 99.0)
+    assert pos > 0.0
+    assert math.isclose(pos, neg)
+
+
+def test_full_wave_pays_two_diode_drops():
+    half = HalfWaveRectifier(Diode(forward_drop=0.3, on_resistance=1.0))
+    full = FullWaveRectifier(Diode(forward_drop=0.3, on_resistance=1.0))
+    v_source, v_rail, rs = 3.0, 1.0, 100.0
+    assert full.current_into_rail(v_source, v_rail, rs) < half.current_into_rail(
+        v_source, v_rail, rs
+    )
+
+
+def test_full_wave_requires_positive_resistance():
+    with pytest.raises(ConfigurationError):
+        FullWaveRectifier().current_into_rail(3.0, 1.0, -1.0)

@@ -1,0 +1,147 @@
+"""Tests for the fixed-timestep simulation engine."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.engine import (
+    Component,
+    Simulator,
+    integrate_trapezoid,
+    require_state,
+)
+
+
+class Accumulator(Component):
+    """Counts steps and records times."""
+
+    def __init__(self):
+        self.steps = 0
+        self.last_t = None
+
+    def step(self, t, dt):
+        self.steps += 1
+        self.last_t = t
+
+    def reset(self):
+        self.steps = 0
+        self.last_t = None
+
+
+def test_rejects_non_positive_timestep():
+    with pytest.raises(ConfigurationError):
+        Simulator(dt=0.0)
+    with pytest.raises(ConfigurationError):
+        Simulator(dt=-1e-3)
+
+
+def test_run_advances_expected_number_of_steps():
+    sim = Simulator(dt=0.01)
+    acc = sim.add(Accumulator())
+    result = sim.run(duration=1.0)
+    assert acc.steps == 100
+    assert result.steps == 100
+    assert math.isclose(result.t_end, 1.0)
+
+
+def test_run_requires_a_bound():
+    sim = Simulator(dt=0.01)
+    with pytest.raises(ConfigurationError):
+        sim.run()
+
+
+def test_max_steps_bounds_the_run():
+    sim = Simulator(dt=0.01)
+    acc = sim.add(Accumulator())
+    sim.run(duration=10.0, max_steps=7)
+    assert acc.steps == 7
+
+
+def test_stop_condition_halts_early_and_flags_result():
+    sim = Simulator(dt=0.1)
+    sim.add(Accumulator())
+    sim.stop_when(lambda t: t >= 0.35)
+    result = sim.run(duration=10.0)
+    assert result.stopped_early
+    assert result.t_end < 1.0
+
+
+def test_components_step_in_registration_order():
+    order = []
+
+    class Tagger(Component):
+        def __init__(self, tag):
+            self.tag = tag
+
+        def step(self, t, dt):
+            order.append(self.tag)
+
+    sim = Simulator(dt=1.0)
+    sim.add(Tagger("a"))
+    sim.add(Tagger("b"))
+    sim.run(max_steps=1)
+    assert order == ["a", "b"]
+
+
+def test_probes_record_each_step():
+    sim = Simulator(dt=0.5)
+    value = {"x": 0.0}
+
+    class Bump(Component):
+        def step(self, t, dt):
+            value["x"] += 1.0
+
+    sim.add(Bump())
+    sim.probe("x", lambda: value["x"])
+    result = sim.run(duration=2.0)
+    trace = result.trace("x")
+    assert list(trace.values) == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_reset_restores_time_and_components():
+    sim = Simulator(dt=0.1)
+    acc = sim.add(Accumulator())
+    sim.run(duration=1.0)
+    sim.reset()
+    assert sim.t == 0.0
+    assert acc.steps == 0
+
+
+def test_run_steps_rejects_negative():
+    sim = Simulator(dt=0.1)
+    with pytest.raises(ConfigurationError):
+        sim.run_steps(-1)
+
+
+def test_consecutive_runs_continue_time():
+    sim = Simulator(dt=0.1)
+    sim.add(Accumulator())
+    sim.run(duration=1.0)
+    result = sim.run(duration=1.0)
+    assert math.isclose(result.t_end, 2.0)
+
+
+def test_integrate_trapezoid_constant():
+    assert math.isclose(integrate_trapezoid([2.0] * 11, 0.1), 2.0)
+
+
+def test_integrate_trapezoid_edge_cases():
+    assert integrate_trapezoid([], 0.1) == 0.0
+    assert integrate_trapezoid([5.0], 0.1) == 0.0
+
+
+def test_integrate_trapezoid_linear_ramp():
+    values = [float(i) for i in range(11)]  # 0..10 over dt=1
+    assert math.isclose(integrate_trapezoid(values, 1.0), 50.0)
+
+
+def test_require_state_raises():
+    require_state(True, "fine")
+    with pytest.raises(SimulationError):
+        require_state(False, "broken")
+
+
+def test_base_component_step_is_abstract():
+    with pytest.raises(NotImplementedError):
+        Component().step(0.0, 0.1)

@@ -1,0 +1,96 @@
+"""Tests for probes and traces."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.probes import Probe, Recorder, Trace
+
+
+def make_trace(values, dt=0.1, name="t"):
+    times = np.arange(len(values)) * dt
+    return Trace(name, times, np.asarray(values, dtype=float))
+
+
+def test_trace_rejects_mismatched_lengths():
+    with pytest.raises(ConfigurationError):
+        Trace("bad", np.array([0.0, 1.0]), np.array([1.0]))
+
+
+def test_trace_basic_stats():
+    trace = make_trace([1.0, 3.0, 2.0])
+    assert trace.minimum() == 1.0
+    assert trace.maximum() == 3.0
+    assert math.isclose(trace.mean(), 2.0)
+    assert math.isclose(trace.peak_to_peak(), 2.0)
+    assert len(trace) == 3
+
+
+def test_trace_between_slices_inclusive():
+    trace = make_trace([0, 1, 2, 3, 4, 5])
+    sub = trace.between(0.09, 0.31)
+    assert list(sub.values) == [1.0, 2.0, 3.0]
+
+
+def test_trace_value_at_interpolates():
+    trace = make_trace([0.0, 10.0], dt=1.0)
+    assert math.isclose(trace.value_at(0.25), 2.5)
+
+
+def test_trace_integral_of_constant_power_is_energy():
+    trace = make_trace([5.0] * 101, dt=0.01)
+    assert math.isclose(trace.integral(), 5.0, rel_tol=1e-6)
+
+
+def test_trace_fraction_above():
+    trace = make_trace([0.0, 1.0, 2.0, 3.0])
+    assert math.isclose(trace.fraction_above(1.5), 0.5)
+    assert make_trace([]).fraction_above(0.0) == 0.0
+
+
+def test_trace_dt_is_median_spacing():
+    trace = make_trace([1, 2, 3], dt=0.25)
+    assert math.isclose(trace.dt, 0.25)
+    assert make_trace([1.0]).dt == 0.0
+
+
+def test_probe_decimation():
+    probe = Probe("x", lambda: 1.0, decimate=3)
+    for i in range(9):
+        probe.sample(float(i))
+    trace = probe.trace()
+    assert len(trace) == 3
+    assert list(trace.times) == [2.0, 5.0, 8.0]
+
+
+def test_probe_rejects_bad_decimation():
+    with pytest.raises(ConfigurationError):
+        Probe("x", lambda: 0.0, decimate=0)
+
+
+def test_probe_clear():
+    probe = Probe("x", lambda: 1.0)
+    probe.sample(0.0)
+    probe.clear()
+    assert len(probe.trace()) == 0
+
+
+def test_recorder_rejects_duplicate_names():
+    recorder = Recorder()
+    recorder.add("v", lambda: 0.0)
+    with pytest.raises(ConfigurationError):
+        recorder.add("v", lambda: 1.0)
+
+
+def test_recorder_samples_all_probes():
+    recorder = Recorder()
+    recorder.add("a", lambda: 1.0)
+    recorder.add("b", lambda: 2.0)
+    recorder.sample(0.0)
+    recorder.sample(1.0)
+    traces = recorder.traces()
+    assert list(traces["a"].values) == [1.0, 1.0]
+    assert list(traces["b"].values) == [2.0, 2.0]
+    assert "a" in recorder and "missing" not in recorder

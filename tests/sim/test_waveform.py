@@ -1,0 +1,115 @@
+"""Tests for waveform analysis."""
+
+import math
+
+import numpy as np
+
+from repro.sim import waveform
+from repro.sim.probes import Trace
+
+
+def sine_trace(frequency=5.0, duration=2.0, dt=1e-3, amplitude=1.0, offset=0.0):
+    times = np.arange(0.0, duration, dt)
+    values = offset + amplitude * np.sin(2 * np.pi * frequency * times)
+    return Trace("sine", times, values)
+
+
+def test_crossings_of_sine_alternate():
+    trace = sine_trace()
+    events = waveform.crossings(trace, 0.0)
+    # 5 Hz over 2 s: ~20 crossings, alternating rising/falling.
+    assert len(events) >= 18
+    for first, second in zip(events, events[1:]):
+        assert first.rising != second.rising
+
+
+def test_rising_and_falling_split():
+    trace = sine_trace()
+    rising = waveform.rising_crossings(trace, 0.5)
+    falling = waveform.falling_crossings(trace, 0.5)
+    assert len(rising) == len(falling) == 10
+
+
+def test_crossing_times_interpolated():
+    times = np.array([0.0, 1.0])
+    values = np.array([0.0, 2.0])
+    events = waveform.crossings(Trace("ramp", times, values), 1.0)
+    assert len(events) == 1
+    assert math.isclose(events[0].time, 0.5)
+    assert events[0].rising
+
+
+def test_dominant_frequency_of_sine():
+    trace = sine_trace(frequency=7.0, duration=4.0)
+    assert abs(waveform.dominant_frequency(trace) - 7.0) < 0.3
+
+
+def test_dominant_frequency_ignores_dc():
+    trace = sine_trace(frequency=3.0, offset=10.0)
+    assert abs(waveform.dominant_frequency(trace) - 3.0) < 0.5
+
+
+def test_dominant_frequency_degenerate_traces():
+    assert waveform.dominant_frequency(Trace("e", np.array([]), np.array([]))) == 0.0
+
+
+def test_envelope_tracks_amplitude_swell():
+    times = np.arange(0.0, 2.0, 1e-3)
+    amp = np.where(times < 1.0, 1.0, 3.0)
+    values = amp * np.sin(2 * np.pi * 20 * times)
+    env = waveform.envelope(Trace("x", times, values), window=0.1)
+    early = env.between(0.0, 0.9).maximum()
+    late = env.between(1.1, 2.0).maximum()
+    assert late > 2.5 > early
+
+
+def test_duty_cycle_of_square():
+    times = np.arange(0.0, 1.0, 1e-3)
+    values = (times % 0.2 < 0.05).astype(float)
+    trace = Trace("sq", times, values)
+    assert abs(waveform.duty_cycle(trace, 0.5) - 0.25) < 0.02
+
+
+def test_rms_of_sine():
+    trace = sine_trace(amplitude=2.0)
+    assert abs(waveform.rms(trace) - 2.0 / math.sqrt(2)) < 0.01
+    assert waveform.rms(Trace("e", np.array([]), np.array([]))) == 0.0
+
+
+def test_periodicity_strength_peaks_at_true_period():
+    trace = sine_trace(frequency=2.0, duration=5.0)
+    at_period = waveform.periodicity_strength(trace, 0.5)
+    at_half = waveform.periodicity_strength(trace, 0.25)
+    assert at_period > 0.9
+    assert at_period > at_half
+
+
+def test_segment_above_finds_intervals():
+    times = np.arange(0.0, 1.0, 1e-3)
+    values = (times % 0.5 < 0.25).astype(float)
+    segments = waveform.segment_above(Trace("sq", times, values), 0.5)
+    assert len(segments) == 2
+    start, end = segments[0]
+    assert abs((end - start) - 0.25) < 0.01
+
+
+def test_longest_interval_above():
+    times = np.arange(0.0, 1.0, 1e-3)
+    values = np.where(times < 0.6, 1.0, 0.0)
+    trace = Trace("step", times, values)
+    assert abs(waveform.longest_interval_above(trace, 0.5) - 0.6) < 0.01
+    assert waveform.longest_interval_above(trace, 2.0) == 0.0
+
+
+def test_resample_preserves_shape():
+    trace = sine_trace(frequency=1.0, duration=2.0, dt=0.01)
+    resampled = waveform.resample(trace, 0.001)
+    assert abs(resampled.value_at(0.25) - 1.0) < 0.01
+
+
+def test_correlation_perfect_and_constant():
+    xs = [1.0, 2.0, 3.0, 4.0]
+    assert math.isclose(waveform.correlation(xs, xs), 1.0)
+    assert waveform.correlation(xs, [2.0, 4.0, 6.0, 8.0]) > 0.999
+    assert waveform.correlation(xs, [1.0, 1.0, 1.0, 1.0]) == 0.0
+    assert waveform.correlation(xs, [-1.0, -2.0, -3.0, -4.0]) < -0.999

@@ -1,0 +1,78 @@
+"""Tests for the rechargeable battery model."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.storage.battery import RechargeableBattery
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        RechargeableBattery(capacity=0.0)
+    with pytest.raises(ConfigurationError):
+        RechargeableBattery(capacity=1.0, soc_initial=1.5)
+    with pytest.raises(ConfigurationError):
+        RechargeableBattery(capacity=1.0, charge_efficiency=0.0)
+    with pytest.raises(ConfigurationError):
+        RechargeableBattery(capacity=1.0, self_discharge_per_day=1.0)
+
+
+def test_voltage_rises_with_soc():
+    battery = RechargeableBattery(100.0, v_nominal=3.7, v_swing=0.4, soc_initial=0.5)
+    assert math.isclose(battery.voltage, 3.7)
+    battery.add_energy(40.0)
+    assert battery.voltage > 3.7
+
+
+def test_charge_efficiency_applied():
+    battery = RechargeableBattery(100.0, soc_initial=0.0, charge_efficiency=0.9)
+    battery.add_energy(10.0)
+    assert math.isclose(battery.stored_energy, 9.0)
+
+
+def test_add_energy_clamps_at_capacity():
+    battery = RechargeableBattery(10.0, soc_initial=0.95, charge_efficiency=1.0)
+    accepted = battery.add_energy(5.0)
+    assert math.isclose(battery.stored_energy, 10.0)
+    assert math.isclose(accepted, 0.5)
+
+
+def test_draw_energy_limited_by_content():
+    battery = RechargeableBattery(10.0, soc_initial=0.1)
+    drawn = battery.draw_energy(5.0)
+    assert math.isclose(drawn, 1.0)
+    assert battery.stored_energy == 0.0
+
+
+def test_add_charge_converts_via_voltage():
+    battery = RechargeableBattery(100.0, soc_initial=0.5, charge_efficiency=1.0)
+    v = battery.voltage
+    battery.add_charge(1.0)  # one coulomb
+    assert math.isclose(battery.stored_energy, 50.0 + v, rel_tol=1e-6)
+
+
+def test_self_discharge_rate():
+    battery = RechargeableBattery(
+        100.0, soc_initial=1.0, self_discharge_per_day=0.01
+    )
+    leaked = battery.step_leakage(86400.0)
+    assert math.isclose(leaked, 1.0, rel_tol=0.01)
+
+
+def test_reset_restores_initial_soc():
+    battery = RechargeableBattery(10.0, soc_initial=0.7)
+    battery.draw_energy(3.0)
+    battery.reset()
+    assert math.isclose(battery.state_of_charge, 0.7)
+
+
+def test_negative_arguments_rejected():
+    battery = RechargeableBattery(10.0)
+    with pytest.raises(ConfigurationError):
+        battery.add_energy(-1.0)
+    with pytest.raises(ConfigurationError):
+        battery.draw_energy(-1.0)
+    with pytest.raises(ConfigurationError):
+        battery.add_charge(-1.0)

@@ -1,0 +1,129 @@
+"""Tests for the capacitor models."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.storage.capacitor import Capacitor, DecouplingBudget
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        Capacitor(0.0)
+    with pytest.raises(ConfigurationError):
+        Capacitor(1e-6, v_max=0.0)
+    with pytest.raises(ConfigurationError):
+        Capacitor(1e-6, v_max=3.0, v_initial=4.0)
+    with pytest.raises(ConfigurationError):
+        Capacitor(1e-6, leakage_resistance=0.0)
+
+
+def test_energy_is_half_cv_squared():
+    cap = Capacitor(10e-6, v_initial=3.0)
+    assert math.isclose(cap.stored_energy, 45e-6)
+
+
+def test_add_charge_raises_voltage_linearly():
+    cap = Capacitor(10e-6)
+    cap.add_charge(10e-6)  # Q = CV -> V = 1.0
+    assert math.isclose(cap.voltage, 1.0)
+
+
+def test_add_charge_clamps_at_v_max_and_reports_accepted():
+    cap = Capacitor(10e-6, v_max=3.0, v_initial=2.9)
+    accepted = cap.add_charge(10e-6)
+    assert math.isclose(cap.voltage, 3.0)
+    assert math.isclose(accepted, 0.1 * 10e-6)
+
+
+def test_add_energy_consistent_with_voltage():
+    cap = Capacitor(10e-6)
+    cap.add_energy(45e-6)
+    assert math.isclose(cap.voltage, 3.0)
+
+
+def test_add_energy_clamps_at_capacity():
+    cap = Capacitor(10e-6, v_max=3.0, v_initial=2.99)
+    accepted = cap.add_energy(1.0)
+    assert cap.voltage == 3.0
+    assert accepted < 1e-6
+
+
+def test_draw_energy_partial_when_empty():
+    cap = Capacitor(10e-6, v_initial=1.0)
+    available = cap.stored_energy
+    drawn = cap.draw_energy(available * 2.0)
+    assert math.isclose(drawn, available)
+    assert cap.voltage == 0.0
+
+
+def test_draw_energy_voltage_tracks_energy():
+    cap = Capacitor(10e-6, v_initial=3.0)
+    cap.draw_energy(cap.stored_energy * 0.75)
+    assert math.isclose(cap.voltage, 1.5)
+
+
+def test_add_and_draw_reject_negative():
+    cap = Capacitor(10e-6)
+    with pytest.raises(ConfigurationError):
+        cap.add_charge(-1.0)
+    with pytest.raises(ConfigurationError):
+        cap.add_energy(-1.0)
+    with pytest.raises(ConfigurationError):
+        cap.draw_energy(-1.0)
+
+
+def test_leakage_follows_rc_decay():
+    cap = Capacitor(10e-6, v_initial=3.0, leakage_resistance=1e6)
+    tau = 10.0  # R*C = 1e6 * 10e-6
+    cap.step_leakage(tau)
+    assert math.isclose(cap.voltage, 3.0 * math.exp(-1.0), rel_tol=1e-9)
+
+
+def test_leakage_returns_energy_lost():
+    cap = Capacitor(10e-6, v_initial=3.0, leakage_resistance=1e5)
+    before = cap.stored_energy
+    leaked = cap.step_leakage(0.5)
+    assert math.isclose(before - cap.stored_energy, leaked)
+
+
+def test_ideal_capacitor_does_not_leak():
+    cap = Capacitor(10e-6, v_initial=3.0)
+    assert cap.step_leakage(100.0) == 0.0
+    assert cap.voltage == 3.0
+
+
+def test_reset_restores_initial_voltage():
+    cap = Capacitor(10e-6, v_initial=2.0)
+    cap.draw_energy(1e-6)
+    cap.reset()
+    assert cap.voltage == 2.0
+
+
+def test_voltage_after_drawing_matches_eq4_reasoning():
+    cap = Capacitor(22e-6, v_initial=2.33)
+    e_s = 21e-6
+    predicted = cap.voltage_after_drawing(e_s)
+    cap.draw_energy(e_s)
+    assert math.isclose(predicted, cap.voltage)
+    assert predicted >= 1.79  # snapshot survivable above v_min=1.8
+
+
+def test_voltage_after_drawing_everything_is_zero():
+    cap = Capacitor(10e-6, v_initial=1.0)
+    assert cap.voltage_after_drawing(1.0) == 0.0
+
+
+def test_decoupling_budget_total():
+    budget = DecouplingBudget(
+        bulk_decoupling=10e-6, per_pin_decoupling=100e-9, pin_count=8, parasitic=50e-9
+    )
+    assert math.isclose(budget.total(), 10e-6 + 8 * 100e-9 + 50e-9)
+
+
+def test_decoupling_budget_as_capacitor():
+    cap = DecouplingBudget().as_capacitor(v_max=3.3)
+    assert isinstance(cap, Capacitor)
+    assert cap.v_max == 3.3
+    assert cap.capacitance > 10e-6

@@ -1,0 +1,47 @@
+"""Tests for the supercapacitor model."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.storage.supercap import Supercapacitor
+
+
+def test_supercap_leaks_by_default():
+    cap = Supercapacitor(6e-3, v_initial=4.0)
+    v_before = cap.voltage
+    cap.step_leakage(3600.0)
+    assert cap.voltage < v_before
+
+
+def test_max_discharge_power_matched_load():
+    cap = Supercapacitor(1e-3, v_initial=4.0, esr=25.0)
+    assert math.isclose(cap.max_discharge_power(), 16.0 / 100.0)
+
+
+def test_draw_includes_esr_overhead():
+    ideal = Supercapacitor(1e-3, v_initial=4.0, esr=25.0, leakage_resistance=None)
+    before = ideal.stored_energy
+    delivered = ideal.draw_energy(1e-3)
+    consumed = before - ideal.stored_energy
+    assert math.isclose(delivered, 1e-3, rel_tol=1e-9)
+    assert consumed > delivered  # ESR loss on top
+
+
+def test_empty_supercap_delivers_nothing():
+    cap = Supercapacitor(1e-3, v_initial=0.0)
+    assert cap.draw_energy(1e-3) == 0.0
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        Supercapacitor(1e-3, esr=0.0)
+
+
+def test_wispcam_sizing_holds_one_photo():
+    """The WISPCam design point: 6 mF between 4.1 V and 2.2 V covers a
+    ~2.4 mJ photo."""
+    cap = Supercapacitor(6e-3, v_max=5.0, v_initial=4.1)
+    usable = cap.stored_energy - 0.5 * 6e-3 * 2.2**2
+    assert usable > 2.4e-3

@@ -1,0 +1,47 @@
+"""Tests for the CLI experiment runner."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig7" in out
+    assert "crossover" in out
+
+
+def test_taxonomy_command(capsys):
+    assert main(["taxonomy"]) == 0
+    out = capsys.readouterr().out
+    assert "Desktop PC" in out
+    assert "transient" in out
+    assert "Hibernus" in out
+
+
+def test_sources_command(capsys):
+    assert main(["sources"]) == 0
+    out = capsys.readouterr().out
+    assert "wind turbine" in out
+    assert "uA" in out
+
+
+def test_fig7_command_small(capsys):
+    code = main(["fig7", "--fft-size", "64", "--duration", "0.6"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "checksum ok" in out
+    assert "yes" in out
+
+
+def test_crossover_command_two_points(capsys):
+    assert main(["crossover", "--frequencies", "2", "80"]) == 0
+    out = capsys.readouterr().out
+    assert "hibernus" in out
+    assert "quickrecall" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

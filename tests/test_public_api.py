@@ -1,0 +1,69 @@
+"""Public-API contract: everything advertised is importable and real."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.sim",
+    "repro.harvest",
+    "repro.storage",
+    "repro.power",
+    "repro.mcu",
+    "repro.mcu.programs",
+    "repro.transient",
+    "repro.neutral",
+    "repro.core",
+    "repro.analysis",
+]
+
+
+def test_version_is_set():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_all_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+        assert getattr(repro, name) is not None
+
+
+@pytest.mark.parametrize("package_name", SUBPACKAGES)
+def test_subpackage_all_resolves(package_name):
+    package = importlib.import_module(package_name)
+    for name in getattr(package, "__all__", []):
+        assert hasattr(package, name), f"{package_name}.{name}"
+
+
+def test_no_duplicate_exports_at_top_level():
+    assert len(repro.__all__) == len(set(repro.__all__))
+
+
+def test_every_public_class_has_a_docstring():
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if isinstance(obj, type):
+            assert obj.__doc__, f"{name} lacks a docstring"
+
+
+def test_errors_all_derive_from_repro_error():
+    from repro import errors
+
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception) and obj is not Exception:
+            assert issubclass(obj, errors.ReproError) or obj is errors.ReproError
+
+
+def test_strategies_expose_names():
+    from repro import Hibernus, HibernusPP, Mementos, NVProcessor, NullStrategy, QuickRecall
+
+    names = {
+        cls.name
+        for cls in (Hibernus, HibernusPP, QuickRecall, Mementos, NVProcessor, NullStrategy)
+    }
+    assert names == {
+        "hibernus", "hibernus++", "quickrecall", "mementos", "nvp", "null",
+    }

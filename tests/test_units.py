@@ -1,0 +1,55 @@
+"""Tests for repro.units."""
+
+import math
+
+from repro import units
+
+
+def test_si_prefixes_scale_correctly():
+    assert units.kilo(2.0) == 2000.0
+    assert units.mega(1.0) == 1e6
+    assert units.milli(3.0) == 3e-3
+    assert units.micro(4.0) == 4e-6
+    assert units.nano(5.0) == 5e-9
+    assert units.pico(6.0) == 6e-12
+
+
+def test_electrical_aliases():
+    assert math.isclose(units.mV(100.0), 0.1)
+    assert math.isclose(units.uA(250.0), 250e-6)
+    assert math.isclose(units.mW(5.0), 5e-3)
+    assert math.isclose(units.uF(22.0), 22e-6)
+    assert math.isclose(units.nF(100.0), 1e-7)
+    assert math.isclose(units.uJ(8.0), 8e-6)
+    assert math.isclose(units.nJ(1.5), 1.5e-9)
+    assert math.isclose(units.pJ(10.0), 1e-11)
+    assert math.isclose(units.mA(1.7), 1.7e-3)
+    assert math.isclose(units.uV(2.0), 2e-6)
+    assert math.isclose(units.uW(6.0), 6e-6)
+    assert math.isclose(units.mF(6.0), 6e-3)
+    assert math.isclose(units.mJ(2.0), 2e-3)
+
+
+def test_time_and_frequency_aliases():
+    assert math.isclose(units.kHz(32.768), 32768.0)
+    assert math.isclose(units.MHz(8.0), 8e6)
+    assert math.isclose(units.ms(250.0), 0.25)
+    assert math.isclose(units.us(50.0), 50e-6)
+    assert math.isclose(units.minutes(2.0), 120.0)
+    assert math.isclose(units.hours(1.0), 3600.0)
+    assert math.isclose(units.days(2.0), 172800.0)
+
+
+def test_cap_energy_half_cv_squared():
+    assert math.isclose(units.cap_energy(10e-6, 3.0), 45e-6)
+
+
+def test_cap_energy_between_matches_difference():
+    c = 22e-6
+    full = units.cap_energy(c, 3.0)
+    low = units.cap_energy(c, 1.8)
+    assert math.isclose(units.cap_energy_between(c, 3.0, 1.8), full - low)
+
+
+def test_cap_energy_between_is_zero_for_equal_voltages():
+    assert units.cap_energy_between(1e-5, 2.5, 2.5) == 0.0

@@ -1,0 +1,95 @@
+"""Tests for the strategy-comparison harness (the ref [13] experiment)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harvest.synthetic import SquareWavePowerHarvester
+from repro.mcu.engine import SyntheticEngine
+from repro.mcu.power_model import MSP430_FRAM_MODEL, MSP430_SRAM_MODEL
+from repro.transient.comparison import (
+    COMPARISON_HEADERS,
+    ComparisonScenario,
+    compare_strategies,
+    winner_by,
+)
+from repro.transient.base import NullStrategy
+from repro.transient.hibernus import Hibernus
+from repro.transient.quickrecall import QuickRecall
+
+
+def scenario(**kwargs):
+    defaults = dict(
+        harvester_factory=lambda: SquareWavePowerHarvester(
+            20e-3, period=0.1, duty=0.3
+        ),
+        duration=4.0,
+    )
+    defaults.update(kwargs)
+    return ComparisonScenario(**defaults)
+
+
+def engine_factory():
+    return SyntheticEngine(total_cycles=600_000, checkpoint_interval=2000)
+
+
+ENTRIES = [
+    ("hibernus", Hibernus, engine_factory, MSP430_SRAM_MODEL),
+    ("quickrecall", QuickRecall, engine_factory, MSP430_FRAM_MODEL),
+    ("null", NullStrategy, engine_factory, MSP430_SRAM_MODEL),
+]
+
+
+@pytest.fixture(scope="module")
+def results():
+    return compare_strategies(scenario(), ENTRIES)
+
+
+def test_all_entries_ran(results):
+    assert set(results) == {"hibernus", "quickrecall", "null"}
+
+
+def test_checkpointing_strategies_complete_null_does_not(results):
+    assert results["hibernus"].report.completed
+    assert results["quickrecall"].report.completed
+    assert not results["null"].report.completed
+
+
+def test_rows_match_headers(results):
+    for result in results.values():
+        assert len(result.row()) == len(COMPARISON_HEADERS)
+
+
+def test_winner_by_overhead_is_quickrecall(results):
+    # Register-only snapshots: far cheaper checkpointing overhead.
+    assert winner_by(results, "energy_overhead") == "quickrecall"
+
+
+def test_winner_by_requires_a_completion():
+    incomplete = {
+        "null": compare_strategies(
+            scenario(duration=0.5),
+            [("null", NullStrategy, engine_factory, MSP430_SRAM_MODEL)],
+        )["null"]
+    }
+    if incomplete["null"].report.completed:
+        pytest.skip("null unexpectedly completed in the short window")
+    with pytest.raises(ConfigurationError):
+        winner_by(incomplete, "energy_total")
+
+
+def test_scenario_validation():
+    with pytest.raises(ConfigurationError):
+        ComparisonScenario(
+            harvester_factory=lambda: SquareWavePowerHarvester(1e-3, 1.0),
+            capacitance=0.0,
+        )
+
+
+def test_factories_isolate_state():
+    """Running the comparison twice gives identical reports (no leakage)."""
+    first = compare_strategies(scenario(), ENTRIES[:1])
+    second = compare_strategies(scenario(), ENTRIES[:1])
+    a, b = first["hibernus"].report, second["hibernus"].report
+    assert a.completion_time == b.completion_time
+    assert a.snapshots == b.snapshots
+    assert a.energy_total == b.energy_total

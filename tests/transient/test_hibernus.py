@@ -1,0 +1,110 @@
+"""Tests for Hibernus (expression (4) and the §III behaviour)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mcu.engine import SyntheticEngine
+from repro.transient.base import TransientPlatform, TransientPlatformConfig
+from repro.transient.hibernus import Hibernus, hibernate_threshold
+
+from tests.conftest import make_counter_platform, run_intermittent
+
+
+def test_hibernate_threshold_formula():
+    # E_s = C*(V_H^2 - V_min^2)/2 solved for V_H.
+    v_h = hibernate_threshold(21e-6, 22e-6, 1.8, margin=1.0)
+    assert math.isclose(v_h, math.sqrt(2 * 21e-6 / 22e-6 + 1.8**2))
+
+
+def test_hibernate_threshold_margin_raises_vh():
+    base = hibernate_threshold(10e-6, 22e-6, 1.8, margin=1.0)
+    safe = hibernate_threshold(10e-6, 22e-6, 1.8, margin=1.5)
+    assert safe > base
+
+
+def test_hibernate_threshold_validation():
+    with pytest.raises(ConfigurationError):
+        hibernate_threshold(-1.0, 22e-6, 1.8)
+    with pytest.raises(ConfigurationError):
+        hibernate_threshold(1e-6, 0.0, 1.8)
+    with pytest.raises(ConfigurationError):
+        hibernate_threshold(1e-6, 22e-6, 1.8, margin=0.5)
+
+
+def test_auto_calibration_lands_near_real_hibernus():
+    """With the MSP430-like defaults, V_H should land near the published
+    Hibernus calibration point (~2.27 V)."""
+    platform = make_counter_platform(Hibernus())
+    # counter machine: 64+17 words full state
+    assert 1.9 < platform.strategy.v_hibernate < 2.6
+
+
+def test_vh_must_sit_below_vr():
+    engine = SyntheticEngine(total_cycles=1000, full_state_words=50_000)
+    with pytest.raises(ConfigurationError, match="must sit below"):
+        TransientPlatform(
+            engine,
+            Hibernus(v_restore=2.2),
+            config=TransientPlatformConfig(rail_capacitance=5e-6),
+        )
+
+
+def test_explicit_vh_respected():
+    platform = make_counter_platform(Hibernus(v_hibernate=2.5, v_restore=2.9))
+    assert platform.strategy.v_hibernate == 2.5
+
+
+def test_completes_counter_across_outages_with_exact_output():
+    """The headline transient property: correct result despite outages."""
+    platform = make_counter_platform(Hibernus(), target=25000)
+    run_intermittent(platform, duration=4.0)
+    m = platform.metrics
+    assert m.first_completion_time is not None
+    assert m.snapshots_completed >= 1
+    assert m.restores_completed >= 1
+    assert platform.engine.machine.output_port.log == [25000]
+
+
+def test_one_snapshot_per_supply_failure():
+    """Hibernus' signature: usually a single snapshot per outage."""
+    platform = make_counter_platform(Hibernus(), target=30000)
+    run_intermittent(platform, duration=3.0)  # supply period is 0.1 s
+    m = platform.metrics
+    # At most one snapshot per supply excursion (no redundant snapshots):
+    # the workload sees one off-phase per 0.1 s period until it completes.
+    excursions = int(m.first_completion_time / 0.1) + 1
+    assert 1 <= m.snapshots_completed <= excursions
+
+
+def test_snapshot_taken_below_vh_only():
+    hibernus = Hibernus(v_hibernate=2.4, v_restore=3.0)
+    platform = make_counter_platform(hibernus, target=30000)
+    platform.advance(0.0, 1e-4, 3.2)  # boot -> sleep
+    platform.advance(1e-4, 1e-4, 3.2)  # sleep sees v>=V_R -> cold start
+    platform.advance(2e-4, 1e-4, 3.2)  # active above V_H: no snapshot
+    assert platform.metrics.snapshots_started == 0
+    platform.advance(3e-4, 1e-4, 2.3)  # below V_H: snapshot fires
+    assert platform.metrics.snapshots_started == 1
+
+
+def test_restore_waits_for_vr():
+    hibernus = Hibernus(v_hibernate=2.2, v_restore=3.0)
+    platform = make_counter_platform(hibernus)
+    platform.advance(0.0, 1e-4, 2.5)   # boots, sleeps (v < V_R)
+    assert platform.metrics.cold_boots == 0
+    platform.advance(1e-4, 1e-4, 2.9)  # still below V_R
+    assert platform.metrics.cold_boots == 0
+    platform.advance(2e-4, 1e-4, 3.1)  # V_R crossed: cold start (no snapshot)
+    assert platform.metrics.cold_boots == 1
+
+
+def test_progress_preserved_not_restarted():
+    """After an outage the counter resumes, it does not restart — the
+    completion happens with exactly one final output."""
+    platform = make_counter_platform(Hibernus(), target=25000)
+    run_intermittent(platform, duration=5.0)
+    log = platform.engine.machine.output_port.log
+    assert log == [25000]
+    assert platform.metrics.restores_completed >= 1

@@ -1,0 +1,86 @@
+"""Tests for Mementos (compile-time checkpoints)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.transient.mementos import Mementos
+
+from tests.conftest import make_counter_platform, run_intermittent
+
+
+def test_configure_enables_checkpoint_stops():
+    platform = make_counter_platform(Mementos())
+    assert platform.stop_at_checkpoints
+
+
+def test_completes_counter_across_outages():
+    platform = make_counter_platform(Mementos(), target=25000)
+    run_intermittent(platform, duration=4.0)
+    assert platform.metrics.first_completion_time is not None
+    log = platform.engine.machine.output_port.log
+    # Mementos re-executes code after restore; the counter value itself is
+    # stored in RAM and snapshotted, so the final output is still exact.
+    assert log[-1] == 25000
+
+
+def test_no_snapshot_above_threshold():
+    mementos = Mementos(v_checkpoint=2.5)
+    platform = make_counter_platform(mementos, target=30000)
+    platform.advance(0.0, 1e-4, 3.2)          # boot
+    for i in range(1, 30):
+        platform.advance(i * 1e-4, 1e-4, 3.2)  # strong supply
+    assert platform.metrics.snapshots_started == 0
+
+
+def test_snapshots_at_sites_below_threshold():
+    mementos = Mementos(v_checkpoint=2.8)
+    platform = make_counter_platform(mementos, target=30000)
+    platform.advance(0.0, 1e-4, 3.0)           # boot (above v_operate)
+    for i in range(1, 30):
+        platform.advance(i * 1e-4, 1e-4, 2.7)  # weak supply at sites
+        if platform.metrics.snapshots_started:
+            break
+    assert platform.metrics.snapshots_started >= 1
+
+
+def test_redundant_snapshots_the_known_downside():
+    """Downside 1 in the paper: Mementos takes more snapshots than there
+    are outages (redundant work), unlike Hibernus."""
+    from repro.transient.hibernus import Hibernus
+
+    mementos_platform = make_counter_platform(Mementos(), target=20000)
+    run_intermittent(mementos_platform, duration=3.0)
+    hibernus_platform = make_counter_platform(Hibernus(), target=20000)
+    run_intermittent(hibernus_platform, duration=3.0)
+    assert (
+        mementos_platform.metrics.snapshots_completed
+        >= hibernus_platform.metrics.snapshots_completed
+    )
+
+
+def test_timer_mode_snapshots_periodically():
+    mementos = Mementos(v_checkpoint=0.1, timer_interval=0.005)
+    platform = make_counter_platform(mementos, target=30000)
+    platform.advance(0.0, 1e-4, 3.2)
+    for i in range(1, 400):
+        platform.advance(i * 1e-4, 1e-4, 3.2)
+    # Voltage never below threshold, yet the timer forces snapshots.
+    assert platform.metrics.snapshots_started >= 3
+
+
+def test_boot_below_v_operate_waits():
+    mementos = Mementos(v_operate=2.8)
+    platform = make_counter_platform(mementos)
+    platform.advance(0.0, 1e-4, 2.3)  # above POR, below v_operate
+    from repro.transient.base import PlatformState
+
+    assert platform.state is PlatformState.SLEEP
+    platform.advance(1e-4, 1e-4, 3.0)
+    assert platform.state is PlatformState.ACTIVE
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        Mementos(v_checkpoint=0.0)
+    with pytest.raises(ConfigurationError):
+        Mementos(timer_interval=0.0)

@@ -1,0 +1,170 @@
+"""Tests for the transient platform state machine."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mcu.engine import SyntheticEngine
+from repro.transient.base import (
+    NullStrategy,
+    PlatformState,
+    Strategy,
+    TransientPlatform,
+    TransientPlatformConfig,
+)
+
+
+def make_platform(strategy=None, total_cycles=100_000, **config_kwargs):
+    engine = SyntheticEngine(total_cycles=total_cycles)
+    config = TransientPlatformConfig(**config_kwargs)
+    return TransientPlatform(engine, strategy or NullStrategy(), config=config)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        TransientPlatformConfig(v_min=0.0)
+    with pytest.raises(ConfigurationError):
+        TransientPlatformConfig(v_min=2.5, v_por=2.0)
+    with pytest.raises(ConfigurationError):
+        TransientPlatformConfig(rail_capacitance=0.0)
+    with pytest.raises(ConfigurationError):
+        TransientPlatformConfig(on_complete="explode")
+
+
+def test_starts_off_and_boots_above_por():
+    platform = make_platform()
+    energy = platform.advance(0.0, 1e-3, 0.5)
+    assert platform.state is PlatformState.OFF
+    assert energy > 0.0  # supervisor draw
+    platform.advance(1e-3, 1e-3, 2.5)
+    assert platform.state is PlatformState.ACTIVE  # NullStrategy cold-starts
+    assert platform.metrics.boots == 1
+
+
+def test_active_executes_cycles():
+    platform = make_platform()
+    platform.advance(0.0, 1e-3, 3.0)   # boot + first active step
+    platform.advance(1e-3, 1e-3, 3.0)
+    assert platform.metrics.cycles_executed > 0
+
+
+def test_brownout_fails_volatile_state():
+    platform = make_platform()
+    platform.advance(0.0, 1e-3, 3.0)
+    platform.advance(1e-3, 1e-3, 3.0)
+    executed = platform.engine.executed
+    assert executed > 0
+    platform.advance(2e-3, 1e-3, 1.0)  # below v_min
+    assert platform.state is PlatformState.OFF
+    assert platform.metrics.brownouts == 1
+    assert platform.engine.executed == 0  # volatile progress gone
+
+
+def test_completion_latches_in_sleep_mode():
+    platform = make_platform(total_cycles=1000)
+    for i in range(20):
+        platform.advance(i * 1e-3, 1e-3, 3.0)
+    assert platform.workload_done
+    assert platform.state is PlatformState.SLEEP
+    assert platform.metrics.first_completion_time is not None
+    # Stays asleep even at full voltage.
+    platform.advance(1.0, 1e-3, 3.3)
+    assert platform.state is PlatformState.SLEEP
+
+
+def test_completion_restart_mode_reruns():
+    platform = make_platform(total_cycles=1000, on_complete="restart")
+    for i in range(50):
+        platform.advance(i * 1e-3, 1e-3, 3.0)
+    assert platform.metrics.completions >= 2
+    assert not platform.workload_done
+
+
+def test_snapshot_operation_takes_time_and_energy():
+    platform = make_platform()
+    platform.advance(0.0, 1e-3, 3.0)
+    platform.begin_snapshot(full=True)
+    assert platform.state is PlatformState.SNAPSHOT
+    steps = 0
+    while platform.state is PlatformState.SNAPSHOT and steps < 100:
+        platform.advance(steps * 1e-3, 1e-3, 3.0)
+        steps += 1
+    assert platform.metrics.snapshots_completed == 1
+    assert platform.metrics.energy["snapshot"] > 0.0
+    assert steps > 1  # multiple ms: a real operation, not instant
+    assert platform.state is PlatformState.SLEEP
+
+
+def test_restore_returns_to_captured_point():
+    platform = make_platform()
+    platform.advance(0.0, 1e-3, 3.0)
+    platform.advance(1e-3, 1e-3, 3.0)
+    executed = platform.engine.executed
+    platform.begin_snapshot(full=True)
+    t = 2e-3
+    while platform.state is PlatformState.SNAPSHOT:
+        platform.advance(t, 1e-3, 3.0)
+        t += 1e-3
+    platform.engine.power_fail()
+    platform.begin_restore()
+    while platform.state is PlatformState.RESTORE:
+        platform.advance(t, 1e-3, 3.0)
+        t += 1e-3
+    assert platform.engine.executed == executed
+    assert platform.state is PlatformState.ACTIVE
+    assert platform.metrics.restores_completed == 1
+
+
+def test_brownout_mid_snapshot_aborts_write():
+    platform = make_platform()
+    platform.advance(0.0, 1e-3, 3.0)
+    platform.begin_snapshot(full=True)
+    platform.advance(1e-3, 1e-3, 3.0)   # one step of writing
+    platform.advance(2e-3, 1e-3, 0.5)   # supply collapses
+    assert platform.metrics.snapshots_aborted == 1
+    assert not platform.store.has_snapshot()
+
+
+def test_brownout_mid_restore_counts_abort():
+    platform = make_platform()
+    platform.advance(0.0, 1e-3, 3.0)
+    platform.begin_snapshot(full=True)
+    t = 1e-3
+    while platform.state is PlatformState.SNAPSHOT:
+        platform.advance(t, 1e-3, 3.0)
+        t += 1e-3
+    platform.begin_restore()
+    platform.advance(t, 1e-3, 0.5)
+    assert platform.metrics.restores_aborted == 1
+    assert platform.store.has_snapshot()  # NVM copy untouched
+
+
+def test_off_below_por_draws_off_power():
+    platform = make_platform()
+    energy = platform.advance(0.0, 1.0, 1.9)  # above v_min, below v_por
+    assert platform.state is PlatformState.OFF
+    assert energy == pytest.approx(platform.power_model.off_power)
+
+
+def test_metrics_time_in_state_accumulates():
+    platform = make_platform()
+    for i in range(10):
+        platform.advance(i * 1e-3, 1e-3, 3.0)
+    assert platform.metrics.time_in_state["active"] > 0.0
+    total = sum(platform.metrics.time_in_state.values())
+    assert total == pytest.approx(10e-3)
+
+
+def test_reset_restores_fresh_platform():
+    platform = make_platform(total_cycles=1000)
+    for i in range(20):
+        platform.advance(i * 1e-3, 1e-3, 3.0)
+    platform.reset()
+    assert platform.state is PlatformState.OFF
+    assert platform.metrics.boots == 0
+    assert not platform.workload_done
+    assert not platform.store.has_snapshot()
+
+
+def test_strategy_base_on_boot_abstract():
+    with pytest.raises(NotImplementedError):
+        Strategy().on_boot(None, 0.0, 3.0)

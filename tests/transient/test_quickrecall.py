@@ -1,0 +1,42 @@
+"""Tests for QuickRecall (unified FRAM, register-only snapshots)."""
+
+from repro.mcu.power_model import MSP430_FRAM_MODEL, MSP430_SRAM_MODEL
+from repro.transient.hibernus import Hibernus
+from repro.transient.quickrecall import QuickRecall
+
+from tests.conftest import make_counter_platform, run_intermittent
+
+
+def test_vh_far_below_hibernus_vh():
+    hib = make_counter_platform(Hibernus())
+    qr = make_counter_platform(QuickRecall(), data_in_fram=True)
+    assert qr.strategy.v_hibernate < hib.strategy.v_hibernate
+    # Register-only snapshots need only millivolts of headroom.
+    assert qr.strategy.v_hibernate < 1.95
+
+
+def test_snapshot_words_are_register_sized():
+    qr = QuickRecall()
+    platform = make_counter_platform(qr, data_in_fram=True)
+    assert qr.snapshot_words(platform) == 17
+
+
+def test_completes_with_exact_output_across_outages():
+    platform = make_counter_platform(QuickRecall(), target=25000, data_in_fram=True)
+    run_intermittent(platform, duration=4.0)
+    assert platform.metrics.first_completion_time is not None
+    assert platform.engine.machine.output_port.log == [25000]
+
+
+def test_fram_execution_pays_higher_active_power():
+    assert MSP430_FRAM_MODEL.active_power(8e6, 3.0) > MSP430_SRAM_MODEL.active_power(8e6, 3.0)
+
+
+def test_snapshot_energy_much_cheaper_than_hibernus():
+    hib = Hibernus()
+    qr = QuickRecall()
+    hib_platform = make_counter_platform(hib)
+    qr_platform = make_counter_platform(qr, data_in_fram=True)
+    e_hib = hib.snapshot_energy(hib_platform)
+    e_qr = qr.snapshot_energy(qr_platform)
+    assert e_qr < 0.3 * e_hib

@@ -1,0 +1,92 @@
+"""Tests for the NVM snapshot store."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SnapshotError
+from repro.transient.base import SnapshotStore
+
+
+def test_empty_store_has_nothing():
+    store = SnapshotStore()
+    assert not store.has_snapshot()
+    with pytest.raises(SnapshotError):
+        store.latest()
+    with pytest.raises(SnapshotError):
+        store.latest_words()
+
+
+def test_commit_publishes_payload():
+    store = SnapshotStore()
+    store.begin_write("state-1", words=100)
+    store.commit()
+    assert store.has_snapshot()
+    assert store.latest() == "state-1"
+    assert store.latest_words() == 100
+    assert store.sequence == 1
+
+
+def test_uncommitted_write_invisible():
+    store = SnapshotStore()
+    store.begin_write("state-1", words=10)
+    assert not store.has_snapshot()
+
+
+def test_abort_preserves_previous_with_two_slots():
+    store = SnapshotStore(slots=2)
+    store.begin_write("good", words=10)
+    store.commit()
+    store.begin_write("bad", words=10)
+    store.abort()
+    assert store.latest() == "good"
+    assert store.aborted_writes == 1
+
+
+def test_abort_with_single_slot_loses_everything():
+    store = SnapshotStore(slots=1)
+    store.begin_write("good", words=10)
+    store.commit()
+    store.begin_write("bad", words=10)
+    store.abort()
+    assert not store.has_snapshot()
+
+
+def test_abort_without_write_is_noop():
+    store = SnapshotStore()
+    store.abort()
+    assert store.aborted_writes == 0
+
+
+def test_commit_without_write_raises():
+    with pytest.raises(SnapshotError):
+        SnapshotStore().commit()
+
+
+def test_alternating_slots_keep_latest():
+    store = SnapshotStore(slots=2)
+    for i in range(5):
+        store.begin_write(f"state-{i}", words=1)
+        store.commit()
+    assert store.latest() == "state-4"
+    assert store.sequence == 5
+
+
+def test_words_written_accumulates_wear():
+    store = SnapshotStore()
+    store.begin_write("a", words=100)
+    store.commit()
+    store.begin_write("b", words=50)
+    store.abort()
+    assert store.words_written == 150
+
+
+def test_invalidate_clears_all():
+    store = SnapshotStore()
+    store.begin_write("a", words=1)
+    store.commit()
+    store.invalidate()
+    assert not store.has_snapshot()
+
+
+def test_needs_at_least_one_slot():
+    with pytest.raises(ConfigurationError):
+        SnapshotStore(slots=0)

@@ -1,0 +1,144 @@
+"""Tests for task-based transient systems (WISPCam, Monjolo, burst scaling)."""
+
+import math
+
+import pytest
+
+from repro.core.system import EnergyDrivenSystem
+from repro.errors import ConfigurationError
+from repro.harvest.base import ConstantPowerHarvester
+from repro.storage.capacitor import Capacitor
+from repro.storage.supercap import Supercapacitor
+from repro.transient.taskbased import (
+    ChargeAndFireDevice,
+    EnergyBurstScaler,
+    MonjoloMeter,
+    Task,
+    WispCam,
+)
+
+
+def run_device(device, storage, harvest_power, duration, dt=1e-3):
+    system = EnergyDrivenSystem(dt)
+    system.set_storage(storage)
+    system.add_power_source(ConstantPowerHarvester(harvest_power))
+    system.add_load(device)
+    system.run(duration)
+    return device
+
+
+def test_task_validation():
+    with pytest.raises(ConfigurationError):
+        Task("bad", energy=0.0, duration=1.0)
+    with pytest.raises(ConfigurationError):
+        Task("bad", energy=1.0, duration=0.0)
+    assert Task("t", 2.0, 4.0).power == 0.5
+
+
+def test_device_validation():
+    with pytest.raises(ConfigurationError):
+        ChargeAndFireDevice(Task("t", 1e-6, 1e-3), v_fire=1.0, v_abort=2.0)
+
+
+def test_charge_fire_cycle_completes_tasks():
+    device = ChargeAndFireDevice(Task("t", 50e-6, 10e-3), v_fire=3.0, v_abort=1.8)
+    run_device(device, Capacitor(100e-6, v_max=3.5), 1e-3, duration=2.0)
+    assert device.completed_fires >= 2
+    assert device.failed_fires == 0
+
+
+def test_task_fails_when_storage_too_small():
+    """Undersized storage: the task dies mid-flight — the atomicity bet
+    the task-based designs must not lose."""
+    device = ChargeAndFireDevice(Task("big", 2e-3, 50e-3), v_fire=3.0, v_abort=2.0)
+    run_device(device, Capacitor(20e-6, v_max=3.5), 1e-3, duration=2.0)
+    assert device.failed_fires >= 1
+    assert device.completed_fires == 0
+
+
+def test_fire_times_monotone():
+    device = ChargeAndFireDevice(Task("t", 50e-6, 10e-3), v_fire=3.0)
+    run_device(device, Capacitor(100e-6, v_max=3.5), 1e-3, duration=2.0)
+    times = device.fire_times()
+    assert times == sorted(times)
+
+
+def test_reset_clears_records():
+    device = ChargeAndFireDevice(Task("t", 50e-6, 10e-3), v_fire=3.0)
+    run_device(device, Capacitor(100e-6, v_max=3.5), 1e-3, duration=1.0)
+    device.reset()
+    assert device.records == []
+
+
+def test_wispcam_takes_photos_from_rf_budget():
+    cam = WispCam()
+    run_device(cam, Supercapacitor(6e-3, v_max=4.5), 3e-3, duration=40.0, dt=5e-3)
+    assert cam.photos_taken >= 1
+    assert cam.failed_fires == 0
+
+
+def test_wispcam_supercap_sized_for_one_photo():
+    """6 mF between fire and abort voltages covers at least one photo."""
+    usable = 0.5 * 6e-3 * (4.1**2 - 2.2**2)
+    assert usable > WispCam.PHOTO_ENERGY
+
+
+def test_monjolo_ping_rate_tracks_harvested_power():
+    """The Monjolo principle: ping frequency is (roughly) proportional to
+    the harvested power."""
+    rates = []
+    for power in (0.5e-3, 1e-3, 2e-3):
+        meter = MonjoloMeter()
+        run_device(meter, Capacitor(500e-6, v_max=3.5), power, duration=10.0)
+        rates.append(meter.ping_rate(window=8.0))
+    assert rates[0] < rates[1] < rates[2]
+    # Doubling power roughly doubles ping rate (within 30%).
+    assert abs(rates[2] / rates[1] - 2.0) < 0.6
+
+
+def test_monjolo_power_estimate_within_factor():
+    meter = MonjoloMeter()
+    run_device(meter, Capacitor(500e-6, v_max=3.5), 1e-3, duration=10.0)
+    estimate = meter.estimated_power(window=8.0)
+    assert 0.3e-3 < estimate < 1.6e-3
+
+
+def test_monjolo_ping_rate_validation():
+    meter = MonjoloMeter()
+    with pytest.raises(ConfigurationError):
+        meter.ping_rate(window=0.0)
+    assert meter.ping_rate(window=1.0) == 0.0  # no pings yet
+
+
+def test_burst_scaler_uses_larger_bursts_than_one():
+    unit = Task("unit", 8e-6, 1e-3)
+    scaler = EnergyBurstScaler(unit, capacitance=80e-6, v_fire=3.0, v_floor=2.0)
+    run_device(scaler, Capacitor(80e-6, v_max=3.4), 2e-3, duration=2.0)
+    assert scaler.units_completed > scaler.completed_fires  # bursts > 1 unit
+    assert scaler.mean_burst_size() > 1.0
+
+
+def test_burst_scaler_respects_max_units():
+    unit = Task("unit", 1e-6, 1e-4)
+    scaler = EnergyBurstScaler(unit, capacitance=80e-6, max_units=4)
+    assert scaler.units_for_fire(0.0, 3.2) <= 4
+
+
+def test_burst_scaler_min_one_unit():
+    unit = Task("unit", 1.0, 1.0)  # absurdly large unit
+    scaler = EnergyBurstScaler(unit, capacitance=80e-6)
+    assert scaler.units_for_fire(0.0, 3.0) == 1
+
+
+def test_burst_scaler_validation():
+    unit = Task("unit", 1e-6, 1e-4)
+    with pytest.raises(ConfigurationError):
+        EnergyBurstScaler(unit, capacitance=0.0)
+    with pytest.raises(ConfigurationError):
+        EnergyBurstScaler(unit, max_units=0)
+
+
+def test_mean_burst_size_empty():
+    unit = Task("unit", 1e-6, 1e-4)
+    scaler = EnergyBurstScaler(unit)
+    assert scaler.mean_burst_size() == 0.0
