@@ -1,56 +1,59 @@
 #!/usr/bin/env python
-"""Quickstart: transient computing in ~20 lines.
+"""Quickstart: transient computing in ~20 lines, declaratively.
 
 The paper's Fig. 6 shows that adopting Hibernus takes one line at the top
-of ``main``.  Here, the equivalent is one constructor argument: wrap any
-program for the simulated MCU in a TransientPlatform with the Hibernus
-strategy, wire it to a harvester, and the workload survives supply
-failures with bit-exact results.
+of ``main``.  Here, the equivalent is one line in a scenario spec: the
+whole system — FFT workload, Hibernus strategy, half-wave rectified bench
+supply, 22 uF of decoupling — is plain data that round-trips through JSON
+and builds into the same :class:`EnergyDrivenSystem` the imperative API
+wires by hand.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    Capacitor,
-    EnergyDrivenSystem,
-    Hibernus,
-    Machine,
-    MachineEngine,
-    SignalGenerator,
-    TransientPlatform,
-    assemble,
-)
+from repro import HarvesterSpec, PlatformSpec, ScenarioSpec, StorageSpec
 from repro.core.metrics import RunReport
-from repro.mcu.programs import fft_golden, fft_program
+from repro.mcu.programs import fft_golden
+
+FFT_SIZE = 512
 
 
 def main() -> None:
-    # 1. The application: a 512-point FFT for the simulated MCU.
-    #    (No strategy-specific code — this is the Fig. 6 point.)
-    image = assemble(fft_program(512))
-
-    # 2. The platform: machine + Hibernus. This is the 'Hibernus();' line.
-    platform = TransientPlatform(MachineEngine(Machine(image)), Hibernus())
-
-    # 3. The energy system: a 4.7 Hz half-wave rectified supply (the Fig. 7
-    #    bench source) into 22 uF of decoupling capacitance. No battery.
-    system = EnergyDrivenSystem(dt=50e-6)
-    system.set_storage(Capacitor(22e-6, v_max=3.3))
-    system.add_voltage_source(
-        SignalGenerator(4.5, 4.7, rectified=True, source_resistance=1200.0)
+    # 1. The scenario, as data. strategy="hibernus" is the 'Hibernus();'
+    #    line of Fig. 6 — swap the string to change the checkpointing.
+    spec = ScenarioSpec(
+        name="quickstart",
+        dt=50e-6,
+        duration=1.0,
+        storage=StorageSpec("capacitor", {"capacitance": 22e-6, "v_max": 3.3}),
+        harvesters=(
+            HarvesterSpec(
+                "signal-generator",
+                {"amplitude": 4.5, "frequency": 4.7, "rectified": True,
+                 "source_resistance": 1200.0},
+            ),
+        ),
+        platform=PlatformSpec(
+            strategy="hibernus",
+            program="fft",
+            program_params={"n": FFT_SIZE},
+        ),
     )
-    system.set_platform(platform)
 
-    # 4. Run one simulated second and report.
-    result = system.run(1.0)
+    # 2. Prove it is pure data: through JSON and back, identically.
+    spec = ScenarioSpec.from_json(spec.to_json())
+
+    # 3. Build the system and run one simulated second.
+    result = spec.run()
+    platform = result.platform
     report = RunReport.from_run(platform, result.t_end)
 
-    print("Quickstart: Hibernus FFT-64 on an intermittent supply")
+    print("Quickstart: Hibernus FFT on an intermittent supply")
     print("-" * 54)
     for line in report.lines():
         print(" ", line)
 
-    golden = fft_golden(512)[2]
+    golden = fft_golden(FFT_SIZE)[2]
     output = platform.engine.machine.output_port.last
     print(f"  FFT checksum: {output} (uninterrupted reference: {golden})")
     assert output == golden, "transient execution changed the result!"

@@ -11,20 +11,9 @@ Run:  python examples/wind_fft.py
 
 import numpy as np
 
-from repro import (
-    Capacitor,
-    EnergyDrivenSystem,
-    Hibernus,
-    Machine,
-    MachineEngine,
-    SignalGenerator,
-    TransientPlatform,
-    TransientPlatformConfig,
-)
-from repro.mcu.assembler import assemble
-from repro.mcu.machine import MachineConfig
-from repro.mcu.programs import fft_golden, fft_program
+from repro.mcu.programs import fft_golden
 from repro.sim import waveform
+from repro.spec import fig7_spec
 
 SUPPLY_HZ = 4.7
 FFT_SIZE = 512
@@ -49,22 +38,14 @@ def ascii_plot(trace, width=72, height=12, title=""):
 
 
 def main() -> None:
-    machine = Machine(
-        assemble(fft_program(FFT_SIZE)), MachineConfig(data_space_words=2048)
-    )
-    strategy = Hibernus()
-    platform = TransientPlatform(
-        MachineEngine(machine),
-        strategy,
-        config=TransientPlatformConfig(rail_capacitance=22e-6),
-    )
-    system = EnergyDrivenSystem(dt=50e-6)
-    system.set_storage(Capacitor(22e-6, v_max=3.3))
-    system.add_voltage_source(
-        SignalGenerator(4.5, SUPPLY_HZ, rectified=True, source_resistance=1500.0)
-    )
-    system.set_platform(platform)
-    result = system.run(1.2)
+    # The Fig. 7 scenario is a library preset now — one declarative spec
+    # instead of six imperative wiring calls.  build() hands back the
+    # same EnergyDrivenSystem, so probes and internals stay reachable.
+    spec = fig7_spec(fft_size=FFT_SIZE, supply_hz=SUPPLY_HZ, duration=1.2)
+    result = spec.run()
+    platform = result.platform
+    strategy = platform.strategy
+    machine = platform.engine.machine
 
     vcc = result.vcc()
     metrics = platform.metrics

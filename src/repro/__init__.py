@@ -102,6 +102,16 @@ from repro.core import (
     expression2_holds,
     minimum_capacitance,
 )
+from repro.spec import (
+    HarvesterSpec,
+    LoadSpec,
+    PlatformSpec,
+    ScenarioSpec,
+    StorageSpec,
+    SweepResult,
+    SweepRunner,
+    register,
+)
 
 __version__ = "1.0.0"
 
@@ -173,6 +183,15 @@ __all__ = [
     "EwmaPredictor",
     "DutyCycleManager",
     "WsnNode",
+    # spec
+    "ScenarioSpec",
+    "HarvesterSpec",
+    "StorageSpec",
+    "LoadSpec",
+    "PlatformSpec",
+    "SweepRunner",
+    "SweepResult",
+    "register",
     # core
     "EnergyDrivenSystem",
     "SystemDescriptor",

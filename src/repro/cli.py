@@ -5,37 +5,44 @@
     python -m repro.cli fig7 [--fft-size 512] [--supply-hz 4.7]
     python -m repro.cli crossover [--frequencies 2 10 40 80]
     python -m repro.cli sources
+    python -m repro.cli spec fig7 > fig7.json
+    python -m repro.cli run fig7.json
+    python -m repro.cli sweep --set capacitance=22e-6,47e-6 --set frequency=4.7,9.4
+    python -m repro.cli components
 
-Each subcommand runs one of the reproduction scenarios and prints the same
-series the paper's figures show.  The benchmark suite (``pytest
-benchmarks/ --benchmark-only``) runs the full set with assertions; the CLI
-is the interactive, parameterisable view.
+The figure subcommands run the reproduction scenarios and print the same
+series the paper's figures show.  The generic ``run``/``sweep`` commands
+drive any declarative :class:`~repro.spec.ScenarioSpec` — dump a starting
+point with ``spec``, edit the JSON, and feed it back.  ``sweep`` expands a
+parameter grid and executes the points in parallel across processes.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import List, Optional
 
 from repro.analysis.crossover import find_crossover
 from repro.analysis.report import format_table, print_section
-from repro.core.system import EnergyDrivenSystem
+from repro.core.metrics import RunReport
 from repro.core.taxonomy import classify, exemplars
+from repro.errors import ReproError
 from repro.harvest.solar import PhotovoltaicHarvester
-from repro.harvest.synthetic import SignalGenerator
 from repro.harvest.traces import record_voltage
 from repro.harvest.wind import MicroWindTurbine
-from repro.mcu.assembler import assemble
-from repro.mcu.engine import MachineEngine, SyntheticEngine
-from repro.mcu.machine import Machine, MachineConfig
-from repro.mcu.power_model import MSP430_FRAM_MODEL, MSP430_SRAM_MODEL
-from repro.mcu.programs import fft_golden, fft_program
+from repro.mcu.programs import fft_golden
 from repro.sim import waveform
 from repro.sim.probes import Trace
-from repro.storage.capacitor import Capacitor
-from repro.transient.base import TransientPlatform, TransientPlatformConfig
-from repro.transient.hibernus import Hibernus
-from repro.transient.quickrecall import QuickRecall
+from repro.spec import (
+    ScenarioSpec,
+    SweepRunner,
+    available,
+    kinds,
+    preset,
+    preset_names,
+)
+from repro.spec.presets import crossover_spec, fig7_spec
 from repro.units import days
 
 
@@ -46,6 +53,10 @@ def cmd_list(_: argparse.Namespace) -> int:
         ["taxonomy", "Fig. 2: classify the paper's example systems"],
         ["fig7", "Fig. 7: Hibernus FFT over a half-wave rectified supply"],
         ["crossover", "Eq. 5: Hibernus vs QuickRecall energy sweep"],
+        ["spec", "dump a preset scenario spec as JSON"],
+        ["run", "run a scenario spec from a JSON file"],
+        ["sweep", "expand a parameter grid and run it in parallel"],
+        ["components", "list the registered spec components"],
     ]
     print(format_table(["command", "experiment"], rows))
     return 0
@@ -100,27 +111,23 @@ def cmd_taxonomy(_: argparse.Namespace) -> int:
 
 
 def cmd_fig7(args: argparse.Namespace) -> int:
-    """Fig. 7 scenario with adjustable FFT size and supply frequency."""
-    machine = Machine(
-        assemble(fft_program(args.fft_size)),
-        MachineConfig(data_space_words=max(2048, 4 * args.fft_size)),
-    )
-    strategy = Hibernus()
-    platform = TransientPlatform(
-        MachineEngine(machine),
-        strategy,
-        config=TransientPlatformConfig(rail_capacitance=22e-6),
-    )
-    system = EnergyDrivenSystem(dt=50e-6)
-    system.set_storage(Capacitor(22e-6, v_max=3.3))
-    system.add_voltage_source(
-        SignalGenerator(
-            4.5, args.supply_hz, rectified=True, source_resistance=1500.0
-        )
-    )
-    system.set_platform(platform)
-    system.run(args.duration)
+    """Fig. 7 scenario with adjustable FFT size and supply frequency.
 
+    Declarative since the spec layer landed: the scenario is a
+    :func:`~repro.spec.presets.fig7_spec` built and run through
+    ``ScenarioSpec.build()`` — the hand-wired ``EnergyDrivenSystem``
+    construction this used to do inline.
+    """
+    spec = fig7_spec(
+        fft_size=args.fft_size,
+        supply_hz=args.supply_hz,
+        duration=args.duration,
+    )
+    result = spec.run()
+
+    platform = result.platform
+    strategy = platform.strategy
+    machine = platform.engine.machine
     metrics = platform.metrics
     completion = metrics.first_completion_time
     golden = fft_golden(args.fft_size)[2]
@@ -140,50 +147,37 @@ def cmd_fig7(args: argparse.Namespace) -> int:
     return 0 if completion is not None else 1
 
 
-def _run_crossover_point(strategy, power_model, frequency: float) -> float:
-    engine = SyntheticEngine(total_cycles=4_000_000)
-    platform = TransientPlatform(
-        engine,
-        strategy,
-        power_model=power_model,
-        config=TransientPlatformConfig(rail_capacitance=22e-6),
-    )
-    period = 1.0 / frequency
-    v_high, v_low, ramp_down, ramp_up = 3.2, 1.6, 230.0, 4000.0
-    t_down = (v_high - v_low) / ramp_down
-    t_up = (v_high - v_low) / ramp_up
-
-    def v_of_t(t: float) -> float:
-        phase = t % period
-        if phase < t_down:
-            return v_high - ramp_down * phase
-        if phase < t_down + 2e-3:
-            return v_low
-        if phase < t_down + 2e-3 + t_up:
-            return v_low + ramp_up * (phase - t_down - 2e-3)
-        return v_high
-
-    t = 0.0
-    while platform.metrics.first_completion_time is None and t < 30.0:
-        platform.advance(t, 1e-4, v_of_t(t))
-        t += 1e-4
-    return platform.metrics.total_energy()
-
-
 def cmd_crossover(args: argparse.Namespace) -> int:
-    """Eq. 5 sweep over the given interruption frequencies."""
+    """Eq. 5 sweep over the given interruption frequencies.
+
+    Two frequency sweeps (one per strategy) run through the
+    :class:`SweepRunner`, in parallel across processes unless --serial.
+    """
+    grid = {"frequency": [float(f) for f in args.frequencies]}
+    results = {}
+    for strategy in ("hibernus", "quickrecall"):
+        results[strategy] = SweepRunner(crossover_spec(strategy), grid).run(
+            parallel=not args.serial
+        ).points
     rows = []
-    for frequency in args.frequencies:
-        e_hib = _run_crossover_point(
-            Hibernus(v_hibernate=2.8, v_restore=3.0), MSP430_SRAM_MODEL, frequency
-        )
-        e_qr = _run_crossover_point(
-            QuickRecall(v_hibernate=2.1, v_restore=3.0), MSP430_FRAM_MODEL, frequency
-        )
+    valid_f, valid_hib, valid_qr = [], [], []
+    for i, frequency in enumerate(grid["frequency"]):
+        hib = results["hibernus"][i].metrics
+        qr = results["quickrecall"][i].metrics
+        error = hib["error"] or qr["error"]
+        if error:
+            rows.append([frequency, "-", "-", f"error: {error}"])
+            continue
+        e_hib, e_qr = hib["energy_total"], qr["energy_total"]
         rows.append([frequency, e_hib * 1e3, e_qr * 1e3,
                      "hibernus" if e_hib < e_qr else "quickrecall"])
-    crossover = find_crossover(
-        [r[0] for r in rows], [r[1] for r in rows], [r[2] for r in rows]
+        valid_f.append(frequency)
+        valid_hib.append(e_hib * 1e3)
+        valid_qr.append(e_qr * 1e3)
+    crossover = (
+        find_crossover(valid_f, valid_hib, valid_qr)
+        if len(valid_f) >= 2
+        else None
     )
     print_section(
         "Eq. (5): energy to complete 4 M cycles",
@@ -192,6 +186,93 @@ def cmd_crossover(args: argparse.Namespace) -> int:
         )
         + (f"\nmeasured crossover: {crossover:.1f} Hz" if crossover else
            "\nno crossover inside the sweep"),
+    )
+    return 0
+
+
+def _print_run_summary(spec: ScenarioSpec, result) -> None:
+    vcc = result.vcc()
+    print_section(
+        f"scenario: {spec.name}",
+        f"t_end {result.t_end:.4f} s, "
+        f"V_cc {vcc.minimum():.2f} .. {vcc.maximum():.2f} V",
+    )
+    if result.platform is not None:
+        report = RunReport.from_run(result.platform, result.t_end)
+        for line in report.lines():
+            print(" ", line)
+
+
+def cmd_spec(args: argparse.Namespace) -> int:
+    """Dump a preset scenario spec as JSON (edit it, then ``run`` it)."""
+    if args.name is None:
+        print(format_table(["preset"], [[name] for name in preset_names()]))
+        return 0
+    print(preset(args.name).to_json())
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run a scenario spec loaded from a JSON file."""
+    spec = ScenarioSpec.load(args.spec)
+    result = spec.run(duration=args.duration)
+    _print_run_summary(spec, result)
+    if result.platform is None:
+        return 0
+    return 0 if result.platform.metrics.first_completion_time is not None else 1
+
+
+def _parse_grid_value(text: str):
+    for convert in (int, float):
+        try:
+            return convert(text)
+        except ValueError:
+            pass
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    return text
+
+
+def _parse_grid(settings: Optional[List[str]]):
+    grid = {}
+    for setting in settings or []:
+        key, _, values = setting.partition("=")
+        if not values:
+            raise ReproError(
+                f"--set wants key=v1,v2,... got {setting!r}"
+            )
+        grid[key] = [_parse_grid_value(v) for v in values.split(",")]
+    return grid
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Expand a parameter grid over a base spec and run it in parallel."""
+    if args.spec is not None:
+        base = ScenarioSpec.load(args.spec)
+    else:
+        base = preset(args.preset)
+    if args.duration is not None:
+        base = base.with_override("duration", args.duration)
+    grid = _parse_grid(args.set)
+    if not grid:
+        # A representative default: storage size x supply frequency, with
+        # Eq. (4) thresholds recalibrating per point.
+        grid = {"capacitance": [22e-6, 47e-6], "frequency": [4.7, 9.4]}
+    runner = SweepRunner(base, grid, max_workers=args.workers)
+    result = runner.run(parallel=not args.serial)
+    mode = "serial" if args.serial else "parallel"
+    print_section(
+        f"sweep: {base.name}, {len(runner)} points ({mode})",
+        result.format(),
+    )
+    return 0
+
+
+def cmd_components(_: argparse.Namespace) -> int:
+    """List every registered spec component by kind."""
+    rows = [[kind, ", ".join(available(kind))] for kind in kinds()]
+    print_section(
+        "registered components", format_table(["kind", "names"], rows)
     )
     return 0
 
@@ -217,14 +298,56 @@ def build_parser() -> argparse.ArgumentParser:
     crossover.add_argument(
         "--frequencies", type=float, nargs="+", default=[2.0, 10.0, 40.0, 80.0]
     )
+    crossover.add_argument("--serial", action="store_true",
+                           help="run points in-process instead of a pool")
     crossover.set_defaults(fn=cmd_crossover)
+
+    spec = sub.add_parser("spec", help="dump a preset spec as JSON")
+    spec.add_argument("name", nargs="?", default=None,
+                      help="preset name (omit to list presets)")
+    spec.set_defaults(fn=cmd_spec)
+
+    run = sub.add_parser("run", help="run a scenario spec JSON file")
+    run.add_argument("spec", help="path to a ScenarioSpec JSON file")
+    run.add_argument("--duration", type=float, default=None,
+                     help="override the spec's duration")
+    run.set_defaults(fn=cmd_run)
+
+    sweep = sub.add_parser("sweep", help="run a parameter grid in parallel")
+    sweep.add_argument("spec", nargs="?", default=None,
+                       help="base ScenarioSpec JSON file (default: preset)")
+    sweep.add_argument("--preset", default="fig7",
+                       help="base preset when no spec file is given")
+    sweep.add_argument("--set", action="append", metavar="KEY=V1,V2,...",
+                       help="one grid dimension (repeatable); keys follow "
+                            "ScenarioSpec.with_override resolution")
+    sweep.add_argument("--duration", type=float, default=None)
+    sweep.add_argument("--serial", action="store_true",
+                       help="run points in-process instead of a pool")
+    sweep.add_argument("--workers", type=int, default=None)
+    sweep.set_defaults(fn=cmd_sweep)
+
+    components = sub.add_parser("components", help="list spec components")
+    components.set_defaults(fn=cmd_components)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Framework errors (bad spec files, unknown components, infeasible
+    configurations) print as one-line errors, not tracebacks — their
+    messages already name the problem and the valid choices.
+    """
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except (ReproError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pipe closed early (e.g. `repro spec fig7 | head`).
+        return 0
 
 
 if __name__ == "__main__":

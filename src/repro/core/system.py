@@ -143,6 +143,10 @@ class EnergyDrivenSystem:
         """Install a custom probe."""
         self.simulator.probe(name, fn, decimate=decimate)
 
+    def stop_when(self, condition) -> None:
+        """Stop a run as soon as ``condition(t)`` returns True."""
+        self.simulator.stop_when(condition)
+
     def run(self, duration: float, decimate: int = 1) -> SystemRunResult:
         """Install standard probes (if not yet) and run for ``duration``."""
         self.install_probes(decimate=decimate)

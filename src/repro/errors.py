@@ -35,3 +35,11 @@ class SnapshotError(ReproError):
 
 class TaxonomyError(ReproError):
     """A system descriptor cannot be placed in the taxonomy."""
+
+
+class SpecError(ReproError):
+    """A declarative scenario spec is invalid or cannot be built."""
+
+
+class UnknownComponentError(SpecError):
+    """A spec referenced a registry key that no component registered."""

@@ -27,6 +27,7 @@ from repro.harvest.synthetic import (
     SignalGenerator,
     SineVoltageHarvester,
     SquareWavePowerHarvester,
+    TrapezoidSupply,
 )
 from repro.harvest.wind import GustProfile, MicroWindTurbine
 from repro.harvest.solar import (
@@ -45,6 +46,13 @@ from repro.harvest.environment import (
     required_storage,
     worst_window_energy,
 )
+from repro.spec.registry import register
+
+# Classmethod factories for profile-carrying harvesters: the registry wants
+# flat keyword arguments, which these provide.
+register("pv-indoor", kind="harvester")(PhotovoltaicHarvester.indoor_fig1b)
+register("pv-outdoor", kind="harvester")(PhotovoltaicHarvester.outdoor)
+register("wind-single-gust", kind="harvester")(MicroWindTurbine.single_gust)
 
 __all__ = [
     "Harvester",
@@ -56,6 +64,7 @@ __all__ = [
     "SineVoltageHarvester",
     "HalfWaveRectifiedSinePower",
     "SquareWavePowerHarvester",
+    "TrapezoidSupply",
     "GatedPowerHarvester",
     "SignalGenerator",
     "MicroWindTurbine",

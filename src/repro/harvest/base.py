@@ -7,6 +7,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.spec.registry import register
 
 
 class Harvester:
@@ -67,6 +68,7 @@ class VoltageHarvester(Harvester):
         raise NotImplementedError
 
 
+@register("constant-power", kind="harvester")
 class ConstantPowerHarvester(PowerHarvester):
     """A flat power source — the degenerate 'battery-like' case."""
 

@@ -17,8 +17,10 @@ from typing import List, Optional
 
 from repro.errors import ConfigurationError
 from repro.harvest.base import PowerHarvester, VoltageHarvester
+from repro.spec.registry import register
 
 
+@register("impact-kinetic", kind="harvester")
 class ImpactKineticHarvester(VoltageHarvester):
     """Impact-excited transducer: decaying sinusoid per impact event.
 
@@ -83,6 +85,7 @@ class ImpactKineticHarvester(VoltageHarvester):
         self._horizon = 0.0
 
 
+@register("vibration", kind="harvester")
 class VibrationHarvester(PowerHarvester):
     """Resonant cantilever on continuous machine vibration.
 

@@ -12,8 +12,10 @@ from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.harvest.base import PowerHarvester
+from repro.spec.registry import register
 
 
+@register("rf", kind="harvester")
 class RFHarvester(PowerHarvester):
     """Rectenna harvesting from a duty-cycled RFID reader.
 

@@ -14,8 +14,10 @@ from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.harvest.base import PowerHarvester, VoltageHarvester
+from repro.spec.registry import register
 
 
+@register("sine-voltage", kind="harvester")
 class SineVoltageHarvester(VoltageHarvester):
     """Pure sinusoidal voltage source: ``V(t) = A * sin(2*pi*f*t + phase)``."""
 
@@ -39,6 +41,7 @@ class SineVoltageHarvester(VoltageHarvester):
         return self.amplitude * math.sin(2.0 * math.pi * self.frequency * t + self.phase)
 
 
+@register("signal-generator", kind="harvester")
 class SignalGenerator(VoltageHarvester):
     """Bench signal generator, DC to tens of Hz (§III validation source).
 
@@ -75,6 +78,7 @@ class SignalGenerator(VoltageHarvester):
         return raw
 
 
+@register("half-wave-sine-power", kind="harvester")
 class HalfWaveRectifiedSinePower(PowerHarvester):
     """Half-wave rectified sine expressed directly as available power.
 
@@ -100,6 +104,7 @@ class HalfWaveRectifiedSinePower(PowerHarvester):
         return self.peak_power * s * s
 
 
+@register("square-wave-power", kind="harvester")
 class SquareWavePowerHarvester(PowerHarvester):
     """On/off power source with a fixed period and duty cycle.
 
@@ -128,6 +133,68 @@ class SquareWavePowerHarvester(PowerHarvester):
         return self.on_power if phase < self.duty else 0.0
 
 
+@register("trapezoid-supply", kind="harvester")
+class TrapezoidSupply(VoltageHarvester):
+    """Periodic trapezoid supply: the Eq. (5) crossover bench waveform.
+
+    Each period ramps down from ``v_high`` to ``v_low`` at ``ramp_down``
+    V/s, dwells at ``v_low`` for ``dwell_low`` seconds, ramps back up at
+    ``ramp_up`` V/s, and holds ``v_high`` for the rest of the period.
+    With ``v_low`` below a platform's brownout voltage this produces one
+    supply interruption per period — the canonical interruption-frequency
+    sweep axis.
+    """
+
+    def __init__(
+        self,
+        frequency: float = 10.0,
+        v_high: float = 3.2,
+        v_low: float = 1.6,
+        ramp_down: float = 230.0,
+        ramp_up: float = 4000.0,
+        dwell_low: float = 2e-3,
+        source_resistance: float = 10.0,
+    ):
+        super().__init__(source_resistance)
+        if frequency <= 0.0:
+            raise ConfigurationError(f"frequency must be > 0, got {frequency!r}")
+        if not 0.0 <= v_low < v_high:
+            raise ConfigurationError("need 0 <= v_low < v_high")
+        if ramp_down <= 0.0 or ramp_up <= 0.0 or dwell_low < 0.0:
+            raise ConfigurationError("ramps must be positive, dwell non-negative")
+        period = 1.0 / frequency
+        swing = v_high - v_low
+        if swing / ramp_down + dwell_low + swing / ramp_up > period:
+            raise ConfigurationError(
+                "trapezoid does not fit in one period; raise the ramp rates, "
+                "shorten dwell_low, or lower the frequency"
+            )
+        self.frequency = frequency
+        self.v_high = v_high
+        self.v_low = v_low
+        self.ramp_down = ramp_down
+        self.ramp_up = ramp_up
+        self.dwell_low = dwell_low
+
+    def open_circuit_voltage(self, t: float) -> float:
+        period = 1.0 / self.frequency
+        phase = math.fmod(t, period)
+        if phase < 0.0:
+            phase += period
+        t_down = (self.v_high - self.v_low) / self.ramp_down
+        if phase < t_down:
+            return self.v_high - self.ramp_down * phase
+        phase -= t_down
+        if phase < self.dwell_low:
+            return self.v_low
+        phase -= self.dwell_low
+        t_up = (self.v_high - self.v_low) / self.ramp_up
+        if phase < t_up:
+            return self.v_low + self.ramp_up * phase
+        return self.v_high
+
+
+@register("gated-power", kind="harvester")
 class GatedPowerHarvester(PowerHarvester):
     """Wraps a power harvester with random on/off gating.
 

@@ -12,8 +12,10 @@ from typing import Callable, Optional
 
 from repro.errors import ConfigurationError
 from repro.harvest.base import PowerHarvester
+from repro.spec.registry import register
 
 
+@register("thermal", kind="harvester")
 class ThermoelectricHarvester(PowerHarvester):
     """TEG with a time-varying temperature gradient.
 

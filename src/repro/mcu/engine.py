@@ -23,6 +23,7 @@ from typing import Any, Optional
 from repro.errors import ConfigurationError, SnapshotError
 from repro.mcu.machine import Machine
 from repro.mcu.power_model import FRAM_TECH, SRAM_TECH, McuPowerModel, MemoryTechnology
+from repro.spec.registry import register
 
 
 @dataclass
@@ -91,6 +92,7 @@ class ComputeEngine:
         raise NotImplementedError
 
 
+@register("machine", kind="engine")
 class MachineEngine(ComputeEngine):
     """Drives a real :class:`~repro.mcu.machine.Machine`.
 
@@ -192,6 +194,7 @@ class MachineEngine(ComputeEngine):
         self._useful_cycles = 0
 
 
+@register("synthetic", kind="engine")
 class SyntheticEngine(ComputeEngine):
     """Cycle-counting workload with configurable snapshot geometry.
 

@@ -163,3 +163,20 @@ MSP430_SRAM_MODEL = McuPowerModel()
 #: Power model for unified-FRAM execution (QuickRecall platform): higher
 #: active power — the quiescent overhead the paper says is "always incurred".
 MSP430_FRAM_MODEL = McuPowerModel(fram_execution_factor=1.35)
+
+
+from repro.spec.registry import register  # noqa: E402  (needs McuPowerModel)
+
+register("default", kind="power-model")(McuPowerModel)
+
+
+@register("msp430-sram", kind="power-model")
+def _msp430_sram_model() -> McuPowerModel:
+    """The shared SRAM-configuration model (stateless, safe to share)."""
+    return MSP430_SRAM_MODEL
+
+
+@register("msp430-fram", kind="power-model")
+def _msp430_fram_model() -> McuPowerModel:
+    """The shared unified-FRAM model (stateless, safe to share)."""
+    return MSP430_FRAM_MODEL

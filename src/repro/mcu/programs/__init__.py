@@ -9,6 +9,8 @@ The FFT is the paper's own demonstration workload (Fig. 7 executes an FFT
 across an intermittent supply).
 """
 
+from repro.spec.registry import register
+
 from repro.mcu.programs.fft import fft_program, fft_golden, fft_input_samples
 from repro.mcu.programs.crc import crc_program, crc_golden, crc_message
 from repro.mcu.programs.matmul import matmul_program, matmul_golden
@@ -17,6 +19,16 @@ from repro.mcu.programs.sieve import sieve_program, sieve_golden
 from repro.mcu.programs.sense import sense_program
 from repro.mcu.programs.sort import sort_golden, sort_program
 from repro.mcu.programs.counter import counter_program
+
+# Program generators by short name: spec platforms say program="fft".
+register("fft", kind="program")(fft_program)
+register("crc", kind="program")(crc_program)
+register("matmul", kind="program")(matmul_program)
+register("fir", kind="program")(fir_program)
+register("sieve", kind="program")(sieve_program)
+register("sense", kind="program")(sense_program)
+register("sort", kind="program")(sort_program)
+register("counter", kind="program")(counter_program)
 
 __all__ = [
     "fft_program",

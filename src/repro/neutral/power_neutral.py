@@ -22,6 +22,7 @@ from typing import List, Optional
 from repro.errors import ConfigurationError
 from repro.transient.base import TransientPlatform
 from repro.transient.hibernus import Hibernus
+from repro.spec.registry import register
 
 
 @dataclass
@@ -37,6 +38,7 @@ class GovernorTrace:
         self.frequencies.append(frequency)
 
 
+@register("power-neutral", kind="governor")
 class PowerNeutralGovernor:
     """Bang-bang-with-deadband DFS controller on the rail voltage.
 
@@ -75,6 +77,7 @@ class PowerNeutralGovernor:
         self._last_decision = -1e30
 
 
+@register("power-neutral-hibernus", kind="strategy")
 class PowerNeutralHibernus(Hibernus):
     """Hibernus + power-neutral DFS: the paper's hibernus-PN (§III, Fig. 8).
 

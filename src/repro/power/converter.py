@@ -10,6 +10,7 @@ zero-storage power-neutral designs competitive.
 from __future__ import annotations
 
 from repro.errors import ConfigurationError
+from repro.spec.registry import register
 
 
 class ConversionStage:
@@ -29,6 +30,7 @@ class ConversionStage:
         return max(0.0, self.output_power(p_in, v_in)) / p_in
 
 
+@register("ideal", kind="converter")
 class IdealConverter(ConversionStage):
     """Lossless stage — the theoretical reference point."""
 
@@ -36,6 +38,7 @@ class IdealConverter(ConversionStage):
         return max(0.0, p_in)
 
 
+@register("linear-regulator", kind="converter")
 class LinearRegulator(ConversionStage):
     """LDO: efficiency is the voltage ratio, plus a quiescent drain.
 
@@ -64,6 +67,7 @@ class LinearRegulator(ConversionStage):
         return usable * self.v_out / v_in
 
 
+@register("boost", kind="converter")
 class BoostConverter(ConversionStage):
     """Switching boost converter with a load-dependent efficiency curve.
 

@@ -9,8 +9,10 @@ first-order lag after the operating point moves.
 from __future__ import annotations
 
 from repro.errors import ConfigurationError
+from repro.spec.registry import register
 
 
+@register("fractional-voc", kind="mppt")
 class FractionalVocMPPT:
     """Fractional-Voc tracker with first-order convergence dynamics.
 

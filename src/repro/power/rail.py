@@ -22,6 +22,7 @@ from repro.power.converter import ConversionStage
 from repro.power.mppt import FractionalVocMPPT
 from repro.power.rectifier import HalfWaveRectifier
 from repro.sim.engine import Component
+from repro.spec.registry import register
 from repro.storage.base import StorageElement
 
 
@@ -36,6 +37,7 @@ class RailLoad:
         """Restore initial state (default: no-op)."""
 
 
+@register("resistive", kind="load")
 class ResistiveLoad(RailLoad):
     """A plain resistor to ground — the simplest possible load."""
 

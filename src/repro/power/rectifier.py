@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.spec.registry import register
 
 
 @dataclass(frozen=True)
@@ -68,3 +69,21 @@ class FullWaveRectifier:
         if headroom <= 0.0:
             return 0.0
         return headroom / (source_resistance + 2.0 * self.diode.on_resistance)
+
+
+# Registry factories take the diode parameters flat, so rectifiers are
+# fully describable from a JSON spec.
+@register("half-wave", kind="rectifier")
+def half_wave_rectifier(
+    forward_drop: float = 0.3, on_resistance: float = 1.0
+) -> HalfWaveRectifier:
+    """A :class:`HalfWaveRectifier` with flat diode parameters."""
+    return HalfWaveRectifier(Diode(forward_drop, on_resistance))
+
+
+@register("full-wave", kind="rectifier")
+def full_wave_rectifier(
+    forward_drop: float = 0.3, on_resistance: float = 1.0
+) -> FullWaveRectifier:
+    """A :class:`FullWaveRectifier` with flat diode parameters."""
+    return FullWaveRectifier(Diode(forward_drop, on_resistance))

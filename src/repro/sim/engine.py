@@ -161,8 +161,13 @@ class Simulator:
         )
 
     def run_steps(self, n: int) -> SimulationResult:
-        """Run exactly ``n`` steps (ignoring stop conditions would be wrong,
-        so they still apply)."""
+        """Run at most ``n`` steps.
+
+        Stop conditions registered with :meth:`stop_when` still apply:
+        the run ends at the first step after which one fires (with
+        ``stopped_early`` set), so exactly ``n`` steps execute only when
+        no stop condition fires earlier.
+        """
         if n < 0:
             raise ConfigurationError(f"step count must be non-negative, got {n}")
         return self.run(max_steps=n)

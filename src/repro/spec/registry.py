@@ -1,0 +1,175 @@
+"""The component registry behind the declarative spec layer.
+
+Every composable part of the framework — harvesters, rectifiers,
+converters, MPPT trackers, storage elements, transient strategies,
+programs, compute engines, power models, rail loads, governors —
+registers itself under a string key::
+
+    @register("solar", kind="harvester")
+    class PhotovoltaicHarvester(PowerHarvester):
+        ...
+
+Specs (:mod:`repro.spec.specs`) then refer to components by
+``(kind, name)`` and the registry turns that back into a live object via
+:func:`create`, validating keyword arguments against the factory's
+signature so a typo in a JSON file produces an actionable error instead
+of a ``TypeError`` three stack frames deep.
+
+The registry itself depends on nothing but :mod:`repro.errors`, so any
+component module can import :func:`register` without creating an import
+cycle.  :func:`ensure_catalog` imports the component packages on demand,
+which is what actually populates the tables.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.errors import SpecError, UnknownComponentError
+
+#: kind -> name -> factory (a class or a callable returning an instance).
+_REGISTRY: Dict[str, Dict[str, Callable[..., Any]]] = {}
+
+_catalog_loaded = False
+
+
+def register(name: str, *, kind: str) -> Callable[[Callable], Callable]:
+    """Class/function decorator registering ``factory`` as ``(kind, name)``.
+
+    Usable both as a decorator and as a plain call::
+
+        @register("hibernus", kind="strategy")
+        class Hibernus(Strategy): ...
+
+        register("pv-indoor", kind="harvester")(PhotovoltaicHarvester.indoor_fig1b)
+    """
+    if not name or not kind:
+        raise SpecError("registry name and kind must be non-empty strings")
+
+    def decorator(factory: Callable) -> Callable:
+        table = _REGISTRY.setdefault(kind, {})
+        existing = table.get(name)
+        if existing is not None and existing is not factory:
+            raise SpecError(
+                f"{kind} {name!r} is already registered to "
+                f"{getattr(existing, '__qualname__', existing)!r}"
+            )
+        table[name] = factory
+        return factory
+
+    return decorator
+
+
+def ensure_catalog() -> None:
+    """Import the component packages so their registrations run.
+
+    Deferred (rather than done at import of this module) to keep the
+    registry cycle-free: component modules import :func:`register` from
+    here at class-definition time.
+    """
+    global _catalog_loaded
+    if _catalog_loaded:
+        return
+    # Importing the family packages triggers every @register decorator.
+    import repro.harvest  # noqa: F401
+    import repro.mcu  # noqa: F401
+    import repro.mcu.programs  # noqa: F401
+    import repro.neutral  # noqa: F401
+    import repro.power  # noqa: F401
+    import repro.storage  # noqa: F401
+    import repro.transient  # noqa: F401
+
+    _catalog_loaded = True
+
+
+def kinds() -> List[str]:
+    """All component kinds that have at least one registration."""
+    ensure_catalog()
+    return sorted(kind for kind, table in _REGISTRY.items() if table)
+
+
+def available(kind: str) -> List[str]:
+    """Sorted names registered under ``kind`` (empty list for unknown kinds)."""
+    ensure_catalog()
+    return sorted(_REGISTRY.get(kind, {}))
+
+
+def resolve(kind: str, name: str) -> Callable[..., Any]:
+    """The factory registered as ``(kind, name)``.
+
+    Raises:
+        UnknownComponentError: with the list of valid choices.
+    """
+    ensure_catalog()
+    table = _REGISTRY.get(kind)
+    if not table:
+        raise UnknownComponentError(
+            f"unknown component kind {kind!r}; known kinds: {kinds()}"
+        )
+    factory = table.get(name)
+    if factory is None:
+        raise UnknownComponentError(
+            f"unknown {kind} {name!r}; registered {kind}s: {available(kind)}"
+        )
+    return factory
+
+
+def accepted_parameters(kind: str, name: str) -> Tuple[List[str], bool]:
+    """Keyword parameters ``(kind, name)``'s factory accepts.
+
+    Returns:
+        ``(names, open_ended)`` — ``open_ended`` is True when the factory
+        takes ``**kwargs`` so any keyword is potentially valid.
+    """
+    factory = resolve(kind, name)
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):  # builtins without introspectable sigs
+        return [], True
+    names: List[str] = []
+    open_ended = False
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            open_ended = True
+        elif parameter.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            names.append(parameter.name)
+    return names, open_ended
+
+
+def validate_params(kind: str, name: str, params: Dict[str, Any]) -> None:
+    """Eagerly reject keyword arguments the factory would not accept.
+
+    Raises:
+        SpecError: naming the offending key and the accepted ones.
+    """
+    accepted, open_ended = accepted_parameters(kind, name)
+    if open_ended:
+        return
+    for key in params:
+        if key not in accepted:
+            raise SpecError(
+                f"{kind} {name!r} does not accept parameter {key!r}; "
+                f"accepted parameters: {sorted(accepted)}"
+            )
+
+
+def create(kind: str, name: str, params: Dict[str, Any]) -> Any:
+    """Instantiate ``(kind, name)`` with ``params`` as keyword arguments.
+
+    Raises:
+        SpecError: when the factory rejects the values (e.g. a hand-edited
+            JSON file quoting a number) — keeping the one-line-error
+            contract even for type mistakes name validation cannot catch.
+    """
+    validate_params(kind, name, params)
+    try:
+        return resolve(kind, name)(**params)
+    except (TypeError, ValueError) as error:
+        raise SpecError(
+            f"building {kind} {name!r} from parameters {params!r} failed: "
+            f"{error}"
+        ) from error

@@ -1,0 +1,221 @@
+"""Parallel execution of scenario-spec parameter grids.
+
+:class:`SweepRunner` expands a grid over a base :class:`ScenarioSpec`,
+runs every point — in parallel across processes by default, since frozen
+plain-data specs pickle for free — and collects one :class:`PointResult`
+per point into a tabular :class:`SweepResult`.
+
+The worker (:func:`run_scenario_payload`) is a module-level function so
+it pickles under every ``multiprocessing`` start method; it ships the
+spec as a plain dict and returns a plain dict of scalars, keeping the
+inter-process traffic tiny regardless of how many probe samples a run
+records.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import SpecError
+from repro.spec.specs import ScenarioSpec, expand_grid
+
+#: Metric columns every sweep row carries (after the override columns).
+RESULT_COLUMNS = [
+    "completed",
+    "completion_time",
+    "brownouts",
+    "snapshots",
+    "restores",
+    "energy_total",
+    "energy_overhead",
+    "vcc_min",
+    "vcc_max",
+    "t_end",
+    "error",
+]
+
+_EMPTY_SUMMARY: Dict[str, Any] = {
+    "t_end": None,
+    "vcc_min": None,
+    "vcc_max": None,
+    "completed": None,
+    "completion_time": None,
+    "brownouts": None,
+    "snapshots": None,
+    "restores": None,
+    "cycles_executed": None,
+    "energy_total": None,
+    "energy_overhead": None,
+    "error": None,
+}
+
+
+def run_scenario_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Process-pool worker: build, run and summarise one scenario.
+
+    Takes/returns plain dicts so it is picklable and cheap to ship.
+    Framework errors (an infeasible grid point, e.g. a capacitance too
+    small for its strategy's Eq. (4) threshold) come back as the point's
+    ``error`` field instead of killing the whole sweep.
+    """
+    spec = ScenarioSpec.from_dict(payload)
+    summary = dict(_EMPTY_SUMMARY)
+    try:
+        system = spec.build()
+        result = system.run(spec.duration, decimate=spec.decimate)
+    except Exception as error:  # one bad point must not kill the sweep
+        summary["error"] = f"{type(error).__name__}: {error}"
+        return summary
+    vcc = result.vcc()
+    summary.update(
+        t_end=result.t_end,
+        vcc_min=float(vcc.minimum()),
+        vcc_max=float(vcc.maximum()),
+    )
+    platform = result.platform
+    if platform is not None:
+        metrics = platform.metrics
+        summary.update(
+            completed=metrics.first_completion_time is not None,
+            completion_time=metrics.first_completion_time,
+            brownouts=metrics.brownouts,
+            snapshots=metrics.snapshots_completed,
+            restores=metrics.restores_completed,
+            cycles_executed=metrics.cycles_executed,
+            energy_total=metrics.total_energy(),
+            energy_overhead=metrics.overhead_energy(),
+        )
+    return summary
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """Summary of one grid point's run."""
+
+    index: int
+    overrides: Dict[str, Any]
+    spec: ScenarioSpec
+    metrics: Dict[str, Any]
+
+    def __getitem__(self, key: str) -> Any:
+        if key in self.overrides:
+            return self.overrides[key]
+        return self.metrics[key]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All grid points of one sweep, in grid order."""
+
+    base_name: str
+    grid_keys: List[str]
+    points: List[PointResult] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def columns(self) -> List[str]:
+        return list(self.grid_keys) + RESULT_COLUMNS
+
+    def rows(self) -> List[List[Any]]:
+        """One row per point: override values then the metric columns."""
+        return [
+            [point.overrides.get(key) for key in self.grid_keys]
+            + [point.metrics.get(column) for column in RESULT_COLUMNS]
+            for point in self.points
+        ]
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Each point as one flat record (overrides merged with metrics)."""
+        return [dict(p.overrides, **p.metrics) for p in self.points]
+
+    def best(self, metric: str, minimize: bool = True) -> PointResult:
+        """The point optimising ``metric``, ignoring points lacking it."""
+        candidates = [p for p in self.points if p.metrics.get(metric) is not None]
+        if not candidates:
+            raise SpecError(f"no sweep point recorded metric {metric!r}")
+        return (min if minimize else max)(
+            candidates, key=lambda p: p.metrics[metric]
+        )
+
+    def format(self, floatfmt: str = "{:.4g}") -> str:
+        """Render the sweep as an aligned text table, one row per point."""
+        from repro.analysis.report import format_table
+
+        def fmt(value: Any) -> str:
+            if value is None:
+                return "-"
+            if isinstance(value, bool):
+                return "yes" if value else "no"
+            if isinstance(value, float):
+                return floatfmt.format(value)
+            return str(value)
+
+        rows = [[fmt(cell) for cell in row] for row in self.rows()]
+        return format_table(self.columns(), rows)
+
+
+class SweepRunner:
+    """Expand a parameter grid over a base spec and run every point.
+
+    Args:
+        base: the scenario to vary.
+        grid: mapping of override key (see
+            :meth:`ScenarioSpec.with_override`) to the values to sweep.
+        max_workers: process-pool width; defaults to
+            ``min(len(points), cpu_count)``.
+
+    Use ``run(parallel=False)`` for in-process serial execution (same
+    results, deterministic by construction — handy under debuggers and in
+    tests asserting serial/parallel equivalence).
+    """
+
+    def __init__(
+        self,
+        base: ScenarioSpec,
+        grid: Mapping[str, Sequence[Any]],
+        max_workers: Optional[int] = None,
+    ):
+        self.base = base
+        self.grid = dict(grid)
+        self.max_workers = max_workers
+        self.overrides = expand_grid(self.grid)
+        # Expand eagerly: a bad override key fails here, not mid-pool.
+        self.specs = [base.with_overrides(point) for point in self.overrides]
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def run(self, parallel: bool = True) -> SweepResult:
+        """Execute every grid point; rows come back in grid order."""
+        payloads = [spec.to_dict() for spec in self.specs]
+        if parallel and len(payloads) > 1:
+            workers = self.max_workers or min(
+                len(payloads), os.cpu_count() or 1
+            )
+            workers = max(1, min(workers, len(payloads)))
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    summaries = list(pool.map(run_scenario_payload, payloads))
+            except (OSError, PermissionError):
+                # Environments without working multiprocessing primitives
+                # (restricted sandboxes) still get correct, serial results.
+                summaries = [run_scenario_payload(p) for p in payloads]
+        else:
+            summaries = [run_scenario_payload(p) for p in payloads]
+        points = [
+            PointResult(index=i, overrides=self.overrides[i],
+                        spec=self.specs[i], metrics=summary)
+            for i, summary in enumerate(summaries)
+        ]
+        return SweepResult(
+            base_name=self.base.name,
+            grid_keys=list(self.grid),
+            points=points,
+        )

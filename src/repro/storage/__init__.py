@@ -12,6 +12,30 @@ from repro.storage.base import StorageElement
 from repro.storage.capacitor import Capacitor, DecouplingBudget
 from repro.storage.supercap import Supercapacitor
 from repro.storage.battery import RechargeableBattery
+from repro.spec.registry import register
+
+
+@register("decoupling", kind="storage")
+def _decoupling_storage(
+    v_max: float = 3.6,
+    v_initial: float = 0.0,
+    bulk_decoupling: float = 10e-6,
+    per_pin_decoupling: float = 100e-9,
+    pin_count: int = 8,
+    parasitic: float = 50e-9,
+):
+    """The Fig. 2 'theoretical arc': decoupling budget as a rail capacitor.
+
+    The budget fields are spelled out (no ``**kwargs``) so spec-layer
+    parameter validation stays eager for this component.
+    """
+    budget = DecouplingBudget(
+        bulk_decoupling=bulk_decoupling,
+        per_pin_decoupling=per_pin_decoupling,
+        pin_count=pin_count,
+        parasitic=parasitic,
+    )
+    return budget.as_capacitor(v_max=v_max, v_initial=v_initial)
 
 __all__ = [
     "StorageElement",

@@ -10,8 +10,10 @@ from __future__ import annotations
 
 from repro.errors import ConfigurationError
 from repro.storage.base import StorageElement
+from repro.spec.registry import register
 
 
+@register("battery", kind="storage")
 class RechargeableBattery(StorageElement):
     """Energy-bucket battery with a mildly SoC-dependent terminal voltage.
 

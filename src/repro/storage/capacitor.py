@@ -14,8 +14,10 @@ from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.storage.base import StorageElement
+from repro.spec.registry import register
 
 
+@register("capacitor", kind="storage")
 class Capacitor(StorageElement):
     """An (optionally leaky) capacitor with an overvoltage clamp.
 

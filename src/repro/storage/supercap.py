@@ -12,8 +12,10 @@ from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.storage.capacitor import Capacitor
+from repro.spec.registry import register
 
 
+@register("supercapacitor", kind="storage")
 class Supercapacitor(Capacitor):
     """A leaky capacitor with an ESR-limited maximum discharge power.
 

@@ -27,6 +27,7 @@ from repro.mcu.clock import ClockPlan
 from repro.mcu.engine import ComputeEngine
 from repro.mcu.power_model import FRAM_TECH, SRAM_TECH, McuPowerModel
 from repro.power.rail import RailLoad
+from repro.spec.registry import register
 
 
 class PlatformState(enum.Enum):
@@ -493,6 +494,7 @@ class TransientPlatform(RailLoad):
         self.strategy.on_power_fail(self, t)
 
 
+@register("null", kind="strategy")
 class NullStrategy(Strategy):
     """No checkpointing at all: cold-start on every boot.
 

@@ -25,6 +25,7 @@ from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.transient.base import Strategy, TransientPlatform
+from repro.spec.registry import register
 
 
 def hibernate_threshold(
@@ -55,6 +56,7 @@ def hibernate_threshold(
     return math.sqrt(2.0 * snapshot_energy * margin / capacitance + v_min * v_min)
 
 
+@register("hibernus", kind="strategy")
 class Hibernus(Strategy):
     """Voltage-interrupt snapshot-and-sleep (see module docstring).
 

@@ -29,8 +29,10 @@ from __future__ import annotations
 
 from repro.errors import ConfigurationError
 from repro.transient.base import Strategy, TransientPlatform
+from repro.spec.registry import register
 
 
+@register("hibernus++", kind="strategy")
 class HibernusPP(Strategy):
     """Self-calibrating hibernate/restore thresholds (see module docstring).
 

@@ -20,8 +20,10 @@ from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.transient.base import Strategy, TransientPlatform
+from repro.spec.registry import register
 
 
+@register("mementos", kind="strategy")
 class Mementos(Strategy):
     """Threshold-gated snapshots at compile-time checkpoint sites.
 

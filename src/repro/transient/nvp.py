@@ -16,9 +16,11 @@ of including it in the ablation benches.
 from __future__ import annotations
 
 from repro.transient.base import Strategy, TransientPlatform
+from repro.spec.registry import register
 from repro.transient.hibernus import hibernate_threshold
 
 
+@register("nvp", kind="strategy")
 class NVProcessor(Strategy):
     """Hardware-assisted instant backup (see module docstring).
 

@@ -16,8 +16,10 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.transient.hibernus import Hibernus
+from repro.spec.registry import register
 
 
+@register("quickrecall", kind="strategy")
 class QuickRecall(Hibernus):
     """Register-only snapshot at a low threshold (see module docstring)."""
 

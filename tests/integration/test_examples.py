@@ -56,6 +56,13 @@ def test_home_energy_monitor(capsys):
     assert "pings" in out.lower() or "ping" in out
 
 
+def test_capacitance_sweep(capsys):
+    out = run_example("capacitance_sweep", capsys)
+    assert "8 points" in out
+    assert "feasible points: 4/8" in out
+    assert "least energy to completion" in out
+
+
 def test_design_space(capsys):
     out = run_example("design_space", capsys)
     assert "Taxonomy placements" in out

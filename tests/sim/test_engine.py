@@ -114,6 +114,27 @@ def test_run_steps_rejects_negative():
         sim.run_steps(-1)
 
 
+def test_run_steps_runs_exactly_n_without_stop_conditions():
+    sim = Simulator(dt=0.1)
+    acc = sim.add(Accumulator())
+    result = sim.run_steps(7)
+    assert result.steps == 7
+    assert acc.steps == 7
+    assert not result.stopped_early
+
+
+def test_run_steps_honours_stop_conditions():
+    # The documented semantics: at most n steps, and a stop condition
+    # ends the run early with stopped_early set.
+    sim = Simulator(dt=0.1)
+    acc = sim.add(Accumulator())
+    sim.stop_when(lambda t: t >= 0.35)
+    result = sim.run_steps(100)
+    assert result.stopped_early
+    assert acc.steps == 4  # stops at the first step where t >= 0.35
+    assert result.steps < 100
+
+
 def test_consecutive_runs_continue_time():
     sim = Simulator(dt=0.1)
     sim.add(Accumulator())

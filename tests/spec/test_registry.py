@@ -1,0 +1,88 @@
+"""Registry lookup, registration rules and error quality."""
+
+import pytest
+
+from repro.errors import SpecError, UnknownComponentError
+from repro.spec import available, create, kinds, register, resolve
+from repro.spec.registry import accepted_parameters, validate_params
+
+
+def test_catalog_covers_every_family():
+    present = kinds()
+    for kind in ("harvester", "rectifier", "converter", "mppt", "storage",
+                 "strategy", "program", "engine", "power-model", "load",
+                 "governor"):
+        assert kind in present, f"no registrations for kind {kind!r}"
+
+
+def test_known_components_resolve():
+    from repro.harvest.synthetic import SignalGenerator
+    from repro.storage.capacitor import Capacitor
+    from repro.transient.hibernus import Hibernus
+
+    assert resolve("harvester", "signal-generator") is SignalGenerator
+    assert resolve("storage", "capacitor") is Capacitor
+    assert resolve("strategy", "hibernus") is Hibernus
+
+
+def test_unknown_name_lists_choices():
+    with pytest.raises(UnknownComponentError) as excinfo:
+        resolve("harvester", "solar-panel")
+    message = str(excinfo.value)
+    assert "solar-panel" in message
+    assert "signal-generator" in message  # the valid choices are listed
+
+
+def test_unknown_kind_lists_kinds():
+    with pytest.raises(UnknownComponentError) as excinfo:
+        resolve("widget", "anything")
+    assert "harvester" in str(excinfo.value)
+
+
+def test_create_builds_instances():
+    capacitor = create("storage", "capacitor", {"capacitance": 10e-6})
+    assert capacitor.capacitance == 10e-6
+
+
+def test_create_rejects_unknown_parameter():
+    with pytest.raises(SpecError) as excinfo:
+        create("storage", "capacitor", {"capacitanse": 10e-6})
+    message = str(excinfo.value)
+    assert "capacitanse" in message
+    assert "capacitance" in message  # accepted parameters are listed
+
+
+def test_accepted_parameters_signature():
+    names, open_ended = accepted_parameters("harvester", "signal-generator")
+    assert "amplitude" in names and "frequency" in names
+    assert not open_ended
+
+
+def test_validate_params_skips_open_ended_factories():
+    # pv-outdoor forwards **kwargs to the constructor, so any key passes
+    # name validation (and fails later, at construction).
+    validate_params("harvester", "pv-outdoor", {"v_mpp": 2.0})
+
+
+def test_decoupling_storage_validates_eagerly():
+    with pytest.raises(SpecError) as excinfo:
+        validate_params("storage", "decoupling", {"bulk_decouplng": 4.7e-6})
+    assert "bulk_decoupling" in str(excinfo.value)
+    capacitor = create("storage", "decoupling", {"bulk_decoupling": 4.7e-6})
+    assert capacitor.capacitance == pytest.approx(4.7e-6 + 8 * 100e-9 + 50e-9)
+
+
+def test_duplicate_registration_rejected():
+    @register("only-once-test", kind="harvester")
+    class _A:  # pragma: no cover - class body irrelevant
+        pass
+
+    with pytest.raises(SpecError):
+        @register("only-once-test", kind="harvester")
+        class _B:  # pragma: no cover
+            pass
+
+    # Re-registering the identical factory is an allowed no-op (module
+    # reloads must not explode).
+    register("only-once-test", kind="harvester")(_A)
+    assert "only-once-test" in available("harvester")

@@ -1,0 +1,101 @@
+"""SweepRunner: grid execution, serial/parallel equivalence, summaries."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.spec import ScenarioSpec, SweepRunner
+from repro.spec.presets import fig7_spec
+from repro.spec.runner import run_scenario_payload
+from repro.spec.specs import expand_grid
+
+
+def small_base():
+    return fig7_spec(fft_size=64, duration=0.4)
+
+
+def test_expand_grid_deterministic_order():
+    points = expand_grid({"a": [1, 2], "b": [10, 20]})
+    assert points == [
+        {"a": 1, "b": 10}, {"a": 1, "b": 20},
+        {"a": 2, "b": 10}, {"a": 2, "b": 20},
+    ]
+    assert expand_grid({}) == [{}]
+
+
+def test_runner_validates_grid_eagerly():
+    with pytest.raises(SpecError):
+        SweepRunner(small_base(), {"not-a-parameter": [1, 2]})
+
+
+def test_two_by_two_grid_serial_equals_parallel():
+    """The acceptance-criterion check: a 2x2 grid, pool == in-process."""
+    runner = SweepRunner(
+        small_base(),
+        {"capacitance": [22e-6, 47e-6], "frequency": [4.7, 9.4]},
+    )
+    assert len(runner) == 4
+    parallel = runner.run(parallel=True)
+    serial = runner.run(parallel=False)
+    assert len(parallel) == 4 and len(serial) == 4
+    assert [p.overrides for p in parallel] == [p.overrides for p in serial]
+    assert [p.metrics for p in parallel] == [p.metrics for p in serial]
+    # Simulations are deterministic, so equality here is exact.
+    for point in parallel:
+        assert point.metrics["error"] is None
+        assert point.metrics["completed"] is True
+
+
+def test_infeasible_point_reported_not_raised():
+    # 4.7 uF cannot bank the Eq. (4) snapshot energy for a full-RAM
+    # Hibernus snapshot: the point must come back as an error row.
+    result = SweepRunner(
+        small_base(), {"capacitance": [4.7e-6, 22e-6]}
+    ).run(parallel=False)
+    errors = [p.metrics["error"] for p in result]
+    assert errors[0] is not None and "V_H" in errors[0]
+    assert errors[1] is None
+
+
+def test_result_table_one_row_per_point():
+    result = SweepRunner(
+        small_base(), {"frequency": [4.7, 9.4]}
+    ).run(parallel=False)
+    table = result.format()
+    lines = [line for line in table.splitlines() if line.strip()]
+    # header + separator + one row per point
+    assert len(lines) == 2 + len(result)
+    assert "frequency" in lines[0]
+    assert "energy_total" in lines[0]
+
+
+def test_best_point_selection():
+    result = SweepRunner(
+        small_base(), {"capacitance": [22e-6, 47e-6]}
+    ).run(parallel=False)
+    best = result.best("energy_total")
+    energies = [p.metrics["energy_total"] for p in result]
+    assert best.metrics["energy_total"] == min(e for e in energies if e is not None)
+
+
+def test_worker_records_build_errors_per_point():
+    # A bad keyword smuggled through an open-ended factory (pv-outdoor
+    # forwards **kwargs) escapes name validation; the failure must come
+    # back as the point's error field, not abort the sweep.
+    spec = ScenarioSpec.from_dict({
+        "storage": {"kind": "capacitor", "params": {"capacitance": 22e-6}},
+        "harvesters": [{"kind": "pv-outdoor", "params": {"vmpp": 2.0}}],
+        "duration": 0.01,
+        "dt": 1e-3,
+    })
+    summary = run_scenario_payload(spec.to_dict())
+    assert summary["error"] is not None
+    assert "pv-outdoor" in summary["error"]
+
+
+def test_worker_is_pure_payload_in_payload_out():
+    payload = small_base().to_dict()
+    summary = run_scenario_payload(payload)
+    assert summary["completed"] is True
+    assert summary["vcc_max"] > 3.0
+    # The payload round-trips untouched through the worker.
+    assert ScenarioSpec.from_dict(payload) == small_base()

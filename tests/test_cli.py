@@ -45,3 +45,52 @@ def test_crossover_command_two_points(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_spec_command_lists_presets(capsys):
+    assert main(["spec"]) == 0
+    out = capsys.readouterr().out
+    assert "fig7" in out
+    assert "crossover-hibernus" in out
+
+
+def test_spec_dump_then_run_round_trip(tmp_path, capsys):
+    assert main(["spec", "fig7"]) == 0
+    dumped = capsys.readouterr().out
+    path = tmp_path / "fig7.json"
+    path.write_text(dumped)
+    assert main(["run", str(path), "--duration", "0.2"]) in (0, 1)
+    out = capsys.readouterr().out
+    assert "scenario: fig7-fft512" in out
+    assert "V_cc" in out
+
+
+def test_sweep_command_grid_rows(capsys):
+    code = main([
+        "sweep", "--serial", "--duration", "0.4",
+        "--set", "capacitance=22e-6,47e-6",
+        "--set", "frequency=4.7,9.4",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "4 points" in out
+    # one summary row per grid point
+    assert out.count("2.2e-05") + out.count("4.7e-05") >= 4
+
+
+def test_grid_value_parsing():
+    from repro.cli import _parse_grid_value
+
+    assert _parse_grid_value("22e-6") == 22e-6
+    assert _parse_grid_value("3") == 3
+    assert _parse_grid_value("False") is False
+    assert _parse_grid_value("TRUE") is True
+    assert _parse_grid_value("sleep") == "sleep"
+
+
+def test_components_command(capsys):
+    assert main(["components"]) == 0
+    out = capsys.readouterr().out
+    assert "harvester" in out
+    assert "signal-generator" in out
+    assert "quickrecall" in out
