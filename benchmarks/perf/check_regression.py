@@ -1,0 +1,91 @@
+"""Fail CI when the fast kernel regresses against the committed baseline.
+
+Runs the kernel benchmarks fresh and compares *speedup ratios* (fast vs
+reference on the same machine) against the committed
+``BENCH_kernel.json``.  Ratios are hardware-independent to first order,
+so a >20% drop means the fast path itself got slower, not that CI got a
+noisier runner::
+
+    PYTHONPATH=src python benchmarks/perf/check_regression.py
+    PYTHONPATH=src python benchmarks/perf/check_regression.py \
+        --baseline BENCH_kernel.json --max-regression 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from perf_kernel import run_benchmarks
+
+
+#: Cases whose baseline reference wall time is below this are
+#: noise-dominated on shared CI runners (tens of milliseconds); they are
+#: reported but not gated.  The gated cases (fig7, capacitance-sweep)
+#: run long enough for best-of-N speedup ratios to be stable, and fig7
+#: additionally carries the absolute >= 5x floor enforced by
+#: run_benchmarks on every fresh run.
+MIN_GATED_REFERENCE_S = 0.2
+
+
+def compare(baseline: dict, fresh: dict, max_regression: float) -> list:
+    """Return a list of human-readable regression messages (empty = pass)."""
+    failures = []
+    for name, base_case in baseline.get("cases", {}).items():
+        fresh_case = fresh["cases"].get(name)
+        if fresh_case is None:
+            failures.append(f"{name}: case missing from fresh run")
+            continue
+        if base_case["reference_s"] < MIN_GATED_REFERENCE_S:
+            continue  # noise-dominated timing: informational only
+        base_speedup = base_case["speedup"]
+        fresh_speedup = fresh_case["speedup"]
+        floor = base_speedup * (1.0 - max_regression)
+        if fresh_speedup < floor:
+            failures.append(
+                f"{name}: speedup {fresh_speedup:.2f}x fell below "
+                f"{floor:.2f}x (baseline {base_speedup:.2f}x - "
+                f"{max_regression:.0%} allowance)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path,
+                        default=Path(__file__).resolve().parents[2]
+                        / "BENCH_kernel.json")
+    parser.add_argument("--max-regression", type=float, default=0.2,
+                        help="allowed fractional speedup drop (default 0.2)")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--output", type=Path, default=None,
+                        help="also write the fresh results to this path "
+                             "(kept separate from the baseline)")
+    args = parser.parse_args(argv)
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    fresh = run_benchmarks(repeats=args.repeats)
+    if args.output is not None:
+        args.output.write_text(json.dumps(fresh, indent=2) + "\n",
+                               encoding="utf-8")
+    failures = compare(baseline, fresh, args.max_regression)
+    if failures:
+        print("kernel perf regression detected:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("kernel perf OK: no speedup regression vs baseline")
+    for name, case in fresh["cases"].items():
+        base_case = baseline.get("cases", {}).get(name)
+        baseline_note = (
+            f"baseline {base_case['speedup']:.2f}x"
+            if base_case is not None
+            else "no baseline yet"
+        )
+        print(f"  {name}: {case['speedup']:.2f}x ({baseline_note})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,219 @@
+"""Kernel performance harness: reference vs fast on the paper presets.
+
+Times the preset scenarios under both simulation kernels, verifies that
+the fast kernel reproduces the reference ``vcc`` trace within the
+documented tolerance, and writes the results to ``BENCH_kernel.json``::
+
+    PYTHONPATH=src python benchmarks/perf/perf_kernel.py
+    PYTHONPATH=src python benchmarks/perf/perf_kernel.py --repeats 5 \
+        --output BENCH_kernel.json --update-readme
+
+The committed ``BENCH_kernel.json`` at the repo root is the regression
+baseline ``check_regression.py`` compares against in CI.  Comparisons are
+made on *speedup ratios* (fast vs reference on the same machine), which
+are stable across hardware; absolute wall times are recorded for context
+only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.spec.presets import preset
+from repro.spec.runner import SweepRunner
+
+#: |vcc_fast - vcc_reference| must stay below this on every preset.
+VCC_ATOL = 1e-9
+
+#: The fig7 preset must run at least this much faster under the fast
+#: kernel (the chunked-kernel acceptance floor).
+FIG7_SPEEDUP_FLOOR = 5.0
+
+#: Benchmark cases: preset name -> overrides applied to both kernels.
+#: fig7 runs long enough that the steady-state (chunkable) regime
+#: dominates, which is the regime long experiment runs live in.
+CASES = {
+    "fig7": {"duration": 12.0},
+    "crossover-hibernus": {},
+    "crossover-quickrecall": {},
+}
+
+#: The capacitance sweep case: a serial SweepRunner grid over fig7
+#: (values large enough that the Eq. 4 hibernate threshold is feasible).
+SWEEP_CAPACITANCES = [22e-6, 47e-6, 100e-6]
+SWEEP_DURATION = 2.0
+
+
+def _best_of(repeats, fn):
+    best_wall = None
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn()
+        wall = time.perf_counter() - t0
+        if best_wall is None or wall < best_wall:
+            best_wall, result = wall, value
+    return best_wall, result
+
+
+def run_preset_case(name: str, overrides: dict, repeats: int) -> dict:
+    """Time one preset under both kernels and verify trace agreement."""
+    results = {}
+    for kernel in ("reference", "fast"):
+        spec = preset(name).with_overrides(dict(overrides, kernel=kernel))
+        wall, run = _best_of(repeats, spec.run)
+        results[kernel] = (wall, run)
+    (ref_wall, ref_run), (fast_wall, fast_run) = (
+        results["reference"], results["fast"],
+    )
+    ref_vcc = ref_run.vcc()
+    fast_vcc = fast_run.vcc()
+    if len(ref_vcc) != len(fast_vcc):
+        raise AssertionError(
+            f"{name}: trace lengths differ between kernels "
+            f"({len(ref_vcc)} vs {len(fast_vcc)})"
+        )
+    max_diff = float(np.max(np.abs(ref_vcc.values - fast_vcc.values)))
+    if max_diff > VCC_ATOL:
+        raise AssertionError(
+            f"{name}: fast kernel diverged from reference "
+            f"(max |dV| = {max_diff:.3e} > {VCC_ATOL:.0e})"
+        )
+    steps = len(ref_vcc)
+    return {
+        "steps": steps,
+        "reference_s": round(ref_wall, 4),
+        "fast_s": round(fast_wall, 4),
+        "speedup": round(ref_wall / fast_wall, 2),
+        "reference_steps_per_s": int(steps / ref_wall),
+        "fast_steps_per_s": int(steps / fast_wall),
+        "max_vcc_diff": max_diff,
+    }
+
+
+def run_sweep_case(repeats: int) -> dict:
+    """Time the fig7 capacitance sweep (serial) under both kernels."""
+    walls = {}
+    for kernel in ("reference", "fast"):
+        base = preset("fig7").with_overrides(
+            {"duration": SWEEP_DURATION, "kernel": kernel}
+        )
+        runner = SweepRunner(base, {"capacitance": SWEEP_CAPACITANCES})
+        wall, result = _best_of(repeats, lambda r=runner: r.run(parallel=False))
+        walls[kernel] = (wall, result)
+    (ref_wall, ref_res), (fast_wall, fast_res) = (
+        walls["reference"], walls["fast"],
+    )
+    for ref_point, fast_point in zip(ref_res, fast_res):
+        if ref_point.metrics["error"] or fast_point.metrics["error"]:
+            raise AssertionError(
+                f"capacitance-sweep: point "
+                f"C={ref_point.overrides['capacitance']} errored "
+                f"(reference: {ref_point.metrics['error']!r}, "
+                f"fast: {fast_point.metrics['error']!r})"
+            )
+        for metric in ("vcc_min", "vcc_max"):
+            delta = abs(ref_point.metrics[metric] - fast_point.metrics[metric])
+            if delta > VCC_ATOL:
+                raise AssertionError(
+                    f"capacitance-sweep: {metric} diverged by {delta:.3e} at "
+                    f"C={ref_point.overrides['capacitance']}"
+                )
+    return {
+        "points": len(ref_res),
+        "reference_s": round(ref_wall, 4),
+        "fast_s": round(fast_wall, 4),
+        "speedup": round(ref_wall / fast_wall, 2),
+    }
+
+
+def run_benchmarks(repeats: int = 3) -> dict:
+    """Run every benchmark case; returns the BENCH_kernel payload."""
+    cases = {}
+    for name, overrides in CASES.items():
+        print(f"  timing {name} ...", flush=True)
+        cases[name] = run_preset_case(name, overrides, repeats)
+    print("  timing capacitance-sweep ...", flush=True)
+    cases["capacitance-sweep"] = run_sweep_case(repeats)
+    fig7 = cases["fig7"]
+    if fig7["speedup"] < FIG7_SPEEDUP_FLOOR:
+        raise AssertionError(
+            f"fig7 fast-kernel speedup {fig7['speedup']}x is below the "
+            f"{FIG7_SPEEDUP_FLOOR}x floor"
+        )
+    return {
+        "schema": 1,
+        "python": platform.python_version(),
+        "repeats": repeats,
+        "vcc_atol": VCC_ATOL,
+        "cases": cases,
+    }
+
+
+def format_markdown_table(payload: dict) -> str:
+    """Render the benchmark payload as the README performance table."""
+    lines = [
+        "| case | steps/points | reference | fast | speedup |",
+        "|------|--------------|-----------|------|---------|",
+    ]
+    for name, case in payload["cases"].items():
+        size = case.get("steps", case.get("points"))
+        lines.append(
+            f"| {name} | {size} | {case['reference_s']:.3f} s "
+            f"| {case['fast_s']:.3f} s | {case['speedup']:.2f}x |"
+        )
+    return "\n".join(lines)
+
+
+README_START = "<!-- BENCH_TABLE_START -->"
+README_END = "<!-- BENCH_TABLE_END -->"
+
+
+def update_readme(payload: dict, readme_path: Path) -> None:
+    """Replace the README performance table between the marker comments."""
+    text = readme_path.read_text(encoding="utf-8")
+    if README_START not in text or README_END not in text:
+        raise SystemExit(
+            f"README markers {README_START} / {README_END} not found"
+        )
+    head, rest = text.split(README_START, 1)
+    _, tail = rest.split(README_END, 1)
+    table = format_markdown_table(payload)
+    readme_path.write_text(
+        f"{head}{README_START}\n{table}\n{README_END}{tail}",
+        encoding="utf-8",
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per case (best-of)")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parents[2]
+                        / "BENCH_kernel.json")
+    parser.add_argument("--update-readme", action="store_true",
+                        help="rewrite the README performance table")
+    args = parser.parse_args(argv)
+    print("kernel benchmarks (best of %d):" % args.repeats, flush=True)
+    payload = run_benchmarks(repeats=args.repeats)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n",
+                           encoding="utf-8")
+    print(f"wrote {args.output}")
+    print(format_markdown_table(payload))
+    if args.update_readme:
+        readme = Path(__file__).resolve().parents[2] / "README.md"
+        update_readme(payload, readme)
+        print(f"updated {readme}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,7 @@ from repro.harvest.traces import record_voltage
 from repro.harvest.wind import MicroWindTurbine
 from repro.mcu.programs import fft_golden
 from repro.sim import waveform
+from repro.sim.kernel import KERNELS
 from repro.sim.probes import Trace
 from repro.spec import (
     ScenarioSpec,
@@ -123,6 +124,8 @@ def cmd_fig7(args: argparse.Namespace) -> int:
         supply_hz=args.supply_hz,
         duration=args.duration,
     )
+    if args.kernel is not None:
+        spec = spec.with_override("kernel", args.kernel)
     result = spec.run()
 
     platform = result.platform
@@ -156,7 +159,10 @@ def cmd_crossover(args: argparse.Namespace) -> int:
     grid = {"frequency": [float(f) for f in args.frequencies]}
     results = {}
     for strategy in ("hibernus", "quickrecall"):
-        results[strategy] = SweepRunner(crossover_spec(strategy), grid).run(
+        base = crossover_spec(strategy)
+        if args.kernel is not None:
+            base = base.with_override("kernel", args.kernel)
+        results[strategy] = SweepRunner(base, grid).run(
             parallel=not args.serial
         ).points
     rows = []
@@ -215,6 +221,8 @@ def cmd_spec(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     """Run a scenario spec loaded from a JSON file."""
     spec = ScenarioSpec.load(args.spec)
+    if args.kernel is not None:
+        spec = spec.with_override("kernel", args.kernel)
     result = spec.run(duration=args.duration)
     _print_run_summary(spec, result)
     if result.platform is None:
@@ -253,6 +261,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         base = preset(args.preset)
     if args.duration is not None:
         base = base.with_override("duration", args.duration)
+    if args.kernel is not None:
+        base = base.with_override("kernel", args.kernel)
     grid = _parse_grid(args.set)
     if not grid:
         # A representative default: storage size x supply frequency, with
@@ -288,10 +298,18 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("sources", help="Fig. 1 sources").set_defaults(fn=cmd_sources)
     sub.add_parser("taxonomy", help="Fig. 2 taxonomy").set_defaults(fn=cmd_taxonomy)
 
+    def add_kernel_flag(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--kernel", choices=list(KERNELS), default=None,
+            help="simulation kernel (fast = chunked execution, "
+                 "identical physics)",
+        )
+
     fig7 = sub.add_parser("fig7", help="Fig. 7 Hibernus FFT")
     fig7.add_argument("--fft-size", type=int, default=512)
     fig7.add_argument("--supply-hz", type=float, default=4.7)
     fig7.add_argument("--duration", type=float, default=1.2)
+    add_kernel_flag(fig7)
     fig7.set_defaults(fn=cmd_fig7)
 
     crossover = sub.add_parser("crossover", help="Eq. 5 sweep")
@@ -300,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     crossover.add_argument("--serial", action="store_true",
                            help="run points in-process instead of a pool")
+    add_kernel_flag(crossover)
     crossover.set_defaults(fn=cmd_crossover)
 
     spec = sub.add_parser("spec", help="dump a preset spec as JSON")
@@ -311,6 +330,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("spec", help="path to a ScenarioSpec JSON file")
     run.add_argument("--duration", type=float, default=None,
                      help="override the spec's duration")
+    add_kernel_flag(run)
     run.set_defaults(fn=cmd_run)
 
     sweep = sub.add_parser("sweep", help="run a parameter grid in parallel")
@@ -325,6 +345,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--serial", action="store_true",
                        help="run points in-process instead of a pool")
     sweep.add_argument("--workers", type=int, default=None)
+    add_kernel_flag(sweep)
     sweep.set_defaults(fn=cmd_sweep)
 
     components = sub.add_parser("components", help="list spec components")

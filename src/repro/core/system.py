@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.harvest.base import PowerHarvester, VoltageHarvester
 from repro.power.converter import ConversionStage
@@ -62,10 +64,15 @@ class EnergyDrivenSystem:
         system.add_voltage_source(SignalGenerator(3.3, 4.7, rectified=True))
         system.set_platform(platform)
         result = system.run(1.0)
+
+    ``kernel="fast"`` selects the chunked execution kernel (identical
+    physics, macro-chunked through the quiescent regimes — see
+    :mod:`repro.sim.kernel`); the default is the per-step reference
+    kernel.
     """
 
-    def __init__(self, dt: float):
-        self.simulator = Simulator(dt)
+    def __init__(self, dt: float, kernel: str = "reference"):
+        self.simulator = Simulator(dt, kernel=kernel)
         self.rail: Optional[SupplyRail] = None
         self.platform: Optional[TransientPlatform] = None
         self._probes_installed = False
@@ -118,34 +125,62 @@ class EnergyDrivenSystem:
     # -- probes / running ----------------------------------------------------
 
     def install_probes(self, decimate: int = 1) -> None:
-        """Install the standard probe set: vcc, state, frequency."""
+        """Install the standard probe set: vcc, state, frequency.
+
+        All three are chunk-capable: vcc reads the rail's per-chunk
+        voltage record, and state/frequency are constant across a chunk
+        by construction (chunks never span a platform state transition),
+        so the fast kernel can bulk-sample them.
+        """
         if self._probes_installed:
             return
         rail = self._require_rail()
-        self.simulator.probe("vcc", lambda: rail.voltage, decimate=decimate)
+        self.simulator.probe(
+            "vcc",
+            lambda: rail.voltage,
+            decimate=decimate,
+            chunk_fn=lambda k: rail.last_chunk_voltages(),
+        )
         if self.platform is not None:
             platform = self.platform
-            self.simulator.probe(
-                "state", lambda: STATE_CODES[platform.state], decimate=decimate
-            )
-            self.simulator.probe(
-                "frequency",
-                lambda: (
+
+            def state_code() -> float:
+                return STATE_CODES[platform.state]
+
+            def frequency() -> float:
+                return (
                     platform.clock.frequency
                     if platform.state is PlatformState.ACTIVE
                     else 0.0
-                ),
-                decimate=decimate,
+                )
+
+            self.simulator.probe(
+                "state", state_code, decimate=decimate,
+                chunk_fn=lambda k: np.full(k, state_code()),
+            )
+            self.simulator.probe(
+                "frequency", frequency, decimate=decimate,
+                chunk_fn=lambda k: np.full(k, frequency()),
             )
         self._probes_installed = True
 
-    def probe(self, name: str, fn, decimate: int = 1) -> None:
-        """Install a custom probe."""
-        self.simulator.probe(name, fn, decimate=decimate)
+    def probe(self, name: str, fn, decimate: int = 1, chunk_fn=None) -> None:
+        """Install a custom probe.
 
-    def stop_when(self, condition) -> None:
-        """Stop a run as soon as ``condition(t)`` returns True."""
-        self.simulator.stop_when(condition)
+        Custom probes without a ``chunk_fn`` disable chunking under the
+        fast kernel (their values must be observed every step); pass one
+        returning per-step values for a k-step chunk to keep it engaged.
+        """
+        self.simulator.probe(name, fn, decimate=decimate, chunk_fn=chunk_fn)
+
+    def stop_when(self, condition, chunk_safe: bool = False) -> None:
+        """Stop a run as soon as ``condition(t)`` returns True.
+
+        ``chunk_safe=True`` asserts the condition can only become true
+        during per-step execution, letting the fast kernel keep chunking
+        (see :meth:`repro.sim.engine.Simulator.stop_when`).
+        """
+        self.simulator.stop_when(condition, chunk_safe=chunk_safe)
 
     def run(self, duration: float, decimate: int = 1) -> SystemRunResult:
         """Install standard probes (if not yet) and run for ``duration``."""

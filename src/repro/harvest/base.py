@@ -17,6 +17,18 @@ class Harvester:
         self._seed = seed
         self._rng = np.random.default_rng(seed)
 
+    def chunk_safe(self) -> bool:
+        """True when output sampling is pure (idempotent per time point).
+
+        The fast kernel precomputes source values for steps it may then
+        discard at an event boundary and re-evaluate per-step; that is
+        only sound when repeated evaluation at the same time returns the
+        same value without consuming state (e.g. per-call RNG draws).
+        Closed-form sources override this to True; the conservative
+        default keeps stateful harvesters on per-step execution.
+        """
+        return False
+
     def reset(self) -> None:
         """Restore the harvester to its initial (identically seeded) state."""
         self._rng = np.random.default_rng(self._seed)
@@ -38,6 +50,17 @@ class PowerHarvester(Harvester):
     def power(self, t: float) -> float:
         """Available harvested power (W) at simulation time ``t``."""
         raise NotImplementedError
+
+    def power_array(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`power` over a chunk of sample times.
+
+        The default loops over :meth:`power` in time order.  The fast
+        kernel only consumes this when :meth:`~Harvester.chunk_safe` is
+        True — a discarded chunk re-evaluates its boundary step, which is
+        only sound for pure sampling; closed-form sources override this
+        with true numpy implementations.
+        """
+        return np.array([self.power(float(t)) for t in times], dtype=float)
 
     def mean_power(self, duration: float, dt: float) -> float:
         """Average of :meth:`power` sampled every ``dt`` over ``duration``."""
@@ -67,6 +90,17 @@ class VoltageHarvester(Harvester):
         """Open-circuit output voltage (V) at time ``t``; may be negative."""
         raise NotImplementedError
 
+    def open_circuit_voltage_array(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`open_circuit_voltage` over a chunk of times.
+
+        Default: a time-ordered loop over the scalar method.  Consumed by
+        the fast kernel only when :meth:`~Harvester.chunk_safe` is True;
+        closed-form sources override with numpy expressions.
+        """
+        return np.array(
+            [self.open_circuit_voltage(float(t)) for t in times], dtype=float
+        )
+
 
 @register("constant-power", kind="harvester")
 class ConstantPowerHarvester(PowerHarvester):
@@ -80,6 +114,12 @@ class ConstantPowerHarvester(PowerHarvester):
 
     def power(self, t: float) -> float:
         return self._power
+
+    def power_array(self, times: np.ndarray) -> np.ndarray:
+        return np.full(len(times), self._power, dtype=float)
+
+    def chunk_safe(self) -> bool:
+        return True
 
 
 class ScaledHarvester(PowerHarvester):
@@ -99,6 +139,12 @@ class ScaledHarvester(PowerHarvester):
     def power(self, t: float) -> float:
         return self._gain * self._inner.power(t)
 
+    def power_array(self, times: np.ndarray) -> np.ndarray:
+        return self._gain * self._inner.power_array(times)
+
+    def chunk_safe(self) -> bool:
+        return self._inner.chunk_safe()
+
     def reset(self) -> None:
         self._inner.reset()
 
@@ -114,6 +160,16 @@ class SummedHarvester(PowerHarvester):
 
     def power(self, t: float) -> float:
         return sum(h.power(t) for h in self._harvesters)
+
+    def power_array(self, times: np.ndarray) -> np.ndarray:
+        # Same accumulation order as the scalar sum(): 0 + p_0 + p_1 + ...
+        total = np.zeros(len(times), dtype=float)
+        for harvester in self._harvesters:
+            total = total + harvester.power_array(times)
+        return total
+
+    def chunk_safe(self) -> bool:
+        return all(h.chunk_safe() for h in self._harvesters)
 
     def reset(self) -> None:
         for harvester in self._harvesters:

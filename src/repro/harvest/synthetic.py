@@ -12,6 +12,8 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.harvest.base import PowerHarvester, VoltageHarvester
 from repro.spec.registry import register
@@ -39,6 +41,13 @@ class SineVoltageHarvester(VoltageHarvester):
 
     def open_circuit_voltage(self, t: float) -> float:
         return self.amplitude * math.sin(2.0 * math.pi * self.frequency * t + self.phase)
+
+    def open_circuit_voltage_array(self, times: np.ndarray) -> np.ndarray:
+        omega = 2.0 * math.pi * self.frequency
+        return self.amplitude * np.sin(omega * times + self.phase)
+
+    def chunk_safe(self) -> bool:
+        return True
 
 
 @register("signal-generator", kind="harvester")
@@ -77,6 +86,18 @@ class SignalGenerator(VoltageHarvester):
             return max(0.0, raw)
         return raw
 
+    def open_circuit_voltage_array(self, times: np.ndarray) -> np.ndarray:
+        if self.frequency == 0.0:
+            return np.full(len(times), self.amplitude, dtype=float)
+        omega = 2.0 * math.pi * self.frequency
+        raw = self.amplitude * np.sin(omega * times)
+        if self.rectified:
+            return np.maximum(0.0, raw)
+        return raw
+
+    def chunk_safe(self) -> bool:
+        return True
+
 
 @register("half-wave-sine-power", kind="harvester")
 class HalfWaveRectifiedSinePower(PowerHarvester):
@@ -102,6 +123,13 @@ class HalfWaveRectifiedSinePower(PowerHarvester):
         if s <= 0.0:
             return 0.0
         return self.peak_power * s * s
+
+    def power_array(self, times: np.ndarray) -> np.ndarray:
+        s = np.sin((2.0 * math.pi * self.frequency) * times)
+        return np.where(s <= 0.0, 0.0, self.peak_power * s * s)
+
+    def chunk_safe(self) -> bool:
+        return True
 
 
 @register("square-wave-power", kind="harvester")
@@ -131,6 +159,14 @@ class SquareWavePowerHarvester(PowerHarvester):
         if phase < 0.0:
             phase += 1.0
         return self.on_power if phase < self.duty else 0.0
+
+    def power_array(self, times: np.ndarray) -> np.ndarray:
+        phase = np.fmod(times + self.t_offset, self.period) / self.period
+        phase = np.where(phase < 0.0, phase + 1.0, phase)
+        return np.where(phase < self.duty, self.on_power, 0.0)
+
+    def chunk_safe(self) -> bool:
+        return True
 
 
 @register("trapezoid-supply", kind="harvester")
@@ -193,6 +229,27 @@ class TrapezoidSupply(VoltageHarvester):
             return self.v_low + self.ramp_up * phase
         return self.v_high
 
+    def open_circuit_voltage_array(self, times: np.ndarray) -> np.ndarray:
+        period = 1.0 / self.frequency
+        phase = np.fmod(times, period)
+        phase = np.where(phase < 0.0, phase + period, phase)
+        t_down = (self.v_high - self.v_low) / self.ramp_down
+        t_up = (self.v_high - self.v_low) / self.ramp_up
+        after_down = phase - t_down
+        after_dwell = after_down - self.dwell_low
+        return np.select(
+            [phase < t_down, after_down < self.dwell_low, after_dwell < t_up],
+            [
+                self.v_high - self.ramp_down * phase,
+                np.full(len(times), self.v_low, dtype=float),
+                self.v_low + self.ramp_up * after_dwell,
+            ],
+            default=self.v_high,
+        )
+
+    def chunk_safe(self) -> bool:
+        return True
+
 
 @register("gated-power", kind="harvester")
 class GatedPowerHarvester(PowerHarvester):
@@ -243,6 +300,20 @@ class GatedPowerHarvester(PowerHarvester):
         if not self._gate(t):
             return 0.0
         return self._inner.power(t)
+
+    def power_array(self, times: np.ndarray) -> np.ndarray:
+        if len(times) == 0:
+            return np.zeros(0, dtype=float)
+        self._extend_to(float(times[-1]))
+        edges = np.asarray(self._edges, dtype=float)
+        on = np.asarray(self._state_on, dtype=bool)
+        gate = on[np.searchsorted(edges, times, side="right") - 1]
+        return np.where(gate, self._inner.power_array(times), 0.0)
+
+    def chunk_safe(self) -> bool:
+        # The gate realisation is lazily extended but cached: re-querying
+        # the same times is idempotent.  Safety reduces to the inner source.
+        return self._inner.chunk_safe()
 
     def reset(self) -> None:
         super().reset()

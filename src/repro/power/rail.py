@@ -13,8 +13,11 @@ explicit scheme keeps every component O(1) per step.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.harvest.base import PowerHarvester, VoltageHarvester
@@ -22,6 +25,12 @@ from repro.power.converter import ConversionStage
 from repro.power.mppt import FractionalVocMPPT
 from repro.power.rectifier import HalfWaveRectifier
 from repro.sim.engine import Component
+from repro.sim.kernel import (
+    LoadProfile,
+    PowerSourcePlan,
+    VoltageSourcePlan,
+    chunk_times,
+)
 from repro.spec.registry import register
 from repro.storage.base import StorageElement
 
@@ -32,6 +41,17 @@ class RailLoad:
     def advance(self, t: float, dt: float, v_rail: float) -> float:
         """Advance internal state across ``dt`` and return joules consumed."""
         raise NotImplementedError
+
+    def load_profile(self, t: float, v_rail: float) -> Optional[LoadProfile]:
+        """Fast-kernel descriptor of the load's present regime, or None.
+
+        Returning a :class:`~repro.sim.kernel.LoadProfile` asserts that,
+        until the rail voltage crosses one of the profile's event
+        boundaries, :meth:`advance` would demand exactly the profile's
+        constant/resistive energy each step with no other side effects.
+        None keeps the load on per-step execution.
+        """
+        return None
 
     def reset(self) -> None:
         """Restore initial state (default: no-op)."""
@@ -49,6 +69,11 @@ class ResistiveLoad(RailLoad):
     def advance(self, t: float, dt: float, v_rail: float) -> float:
         return v_rail * v_rail / self.resistance * dt
 
+    def load_profile(self, t: float, v_rail: float) -> Optional[LoadProfile]:
+        if type(self) is not ResistiveLoad:
+            return None
+        return LoadProfile(resistance=self.resistance)
+
 
 class Injector:
     """Interface for conditioned sources pushing energy into the rail."""
@@ -56,6 +81,10 @@ class Injector:
     def inject(self, t: float, dt: float, v_rail: float, storage: StorageElement) -> float:
         """Push charge/energy into ``storage``; return joules delivered."""
         raise NotImplementedError
+
+    def chunk_plan(self, t0: float, dt: float, n: int):
+        """Fast-kernel source plan covering ``n`` steps from ``t0``, or None."""
+        return None
 
     def reset(self) -> None:
         """Restore initial state (default: no-op)."""
@@ -88,6 +117,18 @@ class HarvesterInjector(Injector):
         if available <= 0.0:
             return 0.0
         return storage.add_energy(available * dt)
+
+    def chunk_plan(self, t0: float, dt: float, n: int):
+        if type(self).inject is not HarvesterInjector.inject:
+            return None  # subclass changed the injection physics
+        if self.mppt is not None:
+            return None  # the tracker's convergence lag is per-step state
+        if not self.harvester.chunk_safe():
+            return None  # stateful sampling: discarded chunks would desync it
+        return PowerSourcePlan(
+            values=self.harvester.power_array(chunk_times(t0, dt, n)).tolist(),
+            converter=self.converter,
+        )
 
     def reset(self) -> None:
         self.harvester.reset()
@@ -123,6 +164,25 @@ class RectifiedInjector(Injector):
         storage.add_charge(current * dt)
         return storage.stored_energy - before
 
+    def chunk_plan(self, t0: float, dt: float, n: int):
+        if type(self).inject is not RectifiedInjector.inject:
+            return None  # subclass changed the injection physics
+        if not self.harvester.chunk_safe():
+            return None  # stateful sampling: discarded chunks would desync it
+        chunk_params = getattr(self.rectifier, "chunk_params", None)
+        params = (
+            chunk_params(self.harvester.source_resistance)
+            if chunk_params is not None
+            else None
+        )
+        if params is None:
+            return None
+        drop, r_total, take_abs = params
+        voc = self.harvester.open_circuit_voltage_array(chunk_times(t0, dt, n))
+        if take_abs:
+            voc = np.abs(voc)
+        return VoltageSourcePlan(values=voc.tolist(), drop=drop, r_total=r_total)
+
     def reset(self) -> None:
         self.harvester.reset()
 
@@ -139,13 +199,26 @@ class RailStats:
 
 
 class SupplyRail(Component):
-    """The simulated electrical node (see module docstring)."""
+    """The simulated electrical node (see module docstring).
+
+    Under the fast kernel the rail is the chunked component: when the
+    storage publishes inline-able physics, every load declares a
+    constant/resistive profile and every injector a precomputed source
+    plan, :meth:`step_chunk` advances whole stretches of steps in a tight
+    scalar loop with per-step arithmetic identical to :meth:`step`.  The
+    chunk ends (and per-step execution resumes) at the first step whose
+    voltage crosses a load's declared event boundary.
+    """
 
     def __init__(self, storage: StorageElement):
         self.storage = storage
         self._injectors: List[Injector] = []
         self._loads: List[RailLoad] = []
         self.stats = RailStats()
+        self._chunk_vcc: List[float] = []
+        #: Cached CapacitorPhysics (False until first step_chunk attempt,
+        #: then the descriptor or None for non-chunkable storage).
+        self._physics = False
 
     @property
     def voltage(self) -> float:
@@ -175,6 +248,207 @@ class SupplyRail(Component):
             self.stats.consumed += delivered
             self.stats.starved += demand - delivered
 
+    # -- fast kernel -----------------------------------------------------
+
+    def last_chunk_voltages(self) -> np.ndarray:
+        """Per-step rail voltages of the most recent chunk (probe feed)."""
+        return np.asarray(self._chunk_vcc, dtype=float)
+
+    def step_chunk(self, t0: float, dt: float, n: int) -> int:
+        """Advance up to ``n`` steps in bulk; 0 when the regime can't chunk."""
+        # The physics descriptor is invariant per storage object: resolve
+        # it once (False = not yet asked, None = storage can't chunk).
+        physics = self._physics
+        if physics is False:
+            physics = self._physics = self.storage.chunk_physics()
+        if physics is None:
+            return 0
+        v = physics.read_voltage()
+        profiles = []
+        for load in self._loads:
+            profile = load.load_profile(t0, v)
+            if profile is None:
+                return 0
+            profiles.append(profile)
+        plans = []
+        for injector in self._injectors:
+            plan = injector.chunk_plan(t0, dt, n)
+            if plan is None:
+                return 0
+            plans.append(plan)
+        leak = physics.leak_factor(dt)
+        if (
+            len(plans) == 1
+            and isinstance(plans[0], VoltageSourcePlan)
+            and len(profiles) == 1
+            and profiles[0].resistance is None
+            and leak is None
+            and physics.draw_overhead == 1.0
+        ):
+            taken = self._chunk_loop_simple(physics, plans[0], profiles[0], v, dt, n)
+        else:
+            taken = self._chunk_loop(physics, plans, profiles, v, leak, dt, n)
+        for profile in profiles:
+            if profile.commit is not None:
+                profile.commit(taken, dt)
+        return taken
+
+    def _chunk_loop_simple(self, physics, plan, profile, v, dt, n):
+        """One rectified source, one constant load, ideal capacitor.
+
+        The hot path for the paper's scenarios; same arithmetic as
+        :meth:`step` with everything in locals.
+        """
+        C = physics.capacitance
+        half_c = 0.5 * C
+        v_max = physics.v_max
+        sqrt = math.sqrt
+        values = plan.values
+        drop = plan.drop
+        r_total = plan.r_total
+        e_dem = profile.power * dt
+        v_rise = profile.v_rising
+        v_fall = profile.v_falling
+        stats = self.stats
+        harvested = stats.harvested
+        consumed = stats.consumed
+        starved = stats.starved
+        vcc: List[float] = []
+        append = vcc.append
+        i = 0
+        while i < n:
+            head = values[i] - v - drop
+            if head > 0.0:
+                before = half_c * v * v
+                vn = v + (head / r_total * dt) / C
+                if vn > v_max:
+                    vn = v_max
+                dh = half_c * vn * vn - before
+            else:
+                vn = v
+                dh = 0.0
+            if vn >= v_rise or vn < v_fall:
+                break  # event boundary: the step reruns via the reference path
+            avail = half_c * vn * vn
+            if e_dem >= avail:
+                vn = 0.0
+                delivered = avail
+            else:
+                vn = sqrt(2.0 * (avail - e_dem) / C)
+                delivered = e_dem
+            harvested += dh
+            consumed += delivered
+            starved += e_dem - delivered
+            v = vn
+            append(v)
+            i += 1
+        physics.write_voltage(v)
+        stats.harvested = harvested
+        stats.consumed = consumed
+        stats.starved = starved
+        self._chunk_vcc = vcc
+        return i
+
+    def _chunk_loop(self, physics, plans, profiles, v, leak, dt, n):
+        """General chunk loop: any mix of sources, loads, leakage, ESR."""
+        C = physics.capacitance
+        half_c = 0.5 * C
+        v_max = physics.v_max
+        e_cap = half_c * v_max * v_max
+        overhead = physics.draw_overhead
+        sqrt = math.sqrt
+        sources = [
+            (
+                isinstance(plan, VoltageSourcePlan),
+                plan.values,
+                getattr(plan, "drop", 0.0),
+                getattr(plan, "r_total", 1.0),
+                getattr(plan, "converter", None),
+            )
+            for plan in plans
+        ]
+        loads = [
+            (profile.resistance, profile.power * dt,
+             profile.v_rising, profile.v_falling)
+            for profile in profiles
+        ]
+        stats = self.stats
+        harvested = stats.harvested
+        leaked = stats.leaked
+        consumed = stats.consumed
+        starved = stats.starved
+        vcc: List[float] = []
+        append = vcc.append
+        i = 0
+        while i < n:
+            v0 = v
+            tv = v0
+            h_t = harvested
+            # Injection: every injector sees the start-of-step voltage,
+            # charge lands on the running (clamped) voltage — as step().
+            for is_voltage, values, drop, r_total, converter in sources:
+                if is_voltage:
+                    head = values[i] - v0 - drop
+                    if head > 0.0:
+                        before = half_c * tv * tv
+                        vn = tv + (head / r_total * dt) / C
+                        tv = v_max if vn > v_max else vn
+                        h_t += half_c * tv * tv - before
+                else:
+                    p = values[i]
+                    if converter is not None:
+                        p = converter.output_power(p, v0 if v0 > 0 else 1.0)
+                    if p > 0.0:
+                        e = half_c * tv * tv
+                        e_new = e + p * dt
+                        if e_new > e_cap:
+                            accepted = e_cap - e
+                            tv = v_max
+                            h_t += accepted if accepted > 0.0 else 0.0
+                        else:
+                            tv = sqrt(2.0 * e_new / C)
+                            h_t += p * dt
+            le_t = leaked
+            if leak is not None and tv != 0.0:
+                before = half_c * tv * tv
+                tv *= leak
+                le_t += before - half_c * tv * tv
+            co_t = consumed
+            st_t = starved
+            event = False
+            for resistance, e_dem, v_rise, v_fall in loads:
+                if tv >= v_rise or tv < v_fall:
+                    event = True
+                    break
+                if resistance is not None:
+                    e_dem = tv * tv / resistance * dt
+                demand = e_dem * overhead
+                avail = half_c * tv * tv
+                if demand >= avail:
+                    tv = 0.0
+                    delivered = avail / overhead
+                else:
+                    tv = sqrt(2.0 * (avail - demand) / C)
+                    delivered = demand / overhead
+                co_t += delivered
+                st_t += e_dem - delivered
+            if event:
+                break  # discard this step; it reruns via the reference path
+            v = tv
+            harvested = h_t
+            leaked = le_t
+            consumed = co_t
+            starved = st_t
+            append(v)
+            i += 1
+        physics.write_voltage(v)
+        stats.harvested = harvested
+        stats.leaked = leaked
+        stats.consumed = consumed
+        stats.starved = starved
+        self._chunk_vcc = vcc
+        return i
+
     def reset(self) -> None:
         self.storage.reset()
         for injector in self._injectors:
@@ -182,3 +456,4 @@ class SupplyRail(Component):
         for load in self._loads:
             load.reset()
         self.stats = RailStats()
+        self._chunk_vcc = []

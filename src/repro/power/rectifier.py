@@ -52,6 +52,20 @@ class HalfWaveRectifier:
             return 0.0
         return headroom / (source_resistance + self.diode.on_resistance)
 
+    def chunk_params(self, source_resistance: float):
+        """Fast-kernel linearisation: ``(drop, r_total, take_abs)``.
+
+        Exact-type instances only — a subclass with different current
+        physics must provide its own parameters or fall back to per-step.
+        """
+        if type(self) is not HalfWaveRectifier:
+            return None
+        return (
+            self.diode.forward_drop,
+            source_resistance + self.diode.on_resistance,
+            False,
+        )
+
 
 class FullWaveRectifier:
     """Diode bridge: conducts on both half-cycles, two diode drops."""
@@ -69,6 +83,16 @@ class FullWaveRectifier:
         if headroom <= 0.0:
             return 0.0
         return headroom / (source_resistance + 2.0 * self.diode.on_resistance)
+
+    def chunk_params(self, source_resistance: float):
+        """Fast-kernel linearisation: ``(drop, r_total, take_abs)``."""
+        if type(self) is not FullWaveRectifier:
+            return None
+        return (
+            2.0 * self.diode.forward_drop,
+            source_resistance + 2.0 * self.diode.on_resistance,
+            True,
+        )
 
 
 # Registry factories take the diode parameters flat, so rectifiers are

@@ -7,6 +7,13 @@ waveforms of Figs. 7 and 8 are literally probe traces from this kernel.
 """
 
 from repro.sim.engine import Component, Simulator, SimulationResult, StopCondition
+from repro.sim.kernel import (
+    KERNELS,
+    CapacitorPhysics,
+    LoadProfile,
+    PowerSourcePlan,
+    VoltageSourcePlan,
+)
 from repro.sim.probes import Probe, Recorder, Trace
 from repro.sim import waveform
 
@@ -15,6 +22,11 @@ __all__ = [
     "Simulator",
     "SimulationResult",
     "StopCondition",
+    "KERNELS",
+    "CapacitorPhysics",
+    "LoadProfile",
+    "PowerSourcePlan",
+    "VoltageSourcePlan",
     "Probe",
     "Recorder",
     "Trace",

@@ -6,6 +6,25 @@ per step, in registration order, then samples every probe.  Registration
 order therefore defines the causal order within one timestep; systems built
 by :mod:`repro.core.system` register source conditioning before the rail and
 the rail before loads are sampled.
+
+Two kernels execute that schedule:
+
+* ``"reference"`` — the plain per-step loop; the semantic baseline.
+* ``"fast"`` — advances in macro-chunks of up to ``chunk_size`` steps
+  through :meth:`Component.step_chunk` when the (single) component can
+  vectorize its current regime, falling back to per-step execution at
+  every declared event boundary (see :mod:`repro.sim.kernel`).  Probes
+  must be chunk-capable (see :class:`~repro.sim.probes.Probe`) for
+  chunking to engage; otherwise the fast kernel behaves exactly like the
+  reference one.  A stop condition registered without ``chunk_safe=True``
+  also disables chunking — it must be observed after every step; a
+  ``chunk_safe`` condition (one that can only turn true during per-step
+  execution, e.g. workload completion) keeps chunking engaged and still
+  fires on the same step under both kernels.
+
+Time is derived, not accumulated: ``t == steps * dt`` always, so a
+10-million-step run lands on exactly ``10e6 * dt`` seconds instead of
+drifting by accumulated rounding error.
 """
 
 from __future__ import annotations
@@ -14,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.sim.kernel import ChunkStats, validate_kernel
 from repro.sim.probes import Recorder, Trace
 
 
@@ -21,18 +41,36 @@ class Component:
     """Base class for anything stepped by the :class:`Simulator`.
 
     Subclasses override :meth:`step`; :meth:`reset` restores construction
-    state so the same system object can be re-run.
+    state so the same system object can be re-run.  Components that can
+    vectorize stretches of their dynamics additionally override
+    :meth:`step_chunk`, which the fast kernel calls.
     """
 
     def step(self, t: float, dt: float) -> None:
         """Advance the component from ``t`` to ``t + dt``."""
         raise NotImplementedError
 
+    def step_chunk(self, t0: float, dt: float, n: int) -> int:
+        """Advance up to ``n`` steps starting at ``t0``; return steps taken.
+
+        Returning 0 means the component cannot chunk its present regime
+        (an event boundary is imminent or its state is not vectorizable);
+        the engine then executes one reference :meth:`step`.  A non-zero
+        return k means the component advanced exactly k full steps with
+        per-step semantics identical to k :meth:`step` calls.
+        """
+        return 0
+
     def reset(self) -> None:
         """Restore the component to its initial state (default: no-op)."""
 
 
 StopCondition = Callable[[float], bool]
+
+#: Initial (and post-event) macro-chunk length for the fast kernel.
+_MIN_CHUNK = 64
+#: Cap on the failed-chunk-attempt backoff (reference steps skipped).
+_MAX_BACKOFF = 64
 
 
 @dataclass
@@ -66,6 +104,10 @@ class Simulator:
     Args:
         dt: timestep in seconds. Must be positive.
         components: initial component list (more can be added later).
+        kernel: ``"reference"`` (plain per-step loop) or ``"fast"``
+            (chunked execution where components support it; identical
+            per-step semantics, see the module docstring).
+        chunk_size: maximum steps per macro-chunk for the fast kernel.
 
     The engine is deliberately simple — a loop over components — because all
     the interesting dynamics live in the components (rail integration, MCU
@@ -73,15 +115,31 @@ class Simulator:
     or global RNG access happens here.
     """
 
-    def __init__(self, dt: float, components: Optional[Sequence[Component]] = None):
+    def __init__(
+        self,
+        dt: float,
+        components: Optional[Sequence[Component]] = None,
+        kernel: str = "reference",
+        chunk_size: int = 4096,
+    ):
         if dt <= 0.0:
             raise ConfigurationError(f"timestep must be positive, got {dt!r}")
+        try:
+            self.kernel = validate_kernel(kernel)
+        except ValueError as error:
+            raise ConfigurationError(str(error)) from error
+        if chunk_size < 2:
+            raise ConfigurationError(f"chunk_size must be >= 2, got {chunk_size}")
         self.dt = dt
         self.t = 0.0
         self.steps = 0
+        self.chunk_size = chunk_size
+        #: Fast-kernel diagnostics: how much of the run actually chunked.
+        self.chunk_stats = ChunkStats()
         self._components: List[Component] = list(components or [])
         self._recorder = Recorder()
         self._stop_conditions: List[StopCondition] = []
+        self._has_unchunkable_conditions = False
 
     @property
     def recorder(self) -> Recorder:
@@ -93,22 +151,47 @@ class Simulator:
         self._components.append(component)
         return component
 
-    def probe(self, name: str, fn: Callable[[], float], decimate: int = 1) -> None:
-        """Register a probe sampling ``fn()`` every ``decimate`` steps."""
-        self._recorder.add(name, fn, decimate=decimate)
+    def probe(
+        self,
+        name: str,
+        fn: Callable[[], float],
+        decimate: int = 1,
+        chunk_fn=None,
+        capacity: Optional[int] = None,
+    ) -> None:
+        """Register a probe sampling ``fn()`` every ``decimate`` steps.
 
-    def stop_when(self, condition: StopCondition) -> None:
+        ``chunk_fn`` makes the probe bulk-samplable by the fast kernel
+        (see :class:`~repro.sim.probes.Probe`); ``capacity`` bounds the
+        ring buffer to the most recent samples.
+        """
+        self._recorder.add(name, fn, decimate=decimate, chunk_fn=chunk_fn,
+                           capacity=capacity)
+
+    def stop_when(self, condition: StopCondition, chunk_safe: bool = False) -> None:
         """Stop the run as soon as ``condition(t)`` returns True.
 
         The condition is evaluated after each step, so the state that made it
         true is already recorded.
+
+        Under the fast kernel a condition registered with the default
+        ``chunk_safe=False`` disables chunking — it must be observed after
+        every step, and a chunk only checks at its boundary.  Pass
+        ``chunk_safe=True`` for conditions that can only become true
+        during per-step execution (e.g. workload completion: the platform
+        is never ACTIVE inside a chunk), which keeps chunking engaged
+        while still firing on exactly the same step as the reference
+        kernel.
         """
         self._stop_conditions.append(condition)
+        if not chunk_safe:
+            self._has_unchunkable_conditions = True
 
     def reset(self) -> None:
-        """Reset time, probes and every component."""
+        """Reset time, probes, chunk diagnostics and every component."""
         self.t = 0.0
         self.steps = 0
+        self.chunk_stats = ChunkStats()
         self._recorder.clear()
         for component in self._components:
             component.reset()
@@ -117,9 +200,27 @@ class Simulator:
         """Advance the simulation by one timestep."""
         for component in self._components:
             component.step(self.t, self.dt)
-        self.t += self.dt
         self.steps += 1
+        # Derived, not accumulated: t == steps * dt exactly, so long runs
+        # do not drift by summed rounding error.
+        self.t = self.steps * self.dt
         self._recorder.sample(self.t)
+
+    def _last_startable_step(self, t_stop: float) -> int:
+        """Largest step index allowed to *start* a step before ``t_stop``.
+
+        The per-step loop starts a step while ``t < t_stop - dt/2``; with
+        ``t == steps * dt`` that predicate is exactly ``steps <= s`` for
+        the integer this computes, so the chunked path executes the same
+        step count as per-step execution.
+        """
+        limit = t_stop - 0.5 * self.dt
+        s = int(limit / self.dt)
+        while s * self.dt >= limit:
+            s -= 1
+        while (s + 1) * self.dt < limit:
+            s += 1
+        return s
 
     def run(
         self,
@@ -142,23 +243,110 @@ class Simulator:
         if duration is None and max_steps is None:
             raise ConfigurationError("run() needs duration and/or max_steps")
         t_stop = self.t + duration if duration is not None else None
-        stopped_early = False
         steps_before = self.steps
-        while True:
-            if t_stop is not None and self.t >= t_stop - 0.5 * self.dt:
-                break
-            if max_steps is not None and self.steps - steps_before >= max_steps:
-                break
-            self.step()
-            if any(cond(self.t) for cond in self._stop_conditions):
-                stopped_early = True
-                break
+        if self.kernel == "fast":
+            stopped_early = self._run_fast(t_stop, max_steps, steps_before)
+        else:
+            stopped_early = self._run_reference(t_stop, max_steps, steps_before)
         return SimulationResult(
             t_end=self.t,
             steps=self.steps - steps_before,
             stopped_early=stopped_early,
             traces=self._recorder.traces(),
         )
+
+    def _run_reference(
+        self,
+        t_stop: Optional[float],
+        max_steps: Optional[int],
+        steps_before: int,
+    ) -> bool:
+        while True:
+            if t_stop is not None and self.t >= t_stop - 0.5 * self.dt:
+                return False
+            if max_steps is not None and self.steps - steps_before >= max_steps:
+                return False
+            self.step()
+            if any(cond(self.t) for cond in self._stop_conditions):
+                return True
+
+    def _run_fast(
+        self,
+        t_stop: Optional[float],
+        max_steps: Optional[int],
+        steps_before: int,
+    ) -> bool:
+        dt = self.dt
+        component = self._components[0] if len(self._components) == 1 else None
+        # Chunking engages only when the whole per-step schedule can be
+        # reproduced in bulk: at most one component, that component
+        # overrides step_chunk (an empty simulator chunks trivially),
+        # every probe knows how to produce per-step values for a chunk,
+        # and no stop condition demands per-step observation.
+        chunkable = (
+            self._recorder.chunk_capable()
+            and not self._has_unchunkable_conditions
+            and (
+                not self._components
+                or (
+                    component is not None
+                    and type(component).step_chunk is not Component.step_chunk
+                )
+            )
+        )
+        conditions = self._stop_conditions
+        s_max = self._last_startable_step(t_stop) if t_stop is not None else None
+        # Scheduling heuristics (semantics-neutral: steps not chunked just
+        # run per-step): chunks start short and double while fully
+        # consumed, so a chunk ending at a nearby event boundary never
+        # pays for a full-length source plan; failed attempts back off
+        # exponentially so unchunkable regimes (ACTIVE execution) don't
+        # re-probe the component every step.
+        grow = _MIN_CHUNK
+        skip = 0
+        backoff = 0
+        stats = self.chunk_stats
+        while True:
+            if s_max is not None and self.steps > s_max:
+                return False
+            if max_steps is not None and self.steps - steps_before >= max_steps:
+                return False
+            taken = 0
+            if chunkable and skip == 0:
+                n = min(grow, self.chunk_size)
+                if s_max is not None:
+                    n = min(n, s_max - self.steps + 1)
+                if max_steps is not None:
+                    n = min(n, max_steps - (self.steps - steps_before))
+                if n > 1:
+                    taken = n if component is None else component.step_chunk(
+                        self.t, dt, n
+                    )
+                    if taken:
+                        backoff = 0
+                        grow = (
+                            min(2 * n, self.chunk_size)
+                            if taken == n
+                            else _MIN_CHUNK
+                        )
+                        stats.chunks += 1
+                        stats.chunked_steps += taken
+                        first = self.steps + 1
+                        self.steps += taken
+                        self.t = self.steps * dt
+                        self._recorder.sample_chunk(first, taken, dt)
+                    else:
+                        backoff = (
+                            min(2 * backoff, _MAX_BACKOFF) if backoff else 1
+                        )
+                        skip = backoff
+            elif skip:
+                skip -= 1
+            if taken == 0:
+                stats.fallback_steps += 1
+                self.step()
+            if conditions and any(cond(self.t) for cond in conditions):
+                return True
 
     def run_steps(self, n: int) -> SimulationResult:
         """Run at most ``n`` steps.

@@ -1,0 +1,168 @@
+"""Chunk-protocol descriptors for the fast simulation kernel.
+
+The fast kernel (``Simulator(kernel="fast")``) advances the simulation in
+macro-chunks of up to N steps instead of one step at a time.  Inside a
+chunk every per-step quantity must be either precomputable (source
+waveforms, which depend only on time) or expressible as a closed
+per-step update on a scalar state (the storage voltage).  Stateful
+discrete components — the MCU platform, checkpointing strategies,
+governors — cannot be vectorized; instead they *declare their event
+boundaries* (threshold crossings, state-machine transitions) through the
+descriptors in this module, and the chunk is split at the first step
+whose voltage crosses one of them.  The boundary step itself, and every
+step for which no descriptor is available, runs through the unmodified
+reference path, so chunking changes the execution schedule but not the
+physics.
+
+Three descriptor families exist:
+
+* :class:`CapacitorPhysics` — published by a storage element
+  (:meth:`~repro.storage.base.StorageElement.chunk_physics`) whose
+  charge/energy updates the rail may inline: capacitor-law physics with
+  an overvoltage clamp, optional exponential leakage and an optional
+  fixed draw-overhead factor (supercap ESR).
+* :class:`LoadProfile` — published by a rail load
+  (:meth:`~repro.power.rail.RailLoad.load_profile`) that currently
+  behaves as a constant-power or resistive drain.  ``v_rising`` /
+  ``v_falling`` are the declared event boundaries: the chunk ends
+  *before* the first step whose rail voltage (as seen by this load)
+  satisfies ``v >= v_rising`` or ``v < v_falling``.
+* :class:`VoltageSourcePlan` / :class:`PowerSourcePlan` — published by an
+  injector (:meth:`~repro.power.rail.Injector.chunk_plan`): the source
+  waveform for the chunk precomputed as a plain list plus the scalar
+  parameters needed to turn it into charge/energy per step.
+
+All values are stored as plain Python floats/lists, not numpy arrays —
+the rail's inner loop is scalar Python, and float arithmetic on list
+elements is substantially faster than on numpy scalars.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+#: The simulation kernels a Simulator/ScenarioSpec may select.
+KERNELS = ("reference", "fast")
+
+
+def validate_kernel(kernel: str) -> str:
+    """Return ``kernel`` if valid, raise ``ValueError`` otherwise."""
+    if kernel not in KERNELS:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; choose one of {list(KERNELS)}"
+        )
+    return kernel
+
+
+def chunk_times(t0: float, dt: float, n: int) -> np.ndarray:
+    """The ``n`` step-start times from ``t0`` on the exact engine grid.
+
+    The engine derives time as ``t == steps * dt``; source plans must
+    evaluate waveforms at exactly those floats, because
+    ``fl(t0) + fl(i*dt)`` differs from ``fl((steps+i)*dt)`` by an ulp on
+    a quarter of all steps — enough to flip a threshold comparison onto
+    an adjacent step and desynchronize event timing between kernels.
+    When ``t0`` sits on the grid (the only case the engine produces),
+    the step index is recovered exactly; any off-grid ``t0`` falls back
+    to the additive form.
+    """
+    step0 = round(t0 / dt)
+    if step0 * dt == t0:
+        return np.arange(step0, step0 + n) * dt
+    return t0 + np.arange(n) * dt
+
+
+@dataclass
+class CapacitorPhysics:
+    """Inline-able storage physics: ``E = C V^2 / 2`` with a clamp.
+
+    Attributes:
+        capacitance: farads.
+        v_max: overvoltage clamp.
+        leak_tau: RC self-discharge time constant in seconds, or None for
+            an ideal element.
+        draw_overhead: multiplicative overhead applied to every energy
+            draw (1.0 for an ideal capacitor; ``1 + esr_loss_fraction``
+            for a supercapacitor).
+        read_voltage / write_voltage: accessors syncing the live storage
+            object with the chunk loop's local scalar state.
+    """
+
+    capacitance: float
+    v_max: float
+    leak_tau: Optional[float]
+    draw_overhead: float
+    read_voltage: Callable[[], float]
+    write_voltage: Callable[[float], None]
+
+    def leak_factor(self, dt: float) -> Optional[float]:
+        """Per-step exponential decay factor, or None when ideal."""
+        if self.leak_tau is None:
+            return None
+        return math.exp(-dt / self.leak_tau)
+
+
+@dataclass
+class LoadProfile:
+    """A load's declared behaviour between event boundaries.
+
+    Exactly one of ``power`` (constant-power drain) or ``resistance``
+    (resistive drain, ``P = V^2/R``) describes the demand.  ``commit`` is
+    called once with ``(steps, dt)`` after the chunk so the load can
+    account bulk side effects (state-residency metrics) for the steps it
+    was advanced through.
+    """
+
+    power: float = 0.0
+    resistance: Optional[float] = None
+    v_rising: float = math.inf
+    v_falling: float = -math.inf
+    commit: Optional[Callable[[int, float], None]] = None
+
+
+@dataclass
+class VoltageSourcePlan:
+    """A rectified voltage source precomputed over one chunk.
+
+    Per step ``i`` the charging current is
+    ``max(0, values[i] - v_rail - drop) / r_total`` — exactly the
+    rectifier equation with the per-chunk constants folded in.
+    """
+
+    values: List[float]
+    drop: float
+    r_total: float
+
+
+@dataclass
+class PowerSourcePlan:
+    """A power-domain source precomputed over one chunk.
+
+    ``values[i]`` is the available power at step ``i``; when ``converter``
+    is set it is passed through ``converter.output_power`` against the
+    live rail voltage each step (the converter is a pure function of
+    ``(p_in, v_in)``).
+    """
+
+    values: List[float]
+    converter: Optional[object] = None
+
+
+@dataclass
+class ChunkStats:
+    """Diagnostic counters a fast-kernel simulator accumulates."""
+
+    chunks: int = 0
+    chunked_steps: int = 0
+    fallback_steps: int = 0
+
+    def chunked_fraction(self) -> float:
+        """Fraction of all steps executed through the chunk path."""
+        total = self.chunked_steps + self.fallback_steps
+        if total == 0:
+            return 0.0
+        return self.chunked_steps / total

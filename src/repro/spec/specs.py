@@ -373,7 +373,7 @@ def _machine_config_fields() -> List[str]:
 
 
 #: Top-level scalar fields that sweeps may override by bare name.
-_SWEEPABLE_SCALARS = ("dt", "duration", "decimate")
+_SWEEPABLE_SCALARS = ("dt", "duration", "decimate", "kernel")
 
 
 @dataclass(frozen=True)
@@ -401,14 +401,21 @@ class ScenarioSpec:
     loads: Tuple[LoadSpec, ...] = ()
     decimate: int = 1
     stop_on_completion: bool = False
+    kernel: str = "reference"
 
     def __post_init__(self) -> None:
+        from repro.sim.kernel import validate_kernel
+
         if self.dt <= 0.0:
             raise SpecError(f"dt must be positive, got {self.dt!r}")
         if self.duration <= 0.0:
             raise SpecError(f"duration must be positive, got {self.duration!r}")
         if self.decimate < 1:
             raise SpecError(f"decimate must be >= 1, got {self.decimate!r}")
+        try:
+            validate_kernel(self.kernel)
+        except ValueError as error:
+            raise SpecError(str(error)) from error
         object.__setattr__(self, "harvesters", tuple(self.harvesters))
         object.__setattr__(self, "loads", tuple(self.loads))
 
@@ -419,7 +426,7 @@ class ScenarioSpec:
         from repro.core.system import EnergyDrivenSystem
         from repro.harvest.base import PowerHarvester, VoltageHarvester
 
-        system = EnergyDrivenSystem(dt=self.dt)
+        system = EnergyDrivenSystem(dt=self.dt, kernel=self.kernel)
         storage = create("storage", self.storage.kind, self.storage.params)
         system.set_storage(storage)
         for spec in self.harvesters:
@@ -464,8 +471,11 @@ class ScenarioSpec:
             )
             system.set_platform(platform)
             if self.stop_on_completion:
+                # Completion can only happen during ACTIVE execution,
+                # which is always per-step: safe to keep chunking.
                 system.stop_when(
-                    lambda t: platform.metrics.first_completion_time is not None
+                    lambda t: platform.metrics.first_completion_time is not None,
+                    chunk_safe=True,
                 )
         for load in self.loads:
             system.add_load(create("load", load.kind, load.params))
@@ -496,6 +506,8 @@ class ScenarioSpec:
             payload["decimate"] = self.decimate
         if self.stop_on_completion:
             payload["stop_on_completion"] = True
+        if self.kernel != "reference":
+            payload["kernel"] = self.kernel
         return payload
 
     @classmethod
@@ -503,7 +515,7 @@ class ScenarioSpec:
         _check_keys(
             payload,
             ["name", "dt", "duration", "storage", "harvesters", "platform",
-             "loads", "decimate", "stop_on_completion"],
+             "loads", "decimate", "stop_on_completion", "kernel"],
             "scenario spec",
         )
         if "storage" not in payload:
@@ -525,6 +537,7 @@ class ScenarioSpec:
             loads=tuple(LoadSpec.from_dict(l) for l in payload.get("loads", [])),
             decimate=payload.get("decimate", 1),
             stop_on_completion=payload.get("stop_on_completion", False),
+            kernel=payload.get("kernel", "reference"),
         )
 
     def to_json(self, indent: int = 2) -> str:

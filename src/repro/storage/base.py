@@ -7,9 +7,21 @@ element keeps the two views consistent with its own physics.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class StorageElement:
     """Abstract energy store attached to a supply rail."""
+
+    def chunk_physics(self) -> Optional["object"]:
+        """Inline-able physics for the fast kernel, or None.
+
+        Elements whose charge/energy updates reduce to capacitor-law
+        scalar arithmetic return a
+        :class:`~repro.sim.kernel.CapacitorPhysics`; everything else
+        returns None, which keeps the rail on per-step execution.
+        """
+        return None
 
     @property
     def voltage(self) -> float:

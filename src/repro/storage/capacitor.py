@@ -109,6 +109,38 @@ class Capacitor(StorageElement):
     def reset(self) -> None:
         self._v = self.v_initial
 
+    def chunk_physics(self):
+        """Fast-kernel physics descriptor (exact-type instances only).
+
+        Subclasses that override any charge/energy method must publish
+        their own descriptor (or None); gating on the exact type keeps an
+        unaware subclass from silently running the wrong physics.
+        """
+        if type(self) is not Capacitor:
+            return None
+        return self._capacitor_physics(draw_overhead=1.0)
+
+    def _capacitor_physics(self, draw_overhead: float):
+        from repro.sim.kernel import CapacitorPhysics
+
+        tau = (
+            self.leakage_resistance * self.capacitance
+            if self.leakage_resistance is not None
+            else None
+        )
+
+        def write(v: float) -> None:
+            self._v = v
+
+        return CapacitorPhysics(
+            capacitance=self.capacitance,
+            v_max=self.v_max,
+            leak_tau=tau,
+            draw_overhead=draw_overhead,
+            read_voltage=lambda: self._v,
+            write_voltage=write,
+        )
+
     def voltage_after_drawing(self, energy: float) -> float:
         """Voltage the capacitor would sit at after supplying ``energy``.
 

@@ -70,3 +70,11 @@ class Supercapacitor(Capacitor):
     def esr_loss_fraction(self) -> float:
         """Fractional ESR overhead applied to each draw (small, voltage-free)."""
         return 0.02
+
+    def chunk_physics(self):
+        """Capacitor physics plus the fixed ESR draw overhead."""
+        if type(self) is not Supercapacitor:
+            return None
+        return self._capacitor_physics(
+            draw_overhead=1.0 + self.esr_loss_fraction()
+        )

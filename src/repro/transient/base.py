@@ -19,6 +19,7 @@ consumption is drawn from the rail.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -27,6 +28,7 @@ from repro.mcu.clock import ClockPlan
 from repro.mcu.engine import ComputeEngine
 from repro.mcu.power_model import FRAM_TECH, SRAM_TECH, McuPowerModel
 from repro.power.rail import RailLoad
+from repro.sim.kernel import LoadProfile
 from repro.spec.registry import register
 
 
@@ -184,6 +186,20 @@ class Strategy:
 
     def on_sleep(self, platform: "TransientPlatform", t: float, v: float) -> None:
         """Called every step while SLEEPING."""
+
+    def sleep_wake_threshold(self, platform: "TransientPlatform") -> Optional[float]:
+        """The rail voltage at which :meth:`on_sleep` leaves SLEEP, if any.
+
+        The fast kernel's declared event boundary for the sleeping state:
+        returning a float asserts that, while ``v`` stays strictly below
+        it, :meth:`on_sleep` is a pure no-op.  Strategies whose
+        ``on_sleep`` is the base no-op wake never (``math.inf``); a
+        strategy with an overridden ``on_sleep`` and no declared
+        threshold returns None, which keeps its sleep per-step.
+        """
+        if type(self).on_sleep is Strategy.on_sleep:
+            return math.inf
+        return None
 
     def on_checkpoint_site(
         self, platform: "TransientPlatform", t: float, v: float
@@ -402,6 +418,56 @@ class TransientPlatform(RailLoad):
             energy = self.power_model.off_power * dt
             self.metrics.energy["off"] += energy
         return energy
+
+    def load_profile(self, t: float, v_rail: float) -> Optional[LoadProfile]:
+        """Fast-kernel profile for the quiescent states (OFF and SLEEP).
+
+        ACTIVE, SNAPSHOT and RESTORE involve per-step engine/operation
+        state and always run through :meth:`advance`; OFF and SLEEP are
+        constant drains whose exits are pure voltage thresholds — the
+        boot (``v >= v_por``), wake (strategy threshold) and brownout
+        (``v < v_min``) events that end a chunk.
+        """
+        if type(self).advance is not TransientPlatform.advance:
+            # A subclass with its own per-step physics must publish its
+            # own profiles; the base declarations would skip them.
+            return None
+        state = self.state
+        model = self.power_model
+        config = self.config
+        if state is PlatformState.OFF:
+            # Below v_min and between v_min and v_por both drain
+            # off_power; crossing v_por boots the device.
+            return LoadProfile(
+                power=model.off_power,
+                v_rising=config.v_por,
+                commit=self._chunk_commit("off", model.off_power),
+            )
+        if state is PlatformState.SLEEP:
+            if v_rail < config.v_min:
+                return None  # brownout due: handle it per-step
+            commit = self._chunk_commit("sleep", model.sleep_power)
+            if self.workload_done:
+                return LoadProfile(
+                    power=model.sleep_power, v_falling=config.v_min,
+                    commit=commit,
+                )
+            wake = self.strategy.sleep_wake_threshold(self)
+            if wake is None:
+                return None
+            return LoadProfile(
+                power=model.sleep_power, v_rising=wake,
+                v_falling=config.v_min, commit=commit,
+            )
+        return None
+
+    def _chunk_commit(self, key: str, power: float):
+        """Bulk metrics accounting for ``steps`` chunked quiescent steps."""
+        def commit(steps: int, dt: float) -> None:
+            if steps:
+                self.metrics.time_in_state[key] += steps * dt
+                self.metrics.energy[key] += steps * (power * dt)
+        return commit
 
     def reset(self) -> None:
         self.engine.reset()

@@ -144,3 +144,11 @@ class Hibernus(Strategy):
             platform.begin_restore()
         else:
             platform.cold_start()
+
+    def sleep_wake_threshold(self, platform: TransientPlatform):
+        # on_sleep is a pure no-op strictly below V_R (see above).  A
+        # subclass that overrides on_sleep changed that contract: it must
+        # declare its own threshold or stay per-step.
+        if type(self).on_sleep is not Hibernus.on_sleep:
+            return None
+        return self.v_restore

@@ -98,6 +98,14 @@ class HibernusPP(Strategy):
         else:
             platform.cold_start()
 
+    def sleep_wake_threshold(self, platform: TransientPlatform):
+        # V_R adapts only at wake/brownout events, never mid-sleep, so the
+        # present value is a valid chunk boundary.  Subclasses overriding
+        # on_sleep must declare their own.
+        if type(self).on_sleep is not HibernusPP.on_sleep:
+            return None
+        return self.v_restore
+
     def on_snapshot_complete(
         self, platform: TransientPlatform, t: float, v: float
     ) -> None:

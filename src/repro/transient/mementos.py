@@ -66,6 +66,11 @@ class Mementos(Strategy):
         if v >= self.v_operate:
             self._boot_or_restore(platform)
 
+    def sleep_wake_threshold(self, platform: TransientPlatform):
+        if type(self).on_sleep is not Mementos.on_sleep:
+            return None  # subclass changed sleep behaviour; stay per-step
+        return self.v_operate
+
     def on_checkpoint_site(
         self, platform: TransientPlatform, t: float, v: float
     ) -> None:

@@ -83,6 +83,11 @@ class NVProcessor(Strategy):
         else:
             platform.cold_start()
 
+    def sleep_wake_threshold(self, platform: TransientPlatform):
+        if type(self).on_sleep is not NVProcessor.on_sleep:
+            return None  # subclass changed sleep behaviour; stay per-step
+        return self.v_restore
+
     def on_power_fail(self, platform: TransientPlatform, t: float) -> None:
         self._flushed_this_excursion = False
 

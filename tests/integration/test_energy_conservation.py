@@ -1,0 +1,148 @@
+"""Energy-conservation property tests across the component catalog.
+
+The rail's bookkeeping must balance: every joule a harvester delivered
+into storage is either still stored, was consumed by a load, or leaked —
+harvested = ΔE_stored + consumed + leaked, within tolerance — for every
+registered harvester x storage x strategy combination that builds.
+
+Storage elements with internal loss mechanisms widen the balance by
+their documented loss channel: a battery's coulombic inefficiency eats
+up to ``(1 - charge_efficiency)`` of the harvested energy (the rail
+credits input energy, the store keeps less), and a supercapacitor's ESR
+dissipates ``esr_loss_fraction`` of every draw on top of what the load
+received.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.spec import ScenarioSpec, available
+from repro.spec.registry import create
+from repro.spec.specs import HarvesterSpec, PlatformSpec, StorageSpec
+
+#: Constructor parameters for components whose factories have required
+#: arguments (everything not listed builds from its defaults).
+HARVESTER_PARAMS = {
+    "constant-power": {"power": 1e-3},
+    "half-wave-sine-power": {"peak_power": 2e-3, "frequency": 8.0},
+    "sine-voltage": {"amplitude": 3.5, "frequency": 5.0},
+    "signal-generator": {"amplitude": 4.0, "frequency": 4.7,
+                         "rectified": True},
+    "square-wave-power": {"on_power": 1e-3, "period": 0.05},
+}
+
+STORAGE_PARAMS = {
+    "capacitor": {"capacitance": 47e-6, "v_max": 3.5},
+    "supercapacitor": {"capacitance": 100e-6, "v_max": 3.5},
+    "battery": {"capacity": 0.05, "soc_initial": 0.4},
+}
+
+#: Loss allowances per storage kind: (fraction of harvested, fraction of
+#: consumed) the balance may legitimately be short by.
+STORAGE_LOSS = {
+    "battery": (0.06, 0.0),      # 1 - charge_efficiency (0.95) + margin
+    "supercapacitor": (0.0, 0.03),  # esr_loss_fraction (0.02) + margin
+}
+
+RUN_STEPS = 1500
+DT = 1e-4
+
+
+def harvester_catalog():
+    for name in available("harvester"):
+        if name == "gated-power":
+            continue  # wraps another harvester; exercised in sim tests
+        yield name
+
+
+def storage_catalog():
+    for name in available("storage"):
+        if name in STORAGE_PARAMS or name == "decoupling":
+            yield name
+
+
+def strategy_catalog():
+    return available("strategy")
+
+
+def _build_system(harvester, storage, strategy, kernel):
+    spec_kwargs = dict(
+        name=f"energy-{harvester}-{storage}-{strategy}",
+        dt=DT,
+        duration=RUN_STEPS * DT,
+        storage=StorageSpec(storage, STORAGE_PARAMS.get(storage, {})),
+        harvesters=(
+            HarvesterSpec(harvester, HARVESTER_PARAMS.get(harvester, {})),
+        ),
+        kernel=kernel,
+    )
+    if strategy is not None:
+        spec_kwargs["platform"] = PlatformSpec(
+            strategy=strategy,
+            engine="synthetic",
+            engine_params={"total_cycles": 100_000},
+        )
+    return ScenarioSpec(**spec_kwargs).build()
+
+
+def assert_energy_balances(system, storage_kind):
+    rail = system.rail
+    storage = rail.storage
+    stats = rail.stats
+    initial = type(storage)(**{
+        **STORAGE_PARAMS.get(storage_kind, {}),
+    }) if storage_kind in STORAGE_PARAMS else None
+    # ΔE from the element's own initial state (reset-equivalent).
+    if initial is not None:
+        e_initial = initial.stored_energy
+    else:
+        e_initial = 0.0
+    delta = storage.stored_energy - e_initial
+    balance = stats.harvested - (delta + stats.consumed + stats.leaked)
+    harvested_loss, consumed_loss = STORAGE_LOSS.get(storage_kind, (0.0, 0.0))
+    allowed = (
+        harvested_loss * stats.harvested
+        + consumed_loss * stats.consumed
+        + 1e-9 * max(1.0, stats.harvested)
+    )
+    assert -1e-9 <= balance <= allowed, (
+        f"energy imbalance {balance:.3e} J (allowed {allowed:.3e}): "
+        f"harvested {stats.harvested:.3e}, delta {delta:.3e}, "
+        f"consumed {stats.consumed:.3e}, leaked {stats.leaked:.3e}"
+    )
+
+
+@pytest.mark.parametrize("harvester", sorted(harvester_catalog()))
+@pytest.mark.parametrize("storage", sorted(storage_catalog()))
+def test_energy_conserved_without_platform(harvester, storage):
+    try:
+        system = _build_system(harvester, storage, None, "reference")
+    except ReproError:
+        pytest.skip(f"{harvester}+{storage} does not build")
+    system.run(RUN_STEPS * DT)
+    assert_energy_balances(system, storage)
+
+
+@pytest.mark.parametrize("strategy", sorted(strategy_catalog()))
+@pytest.mark.parametrize("kernel", ["reference", "fast"])
+def test_energy_conserved_with_every_strategy(strategy, kernel):
+    # One representative source/storage pair per strategy, both kernels:
+    # the platform path exercises snapshot/restore/brownout accounting.
+    try:
+        system = _build_system("signal-generator", "capacitor", strategy,
+                               kernel)
+    except ReproError:
+        pytest.skip(f"strategy {strategy} does not build here")
+    system.run(RUN_STEPS * DT)
+    assert_energy_balances(system, "capacitor")
+
+
+@pytest.mark.parametrize("storage", sorted(storage_catalog()))
+def test_energy_conserved_under_fast_kernel(storage):
+    try:
+        system = _build_system("signal-generator", storage, "hibernus",
+                               "fast")
+    except ReproError:
+        pytest.skip(f"{storage} with hibernus does not build")
+    system.run(RUN_STEPS * DT)
+    assert_energy_balances(system, storage)

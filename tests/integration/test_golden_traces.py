@@ -1,0 +1,108 @@
+"""Golden-trace regression tests for the simulation kernels.
+
+Compact reference ``vcc`` traces for the paper presets are checked in
+under ``tests/data/golden/``.  Every run must reproduce them:
+
+* the **reference kernel** exactly — bit-for-bit float equality, since
+  JSON floats round-trip exactly and the kernel is deterministic;
+* the **fast kernel** within ``atol=1e-9`` — its vectorized source
+  evaluation (numpy sin vs libm sin) may differ by an ulp, which the
+  contractive rail dynamics keep at the 1e-13 level.
+
+Regenerate after an *intentional* physics change with::
+
+    PYTHONPATH=src:. python tests/integration/test_golden_traces.py --regen
+
+and say why in the commit message — these files pin the simulator's
+physics, not an implementation detail.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.spec.presets import preset
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "data" / "golden"
+
+#: preset name -> (overrides, trace decimation for the stored samples).
+GOLDEN_CASES = {
+    "fig7": ({}, 50),
+    "crossover-hibernus": ({}, 25),
+    "crossover-quickrecall": ({}, 25),
+}
+
+FAST_ATOL = 1e-9
+
+
+def _compute(name: str, overrides: dict, decimate: int, kernel: str) -> dict:
+    spec = preset(name).with_overrides(dict(overrides, kernel=kernel))
+    result = spec.run()
+    vcc = result.vcc()
+    return {
+        "preset": name,
+        "overrides": overrides,
+        "decimate": decimate,
+        "kernel_tolerance": FAST_ATOL,
+        "t_end": result.t_end,
+        "n_steps": len(vcc),
+        "values": [float(v) for v in vcc.values[::decimate]],
+    }
+
+
+def _golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+def _load(name: str) -> dict:
+    return json.loads(_golden_path(name).read_text(encoding="utf-8"))
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_CASES))
+def test_reference_kernel_reproduces_golden_exactly(name):
+    overrides, decimate = GOLDEN_CASES[name]
+    golden = _load(name)
+    fresh = _compute(name, overrides, decimate, kernel="reference")
+    assert fresh["t_end"] == golden["t_end"]
+    assert fresh["n_steps"] == golden["n_steps"]
+    assert fresh["values"] == golden["values"], (
+        "reference kernel no longer reproduces the golden vcc trace "
+        f"for {name} bit-for-bit"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_CASES))
+def test_fast_kernel_matches_golden_within_tolerance(name):
+    overrides, decimate = GOLDEN_CASES[name]
+    golden = _load(name)
+    fresh = _compute(name, overrides, decimate, kernel="fast")
+    # Event timing (stop-on-completion, state transitions) must agree
+    # exactly; only the voltage samples carry the ulp-level tolerance.
+    assert fresh["t_end"] == golden["t_end"]
+    assert fresh["n_steps"] == golden["n_steps"]
+    diff = np.max(np.abs(np.asarray(fresh["values"])
+                         - np.asarray(golden["values"])))
+    assert diff <= FAST_ATOL, (
+        f"fast kernel diverged from the {name} golden trace: "
+        f"max |dV| = {diff:.3e}"
+    )
+
+
+def regenerate() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name, (overrides, decimate) in GOLDEN_CASES.items():
+        payload = _compute(name, overrides, decimate, kernel="reference")
+        path = _golden_path(name)
+        path.write_text(json.dumps(payload) + "\n", encoding="utf-8")
+        print(f"wrote {path} ({len(payload['values'])} samples)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)

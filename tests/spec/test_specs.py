@@ -309,3 +309,20 @@ def test_sweep_expansion_order_and_size():
 def test_sweep_rejects_empty_dimension():
     with pytest.raises(SpecError):
         small_fig7().sweep(capacitance=[])
+
+
+def test_kernel_field_validates_and_roundtrips():
+    with pytest.raises(SpecError):
+        ScenarioSpec(kernel="warp")
+    spec = small_fig7().with_override("kernel", "fast")
+    assert spec.kernel == "fast"
+    assert spec.to_dict()["kernel"] == "fast"
+    assert ScenarioSpec.from_json(spec.to_json()) == spec
+    # The default kernel stays out of the serialized form.
+    assert "kernel" not in small_fig7().to_dict()
+
+
+def test_kernel_field_reaches_the_simulator():
+    spec = small_fig7().with_override("kernel", "fast")
+    assert spec.build().simulator.kernel == "fast"
+    assert small_fig7().build().simulator.kernel == "reference"

@@ -45,6 +45,44 @@ def test_two_by_two_grid_serial_equals_parallel():
         assert point.metrics["completed"] is True
 
 
+@pytest.mark.parametrize("kernel", ["reference", "fast"])
+def test_grid_serial_equals_parallel_under_both_kernels(kernel):
+    """The kernel choice must not disturb sweep determinism: the same
+    grid run serially and through the process pool yields bit-identical
+    rows under the reference and the fast kernel alike."""
+    base = small_base().with_override("kernel", kernel)
+    runner = SweepRunner(
+        base, {"capacitance": [22e-6, 47e-6], "frequency": [4.7, 9.4]}
+    )
+    parallel = runner.run(parallel=True)
+    serial = runner.run(parallel=False)
+    assert [p.metrics for p in parallel] == [p.metrics for p in serial]
+    for point in parallel:
+        assert point.spec.kernel == kernel
+        assert point.metrics["error"] is None
+
+
+def test_kernel_is_sweepable():
+    """`kernel` is a grid axis: one sweep can compare both kernels."""
+    result = SweepRunner(
+        small_base(), {"kernel": ["reference", "fast"]}
+    ).run(parallel=False)
+    assert [p.overrides["kernel"] for p in result] == ["reference", "fast"]
+    ref_row, fast_row = result.points
+    assert ref_row.metrics["error"] is None
+    assert fast_row.metrics["error"] is None
+    # Scalar summaries agree to the fast kernel's trace tolerance.
+    assert fast_row.metrics["vcc_min"] == pytest.approx(
+        ref_row.metrics["vcc_min"], abs=1e-9
+    )
+    assert fast_row.metrics["vcc_max"] == pytest.approx(
+        ref_row.metrics["vcc_max"], abs=1e-9
+    )
+    assert fast_row.metrics["completion_time"] == ref_row.metrics[
+        "completion_time"
+    ]
+
+
 def test_infeasible_point_reported_not_raised():
     # 4.7 uF cannot bank the Eq. (4) snapshot energy for a full-RAM
     # Hibernus snapshot: the point must come back as an error row.

@@ -47,6 +47,30 @@ def test_unknown_command_rejected():
         main(["frobnicate"])
 
 
+def test_fig7_command_fast_kernel(capsys):
+    code = main(["fig7", "--fft-size", "64", "--duration", "0.6",
+                 "--kernel", "fast"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "checksum ok" in out
+
+
+def test_sweep_command_kernel_axis(capsys):
+    code = main([
+        "sweep", "--serial", "--duration", "0.4",
+        "--set", "kernel=reference,fast",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "kernel" in out
+    assert "reference" in out and "fast" in out
+
+
+def test_run_command_rejects_unknown_kernel():
+    with pytest.raises(SystemExit):
+        main(["fig7", "--kernel", "warp"])
+
+
 def test_spec_command_lists_presets(capsys):
     assert main(["spec"]) == 0
     out = capsys.readouterr().out
