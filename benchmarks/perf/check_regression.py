@@ -1,14 +1,18 @@
-"""Fail CI when the fast kernel regresses against the committed baseline.
+"""Fail CI when the perf harnesses regress against committed baselines.
 
 Runs the kernel benchmarks fresh and compares *speedup ratios* (fast vs
 reference on the same machine) against the committed
 ``BENCH_kernel.json``.  Ratios are hardware-independent to first order,
 so a >20% drop means the fast path itself got slower, not that CI got a
-noisier runner::
+noisier runner.  The sweep-throughput benchmarks (``perf_sweep.py``)
+run in the same gate: their machine-independent invariants — a resumed
+sweep computes zero points and beats serial recomputation by the
+documented floor — are enforced inside ``perf_sweep.run_benchmarks``::
 
     PYTHONPATH=src python benchmarks/perf/check_regression.py
     PYTHONPATH=src python benchmarks/perf/check_regression.py \
-        --baseline BENCH_kernel.json --max-regression 0.2
+        --baseline BENCH_kernel.json --max-regression 0.2 \
+        --sweep-output BENCH_sweep.fresh.json
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ import sys
 from pathlib import Path
 
 from perf_kernel import run_benchmarks
+from perf_sweep import format_summary, run_benchmarks as run_sweep_benchmarks
 
 
 #: Cases whose baseline reference wall time is below this are
@@ -63,6 +68,13 @@ def main(argv=None) -> int:
     parser.add_argument("--output", type=Path, default=None,
                         help="also write the fresh results to this path "
                              "(kept separate from the baseline)")
+    parser.add_argument("--sweep-baseline", type=Path,
+                        default=Path(__file__).resolve().parents[2]
+                        / "BENCH_sweep.json")
+    parser.add_argument("--sweep-output", type=Path, default=None,
+                        help="write the fresh sweep results to this path")
+    parser.add_argument("--skip-sweep", action="store_true",
+                        help="gate only the kernel benchmarks")
     args = parser.parse_args(argv)
     baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
     fresh = run_benchmarks(repeats=args.repeats)
@@ -84,6 +96,29 @@ def main(argv=None) -> int:
             else "no baseline yet"
         )
         print(f"  {name}: {case['speedup']:.2f}x ({baseline_note})")
+    if args.skip_sweep:
+        return 0
+    # The sweep harness raises on its own (machine-independent) gates:
+    # zero recomputed points on resume, cached >= the documented floor.
+    try:
+        sweep_fresh = run_sweep_benchmarks(repeats=args.repeats)
+    except AssertionError as error:
+        print(f"sweep perf regression detected:\n  - {error}")
+        return 1
+    if args.sweep_output is not None:
+        args.sweep_output.write_text(
+            json.dumps(sweep_fresh, indent=2) + "\n", encoding="utf-8"
+        )
+    print("sweep perf OK: resume invariants hold")
+    print(format_summary(sweep_fresh))
+    if args.sweep_baseline.exists():
+        sweep_baseline = json.loads(
+            args.sweep_baseline.read_text(encoding="utf-8")
+        )
+        base_cached = sweep_baseline["modes"]["cached"]["speedup"]
+        fresh_cached = sweep_fresh["modes"]["cached"]["speedup"]
+        print(f"  cached speedup: {fresh_cached:.0f}x "
+              f"(baseline {base_cached:.0f}x)")
     return 0
 
 

@@ -1,0 +1,170 @@
+"""Sweep-throughput harness: serial vs process-pool vs resumed-cached.
+
+Measures points/sec through the results pipeline on a fig7 design grid
+in three modes — in-process serial, process-pool parallel, and a fully
+cached resume against a pre-populated JSONL store — and writes the
+results to ``BENCH_sweep.json``::
+
+    PYTHONPATH=src python benchmarks/perf/perf_sweep.py
+    PYTHONPATH=src python benchmarks/perf/perf_sweep.py --repeats 5 \
+        --output BENCH_sweep.json
+
+The committed ``BENCH_sweep.json`` at the repo root is the baseline the
+CI perf job records against.  Two properties are *gated* on every fresh
+run (they are machine-independent by construction):
+
+* a resumed sweep computes zero points (pure cache hits), and
+* the cached mode beats serial recomputation by at least
+  ``CACHED_SPEEDUP_FLOOR`` — the point of persisting results at all.
+
+Pool-vs-serial speedup is recorded for context but not gated: it is a
+function of the runner's core count, not of this code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.results.store import ResultStore
+from repro.spec.presets import preset
+from repro.spec.runner import SweepRunner
+
+#: A resumed (all-cached) sweep must be at least this much faster than
+#: serial recomputation.
+CACHED_SPEEDUP_FLOOR = 10.0
+
+#: The benchmark grid: 8 points over the fig7 scenario, sized so serial
+#: execution takes seconds (stable ratios) but CI stays fast.
+GRID = {
+    "capacitance": [22e-6, 47e-6, 100e-6, 220e-6],
+    "frequency": [4.7, 9.4],
+}
+DURATION = 1.5
+
+
+def _best_of(repeats, fn):
+    best_wall = None
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn()
+        wall = time.perf_counter() - t0
+        if best_wall is None or wall < best_wall:
+            best_wall, result = wall, value
+    return best_wall, result
+
+
+def _runner() -> SweepRunner:
+    base = preset("fig7").with_overrides({"duration": DURATION})
+    return SweepRunner(base, GRID)
+
+
+def run_benchmarks(repeats: int = 3) -> dict:
+    """Time the three sweep modes; returns the BENCH_sweep payload."""
+    runner = _runner()
+    points = len(runner)
+
+    print(f"  timing serial ({points} points) ...", flush=True)
+    serial_wall, serial_result = _best_of(
+        repeats, lambda: runner.run(parallel=False)
+    )
+
+    print("  timing process pool ...", flush=True)
+    pool_wall, pool_result = _best_of(
+        repeats, lambda: runner.run(parallel=True)
+    )
+    if [p.metrics for p in pool_result] != [p.metrics for p in serial_result]:
+        raise AssertionError("pool rows diverged from serial rows")
+
+    print("  timing resumed-cached ...", flush=True)
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = os.path.join(tmp, "sweep.jsonl")
+        runner.run(parallel=False, store=ResultStore(store_path))
+
+        def resumed():
+            return runner.run(
+                parallel=False, store=ResultStore(store_path), resume=True
+            )
+
+        cached_wall, cached_result = _best_of(repeats, resumed)
+    if cached_result.computed != 0 or cached_result.cached != points:
+        raise AssertionError(
+            f"resume recomputed {cached_result.computed} of {points} points; "
+            "expected pure cache hits"
+        )
+    if [p.metrics for p in cached_result] != [p.metrics for p in serial_result]:
+        raise AssertionError("cached rows diverged from computed rows")
+
+    cached_speedup = serial_wall / cached_wall
+    if cached_speedup < CACHED_SPEEDUP_FLOOR:
+        raise AssertionError(
+            f"resumed-cached speedup {cached_speedup:.1f}x fell below the "
+            f"{CACHED_SPEEDUP_FLOOR:.0f}x floor"
+        )
+
+    def mode(wall, **extra):
+        payload = {
+            "wall_s": round(wall, 4),
+            "points_per_s": round(points / wall, 2),
+        }
+        payload.update(extra)
+        return payload
+
+    return {
+        "schema": 1,
+        "python": platform.python_version(),
+        "repeats": repeats,
+        "grid_points": points,
+        "duration_s": DURATION,
+        "cached_speedup_floor": CACHED_SPEEDUP_FLOOR,
+        "modes": {
+            "serial": mode(serial_wall),
+            "pool": mode(
+                pool_wall, speedup=round(serial_wall / pool_wall, 2)
+            ),
+            "cached": mode(
+                cached_wall, speedup=round(cached_speedup, 2)
+            ),
+        },
+    }
+
+
+def format_summary(payload: dict) -> str:
+    lines = [f"sweep throughput ({payload['grid_points']} points):"]
+    for name, case in payload["modes"].items():
+        speedup = (
+            f" ({case['speedup']:.2f}x vs serial)" if "speedup" in case else ""
+        )
+        lines.append(
+            f"  {name}: {case['wall_s']:.3f} s, "
+            f"{case['points_per_s']:.1f} points/s{speedup}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per mode (best-of)")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parents[2]
+                        / "BENCH_sweep.json")
+    args = parser.parse_args(argv)
+    print("sweep benchmarks (best of %d):" % args.repeats, flush=True)
+    payload = run_benchmarks(repeats=args.repeats)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n",
+                           encoding="utf-8")
+    print(f"wrote {args.output}")
+    print(format_summary(payload))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

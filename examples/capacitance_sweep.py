@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Design-space sweep, declaratively: storage size vs supply frequency.
+"""Design-space sweep, declaratively — now persistent and resumable.
 
 The paper's design flow asks "how much storage does this strategy need
 under this supply?" — a question that is a parameter grid, not a single
@@ -7,22 +7,30 @@ run.  With the spec layer that grid is three lines: take the Fig. 7
 scenario, sweep ``capacitance`` x ``frequency``, and let the
 :class:`SweepRunner` fan the points out across processes.
 
-Two things to notice in the output:
+Since the results-pipeline refactor the sweep lands in a
+:class:`~repro.results.ResultStore` — a JSONL file keyed by spec hash —
+so the design study survives the process:
 
-* the Eq. (4) hibernate threshold recalibrates per point, because the
-  platform's ``rail_capacitance`` follows the swept storage element;
+* re-running this script computes *nothing* (every point resumes from
+  the store; try interrupting the first run halfway and re-running);
 * infeasible corners (storage too small for the snapshot energy budget)
-  come back as rows with an ``error`` column, not crashes — the sweep
-  maps the feasible region.
+  are ``error`` rows, not crashes — the sweep maps the feasible region;
+* the follow-up questions are store queries (``best``,
+  ``pareto_from_store``), not bespoke loops, and
+  ``python -m repro.cli results capacitance_sweep.jsonl`` reopens the
+  same table any time.
 
 Run:  python examples/capacitance_sweep.py
 """
 
-from repro import SweepRunner
+from repro import ResultStore, SweepRunner
+from repro.analysis.pareto import pareto_from_store
 from repro.spec import fig7_spec
 
+STORE_PATH = "capacitance_sweep.jsonl"
 
-def main() -> None:
+
+def main(store_path: str = STORE_PATH) -> None:
     base = fig7_spec(fft_size=256, duration=0.8)
     runner = SweepRunner(
         base,
@@ -31,14 +39,17 @@ def main() -> None:
             "frequency": [4.7, 9.4],
         },
     )
-    result = runner.run(parallel=True)
+    store = ResultStore(store_path)
+    result = runner.run(parallel=True, store=store, resume=True)
 
-    print(f"sweep: {base.name}, {len(runner)} points")
+    print(f"sweep: {base.name}, {len(runner)} points "
+          f"({result.computed} computed, {result.cached} resumed from "
+          f"{store_path})")
     print(result.format())
 
-    feasible = [p for p in result if p.metrics["error"] is None]
-    completed = [p for p in feasible if p.metrics["completed"]]
-    print(f"\nfeasible points: {len(feasible)}/{len(result)}, "
+    feasible = store.ok()
+    completed = store.select(lambda r: r.ok and r["completed"])
+    print(f"\nfeasible points: {len(feasible)}/{len(store)}, "
           f"completed: {len(completed)}")
     if not completed:
         print("no grid point completed the workload — widen the grid or "
@@ -46,13 +57,17 @@ def main() -> None:
         return
     # Only completed runs compete: an interrupted run consumes less energy
     # precisely because it did less of the work.
-    best = min(completed, key=lambda p: p.metrics["energy_total"])
+    best = min(completed, key=lambda r: r["energy_total"])
     print(
         "least energy to completion: "
-        f"C={best.overrides['capacitance'] * 1e6:.1f} uF at "
-        f"{best.overrides['frequency']} Hz "
-        f"({best.metrics['energy_total'] * 1e6:.0f} uJ)"
+        f"C={best['capacitance'] * 1e6:.1f} uF at "
+        f"{best['frequency']} Hz "
+        f"({best['energy_total'] * 1e6:.0f} uJ)"
     )
+    frontier = pareto_from_store(store, "energy_total", "availability")
+    print("energy/availability Pareto frontier: "
+          + ", ".join(f"C={r['capacitance'] * 1e6:.1f}uF@{r['frequency']}Hz"
+                      for r in frontier))
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ from repro.harvest.solar import PhotovoltaicHarvester
 from repro.harvest.synthetic import SquareWavePowerHarvester
 from repro.mcu.engine import SyntheticEngine
 from repro.mcu.power_model import MSP430_FRAM_MODEL, MSP430_SRAM_MODEL
+from repro.results import ResultStore
 from repro.transient.base import NullStrategy
 from repro.transient.comparison import (
     COMPARISON_HEADERS,
@@ -79,6 +80,9 @@ def main() -> None:
             full_state_words=17, register_state_words=17,
         )
 
+    # Every run lands in a ResultStore — the same typed rows a sweep
+    # produces, so the comparison persists/merges like any other study.
+    store = ResultStore()
     results = compare_strategies(
         scenario,
         [
@@ -87,11 +91,16 @@ def main() -> None:
             ("quickrecall", QuickRecall, engine_fram, MSP430_FRAM_MODEL),
             ("nvp", NVProcessor, engine, MSP430_SRAM_MODEL),
         ],
+        store=store,
     )
     print("\n3. Battery-free option (Fig. 4 architecture), 22 uF only:")
     print(format_table(COMPARISON_HEADERS, [r.row() for r in results.values()]))
     print(f"   fastest completion: {winner_by(results, 'completion_time')}; "
           f"least overhead: {winner_by(results, 'energy_overhead')}")
+    completed = store.select(lambda r: r.ok and r["completed"])
+    cheapest = min(completed, key=lambda r: r["energy_overhead"])
+    print(f"   (store query agrees: {cheapest['strategy']} spends "
+          f"{cheapest['energy_overhead'] * 1e6:.1f} uJ on checkpointing)")
 
     # ---- 4. where each lands on Fig. 2 ---------------------------------
     neutral = SystemDescriptor(

@@ -112,6 +112,14 @@ from repro.spec import (
     SweepRunner,
     register,
 )
+from repro.results import (
+    ResultStore,
+    RunResult,
+    metric_columns,
+    register_metric,
+    result_columns,
+    spec_hash,
+)
 
 __version__ = "1.0.0"
 
@@ -192,6 +200,13 @@ __all__ = [
     "SweepRunner",
     "SweepResult",
     "register",
+    # results
+    "RunResult",
+    "ResultStore",
+    "register_metric",
+    "metric_columns",
+    "result_columns",
+    "spec_hash",
     # core
     "EnergyDrivenSystem",
     "SystemDescriptor",

@@ -1,10 +1,22 @@
-"""Empirical crossover finding for the Eq. (5) experiment."""
+"""Empirical crossover finding for the Eq. (5) experiment.
+
+:func:`find_crossover` is the numeric core over bare curves;
+:func:`crossover_from_store` lifts it onto the results pipeline — it
+selects two series out of a :class:`~repro.results.store.ResultStore`
+by a grouping column (typically the scenario ``name``), aligns them on
+a shared x column and interpolates the crossing, which is how the CLI's
+``crossover`` experiment runs since the pipeline refactor.
+"""
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Any, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.results.run_result import RunResult
+    from repro.results.store import ResultStore
 
 
 def find_crossover(
@@ -39,3 +51,53 @@ def find_crossover(
             frac = abs(d0) / (abs(d0) + abs(d1))
             return float(xs[i - 1] + frac * (xs[i] - xs[i - 1]))
     return None
+
+
+def series_from_store(
+    store: "ResultStore", x: str, y: str, **filters: Any
+) -> Tuple[List[float], List[float], List["RunResult"]]:
+    """One (xs, ys, rows) series out of a store, sorted by ascending x.
+
+    Rows are selected by column-equality ``filters`` (e.g.
+    ``name="crossover-hibernus"``); rows missing either column — failed
+    points — are dropped, so an infeasible corner shortens the series
+    instead of poisoning the interpolation.
+    """
+    rows = [
+        result
+        for result in store.select(**filters)
+        if result.get(x) is not None and result.get(y) is not None
+    ]
+    rows.sort(key=lambda result: float(result[x]))
+    return (
+        [float(result[x]) for result in rows],
+        [float(result[y]) for result in rows],
+        rows,
+    )
+
+
+def crossover_from_store(
+    store: "ResultStore",
+    x: str,
+    y: str,
+    group: str,
+    a: Any,
+    b: Any,
+) -> Optional[float]:
+    """The empirical crossover between two stored sweep series.
+
+    Series ``a`` and ``b`` are the rows whose ``group`` column equals
+    each value (typically ``group="name"`` distinguishing the two base
+    scenarios of an Eq. (5) experiment).  Both series must cover the same
+    x grid — a point that failed in one series is excluded from both.
+    """
+    xs_a, ys_a, _ = series_from_store(store, x, y, **{group: a})
+    xs_b, ys_b, _ = series_from_store(store, x, y, **{group: b})
+    shared = sorted(set(xs_a) & set(xs_b))
+    if len(shared) < 2:
+        return None
+    map_a = dict(zip(xs_a, ys_a))
+    map_b = dict(zip(xs_b, ys_b))
+    return find_crossover(
+        shared, [map_a[v] for v in shared], [map_b[v] for v in shared]
+    )

@@ -1,10 +1,21 @@
-"""Generic Pareto-frontier extraction over (cost, benefit) pairs."""
+"""Pareto-frontier extraction over (cost, benefit) pairs.
+
+Two entry points: :func:`pareto_points` is the numeric core over bare
+sequences; :func:`pareto_from_store` runs the same dominance rule over a
+:class:`~repro.results.store.ResultStore` and hands back the
+non-dominated :class:`RunResult` rows themselves, so downstream tools
+keep the full metric row (and spec hash) of every frontier design.
+"""
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.results.run_result import RunResult
+    from repro.results.store import ResultStore
 
 
 def pareto_points(
@@ -24,4 +35,42 @@ def pareto_points(
         if benefit > best:
             frontier.append((cost, benefit))
             best = benefit
+    return frontier
+
+
+def pareto_from_store(
+    store: "ResultStore",
+    cost: str,
+    benefit: str,
+    *,
+    maximize_benefit: bool = True,
+) -> List["RunResult"]:
+    """The store rows on the (cost, benefit) Pareto frontier.
+
+    Columns resolve like :meth:`RunResult.__getitem__` (overrides first,
+    then metrics); rows missing either column — failed points, or
+    scenarios a contributing extractor marked not-applicable — are
+    excluded rather than treated as zero.  ``maximize_benefit=False``
+    flips the benefit axis (minimise both), e.g. energy vs completion
+    time.  Dominance matches :func:`pareto_points` exactly.
+    """
+    candidates = [
+        result for result in store
+        if result.get(cost) is not None and result.get(benefit) is not None
+    ]
+    if not candidates:
+        raise ConfigurationError(
+            f"no stored result records both {cost!r} and {benefit!r}"
+        )
+    sign = 1.0 if maximize_benefit else -1.0
+    ordered = sorted(
+        candidates, key=lambda r: (float(r[cost]), -sign * float(r[benefit]))
+    )
+    frontier: List["RunResult"] = []
+    best = float("-inf")
+    for result in ordered:
+        value = sign * float(result[benefit])
+        if value > best:
+            frontier.append(result)
+            best = value
     return frontier

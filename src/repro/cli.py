@@ -8,24 +8,34 @@
     python -m repro.cli spec fig7 > fig7.json
     python -m repro.cli run fig7.json
     python -m repro.cli sweep --set capacitance=22e-6,47e-6 --set frequency=4.7,9.4
+    python -m repro.cli sweep --set frequency=2,10,40 --output sweep.jsonl --resume
+    python -m repro.cli results sweep.jsonl --best energy_total
     python -m repro.cli components
 
 The figure subcommands run the reproduction scenarios and print the same
 series the paper's figures show.  The generic ``run``/``sweep`` commands
 drive any declarative :class:`~repro.spec.ScenarioSpec` — dump a starting
 point with ``spec``, edit the JSON, and feed it back.  ``sweep`` expands a
-parameter grid and executes the points in parallel across processes.
+parameter grid and executes the points in parallel across processes;
+``--output`` persists every point to a JSONL
+:class:`~repro.results.ResultStore` and ``--resume`` recomputes only the
+points the store does not already hold.  ``results`` queries a store
+after the fact: tabulate, merge shards, pick bests, extract Pareto
+frontiers.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
-from repro.analysis.crossover import find_crossover
+from repro.analysis.crossover import crossover_from_store, series_from_store
+from repro.analysis.pareto import pareto_from_store
 from repro.analysis.report import format_table, print_section
 from repro.core.metrics import RunReport
+from repro.results import ResultStore, RunResult
 from repro.core.taxonomy import classify, exemplars
 from repro.errors import ReproError
 from repro.harvest.solar import PhotovoltaicHarvester
@@ -57,6 +67,7 @@ def cmd_list(_: argparse.Namespace) -> int:
         ["spec", "dump a preset scenario spec as JSON"],
         ["run", "run a scenario spec from a JSON file"],
         ["sweep", "expand a parameter grid and run it in parallel"],
+        ["results", "query a persisted sweep result store"],
         ["components", "list the registered spec components"],
     ]
     print(format_table(["command", "experiment"], rows))
@@ -154,36 +165,56 @@ def cmd_crossover(args: argparse.Namespace) -> int:
     """Eq. 5 sweep over the given interruption frequencies.
 
     Two frequency sweeps (one per strategy) run through the
-    :class:`SweepRunner`, in parallel across processes unless --serial.
+    :class:`SweepRunner` into one :class:`ResultStore` — persistent
+    (and resumable) with ``--output`` — and the table plus the
+    interpolated crossover are store queries.
     """
     grid = {"frequency": [float(f) for f in args.frequencies]}
-    results = {}
+    store = ResultStore(args.output)
+    wanted = set()
     for strategy in ("hibernus", "quickrecall"):
         base = crossover_spec(strategy)
         if args.kernel is not None:
             base = base.with_override("kernel", args.kernel)
-        results[strategy] = SweepRunner(base, grid).run(
-            parallel=not args.serial
-        ).points
+        runner = SweepRunner(base, grid)
+        runner.run(
+            parallel=not args.serial,
+            store=store,
+            resume=args.output is not None,
+        )
+        wanted.update(runner.hashes)
+    # Query through a view holding only THIS invocation's points: a
+    # reused --output store may also hold other kernels/frequencies
+    # under the same scenario names.
+    view = ResultStore()
+    for point_hash in wanted:
+        if store.get(point_hash) is not None:
+            view.add(store.get(point_hash))
+    series = {
+        strategy: dict(zip(*series_from_store(
+            view, "frequency", "energy_total",
+            name=f"crossover-{strategy}",
+        )[:2]))
+        for strategy in ("hibernus", "quickrecall")
+    }
     rows = []
-    valid_f, valid_hib, valid_qr = [], [], []
-    for i, frequency in enumerate(grid["frequency"]):
-        hib = results["hibernus"][i].metrics
-        qr = results["quickrecall"][i].metrics
-        error = hib["error"] or qr["error"]
-        if error:
-            rows.append([frequency, "-", "-", f"error: {error}"])
+    for frequency in grid["frequency"]:
+        e_hib = series["hibernus"].get(frequency)
+        e_qr = series["quickrecall"].get(frequency)
+        if e_hib is None or e_qr is None:
+            errors = [
+                r.error
+                for r in view.select(frequency=frequency)
+                if r.error is not None
+            ]
+            rows.append([frequency, "-", "-",
+                         f"error: {errors[0]}" if errors else "incomplete"])
             continue
-        e_hib, e_qr = hib["energy_total"], qr["energy_total"]
         rows.append([frequency, e_hib * 1e3, e_qr * 1e3,
                      "hibernus" if e_hib < e_qr else "quickrecall"])
-        valid_f.append(frequency)
-        valid_hib.append(e_hib * 1e3)
-        valid_qr.append(e_qr * 1e3)
-    crossover = (
-        find_crossover(valid_f, valid_hib, valid_qr)
-        if len(valid_f) >= 2
-        else None
+    crossover = crossover_from_store(
+        view, "frequency", "energy_total",
+        "name", "crossover-hibernus", "crossover-quickrecall",
     )
     print_section(
         "Eq. (5): energy to complete 4 M cycles",
@@ -223,8 +254,17 @@ def cmd_run(args: argparse.Namespace) -> int:
     spec = ScenarioSpec.load(args.spec)
     if args.kernel is not None:
         spec = spec.with_override("kernel", args.kernel)
-    result = spec.run(duration=args.duration)
+    if args.duration is not None:
+        spec = spec.with_override("duration", args.duration)
+    result = spec.run()
     _print_run_summary(spec, result)
+    if args.output is not None:
+        store = ResultStore(args.output)
+        store.add(
+            RunResult.from_system_run(result, spec, capture_traces=("vcc",)),
+            overwrite=True,
+        )
+        print(f"\nstored 1 result ({len(store)} total) in {args.output}")
     if result.platform is None:
         return 0
     return 0 if result.platform.metrics.first_completion_time is not None else 1
@@ -268,13 +308,66 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         # A representative default: storage size x supply frequency, with
         # Eq. (4) thresholds recalibrating per point.
         grid = {"capacitance": [22e-6, 47e-6], "frequency": [4.7, 9.4]}
+    if args.resume and args.output is None:
+        raise ReproError("--resume needs --output (the store to resume from)")
+    store = ResultStore(args.output) if args.output is not None else None
     runner = SweepRunner(base, grid, max_workers=args.workers)
-    result = runner.run(parallel=not args.serial)
+    result = runner.run(
+        parallel=not args.serial, store=store, resume=args.resume
+    )
     mode = "serial" if args.serial else "parallel"
     print_section(
         f"sweep: {base.name}, {len(runner)} points ({mode})",
         result.format(),
     )
+    if store is not None:
+        print(
+            f"\n{result.computed} computed, {result.cached} reused; "
+            f"{len(store)} result(s) in {args.output}"
+        )
+    return 0
+
+
+def _load_store(path: str) -> ResultStore:
+    if not os.path.exists(path):
+        raise ReproError(f"no result store at {path!r}")
+    return ResultStore(path)
+
+
+def cmd_results(args: argparse.Namespace) -> int:
+    """Query a persisted result store: tabulate, merge, best, pareto."""
+    if args.merge:
+        store = ResultStore.merge_shards(args.merge, output=args.store)
+        print(f"merged {len(args.merge)} shard(s) into {args.store} "
+              f"({len(store)} unique results)")
+    else:
+        store = _load_store(args.store)
+    if len(store) == 0:
+        print("store is empty")
+        return 0
+    failed = [r for r in store if not r.ok]
+    print_section(
+        f"results: {args.store} ({len(store)} rows, {len(failed)} failed)",
+        store.table(),
+    )
+    if args.best is not None:
+        best = store.best(args.best, minimize=not args.maximize)
+        objective = "max" if args.maximize else "min"
+        print(f"\nbest ({objective} {args.best}): "
+              f"{best.name} {best.overrides} -> {best[args.best]:.6g}")
+    if args.pareto is not None:
+        cost, benefit = args.pareto
+        frontier = pareto_from_store(store, cost, benefit)
+        lines = [
+            f"{r.name} {r.overrides}: {cost}={r[cost]:.6g} "
+            f"{benefit}={r[benefit]:.6g}"
+            for r in frontier
+        ]
+        print_section(
+            f"pareto frontier ({len(frontier)} of {len(store)} points, "
+            f"min {cost} / max {benefit})",
+            "\n".join(lines),
+        )
     return 0
 
 
@@ -318,6 +411,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     crossover.add_argument("--serial", action="store_true",
                            help="run points in-process instead of a pool")
+    crossover.add_argument("--output", default=None, metavar="STORE.jsonl",
+                           help="persist points to a JSONL result store "
+                                "(re-runs reuse stored points)")
     add_kernel_flag(crossover)
     crossover.set_defaults(fn=cmd_crossover)
 
@@ -330,6 +426,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("spec", help="path to a ScenarioSpec JSON file")
     run.add_argument("--duration", type=float, default=None,
                      help="override the spec's duration")
+    run.add_argument("--output", default=None, metavar="STORE.jsonl",
+                     help="append the run (with its vcc trace) to a "
+                          "JSONL result store")
     add_kernel_flag(run)
     run.set_defaults(fn=cmd_run)
 
@@ -345,8 +444,30 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--serial", action="store_true",
                        help="run points in-process instead of a pool")
     sweep.add_argument("--workers", type=int, default=None)
+    sweep.add_argument("--output", default=None, metavar="STORE.jsonl",
+                       help="persist every point to a JSONL result store")
+    sweep.add_argument("--resume", action="store_true",
+                       help="skip points --output already holds; only the "
+                            "missing points are computed")
     add_kernel_flag(sweep)
     sweep.set_defaults(fn=cmd_sweep)
+
+    results = sub.add_parser(
+        "results", help="query a persisted result store"
+    )
+    results.add_argument("store", help="path to a JSONL result store")
+    results.add_argument("--merge", nargs="+", default=None,
+                         metavar="SHARD.jsonl",
+                         help="fold shard stores into STORE before querying "
+                              "(dedupes by spec hash)")
+    results.add_argument("--best", default=None, metavar="METRIC",
+                         help="report the row optimising METRIC")
+    results.add_argument("--maximize", action="store_true",
+                         help="maximise --best's metric instead of minimising")
+    results.add_argument("--pareto", nargs=2, default=None,
+                         metavar=("COST", "BENEFIT"),
+                         help="print the (min COST, max BENEFIT) frontier")
+    results.set_defaults(fn=cmd_results)
 
     components = sub.add_parser("components", help="list spec components")
     components.set_defaults(fn=cmd_components)

@@ -43,3 +43,7 @@ class SpecError(ReproError):
 
 class UnknownComponentError(SpecError):
     """A spec referenced a registry key that no component registered."""
+
+
+class ResultStoreError(ReproError):
+    """A persisted result store is corrupt or was queried invalidly."""

@@ -23,6 +23,7 @@ from typing import Any, Optional
 from repro.errors import ConfigurationError, SnapshotError
 from repro.mcu.machine import Machine
 from repro.mcu.power_model import FRAM_TECH, SRAM_TECH, McuPowerModel, MemoryTechnology
+from repro.results.metrics import register_metric
 from repro.spec.registry import register
 
 
@@ -288,3 +289,21 @@ class SyntheticEngine(ComputeEngine):
 
     def reset(self) -> None:
         self.executed = 0
+
+
+# ---------------------------------------------------------------------------
+# Results-pipeline contribution (see repro.results.metrics)
+# ---------------------------------------------------------------------------
+
+
+@register_metric("engine", columns=("cycles_executed", "progress"), order=20)
+def _engine_metric_columns(run, spec):
+    """Forward-progress counters of the platform's compute engine."""
+    platform = run.platform
+    if platform is None:
+        return None
+    emitted = {"cycles_executed": platform.metrics.cycles_executed}
+    progress = getattr(platform.engine, "progress", None)
+    if callable(progress):
+        emitted["progress"] = float(progress())
+    return emitted

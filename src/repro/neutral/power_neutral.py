@@ -22,6 +22,7 @@ from typing import List, Optional
 from repro.errors import ConfigurationError
 from repro.transient.base import TransientPlatform
 from repro.transient.hibernus import Hibernus
+from repro.results.metrics import register_metric
 from repro.spec.registry import register
 
 
@@ -123,3 +124,31 @@ class PowerNeutralHibernus(Hibernus):
     def reset(self) -> None:
         super().reset()
         self.governor.reset()
+
+
+# ---------------------------------------------------------------------------
+# Results-pipeline contribution (see repro.results.metrics)
+# ---------------------------------------------------------------------------
+
+
+@register_metric(
+    "governor",
+    columns=("governor_updates", "governor_mean_frequency"),
+    order=50,
+)
+def _governor_metric_columns(run, spec):
+    """DFS-governor activity; None unless a power-neutral strategy ran."""
+    platform = run.platform
+    if platform is None:
+        return None
+    strategy = platform.strategy
+    if not isinstance(strategy, PowerNeutralHibernus):
+        return None
+    trace = strategy.governor.trace
+    frequencies = trace.frequencies
+    return {
+        "governor_updates": len(frequencies),
+        "governor_mean_frequency": (
+            float(sum(frequencies) / len(frequencies)) if frequencies else None
+        ),
+    }

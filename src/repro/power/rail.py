@@ -31,6 +31,7 @@ from repro.sim.kernel import (
     VoltageSourcePlan,
     chunk_times,
 )
+from repro.results.metrics import register_metric
 from repro.spec.registry import register
 from repro.storage.base import StorageElement
 
@@ -457,3 +458,29 @@ class SupplyRail(Component):
             load.reset()
         self.stats = RailStats()
         self._chunk_vcc = []
+
+
+# ---------------------------------------------------------------------------
+# Results-pipeline contribution (see repro.results.metrics)
+# ---------------------------------------------------------------------------
+
+
+@register_metric(
+    "rail",
+    columns=(
+        "energy_harvested",
+        "energy_consumed",
+        "energy_leaked",
+        "energy_starved",
+    ),
+    order=30,
+)
+def _rail_metric_columns(run, spec):
+    """The rail's cumulative energy ledger (RailStats)."""
+    stats = run.rail.stats
+    return {
+        "energy_harvested": stats.harvested,
+        "energy_consumed": stats.consumed,
+        "energy_leaked": stats.leaked,
+        "energy_starved": stats.starved,
+    }

@@ -1,0 +1,25 @@
+"""The simulation-layer metric extractor: trace-derived columns.
+
+Component layers contribute their own extractors next to the code that
+owns the counters (:mod:`repro.transient.base`, :mod:`repro.power.rail`,
+:mod:`repro.storage.base`, :mod:`repro.mcu.engine`,
+:mod:`repro.neutral.power_neutral`); the columns every run has — the
+clock and the oscilloscope channel — live here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.results.metrics import register_metric
+
+
+@register_metric("trace", columns=("t_end", "vcc_min", "vcc_max"), order=0)
+def _trace_metrics(run: Any, spec: Optional[Any]) -> Dict[str, Any]:
+    """Run length and rail-voltage envelope from the standard probes."""
+    vcc = run.vcc()
+    return {
+        "t_end": run.t_end,
+        "vcc_min": float(vcc.minimum()),
+        "vcc_max": float(vcc.maximum()),
+    }

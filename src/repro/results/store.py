@@ -1,0 +1,245 @@
+"""Persistent, mergeable storage for :class:`RunResult` rows.
+
+A :class:`ResultStore` is the query surface of the results pipeline:
+spec-hash keyed in memory, persisted as append-only JSONL (one record
+per line) so results survive process exit and interrupted sweeps resume
+instead of recomputing.  Shards written by separate processes or
+machines merge by hash — the sweep grid is the unit of distribution.
+
+Durability model: records are flushed per append, and a load tolerates a
+truncated final line (the signature of a process killed mid-write) by
+dropping it and compacting the file; corruption anywhere earlier raises,
+because silently skipping interior rows would misreport a sweep as
+complete.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Union
+
+from repro.errors import ReproError, ResultStoreError
+from repro.results.metrics import result_columns
+from repro.results.run_result import RunResult
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+class ResultStore:
+    """Columnar queries over run results, with optional JSONL persistence.
+
+    Args:
+        path: the JSONL file to load from and append to.  None keeps the
+            store purely in memory (the default for one-shot sweeps).
+
+    Iteration order is insertion order (load order, then append order),
+    so a store round-trips its table layout.
+    """
+
+    def __init__(self, path: Optional[PathLike] = None):
+        self.path = os.fspath(path) if path is not None else None
+        self._results: Dict[str, RunResult] = {}
+        if self.path is not None and os.path.exists(self.path):
+            self._load()
+
+    # -- persistence -----------------------------------------------------
+
+    def _load(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as stream:
+            lines = stream.readlines()
+        records: List[RunResult] = []
+        bad_tail = False
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+                result = RunResult.from_record(payload)
+            except (json.JSONDecodeError, ReproError) as error:
+                if lineno == len(lines):
+                    # A torn final line: the writer died mid-append.
+                    # Recoverable by construction — drop it and compact.
+                    bad_tail = True
+                    break
+                raise ResultStoreError(
+                    f"{self.path}:{lineno}: corrupt result record: {error}"
+                ) from error
+            records.append(result)
+        for result in records:
+            self._results[result.spec_hash] = result
+        if bad_tail:
+            self._rewrite()
+
+    def _rewrite(self) -> None:
+        """Compact the backing file to exactly the in-memory records."""
+        tmp_path = f"{self.path}.tmp"
+        with open(tmp_path, "w", encoding="utf-8") as stream:
+            for result in self._results.values():
+                stream.write(json.dumps(result.to_record()) + "\n")
+        os.replace(tmp_path, self.path)
+
+    def _append(self, result: RunResult) -> None:
+        if self.path is None:
+            return
+        with open(self.path, "a", encoding="utf-8") as stream:
+            stream.write(json.dumps(result.to_record()) + "\n")
+            stream.flush()
+            os.fsync(stream.fileno())
+
+    # -- mutation --------------------------------------------------------
+
+    def add(self, result: RunResult, overwrite: bool = False) -> bool:
+        """Insert one result; returns False for an already-known hash.
+
+        ``overwrite=True`` replaces the stored row (and compacts the
+        file so the stale record does not shadow-resume later).
+        Re-adding a record identical to the stored one is a no-op —
+        deterministic re-runs over a populated store cost no I/O.
+        """
+        known = self._results.get(result.spec_hash)
+        if known is not None:
+            if not overwrite or known.to_record() == result.to_record():
+                return False
+            self._results[result.spec_hash] = result
+            if self.path is not None:
+                self._rewrite()
+        else:
+            self._results[result.spec_hash] = result
+            self._append(result)
+        return True
+
+    def merge(self, other: Union["ResultStore", PathLike]) -> int:
+        """Fold another store (or shard file) in; returns rows absorbed.
+
+        First-writer-wins on hash collisions — shards of one sweep hold
+        identical rows for identical hashes, so order doesn't matter.
+        """
+        if not isinstance(other, ResultStore):
+            other = ResultStore(other)
+        absorbed = 0
+        for result in other:
+            if self.add(result):
+                absorbed += 1
+        return absorbed
+
+    @classmethod
+    def merge_shards(
+        cls, shards: Iterable[PathLike], output: Optional[PathLike] = None
+    ) -> "ResultStore":
+        """Combine shard files (one per worker/machine) into one store."""
+        store = cls(output)
+        for shard in shards:
+            if not os.path.exists(os.fspath(shard)):
+                raise ResultStoreError(f"shard {os.fspath(shard)!r} not found")
+            store.merge(shard)
+        return store
+
+    # -- lookup ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __iter__(self) -> Iterator[RunResult]:
+        return iter(self._results.values())
+
+    def __contains__(self, spec_hash: str) -> bool:
+        return spec_hash in self._results
+
+    def get(self, spec_hash: str) -> Optional[RunResult]:
+        """The stored result for a spec hash, or None."""
+        return self._results.get(spec_hash)
+
+    def results(self) -> List[RunResult]:
+        """Every stored result, in insertion order."""
+        return list(self._results.values())
+
+    # -- queries ---------------------------------------------------------
+
+    def select(
+        self,
+        where: Optional[Callable[[RunResult], bool]] = None,
+        **equals: Any,
+    ) -> List[RunResult]:
+        """Rows matching a predicate and/or column equality filters.
+
+        ``store.select(name="crossover-hibernus")`` or
+        ``store.select(lambda r: r.ok and r["completed"])``.
+        """
+        selected = []
+        for result in self:
+            if where is not None and not where(result):
+                continue
+            if any(result.get(k, _MISSING) != v for k, v in equals.items()):
+                continue
+            selected.append(result)
+        return selected
+
+    def ok(self) -> List[RunResult]:
+        """Rows that ran without a pipeline error."""
+        return [result for result in self if result.ok]
+
+    def values(
+        self, column: str, where: Optional[Callable[[RunResult], bool]] = None
+    ) -> List[Any]:
+        """One column across (optionally filtered) rows, insertion order."""
+        return [result.get(column) for result in self.select(where)]
+
+    def best(self, metric: str, minimize: bool = True) -> RunResult:
+        """The row optimising ``metric`` among rows that recorded it."""
+        candidates = [r for r in self if r.get(metric) is not None]
+        if not candidates:
+            raise ResultStoreError(f"no stored result recorded {metric!r}")
+        return (min if minimize else max)(candidates, key=lambda r: r[metric])
+
+    # -- tabular views ---------------------------------------------------
+
+    def override_keys(self) -> List[str]:
+        """Override columns in first-seen order across the store."""
+        keys: List[str] = []
+        for result in self:
+            for key in result.overrides:
+                if key not in keys:
+                    keys.append(key)
+        return keys
+
+    def columns(self) -> List[str]:
+        """Table layout: override columns then the registry columns."""
+        return self.override_keys() + result_columns()
+
+    def rows(self) -> List[List[Any]]:
+        """One row per result, matching :meth:`columns`."""
+        columns = self.columns()
+        return [[result.get(column) for column in columns] for result in self]
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Each result as one flat record (overrides merged with metrics)."""
+        return [dict(r.overrides, **r.metrics) for r in self]
+
+    def table(self, floatfmt: str = "{:.4g}") -> str:
+        """The store as an aligned text table (see ``repro results``)."""
+        from repro.analysis.report import format_table
+
+        def fmt(value: Any) -> str:
+            if value is None:
+                return "-"
+            if isinstance(value, bool):
+                return "yes" if value else "no"
+            if isinstance(value, float):
+                return floatfmt.format(value)
+            return str(value)
+
+        return format_table(
+            self.columns(), [[fmt(cell) for cell in row] for row in self.rows()]
+        )
+
+
+class _Missing:
+    def __eq__(self, other: Any) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<missing>"
+
+
+_MISSING = _Missing()

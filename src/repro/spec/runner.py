@@ -1,118 +1,133 @@
-"""Parallel execution of scenario-spec parameter grids.
+"""Parallel, resumable execution of scenario-spec parameter grids.
 
 :class:`SweepRunner` expands a grid over a base :class:`ScenarioSpec`,
 runs every point — in parallel across processes by default, since frozen
-plain-data specs pickle for free — and collects one :class:`PointResult`
-per point into a tabular :class:`SweepResult`.
+plain-data specs pickle for free — and collects one typed
+:class:`~repro.results.run_result.RunResult` per point into a tabular
+:class:`SweepResult`.
 
-The worker (:func:`run_scenario_payload`) is a module-level function so
-it pickles under every ``multiprocessing`` start method; it ships the
-spec as a plain dict and returns a plain dict of scalars, keeping the
-inter-process traffic tiny regardless of how many probe samples a run
-records.
+Results flow through the unified pipeline (:mod:`repro.results`): the
+summary columns are whatever the metric-extractor registry contributes,
+not a hard-coded list, and pointing the runner at a persistent
+:class:`~repro.results.store.ResultStore` makes sweeps *resumable* — a
+re-run skips every grid point whose spec hash the store already holds,
+so an interrupted sweep recomputes only the missing points, and shards
+computed on separate machines merge by hash.
+
+The workers (:func:`run_point_payload` / :func:`run_scenario_payload`)
+are module-level functions so they pickle under every
+``multiprocessing`` start method; they take and return plain dicts,
+keeping the inter-process traffic tiny regardless of how many probe
+samples a run records.
 """
 
 from __future__ import annotations
 
 import os
+import sys
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import SpecError
+from repro.results.metrics import empty_metrics, result_columns
+from repro.results.run_result import MAX_TRACE_SAMPLES, RunResult, spec_hash
+from repro.results.store import ResultStore
 from repro.spec.specs import ScenarioSpec, expand_grid
 
-#: Metric columns every sweep row carries (after the override columns).
-RESULT_COLUMNS = [
-    "completed",
-    "completion_time",
-    "brownouts",
-    "snapshots",
-    "restores",
-    "energy_total",
-    "energy_overhead",
-    "vcc_min",
-    "vcc_max",
-    "t_end",
-    "error",
-]
 
-_EMPTY_SUMMARY: Dict[str, Any] = {
-    "t_end": None,
-    "vcc_min": None,
-    "vcc_max": None,
-    "completed": None,
-    "completion_time": None,
-    "brownouts": None,
-    "snapshots": None,
-    "restores": None,
-    "cycles_executed": None,
-    "energy_total": None,
-    "energy_overhead": None,
-    "error": None,
-}
+def __getattr__(name: str):
+    # Back-compat: these used to be hand-maintained module constants and
+    # drifted apart; both now derive from the metric-extractor registry.
+    if name == "RESULT_COLUMNS":
+        return result_columns()
+    if name == "_EMPTY_SUMMARY":
+        return empty_metrics()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def run_scenario_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Process-pool worker: build, run and summarise one scenario.
+    """Process-pool worker: build, run and summarise one bare scenario.
 
     Takes/returns plain dicts so it is picklable and cheap to ship.
     Framework errors (an infeasible grid point, e.g. a capacitance too
-    small for its strategy's Eq. (4) threshold) come back as the point's
-    ``error`` field instead of killing the whole sweep.
+    small for its strategy's Eq. (4) threshold) come back as the
+    summary's ``error`` field instead of killing the whole sweep.
     """
-    spec = ScenarioSpec.from_dict(payload)
-    summary = dict(_EMPTY_SUMMARY)
+    return run_point_payload({"spec": payload})["metrics"]
+
+
+def run_point_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Process-pool worker: one grid point in, one result record out.
+
+    ``payload`` is ``{"spec": <ScenarioSpec dict>, "overrides": {...},
+    "traces": [probe names], "max_trace_samples": int}`` (all but
+    ``spec`` optional); the return value is a
+    :meth:`RunResult.to_record` dict.
+    """
+    overrides = dict(payload.get("overrides", {}))
+    try:
+        spec = ScenarioSpec.from_dict(payload["spec"])
+    except Exception as error:
+        return RunResult.failed(
+            f"{type(error).__name__}: {error}",
+            spec_hash=spec_hash(payload["spec"]),
+            overrides=overrides,
+        ).to_record()
     try:
         system = spec.build()
-        result = system.run(spec.duration, decimate=spec.decimate)
-    except Exception as error:  # one bad point must not kill the sweep
-        summary["error"] = f"{type(error).__name__}: {error}"
-        return summary
-    vcc = result.vcc()
-    summary.update(
-        t_end=result.t_end,
-        vcc_min=float(vcc.minimum()),
-        vcc_max=float(vcc.maximum()),
-    )
-    platform = result.platform
-    if platform is not None:
-        metrics = platform.metrics
-        summary.update(
-            completed=metrics.first_completion_time is not None,
-            completion_time=metrics.first_completion_time,
-            brownouts=metrics.brownouts,
-            snapshots=metrics.snapshots_completed,
-            restores=metrics.restores_completed,
-            cycles_executed=metrics.cycles_executed,
-            energy_total=metrics.total_energy(),
-            energy_overhead=metrics.overhead_energy(),
+        run = system.run(spec.duration, decimate=spec.decimate)
+        result = RunResult.from_system_run(
+            run,
+            spec,
+            overrides=overrides,
+            capture_traces=tuple(payload.get("traces", ())),
+            max_trace_samples=payload.get(
+                "max_trace_samples", MAX_TRACE_SAMPLES
+            ),
         )
-    return summary
+    except Exception as error:  # one bad point must not kill the sweep
+        result = RunResult.failed(
+            f"{type(error).__name__}: {error}",
+            spec_hash=spec_hash(spec),
+            name=spec.name,
+            overrides=overrides,
+            spec=spec,
+        )
+    return result.to_record()
 
 
-@dataclass(frozen=True)
-class PointResult:
-    """Summary of one grid point's run."""
+#: Back-compat alias: a sweep point and a standalone run share one type.
+PointResult = RunResult
 
-    index: int
-    overrides: Dict[str, Any]
-    spec: ScenarioSpec
-    metrics: Dict[str, Any]
+#: Error prefix marking a *worker* crash (pool/pickling/OOM) rather than
+#: a scenario that deterministically failed.  Crash rows are transient:
+#: they are never persisted to a store and resume recomputes them.
+WORKER_FAILURE_PREFIX = "worker failed: "
 
-    def __getitem__(self, key: str) -> Any:
-        if key in self.overrides:
-            return self.overrides[key]
-        return self.metrics[key]
+
+def _is_worker_crash(result: Optional[RunResult]) -> bool:
+    return (
+        result is not None
+        and result.error is not None
+        and result.error.startswith(WORKER_FAILURE_PREFIX)
+    )
 
 
 @dataclass(frozen=True)
 class SweepResult:
-    """All grid points of one sweep, in grid order."""
+    """All grid points of one sweep, in grid order.
+
+    ``computed``/``cached`` split how each point was satisfied when the
+    sweep ran against a persistent store (both zero-cost views of the
+    same list otherwise).
+    """
 
     base_name: str
     grid_keys: List[str]
-    points: List[PointResult] = field(default_factory=list)
+    points: List[RunResult] = field(default_factory=list)
+    computed: int = 0
+    cached: int = 0
 
     def __len__(self) -> int:
         return len(self.points)
@@ -121,13 +136,13 @@ class SweepResult:
         return iter(self.points)
 
     def columns(self) -> List[str]:
-        return list(self.grid_keys) + RESULT_COLUMNS
+        return list(self.grid_keys) + result_columns()
 
     def rows(self) -> List[List[Any]]:
         """One row per point: override values then the metric columns."""
         return [
             [point.overrides.get(key) for key in self.grid_keys]
-            + [point.metrics.get(column) for column in RESULT_COLUMNS]
+            + [point.metrics.get(column) for column in result_columns()]
             for point in self.points
         ]
 
@@ -135,7 +150,7 @@ class SweepResult:
         """Each point as one flat record (overrides merged with metrics)."""
         return [dict(p.overrides, **p.metrics) for p in self.points]
 
-    def best(self, metric: str, minimize: bool = True) -> PointResult:
+    def best(self, metric: str, minimize: bool = True) -> RunResult:
         """The point optimising ``metric``, ignoring points lacking it."""
         candidates = [p for p in self.points if p.metrics.get(metric) is not None]
         if not candidates:
@@ -173,7 +188,9 @@ class SweepRunner:
 
     Use ``run(parallel=False)`` for in-process serial execution (same
     results, deterministic by construction — handy under debuggers and in
-    tests asserting serial/parallel equivalence).
+    tests asserting serial/parallel equivalence).  Pass ``store=`` (a
+    :class:`ResultStore`) to persist results as they arrive, and
+    ``resume=True`` to skip points the store already holds.
     """
 
     def __init__(
@@ -188,13 +205,43 @@ class SweepRunner:
         self.overrides = expand_grid(self.grid)
         # Expand eagerly: a bad override key fails here, not mid-pool.
         self.specs = [base.with_overrides(point) for point in self.overrides]
+        self.hashes = [spec_hash(spec) for spec in self.specs]
 
     def __len__(self) -> int:
         return len(self.specs)
 
-    def run(self, parallel: bool = True) -> SweepResult:
-        """Execute every grid point; rows come back in grid order."""
-        payloads = [spec.to_dict() for spec in self.specs]
+    def _payloads(
+        self, indices: Sequence[int], capture_traces: Sequence[str]
+    ) -> List[Dict[str, Any]]:
+        return [
+            {
+                "spec": self.specs[i].to_dict(),
+                "overrides": self.overrides[i],
+                "traces": list(capture_traces),
+            }
+            for i in indices
+        ]
+
+    def _execute(
+        self, payloads: List[Dict[str, Any]], parallel: bool
+    ) -> List[Dict[str, Any]]:
+        """Run payloads through the worker; failures become error records.
+
+        A worker raising (as opposed to a scenario failing *inside* the
+        worker, which :func:`run_point_payload` already converts) is a
+        sweep-infrastructure failure; it is pinned to its point as an
+        error record so the rest of the grid still lands.
+        """
+        worker = sys.modules[__name__].run_point_payload
+
+        def fallback(payload: Dict[str, Any], error: BaseException) -> Dict[str, Any]:
+            return RunResult.failed(
+                f"{WORKER_FAILURE_PREFIX}{type(error).__name__}: {error}",
+                spec_hash=spec_hash(payload["spec"]),
+                name=payload["spec"].get("name", "scenario"),
+                overrides=payload.get("overrides", {}),
+            ).to_record()
+
         if parallel and len(payloads) > 1:
             workers = self.max_workers or min(
                 len(payloads), os.cpu_count() or 1
@@ -202,20 +249,76 @@ class SweepRunner:
             workers = max(1, min(workers, len(payloads)))
             try:
                 with ProcessPoolExecutor(max_workers=workers) as pool:
-                    summaries = list(pool.map(run_scenario_payload, payloads))
+                    futures = [pool.submit(worker, p) for p in payloads]
+                    records = []
+                    for payload, future in zip(payloads, futures):
+                        error = future.exception()
+                        records.append(
+                            future.result() if error is None
+                            else fallback(payload, error)
+                        )
+                    return records
             except (OSError, PermissionError):
                 # Environments without working multiprocessing primitives
                 # (restricted sandboxes) still get correct, serial results.
-                summaries = [run_scenario_payload(p) for p in payloads]
-        else:
-            summaries = [run_scenario_payload(p) for p in payloads]
-        points = [
-            PointResult(index=i, overrides=self.overrides[i],
-                        spec=self.specs[i], metrics=summary)
-            for i, summary in enumerate(summaries)
+                pass
+        records = []
+        for payload in payloads:
+            try:
+                records.append(worker(payload))
+            except Exception as error:
+                records.append(fallback(payload, error))
+        return records
+
+    def run(
+        self,
+        parallel: bool = True,
+        store: Optional[ResultStore] = None,
+        resume: bool = False,
+        capture_traces: Sequence[str] = (),
+    ) -> SweepResult:
+        """Execute the grid; rows come back in grid order.
+
+        Args:
+            parallel: fan points out across a process pool.
+            store: persist/dedupe results through this store.
+            resume: skip points whose spec hash ``store`` already holds
+                (requires ``store``); only the gap is recomputed.
+            capture_traces: probe names whose (decimated) traces each
+                computed point should carry.
+        """
+        if resume and store is None:
+            raise SpecError("resume=True needs a result store to resume from")
+        pending = [
+            i for i in range(len(self.specs))
+            # A stored worker-crash row (older stores may hold them) is
+            # not a satisfied point: resume retries it.
+            if not (resume and self.hashes[i] in store
+                    and not _is_worker_crash(store.get(self.hashes[i])))
         ]
+        records = self._execute(self._payloads(pending, capture_traces), parallel)
+        computed: Dict[int, RunResult] = {}
+        for i, record in zip(pending, records):
+            result = RunResult.from_record(record).with_context(
+                index=i, spec=self.specs[i]
+            )
+            computed[i] = result
+            # Deterministic outcomes (successes *and* infeasible-scenario
+            # error rows) are cacheable; worker crashes are transient and
+            # must stay recomputable on the next resume.
+            if store is not None and not _is_worker_crash(result):
+                store.add(result, overwrite=True)
+        points = []
+        for i in range(len(self.specs)):
+            if i in computed:
+                points.append(computed[i])
+            else:
+                cached = store.get(self.hashes[i])
+                points.append(cached.with_context(index=i, spec=self.specs[i]))
         return SweepResult(
             base_name=self.base.name,
             grid_keys=list(self.grid),
             points=points,
+            computed=len(computed),
+            cached=len(points) - len(computed),
         )

@@ -373,7 +373,7 @@ def _machine_config_fields() -> List[str]:
 
 
 #: Top-level scalar fields that sweeps may override by bare name.
-_SWEEPABLE_SCALARS = ("dt", "duration", "decimate", "kernel")
+_SWEEPABLE_SCALARS = ("dt", "duration", "decimate", "kernel", "seed")
 
 
 @dataclass(frozen=True)
@@ -402,6 +402,7 @@ class ScenarioSpec:
     decimate: int = 1
     stop_on_completion: bool = False
     kernel: str = "reference"
+    seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         from repro.sim.kernel import validate_kernel
@@ -412,6 +413,13 @@ class ScenarioSpec:
             raise SpecError(f"duration must be positive, got {self.duration!r}")
         if self.decimate < 1:
             raise SpecError(f"decimate must be >= 1, got {self.decimate!r}")
+        if self.seed is not None and (
+            isinstance(self.seed, bool) or not isinstance(self.seed, int)
+            or self.seed < 0
+        ):
+            raise SpecError(
+                f"seed must be a non-negative integer or None, got {self.seed!r}"
+            )
         try:
             validate_kernel(self.kernel)
         except ValueError as error:
@@ -429,8 +437,10 @@ class ScenarioSpec:
         system = EnergyDrivenSystem(dt=self.dt, kernel=self.kernel)
         storage = create("storage", self.storage.kind, self.storage.params)
         system.set_storage(storage)
-        for spec in self.harvesters:
-            harvester = create("harvester", spec.kind, spec.params)
+        for index, spec in enumerate(self.harvesters):
+            harvester = create(
+                "harvester", spec.kind, self._harvester_params(index, spec)
+            )
             if isinstance(harvester, VoltageHarvester):
                 if spec.converter is not None or spec.mppt is not None:
                     raise SpecError(
@@ -481,6 +491,22 @@ class ScenarioSpec:
             system.add_load(create("load", load.kind, load.params))
         return system
 
+    def _harvester_params(self, index: int, spec: HarvesterSpec) -> Dict[str, Any]:
+        """Harvester factory kwargs, with the scenario seed threaded in.
+
+        When the scenario carries a ``seed``, every RNG-backed harvester
+        whose factory accepts one (and whose spec does not pin it
+        explicitly) is seeded ``seed + index`` — deterministic per grid
+        point and part of the spec dict, so it participates in the
+        results pipeline's spec hash (reproducible *and* cache-keyable).
+        """
+        if self.seed is None or "seed" in spec.params:
+            return spec.params
+        accepted, _ = accepted_parameters("harvester", spec.kind)
+        if "seed" not in accepted:
+            return spec.params
+        return dict(spec.params, seed=self.seed + index)
+
     def run(self, duration: Optional[float] = None):
         """Build and run; returns the :class:`SystemRunResult`."""
         return self.build().run(
@@ -508,6 +534,8 @@ class ScenarioSpec:
             payload["stop_on_completion"] = True
         if self.kernel != "reference":
             payload["kernel"] = self.kernel
+        if self.seed is not None:
+            payload["seed"] = self.seed
         return payload
 
     @classmethod
@@ -515,7 +543,7 @@ class ScenarioSpec:
         _check_keys(
             payload,
             ["name", "dt", "duration", "storage", "harvesters", "platform",
-             "loads", "decimate", "stop_on_completion", "kernel"],
+             "loads", "decimate", "stop_on_completion", "kernel", "seed"],
             "scenario spec",
         )
         if "storage" not in payload:
@@ -538,6 +566,7 @@ class ScenarioSpec:
             decimate=payload.get("decimate", 1),
             stop_on_completion=payload.get("stop_on_completion", False),
             kernel=payload.get("kernel", "reference"),
+            seed=payload.get("seed"),
         )
 
     def to_json(self, indent: int = 2) -> str:

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.results.metrics import register_metric
+
 
 class StorageElement:
     """Abstract energy store attached to a supply rail."""
@@ -62,3 +64,20 @@ class StorageElement:
     def reset(self) -> None:
         """Restore the element to its initial state."""
         raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# Results-pipeline contribution (see repro.results.metrics)
+# ---------------------------------------------------------------------------
+
+
+@register_metric(
+    "storage", columns=("energy_stored_final", "storage_capacity"), order=40
+)
+def _storage_metric_columns(run, spec):
+    """End-of-run state of charge and the taxonomy's capacity axis."""
+    storage = run.rail.storage
+    return {
+        "energy_stored_final": storage.stored_energy,
+        "storage_capacity": storage.storage_capacity,
+    }

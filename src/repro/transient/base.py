@@ -28,6 +28,7 @@ from repro.mcu.clock import ClockPlan
 from repro.mcu.engine import ComputeEngine
 from repro.mcu.power_model import FRAM_TECH, SRAM_TECH, McuPowerModel
 from repro.power.rail import RailLoad
+from repro.results.metrics import register_metric
 from repro.sim.kernel import LoadProfile
 from repro.spec.registry import register
 
@@ -572,3 +573,43 @@ class NullStrategy(Strategy):
 
     def on_boot(self, platform: TransientPlatform, t: float, v: float) -> None:
         platform.cold_start()
+
+
+# ---------------------------------------------------------------------------
+# Results-pipeline contribution (see repro.results.metrics)
+# ---------------------------------------------------------------------------
+
+
+@register_metric(
+    "platform",
+    columns=(
+        "completed",
+        "completion_time",
+        "brownouts",
+        "snapshots",
+        "snapshots_aborted",
+        "restores",
+        "energy_total",
+        "energy_overhead",
+        "availability",
+    ),
+    order=10,
+)
+def _platform_metric_columns(run, spec):
+    """The transient platform's counters; None for platform-less runs."""
+    platform = run.platform
+    if platform is None:
+        return None
+    m = platform.metrics
+    active = m.time_in_state[PlatformState.ACTIVE.value]
+    return {
+        "completed": m.first_completion_time is not None,
+        "completion_time": m.first_completion_time,
+        "brownouts": m.brownouts,
+        "snapshots": m.snapshots_completed,
+        "snapshots_aborted": m.snapshots_aborted,
+        "restores": m.restores_completed,
+        "energy_total": m.total_energy(),
+        "energy_overhead": m.overhead_energy(),
+        "availability": (active / run.t_end) if run.t_end > 0.0 else 0.0,
+    }

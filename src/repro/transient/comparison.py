@@ -9,6 +9,13 @@ energy, availability).
 
 Used by ``benchmarks/bench_ablation_strategies.py`` consumers and
 downstream users sizing a design.
+
+Since the results-pipeline refactor every run is summarised through the
+metric-extractor registry into a typed
+:class:`~repro.results.run_result.RunResult` (one per strategy, keyed by
+a content hash of the scenario conditions), so a comparison can be
+persisted to, or resumed from, a :class:`ResultStore` shard like any
+sweep — pass ``store=`` to :func:`compare_strategies`.
 """
 
 from __future__ import annotations
@@ -24,6 +31,8 @@ from repro.mcu.clock import ClockPlan, OperatingPoint
 from repro.mcu.engine import ComputeEngine
 from repro.mcu.power_model import McuPowerModel
 from repro.power.rail import ResistiveLoad
+from repro.results.run_result import RunResult
+from repro.results.store import ResultStore
 from repro.storage.capacitor import Capacitor
 from repro.transient.base import Strategy, TransientPlatform, TransientPlatformConfig
 
@@ -40,6 +49,8 @@ class ComparisonScenario:
         clock_frequency: core frequency (single-point plan).
         bleed_resistance: optional parallel drain forcing real brownouts.
         v_max: rail clamp voltage.
+        label: distinguishes scenarios that a store could not otherwise
+            tell apart — see :meth:`key_payload`.
     """
 
     harvester_factory: Callable[[], PowerHarvester]
@@ -49,33 +60,70 @@ class ComparisonScenario:
     clock_frequency: float = 1e6
     bleed_resistance: Optional[float] = 10000.0
     v_max: float = 3.3
+    label: str = ""
 
     def __post_init__(self) -> None:
         if self.capacitance <= 0.0 or self.duration <= 0.0 or self.dt <= 0.0:
             raise ConfigurationError("invalid scenario parameters")
 
+    def key_payload(self, strategy: str) -> Dict[str, object]:
+        """The JSON-able identity of one (scenario, strategy) run.
+
+        Imperatively wired comparisons have no ScenarioSpec to hash, so
+        this payload is what keys their :class:`RunResult` rows in a
+        store.  The harvester factory itself is not hashable; its
+        qualified name stands in for it — two scenarios whose factories
+        are *different lambdas with identical qualnames* (e.g. built in
+        the same function with different captured parameters) must set
+        distinct ``label``\\ s to share a persistent store safely.
+        """
+        factory = self.harvester_factory
+        return {
+            "experiment": "strategy-comparison",
+            "label": self.label,
+            "strategy": strategy,
+            "harvester": getattr(factory, "__qualname__", repr(factory)),
+            "capacitance": self.capacitance,
+            "duration": self.duration,
+            "dt": self.dt,
+            "clock_frequency": self.clock_frequency,
+            "bleed_resistance": self.bleed_resistance,
+            "v_max": self.v_max,
+        }
+
 
 @dataclass
 class StrategyResult:
-    """One strategy's outcome under the scenario."""
+    """One strategy's outcome under the scenario.
+
+    ``platform`` is the live device for freshly simulated strategies and
+    None for rows resumed from a store (the counters survive in
+    ``result``/``report``; the object graph does not).
+    """
 
     name: str
     report: RunReport
-    platform: TransientPlatform
+    platform: Optional[TransientPlatform]
+    result: RunResult
 
     def row(self) -> List[object]:
-        """Table row: the ENSsys-style comparison columns."""
-        r = self.report
+        """Table row: the ENSsys-style comparison columns.
+
+        Rendered from the pipeline's :class:`RunResult` metrics — the
+        same counters :class:`RunReport` condenses, extracted once by
+        the registry.
+        """
+        m = self.result.metrics
         return [
             self.name,
-            r.completed,
-            f"{r.completion_time:.3f}" if r.completed else "-",
-            r.snapshots,
-            r.snapshots_aborted,
-            r.restores,
-            f"{r.energy_overhead * 1e6:.1f}",
-            f"{r.energy_total * 1e3:.3f}",
-            f"{100.0 * r.availability:.1f}%",
+            m["completed"],
+            f"{m['completion_time']:.3f}" if m["completed"] else "-",
+            m["snapshots"],
+            m["snapshots_aborted"],
+            m["restores"],
+            f"{m['energy_overhead'] * 1e6:.1f}",
+            f"{m['energy_total'] * 1e3:.3f}",
+            f"{100.0 * m['availability']:.1f}%",
         ]
 
 
@@ -89,14 +137,31 @@ COMPARISON_HEADERS = [
 def compare_strategies(
     scenario: ComparisonScenario,
     entries: Sequence[Tuple[str, Callable[[], Strategy], Callable[[], ComputeEngine], McuPowerModel]],
+    store: Optional[ResultStore] = None,
 ) -> Dict[str, StrategyResult]:
     """Run every (name, strategy factory, engine factory, power model)
     entry under identical conditions.
 
     Factories are called per run so no state leaks between strategies.
+    Pass ``store`` to persist one :class:`RunResult` row per strategy
+    and to skip strategies whose key the store already holds — the
+    comparison resumes like a sweep (resumed entries carry
+    ``platform=None``; their counters live on in the report/result).
     """
+    from repro.results.run_result import content_hash
+
     results: Dict[str, StrategyResult] = {}
     for name, strategy_factory, engine_factory, power_model in entries:
+        if store is not None:
+            cached = store.get(content_hash(scenario.key_payload(name)))
+            if cached is not None and cached.ok:
+                results[name] = StrategyResult(
+                    name=name,
+                    report=_report_from_metrics(cached.metrics),
+                    platform=None,
+                    result=cached,
+                )
+                continue
         platform = TransientPlatform(
             engine_factory(),
             strategy_factory(),
@@ -111,26 +176,67 @@ def compare_strategies(
         if scenario.bleed_resistance:
             system.add_load(ResistiveLoad(scenario.bleed_resistance))
         run = system.run(scenario.duration)
+        result = RunResult.from_system_run(
+            run,
+            overrides={"strategy": name},
+            name=f"comparison-{name}",
+            key_payload=scenario.key_payload(name),
+        )
+        if store is not None:
+            store.add(result, overwrite=True)
         results[name] = StrategyResult(
             name=name,
             report=RunReport.from_run(platform, run.t_end),
             platform=platform,
+            result=result,
         )
     return results
+
+
+def _report_from_metrics(metrics: Dict[str, object]) -> RunReport:
+    """Rebuild a :class:`RunReport` from a stored metrics row.
+
+    Every report field is (or derives from) a registry column, so a
+    resumed comparison row reads exactly like a fresh one.
+    """
+    t_end = float(metrics["t_end"])
+    return RunReport(
+        completed=bool(metrics["completed"]),
+        completion_time=metrics["completion_time"],
+        brownouts=int(metrics["brownouts"]),
+        snapshots=int(metrics["snapshots"]),
+        snapshots_aborted=int(metrics["snapshots_aborted"]),
+        restores=int(metrics["restores"]),
+        cycles_executed=int(metrics["cycles_executed"]),
+        active_time=float(metrics["availability"]) * t_end,
+        total_time=t_end,
+        energy_total=float(metrics["energy_total"]),
+        energy_overhead=float(metrics["energy_overhead"]),
+    )
+
+
+def comparison_store(results: Dict[str, StrategyResult]) -> ResultStore:
+    """An in-memory :class:`ResultStore` over a comparison's rows.
+
+    The query surface the neutral/ablation reports consume — e.g.
+    ``comparison_store(results).best("energy_overhead")``.
+    """
+    store = ResultStore()
+    for result in results.values():
+        store.add(result.result)
+    return store
 
 
 def winner_by(results: Dict[str, StrategyResult], metric: str) -> str:
     """Name of the completing strategy minimising ``metric``.
 
     Supported metrics: 'completion_time', 'energy_total',
-    'energy_overhead', 'snapshots'.
+    'energy_overhead', 'snapshots'.  A store query underneath: only
+    strategies that completed the workload compete.
     """
-    completed = {
-        name: result for name, result in results.items() if result.report.completed
-    }
+    completed = comparison_store(results).select(
+        lambda r: r.metrics["completed"]
+    )
     if not completed:
         raise ConfigurationError("no strategy completed the workload")
-    def key(item: Tuple[str, StrategyResult]) -> float:
-        value = getattr(item[1].report, metric)
-        return float(value)
-    return min(completed.items(), key=key)[0]
+    return min(completed, key=lambda r: float(r.metrics[metric]))["strategy"]

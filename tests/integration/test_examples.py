@@ -13,13 +13,13 @@ import pytest
 EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
 
 
-def run_example(name, capsys):
+def run_example(name, capsys, **main_kwargs):
     spec = importlib.util.spec_from_file_location(name, EXAMPLES_DIR / f"{name}.py")
     module = importlib.util.module_from_spec(spec)
     sys.modules[name] = module
     try:
         spec.loader.exec_module(module)
-        module.main()
+        module.main(**main_kwargs)
     finally:
         sys.modules.pop(name, None)
     return capsys.readouterr().out
@@ -56,11 +56,24 @@ def test_home_energy_monitor(capsys):
     assert "pings" in out.lower() or "ping" in out
 
 
-def test_capacitance_sweep(capsys):
-    out = run_example("capacitance_sweep", capsys)
+def test_capacitance_sweep(tmp_path, capsys):
+    out = run_example("capacitance_sweep", capsys,
+                      store_path=str(tmp_path / "sweep.jsonl"))
     assert "8 points" in out
     assert "feasible points: 4/8" in out
     assert "least energy to completion" in out
+    assert "Pareto frontier" in out
+
+
+def test_capacitance_sweep_resumes_from_its_store(tmp_path, capsys):
+    store = str(tmp_path / "sweep.jsonl")
+    first = run_example("capacitance_sweep", capsys, store_path=store)
+    assert "8 computed, 0 resumed" in first
+    second = run_example("capacitance_sweep", capsys, store_path=store)
+    assert "0 computed, 8 resumed" in second
+    # Identical conclusions either way.
+    tail = lambda out: out[out.index("feasible points"):]
+    assert tail(first) == tail(second)
 
 
 def test_design_space(capsys):

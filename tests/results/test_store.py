@@ -1,0 +1,141 @@
+"""ResultStore: persistence, partial-write recovery, merging, queries."""
+
+import json
+
+import pytest
+
+from repro.errors import ResultStoreError
+from repro.results import ResultStore, RunResult
+from repro.results.metrics import empty_metrics
+
+
+def make_result(i, name="sweep", **metrics):
+    """A synthetic RunResult with hash 'h<i>' and given metric values."""
+    filled = empty_metrics()
+    filled.update(metrics)
+    return RunResult(
+        spec_hash=f"h{i}",
+        name=name,
+        overrides={"x": float(i)},
+        metrics=filled,
+    )
+
+
+def test_in_memory_store_roundtrip():
+    store = ResultStore()
+    assert store.add(make_result(1, energy_total=2.0))
+    assert not store.add(make_result(1, energy_total=99.0))  # dedupe by hash
+    assert store.add(make_result(2, energy_total=1.0))
+    assert len(store) == 2
+    assert "h1" in store and "h3" not in store
+    assert store.get("h1").metrics["energy_total"] == 2.0
+
+
+def test_persistence_survives_reopen(tmp_path):
+    path = tmp_path / "store.jsonl"
+    store = ResultStore(path)
+    store.add(make_result(1, completed=True, energy_total=3.0))
+    store.add(make_result(2, completed=False))
+    reopened = ResultStore(path)
+    assert len(reopened) == 2
+    assert reopened.get("h1").metrics["energy_total"] == 3.0
+    assert [r.spec_hash for r in reopened] == ["h1", "h2"]
+
+
+def test_partial_write_tail_is_recovered(tmp_path):
+    """The resume-after-partial-write path: a torn final line (process
+    killed mid-append) is dropped and compacted; the store stays usable."""
+    path = tmp_path / "store.jsonl"
+    store = ResultStore(path)
+    store.add(make_result(1))
+    store.add(make_result(2))
+    with open(path, "a", encoding="utf-8") as stream:
+        stream.write('{"schema": 1, "spec_hash": "h3", "na')  # torn write
+    recovered = ResultStore(path)
+    assert len(recovered) == 2
+    assert "h3" not in recovered
+    # The torn line is compacted away, so appends stay valid JSONL.
+    recovered.add(make_result(3))
+    lines = path.read_text().splitlines()
+    assert len(lines) == 3
+    assert all(json.loads(line)["spec_hash"] in ("h1", "h2", "h3")
+               for line in lines)
+    assert len(ResultStore(path)) == 3
+
+
+def test_interior_corruption_raises(tmp_path):
+    """Silently skipping interior rows would misreport a sweep as
+    complete; only the *tail* is recoverable."""
+    path = tmp_path / "store.jsonl"
+    store = ResultStore(path)
+    store.add(make_result(1))
+    store.add(make_result(2))
+    lines = path.read_text().splitlines()
+    lines[0] = '{"not": "a result record"}'
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ResultStoreError, match="corrupt"):
+        ResultStore(path)
+
+
+def test_overwrite_compacts_the_file(tmp_path):
+    path = tmp_path / "store.jsonl"
+    store = ResultStore(path)
+    store.add(make_result(1, energy_total=5.0))
+    store.add(make_result(1, energy_total=7.0), overwrite=True)
+    assert store.get("h1").metrics["energy_total"] == 7.0
+    assert len(path.read_text().splitlines()) == 1
+    assert ResultStore(path).get("h1").metrics["energy_total"] == 7.0
+
+
+def test_merge_shards_dedupes_by_hash(tmp_path):
+    """Shards from separate processes/machines fold into one store."""
+    shard_a = tmp_path / "a.jsonl"
+    shard_b = tmp_path / "b.jsonl"
+    a = ResultStore(shard_a)
+    a.add(make_result(1))
+    a.add(make_result(2))
+    b = ResultStore(shard_b)
+    b.add(make_result(2))  # overlap: both shards computed h2
+    b.add(make_result(3))
+    merged_path = tmp_path / "merged.jsonl"
+    merged = ResultStore.merge_shards([shard_a, shard_b], output=merged_path)
+    assert len(merged) == 3
+    assert sorted(r.spec_hash for r in merged) == ["h1", "h2", "h3"]
+    assert len(ResultStore(merged_path)) == 3
+    with pytest.raises(ResultStoreError, match="not found"):
+        ResultStore.merge_shards([tmp_path / "missing.jsonl"])
+
+
+def test_queries_select_values_best_ok():
+    store = ResultStore()
+    store.add(make_result(1, name="a", completed=True, energy_total=3.0))
+    store.add(make_result(2, name="a", completed=False, energy_total=1.0))
+    store.add(make_result(3, name="b", completed=True, energy_total=2.0))
+    failed = RunResult.failed("boom", spec_hash="h4", name="a")
+    store.add(failed)
+    assert len(store.select(name="a")) == 3
+    assert len(store.select(lambda r: r.ok)) == 3
+    assert len(store.ok()) == 3
+    assert store.values("energy_total") == [3.0, 1.0, 2.0, None]
+    assert store.best("energy_total").spec_hash == "h2"
+    assert store.best("energy_total", minimize=False).spec_hash == "h1"
+    with pytest.raises(ResultStoreError, match="no stored result"):
+        store.best("no_such_metric")
+    # select on a column some rows lack must not blow up
+    assert store.select(x=1.0)[0].spec_hash == "h1"
+
+
+def test_tabular_views_align():
+    store = ResultStore()
+    store.add(make_result(1, completed=True))
+    store.add(make_result(2, completed=False))
+    columns = store.columns()
+    rows = store.rows()
+    assert columns[0] == "x"
+    assert all(len(row) == len(columns) for row in rows)
+    assert rows[0][0] == 1.0
+    table = store.table()
+    assert table.splitlines()[0].startswith("x")
+    assert len(table.splitlines()) == 2 + len(store)
+    records = store.to_dicts()
+    assert records[0]["x"] == 1.0 and records[0]["completed"] is True

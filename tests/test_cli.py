@@ -118,3 +118,89 @@ def test_components_command(capsys):
     assert "harvester" in out
     assert "signal-generator" in out
     assert "quickrecall" in out
+
+
+def test_sweep_output_and_resume(tmp_path, capsys):
+    store_path = str(tmp_path / "sweep.jsonl")
+    argv = ["sweep", "--serial", "--duration", "0.4",
+            "--set", "capacitance=22e-6,47e-6",
+            "--output", store_path, "--resume"]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert "2 computed, 0 reused" in first
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert "0 computed, 2 reused" in second
+
+
+def test_sweep_resume_requires_output(capsys):
+    assert main(["sweep", "--serial", "--resume"]) == 2
+    assert "--resume needs --output" in capsys.readouterr().err
+
+
+def test_run_output_stores_result(tmp_path, capsys):
+    from repro.results import ResultStore
+
+    assert main(["spec", "fig7"]) == 0
+    spec_json = capsys.readouterr().out
+    spec_path = tmp_path / "fig7.json"
+    spec_path.write_text(spec_json)
+    store_path = tmp_path / "runs.jsonl"
+    assert main(["run", str(spec_path), "--duration", "0.3",
+                 "--output", str(store_path)]) in (0, 1)
+    assert "stored 1 result" in capsys.readouterr().out
+    store = ResultStore(store_path)
+    assert len(store) == 1
+    result = store.results()[0]
+    assert result.name == "fig7-fft512"
+    assert len(result.trace("vcc")) > 0
+
+
+def test_results_command_table_best_pareto(tmp_path, capsys):
+    store_path = str(tmp_path / "sweep.jsonl")
+    assert main(["sweep", "--serial", "--duration", "0.4",
+                 "--set", "capacitance=22e-6,47e-6",
+                 "--output", store_path]) == 0
+    capsys.readouterr()
+    assert main(["results", store_path,
+                 "--best", "energy_total",
+                 "--pareto", "energy_total", "availability"]) == 0
+    out = capsys.readouterr().out
+    assert "2 rows" in out
+    assert "best (min energy_total)" in out
+    assert "pareto frontier" in out
+
+
+def test_results_command_merges_shards(tmp_path, capsys):
+    shard_a = str(tmp_path / "a.jsonl")
+    shard_b = str(tmp_path / "b.jsonl")
+    for shard, cap in ((shard_a, "22e-6"), (shard_b, "22e-6,47e-6")):
+        assert main(["sweep", "--serial", "--duration", "0.4",
+                     "--set", f"capacitance={cap}",
+                     "--output", shard]) == 0
+    capsys.readouterr()
+    merged = str(tmp_path / "merged.jsonl")
+    assert main(["results", merged, "--merge", shard_a, shard_b]) == 0
+    out = capsys.readouterr().out
+    assert "2 unique results" in out
+
+
+def test_results_command_missing_store(capsys):
+    assert main(["results", "/nonexistent/store.jsonl"]) == 2
+    assert "no result store" in capsys.readouterr().err
+
+
+def test_crossover_command_persistent_store(tmp_path, capsys):
+    from repro.results import ResultStore
+
+    store_path = str(tmp_path / "crossover.jsonl")
+    assert main(["crossover", "--serial", "--frequencies", "2", "80",
+                 "--output", store_path]) == 0
+    out = capsys.readouterr().out
+    assert "hibernus" in out
+    store = ResultStore(store_path)
+    assert len(store) == 4  # two strategies x two frequencies
+    # Re-running reuses the store: identical table, no recompute needed.
+    assert main(["crossover", "--serial", "--frequencies", "2", "80",
+                 "--output", store_path]) == 0
+    assert "hibernus" in capsys.readouterr().out
