@@ -7,7 +7,11 @@ so a >20% drop means the fast path itself got slower, not that CI got a
 noisier runner.  The sweep-throughput benchmarks (``perf_sweep.py``)
 run in the same gate: their machine-independent invariants — a resumed
 sweep computes zero points and beats serial recomputation by the
-documented floor — are enforced inside ``perf_sweep.run_benchmarks``::
+documented floor — are enforced inside ``perf_sweep.run_benchmarks``.
+So do the exploration-engine benchmarks (``perf_explore.py``):
+multi-fidelity search must match the exhaustive grid's answer within
+one grid step on at most 30% of its full-horizon simulations, and a
+cached re-run must recompute zero points::
 
     PYTHONPATH=src python benchmarks/perf/check_regression.py
     PYTHONPATH=src python benchmarks/perf/check_regression.py \
@@ -22,6 +26,10 @@ import json
 import sys
 from pathlib import Path
 
+from perf_explore import (
+    format_summary as format_explore_summary,
+    run_benchmarks as run_explore_benchmarks,
+)
 from perf_kernel import run_benchmarks
 from perf_sweep import format_summary, run_benchmarks as run_sweep_benchmarks
 
@@ -74,7 +82,12 @@ def main(argv=None) -> int:
     parser.add_argument("--sweep-output", type=Path, default=None,
                         help="write the fresh sweep results to this path")
     parser.add_argument("--skip-sweep", action="store_true",
-                        help="gate only the kernel benchmarks")
+                        help="skip the sweep-throughput benchmarks")
+    parser.add_argument("--explore-output", type=Path, default=None,
+                        help="write the fresh exploration results to this "
+                             "path")
+    parser.add_argument("--skip-explore", action="store_true",
+                        help="skip the exploration-engine benchmarks")
     args = parser.parse_args(argv)
     baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
     fresh = run_benchmarks(repeats=args.repeats)
@@ -96,29 +109,45 @@ def main(argv=None) -> int:
             else "no baseline yet"
         )
         print(f"  {name}: {case['speedup']:.2f}x ({baseline_note})")
-    if args.skip_sweep:
-        return 0
-    # The sweep harness raises on its own (machine-independent) gates:
-    # zero recomputed points on resume, cached >= the documented floor.
-    try:
-        sweep_fresh = run_sweep_benchmarks(repeats=args.repeats)
-    except AssertionError as error:
-        print(f"sweep perf regression detected:\n  - {error}")
-        return 1
-    if args.sweep_output is not None:
-        args.sweep_output.write_text(
-            json.dumps(sweep_fresh, indent=2) + "\n", encoding="utf-8"
-        )
-    print("sweep perf OK: resume invariants hold")
-    print(format_summary(sweep_fresh))
-    if args.sweep_baseline.exists():
-        sweep_baseline = json.loads(
-            args.sweep_baseline.read_text(encoding="utf-8")
-        )
-        base_cached = sweep_baseline["modes"]["cached"]["speedup"]
-        fresh_cached = sweep_fresh["modes"]["cached"]["speedup"]
-        print(f"  cached speedup: {fresh_cached:.0f}x "
-              f"(baseline {base_cached:.0f}x)")
+    if not args.skip_sweep:
+        # The sweep harness raises on its own (machine-independent)
+        # gates: zero recomputed points on resume, cached >= the
+        # documented floor.
+        try:
+            sweep_fresh = run_sweep_benchmarks(repeats=args.repeats)
+        except AssertionError as error:
+            print(f"sweep perf regression detected:\n  - {error}")
+            return 1
+        if args.sweep_output is not None:
+            args.sweep_output.write_text(
+                json.dumps(sweep_fresh, indent=2) + "\n", encoding="utf-8"
+            )
+        print("sweep perf OK: resume invariants hold")
+        print(format_summary(sweep_fresh))
+        if args.sweep_baseline.exists():
+            sweep_baseline = json.loads(
+                args.sweep_baseline.read_text(encoding="utf-8")
+            )
+            base_cached = sweep_baseline["modes"]["cached"]["speedup"]
+            fresh_cached = sweep_fresh["modes"]["cached"]["speedup"]
+            print(f"  cached speedup: {fresh_cached:.0f}x "
+                  f"(baseline {base_cached:.0f}x)")
+    if not args.skip_explore:
+        # The exploration harness raises on its own machine-independent
+        # gates: answer within one grid step of the exhaustive grid,
+        # <= 30% of the grid's full-horizon simulations, zero recomputes
+        # on a cached re-run.
+        try:
+            explore_fresh = run_explore_benchmarks()
+        except AssertionError as error:
+            print(f"exploration perf regression detected:\n  - {error}")
+            return 1
+        if args.explore_output is not None:
+            args.explore_output.write_text(
+                json.dumps(explore_fresh, indent=2) + "\n", encoding="utf-8"
+            )
+        print("exploration perf OK: multi-fidelity and caching gates hold")
+        print(format_explore_summary(explore_fresh))
     return 0
 
 

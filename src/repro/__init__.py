@@ -120,6 +120,15 @@ from repro.results import (
     result_columns,
     spec_hash,
 )
+from repro.explore import (
+    Axis,
+    ExplorationDriver,
+    ExplorationResult,
+    Objective,
+    SearchSpace,
+    available_optimizers,
+    register_optimizer,
+)
 
 __version__ = "1.0.0"
 
@@ -207,6 +216,14 @@ __all__ = [
     "metric_columns",
     "result_columns",
     "spec_hash",
+    # explore
+    "Axis",
+    "SearchSpace",
+    "Objective",
+    "ExplorationDriver",
+    "ExplorationResult",
+    "register_optimizer",
+    "available_optimizers",
     # core
     "EnergyDrivenSystem",
     "SystemDescriptor",

@@ -1,7 +1,10 @@
-"""Pareto-frontier extraction over (cost, benefit) pairs.
+"""Pareto-frontier extraction over multi-objective results.
 
-Two entry points: :func:`pareto_points` is the numeric core over bare
-sequences; :func:`pareto_from_store` runs the same dominance rule over a
+Three entry points: :func:`pareto_points` is the numeric core over bare
+(cost, benefit) sequences; :func:`non_dominated_indices` is the general
+k-objective dominance filter (all objectives minimized) that the
+exploration engine's evolutionary optimizer ranks populations with; and
+:func:`pareto_from_store` runs the same dominance rule over a
 :class:`~repro.results.store.ResultStore` and hands back the
 non-dominated :class:`RunResult` rows themselves, so downstream tools
 keep the full metric row (and spec hash) of every frontier design.
@@ -9,6 +12,7 @@ keep the full metric row (and spec hash) of every frontier design.
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, List, Sequence, Tuple
 
 from repro.errors import ConfigurationError
@@ -38,6 +42,46 @@ def pareto_points(
     return frontier
 
 
+def non_dominated_indices(rows: Sequence[Sequence[float]]) -> List[int]:
+    """Indices of the rows no other row dominates (minimise everything).
+
+    ``rows`` is a point per entry, one value per objective, every
+    objective oriented so lower is better (callers flip signs for
+    maximised metrics).  Row *a* dominates row *b* when it is
+    less-or-equal in every objective and strictly less in at least one;
+    duplicated points dominate nothing, so ties all stay on the
+    frontier.  Non-finite values (NaN/inf) mark an infeasible point:
+    such rows are never returned and never dominate.
+
+    Returns indices in input order — stable, so callers can zip them
+    back onto whatever the rows summarised.
+    """
+    if not rows:
+        return []
+    width = len(rows[0])
+    for row in rows:
+        if len(row) != width:
+            raise ConfigurationError(
+                "every row must have one value per objective"
+            )
+    feasible = [
+        i for i, row in enumerate(rows)
+        if all(math.isfinite(float(v)) for v in row)
+    ]
+
+    def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+        return all(x <= y for x, y in zip(a, b)) and any(
+            x < y for x, y in zip(a, b)
+        )
+
+    return [
+        i for i in feasible
+        if not any(
+            dominates(rows[j], rows[i]) for j in feasible if j != i
+        )
+    ]
+
+
 def pareto_from_store(
     store: "ResultStore",
     cost: str,
@@ -48,16 +92,23 @@ def pareto_from_store(
     """The store rows on the (cost, benefit) Pareto frontier.
 
     Columns resolve like :meth:`RunResult.__getitem__` (overrides first,
-    then metrics); rows missing either column — failed points, or
-    scenarios a contributing extractor marked not-applicable — are
-    excluded rather than treated as zero.  ``maximize_benefit=False``
-    flips the benefit axis (minimise both), e.g. energy vs completion
-    time.  Dominance matches :func:`pareto_points` exactly.
+    then metrics).  Failed points, rows with non-finite (NaN/inf) or
+    non-numeric values, and sub-full-fidelity screening rows (the
+    exploration driver's shortened-horizon evaluations, which
+    accumulate less of every metric) are skipped *with a warning*
+    rather than corrupting the dominance ordering — error rows in
+    particular would otherwise compete on their override columns alone.
+    Rows an extractor marked not-applicable (either column None) are
+    silently excluded, as before.  ``maximize_benefit=False`` flips the
+    benefit axis (minimise both), e.g. energy vs completion time.
+    Dominance matches :func:`pareto_points` exactly.
     """
-    candidates = [
-        result for result in store
-        if result.get(cost) is not None and result.get(benefit) is not None
-    ]
+    from repro.results.store import rankable_results
+
+    candidates = rankable_results(
+        store, (cost, benefit),
+        describe=f"pareto_from_store({cost!r}, {benefit!r})",
+    )
     if not candidates:
         raise ConfigurationError(
             f"no stored result records both {cost!r} and {benefit!r}"

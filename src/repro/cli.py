@@ -9,6 +9,9 @@
     python -m repro.cli run fig7.json
     python -m repro.cli sweep --set capacitance=22e-6,47e-6 --set frequency=4.7,9.4
     python -m repro.cli sweep --set frequency=2,10,40 --output sweep.jsonl --resume
+    python -m repro.cli explore --axis capacitance=log:1e-5:1e-4 \
+        --objective capacitance --require completed --budget 24 \
+        --output explore.jsonl --resume
     python -m repro.cli results sweep.jsonl --best energy_total
     python -m repro.cli components
 
@@ -35,6 +38,13 @@ from repro.analysis.crossover import crossover_from_store, series_from_store
 from repro.analysis.pareto import pareto_from_store
 from repro.analysis.report import format_table, print_section
 from repro.core.metrics import RunReport
+from repro.explore import (
+    Axis,
+    ExplorationDriver,
+    Objective,
+    SearchSpace,
+    available_optimizers,
+)
 from repro.results import ResultStore, RunResult
 from repro.core.taxonomy import classify, exemplars
 from repro.errors import ReproError
@@ -67,6 +77,7 @@ def cmd_list(_: argparse.Namespace) -> int:
         ["spec", "dump a preset scenario spec as JSON"],
         ["run", "run a scenario spec from a JSON file"],
         ["sweep", "expand a parameter grid and run it in parallel"],
+        ["explore", "budgeted design-space search with an optimizer"],
         ["results", "query a persisted sweep result store"],
         ["components", "list the registered spec components"],
     ]
@@ -293,8 +304,9 @@ def _parse_grid(settings: Optional[List[str]]):
     return grid
 
 
-def cmd_sweep(args: argparse.Namespace) -> int:
-    """Expand a parameter grid over a base spec and run it in parallel."""
+def _load_base(args: argparse.Namespace) -> ScenarioSpec:
+    """The base spec of a sweep/exploration: file or preset, plus the
+    shared --duration/--kernel overrides."""
     if args.spec is not None:
         base = ScenarioSpec.load(args.spec)
     else:
@@ -303,6 +315,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         base = base.with_override("duration", args.duration)
     if args.kernel is not None:
         base = base.with_override("kernel", args.kernel)
+    return base
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Expand a parameter grid over a base spec and run it in parallel."""
+    base = _load_base(args)
     grid = _parse_grid(args.set)
     if not grid:
         # A representative default: storage size x supply frequency, with
@@ -312,8 +330,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         raise ReproError("--resume needs --output (the store to resume from)")
     store = ResultStore(args.output) if args.output is not None else None
     runner = SweepRunner(base, grid, max_workers=args.workers)
+    progress = None
+    if args.progress:
+        progress = lambda event: print(f"  {event.describe()}")
     result = runner.run(
-        parallel=not args.serial, store=store, resume=args.resume
+        parallel=not args.serial, store=store, resume=args.resume,
+        progress=progress,
     )
     mode = "serial" if args.serial else "parallel"
     print_section(
@@ -326,6 +348,126 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             f"{len(store)} result(s) in {args.output}"
         )
     return 0
+
+
+_AXIS_KIND_PREFIXES = {
+    "lin": "continuous",
+    "log": "log",
+    "int": "integer",
+    "cat": "categorical",
+}
+
+
+def _parse_axis(text: str) -> Axis:
+    """One ``--axis`` setting: ``KEY=[lin:|log:|int:|cat:]ARGS``.
+
+    ``capacitance=log:1e-5:1e-4`` (log-spaced bounds),
+    ``frequency=4.7:9.4`` (linear bounds — the default kind),
+    ``store_slots=int:1:4``, ``strategy=cat:hibernus,quickrecall``.
+    """
+    name, sep, domain = text.partition("=")
+    if not sep or not name or not domain:
+        raise ReproError(
+            f"--axis wants KEY=[lin:|log:|int:|cat:]ARGS, got {text!r}"
+        )
+    parts = domain.split(":")
+    if parts[0] in _AXIS_KIND_PREFIXES:
+        kind, parts = _AXIS_KIND_PREFIXES[parts[0]], parts[1:]
+    else:
+        kind = "continuous"
+    if kind == "categorical":
+        choices = [_parse_grid_value(v) for v in ":".join(parts).split(",")]
+        return Axis.categorical(name, choices)
+    if len(parts) != 2:
+        raise ReproError(
+            f"--axis {name!r}: numeric kinds want LOW:HIGH, got {domain!r}"
+        )
+    low, high = (_parse_grid_value(p) for p in parts)
+    if not all(isinstance(v, (int, float)) and not isinstance(v, bool)
+               for v in (low, high)):
+        raise ReproError(
+            f"--axis {name!r}: bounds must be numbers, got {domain!r}"
+        )
+    if kind == "integer":
+        return Axis.integer(name, low, high)
+    return Axis(name, kind, low=float(low), high=float(high))
+
+
+def _parse_optimizer_params(settings: Optional[List[str]]):
+    params = {}
+    for setting in settings or []:
+        key, sep, value = setting.partition("=")
+        if not sep or not key:
+            raise ReproError(f"--opt wants key=value, got {setting!r}")
+        params[key] = _parse_grid_value(value)
+    return params
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    """Budgeted design-space search: optimizer + store-backed caching."""
+    base = _load_base(args)
+    if args.space is not None:
+        if args.axis:
+            raise ReproError("--space and --axis are mutually exclusive")
+        space = SearchSpace.load(args.space)
+    elif args.axis:
+        space = SearchSpace.of(*[_parse_axis(a) for a in args.axis])
+    else:
+        raise ReproError(
+            "explore needs a search space: repeat --axis KEY=KIND:ARGS "
+            "or point --space at a SearchSpace JSON file"
+        )
+    objectives = [
+        Objective.parse(text, require=args.require)
+        for text in (args.objective or ["completion_time"])
+    ]
+    if args.resume and args.output is None:
+        raise ReproError("--resume needs --output (the store to resume from)")
+    store = ResultStore(args.output) if args.output is not None else None
+
+    def progress(event):
+        print(f"  {event.describe()}")
+
+    driver = ExplorationDriver(
+        base,
+        space,
+        objectives,
+        optimizer=args.optimizer,
+        optimizer_params=_parse_optimizer_params(args.opt),
+        store=store,
+        resume=args.resume,
+        parallel=not args.serial,
+        max_workers=args.workers,
+        seed=args.seed,
+        progress=progress,
+    )
+    goals = ", ".join(o.describe() for o in driver.objectives)
+    print(f"explore: {base.name} via {args.optimizer} "
+          f"(budget {args.budget}, {goals})")
+    outcome = driver.run(budget=args.budget)
+    print_section(
+        f"top {min(args.top, len(outcome))} of {len(outcome)} evaluation(s)",
+        outcome.format(top=args.top),
+    )
+    print(outcome.describe())
+    if len(driver.objectives) > 1 and outcome.frontier:
+        lines = [
+            f"{e.candidate.overrides} -> "
+            + ", ".join(
+                f"{o.metric}={o.value(e.result):.6g}"
+                for o in driver.objectives
+                if o.value(e.result) is not None
+            )
+            for e in outcome.frontier
+        ]
+        print_section(
+            f"pareto frontier ({len(outcome.frontier)} point(s))",
+            "\n".join(lines),
+        )
+    if store is not None:
+        print(f"\n{outcome.computed} computed, {outcome.cached} reused; "
+              f"{len(store)} result(s) in {args.output}")
+    return 0 if outcome.best is not None else 1
 
 
 def _load_store(path: str) -> ResultStore:
@@ -449,8 +591,61 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--resume", action="store_true",
                        help="skip points --output already holds; only the "
                             "missing points are computed")
+    sweep.add_argument("--progress", action="store_true",
+                       help="print computed/cached/error counts per batch")
     add_kernel_flag(sweep)
     sweep.set_defaults(fn=cmd_sweep)
+
+    explore = sub.add_parser(
+        "explore", help="budgeted design-space search with an optimizer"
+    )
+    explore.add_argument("spec", nargs="?", default=None,
+                         help="base ScenarioSpec JSON file (default: preset)")
+    explore.add_argument("--preset", default="fig7",
+                         help="base preset when no spec file is given")
+    explore.add_argument("--axis", action="append", default=[],
+                         metavar="KEY=KIND:ARGS",
+                         help="one search axis (repeatable): KEY=LOW:HIGH "
+                              "(linear), KEY=log:LOW:HIGH, KEY=int:LOW:HIGH, "
+                              "KEY=cat:A,B,...; keys follow "
+                              "ScenarioSpec.with_override resolution")
+    explore.add_argument("--space", default=None, metavar="SPACE.json",
+                         help="load the search space from a SearchSpace "
+                              "JSON file instead of --axis flags")
+    explore.add_argument("--objective", action="append",
+                         default=None, metavar="METRIC[:min|max]",
+                         help="objective column from the metric registry "
+                              "or a search axis (repeat for "
+                              "multi-objective; default: min "
+                              "completion_time)")
+    explore.add_argument("--require", default=None, metavar="COLUMN",
+                         help="feasibility column that must be truthy "
+                              "(e.g. completed)")
+    explore.add_argument("--optimizer", default="successive-halving",
+                         choices=available_optimizers(),
+                         help="search strategy (default: successive-halving)")
+    explore.add_argument("--opt", action="append", metavar="KEY=VALUE",
+                         help="one optimizer parameter (repeatable), e.g. "
+                              "--opt initial=16 --opt eta=4")
+    explore.add_argument("--budget", type=int, default=24,
+                         help="total evaluation budget (default 24)")
+    explore.add_argument("--seed", type=int, default=0,
+                         help="optimizer RNG seed (fixes the candidate "
+                              "sequence, making re-runs pure cache hits)")
+    explore.add_argument("--duration", type=float, default=None)
+    explore.add_argument("--serial", action="store_true",
+                         help="run evaluations in-process instead of a pool")
+    explore.add_argument("--workers", type=int, default=None)
+    explore.add_argument("--output", default=None, metavar="STORE.jsonl",
+                         help="persist every evaluation to a JSONL result "
+                              "store")
+    explore.add_argument("--resume", action="store_true",
+                         help="reuse evaluations --output already holds; a "
+                              "re-run with the same seed recomputes nothing")
+    explore.add_argument("--top", type=int, default=10,
+                         help="rows of the ranked table to print")
+    add_kernel_flag(explore)
+    explore.set_defaults(fn=cmd_explore)
 
     results = sub.add_parser(
         "results", help="query a persisted result store"

@@ -47,3 +47,7 @@ class UnknownComponentError(SpecError):
 
 class ResultStoreError(ReproError):
     """A persisted result store is corrupt or was queried invalidly."""
+
+
+class ExploreError(ReproError):
+    """A design-space exploration was configured or driven invalidly."""

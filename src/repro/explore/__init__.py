@@ -1,0 +1,59 @@
+"""repro.explore: budgeted design-space exploration.
+
+Four pieces (see DESIGN.md, "Exploration engine"):
+
+* :mod:`repro.explore.space` — :class:`SearchSpace`/:class:`Axis`:
+  declarative, JSON-round-trippable domains (continuous, log, integer,
+  categorical) bound to :meth:`ScenarioSpec.with_override` paths.
+* :mod:`repro.explore.objectives` — :class:`Objective`: metric-registry
+  columns plus direction and feasibility constraints, scored
+  sign-normalised (``inf`` = infeasible).
+* :mod:`repro.explore.optimizers` — the ask/tell :class:`Optimizer`
+  protocol and its string-keyed registry: ``grid``, ``random``,
+  ``successive-halving`` (multi-fidelity) and ``evolutionary``
+  (Pareto-aware).
+* :mod:`repro.explore.driver` — :class:`ExplorationDriver`: evaluates
+  candidate batches through the sweep process pool, memoised by spec
+  hash against a :class:`ResultStore`, so resumed/repeated explorations
+  recompute nothing.
+
+Lazy init (PEP 562) like :mod:`repro.spec`/:mod:`repro.results`, so
+importing one piece doesn't drag in the whole simulation stack.
+"""
+
+_LAZY = {
+    "Axis": "repro.explore.space",
+    "SearchSpace": "repro.explore.space",
+    "AXIS_KINDS": "repro.explore.space",
+    "Objective": "repro.explore.objectives",
+    "normalize_objectives": "repro.explore.objectives",
+    "Candidate": "repro.explore.optimizers",
+    "Evaluation": "repro.explore.optimizers",
+    "Optimizer": "repro.explore.optimizers",
+    "register_optimizer": "repro.explore.optimizers",
+    "create_optimizer": "repro.explore.optimizers",
+    "available_optimizers": "repro.explore.optimizers",
+    "GridSearch": "repro.explore.optimizers",
+    "RandomSearch": "repro.explore.optimizers",
+    "SuccessiveHalving": "repro.explore.optimizers",
+    "ParetoEvolutionary": "repro.explore.optimizers",
+    "ExplorationDriver": "repro.explore.driver",
+    "ExplorationResult": "repro.explore.driver",
+}
+
+__all__ = list(_LAZY)
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module 'repro.explore' has no attribute {name!r}"
+        )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(__all__)

@@ -1,0 +1,170 @@
+"""Objectives: how an exploration scores a finished run.
+
+An :class:`Objective` names one column of the results pipeline — a
+metric-registry column or a search-axis override — an optimisation
+direction, and optionally a feasibility column that must be truthy
+(e.g. *minimise capacitance subject to ``completed``*).  Scoring is
+sign-normalised (lower is always better internally) and total: error
+rows, missing/non-finite values and unmet feasibility all score
+``+inf``, so optimizers rank every evaluation without special-casing
+failures — an infeasible Eq. (4) corner simply loses to everything.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ExploreError
+
+INFEASIBLE = float("inf")
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One optimisation target over result columns.
+
+    Attributes:
+        metric: the column to optimise; resolves like
+            :meth:`RunResult.__getitem__` (overrides first, then the
+            metric registry).
+        goal: ``"min"`` or ``"max"``.
+        require: optional column that must be truthy for a row to be
+            feasible at all — the constraint half of problems like
+            "smallest capacitor that *completes* the workload".
+    """
+
+    metric: str
+    goal: str = "min"
+    require: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.metric:
+            raise ExploreError("an objective needs a metric column name")
+        if self.goal not in ("min", "max"):
+            raise ExploreError(
+                f"objective {self.metric!r}: goal must be 'min' or 'max', "
+                f"got {self.goal!r}"
+            )
+
+    @property
+    def minimize(self) -> bool:
+        return self.goal == "min"
+
+    # -- parsing ---------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str, require: Optional[str] = None) -> "Objective":
+        """Build from the CLI form ``metric`` or ``metric:max``."""
+        metric, sep, goal = text.partition(":")
+        if not sep:
+            return cls(metric=metric, require=require)
+        return cls(metric=metric, goal=goal, require=require)
+
+    # -- scoring ---------------------------------------------------------
+
+    def value(self, result: Any) -> Optional[float]:
+        """The raw (un-normalised) column value, or None when absent."""
+        value = result.get(self.metric)
+        if value is None or isinstance(value, str):
+            return None
+        return float(value)
+
+    def score(self, result: Any) -> float:
+        """Sign-normalised rank value: lower is better, inf is infeasible.
+
+        Infeasible means: the run failed (error row), the metric is
+        missing or non-finite, or ``require`` resolved falsy.
+        """
+        if not result.ok:
+            return INFEASIBLE
+        if self.require is not None and not result.get(self.require):
+            return INFEASIBLE
+        value = self.value(result)
+        if value is None or not math.isfinite(value):
+            return INFEASIBLE
+        return value if self.minimize else -value
+
+    # -- validation ------------------------------------------------------
+
+    def validate(self, known_columns: Iterable[str]) -> None:
+        """Reject metrics (and requirements) no column will ever carry."""
+        known = list(known_columns)
+        for column in filter(None, (self.metric, self.require)):
+            if column not in known:
+                raise ExploreError(
+                    f"objective column {column!r} is not a result column; "
+                    f"choose from {sorted(known)}"
+                )
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"metric": self.metric}
+        if self.goal != "min":
+            payload["goal"] = self.goal
+        if self.require is not None:
+            payload["require"] = self.require
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Objective":
+        unknown = sorted(set(payload) - {"metric", "goal", "require"})
+        if unknown:
+            raise ExploreError(
+                f"unknown key(s) {unknown} in objective payload; allowed: "
+                "['metric', 'goal', 'require']"
+            )
+        if "metric" not in payload:
+            raise ExploreError("objective payload is missing 'metric'")
+        return cls(
+            metric=payload["metric"],
+            goal=payload.get("goal", "min"),
+            require=payload.get("require"),
+        )
+
+    def describe(self) -> str:
+        """Human form: ``min capacitance (require completed)``."""
+        suffix = f" (require {self.require})" if self.require else ""
+        return f"{self.goal} {self.metric}{suffix}"
+
+
+def normalize_objectives(
+    objectives: Sequence[Any], require: Optional[str] = None
+) -> Tuple[Objective, ...]:
+    """Coerce a mixed list (strings, dicts, Objectives) into Objectives.
+
+    ``require`` is applied to entries that do not already carry one —
+    the CLI's single ``--require`` flag distributing over every
+    ``--objective``.
+    """
+    if not objectives:
+        raise ExploreError("an exploration needs at least one objective")
+    normalized: List[Objective] = []
+    for entry in objectives:
+        if isinstance(entry, Objective):
+            objective = entry
+        elif isinstance(entry, str):
+            objective = Objective.parse(entry)
+        elif isinstance(entry, Mapping):
+            objective = Objective.from_dict(entry)
+        else:
+            raise ExploreError(
+                f"cannot interpret {entry!r} as an objective; pass an "
+                "Objective, 'metric[:min|max]' string, or mapping"
+            )
+        if require is not None and objective.require is None:
+            objective = Objective(objective.metric, objective.goal, require)
+        normalized.append(objective)
+    metrics = [o.metric for o in normalized]
+    if len(set(metrics)) != len(metrics):
+        raise ExploreError(
+            f"objectives name duplicate metrics: {sorted(metrics)}"
+        )
+    return tuple(normalized)
+
+
+def scores(objectives: Sequence[Objective], result: Any) -> Tuple[float, ...]:
+    """Every objective's sign-normalised score for one result row."""
+    return tuple(objective.score(result) for objective in objectives)

@@ -1,0 +1,557 @@
+"""Ask/tell optimizers over a :class:`SearchSpace`.
+
+The protocol is deliberately small: an optimizer *asks* for a batch of
+:class:`Candidate` points (each an override mapping plus an evaluation
+fidelity), the :class:`~repro.explore.driver.ExplorationDriver` runs
+them — through the process pool, memoised by spec hash against a
+:class:`ResultStore` — and *tells* the optimizer one
+:class:`Evaluation` per candidate, in ask order.  Everything the
+optimizer learns arrives through ``tell``; everything it decides leaves
+through ``ask``.  That split is what makes explorations resumable: a
+seeded optimizer re-asks the identical candidate sequence, the store
+answers from cache, and the optimizer reaches the identical state
+without a single recomputed simulation.
+
+Implementations are registered by string key (mirroring the component
+and metric registries) so specs, the CLI and saved studies can name
+them::
+
+    @register_optimizer("random")
+    class RandomSearch(Optimizer): ...
+
+Built-ins: ``grid`` (exhaustive discretisation — the SweepRunner
+equivalent, useful as a baseline), ``random`` (budgeted random
+sampling), ``successive-halving`` (multi-fidelity screening: cheap
+fast-kernel short-horizon evaluations eliminate most candidates before
+any full-horizon reference run), and ``evolutionary`` (Pareto-aware
+NSGA-style search for multi-objective goals, ranking populations with
+:func:`repro.analysis.pareto.non_dominated_indices`).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.analysis.pareto import non_dominated_indices
+from repro.errors import ExploreError
+from repro.explore.objectives import Objective
+from repro.explore.space import SearchSpace
+
+#: Fidelity of a full-horizon reference evaluation (the default).
+FULL_FIDELITY = 1.0
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point an optimizer wants evaluated.
+
+    Attributes:
+        overrides: axis values, keyed by override path.
+        fidelity: evaluation fidelity in ``(0, 1]``; below
+            :data:`FULL_FIDELITY` the driver substitutes the fast kernel
+            and shortens the horizon proportionally (see
+            :meth:`ExplorationDriver.spec_for`).
+    """
+
+    overrides: Dict[str, Any] = field(default_factory=dict)
+    fidelity: float = FULL_FIDELITY
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "overrides", dict(self.overrides))
+        if not (0.0 < self.fidelity <= 1.0):
+            raise ExploreError(
+                f"candidate fidelity must be in (0, 1], got {self.fidelity!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """One evaluated candidate: the driver's answer to an ask.
+
+    Attributes:
+        candidate: the asked point.
+        result: the full :class:`RunResult` row (metrics, spec hash,
+            error).
+        scores: sign-normalised objective values (lower is better;
+            ``inf`` marks infeasibility), one per driver objective.
+        cached: True when the result came out of the store for free.
+    """
+
+    candidate: Candidate
+    result: Any
+    scores: Tuple[float, ...]
+    cached: bool = False
+
+    @property
+    def feasible(self) -> bool:
+        """True when every objective scored finite."""
+        return all(math.isfinite(s) for s in self.scores)
+
+
+class Optimizer:
+    """Base ask/tell optimizer; subclasses implement :meth:`ask`/`tell`.
+
+    Args:
+        space: the search space to draw candidates from.
+        objectives: the driver's objectives (scores arrive in this
+            order).
+        budget: total evaluations this optimizer may ask for.
+        seed: RNG seed — the determinism anchor: one seed, one candidate
+            sequence, which is what makes re-runs pure cache hits.
+    """
+
+    #: Registry key; set by :func:`register_optimizer`.
+    name: Optional[str] = None
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        objectives: Sequence[Objective],
+        budget: int,
+        seed: int = 0,
+    ):
+        if budget < 1:
+            raise ExploreError(f"budget must be >= 1, got {budget!r}")
+        self.space = space
+        self.objectives = tuple(objectives)
+        self.budget = budget
+        self.rng = random.Random(seed)
+        self.evaluations: List[Evaluation] = []
+        self._asked = 0
+
+    # -- the protocol ----------------------------------------------------
+
+    def ask(self) -> List[Candidate]:
+        """The next batch to evaluate; empty means the optimizer is done."""
+        raise NotImplementedError
+
+    def tell(self, evaluations: Sequence[Evaluation]) -> None:
+        """Record one evaluation per previously asked candidate, in order."""
+        self.evaluations.extend(evaluations)
+
+    @property
+    def done(self) -> bool:
+        """True once no further ask will produce candidates."""
+        return self._asked >= self.budget
+
+    # -- shared bookkeeping ---------------------------------------------
+
+    def _take(self, wanted: int) -> int:
+        """Clamp a batch size to the remaining budget and account for it."""
+        granted = max(0, min(wanted, self.budget - self._asked))
+        self._asked += granted
+        return granted
+
+    # -- result views ----------------------------------------------------
+
+    def feasible(self) -> List[Evaluation]:
+        """Every feasible evaluation told so far."""
+        return [e for e in self.evaluations if e.feasible]
+
+    def _answer_pool(self) -> List[Evaluation]:
+        """Feasible evaluations at the highest fidelity any reached.
+
+        Screening runs must never *be* the answer: a 60%-horizon row
+        accumulates less energy (time, cycles, ...) than any full run,
+        so comparing across fidelities would systematically crown a
+        low-fidelity artifact.  Restricting to the top fidelity seen
+        makes answers commensurable; for single-fidelity optimizers it
+        is the identity.
+        """
+        feasible = self.feasible()
+        if not feasible:
+            return []
+        top = max(e.candidate.fidelity for e in feasible)
+        return [e for e in feasible if e.candidate.fidelity == top]
+
+    def best(self) -> Optional[Evaluation]:
+        """The evaluation minimising the score tuple (None if none ran).
+
+        Single-objective explorations get *the* optimum; multi-objective
+        ones get the lexicographic-best corner of the frontier — use
+        :meth:`frontier` for the full trade-off.  Only evaluations at
+        the highest fidelity reached compete (see :meth:`_answer_pool`),
+        so ``best.result`` always carries metrics measured over the same
+        horizon/kernel as its rivals.
+        """
+        pool = self._answer_pool()
+        if not pool:
+            return None
+        return min(pool, key=lambda e: e.scores)
+
+    def frontier(self) -> List[Evaluation]:
+        """Non-dominated feasible evaluations, deduped by spec hash.
+
+        Like :meth:`best`, ranked within the highest fidelity reached —
+        dominance across horizons would not be meaningful.
+        """
+        pool = self._answer_pool()
+        frontier = [
+            pool[i] for i in non_dominated_indices([e.scores for e in pool])
+        ]
+        seen: Dict[str, Evaluation] = {}
+        for evaluation in frontier:
+            seen.setdefault(evaluation.result.spec_hash, evaluation)
+        return list(seen.values())
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+_OPTIMIZERS: Dict[str, Type[Optimizer]] = {}
+
+
+def register_optimizer(name: str) -> Callable[[Type[Optimizer]], Type[Optimizer]]:
+    """Class decorator registering an optimizer under a string key."""
+    if not name:
+        raise ExploreError("an optimizer needs a non-empty registry name")
+
+    def decorator(cls: Type[Optimizer]) -> Type[Optimizer]:
+        existing = _OPTIMIZERS.get(name)
+        if existing is not None and existing is not cls:
+            raise ExploreError(f"optimizer {name!r} is already registered")
+        cls.name = name
+        _OPTIMIZERS[name] = cls
+        return cls
+
+    return decorator
+
+
+def available_optimizers() -> List[str]:
+    """Registered optimizer names, sorted."""
+    return sorted(_OPTIMIZERS)
+
+
+def create_optimizer(
+    name: str,
+    space: SearchSpace,
+    objectives: Sequence[Objective],
+    budget: int,
+    seed: int = 0,
+    **params: Any,
+) -> Optimizer:
+    """Instantiate a registered optimizer; unknown keys fail actionably."""
+    cls = _OPTIMIZERS.get(name)
+    if cls is None:
+        raise ExploreError(
+            f"unknown optimizer {name!r}; available: {available_optimizers()}"
+        )
+    try:
+        return cls(space, objectives, budget, seed=seed, **params)
+    except TypeError as error:
+        raise ExploreError(
+            f"optimizer {name!r} rejected its parameters: {error}"
+        ) from error
+
+
+# ---------------------------------------------------------------------------
+# Implementations
+# ---------------------------------------------------------------------------
+
+
+@register_optimizer("grid")
+class GridSearch(Optimizer):
+    """Exhaustive full-fidelity evaluation of a discretised space.
+
+    The optimizer equivalent of handing :meth:`SearchSpace.grid` to
+    :class:`SweepRunner` — every point at full horizon.  It exists as
+    the baseline the budgeted optimizers are measured against (see
+    ``benchmarks/perf/perf_explore.py``), and as the exploration-engine
+    way to run a plain grid with store-backed memoisation.
+
+    Args:
+        resolution: per-axis grid resolution (default 5); the grid is
+            truncated to the budget in enumeration order.
+    """
+
+    def __init__(self, space, objectives, budget, seed=0, resolution=5):
+        super().__init__(space, objectives, budget, seed=seed)
+        self._points = space.grid(resolution)
+
+    def ask(self) -> List[Candidate]:
+        granted = self._take(len(self._points))
+        batch = [Candidate(point) for point in self._points[:granted]]
+        self._points = self._points[granted:]
+        if not batch:
+            self._points = []
+        return batch
+
+    @property
+    def done(self) -> bool:
+        return not self._points or super().done
+
+
+@register_optimizer("random")
+class RandomSearch(Optimizer):
+    """Budgeted random sampling at full fidelity.
+
+    The honest baseline for any smarter search — and surprisingly
+    strong in low-dimensional design spaces.
+
+    Args:
+        batch: candidates per ask (defaults to a pool-friendly 8).
+    """
+
+    def __init__(self, space, objectives, budget, seed=0, batch=8):
+        super().__init__(space, objectives, budget, seed=seed)
+        if batch < 1:
+            raise ExploreError(f"batch must be >= 1, got {batch!r}")
+        self.batch = batch
+
+    def ask(self) -> List[Candidate]:
+        granted = self._take(self.batch)
+        return [Candidate(self.space.sample(self.rng)) for _ in range(granted)]
+
+
+@register_optimizer("successive-halving")
+class SuccessiveHalving(Optimizer):
+    """Multi-fidelity screening: eliminate cheaply, confirm expensively.
+
+    Rung 0 evaluates ``initial`` candidates at ``min_fidelity`` — the
+    driver maps that to the fast kernel over a proportionally shortened
+    horizon, a small fraction of a reference run's cost.  Each
+    subsequent rung keeps the best ``1/eta`` of the previous rung
+    (ranked by the *first* objective's score; infeasible scores rank
+    last) and re-evaluates them at ``eta``-times the fidelity, ending at
+    full fidelity — full horizon, the base spec's own (reference)
+    kernel.  Only rung survivors ever cost a full-horizon simulation,
+    which is the whole economy of the method.
+
+    Args:
+        initial: rung-0 width; defaults to filling the budget across the
+            fidelity schedule.
+        eta: elimination factor between rungs (default 3).
+        min_fidelity: rung-0 fidelity (default ``1/eta``).  Choose it so
+            the signal survives the shortened horizon — e.g. for
+            completion-gated objectives, longer than the expected
+            completion time fraction.
+        init: ``"random"`` rung-0 sampling, or ``"grid"`` to screen a
+            discretised grid (making the answer directly comparable to
+            :class:`GridSearch` over the same resolution).
+        resolution: per-axis grid resolution when ``init="grid"``.
+            Defaults to a balanced resolution whose cartesian product
+            is close to ``initial`` (for a single numeric axis: exactly
+            ``initial``).  When the grid still exceeds ``initial``
+            points, rung 0 screens a seeded uniform subsample — never a
+            corner slice, which would silently pin early axes to their
+            low bounds.
+    """
+
+    def __init__(self, space, objectives, budget, seed=0, initial=None,
+                 eta=3, min_fidelity=None, init="random", resolution=None):
+        super().__init__(space, objectives, budget, seed=seed)
+        if eta < 2:
+            raise ExploreError(f"eta must be >= 2, got {eta!r}")
+        self.eta = eta
+        if min_fidelity is None:
+            min_fidelity = 1.0 / eta
+        if not (0.0 < min_fidelity <= 1.0):
+            raise ExploreError(
+                f"min_fidelity must be in (0, 1], got {min_fidelity!r}"
+            )
+        if init not in ("random", "grid"):
+            raise ExploreError(
+                f"init must be 'random' or 'grid', got {init!r}"
+            )
+        self.fidelities = self._schedule(min_fidelity, eta)
+        weight = sum(eta ** -k for k in range(len(self.fidelities)))
+        if initial is None:
+            initial = max(eta, int(budget / weight))
+        if initial < 2:
+            raise ExploreError(f"initial must be >= 2, got {initial!r}")
+        self.initial = initial
+        self.init = init
+        if resolution is None:
+            resolution = self._balanced_resolution(space, initial)
+        self.resolution = resolution
+        self._rung = 0
+        self._pending: Optional[List[Candidate]] = None
+        self._survivors: Optional[List[Dict[str, Any]]] = None
+        self._finished = False
+
+    @staticmethod
+    def _balanced_resolution(space: SearchSpace, initial: int) -> int:
+        """A per-axis resolution whose full grid is close to ``initial``.
+
+        Categorical axes contribute their fixed choice counts; the
+        numeric axes share the remaining budget evenly, so a two-axis
+        space screens a 4x4 lattice for ``initial=16`` instead of a
+        16x16 grid truncated to its first corner.
+        """
+        numeric = sum(1 for axis in space.axes if axis.kind != "categorical")
+        if numeric == 0:
+            return 2  # grids of pure-categorical spaces ignore resolution
+        fixed = 1
+        for axis in space.axes:
+            if axis.kind == "categorical":
+                fixed *= len(axis.choices)
+        budget = max(1, initial // fixed)
+        return max(2, int(round(budget ** (1.0 / numeric))))
+
+    def _spread(self, points: List[Dict[str, Any]],
+                count: int) -> List[Dict[str, Any]]:
+        """At most ``count`` points as a seeded, order-preserving
+        uniform subsample — coverage of every axis is kept, unlike a
+        prefix slice of an enumeration-ordered grid."""
+        if len(points) <= count:
+            return points
+        chosen = sorted(self.rng.sample(range(len(points)), count))
+        return [points[i] for i in chosen]
+
+    def _initial_grid(self) -> List[Dict[str, Any]]:
+        """The rung-0 screening points for ``init="grid"``."""
+        return self._spread(self.space.grid(self.resolution), self.initial)
+
+    @staticmethod
+    def _schedule(min_fidelity: float, eta: float) -> List[float]:
+        """Geometric fidelity ladder from ``min_fidelity`` up to 1.0."""
+        fidelities = []
+        fidelity = min_fidelity
+        while fidelity < 1.0:
+            fidelities.append(fidelity)
+            fidelity *= eta
+        fidelities.append(1.0)
+        return fidelities
+
+    def _rung_width(self, rung: int) -> int:
+        return max(1, int(self.initial / self.eta ** rung))
+
+    def ask(self) -> List[Candidate]:
+        if self.done:
+            return []
+        if self._pending is not None:
+            raise ExploreError(
+                "successive-halving asked twice without a tell in between"
+            )
+        fidelity = self.fidelities[self._rung]
+        if self._rung == 0:
+            if self.init == "grid":
+                points = self._initial_grid()
+            else:
+                points = [self.space.sample(self.rng)
+                          for _ in range(self.initial)]
+        else:
+            points = self._survivors or []
+        width = min(self._rung_width(self._rung), len(points))
+        granted = self._take(width)
+        if self._rung == 0 and self.init == "grid":
+            # A budget smaller than the screen must thin the grid
+            # uniformly, not slice its low corner (later rungs are
+            # rank-ordered, so their prefix *is* the right cut).
+            selected = self._spread(points, granted)
+        else:
+            selected = points[:granted]
+        self._pending = [
+            Candidate(point, fidelity=fidelity) for point in selected
+        ]
+        if not self._pending:
+            self._finished = True
+            self._pending = None
+            return []
+        return list(self._pending)
+
+    def tell(self, evaluations: Sequence[Evaluation]) -> None:
+        if self._pending is None:
+            raise ExploreError(
+                "successive-halving told without a pending ask"
+            )
+        super().tell(evaluations)
+        # Rank this rung by the primary objective (stable: ties keep
+        # ask order), promote the top 1/eta to the next fidelity.
+        ranked = sorted(
+            evaluations, key=lambda e: e.scores[0] if e.scores else math.inf
+        )
+        self._pending = None
+        self._rung += 1
+        if self._rung >= len(self.fidelities):
+            self._finished = True
+            return
+        keep = min(self._rung_width(self._rung), len(ranked))
+        self._survivors = [
+            dict(e.candidate.overrides) for e in ranked[:keep]
+        ]
+        if not self._survivors:
+            self._finished = True
+
+    @property
+    def done(self) -> bool:
+        return self._finished or super().done
+
+
+@register_optimizer("evolutionary")
+class ParetoEvolutionary(Optimizer):
+    """Pareto-aware evolutionary search for multi-objective goals.
+
+    NSGA-lite: each generation ranks the population into non-dominated
+    fronts (via :func:`non_dominated_indices` over the sign-normalised
+    score tuples), takes the best half as parents, and produces
+    offspring by uniform crossover plus per-axis mutation
+    (:meth:`Axis.mutate` — gaussian in the axis's own metric,
+    choice-resampling for categorical axes).  With a single objective
+    it degrades gracefully to elitist evolution; with several it grows
+    an approximation of the Pareto frontier, which :meth:`frontier`
+    returns.
+
+    Args:
+        population: candidates per generation.
+        mutation: per-axis mutation probability.
+        mutation_scale: gaussian step as a fraction of the axis range.
+        fidelity: evaluation fidelity for every candidate (default
+            full).
+    """
+
+    def __init__(self, space, objectives, budget, seed=0, population=12,
+                 mutation=0.35, mutation_scale=0.25, fidelity=FULL_FIDELITY):
+        super().__init__(space, objectives, budget, seed=seed)
+        if population < 2:
+            raise ExploreError(
+                f"population must be >= 2, got {population!r}"
+            )
+        if not (0.0 <= mutation <= 1.0):
+            raise ExploreError(
+                f"mutation must be in [0, 1], got {mutation!r}"
+            )
+        self.population = population
+        self.mutation = mutation
+        self.mutation_scale = mutation_scale
+        self.fidelity = fidelity
+
+    def _parents(self) -> List[Evaluation]:
+        """The better half of everything seen, by non-dominated front."""
+        pool = self.feasible()
+        parents: List[Evaluation] = []
+        wanted = max(2, self.population // 2)
+        while pool and len(parents) < wanted:
+            front_idx = set(non_dominated_indices([e.scores for e in pool]))
+            parents.extend(e for i, e in enumerate(pool) if i in front_idx)
+            pool = [e for i, e in enumerate(pool) if i not in front_idx]
+        return parents[:wanted] if len(parents) >= 2 else parents
+
+    def _offspring(self, parents: List[Evaluation]) -> Dict[str, Any]:
+        a, b = (self.rng.sample(parents, 2) if len(parents) >= 2
+                else (parents[0], parents[0]))
+        child: Dict[str, Any] = {}
+        for axis in self.space.axes:
+            source = a if self.rng.random() < 0.5 else b
+            value = source.candidate.overrides[axis.name]
+            if self.rng.random() < self.mutation:
+                value = axis.mutate(value, self.rng, self.mutation_scale)
+            child[axis.name] = value
+        return child
+
+    def ask(self) -> List[Candidate]:
+        granted = self._take(self.population)
+        if granted == 0:
+            return []
+        parents = self._parents()
+        if not parents:
+            # Generation zero (or nothing feasible yet): sample fresh.
+            points = [self.space.sample(self.rng) for _ in range(granted)]
+        else:
+            points = [self._offspring(parents) for _ in range(granted)]
+        return [Candidate(point, fidelity=self.fidelity) for point in points]

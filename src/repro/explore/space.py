@@ -1,0 +1,340 @@
+"""Declarative search spaces over :class:`ScenarioSpec` override paths.
+
+A :class:`SearchSpace` is to an exploration what a parameter grid is to
+a sweep: a frozen, JSON-round-trippable description of *which* design
+knobs may vary and *over what ranges* — except the ranges are domains
+(continuous, log-scale, integer, categorical), not enumerated value
+lists, so optimizers can sample, discretise and mutate them instead of
+exhausting a cartesian product.
+
+Every :class:`Axis` binds to one override key resolved exactly like
+:meth:`ScenarioSpec.with_override` (``"capacitance"``,
+``"storage__capacitance"``, ``"config__v_min"``, ...), which is what
+makes a sampled point a runnable spec: ``base.with_overrides(point)``.
+:meth:`SearchSpace.validate_against` checks every binding eagerly, so a
+misspelled axis fails before the first simulation, not mid-exploration.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import ExploreError
+
+#: The axis domains an optimizer can sample/discretise/mutate.
+AXIS_KINDS = ("continuous", "log", "integer", "categorical")
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One design knob: an override key bound to a value domain.
+
+    Attributes:
+        name: override key, resolved per :meth:`ScenarioSpec.with_override`.
+        kind: one of :data:`AXIS_KINDS`.
+        low / high: inclusive bounds (numeric kinds; ``low < high``, and
+            strictly positive for ``log``).
+        choices: the value set (``categorical`` only).
+    """
+
+    name: str
+    kind: str
+    low: float = 0.0
+    high: float = 0.0
+    choices: Tuple[Any, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ExploreError("an axis needs a non-empty override key name")
+        if self.kind not in AXIS_KINDS:
+            raise ExploreError(
+                f"axis {self.name!r}: unknown kind {self.kind!r}; "
+                f"choose one of {list(AXIS_KINDS)}"
+            )
+        if self.kind == "categorical":
+            object.__setattr__(self, "choices", tuple(self.choices))
+            if len(self.choices) < 2:
+                raise ExploreError(
+                    f"categorical axis {self.name!r} needs at least two "
+                    "choices"
+                )
+            if len(set(map(repr, self.choices))) != len(self.choices):
+                raise ExploreError(
+                    f"categorical axis {self.name!r} has duplicate choices"
+                )
+        else:
+            if self.choices:
+                raise ExploreError(
+                    f"axis {self.name!r}: only categorical axes take choices"
+                )
+            if not (math.isfinite(self.low) and math.isfinite(self.high)):
+                raise ExploreError(
+                    f"axis {self.name!r}: bounds must be finite"
+                )
+            if self.low >= self.high:
+                raise ExploreError(
+                    f"axis {self.name!r}: low ({self.low!r}) must be below "
+                    f"high ({self.high!r})"
+                )
+            if self.kind == "log" and self.low <= 0.0:
+                raise ExploreError(
+                    f"log axis {self.name!r} needs strictly positive bounds"
+                )
+            if self.kind == "integer" and (
+                self.low != int(self.low) or self.high != int(self.high)
+            ):
+                raise ExploreError(
+                    f"integer axis {self.name!r} needs integer bounds"
+                )
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def continuous(cls, name: str, low: float, high: float) -> "Axis":
+        """A uniformly sampled real interval ``[low, high]``."""
+        return cls(name, "continuous", low=float(low), high=float(high))
+
+    @classmethod
+    def log(cls, name: str, low: float, high: float) -> "Axis":
+        """A log-uniformly sampled positive interval (decades weigh equal)."""
+        return cls(name, "log", low=float(low), high=float(high))
+
+    @classmethod
+    def integer(cls, name: str, low: int, high: int) -> "Axis":
+        """A uniformly sampled integer range, both ends inclusive."""
+        return cls(name, "integer", low=float(low), high=float(high))
+
+    @classmethod
+    def categorical(cls, name: str, choices: Sequence[Any]) -> "Axis":
+        """An unordered finite value set (strategies, kernels, ...)."""
+        return cls(name, "categorical", choices=tuple(choices))
+
+    # -- domain operations ----------------------------------------------
+
+    def sample(self, rng: random.Random) -> Any:
+        """One value drawn from this axis's domain."""
+        if self.kind == "continuous":
+            return rng.uniform(self.low, self.high)
+        if self.kind == "log":
+            return math.exp(rng.uniform(math.log(self.low),
+                                        math.log(self.high)))
+        if self.kind == "integer":
+            return rng.randint(int(self.low), int(self.high))
+        return self.choices[rng.randrange(len(self.choices))]
+
+    def grid(self, resolution: int) -> List[Any]:
+        """``resolution`` evenly spaced values (in the axis's own metric).
+
+        Continuous axes space linearly, log axes geometrically, integer
+        axes round to distinct integers; categorical axes always return
+        every choice (their resolution is fixed by the domain).
+        """
+        if self.kind == "categorical":
+            return list(self.choices)
+        if resolution < 2:
+            raise ExploreError(
+                f"axis {self.name!r}: grid resolution must be >= 2"
+            )
+        if self.kind == "log":
+            lo, hi = math.log(self.low), math.log(self.high)
+            return [
+                math.exp(lo + (hi - lo) * i / (resolution - 1))
+                for i in range(resolution)
+            ]
+        values = [
+            self.low + (self.high - self.low) * i / (resolution - 1)
+            for i in range(resolution)
+        ]
+        if self.kind == "integer":
+            seen: List[Any] = []
+            for value in values:
+                rounded = int(round(value))
+                if rounded not in seen:
+                    seen.append(rounded)
+            return seen
+        return values
+
+    def mutate(self, value: Any, rng: random.Random,
+               scale: float = 0.2) -> Any:
+        """A local perturbation of ``value``, clipped into the domain.
+
+        Numeric axes take a gaussian step sized as a fraction of the
+        range (log axes step in log space, integer axes step at least
+        one); categorical axes resample a *different* choice.
+        """
+        if self.kind == "categorical":
+            others = [c for c in self.choices if c != value]
+            return others[rng.randrange(len(others))] if others else value
+        if self.kind == "log":
+            lo, hi = math.log(self.low), math.log(self.high)
+            stepped = math.log(value) + rng.gauss(0.0, scale * (hi - lo))
+            return math.exp(min(hi, max(lo, stepped)))
+        stepped = value + rng.gauss(0.0, scale * (self.high - self.low))
+        stepped = min(self.high, max(self.low, stepped))
+        if self.kind == "integer":
+            rounded = int(round(stepped))
+            if rounded == value:  # a mutation must move
+                rounded = value + (1 if value < self.high else -1)
+            return int(min(self.high, max(self.low, rounded)))
+        return stepped
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"name": self.name, "kind": self.kind}
+        if self.kind == "categorical":
+            payload["choices"] = list(self.choices)
+        else:
+            payload["low"] = self.low
+            payload["high"] = self.high
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Axis":
+        unknown = sorted(set(payload) - {"name", "kind", "low", "high",
+                                         "choices"})
+        if unknown:
+            raise ExploreError(
+                f"unknown key(s) {unknown} in axis payload; allowed: "
+                "['name', 'kind', 'low', 'high', 'choices']"
+            )
+        for key in ("name", "kind"):
+            if key not in payload:
+                raise ExploreError(f"axis payload is missing {key!r}")
+        return cls(
+            name=payload["name"],
+            kind=payload["kind"],
+            low=payload.get("low", 0.0),
+            high=payload.get("high", 0.0),
+            choices=tuple(payload.get("choices", ())),
+        )
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """An ordered set of axes: the domain an exploration searches.
+
+    Axis order is meaningful only for presentation (result tables list
+    override columns in axis order); the space itself is a product of
+    independent domains.
+    """
+
+    axes: Tuple[Axis, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "axes", tuple(self.axes))
+        if not self.axes:
+            raise ExploreError("a search space needs at least one axis")
+        names = [axis.name for axis in self.axes]
+        if len(set(names)) != len(names):
+            raise ExploreError(
+                f"search space binds duplicate override keys: {sorted(names)}"
+            )
+
+    @classmethod
+    def of(cls, *axes: Axis) -> "SearchSpace":
+        """Variadic constructor: ``SearchSpace.of(Axis.log(...), ...)``."""
+        return cls(axes=tuple(axes))
+
+    def __len__(self) -> int:
+        return len(self.axes)
+
+    def names(self) -> List[str]:
+        """The bound override keys, in axis order."""
+        return [axis.name for axis in self.axes]
+
+    def axis(self, name: str) -> Axis:
+        """The axis bound to ``name``."""
+        for axis in self.axes:
+            if axis.name == name:
+                return axis
+        raise ExploreError(
+            f"search space has no axis {name!r}; axes: {self.names()}"
+        )
+
+    # -- domain operations ----------------------------------------------
+
+    def sample(self, rng: random.Random) -> Dict[str, Any]:
+        """One point: an override mapping drawn axis-by-axis."""
+        return {axis.name: axis.sample(rng) for axis in self.axes}
+
+    def grid(self, resolution: int = 5) -> List[Dict[str, Any]]:
+        """The cartesian product of per-axis grids, as override mappings.
+
+        Matches :func:`repro.spec.specs.expand_grid` ordering (later
+        axes vary fastest) so a discretised exploration and a
+        ``SweepRunner`` grid enumerate identically.
+        """
+        from repro.spec.specs import expand_grid
+
+        return expand_grid(
+            {axis.name: axis.grid(resolution) for axis in self.axes}
+        )
+
+    def validate_against(self, base: Any) -> None:
+        """Check every axis binds to a real override path of ``base``.
+
+        Applies representative values through
+        :meth:`ScenarioSpec.with_override` — the range ends for numeric
+        axes, *every* choice for categorical ones (a strategy choice
+        that rejects the base's strategy_params must fail here, before
+        any simulation, not mid-exploration).  Cross-axis
+        *combinations* can still fail at evaluation time; the driver
+        pins those as error rows.
+        """
+        from repro.errors import SpecError
+
+        for axis in self.axes:
+            probes = (axis.choices if axis.kind == "categorical"
+                      else axis.grid(2))
+            for probe in probes:
+                try:
+                    base.with_override(axis.name, probe)
+                except SpecError as error:
+                    raise ExploreError(
+                        f"axis {axis.name!r} (value {probe!r}) does not "
+                        f"bind to scenario {base.name!r}: {error}"
+                    ) from error
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"axes": [axis.to_dict() for axis in self.axes]}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SearchSpace":
+        unknown = sorted(set(payload) - {"axes"})
+        if unknown:
+            raise ExploreError(
+                f"unknown key(s) {unknown} in search-space payload; "
+                "allowed: ['axes']"
+            )
+        return cls(axes=tuple(
+            Axis.from_dict(axis) for axis in payload.get("axes", ())
+        ))
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SearchSpace":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ExploreError(f"invalid search-space JSON: {error}") from error
+        if not isinstance(payload, dict):
+            raise ExploreError("search-space JSON must be an object")
+        return cls.from_dict(payload)
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path) -> "SearchSpace":
+        with open(path, "r", encoding="utf-8") as stream:
+            return cls.from_json(stream.read())

@@ -34,6 +34,7 @@ _LAZY = {
     "content_hash": "repro.results.run_result",
     "RECORD_SCHEMA": "repro.results.run_result",
     "ResultStore": "repro.results.store",
+    "rankable_results": "repro.results.store",
 }
 
 __all__ = [

@@ -16,7 +16,9 @@ complete.
 from __future__ import annotations
 
 import json
+import math
 import os
+import warnings
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Union
 
 from repro.errors import ReproError, ResultStoreError
@@ -186,8 +188,17 @@ class ResultStore:
         return [result.get(column) for result in self.select(where)]
 
     def best(self, metric: str, minimize: bool = True) -> RunResult:
-        """The row optimising ``metric`` among rows that recorded it."""
-        candidates = [r for r in self if r.get(metric) is not None]
+        """The row optimising ``metric`` among rows that recorded it.
+
+        Error rows, rows whose value is non-finite (NaN/inf), and
+        sub-full-fidelity screening rows are skipped with a warning
+        instead of corrupting the ranking — an error row still carries
+        its override columns, a NaN makes ``min``/``max``
+        order-dependent, and a shortened-horizon row accumulates less
+        of everything (see :func:`rankable_results`).  Filter with
+        :meth:`select` to rank such rows deliberately.
+        """
+        candidates = rankable_results(self, (metric,), describe=f"best({metric!r})")
         if not candidates:
             raise ResultStoreError(f"no stored result recorded {metric!r}")
         return (min if minimize else max)(candidates, key=lambda r: r[metric])
@@ -232,6 +243,70 @@ class ResultStore:
         return format_table(
             self.columns(), [[fmt(cell) for cell in row] for row in self.rows()]
         )
+
+
+def _is_screening_row(result: RunResult) -> bool:
+    """True for rows evaluated below full fidelity.
+
+    The exploration driver stamps sub-full-fidelity evaluations with a
+    ``fidelity`` override; their accumulated metrics (energy, time,
+    cycles) cover a shortened horizon, so ranking them against
+    full-horizon rows would systematically crown a screening artifact.
+    """
+    fidelity = result.overrides.get("fidelity")
+    return (
+        isinstance(fidelity, (int, float))
+        and not isinstance(fidelity, bool)
+        and fidelity < 1.0
+    )
+
+
+def rankable_results(
+    results: Iterable[RunResult],
+    columns: "tuple[str, ...]",
+    *,
+    describe: str,
+    noun: str = "row",
+) -> List[RunResult]:
+    """The rows usable for ranking on ``columns``; warns about the rest.
+
+    The one skip policy every ranking query (`best`, `--pareto`)
+    shares.  Usable rows ran clean at full fidelity and recorded a
+    finite value in every column.  Skipped **with a warning** (they
+    could otherwise corrupt a ranking): error rows that carry any
+    queried column via their overrides, non-finite (NaN/inf) or
+    non-numeric values, and sub-full-fidelity screening rows.  Rows
+    simply missing a column (not applicable, including error rows that
+    recorded none of them) stay silent — matching the historical
+    "among rows that recorded it" contract without warning about
+    unrelated failures.  ``describe`` labels the warning with the
+    originating query.
+    """
+    def rankable(value: Any) -> bool:
+        return isinstance(value, (int, float)) and math.isfinite(float(value))
+
+    candidates: List[RunResult] = []
+    skipped = 0
+    for result in results:
+        values = [result.get(column) for column in columns]
+        if not result.ok:
+            if any(value is not None for value in values):
+                skipped += 1
+        elif any(value is None for value in values):
+            continue
+        elif _is_screening_row(result):
+            skipped += 1
+        elif all(rankable(value) for value in values):
+            candidates.append(result)
+        else:
+            skipped += 1
+    if skipped:
+        warnings.warn(
+            f"{describe}: skipped {skipped} {noun}(s) with errors, "
+            "sub-full fidelity, or non-finite values",
+            stacklevel=3,
+        )
+    return candidates
 
 
 class _Missing:

@@ -27,7 +27,7 @@ import os
 import sys
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import SpecError
 from repro.results.metrics import empty_metrics, result_columns
@@ -100,6 +100,56 @@ def run_point_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
 #: Back-compat alias: a sweep point and a standalone run share one type.
 PointResult = RunResult
 
+
+@dataclass(frozen=True)
+class BatchProgress:
+    """One observability event: how a batch of evaluations was satisfied.
+
+    Emitted by :meth:`SweepRunner.run` (once — a sweep is one batch) and
+    by :class:`repro.explore.driver.ExplorationDriver` (once per
+    optimizer batch), so long runs stay legible: every event says how
+    many points were actually computed, how many came out of the result
+    store for free, and how many pinned error rows.
+
+    Attributes:
+        label: the producing sweep/exploration (the base scenario name).
+        batch: 1-based batch index within the run.
+        computed: points executed by a worker in this batch.
+        cached: points satisfied from the result store in this batch.
+        errors: points in this batch whose row carries an error.
+        total: cumulative points satisfied so far across the run.
+    """
+
+    label: str
+    batch: int
+    computed: int
+    cached: int
+    errors: int
+    total: int
+
+    def describe(self) -> str:
+        """The canonical one-line rendering of this event."""
+        return (
+            f"[{self.label}] batch {self.batch}: "
+            f"{self.computed} computed, {self.cached} cached, "
+            f"{self.errors} error(s); {self.total} total"
+        )
+
+
+#: The progress-hook signature accepted by runners and drivers.
+ProgressHook = Callable[[BatchProgress], None]
+
+
+def log_progress(event: BatchProgress) -> None:
+    """A ready-made progress hook: log through :mod:`logging`.
+
+    Attach with ``runner.run(progress=log_progress)`` (or the driver
+    equivalent) and configure the ``repro.progress`` logger to taste.
+    """
+    import logging
+
+    logging.getLogger("repro.progress").info("%s", event.describe())
+
 #: Error prefix marking a *worker* crash (pool/pickling/OOM) rather than
 #: a scenario that deterministically failed.  Crash rows are transient:
 #: they are never persisted to a store and resume recomputes them.
@@ -112,6 +162,60 @@ def _is_worker_crash(result: Optional[RunResult]) -> bool:
         and result.error is not None
         and result.error.startswith(WORKER_FAILURE_PREFIX)
     )
+
+
+def execute_payloads(
+    payloads: List[Dict[str, Any]],
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
+) -> List[Dict[str, Any]]:
+    """Run worker payloads; failures become error records, never raises.
+
+    The shared execution core of :class:`SweepRunner` and
+    :class:`repro.explore.driver.ExplorationDriver`: each payload goes
+    through :func:`run_point_payload` — across a process pool by default,
+    in-process when ``parallel=False`` or the sandbox lacks
+    multiprocessing primitives.  A worker raising (as opposed to a
+    scenario failing *inside* the worker, which :func:`run_point_payload`
+    already converts) is an infrastructure failure; it is pinned to its
+    payload as a :data:`WORKER_FAILURE_PREFIX` error record so the rest
+    of the batch still lands.
+    """
+    worker = sys.modules[__name__].run_point_payload
+
+    def fallback(payload: Dict[str, Any], error: BaseException) -> Dict[str, Any]:
+        return RunResult.failed(
+            f"{WORKER_FAILURE_PREFIX}{type(error).__name__}: {error}",
+            spec_hash=spec_hash(payload["spec"]),
+            name=payload["spec"].get("name", "scenario"),
+            overrides=payload.get("overrides", {}),
+        ).to_record()
+
+    if parallel and len(payloads) > 1:
+        workers = max_workers or min(len(payloads), os.cpu_count() or 1)
+        workers = max(1, min(workers, len(payloads)))
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(worker, p) for p in payloads]
+                records = []
+                for payload, future in zip(payloads, futures):
+                    error = future.exception()
+                    records.append(
+                        future.result() if error is None
+                        else fallback(payload, error)
+                    )
+                return records
+        except (OSError, PermissionError):
+            # Environments without working multiprocessing primitives
+            # (restricted sandboxes) still get correct, serial results.
+            pass
+    records = []
+    for payload in payloads:
+        try:
+            records.append(worker(payload))
+        except Exception as error:
+            records.append(fallback(payload, error))
+    return records
 
 
 @dataclass(frozen=True)
@@ -151,13 +255,20 @@ class SweepResult:
         return [dict(p.overrides, **p.metrics) for p in self.points]
 
     def best(self, metric: str, minimize: bool = True) -> RunResult:
-        """The point optimising ``metric``, ignoring points lacking it."""
-        candidates = [p for p in self.points if p.metrics.get(metric) is not None]
+        """The point optimising ``metric``, ignoring points lacking it.
+
+        Error rows, non-finite values and sub-full-fidelity rows are
+        skipped with a warning, matching :meth:`ResultStore.best`.
+        """
+        from repro.results.store import rankable_results
+
+        candidates = rankable_results(
+            self.points, (metric,), describe=f"best({metric!r})",
+            noun="point",
+        )
         if not candidates:
             raise SpecError(f"no sweep point recorded metric {metric!r}")
-        return (min if minimize else max)(
-            candidates, key=lambda p: p.metrics[metric]
-        )
+        return (min if minimize else max)(candidates, key=lambda p: p[metric])
 
     def format(self, floatfmt: str = "{:.4g}") -> str:
         """Render the sweep as an aligned text table, one row per point."""
@@ -225,50 +336,10 @@ class SweepRunner:
     def _execute(
         self, payloads: List[Dict[str, Any]], parallel: bool
     ) -> List[Dict[str, Any]]:
-        """Run payloads through the worker; failures become error records.
-
-        A worker raising (as opposed to a scenario failing *inside* the
-        worker, which :func:`run_point_payload` already converts) is a
-        sweep-infrastructure failure; it is pinned to its point as an
-        error record so the rest of the grid still lands.
-        """
-        worker = sys.modules[__name__].run_point_payload
-
-        def fallback(payload: Dict[str, Any], error: BaseException) -> Dict[str, Any]:
-            return RunResult.failed(
-                f"{WORKER_FAILURE_PREFIX}{type(error).__name__}: {error}",
-                spec_hash=spec_hash(payload["spec"]),
-                name=payload["spec"].get("name", "scenario"),
-                overrides=payload.get("overrides", {}),
-            ).to_record()
-
-        if parallel and len(payloads) > 1:
-            workers = self.max_workers or min(
-                len(payloads), os.cpu_count() or 1
-            )
-            workers = max(1, min(workers, len(payloads)))
-            try:
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    futures = [pool.submit(worker, p) for p in payloads]
-                    records = []
-                    for payload, future in zip(payloads, futures):
-                        error = future.exception()
-                        records.append(
-                            future.result() if error is None
-                            else fallback(payload, error)
-                        )
-                    return records
-            except (OSError, PermissionError):
-                # Environments without working multiprocessing primitives
-                # (restricted sandboxes) still get correct, serial results.
-                pass
-        records = []
-        for payload in payloads:
-            try:
-                records.append(worker(payload))
-            except Exception as error:
-                records.append(fallback(payload, error))
-        return records
+        """Run payloads through the shared :func:`execute_payloads` core."""
+        return execute_payloads(
+            payloads, parallel=parallel, max_workers=self.max_workers
+        )
 
     def run(
         self,
@@ -276,6 +347,7 @@ class SweepRunner:
         store: Optional[ResultStore] = None,
         resume: bool = False,
         capture_traces: Sequence[str] = (),
+        progress: Optional[ProgressHook] = None,
     ) -> SweepResult:
         """Execute the grid; rows come back in grid order.
 
@@ -286,6 +358,8 @@ class SweepRunner:
                 (requires ``store``); only the gap is recomputed.
             capture_traces: probe names whose (decimated) traces each
                 computed point should carry.
+            progress: optional hook receiving one :class:`BatchProgress`
+                event (a sweep is one batch) once the grid is satisfied.
         """
         if resume and store is None:
             raise SpecError("resume=True needs a result store to resume from")
@@ -315,6 +389,15 @@ class SweepRunner:
             else:
                 cached = store.get(self.hashes[i])
                 points.append(cached.with_context(index=i, spec=self.specs[i]))
+        if progress is not None:
+            progress(BatchProgress(
+                label=self.base.name,
+                batch=1,
+                computed=len(computed),
+                cached=len(points) - len(computed),
+                errors=sum(1 for p in points if p.error is not None),
+                total=len(points),
+            ))
         return SweepResult(
             base_name=self.base.name,
             grid_keys=list(self.grid),

@@ -675,10 +675,13 @@ class ScenarioSpec:
                     )
                 return apply
 
-            for scalar in ("clock_frequency", "clock_voltage", "store_slots",
-                           "power_model"):
+            for scalar in ("strategy", "clock_frequency", "clock_voltage",
+                           "store_slots", "power_model"):
                 # Bare keys resolve through the param-name branch; only the
-                # qualified form needs listing here.
+                # qualified form needs listing here.  'strategy' swaps the
+                # checkpointing strategy *kind* (strategy_params must suit
+                # every kind swept — PlatformSpec revalidates per point),
+                # which is what lets explorations search over strategies.
                 targets.append(_OverrideTarget(
                     qualified=f"platform__{scalar}", aliases=(),
                     param=scalar, apply=platform_scalar_setter(scalar),

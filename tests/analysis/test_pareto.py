@@ -31,3 +31,111 @@ def test_empty_input():
 def test_length_mismatch_rejected():
     with pytest.raises(ConfigurationError):
         pareto_points([1.0], [1.0, 2.0])
+
+
+def test_non_dominated_indices_basics():
+    from repro.analysis.pareto import non_dominated_indices
+
+    rows = [(1.0, 1.0), (2.0, 2.0), (0.5, 3.0), (3.0, 0.5), (1.0, 1.0)]
+    # (2,2) is dominated by (1,1); duplicates both survive.
+    assert non_dominated_indices(rows) == [0, 2, 3, 4]
+    assert non_dominated_indices([]) == []
+    # Non-finite rows are infeasible: excluded, and dominate nothing.
+    rows = [(float("inf"), 0.0), (1.0, float("nan")), (2.0, 2.0)]
+    assert non_dominated_indices(rows) == [2]
+    # Three objectives.
+    rows = [(1, 1, 1), (1, 1, 2), (0, 5, 5)]
+    assert non_dominated_indices(rows) == [0, 2]
+
+
+def test_non_dominated_indices_rejects_ragged_rows():
+    from repro.analysis.pareto import non_dominated_indices
+
+    with pytest.raises(ConfigurationError, match="one value per objective"):
+        non_dominated_indices([(1.0, 2.0), (1.0,)])
+
+
+def _store_with(rows):
+    from repro.results import ResultStore, RunResult
+    from repro.results.metrics import empty_metrics
+
+    store = ResultStore()
+    for i, metrics in enumerate(rows):
+        filled = empty_metrics()
+        filled.update(metrics)
+        store.add(RunResult(spec_hash=f"h{i}", name="t",
+                            overrides={"x": float(i)}, metrics=filled))
+    return store
+
+
+def test_pareto_from_store_skips_error_rows_with_warning():
+    """An error row carrying a queried column (via its overrides — x
+    here) must not join the frontier; it is skipped with a warning."""
+    from repro.analysis.pareto import pareto_from_store
+    from repro.results import RunResult
+
+    store = _store_with([
+        {"energy_total": 1.0, "availability": 0.5},
+        {"energy_total": 2.0, "availability": 0.9},
+    ])
+    store.add(RunResult.failed("boom", spec_hash="bad",
+                               overrides={"x": -1.0}))
+    with pytest.warns(UserWarning, match="skipped 1 row"):
+        frontier = pareto_from_store(store, "x", "availability")
+    assert [r.spec_hash for r in frontier] == ["h0", "h1"]
+
+
+def test_pareto_from_store_unrelated_error_rows_stay_silent(recwarn):
+    """Error rows recording *neither* queried column are background
+    noise, not ranking hazards — no warning."""
+    from repro.analysis.pareto import pareto_from_store
+    from repro.results import RunResult
+
+    store = _store_with([
+        {"energy_total": 1.0, "availability": 0.5},
+    ])
+    store.add(RunResult.failed("boom", spec_hash="bad"))
+    frontier = pareto_from_store(store, "energy_total", "availability")
+    assert [r.spec_hash for r in frontier] == ["h0"]
+    assert len(recwarn) == 0
+
+
+def test_pareto_from_store_skips_string_values_with_warning():
+    """String-valued columns ('strategy' is sweepable now) must not
+    crash the dominance sort."""
+    from repro.analysis.pareto import pareto_from_store
+
+    store = _store_with([
+        {"energy_total": 1.0, "availability": 0.5},
+        {"energy_total": "hibernus", "availability": 0.9},
+    ])
+    with pytest.warns(UserWarning, match="skipped 1 row"):
+        frontier = pareto_from_store(store, "energy_total", "availability")
+    assert [r.spec_hash for r in frontier] == ["h0"]
+
+
+def test_pareto_from_store_skips_nan_with_warning():
+    from repro.analysis.pareto import pareto_from_store
+
+    store = _store_with([
+        {"energy_total": 1.0, "availability": 0.5},
+        {"energy_total": float("nan"), "availability": 0.9},
+        {"energy_total": 0.5, "availability": float("inf")},
+    ])
+    with pytest.warns(UserWarning, match="skipped 2 row"):
+        frontier = pareto_from_store(store, "energy_total", "availability")
+    assert [r.spec_hash for r in frontier] == ["h0"]
+
+
+def test_pareto_from_store_not_applicable_rows_stay_silent(recwarn):
+    """Rows an extractor marked not-applicable (None) are excluded
+    without noise — only corrupt-capable rows warn."""
+    from repro.analysis.pareto import pareto_from_store
+
+    store = _store_with([
+        {"energy_total": 1.0, "availability": 0.5},
+        {"energy_total": None, "availability": 0.9},
+    ])
+    frontier = pareto_from_store(store, "energy_total", "availability")
+    assert [r.spec_hash for r in frontier] == ["h0"]
+    assert len(recwarn) == 0

@@ -1,0 +1,406 @@
+"""ExplorationDriver: fidelity model, caching, pooling, acceptance."""
+
+import pytest
+
+from repro.errors import ExploreError
+from repro.explore import (
+    Axis,
+    ExplorationDriver,
+    Objective,
+    SearchSpace,
+)
+from repro.explore.optimizers import Candidate, RandomSearch
+from repro.results import ResultStore
+from repro.spec import runner as runner_mod
+from repro.spec.presets import fig7_spec
+
+MIN_CAP = Objective("capacitance", "min", require="completed")
+
+
+def base_spec():
+    return fig7_spec(fft_size=64, duration=0.6)
+
+
+def cap_space(low=8e-6, high=47e-6):
+    return SearchSpace.of(Axis.log("capacitance", low, high))
+
+
+def sh_driver(store=None, resume=True, progress=None, **extra):
+    params = {"init": "grid", "initial": 8, "eta": 4, "min_fidelity": 0.5}
+    params.update(extra)
+    return ExplorationDriver(
+        base_spec(), cap_space(), [MIN_CAP],
+        optimizer="successive-halving", optimizer_params=params,
+        store=store, resume=resume, parallel=False, progress=progress,
+    )
+
+
+def counting_worker(monkeypatch):
+    calls = []
+    real = runner_mod.run_point_payload
+
+    def worker(payload):
+        calls.append(payload["spec"])
+        return real(payload)
+
+    monkeypatch.setattr(runner_mod, "run_point_payload", worker)
+    return calls
+
+
+# -- the fidelity model ---------------------------------------------------
+
+
+def test_spec_for_maps_fidelity_onto_kernel_and_horizon():
+    driver = sh_driver()
+    base = base_spec()
+    full = driver.spec_for(Candidate({"capacitance": 22e-6}))
+    assert full.kernel == base.kernel == "reference"
+    assert full.duration == base.duration
+    assert full.storage.params["capacitance"] == 22e-6
+
+    half = driver.spec_for(Candidate({"capacitance": 22e-6}, fidelity=0.5))
+    assert half.kernel == "fast"
+    assert half.duration == pytest.approx(base.duration * 0.5)
+    # Fidelity participates in the spec hash: the two cache separately.
+    from repro.results import spec_hash
+
+    assert spec_hash(full) != spec_hash(half)
+
+
+def test_bad_configuration_fails_before_any_simulation():
+    with pytest.raises(ExploreError, match="does not bind"):
+        ExplorationDriver(
+            base_spec(), SearchSpace.of(Axis.continuous("nope", 0, 1)),
+            [MIN_CAP],
+        )
+    with pytest.raises(ExploreError, match="not a result column"):
+        ExplorationDriver(base_spec(), cap_space(), ["no_such_metric"])
+    with pytest.raises(ExploreError, match="at least one objective"):
+        ExplorationDriver(base_spec(), cap_space(), [])
+    with pytest.raises(ExploreError, match="needs a budget"):
+        sh_driver().run()
+
+
+# -- acceptance: multi-fidelity economy vs the exhaustive grid ------------
+
+
+def test_multi_fidelity_matches_grid_answer_within_budget():
+    """The ISSUE acceptance criterion, in miniature: successive halving
+    recovers the exhaustive grid's minimal-capacitance answer using at
+    most 30% of the full-horizon simulations the grid needs."""
+    grid_driver = ExplorationDriver(
+        base_spec(), cap_space(), [MIN_CAP],
+        optimizer="grid", optimizer_params={"resolution": 8},
+        parallel=False,
+    )
+    grid_out = grid_driver.run(budget=8)
+    assert grid_out.computed_full == 8  # every grid point is full-horizon
+
+    mf_out = sh_driver().run(budget=10)
+    assert mf_out.computed_full <= 0.3 * grid_out.computed_full
+
+    grid_best = grid_out.best.candidate.overrides["capacitance"]
+    mf_best = mf_out.best.candidate.overrides["capacitance"]
+    assert mf_best == pytest.approx(grid_best)
+    # And the reported best is the full-horizon confirmation run.
+    assert mf_out.best.candidate.fidelity == 1.0
+
+
+def test_infeasible_corners_are_error_rows_not_crashes(tmp_path):
+    store = ResultStore(tmp_path / "explore.jsonl")
+    outcome = sh_driver(store=store).run(budget=10)
+    errors = [e for e in outcome.evaluations if e.result.error is not None]
+    assert errors, "the 8uF corner should be Eq. (4)-infeasible"
+    assert all(not e.feasible for e in errors)
+    # Deterministic failures are pinned in the store like sweep rows.
+    for evaluation in errors:
+        stored = store.get(evaluation.result.spec_hash)
+        assert stored is not None and stored.error == evaluation.result.error
+
+
+# -- caching and resume ---------------------------------------------------
+
+
+def test_rerun_against_the_store_recomputes_nothing(tmp_path, monkeypatch):
+    calls = counting_worker(monkeypatch)
+    path = tmp_path / "explore.jsonl"
+    first = sh_driver(store=ResultStore(path)).run(budget=10)
+    computed_first = len(calls)
+    assert first.computed == computed_first > 0
+
+    second = sh_driver(store=ResultStore(path)).run(budget=10)
+    assert len(calls) == computed_first  # zero new worker invocations
+    assert second.computed == 0 and second.computed_full == 0
+    assert second.cached == len(second.evaluations)
+    assert second.best.result.metrics == first.best.result.metrics
+
+
+def test_resume_false_recomputes_but_store_stays_deduped(tmp_path,
+                                                         monkeypatch):
+    calls = counting_worker(monkeypatch)
+    path = tmp_path / "explore.jsonl"
+    sh_driver(store=ResultStore(path)).run(budget=10)
+    first_calls = len(calls)
+    store = ResultStore(path)
+    out = sh_driver(store=store, resume=False).run(budget=10)
+    assert len(calls) == 2 * first_calls
+    assert out.computed == first_calls
+    assert len(ResultStore(path)) == len(store)
+
+
+def test_within_run_dedupe_needs_no_store(monkeypatch):
+    """An optimizer re-asking a point pays once even without a store."""
+    calls = counting_worker(monkeypatch)
+
+    class Echo(RandomSearch):
+        def ask(self):
+            granted = self._take(4)
+            return [Candidate({"capacitance": 22e-6})
+                    for _ in range(granted)]
+
+    space = cap_space()
+    optimizer = Echo(space, (MIN_CAP,), budget=4)
+    out = ExplorationDriver(
+        base_spec(), space, [MIN_CAP], optimizer=optimizer, parallel=False,
+    ).run()
+    assert len(out.evaluations) == 4
+    assert len(calls) == 1
+    assert out.computed == 1 and out.cached == 3
+    # Per-evaluation flags agree with the totals: only the occurrence
+    # that paid for the worker run is non-cached.
+    assert [e.cached for e in out.evaluations] == [False, True, True, True]
+
+
+def test_worker_crash_rows_stay_transient(tmp_path, monkeypatch):
+    real = runner_mod.run_point_payload
+    crash = {"enabled": True}
+
+    def flaky(payload):
+        if crash["enabled"]:
+            raise RuntimeError("transient infrastructure failure")
+        return real(payload)
+
+    monkeypatch.setattr(runner_mod, "run_point_payload", flaky)
+    path = tmp_path / "explore.jsonl"
+    first = sh_driver(store=ResultStore(path)).run(budget=10)
+    assert all(e.result.error is not None for e in first.evaluations)
+    assert len(ResultStore(path)) == 0  # crash rows never persist
+
+    crash["enabled"] = False
+    second = sh_driver(store=ResultStore(path)).run(budget=10)
+    assert second.computed == len(second.evaluations)
+    assert second.best is not None
+
+
+# -- observability --------------------------------------------------------
+
+
+def test_progress_events_track_batches(tmp_path):
+    events = []
+    store = ResultStore(tmp_path / "explore.jsonl")
+    outcome = sh_driver(store=store, progress=events.append).run(budget=10)
+    assert len(events) == outcome.batches == 2
+    assert [e.batch for e in events] == [1, 2]
+    assert sum(e.computed for e in events) == outcome.computed
+    assert events[-1].total == len(outcome.evaluations)
+    assert all(e.label == base_spec().name for e in events)
+    assert "computed" in events[0].describe()
+
+    # A cache-served re-run reports everything as cached.
+    rerun_events = []
+    sh_driver(store=ResultStore(store.path),
+              progress=rerun_events.append).run(budget=10)
+    assert sum(e.computed for e in rerun_events) == 0
+    assert sum(e.cached for e in rerun_events) == len(outcome.evaluations)
+
+
+# -- the pool path --------------------------------------------------------
+
+
+def test_parallel_matches_serial():
+    serial = ExplorationDriver(
+        base_spec(), cap_space(), [MIN_CAP],
+        optimizer="grid", optimizer_params={"resolution": 4},
+        parallel=False,
+    ).run(budget=4)
+    pooled = ExplorationDriver(
+        base_spec(), cap_space(), [MIN_CAP],
+        optimizer="grid", optimizer_params={"resolution": 4},
+        parallel=True,
+    ).run(budget=4)
+    assert [e.result.metrics for e in pooled.evaluations] == \
+        [e.result.metrics for e in serial.evaluations]
+
+
+# -- multi-objective + categorical axes -----------------------------------
+
+
+def test_multi_objective_frontier_over_categorical_axis():
+    space = SearchSpace.of(
+        Axis.log("capacitance", 12e-6, 47e-6),
+        Axis.categorical("kernel", ["reference", "fast"]),
+    )
+    driver = ExplorationDriver(
+        base_spec(), space,
+        [Objective("capacitance", "min", require="completed"),
+         Objective("completion_time", "min", require="completed")],
+        optimizer="random", optimizer_params={"batch": 6},
+        parallel=False, seed=9,
+    )
+    outcome = driver.run(budget=6)
+    assert outcome.frontier, "something should complete in this range"
+    for point in outcome.frontier:
+        assert point.candidate.overrides["kernel"] in ("reference", "fast")
+        assert point.feasible
+
+
+def test_strategy_is_an_explorable_axis():
+    """The paper's design flow picks storage *and* strategy together:
+    'strategy' resolves as a categorical override path."""
+    from repro.spec.presets import crossover_spec
+
+    base = crossover_spec("hibernus", total_cycles=100_000, duration=5.0)
+    space = SearchSpace.of(
+        Axis.categorical("strategy", ["hibernus", "quickrecall"]),
+    )
+    space.validate_against(base)
+    driver = ExplorationDriver(
+        base, space, [Objective("energy_total", "min", require="completed")],
+        optimizer="grid", parallel=False,
+    )
+    outcome = driver.run(budget=2)
+    strategies = {e.candidate.overrides["strategy"]
+                  for e in outcome.evaluations}
+    assert strategies == {"hibernus", "quickrecall"}
+    assert outcome.best is not None
+
+
+def test_duration_axis_survives_fidelity_scaling():
+    """A searched 'duration' axis keeps its per-candidate value at
+    sub-full fidelity — the screen scales it, never clobbers it."""
+    space = SearchSpace.of(Axis.continuous("duration", 0.4, 0.8))
+    driver = ExplorationDriver(
+        base_spec(), space,
+        [Objective("completion_time", require="completed")],
+    )
+    a = driver.spec_for(Candidate({"duration": 0.4}, fidelity=0.5))
+    b = driver.spec_for(Candidate({"duration": 0.8}, fidelity=0.5))
+    assert a.duration == pytest.approx(0.2)
+    assert b.duration == pytest.approx(0.4)
+    from repro.results import spec_hash
+
+    assert spec_hash(a) != spec_hash(b)
+
+
+def test_crashed_point_is_retried_when_reasked(monkeypatch):
+    """A worker crash never enters the in-run cache: the same point
+    re-asked in a later batch is retried, per the transient contract."""
+    real = runner_mod.run_point_payload
+    calls = {"n": 0}
+
+    def flaky(payload):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise RuntimeError("transient blip")
+        return real(payload)
+
+    monkeypatch.setattr(runner_mod, "run_point_payload", flaky)
+
+    class OnePointBatches(RandomSearch):
+        def ask(self):
+            granted = self._take(1)
+            return [Candidate({"capacitance": 22e-6})
+                    for _ in range(granted)]
+
+    space = cap_space()
+    optimizer = OnePointBatches(space, (MIN_CAP,), budget=2)
+    out = ExplorationDriver(
+        base_spec(), space, [MIN_CAP], optimizer=optimizer, parallel=False,
+    ).run()
+    assert calls["n"] == 2  # the crash did not satisfy the second ask
+    assert out.evaluations[0].result.error is not None
+    assert out.evaluations[1].result.error is None
+
+
+def test_unbuildable_axis_combination_pins_an_error_row(tmp_path):
+    """Individually valid axis values whose *combination* cannot build
+    (strategy swap vs a strategy-param axis) become cached error rows,
+    not a mid-budget crash."""
+    from repro.spec import (
+        HarvesterSpec, PlatformSpec, ScenarioSpec, StorageSpec,
+    )
+
+    # No strategy_params on the base: both strategy choices bind alone,
+    # and v_hibernate binds alone (hibernus accepts it) — only the
+    # (nvp, v_hibernate) combination is unbuildable.
+    base = ScenarioSpec(
+        name="combo",
+        duration=2.0,
+        stop_on_completion=True,
+        storage=StorageSpec("capacitor", {"capacitance": 22e-6,
+                                          "v_max": 3.3}),
+        harvesters=(HarvesterSpec(
+            "square-wave-power",
+            {"on_power": 20e-3, "period": 0.1, "duty": 0.5},
+        ),),
+        platform=PlatformSpec(
+            strategy="hibernus",
+            engine="synthetic",
+            engine_params={"total_cycles": 50_000},
+        ),
+    )
+    space = SearchSpace.of(
+        Axis.categorical("strategy", ["hibernus", "nvp"]),
+        Axis.categorical("v_hibernate", [2.6, 2.8]),
+    )
+    space.validate_against(base)  # each axis alone binds fine
+    objectives = [Objective("energy_total", "min", require="completed")]
+    store = ResultStore(tmp_path / "explore.jsonl")
+    driver = ExplorationDriver(
+        base, space, objectives,
+        optimizer="grid", optimizer_params={"resolution": 2},
+        store=store, parallel=False,
+    )
+    outcome = driver.run(budget=4)  # 2 strategies x 2 voltages
+    errors = [e for e in outcome.evaluations if e.result.error is not None]
+    ok = [e for e in outcome.evaluations if e.result.error is None]
+    assert len(errors) == 2  # both nvp combinations are unbuildable
+    assert all(e.candidate.overrides["strategy"] == "nvp" for e in errors)
+    assert len(ok) == 2 and outcome.best is not None
+    # Fresh failure rows are computed work, not cache hits.
+    assert outcome.computed == 4 and outcome.cached == 0
+    assert all(not e.cached for e in outcome.evaluations)
+    # Pinned like any deterministic failure: persisted and resumable.
+    assert all(store.get(e.result.spec_hash) is not None for e in errors)
+    rerun = ExplorationDriver(
+        base, space, objectives,
+        optimizer="grid", optimizer_params={"resolution": 2},
+        store=ResultStore(store.path), parallel=False,
+    ).run(budget=4)
+    assert rerun.computed == 0
+
+
+def test_consumed_optimizer_instance_is_rejected():
+    """Re-running a driver built around an exhausted optimizer instance
+    must fail loudly, not return empty evaluations beside the stale
+    best of the first drive."""
+    space = cap_space()
+    optimizer = RandomSearch(space, (MIN_CAP,), budget=2, batch=2)
+    driver = ExplorationDriver(
+        base_spec(), space, [MIN_CAP], optimizer=optimizer, parallel=False,
+    )
+    first = driver.run()
+    assert len(first.evaluations) == 2
+    with pytest.raises(ExploreError, match="already driven"):
+        driver.run()
+
+
+def test_categorical_objective_rejected_eagerly():
+    """A categorical axis can never score a number: the driver must say
+    so up front, not spend the budget scoring +inf."""
+    space = SearchSpace.of(
+        Axis.log("capacitance", 8e-6, 47e-6),
+        Axis.categorical("kernel", ["reference", "fast"]),
+    )
+    with pytest.raises(ExploreError, match="categorical axis"):
+        ExplorationDriver(base_spec(), space, ["kernel"])

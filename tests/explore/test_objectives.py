@@ -1,0 +1,105 @@
+"""Objective scoring: sign normalisation, feasibility, parsing."""
+
+import math
+
+import pytest
+
+from repro.errors import ExploreError
+from repro.explore import Objective
+from repro.explore.objectives import normalize_objectives, scores
+from repro.results import RunResult
+from repro.results.metrics import ERROR_COLUMN
+
+
+def row(**metrics):
+    return RunResult(spec_hash="h", name="t", metrics=metrics)
+
+
+def test_parse_forms():
+    assert Objective.parse("energy_total") == Objective("energy_total")
+    assert Objective.parse("availability:max").goal == "max"
+    assert Objective.parse("capacitance", require="completed").require == \
+        "completed"
+    with pytest.raises(ExploreError, match="'min' or 'max'"):
+        Objective.parse("energy_total:down")
+
+
+def test_score_sign_normalisation():
+    r = row(energy_total=2.5, availability=0.8)
+    assert Objective("energy_total", "min").score(r) == 2.5
+    assert Objective("availability", "max").score(r) == -0.8
+
+
+def test_error_rows_and_missing_metrics_score_infeasible():
+    err = RunResult.failed("ConfigurationError: boom", spec_hash="h")
+    assert Objective("energy_total").score(err) == math.inf
+    assert Objective("energy_total").score(row(energy_total=None)) == math.inf
+    assert Objective("energy_total").score(row()) == math.inf
+    assert Objective("energy_total").score(
+        row(energy_total=float("nan"))
+    ) == math.inf
+
+
+def test_require_gates_feasibility():
+    objective = Objective("capacitance", "min", require="completed")
+    done = RunResult(spec_hash="h", name="t",
+                     overrides={"capacitance": 22e-6},
+                     metrics={"completed": True})
+    undone = RunResult(spec_hash="h", name="t",
+                       overrides={"capacitance": 22e-6},
+                       metrics={"completed": False})
+    assert objective.score(done) == 22e-6
+    assert objective.score(undone) == math.inf
+
+
+def test_overrides_resolve_before_metrics():
+    # 'capacitance' is a sweep override, not a registry column — the
+    # exploration engine optimises those too.
+    r = RunResult(spec_hash="h", name="t", overrides={"capacitance": 1e-5},
+                  metrics={"completed": True})
+    assert Objective("capacitance").score(r) == 1e-5
+
+
+def test_validate_rejects_unknown_columns():
+    with pytest.raises(ExploreError, match="not a result column"):
+        Objective("no_such_metric").validate(["energy_total"])
+    with pytest.raises(ExploreError, match="not a result column"):
+        Objective("energy_total", require="nope").validate(["energy_total"])
+    Objective("energy_total").validate(["energy_total"])
+
+
+def test_normalize_objectives_mixed_forms():
+    objectives = normalize_objectives(
+        ["energy_total", Objective("availability", "max"),
+         {"metric": "completion_time"}],
+        require="completed",
+    )
+    assert [o.metric for o in objectives] == \
+        ["energy_total", "availability", "completion_time"]
+    assert all(o.require == "completed" for o in objectives)
+    with pytest.raises(ExploreError, match="at least one objective"):
+        normalize_objectives([])
+    with pytest.raises(ExploreError, match="duplicate"):
+        normalize_objectives(["energy_total", "energy_total:max"])
+    with pytest.raises(ExploreError, match="cannot interpret"):
+        normalize_objectives([42])
+
+
+def test_normalize_keeps_explicit_require():
+    (objective,) = normalize_objectives(
+        [Objective("energy_total", require="snapshots")], require="completed"
+    )
+    assert objective.require == "snapshots"
+
+
+def test_scores_tuple_matches_objective_order():
+    objectives = normalize_objectives(["energy_total", "availability:max"])
+    values = scores(objectives, row(energy_total=1.0, availability=0.5))
+    assert values == (1.0, -0.5)
+
+
+def test_json_round_trip():
+    objective = Objective("capacitance", "min", require="completed")
+    assert Objective.from_dict(objective.to_dict()) == objective
+    with pytest.raises(ExploreError, match="unknown key"):
+        Objective.from_dict({"metric": "x", "direction": "min"})

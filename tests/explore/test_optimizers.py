@@ -1,0 +1,290 @@
+"""Ask/tell optimizers driven by hand (no simulations)."""
+
+import math
+
+import pytest
+
+from repro.errors import ExploreError
+from repro.explore import (
+    Axis,
+    Candidate,
+    Evaluation,
+    Objective,
+    SearchSpace,
+    available_optimizers,
+    create_optimizer,
+)
+from repro.explore.optimizers import (
+    GridSearch,
+    ParetoEvolutionary,
+    RandomSearch,
+    SuccessiveHalving,
+)
+from repro.results import RunResult
+
+SPACE = SearchSpace.of(Axis.log("capacitance", 1e-6, 1e-4))
+OBJECTIVE = (Objective("capacitance", "min", require="completed"),)
+
+
+def evaluate(candidates, completes=lambda overrides: True):
+    """Hand-build evaluations: score = capacitance when 'completed'."""
+    evaluations = []
+    for i, candidate in enumerate(candidates):
+        cap = candidate.overrides["capacitance"]
+        ok = completes(candidate.overrides)
+        result = RunResult(
+            spec_hash=f"{cap}@{candidate.fidelity}", name="t",
+            overrides=dict(candidate.overrides),
+            metrics={"completed": ok},
+        )
+        evaluations.append(Evaluation(
+            candidate=candidate,
+            result=result,
+            scores=(cap if ok else math.inf,),
+        ))
+    return evaluations
+
+
+def test_registry_knows_the_builtins():
+    names = available_optimizers()
+    for name in ("grid", "random", "successive-halving", "evolutionary"):
+        assert name in names
+    with pytest.raises(ExploreError, match="unknown optimizer"):
+        create_optimizer("annealing", SPACE, OBJECTIVE, budget=4)
+    with pytest.raises(ExploreError, match="rejected its parameters"):
+        create_optimizer("random", SPACE, OBJECTIVE, budget=4, frobs=2)
+
+
+def test_grid_search_enumerates_the_grid_at_full_fidelity():
+    optimizer = GridSearch(SPACE, OBJECTIVE, budget=16, resolution=5)
+    batch = optimizer.ask()
+    assert [c.overrides for c in batch] == SPACE.grid(5)
+    assert all(c.fidelity == 1.0 for c in batch)
+    optimizer.tell(evaluate(batch))
+    assert optimizer.done
+    assert optimizer.ask() == []
+
+
+def test_grid_search_respects_the_budget():
+    optimizer = GridSearch(SPACE, OBJECTIVE, budget=3, resolution=5)
+    batch = optimizer.ask()
+    assert len(batch) == 3
+    assert [c.overrides for c in batch] == SPACE.grid(5)[:3]
+
+
+def test_random_search_budgeted_batches():
+    optimizer = RandomSearch(SPACE, OBJECTIVE, budget=10, seed=3, batch=4)
+    sizes = []
+    while not optimizer.done:
+        batch = optimizer.ask()
+        sizes.append(len(batch))
+        optimizer.tell(evaluate(batch))
+    assert sizes == [4, 4, 2]
+    assert len(optimizer.evaluations) == 10
+
+
+def test_random_search_is_seed_deterministic():
+    def sequence(seed):
+        optimizer = RandomSearch(SPACE, OBJECTIVE, budget=6, seed=seed)
+        return [c.overrides for c in optimizer.ask()]
+
+    assert sequence(5) == sequence(5)
+    assert sequence(5) != sequence(6)
+
+
+def test_successive_halving_schedule_and_promotion():
+    optimizer = SuccessiveHalving(
+        SPACE, OBJECTIVE, budget=12, initial=8, eta=4,
+        min_fidelity=0.25, init="grid",
+    )
+    assert optimizer.fidelities == [0.25, 1.0]
+
+    rung0 = optimizer.ask()
+    assert len(rung0) == 8
+    assert all(c.fidelity == 0.25 for c in rung0)
+    assert [c.overrides for c in rung0] == SPACE.grid(8)
+
+    # Screening: everything below 1e-5 fails to complete.
+    completes = lambda overrides: overrides["capacitance"] >= 1e-5
+    optimizer.tell(evaluate(rung0, completes))
+
+    rung1 = optimizer.ask()
+    assert len(rung1) == 2  # 8 / eta
+    assert all(c.fidelity == 1.0 for c in rung1)
+    # The two smallest *completing* candidates were promoted.
+    promoted = sorted(c.overrides["capacitance"] for c in rung1)
+    expected = sorted(
+        p["capacitance"] for p in SPACE.grid(8)
+        if p["capacitance"] >= 1e-5
+    )[:2]
+    assert promoted == pytest.approx(expected)
+
+    optimizer.tell(evaluate(rung1, completes))
+    assert optimizer.done
+    best = optimizer.best()
+    assert best.candidate.fidelity == 1.0
+    assert best.candidate.overrides["capacitance"] == pytest.approx(expected[0])
+
+
+def test_successive_halving_protocol_misuse_is_caught():
+    optimizer = SuccessiveHalving(SPACE, OBJECTIVE, budget=12, initial=4)
+    optimizer.ask()
+    with pytest.raises(ExploreError, match="asked twice"):
+        optimizer.ask()
+    fresh = SuccessiveHalving(SPACE, OBJECTIVE, budget=12, initial=4)
+    with pytest.raises(ExploreError, match="without a pending ask"):
+        fresh.tell([])
+
+
+def test_successive_halving_default_width_fills_the_budget():
+    optimizer = SuccessiveHalving(SPACE, OBJECTIVE, budget=12, eta=3,
+                                  min_fidelity=1 / 3)
+    # weight = 1 + 1/3 -> initial 9; rungs 9 + 3 = 12 = budget.
+    assert optimizer.initial == 9
+    total = 0
+    while not optimizer.done:
+        batch = optimizer.ask()
+        if not batch:
+            break
+        total += len(batch)
+        optimizer.tell(evaluate(batch))
+    assert total == 12
+
+
+def test_evolutionary_improves_and_exposes_a_frontier():
+    space = SearchSpace.of(Axis.continuous("x", 0.0, 1.0))
+    objectives = (Objective("x", "min"), Objective("y", "min"))
+    optimizer = ParetoEvolutionary(space, objectives, budget=30, seed=4,
+                                   population=10)
+
+    def run(batch):
+        evaluations = []
+        for candidate in batch:
+            x = candidate.overrides["x"]
+            y = (1.0 - x) ** 2  # trade-off: minimising both is a curve
+            result = RunResult(
+                spec_hash=f"{x}", name="t",
+                overrides=dict(candidate.overrides), metrics={"y": y},
+            )
+            evaluations.append(Evaluation(candidate, result, (x, y)))
+        return evaluations
+
+    while not optimizer.done:
+        batch = optimizer.ask()
+        if not batch:
+            break
+        optimizer.tell(run(batch))
+    assert len(optimizer.evaluations) == 30
+    frontier = optimizer.frontier()
+    assert len(frontier) >= 3
+    # Every frontier point is genuinely non-dominated in the told set.
+    for point in frontier:
+        assert not any(
+            e.scores[0] <= point.scores[0] and e.scores[1] < point.scores[1]
+            for e in optimizer.evaluations
+        )
+
+
+def test_evolutionary_survives_nothing_feasible():
+    optimizer = ParetoEvolutionary(SPACE, OBJECTIVE, budget=8, seed=1,
+                                   population=4)
+    batch = optimizer.ask()
+    optimizer.tell(evaluate(batch, completes=lambda overrides: False))
+    again = optimizer.ask()  # no parents: falls back to fresh samples
+    assert len(again) == 4
+    optimizer.tell(evaluate(again, completes=lambda overrides: False))
+    assert optimizer.done
+    assert optimizer.best() is None
+    assert optimizer.frontier() == []
+
+
+def test_budget_is_a_hard_ceiling():
+    with pytest.raises(ExploreError, match="budget"):
+        RandomSearch(SPACE, OBJECTIVE, budget=0)
+    optimizer = ParetoEvolutionary(SPACE, OBJECTIVE, budget=5, population=4)
+    total = 0
+    while not optimizer.done:
+        batch = optimizer.ask()
+        if not batch:
+            break
+        total += len(batch)
+        optimizer.tell(evaluate(batch))
+    assert total == 5
+
+
+def test_best_and_frontier_rank_only_the_highest_fidelity():
+    """Cumulative metrics (energy, time) are horizon-dependent: a
+    shortened-horizon screening row must never be reported as the
+    answer just because it accumulated less."""
+    objectives = (Objective("energy_total", "min"),)
+    optimizer = RandomSearch(SPACE, objectives, budget=4)
+
+    def ev(cap, fidelity, energy):
+        result = RunResult(
+            spec_hash=f"{cap}@{fidelity}", name="t",
+            overrides={"capacitance": cap},
+            metrics={"energy_total": energy},
+        )
+        return Evaluation(Candidate({"capacitance": cap}, fidelity=fidelity),
+                          result, (energy,))
+
+    optimizer.tell([
+        ev(1e-5, 0.5, 0.1),  # cheapest — but over 50% of the horizon
+        ev(2e-5, 1.0, 0.7),
+        ev(3e-5, 1.0, 0.9),
+    ])
+    assert optimizer.best().scores == (0.7,)
+    assert [e.scores for e in optimizer.frontier()] == [(0.7,)]
+    # Single-fidelity optimizers are unaffected: drop the full runs and
+    # the 0.5-horizon pool ranks among itself.
+    screening_only = RandomSearch(SPACE, objectives, budget=4)
+    screening_only.tell([ev(1e-5, 0.5, 0.1), ev(2e-5, 0.5, 0.3)])
+    assert screening_only.best().scores == (0.1,)
+
+
+def test_successive_halving_grid_screens_a_balanced_lattice():
+    """Multi-axis init='grid' must cover every axis's full range — not
+    truncate the cartesian product to a corner with the first axis
+    pinned near its low bound."""
+    space = SearchSpace.of(Axis.log("capacitance", 8e-6, 100e-6),
+                           Axis.continuous("frequency", 2.0, 40.0))
+    optimizer = SuccessiveHalving(space, OBJECTIVE, budget=20,
+                                  initial=16, init="grid")
+    rung0 = optimizer.ask()
+    assert len(rung0) == 16
+    caps = {c.overrides["capacitance"] for c in rung0}
+    freqs = {c.overrides["frequency"] for c in rung0}
+    assert len(caps) == 4 and len(freqs) == 4  # balanced 4x4 lattice
+    assert min(caps) == pytest.approx(8e-6)
+    assert max(caps) == pytest.approx(100e-6)
+    assert min(freqs) == pytest.approx(2.0)
+    assert max(freqs) == pytest.approx(40.0)
+
+
+def test_successive_halving_grid_subsample_is_seeded():
+    """An explicit resolution larger than `initial` screens a seeded,
+    order-preserving subsample (deterministic for cache re-runs)."""
+    def rung0(seed):
+        optimizer = SuccessiveHalving(SPACE, OBJECTIVE, budget=8,
+                                      initial=3, init="grid",
+                                      resolution=7, seed=seed)
+        return [c.overrides["capacitance"] for c in optimizer.ask()]
+
+    first = rung0(1)
+    assert len(first) == 3
+    assert first == sorted(first)  # order-preserving over the log grid
+    assert rung0(1) == first       # seeded: identical on re-run
+
+
+def test_successive_halving_budget_clamp_spreads_the_screen():
+    """A budget smaller than the screening width must thin the grid
+    uniformly — not slice off its low corner and falsely conclude the
+    upper range is unexplored."""
+    optimizer = SuccessiveHalving(SPACE, OBJECTIVE, budget=8,
+                                  initial=16, init="grid")
+    rung0 = optimizer.ask()
+    assert len(rung0) == 8
+    caps = [c.overrides["capacitance"] for c in rung0]
+    full = [p["capacitance"] for p in SPACE.grid(16)]
+    assert caps != full[:8]                  # not the low-corner prefix
+    assert max(caps) > full[len(full) // 2]  # the upper half is screened

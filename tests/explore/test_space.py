@@ -1,0 +1,145 @@
+"""SearchSpace/Axis: domains, sampling, grids, mutation, JSON."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ExploreError
+from repro.explore import Axis, SearchSpace
+from repro.spec.presets import fig7_spec
+
+
+def test_axis_kinds_validate():
+    with pytest.raises(ExploreError, match="unknown kind"):
+        Axis("x", "triangular", low=0, high=1)
+    with pytest.raises(ExploreError, match="low .* below"):
+        Axis.continuous("x", 2.0, 1.0)
+    with pytest.raises(ExploreError, match="strictly positive"):
+        Axis.log("x", 0.0, 1.0)
+    with pytest.raises(ExploreError, match="integer bounds"):
+        Axis.integer("x", 0.5, 4)
+    with pytest.raises(ExploreError, match="at least two"):
+        Axis.categorical("x", ["only"])
+    with pytest.raises(ExploreError, match="duplicate"):
+        Axis.categorical("x", ["a", "a"])
+    with pytest.raises(ExploreError, match="only categorical"):
+        Axis("x", "continuous", low=0, high=1, choices=("a", "b"))
+
+
+def test_axis_sampling_stays_in_domain():
+    rng = random.Random(0)
+    cont = Axis.continuous("c", -1.0, 1.0)
+    logx = Axis.log("l", 1e-6, 1e-3)
+    intx = Axis.integer("i", 1, 4)
+    cat = Axis.categorical("k", ["a", "b", "c"])
+    for _ in range(200):
+        assert -1.0 <= cont.sample(rng) <= 1.0
+        assert 1e-6 <= logx.sample(rng) <= 1e-3
+        value = intx.sample(rng)
+        assert isinstance(value, int) and 1 <= value <= 4
+        assert cat.sample(rng) in ("a", "b", "c")
+
+
+def test_log_sampling_is_log_uniform():
+    # Half the draws should land below the geometric midpoint.
+    rng = random.Random(1)
+    axis = Axis.log("l", 1e-6, 1e-2)
+    mid = math.sqrt(1e-6 * 1e-2)
+    below = sum(axis.sample(rng) < mid for _ in range(2000))
+    assert 0.4 < below / 2000 < 0.6
+
+
+def test_axis_grids():
+    assert Axis.continuous("c", 0.0, 1.0).grid(3) == [0.0, 0.5, 1.0]
+    log_grid = Axis.log("l", 1e-6, 1e-2).grid(5)
+    ratios = [b / a for a, b in zip(log_grid, log_grid[1:])]
+    assert all(r == pytest.approx(10.0) for r in ratios)
+    assert Axis.integer("i", 1, 3).grid(5) == [1, 2, 3]  # deduped
+    assert Axis.categorical("k", ["a", "b"]).grid(99) == ["a", "b"]
+    with pytest.raises(ExploreError, match="resolution"):
+        Axis.continuous("c", 0.0, 1.0).grid(1)
+
+
+def test_mutation_stays_in_domain_and_moves_categoricals():
+    rng = random.Random(2)
+    logx = Axis.log("l", 1e-6, 1e-3)
+    for _ in range(100):
+        assert 1e-6 <= logx.mutate(3e-5, rng) <= 1e-3
+    intx = Axis.integer("i", 1, 4)
+    for _ in range(100):
+        assert 1 <= intx.mutate(4, rng) <= 4
+    cat = Axis.categorical("k", ["a", "b", "c"])
+    assert all(cat.mutate("a", rng) != "a" for _ in range(20))
+
+
+def test_space_rejects_empty_and_duplicates():
+    with pytest.raises(ExploreError, match="at least one axis"):
+        SearchSpace(())
+    with pytest.raises(ExploreError, match="duplicate"):
+        SearchSpace.of(Axis.continuous("x", 0, 1),
+                       Axis.log("x", 1e-6, 1e-3))
+
+
+def test_space_grid_matches_expand_grid_order():
+    space = SearchSpace.of(Axis.continuous("a", 0.0, 1.0),
+                           Axis.categorical("b", ["x", "y"]))
+    points = space.grid(2)
+    assert points == [
+        {"a": 0.0, "b": "x"}, {"a": 0.0, "b": "y"},
+        {"a": 1.0, "b": "x"}, {"a": 1.0, "b": "y"},
+    ]
+
+
+def test_space_json_round_trip(tmp_path):
+    space = SearchSpace.of(
+        Axis.log("capacitance", 1e-6, 1e-4),
+        Axis.integer("store_slots", 1, 4),
+        Axis.categorical("kernel", ["reference", "fast"]),
+    )
+    assert SearchSpace.from_json(space.to_json()) == space
+    path = tmp_path / "space.json"
+    space.save(path)
+    assert SearchSpace.load(path) == space
+
+
+def test_space_rejects_unknown_json_keys():
+    with pytest.raises(ExploreError, match="unknown key"):
+        SearchSpace.from_dict({"axes": [], "extra": 1})
+    with pytest.raises(ExploreError, match="unknown key"):
+        Axis.from_dict({"name": "x", "kind": "log", "lo": 1})
+
+
+def test_validate_against_catches_dangling_axes():
+    base = fig7_spec(fft_size=64)
+    SearchSpace.of(Axis.log("capacitance", 1e-6, 1e-4)).validate_against(base)
+    with pytest.raises(ExploreError, match="does not bind"):
+        SearchSpace.of(
+            Axis.continuous("not_a_knob", 0, 1)
+        ).validate_against(base)
+
+
+def test_seeded_sampling_is_deterministic():
+    space = SearchSpace.of(Axis.log("capacitance", 1e-6, 1e-4),
+                           Axis.integer("store_slots", 1, 4))
+    r1, r2 = random.Random(42), random.Random(42)
+    a = [space.sample(r1) for _ in range(5)]
+    b = [space.sample(r2) for _ in range(5)]
+    assert a == b
+    assert len({tuple(point.items()) for point in a}) > 1  # and not constant
+
+
+def test_validate_against_probes_every_categorical_choice():
+    """A later categorical choice that rejects the base's params must
+    fail eagerly, not mid-exploration."""
+    from repro.spec.presets import crossover_spec
+
+    base = crossover_spec("hibernus")  # strategy_params: v_hibernate...
+    SearchSpace.of(
+        Axis.categorical("strategy", ["hibernus", "quickrecall"])
+    ).validate_against(base)
+    with pytest.raises(ExploreError, match="'mementos'.* does not bind"):
+        SearchSpace.of(
+            # mementos takes no v_hibernate: only the second choice fails.
+            Axis.categorical("strategy", ["hibernus", "mementos"])
+        ).validate_against(base)

@@ -81,3 +81,32 @@ def test_design_space(capsys):
     assert "Taxonomy placements" in out
     assert "transient axis" in out
     assert "energy-neutral axis" in out
+    # The exploration stage grows a real Pareto frontier.
+    assert "Design-space exploration" in out
+    assert "Pareto frontier" in out
+    assert "completes at" in out
+
+
+def test_min_capacitance(tmp_path, capsys):
+    out = run_example("min_capacitance", capsys,
+                      store_path=str(tmp_path / "explore.jsonl"))
+    assert "smallest completing capacitance" in out
+    # Multi-fidelity screening spends far fewer full-horizon runs than
+    # the 16-point grid it matches.
+    assert "full-horizon simulations spent: 4" in out
+    assert "Eq. (4) infeasible below" in out
+
+
+def test_min_capacitance_rerun_is_pure_cache(tmp_path, capsys):
+    store = str(tmp_path / "explore.jsonl")
+    first = run_example("min_capacitance", capsys, store_path=store)
+    assert "0 cached" in first
+    second = run_example("min_capacitance", capsys, store_path=store)
+    # The acceptance criterion: an immediate re-run against the same
+    # store recomputes nothing.
+    assert "0 computed" in second
+    assert "full-horizon simulations spent: 0" in second
+    tail = lambda out: out[out.index("smallest completing"):]
+    assert tail(first).replace("20 computed, 0 cached",
+                               "0 computed, 20 cached") \
+        .replace("simulations spent: 4", "simulations spent: 0") == tail(second)

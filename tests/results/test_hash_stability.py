@@ -1,0 +1,90 @@
+"""Spec-hash stability: the cache-correctness invariant.
+
+The exploration engine and resumable sweeps both lean on one promise:
+a scenario's :func:`spec_hash` is a pure function of its *content* —
+independent of dict-key insertion order, process identity, hash
+randomisation, and serialisation round trips.  If any of these leaked
+into the hash, a resumed run would silently recompute (or worse, wrongly
+reuse) points.
+"""
+
+import json
+import subprocess
+import sys
+
+from repro.results import spec_hash
+from repro.spec.presets import crossover_spec, fig7_spec
+
+
+def shuffled(payload):
+    """The same mapping with reversed key insertion order, recursively."""
+    if isinstance(payload, dict):
+        return {k: shuffled(payload[k]) for k in reversed(list(payload))}
+    if isinstance(payload, list):
+        return [shuffled(v) for v in payload]
+    return payload
+
+
+def test_hash_ignores_dict_key_order():
+    payload = fig7_spec(fft_size=64).to_dict()
+    scrambled = shuffled(payload)
+    assert list(scrambled) != list(payload)  # genuinely reordered
+    assert spec_hash(scrambled) == spec_hash(payload)
+
+
+def test_spec_and_dict_forms_hash_equal():
+    spec = crossover_spec("quickrecall")
+    assert spec_hash(spec) == spec_hash(spec.to_dict())
+
+
+def test_hash_survives_json_round_trip():
+    spec = fig7_spec(fft_size=128, capacitance=47e-6)
+    round_tripped = type(spec).from_json(spec.to_json())
+    assert spec_hash(round_tripped) == spec_hash(spec)
+
+
+def test_override_application_order_is_immaterial():
+    base = fig7_spec(fft_size=64)
+    forward = base.with_overrides({"capacitance": 47e-6, "frequency": 9.4})
+    backward = base.with_overrides({"frequency": 9.4, "capacitance": 47e-6})
+    assert spec_hash(forward) == spec_hash(backward)
+
+
+def test_hash_is_stable_across_process_boundaries():
+    """A worker process — even under different hash randomisation — must
+    agree with the parent on every spec hash, or resume breaks."""
+    import os
+
+    import repro
+
+    src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+    spec = fig7_spec(fft_size=64)
+    program = (
+        "import json, sys\n"
+        "from repro.results import spec_hash\n"
+        "from repro.spec import ScenarioSpec\n"
+        "payload = json.loads(sys.stdin.read())\n"
+        "print(spec_hash(ScenarioSpec.from_dict(payload)))\n"
+    )
+    for hashseed in ("0", "1", "12345"):
+        child = subprocess.run(
+            [sys.executable, "-c", program],
+            input=json.dumps(spec.to_dict()),
+            capture_output=True,
+            text=True,
+            env=dict(os.environ, PYTHONPATH=src_dir,
+                     PYTHONHASHSEED=hashseed),
+            check=True,
+        )
+        assert child.stdout.strip() == spec_hash(spec)
+
+
+def test_hash_distinguishes_content_not_representation():
+    base = fig7_spec(fft_size=64)
+    assert spec_hash(base) != spec_hash(base.with_override("dt", 1e-4))
+    assert spec_hash(base) != spec_hash(base.with_override("seed", 7))
+    # to_dict omits defaulted fields; an explicitly defaulted field would
+    # hash differently, so the canonical form must be the emitted one.
+    assert "kernel" not in base.to_dict()
+    assert spec_hash(base.with_override("kernel", "reference")) == \
+        spec_hash(base)

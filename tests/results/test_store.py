@@ -139,3 +139,70 @@ def test_tabular_views_align():
     assert len(table.splitlines()) == 2 + len(store)
     records = store.to_dicts()
     assert records[0]["x"] == 1.0 and records[0]["completed"] is True
+
+
+def test_best_skips_error_rows_with_a_warning():
+    """An error row still carries override columns; ranking on one must
+    not let a failed point 'win' (the x column here)."""
+    store = ResultStore()
+    store.add(make_result(5, completed=True))
+    failed = RunResult.failed("ConfigurationError: too small",
+                              spec_hash="h1", overrides={"x": 1.0})
+    store.add(failed)
+    with pytest.warns(UserWarning, match="skipped 1 row"):
+        best = store.best("x")
+    assert best.spec_hash == "h5"  # not the failed x=1.0 row
+
+
+def test_best_skips_nan_with_a_warning():
+    store = ResultStore()
+    store.add(make_result(1, energy_total=float("nan")))
+    store.add(make_result(2, energy_total=2.0))
+    store.add(make_result(3, energy_total=float("inf")))
+    with pytest.warns(UserWarning, match="skipped 2 row"):
+        best = store.best("energy_total")
+    assert best.spec_hash == "h2"
+    with pytest.warns(UserWarning, match="skipped 2 row"):
+        worst = store.best("energy_total", minimize=False)
+    assert worst.spec_hash == "h2"
+
+
+def test_best_raises_when_nothing_rankable():
+    store = ResultStore()
+    store.add(make_result(1, energy_total=float("nan")))
+    with pytest.warns(UserWarning, match="skipped 1 row"):
+        with pytest.raises(ResultStoreError, match="no stored result"):
+            store.best("energy_total")
+
+
+def test_nan_metrics_survive_persistence(tmp_path):
+    """NaN rows round-trip through JSONL (so hardening must handle them
+    on every load, not just fresh runs)."""
+    path = tmp_path / "store.jsonl"
+    store = ResultStore(path)
+    store.add(make_result(1, energy_total=float("nan")))
+    reloaded = ResultStore(path)
+    value = reloaded.get("h1").metrics["energy_total"]
+    assert value != value  # NaN
+
+
+def test_best_skips_screening_rows_with_a_warning():
+    """Sub-full-fidelity rows (the exploration driver stamps them with
+    a 'fidelity' override) accumulate less of every metric; ranking
+    them against full-horizon rows would crown a screening artifact."""
+    store = ResultStore()
+    screening = RunResult(
+        spec_hash="h1", name="t",
+        overrides={"capacitance": 1e-5, "fidelity": 0.6},
+        metrics=dict(empty_metrics(), energy_total=0.1),
+    )
+    full = RunResult(
+        spec_hash="h2", name="t",
+        overrides={"capacitance": 2e-5},
+        metrics=dict(empty_metrics(), energy_total=0.7),
+    )
+    store.add(screening)
+    store.add(full)
+    with pytest.warns(UserWarning, match="sub-full fidelity"):
+        best = store.best("energy_total")
+    assert best.spec_hash == "h2"  # not the 60%-horizon artifact

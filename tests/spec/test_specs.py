@@ -326,3 +326,19 @@ def test_kernel_field_reaches_the_simulator():
     spec = small_fig7().with_override("kernel", "fast")
     assert spec.build().simulator.kernel == "fast"
     assert small_fig7().build().simulator.kernel == "reference"
+
+
+def test_strategy_kind_is_an_override_path():
+    """'strategy' swaps the checkpointing strategy kind (qualified form
+    platform__strategy), enabling categorical strategy sweeps/searches."""
+    from repro.spec.presets import crossover_spec
+
+    base = crossover_spec("hibernus")
+    swapped = base.with_override("strategy", "quickrecall")
+    assert swapped.platform.strategy == "quickrecall"
+    assert base.platform.strategy == "hibernus"  # original untouched
+    qualified = base.with_override("platform__strategy", "quickrecall")
+    assert qualified == swapped
+    # The swap revalidates: an unknown strategy kind fails eagerly.
+    with pytest.raises(SpecError):
+        base.with_override("strategy", "no-such-strategy")

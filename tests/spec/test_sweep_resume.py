@@ -238,3 +238,27 @@ def test_identical_rerun_does_not_rewrite_the_store(tmp_path, monkeypatch):
     again = SweepRunner(small_base(), grid).run(parallel=False, store=store)
     assert again.computed == 2  # recomputed (no resume) but byte-identical
     assert len(ResultStore(path)) == 2
+
+
+def test_sweep_progress_hook_reports_computed_vs_cached(tmp_path):
+    """The observability satellite: one BatchProgress event per run with
+    honest computed/cached/error splits."""
+    path = tmp_path / "sweep.jsonl"
+    events = []
+    runner = SweepRunner(small_base(), {"capacitance": [-1e-6, 22e-6]})
+    runner.run(parallel=False, store=ResultStore(path),
+               progress=events.append)
+    assert len(events) == 1
+    event = events[0]
+    assert event.label == small_base().name and event.batch == 1
+    assert event.computed == 2 and event.cached == 0
+    assert event.errors == 1  # the negative capacitance pins an error row
+    assert event.total == 2
+    assert "2 computed, 0 cached, 1 error(s)" in event.describe()
+
+    resumed_events = []
+    runner.run(parallel=False, store=ResultStore(path), resume=True,
+               progress=resumed_events.append)
+    assert resumed_events[0].computed == 0
+    assert resumed_events[0].cached == 2
+    assert resumed_events[0].errors == 1  # the cached error row still counts

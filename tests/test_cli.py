@@ -204,3 +204,106 @@ def test_crossover_command_persistent_store(tmp_path, capsys):
     assert main(["crossover", "--serial", "--frequencies", "2", "80",
                  "--output", store_path]) == 0
     assert "hibernus" in capsys.readouterr().out
+
+
+EXPLORE_ARGS = [
+    "explore", "--serial", "--duration", "0.6",
+    "--axis", "capacitance=log:8e-6:47e-6",
+    "--objective", "capacitance", "--require", "completed",
+    "--opt", "init=grid", "--opt", "initial=8",
+    "--opt", "eta=4", "--opt", "min_fidelity=0.5",
+    "--budget", "10",
+]
+
+
+def test_explore_command_multi_fidelity(capsys):
+    assert main(EXPLORE_ARGS) == 0
+    out = capsys.readouterr().out
+    assert "via successive-halving" in out
+    assert "batch 1" in out and "batch 2" in out
+    assert "best (min capacitance (require completed))" in out
+    assert "at full fidelity" in out
+
+
+def test_explore_command_output_resume(tmp_path, capsys):
+    store_path = str(tmp_path / "explore.jsonl")
+    args = EXPLORE_ARGS + ["--output", store_path, "--resume"]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert "0 cached" in first.splitlines()[1]  # batch 1: all computed
+    assert main(args) == 0
+    second = capsys.readouterr().out
+    assert "0 computed, 10 reused" in second
+    # Identical conclusion either way.
+    line = lambda out: next(l for l in out.splitlines() if "best (" in l)
+    assert line(first) == line(second)
+
+
+def test_explore_command_random_multi_objective(capsys):
+    assert main([
+        "explore", "--serial", "--duration", "0.6",
+        "--axis", "capacitance=log:1.2e-5:4.7e-5",
+        "--objective", "capacitance", "--objective", "completion_time",
+        "--require", "completed",
+        "--optimizer", "random", "--budget", "5", "--seed", "3",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "pareto frontier" in out
+
+
+def test_explore_command_space_file(tmp_path, capsys):
+    from repro.explore import Axis, SearchSpace
+
+    space_path = str(tmp_path / "space.json")
+    SearchSpace.of(Axis.log("capacitance", 1.2e-5, 4.7e-5)).save(space_path)
+    assert main([
+        "explore", "--serial", "--duration", "0.6", "--space", space_path,
+        "--objective", "completion_time", "--require", "completed",
+        "--optimizer", "random", "--budget", "3",
+    ]) == 0
+    assert "best (min completion_time" in capsys.readouterr().out
+
+
+def test_explore_command_rejects_bad_configuration(capsys):
+    # No search space at all.
+    assert main(["explore", "--budget", "2"]) == 2
+    assert "needs a search space" in capsys.readouterr().err
+    # Malformed axis.
+    assert main(["explore", "--axis", "capacitance", "--budget", "2"]) == 2
+    assert "--axis wants" in capsys.readouterr().err
+    # Unknown objective column.
+    assert main(["explore", "--axis", "capacitance=log:1e-6:1e-4",
+                 "--objective", "frobnication", "--budget", "2"]) == 2
+    assert "not a result column" in capsys.readouterr().err
+    # --resume without --output.
+    assert main(["explore", "--axis", "capacitance=log:1e-6:1e-4",
+                 "--resume", "--budget", "2"]) == 2
+    assert "--resume needs --output" in capsys.readouterr().err
+
+
+def test_axis_parsing():
+    from repro.cli import _parse_axis
+    from repro.errors import ReproError
+
+    axis = _parse_axis("capacitance=log:1e-6:1e-4")
+    assert axis.kind == "log" and axis.low == 1e-6
+    assert _parse_axis("frequency=2:40").kind == "continuous"
+    assert _parse_axis("store_slots=int:1:4").kind == "integer"
+    cat = _parse_axis("strategy=cat:hibernus,quickrecall")
+    assert cat.choices == ("hibernus", "quickrecall")
+    assert _parse_axis("frequency=cat:4.7,9.4").choices == (4.7, 9.4)
+    with pytest.raises(ReproError, match="LOW:HIGH"):
+        _parse_axis("capacitance=log:1e-6")
+    with pytest.raises(ReproError, match="--axis wants"):
+        _parse_axis("=log:1:2")
+    with pytest.raises(ReproError, match="must be numbers"):
+        _parse_axis("capacitance=abc:def")
+    with pytest.raises(ReproError, match="must be numbers"):
+        _parse_axis("capacitance=log:1e-6:true")
+
+
+def test_sweep_command_progress_flag(capsys):
+    assert main(["sweep", "--serial", "--duration", "0.4",
+                 "--set", "capacitance=22e-6,47e-6", "--progress"]) == 0
+    out = capsys.readouterr().out
+    assert "batch 1: 2 computed, 0 cached" in out
