@@ -32,9 +32,19 @@ from repro.spec.runner import SweepRunner
 #: |vcc_fast - vcc_reference| must stay below this on every preset.
 VCC_ATOL = 1e-9
 
-#: The fig7 preset must run at least this much faster under the fast
-#: kernel (the chunked-kernel acceptance floor).
-FIG7_SPEEDUP_FLOOR = 5.0
+#: Absolute per-case fast-kernel speedup floors, enforced on every
+#: fresh run.  Every case has one — a fast kernel that is *slower* than
+#: the reference anywhere is a regression, full stop (the blind spot
+#: that let the crossover cases sit at 0.94x for two releases).  The
+#: crossover floors were raised from 1.0 when the event-driven fast
+#: path landed; fig7 keeps the original chunked-kernel acceptance
+#: floor.
+SPEEDUP_FLOORS = {
+    "fig7": 5.0,
+    "crossover-hibernus": 3.0,
+    "crossover-quickrecall": 3.0,
+    "capacitance-sweep": 1.5,
+}
 
 #: Benchmark cases: preset name -> overrides applied to both kernels.
 #: fig7 runs long enough that the steady-state (chunkable) regime
@@ -142,17 +152,19 @@ def run_benchmarks(repeats: int = 3) -> dict:
         cases[name] = run_preset_case(name, overrides, repeats)
     print("  timing capacitance-sweep ...", flush=True)
     cases["capacitance-sweep"] = run_sweep_case(repeats)
-    fig7 = cases["fig7"]
-    if fig7["speedup"] < FIG7_SPEEDUP_FLOOR:
-        raise AssertionError(
-            f"fig7 fast-kernel speedup {fig7['speedup']}x is below the "
-            f"{FIG7_SPEEDUP_FLOOR}x floor"
-        )
+    for name, floor in SPEEDUP_FLOORS.items():
+        case = cases.get(name)
+        if case is not None and case["speedup"] < floor:
+            raise AssertionError(
+                f"{name}: fast-kernel speedup {case['speedup']}x is below "
+                f"the {floor}x floor"
+            )
     return {
         "schema": 1,
         "python": platform.python_version(),
         "repeats": repeats,
         "vcc_atol": VCC_ATOL,
+        "speedup_floors": dict(SPEEDUP_FLOORS),
         "cases": cases,
     }
 

@@ -13,12 +13,13 @@ The committed ``BENCH_sweep.json`` at the repo root is the baseline the
 CI perf job records against.  Two properties are *gated* on every fresh
 run (they are machine-independent by construction):
 
-* a resumed sweep computes zero points (pure cache hits), and
+* a resumed sweep computes zero points (pure cache hits),
 * the cached mode beats serial recomputation by at least
-  ``CACHED_SPEEDUP_FLOOR`` — the point of persisting results at all.
-
-Pool-vs-serial speedup is recorded for context but not gated: it is a
-function of the runner's core count, not of this code.
+  ``CACHED_SPEEDUP_FLOOR`` — the point of persisting results at all, and
+* on a multi-core runner (>= 2 CPUs), the warm-worker pool beats serial
+  points/sec by at least ``POOL_SPEEDUP_FLOOR`` — the point of having a
+  pool at all.  On a single-core runner the pool cannot beat serial by
+  construction, so the floor is recorded but not enforced.
 """
 
 from __future__ import annotations
@@ -39,6 +40,11 @@ from repro.spec.runner import SweepRunner
 #: A resumed (all-cached) sweep must be at least this much faster than
 #: serial recomputation.
 CACHED_SPEEDUP_FLOOR = 10.0
+
+#: On a runner with at least this many CPUs, the warm-worker pool must
+#: beat serial points/sec by at least POOL_SPEEDUP_FLOOR.
+POOL_GATE_MIN_CPUS = 2
+POOL_SPEEDUP_FLOOR = 1.5
 
 #: The benchmark grid: 8 points over the fig7 scenario, sized so serial
 #: execution takes seconds (stable ratios) but CI stays fast.
@@ -76,12 +82,19 @@ def run_benchmarks(repeats: int = 3) -> dict:
         repeats, lambda: runner.run(parallel=False)
     )
 
-    print("  timing process pool ...", flush=True)
+    print("  timing warm-worker pool ...", flush=True)
     pool_wall, pool_result = _best_of(
         repeats, lambda: runner.run(parallel=True)
     )
     if [p.metrics for p in pool_result] != [p.metrics for p in serial_result]:
         raise AssertionError("pool rows diverged from serial rows")
+    cpus = os.cpu_count() or 1
+    pool_speedup = serial_wall / pool_wall
+    if cpus >= POOL_GATE_MIN_CPUS and pool_speedup < POOL_SPEEDUP_FLOOR:
+        raise AssertionError(
+            f"warm-worker pool speedup {pool_speedup:.2f}x fell below the "
+            f"{POOL_SPEEDUP_FLOOR}x floor on a {cpus}-core runner"
+        )
 
     print("  timing resumed-cached ...", flush=True)
     with tempfile.TemporaryDirectory() as tmp:
@@ -123,11 +136,15 @@ def run_benchmarks(repeats: int = 3) -> dict:
         "repeats": repeats,
         "grid_points": points,
         "duration_s": DURATION,
+        "cpus": cpus,
         "cached_speedup_floor": CACHED_SPEEDUP_FLOOR,
+        "pool_speedup_floor": POOL_SPEEDUP_FLOOR,
+        "pool_gate_min_cpus": POOL_GATE_MIN_CPUS,
+        "pool_gate_enforced": cpus >= POOL_GATE_MIN_CPUS,
         "modes": {
             "serial": mode(serial_wall),
             "pool": mode(
-                pool_wall, speedup=round(serial_wall / pool_wall, 2)
+                pool_wall, speedup=round(pool_speedup, 2)
             ),
             "cached": mode(
                 cached_wall, speedup=round(cached_speedup, 2)

@@ -66,9 +66,9 @@ class EnergyDrivenSystem:
         result = system.run(1.0)
 
     ``kernel="fast"`` selects the chunked execution kernel (identical
-    physics, macro-chunked through the quiescent regimes — see
-    :mod:`repro.sim.kernel`); the default is the per-step reference
-    kernel.
+    physics, macro-chunked between component-declared events through
+    every platform state — see :mod:`repro.sim.kernel`); the default
+    is the per-step reference kernel.
     """
 
     def __init__(self, dt: float, kernel: str = "reference"):

@@ -21,6 +21,7 @@ framework:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -40,6 +41,7 @@ from repro.results.store import ResultStore
 from repro.spec.runner import (
     BatchProgress,
     ProgressHook,
+    WarmPool,
     _is_worker_crash,
     execute_payloads,
 )
@@ -239,6 +241,8 @@ class ExplorationDriver:
         self.max_workers = max_workers
         self.seed = seed
         self.progress = progress
+        #: The warm-worker pool serving the current run(), if parallel.
+        self._pool: Optional[WarmPool] = None
 
     # -- the fidelity model ----------------------------------------------
 
@@ -375,31 +379,49 @@ class ExplorationDriver:
             overrides = dict(batch[i].overrides)
             if batch[i].fidelity != FULL_FIDELITY:
                 overrides["fidelity"] = batch[i].fidelity
+            # Warm-worker task: ship only the override dict that
+            # reproduces spec_for(candidate) against the shared base —
+            # the candidate's axes plus, at sub-full fidelity, the
+            # already-scaled horizon and the fast kernel.
+            task = dict(batch[i].overrides)
+            if batch[i].fidelity < FULL_FIDELITY:
+                task["duration"] = specs[i].duration
+                task["kernel"] = specs[i].kernel
             payloads.append({
-                "spec": specs[i].to_dict(),
+                "spec_overrides": task,
                 "overrides": overrides,
             })
         records = execute_payloads(
-            payloads, parallel=self.parallel, max_workers=self.max_workers
+            payloads,
+            parallel=self.parallel,
+            max_workers=self.max_workers,
+            base_spec=self.base.to_dict(),
+            pool=self._pool,
         )
         computed_full = 0
         transient: Dict[str, RunResult] = {}
-        for i, record in zip(to_compute, records):
-            result = RunResult.from_record(record).with_context(
-                index=index_base + i, spec=specs[i]
-            )
-            if batch[i].fidelity == FULL_FIDELITY:
-                computed_full += 1
-            # Deterministic outcomes (successes and infeasible-scenario
-            # error rows) are cacheable; worker crashes stay transient —
-            # out of the store AND the in-run map, so a later re-ask of
-            # the point retries it, exactly as SweepRunner's resume does.
-            if _is_worker_crash(result):
-                transient[hashes[i]] = result
-            else:
-                seen[hashes[i]] = result
-                if self.store is not None:
-                    self.store.add(result, overwrite=True)
+        store_batch = (
+            self.store.batch() if self.store is not None
+            else nullcontext()
+        )
+        with store_batch:
+            for i, record in zip(to_compute, records):
+                result = RunResult.from_record(record).with_context(
+                    index=index_base + i, spec=specs[i]
+                )
+                if batch[i].fidelity == FULL_FIDELITY:
+                    computed_full += 1
+                # Deterministic outcomes (successes and infeasible-
+                # scenario error rows) are cacheable; worker crashes stay
+                # transient — out of the store AND the in-run map, so a
+                # later re-ask of the point retries it, exactly as
+                # SweepRunner's resume does.
+                if _is_worker_crash(result):
+                    transient[hashes[i]] = result
+                else:
+                    seen[hashes[i]] = result
+                    if self.store is not None:
+                        self.store.add(result, overwrite=True)
         evaluations = []
         computed_indices = set(to_compute) | set(fresh_failures)
         for j, (candidate, key) in enumerate(zip(batch, hashes)):
@@ -422,30 +444,45 @@ class ExplorationDriver:
         seen: Dict[str, RunResult] = {}
         evaluations: List[Evaluation] = []
         computed = cached = computed_full = batches = 0
-        while not optimizer.done:
-            batch = optimizer.ask()
-            if not batch:
-                break
-            batch_evals, batch_computed, batch_full = self._evaluate(
-                batch, seen, index_base=len(evaluations)
+        # One warm pool for the whole exploration: workers initialise
+        # from the base spec once and serve every optimizer batch.
+        self._pool = (
+            WarmPool(
+                max_workers=self.max_workers,
+                base_spec=self.base.to_dict(),
             )
-            optimizer.tell(batch_evals)
-            evaluations.extend(batch_evals)
-            computed += batch_computed
-            computed_full += batch_full
-            cached += len(batch_evals) - batch_computed
-            batches += 1
-            if self.progress is not None:
-                self.progress(BatchProgress(
-                    label=self.base.name,
-                    batch=batches,
-                    computed=batch_computed,
-                    cached=len(batch_evals) - batch_computed,
-                    errors=sum(
-                        1 for e in batch_evals if e.result.error is not None
-                    ),
-                    total=len(evaluations),
-                ))
+            if self.parallel else None
+        )
+        try:
+            while not optimizer.done:
+                batch = optimizer.ask()
+                if not batch:
+                    break
+                batch_evals, batch_computed, batch_full = self._evaluate(
+                    batch, seen, index_base=len(evaluations)
+                )
+                optimizer.tell(batch_evals)
+                evaluations.extend(batch_evals)
+                computed += batch_computed
+                computed_full += batch_full
+                cached += len(batch_evals) - batch_computed
+                batches += 1
+                if self.progress is not None:
+                    self.progress(BatchProgress(
+                        label=self.base.name,
+                        batch=batches,
+                        computed=batch_computed,
+                        cached=len(batch_evals) - batch_computed,
+                        errors=sum(
+                            1 for e in batch_evals
+                            if e.result.error is not None
+                        ),
+                        total=len(evaluations),
+                    ))
+        finally:
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
         frontier = optimizer.frontier()
         return ExplorationResult(
             name=self.base.name,

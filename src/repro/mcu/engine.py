@@ -68,6 +68,29 @@ class ComputeEngine:
         """Execute up to ``budget`` cycles; see :class:`EngineSlice`."""
         raise NotImplementedError
 
+    def active_plan(
+        self, cycles_per_step: int, stop_at_ckpt: bool = False
+    ) -> Optional["tuple[float, int, Any]"]:
+        """Fast-kernel descriptor of ACTIVE execution, or None.
+
+        Returning ``(energy_per_step, safe_steps, commit)`` asserts
+        that for up to ``safe_steps`` further engine steps of
+        ``cycles_per_step`` cycles each:
+
+        * every step consumes exactly ``cycles_per_step`` cycles and
+          ``energy_per_step`` joules of memory + peripheral energy
+          (the same float value :meth:`run_cycles` would report),
+        * no step halts, hits a snapshot-relevant checkpoint pause the
+          caller has to observe, or otherwise changes engine state
+          beyond pure forward progress,
+
+        and that ``commit(steps)`` applies ``steps`` such steps of
+        forward progress in bulk.  Engines whose per-step energy or
+        control flow is data-dependent (the real interpreter) return
+        None, keeping ACTIVE execution per-step.
+        """
+        return None
+
     def capture(self, full: bool) -> Any:
         """Capture volatile state (full or register-only)."""
         raise NotImplementedError
@@ -265,6 +288,43 @@ class SyntheticEngine(ComputeEngine):
             memory_energy=run * self.memory_energy_per_cycle,
             halted=self.done,
             hit_checkpoint=hit_ckpt and not self.done,
+        )
+
+    def active_plan(
+        self, cycles_per_step: int, stop_at_ckpt: bool = False
+    ) -> Optional["tuple[float, int, Any]"]:
+        """Chunk descriptor: progress is a counter, so ACTIVE vectorizes.
+
+        Safe steps are bounded by the workload's halt boundary (the
+        halting step must run per-step so completion is observed) and,
+        in checkpoint mode, by the next checkpoint site (the step whose
+        cycle window reaches a site splits into slices and pauses for
+        the strategy, so it must run per-step too).  Every safe step
+        consumes exactly ``cycles_per_step`` cycles and the same memory
+        energy ``run_cycles`` would report for an unsplit slice.
+        """
+        if cycles_per_step <= 0 or self.done:
+            return None
+        limit = self.total_cycles - self.executed
+        # Largest k with executed + k*cycles_per_step < total: every
+        # chunked step runs a full budget and does not halt.
+        safe = (limit - 1) // cycles_per_step
+        if stop_at_ckpt:
+            next_site = (
+                (self.executed // self.checkpoint_interval) + 1
+            ) * self.checkpoint_interval
+            to_site = next_site - self.executed
+            # A step splits when its cycle window reaches the site:
+            # keep only steps ending strictly before it.
+            safe = min(safe, -(-to_site // cycles_per_step) - 1)
+        if safe <= 0:
+            return None
+
+        def commit(steps: int) -> None:
+            self.executed += steps * cycles_per_step
+
+        return (
+            cycles_per_step * self.memory_energy_per_cycle, safe, commit
         )
 
     def capture(self, full: bool) -> Any:

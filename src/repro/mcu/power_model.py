@@ -103,6 +103,20 @@ class McuPowerModel:
             raise ConfigurationError("frequency and voltage must be non-negative")
         return (self.i_leak + self.i_per_hz * frequency) * voltage * self.fram_execution_factor
 
+    def active_current(self, frequency: float) -> float:
+        """Effective active current draw (A) at ``frequency``.
+
+        The voltage-proportional coefficient of :meth:`active_power`:
+        ``active_power(f, V) == (active_current(f) * V) *
+        fram_execution_factor`` with the same float association, which is
+        what lets the fast kernel's chunk loop reproduce per-step active
+        energy bit-for-bit (see
+        :class:`~repro.sim.kernel.LoadProfile`).
+        """
+        if frequency < 0.0:
+            raise ConfigurationError("frequency must be non-negative")
+        return self.i_leak + self.i_per_hz * frequency
+
     def slice_memory_energy(
         self,
         slice_: ExecutionSlice,

@@ -28,6 +28,7 @@ from repro.sim.engine import Component
 from repro.sim.kernel import (
     LoadProfile,
     PowerSourcePlan,
+    SourcePlanMemo,
     VoltageSourcePlan,
     chunk_times,
 )
@@ -43,14 +44,18 @@ class RailLoad:
         """Advance internal state across ``dt`` and return joules consumed."""
         raise NotImplementedError
 
-    def load_profile(self, t: float, v_rail: float) -> Optional[LoadProfile]:
+    def load_profile(
+        self, t: float, dt: float, v_rail: float
+    ) -> Optional[LoadProfile]:
         """Fast-kernel descriptor of the load's present regime, or None.
 
         Returning a :class:`~repro.sim.kernel.LoadProfile` asserts that,
-        until the rail voltage crosses one of the profile's event
-        boundaries, :meth:`advance` would demand exactly the profile's
-        constant/resistive energy each step with no other side effects.
-        None keeps the load on per-step execution.
+        until the rail voltage crosses one of the profile's voltage
+        boundaries or ``max_steps`` steps elapse, :meth:`advance` would
+        demand exactly the profile's per-step energy with no other side
+        effects (any deferred side effects being settled by the
+        profile's ``commit``).  None keeps the load on per-step
+        execution.
         """
         return None
 
@@ -70,7 +75,9 @@ class ResistiveLoad(RailLoad):
     def advance(self, t: float, dt: float, v_rail: float) -> float:
         return v_rail * v_rail / self.resistance * dt
 
-    def load_profile(self, t: float, v_rail: float) -> Optional[LoadProfile]:
+    def load_profile(
+        self, t: float, dt: float, v_rail: float
+    ) -> Optional[LoadProfile]:
         if type(self) is not ResistiveLoad:
             return None
         return LoadProfile(resistance=self.resistance)
@@ -108,6 +115,7 @@ class HarvesterInjector(Injector):
         self.harvester = harvester
         self.converter = converter
         self.mppt = mppt
+        self._memo = SourcePlanMemo()
 
     def inject(self, t: float, dt: float, v_rail: float, storage: StorageElement) -> float:
         available = self.harvester.power(t)
@@ -126,13 +134,19 @@ class HarvesterInjector(Injector):
             return None  # the tracker's convergence lag is per-step state
         if not self.harvester.chunk_safe():
             return None  # stateful sampling: discarded chunks would desync it
-        return PowerSourcePlan(
-            values=self.harvester.power_array(chunk_times(t0, dt, n)).tolist(),
-            converter=self.converter,
+        step0 = SourcePlanMemo.grid_step(t0, dt)
+        values = (
+            self._memo.get(step0, dt, n) if step0 is not None else None
         )
+        if values is None:
+            values = self.harvester.power_array(chunk_times(t0, dt, n)).tolist()
+            if step0 is not None:
+                self._memo.put(step0, dt, values)
+        return PowerSourcePlan(values=values, converter=self.converter)
 
     def reset(self) -> None:
         self.harvester.reset()
+        self._memo.clear()
         if self.mppt is not None:
             self.mppt.reset()
 
@@ -153,6 +167,7 @@ class RectifiedInjector(Injector):
     ):
         self.harvester = harvester
         self.rectifier = rectifier or HalfWaveRectifier()
+        self._memo = SourcePlanMemo()
 
     def inject(self, t: float, dt: float, v_rail: float, storage: StorageElement) -> float:
         v_oc = self.harvester.open_circuit_voltage(t)
@@ -179,13 +194,24 @@ class RectifiedInjector(Injector):
         if params is None:
             return None
         drop, r_total, take_abs = params
-        voc = self.harvester.open_circuit_voltage_array(chunk_times(t0, dt, n))
-        if take_abs:
-            voc = np.abs(voc)
-        return VoltageSourcePlan(values=voc.tolist(), drop=drop, r_total=r_total)
+        step0 = SourcePlanMemo.grid_step(t0, dt)
+        values = (
+            self._memo.get(step0, dt, n) if step0 is not None else None
+        )
+        if values is None:
+            voc = self.harvester.open_circuit_voltage_array(
+                chunk_times(t0, dt, n)
+            )
+            if take_abs:
+                voc = np.abs(voc)
+            values = voc.tolist()
+            if step0 is not None:
+                self._memo.put(step0, dt, values)
+        return VoltageSourcePlan(values=values, drop=drop, r_total=r_total)
 
     def reset(self) -> None:
         self.harvester.reset()
+        self._memo.clear()
 
 
 @dataclass
@@ -267,9 +293,16 @@ class SupplyRail(Component):
         v = physics.read_voltage()
         profiles = []
         for load in self._loads:
-            profile = load.load_profile(t0, v)
+            profile = load.load_profile(t0, dt, v)
             if profile is None:
                 return 0
+            # A time-based event boundary (snapshot completing, workload
+            # finishing) bounds the whole chunk: the event step itself
+            # must execute through the reference path.
+            if profile.max_steps is not None:
+                if profile.max_steps <= 0:
+                    return 0
+                n = min(n, profile.max_steps)
             profiles.append(profile)
         plans = []
         for injector in self._injectors:
@@ -283,15 +316,20 @@ class SupplyRail(Component):
             and isinstance(plans[0], VoltageSourcePlan)
             and len(profiles) == 1
             and profiles[0].resistance is None
+            and profiles[0].current == 0.0
             and leak is None
             and physics.draw_overhead == 1.0
         ):
-            taken = self._chunk_loop_simple(physics, plans[0], profiles[0], v, dt, n)
+            taken, energies = self._chunk_loop_simple(
+                physics, plans[0], profiles[0], v, dt, n
+            )
         else:
-            taken = self._chunk_loop(physics, plans, profiles, v, leak, dt, n)
-        for profile in profiles:
+            taken, energies = self._chunk_loop(
+                physics, plans, profiles, v, leak, dt, n
+            )
+        for profile, energy in zip(profiles, energies):
             if profile.commit is not None:
-                profile.commit(taken, dt)
+                profile.commit(taken, dt, energy)
         return taken
 
     def _chunk_loop_simple(self, physics, plan, profile, v, dt, n):
@@ -307,7 +345,7 @@ class SupplyRail(Component):
         values = plan.values
         drop = plan.drop
         r_total = plan.r_total
-        e_dem = profile.power * dt
+        e_dem = profile.power * dt + profile.energy
         v_rise = profile.v_rising
         v_fall = profile.v_falling
         stats = self.stats
@@ -348,7 +386,7 @@ class SupplyRail(Component):
         stats.consumed = consumed
         stats.starved = starved
         self._chunk_vcc = vcc
-        return i
+        return i, [i * e_dem]
 
     def _chunk_loop(self, physics, plans, profiles, v, leak, dt, n):
         """General chunk loop: any mix of sources, loads, leakage, ESR."""
@@ -368,11 +406,23 @@ class SupplyRail(Component):
             )
             for plan in plans
         ]
+        # Per-load demand terms, precombined where constant: e_const is
+        # the voltage-independent joules per step (power*dt + energy, in
+        # that order — matching the reference implementations' `power *
+        # dt` and `active + extra` arithmetic exactly).
         loads = [
-            (profile.resistance, profile.power * dt,
+            (profile.resistance, profile.power * dt + profile.energy,
+             profile.current, profile.current_gain,
              profile.v_rising, profile.v_falling)
             for profile in profiles
         ]
+        n_loads = len(loads)
+        load_range = range(n_loads)
+        # Committed per-load demand totals, plus a per-step scratch list:
+        # a step that hits an event boundary is discarded wholesale, so
+        # demands fold into the totals only when the full step commits.
+        esums = [0.0] * n_loads
+        edems = [0.0] * n_loads
         stats = self.stats
         harvested = stats.harvested
         leaked = stats.leaked
@@ -417,12 +467,17 @@ class SupplyRail(Component):
             co_t = consumed
             st_t = starved
             event = False
-            for resistance, e_dem, v_rise, v_fall in loads:
+            for j in load_range:
+                resistance, e_const, current, gain, v_rise, v_fall = loads[j]
                 if tv >= v_rise or tv < v_fall:
                     event = True
                     break
                 if resistance is not None:
-                    e_dem = tv * tv / resistance * dt
+                    e_dem = tv * tv / resistance * dt + e_const
+                elif current != 0.0:
+                    e_dem = ((current * tv) * gain) * dt + e_const
+                else:
+                    e_dem = e_const
                 demand = e_dem * overhead
                 avail = half_c * tv * tv
                 if demand >= avail:
@@ -433,6 +488,7 @@ class SupplyRail(Component):
                     delivered = demand / overhead
                 co_t += delivered
                 st_t += e_dem - delivered
+                edems[j] = e_dem
             if event:
                 break  # discard this step; it reruns via the reference path
             v = tv
@@ -440,6 +496,8 @@ class SupplyRail(Component):
             leaked = le_t
             consumed = co_t
             starved = st_t
+            for j in load_range:
+                esums[j] += edems[j]
             append(v)
             i += 1
         physics.write_voltage(v)
@@ -448,7 +506,7 @@ class SupplyRail(Component):
         stats.consumed = consumed
         stats.starved = starved
         self._chunk_vcc = vcc
-        return i
+        return i, esums
 
     def reset(self) -> None:
         self.storage.reset()

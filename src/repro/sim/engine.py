@@ -13,7 +13,10 @@ Two kernels execute that schedule:
 * ``"fast"`` — advances in macro-chunks of up to ``chunk_size`` steps
   through :meth:`Component.step_chunk` when the (single) component can
   vectorize its current regime, falling back to per-step execution at
-  every declared event boundary (see :mod:`repro.sim.kernel`).  Probes
+  every declared event boundary — voltage thresholds *and* timed events
+  (snapshot/restore completion, workload task boundaries), so the step
+  an event fires on always runs the unmodified reference path (see
+  :mod:`repro.sim.kernel`).  Probes
   must be chunk-capable (see :class:`~repro.sim.probes.Probe`) for
   chunking to engage; otherwise the fast kernel behaves exactly like the
   reference one.  A stop condition registered without ``chunk_safe=True``

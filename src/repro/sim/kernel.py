@@ -22,11 +22,17 @@ Three descriptor families exist:
   an overvoltage clamp, optional exponential leakage and an optional
   fixed draw-overhead factor (supercap ESR).
 * :class:`LoadProfile` — published by a rail load
-  (:meth:`~repro.power.rail.RailLoad.load_profile`) that currently
-  behaves as a constant-power or resistive drain.  ``v_rising`` /
-  ``v_falling`` are the declared event boundaries: the chunk ends
-  *before* the first step whose rail voltage (as seen by this load)
-  satisfies ``v >= v_rising`` or ``v < v_falling``.
+  (:meth:`~repro.power.rail.RailLoad.load_profile`): the load's *event
+  schedule descriptor* for its present regime.  The demand may mix a
+  constant power, a constant per-step energy, a current-like
+  voltage-proportional term and a resistive term; ``v_rising`` /
+  ``v_falling`` are the declared voltage event boundaries (the chunk
+  ends *before* the first step whose rail voltage, as seen by this
+  load, satisfies ``v >= v_rising`` or ``v < v_falling``), and
+  ``max_steps`` is the declared *time-based* event boundary (snapshot /
+  restore completion, workload task boundaries): the chunk may advance
+  at most that many steps, so the step on which the timed event fires
+  always executes through the reference path.
 * :class:`VoltageSourcePlan` / :class:`PowerSourcePlan` — published by an
   injector (:meth:`~repro.power.rail.Injector.chunk_plan`): the source
   waveform for the chunk precomputed as a plain list plus the scalar
@@ -110,18 +116,43 @@ class CapacitorPhysics:
 class LoadProfile:
     """A load's declared behaviour between event boundaries.
 
-    Exactly one of ``power`` (constant-power drain) or ``resistance``
-    (resistive drain, ``P = V^2/R``) describes the demand.  ``commit`` is
-    called once with ``(steps, dt)`` after the chunk so the load can
-    account bulk side effects (state-residency metrics) for the steps it
-    was advanced through.
+    The per-step energy demand (joules), with ``v`` the rail voltage the
+    load sees that step, is assembled exactly as the reference
+    :meth:`~repro.power.rail.RailLoad.advance` implementations compute
+    it::
+
+        ((current * v) * current_gain) * dt    (when current != 0)
+        + power * dt                           (when power != 0)
+        + v * v / resistance * dt              (when resistance set)
+        + energy                               (constant joules per step)
+
+    The association order of the ``current`` term mirrors the MCU active
+    power model (``(i_leak + i_per_hz*f) * V * factor``) so chunked
+    execution reproduces the reference arithmetic bit-for-bit.
+
+    ``v_rising`` / ``v_falling`` declare voltage event boundaries;
+    ``max_steps`` declares a time-based event boundary (the profile is
+    only valid for that many further steps — an in-flight snapshot or
+    restore completing, a workload reaching its final cycles).  The
+    chunk stops short of every declared boundary; the boundary step
+    itself reruns through the reference path.
+
+    ``commit`` is called once with ``(steps, dt, energy)`` after the
+    chunk — ``energy`` being the total joules this load demanded over
+    the committed steps — so the load can account bulk side effects
+    (state-residency metrics, consumed-energy counters, operation
+    countdowns) for the steps it was advanced through.
     """
 
     power: float = 0.0
     resistance: Optional[float] = None
+    current: float = 0.0
+    current_gain: float = 1.0
+    energy: float = 0.0
     v_rising: float = math.inf
     v_falling: float = -math.inf
-    commit: Optional[Callable[[int, float], None]] = None
+    max_steps: Optional[int] = None
+    commit: Optional[Callable[[int, float, float], None]] = None
 
 
 @dataclass
@@ -150,6 +181,59 @@ class PowerSourcePlan:
 
     values: List[float]
     converter: Optional[object] = None
+
+
+class SourcePlanMemo:
+    """Memoised per-step source values on the exact engine time grid.
+
+    Closed-form harvesters evaluate their waveform over a whole chunk at
+    once (:func:`chunk_times`); when a chunk ends early at an event
+    boundary, the already-evaluated tail covers the grid the *next*
+    chunks will ask for.  Because plan values are a pure function of the
+    step index (``values[i]`` belongs to step ``step0 + i``), any
+    requested window that falls inside a previously computed one is
+    served as a slice — bit-identical to recomputing it — so a transient
+    scenario that chunks in short state-bounded bursts still pays for
+    each waveform sample once.
+
+    ``get`` returns the cached slice or None; ``put`` stores a freshly
+    computed window.  Only on-grid requests (``t0 == step0 * dt``, the
+    only kind the engine produces) are memoised.
+    """
+
+    __slots__ = ("_step0", "_dt", "_values")
+
+    def __init__(self) -> None:
+        self._step0 = 0
+        self._dt = 0.0
+        self._values: Optional[List[float]] = None
+
+    @staticmethod
+    def grid_step(t0: float, dt: float) -> Optional[int]:
+        """The exact step index of ``t0`` on the ``dt`` grid, or None."""
+        step0 = round(t0 / dt)
+        return step0 if step0 * dt == t0 else None
+
+    def get(self, step0: int, dt: float, n: int) -> Optional[List[float]]:
+        """The cached values for steps ``[step0, step0 + n)``, or None."""
+        values = self._values
+        if values is None or dt != self._dt:
+            return None
+        lo = step0 - self._step0
+        hi = lo + n
+        if lo < 0 or hi > len(values):
+            return None
+        return values[lo:hi]
+
+    def put(self, step0: int, dt: float, values: List[float]) -> None:
+        """Remember a freshly computed window."""
+        self._step0 = step0
+        self._dt = dt
+        self._values = values
+
+    def clear(self) -> None:
+        """Drop the cache (component reset / waveform state change)."""
+        self._values = None
 
 
 @dataclass

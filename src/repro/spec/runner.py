@@ -19,13 +19,22 @@ are module-level functions so they pickle under every
 ``multiprocessing`` start method; they take and return plain dicts,
 keeping the inter-process traffic tiny regardless of how many probe
 samples a run records.
+
+Execution goes through a *warm-worker* pool (:class:`WarmPool`): worker
+processes initialise once from a shared base spec, tasks ship only
+override dicts (not full pickled spec payloads), and submission is
+chunked so a large grid costs a handful of round-trips instead of one
+per point.  The pool object survives across batches — an exploration
+driver reuses the same warm workers for every optimizer round.
 """
 
 from __future__ import annotations
 
+import math
 import os
 import sys
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -57,21 +66,78 @@ def run_scenario_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     return run_point_payload({"spec": payload})["metrics"]
 
 
+#: The shared base spec a warm worker resolves override-only tasks
+#: against: parsed once per worker process (or per serial batch), not
+#: once per task.  ``None`` until :func:`_install_shared_base` runs.
+_SHARED_BASE: Optional[ScenarioSpec] = None
+#: Its raw dict form (for failure keys), kept in lockstep.
+_SHARED_BASE_DICT: Optional[Dict[str, Any]] = None
+
+
+def _install_shared_base(base_dict: Optional[Dict[str, Any]]) -> None:
+    """Worker initializer: parse the shared base spec exactly once."""
+    global _SHARED_BASE, _SHARED_BASE_DICT
+    _SHARED_BASE_DICT = base_dict
+    _SHARED_BASE = (
+        ScenarioSpec.from_dict(base_dict) if base_dict is not None else None
+    )
+
+
+def _task_failure_key(
+    payload: Dict[str, Any], base_spec: Optional[Dict[str, Any]]
+) -> str:
+    """The one error-row key for a task that never resolved to a spec.
+
+    Shared by the in-worker resolution-failure path and the
+    worker-crash fallback so both produce the same key for the same
+    payload — a stored error row under one scheme must be findable by
+    the other.
+    """
+    if "spec" in payload:
+        return spec_hash(payload["spec"])
+    from repro.results.run_result import content_hash
+
+    return content_hash({
+        "base": spec_hash(base_spec) if base_spec is not None else None,
+        "overrides": payload.get("spec_overrides"),
+    })
+
+
+def _payload_spec(payload: Dict[str, Any]) -> ScenarioSpec:
+    """Resolve a task payload to its runnable spec.
+
+    A payload either carries a full ``"spec"`` dict (self-contained
+    tasks) or a ``"spec_overrides"`` dict applied to the worker's shared
+    base spec (warm-worker tasks).  Both resolutions are deterministic,
+    so the resulting spec — and therefore its hash, the results
+    pipeline's cache key — is identical to the one the submitting
+    process computed.
+    """
+    if "spec" in payload:
+        return ScenarioSpec.from_dict(payload["spec"])
+    if _SHARED_BASE is None:
+        raise SpecError(
+            "override-only task but no shared base spec was installed"
+        )
+    return _SHARED_BASE.with_overrides(payload["spec_overrides"])
+
+
 def run_point_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Process-pool worker: one grid point in, one result record out.
 
     ``payload`` is ``{"spec": <ScenarioSpec dict>, "overrides": {...},
-    "traces": [probe names], "max_trace_samples": int}`` (all but
-    ``spec`` optional); the return value is a
+    "traces": [probe names], "max_trace_samples": int}`` — or, for
+    warm-worker tasks, ``"spec_overrides"`` (applied to the shared base
+    spec) in place of ``"spec"``; the return value is a
     :meth:`RunResult.to_record` dict.
     """
     overrides = dict(payload.get("overrides", {}))
     try:
-        spec = ScenarioSpec.from_dict(payload["spec"])
+        spec = _payload_spec(payload)
     except Exception as error:
         return RunResult.failed(
             f"{type(error).__name__}: {error}",
-            spec_hash=spec_hash(payload["spec"]),
+            spec_hash=_task_failure_key(payload, _SHARED_BASE_DICT),
             overrides=overrides,
         ).to_record()
     try:
@@ -164,58 +230,200 @@ def _is_worker_crash(result: Optional[RunResult]) -> bool:
     )
 
 
+def _worker_failure(
+    payload: Dict[str, Any], error: BaseException, base_spec=None
+) -> Dict[str, Any]:
+    """The error record pinned to a payload whose worker crashed."""
+    if "spec" in payload:
+        name = payload["spec"].get("name", "scenario")
+    else:
+        name = (base_spec or {}).get("name", "scenario")
+    return RunResult.failed(
+        f"{WORKER_FAILURE_PREFIX}{type(error).__name__}: {error}",
+        spec_hash=_task_failure_key(payload, base_spec),
+        name=name,
+        overrides=payload.get("overrides", {}),
+    ).to_record()
+
+
+def _run_payload_batch(
+    worker: Callable[[Dict[str, Any]], Dict[str, Any]],
+    tasks: List[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Pool-side batch body: one IPC round-trip for many tasks."""
+    return [worker(task) for task in tasks]
+
+
+#: Submission chunks per worker: small enough for load balancing across
+#: unevenly sized points, large enough that IPC stays amortised.
+_CHUNKS_PER_WORKER = 4
+
+
+class WarmPool:
+    """A persistent warm-worker process pool for spec payloads.
+
+    Workers fork/spawn once — importing the framework and parsing the
+    shared ``base_spec`` in the initializer — and then serve any number
+    of :meth:`run` batches.  Tasks referencing the shared base ship only
+    their override dicts; submission is chunked
+    (:data:`_CHUNKS_PER_WORKER` chunks per worker per batch) so an
+    N-point grid costs a handful of pickled messages rather than N.
+
+    The pool is lazy (created on the first :meth:`run`) and degrades
+    gracefully: when process pools are unavailable (restricted
+    sandboxes) or a batch has a single task, it runs in-process with
+    identical results.  Use as a context manager, or call
+    :meth:`close` when done.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        base_spec: Optional[Dict[str, Any]] = None,
+    ):
+        self.base_spec = base_spec
+        self.max_workers = max_workers or (os.cpu_count() or 1)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._broken = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
+        if self._pool is None and not self._broken:
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    initializer=_install_shared_base,
+                    initargs=(self.base_spec,),
+                )
+            except (OSError, PermissionError):
+                # Environments without working multiprocessing
+                # primitives still get correct, serial results.
+                self._broken = True
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "WarmPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- execution -------------------------------------------------------
+
+    def _run_serial(
+        self, payloads: List[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        worker = sys.modules[__name__].run_point_payload
+        global _SHARED_BASE, _SHARED_BASE_DICT
+        saved = (_SHARED_BASE, _SHARED_BASE_DICT)
+        _install_shared_base(self.base_spec)
+        try:
+            records = []
+            for payload in payloads:
+                try:
+                    records.append(worker(payload))
+                except Exception as error:
+                    records.append(
+                        _worker_failure(payload, error, self.base_spec)
+                    )
+            return records
+        finally:
+            _SHARED_BASE, _SHARED_BASE_DICT = saved
+
+    def run(self, payloads: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Run one batch; failures become error records, never raises.
+
+        A worker raising (as opposed to a scenario failing *inside* the
+        worker, which :func:`run_point_payload` already converts) is an
+        infrastructure failure; it is pinned to every payload of its
+        submission chunk as a :data:`WORKER_FAILURE_PREFIX` error record
+        so the rest of the batch still lands.
+        """
+        if len(payloads) <= 1:
+            return self._run_serial(payloads)
+        pool = self._ensure_pool()
+        if pool is None:
+            return self._run_serial(payloads)
+        # Resolved in the submitting process so tests (and callers) can
+        # substitute the worker; it is pickled by reference per chunk.
+        worker = sys.modules[__name__].run_point_payload
+        chunk_size = max(
+            1,
+            math.ceil(len(payloads) / (self.max_workers * _CHUNKS_PER_WORKER)),
+        )
+        chunks = [
+            payloads[i : i + chunk_size]
+            for i in range(0, len(payloads), chunk_size)
+        ]
+        try:
+            futures = [
+                pool.submit(_run_payload_batch, worker, chunk)
+                for chunk in chunks
+            ]
+        except (OSError, PermissionError):
+            self._broken = True
+            self.close()
+            return self._run_serial(payloads)
+        from concurrent.futures import BrokenExecutor
+
+        records: List[Dict[str, Any]] = []
+        pool_died = False
+        for chunk, future in zip(chunks, futures):
+            error = future.exception()
+            if error is None:
+                records.extend(future.result())
+            else:
+                if isinstance(error, BrokenExecutor):
+                    pool_died = True
+                records.extend(
+                    _worker_failure(payload, error, self.base_spec)
+                    for payload in chunk
+                )
+        if pool_died:
+            # A dead worker poisons the whole executor: every later
+            # submit would raise.  Drop it so the next batch gets a
+            # fresh pool (matching the resilience of the old
+            # pool-per-call design) instead of crashing the run.
+            self.close()
+        return records
+
+
 def execute_payloads(
     payloads: List[Dict[str, Any]],
     parallel: bool = True,
     max_workers: Optional[int] = None,
+    base_spec: Optional[Dict[str, Any]] = None,
+    pool: Optional[WarmPool] = None,
 ) -> List[Dict[str, Any]]:
     """Run worker payloads; failures become error records, never raises.
 
     The shared execution core of :class:`SweepRunner` and
     :class:`repro.explore.driver.ExplorationDriver`: each payload goes
-    through :func:`run_point_payload` — across a process pool by default,
-    in-process when ``parallel=False`` or the sandbox lacks
-    multiprocessing primitives.  A worker raising (as opposed to a
-    scenario failing *inside* the worker, which :func:`run_point_payload`
-    already converts) is an infrastructure failure; it is pinned to its
-    payload as a :data:`WORKER_FAILURE_PREFIX` error record so the rest
-    of the batch still lands.
+    through :func:`run_point_payload` — across a warm-worker process
+    pool by default, in-process when ``parallel=False`` or the sandbox
+    lacks multiprocessing primitives.  Pass ``base_spec`` (a spec dict)
+    to let payloads ship ``"spec_overrides"`` instead of full specs, and
+    ``pool`` to reuse a caller-managed :class:`WarmPool` across batches
+    (its ``base_spec`` then applies and the pool is left open).
     """
-    worker = sys.modules[__name__].run_point_payload
-
-    def fallback(payload: Dict[str, Any], error: BaseException) -> Dict[str, Any]:
-        return RunResult.failed(
-            f"{WORKER_FAILURE_PREFIX}{type(error).__name__}: {error}",
-            spec_hash=spec_hash(payload["spec"]),
-            name=payload["spec"].get("name", "scenario"),
-            overrides=payload.get("overrides", {}),
-        ).to_record()
-
-    if parallel and len(payloads) > 1:
-        workers = max_workers or min(len(payloads), os.cpu_count() or 1)
-        workers = max(1, min(workers, len(payloads)))
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(worker, p) for p in payloads]
-                records = []
-                for payload, future in zip(payloads, futures):
-                    error = future.exception()
-                    records.append(
-                        future.result() if error is None
-                        else fallback(payload, error)
-                    )
-                return records
-        except (OSError, PermissionError):
-            # Environments without working multiprocessing primitives
-            # (restricted sandboxes) still get correct, serial results.
-            pass
-    records = []
-    for payload in payloads:
-        try:
-            records.append(worker(payload))
-        except Exception as error:
-            records.append(fallback(payload, error))
-    return records
+    if pool is not None:
+        return pool.run(payloads) if parallel else pool._run_serial(payloads)
+    workers = min(
+        max_workers or (os.cpu_count() or 1), max(1, len(payloads))
+    )
+    transient = WarmPool(max_workers=workers, base_spec=base_spec)
+    try:
+        if parallel:
+            return transient.run(payloads)
+        return transient._run_serial(payloads)
+    finally:
+        transient.close()
 
 
 @dataclass(frozen=True)
@@ -324,9 +532,12 @@ class SweepRunner:
     def _payloads(
         self, indices: Sequence[int], capture_traces: Sequence[str]
     ) -> List[Dict[str, Any]]:
+        # Warm-worker tasks: only the override dicts travel; every
+        # worker resolves them against the shared base spec it parsed
+        # once at initialisation.
         return [
             {
-                "spec": self.specs[i].to_dict(),
+                "spec_overrides": self.overrides[i],
                 "overrides": self.overrides[i],
                 "traces": list(capture_traces),
             }
@@ -338,7 +549,10 @@ class SweepRunner:
     ) -> List[Dict[str, Any]]:
         """Run payloads through the shared :func:`execute_payloads` core."""
         return execute_payloads(
-            payloads, parallel=parallel, max_workers=self.max_workers
+            payloads,
+            parallel=parallel,
+            max_workers=self.max_workers,
+            base_spec=self.base.to_dict(),
         )
 
     def run(
@@ -372,16 +586,19 @@ class SweepRunner:
         ]
         records = self._execute(self._payloads(pending, capture_traces), parallel)
         computed: Dict[int, RunResult] = {}
-        for i, record in zip(pending, records):
-            result = RunResult.from_record(record).with_context(
-                index=i, spec=self.specs[i]
-            )
-            computed[i] = result
-            # Deterministic outcomes (successes *and* infeasible-scenario
-            # error rows) are cacheable; worker crashes are transient and
-            # must stay recomputable on the next resume.
-            if store is not None and not _is_worker_crash(result):
-                store.add(result, overwrite=True)
+        # One batched store transaction: appends buffer and hit the disk
+        # with a single fsync instead of one per point.
+        with (store.batch() if store is not None else nullcontext()):
+            for i, record in zip(pending, records):
+                result = RunResult.from_record(record).with_context(
+                    index=i, spec=self.specs[i]
+                )
+                computed[i] = result
+                # Deterministic outcomes (successes *and* infeasible-
+                # scenario error rows) are cacheable; worker crashes are
+                # transient and must stay recomputable on the next resume.
+                if store is not None and not _is_worker_crash(result):
+                    store.add(result, overwrite=True)
         points = []
         for i in range(len(self.specs)):
             if i in computed:

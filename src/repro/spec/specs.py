@@ -481,8 +481,9 @@ class ScenarioSpec:
             )
             system.set_platform(platform)
             if self.stop_on_completion:
-                # Completion can only happen during ACTIVE execution,
-                # which is always per-step: safe to keep chunking.
+                # Completion can only happen on the workload's halting
+                # step, which the engine's active_plan always leaves to
+                # per-step execution: safe to keep chunking.
                 system.stop_when(
                     lambda t: platform.metrics.first_completion_time is not None,
                     chunk_safe=True,

@@ -202,6 +202,25 @@ class Strategy:
             return math.inf
         return None
 
+    def active_guard(self, platform: "TransientPlatform") -> Optional[float]:
+        """The rail voltage at-or-below which :meth:`on_active` acts, if any.
+
+        The fast kernel's declared event boundary for the ACTIVE state:
+        returning a float asserts that, while the rail voltage stays
+        *strictly above* it, :meth:`on_active` is a pure no-op (no
+        snapshot trigger, no state transition, no mutation).  Strategies
+        whose ``on_active`` is the base no-op never act (``-math.inf``);
+        a strategy with an overridden ``on_active`` and no declared
+        guard returns None, which keeps its ACTIVE execution per-step.
+        (:meth:`on_checkpoint_site` needs no guard: checkpoint pauses
+        only ever happen during per-step execution — the engine's
+        :meth:`~repro.mcu.engine.ComputeEngine.active_plan` ends every
+        chunk strictly before a checkpoint site.)
+        """
+        if type(self).on_active is Strategy.on_active:
+            return -math.inf
+        return None
+
     def on_checkpoint_site(
         self, platform: "TransientPlatform", t: float, v: float
     ) -> None:
@@ -420,14 +439,35 @@ class TransientPlatform(RailLoad):
             self.metrics.energy["off"] += energy
         return energy
 
-    def load_profile(self, t: float, v_rail: float) -> Optional[LoadProfile]:
-        """Fast-kernel profile for the quiescent states (OFF and SLEEP).
+    def load_profile(
+        self, t: float, dt: float, v_rail: float
+    ) -> Optional[LoadProfile]:
+        """Fast-kernel event schedule descriptor for the current state.
 
-        ACTIVE, SNAPSHOT and RESTORE involve per-step engine/operation
-        state and always run through :meth:`advance`; OFF and SLEEP are
-        constant drains whose exits are pure voltage thresholds — the
-        boot (``v >= v_por``), wake (strategy threshold) and brownout
-        (``v < v_min``) events that end a chunk.
+        Every platform state is a piecewise-constant (or, for ACTIVE, a
+        voltage-proportional) drain between declared events, so chunking
+        survives the whole boot/active/sleep/snapshot cycle:
+
+        * **OFF** — constant ``off_power``; exits when the rail rises
+          through ``v_por`` (boot).
+        * **SLEEP** — constant ``sleep_power``; exits at the strategy's
+          wake threshold or at brownout (``v < v_min``).
+        * **ACTIVE** — core power proportional to the rail voltage plus
+          a constant per-step memory energy, as long as the compute
+          engine can vectorize its forward progress
+          (:meth:`~repro.mcu.engine.ComputeEngine.active_plan`) and the
+          strategy declares its trigger threshold
+          (:meth:`Strategy.active_guard`); exits at the guard, at
+          brownout, or at the engine's time-based boundary (workload
+          halt / checkpoint site), which bounds ``max_steps``.
+        * **SNAPSHOT / RESTORE** — constant operation power; exits at
+          brownout or when the operation's remaining duration runs out
+          (``max_steps``), so the completing step — commit, state
+          transition, strategy callback — always runs per-step.
+
+        The state-transition step itself always executes through the
+        unmodified :meth:`advance`, which is what keeps event timing
+        identical between kernels.
         """
         if type(self).advance is not TransientPlatform.advance:
             # A subclass with its own per-step physics must publish its
@@ -442,12 +482,12 @@ class TransientPlatform(RailLoad):
             return LoadProfile(
                 power=model.off_power,
                 v_rising=config.v_por,
-                commit=self._chunk_commit("off", model.off_power),
+                commit=self._chunk_commit("off"),
             )
+        if v_rail < config.v_min:
+            return None  # brownout due: handle it per-step
         if state is PlatformState.SLEEP:
-            if v_rail < config.v_min:
-                return None  # brownout due: handle it per-step
-            commit = self._chunk_commit("sleep", model.sleep_power)
+            commit = self._chunk_commit("sleep")
             if self.workload_done:
                 return LoadProfile(
                     power=model.sleep_power, v_falling=config.v_min,
@@ -460,14 +500,105 @@ class TransientPlatform(RailLoad):
                 power=model.sleep_power, v_rising=wake,
                 v_falling=config.v_min, commit=commit,
             )
+        if state is PlatformState.ACTIVE:
+            return self._active_profile(dt, config, model)
+        if state in (PlatformState.SNAPSHOT, PlatformState.RESTORE):
+            return self._operation_profile(dt, config, state)
         return None
 
-    def _chunk_commit(self, key: str, power: float):
+    def _active_profile(self, dt, config, model) -> Optional[LoadProfile]:
+        """The ACTIVE-state event schedule, or None to stay per-step."""
+        guard = self.strategy.active_guard(self)
+        if guard is None:
+            return None
+        frequency = self.clock.frequency
+        budget = max(0, int(frequency * dt))
+        plan = self.engine.active_plan(budget, self.stop_at_checkpoints)
+        if plan is None:
+            return None
+        step_energy, safe_steps, commit_cycles = plan
+        # The strategy acts when v <= guard; the chunk's falling boundary
+        # is strict (v < v_falling), so nudge the guard up one ulp to
+        # make `v < boundary` equivalent to `v <= guard`.  Brownout
+        # (v < v_min) folds into the same boundary.
+        v_fall = config.v_min
+        if guard > -math.inf:
+            v_fall = max(v_fall, math.nextafter(guard, math.inf))
+        metrics = self.metrics
+
+        def commit(steps: int, dt_: float, energy: float) -> None:
+            if steps:
+                # `energy` is the summed per-step demand: voltage-
+                # proportional core energy plus the constant memory
+                # part, which is exactly steps * step_energy.
+                mem = steps * step_energy
+                metrics.time_in_state["active"] += steps * dt_
+                metrics.energy["active"] += energy - mem
+                metrics.energy["memory"] += mem
+                metrics.cycles_executed += steps * budget
+                commit_cycles(steps)
+
+        return LoadProfile(
+            current=model.active_current(frequency),
+            current_gain=model.fram_execution_factor,
+            energy=step_energy,
+            v_falling=v_fall,
+            max_steps=safe_steps,
+            commit=commit,
+        )
+
+    #: Bound on how far ahead an operation profile resolves its
+    #: completion step.  Understating ``max_steps`` is always safe (it
+    #: only shortens chunks), and the engine never asks for chunks
+    #: anywhere near this long — so the cap also bounds the rescan cost
+    #: per chunk for a very long operation to O(cap), not O(operation).
+    _MAX_OPERATION_LOOKAHEAD = 1 << 13
+
+    def _operation_profile(self, dt, config, state) -> Optional[LoadProfile]:
+        """The SNAPSHOT/RESTORE event schedule, or None to stay per-step."""
+        operation = self._operation
+        if operation is None:
+            return None
+        # The reference path counts the operation down by repeated
+        # `remaining -= dt`; replicate that float-for-float to find how
+        # many steps stay strictly in-flight (the completing step runs
+        # per-step).
+        remaining = operation.remaining
+        safe = 0
+        while safe < self._MAX_OPERATION_LOOKAHEAD:
+            after = remaining - dt
+            if after <= 0.0:
+                break
+            remaining = after
+            safe += 1
+        if safe <= 0:
+            return None
+        metrics = self.metrics
+        kind = operation.kind
+        state_key = state.value
+
+        def commit(steps: int, dt_: float, energy: float) -> None:
+            if steps:
+                metrics.time_in_state[state_key] += steps * dt_
+                metrics.energy[kind] += energy
+                left = operation.remaining
+                for _ in range(steps):
+                    left -= dt_
+                operation.remaining = left
+
+        return LoadProfile(
+            power=operation.power,
+            v_falling=config.v_min,
+            max_steps=safe,
+            commit=commit,
+        )
+
+    def _chunk_commit(self, key: str):
         """Bulk metrics accounting for ``steps`` chunked quiescent steps."""
-        def commit(steps: int, dt: float) -> None:
+        def commit(steps: int, dt: float, energy: float) -> None:
             if steps:
                 self.metrics.time_in_state[key] += steps * dt
-                self.metrics.energy[key] += steps * (power * dt)
+                self.metrics.energy[key] += energy
         return commit
 
     def reset(self) -> None:

@@ -152,3 +152,12 @@ class Hibernus(Strategy):
         if type(self).on_sleep is not Hibernus.on_sleep:
             return None
         return self.v_restore
+
+    def active_guard(self, platform: TransientPlatform):
+        # The voltage interrupt fires at v <= V_H; strictly above it
+        # on_active is a pure no-op, so ACTIVE execution may chunk down
+        # to the hibernate threshold.  A subclass with its own on_active
+        # must declare its own guard.
+        if type(self).on_active is not Hibernus.on_active:
+            return None
+        return self.v_hibernate

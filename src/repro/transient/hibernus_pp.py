@@ -106,6 +106,14 @@ class HibernusPP(Strategy):
             return None
         return self.v_restore
 
+    def active_guard(self, platform: TransientPlatform):
+        # V_H adapts only in snapshot/brownout callbacks, which fire
+        # per-step, so the present value is a valid chunk boundary while
+        # the device computes.
+        if type(self).on_active is not HibernusPP.on_active:
+            return None
+        return self.v_hibernate
+
     def on_snapshot_complete(
         self, platform: TransientPlatform, t: float, v: float
     ) -> None:

@@ -15,6 +15,8 @@ of including it in the ablation benches.
 
 from __future__ import annotations
 
+import math
+
 from repro.transient.base import Strategy, TransientPlatform
 from repro.spec.registry import register
 from repro.transient.hibernus import hibernate_threshold
@@ -87,6 +89,14 @@ class NVProcessor(Strategy):
         if type(self).on_sleep is not NVProcessor.on_sleep:
             return None  # subclass changed sleep behaviour; stay per-step
         return self.v_restore
+
+    def active_guard(self, platform: TransientPlatform):
+        if type(self).on_active is not NVProcessor.on_active:
+            return None  # subclass changed active behaviour; stay per-step
+        if self._flushed_this_excursion:
+            # Already backed up: on_active is a no-op until brownout.
+            return -math.inf
+        return self.v_flush
 
     def on_power_fail(self, platform: TransientPlatform, t: float) -> None:
         self._flushed_this_excursion = False

@@ -21,6 +21,7 @@ from typing import List, Optional
 
 from repro.errors import ConfigurationError
 from repro.power.rail import RailLoad
+from repro.sim.kernel import LoadProfile
 
 
 @dataclass(frozen=True)
@@ -139,6 +140,61 @@ class ChargeAndFireDevice(RailLoad):
             self._energy_delivered = 0.0
             self._units_this_fire = max(1, self.units_for_fire(t, v_rail))
         return self.quiescent_power * dt
+
+    #: Bound on how far ahead a firing profile resolves its completion
+    #: step.  Understating ``max_steps`` only shortens chunks (always
+    #: safe), and capping it bounds the rescan cost per chunk for a
+    #: very long firing to O(cap) rather than O(firing length).
+    _MAX_FIRE_LOOKAHEAD = 1 << 13
+
+    def load_profile(
+        self, t: float, dt: float, v_rail: float
+    ) -> Optional[LoadProfile]:
+        """Fast-kernel event schedule: charge to ``v_fire``, then burn.
+
+        Charging is a pure quiescent drain whose only exit is the rail
+        rising through ``v_fire``; a firing is a constant task-power
+        drain whose exits are the abort threshold (``v < v_abort``) and
+        the time-based boundary where the budgeted energy runs out —
+        the completing step (record, hooks) always runs per-step.
+        """
+        if type(self).advance is not ChargeAndFireDevice.advance:
+            return None  # subclass changed the physics: stay per-step
+        if not self._firing:
+            return LoadProfile(
+                power=self.quiescent_power, v_rising=self.v_fire
+            )
+        draw = self.task.power * dt
+        if draw <= 0.0:
+            return None
+        budget = self.task.energy * self._units_this_fire + self.fire_overhead
+        # Replicate the reference path's repeated `_energy_delivered +=
+        # draw` float-for-float to find how many steps stay strictly
+        # mid-firing.
+        delivered = self._energy_delivered
+        safe = 0
+        while safe < self._MAX_FIRE_LOOKAHEAD:
+            if draw >= budget - delivered:
+                break
+            delivered += draw
+            safe += 1
+        if safe <= 0:
+            return None
+
+        def commit(steps: int, dt_: float, energy: float) -> None:
+            if steps:
+                total = self._energy_delivered
+                step_draw = self.task.power * dt_
+                for _ in range(steps):
+                    total += step_draw
+                self._energy_delivered = total
+
+        return LoadProfile(
+            power=self.task.power,
+            v_falling=self.v_abort,
+            max_steps=safe,
+            commit=commit,
+        )
 
     def _finish(self, t: float, completed: bool) -> None:
         record = FireRecord(

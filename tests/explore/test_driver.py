@@ -40,7 +40,8 @@ def counting_worker(monkeypatch):
     real = runner_mod.run_point_payload
 
     def worker(payload):
-        calls.append(payload["spec"])
+        # Warm-worker tasks ship override dicts, not full spec payloads.
+        calls.append(payload.get("spec_overrides", payload.get("spec")))
         return real(payload)
 
     monkeypatch.setattr(runner_mod, "run_point_payload", worker)

@@ -63,6 +63,99 @@ def test_partial_write_tail_is_recovered(tmp_path):
     assert len(ResultStore(path)) == 3
 
 
+def test_batched_appends_land_once_on_exit(tmp_path):
+    """Inside batch() nothing hits the disk; exit flushes every row."""
+    path = tmp_path / "store.jsonl"
+    store = ResultStore(path)
+    store.add(make_result(1))
+    size_before = path.stat().st_size
+    with store.batch():
+        store.add(make_result(2))
+        store.add(make_result(3))
+        # In-memory index is live (dedupe/lookups work mid-batch)...
+        assert len(store) == 3 and "h3" in store
+        # ...but the file has not grown yet.
+        assert path.stat().st_size == size_before
+    assert len(ResultStore(path)) == 3
+
+
+def test_batch_is_a_noop_for_memory_stores_and_nests_flat(tmp_path):
+    memory = ResultStore()
+    with memory.batch():
+        memory.add(make_result(1))
+    assert len(memory) == 1
+
+    path = tmp_path / "store.jsonl"
+    store = ResultStore(path)
+    with store.batch():
+        with store.batch():  # inner batch joins the outer one
+            store.add(make_result(1))
+        assert not path.exists()  # still buffered
+    assert len(ResultStore(path)) == 1
+
+
+def test_batch_overwrite_compaction_does_not_duplicate_rows(tmp_path):
+    """An overwrite mid-batch rewrites the file from memory; the batch
+    buffer must not re-append those rows on exit."""
+    path = tmp_path / "store.jsonl"
+    store = ResultStore(path)
+    store.add(make_result(1, energy_total=1.0))
+    with store.batch():
+        store.add(make_result(2))
+        store.add(make_result(1, energy_total=9.0), overwrite=True)
+        store.add(make_result(3))
+    lines = path.read_text().splitlines()
+    assert len(lines) == 3
+    reopened = ResultStore(path)
+    assert len(reopened) == 3
+    assert reopened.get("h1").metrics["energy_total"] == 9.0
+
+
+def test_crash_mid_batch_flush_loses_at_most_the_torn_tail(tmp_path):
+    """A batch flush is one multi-line append: if the process dies
+    mid-write, the recovery path drops only the torn final line and
+    keeps every earlier row of the batch."""
+    path = tmp_path / "store.jsonl"
+    store = ResultStore(path)
+    with store.batch():
+        for i in range(1, 4):
+            store.add(make_result(i))
+    # Simulate the crash: re-create the file as if the third line of the
+    # batch was torn mid-write.
+    lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+    assert len(lines) == 3
+    path.write_text(lines[0] + lines[1] + lines[2][:17], encoding="utf-8")
+    recovered = ResultStore(path)
+    assert [r.spec_hash for r in recovered] == ["h1", "h2"]
+    # Recovery compacted the torn tail away: the file is valid JSONL.
+    assert len(path.read_text().splitlines()) == 2
+    recovered.add(make_result(3))
+    assert len(ResultStore(path)) == 3
+
+
+def test_sweep_batches_store_writes(tmp_path, monkeypatch):
+    """SweepRunner persists computed points through one batched flush:
+    per-append fsyncs are gone from the hot path."""
+    import os as os_mod
+
+    from repro.spec.presets import fig7_spec
+    from repro.spec.runner import SweepRunner
+
+    fsyncs = []
+    real_fsync = os_mod.fsync
+    monkeypatch.setattr(
+        "repro.results.store.os.fsync",
+        lambda fd: (fsyncs.append(fd), real_fsync(fd))[1],
+    )
+    path = tmp_path / "sweep.jsonl"
+    SweepRunner(
+        fig7_spec(fft_size=64, duration=0.3),
+        {"frequency": [4.7, 9.4, 14.1]},
+    ).run(parallel=False, store=ResultStore(path))
+    assert len(ResultStore(path)) == 3
+    assert len(fsyncs) == 1  # one fsync for the whole sweep
+
+
 def test_interior_corruption_raises(tmp_path):
     """Silently skipping interior rows would misreport a sweep as
     complete; only the *tail* is recoverable."""

@@ -13,6 +13,110 @@ def small_base():
     return fig7_spec(fft_size=64, duration=0.4)
 
 
+def test_warm_worker_resolution_matches_parent_hashes():
+    """Override-only tasks resolve, in the worker, to specs whose hashes
+    equal the ones the parent computed — the cache-key contract the whole
+    resume/dedupe machinery leans on."""
+    runner = SweepRunner(
+        small_base(), {"capacitance": [22e-6, 47e-6], "frequency": [4.7]}
+    )
+    result = runner.run(parallel=False)
+    assert [p.spec_hash for p in result] == runner.hashes
+
+
+def test_warm_pool_serves_multiple_batches():
+    """One WarmPool instance survives across run() batches (the
+    exploration driver's usage pattern) and produces rows identical to
+    the transient-pool path."""
+    from repro.spec.runner import WarmPool, execute_payloads
+
+    base = small_base()
+    payloads = [
+        {"spec_overrides": {"frequency": f}, "overrides": {"frequency": f}}
+        for f in (4.7, 9.4)
+    ]
+    with WarmPool(max_workers=2, base_spec=base.to_dict()) as pool:
+        first = pool.run(payloads)
+        second = pool.run(payloads)  # same workers, second batch
+    assert [r["metrics"] for r in first] == [r["metrics"] for r in second]
+    direct = execute_payloads(
+        [{"spec": base.with_overrides({"frequency": f}).to_dict(),
+          "overrides": {"frequency": f}} for f in (4.7, 9.4)],
+        parallel=False,
+    )
+    assert [r["metrics"] for r in first] == [r["metrics"] for r in direct]
+    assert [r["spec_hash"] for r in first] == [r["spec_hash"] for r in direct]
+
+
+def _kill_worker_process(payload):  # pragma: no cover - dies mid-run
+    import os
+
+    os._exit(1)
+
+
+def test_warm_pool_recovers_after_a_worker_death(monkeypatch):
+    """A dead worker breaks the executor; the batch lands as error rows
+    and the NEXT batch gets a fresh pool instead of an uncaught
+    BrokenProcessPool."""
+    from repro.spec import runner as runner_mod
+    from repro.spec.runner import WarmPool
+
+    base = small_base()
+    payloads = [
+        {"spec_overrides": {"frequency": f}, "overrides": {"frequency": f}}
+        for f in (4.7, 9.4)
+    ]
+    with WarmPool(max_workers=1, base_spec=base.to_dict()) as pool:
+        monkeypatch.setattr(
+            runner_mod, "run_point_payload", _kill_worker_process
+        )
+        crashed = pool.run(payloads)
+        assert all(
+            r["metrics"]["error"].startswith(runner_mod.WORKER_FAILURE_PREFIX)
+            for r in crashed
+        )
+        monkeypatch.undo()
+        recovered = pool.run(payloads)
+        assert all(r["metrics"]["error"] is None for r in recovered)
+
+
+def test_resolution_failure_and_crash_share_one_key(monkeypatch):
+    """A task that fails to resolve in the worker and a task whose
+    worker crashes must pin their error rows under the same key."""
+    from repro.spec import runner as runner_mod
+
+    payload = {"spec_overrides": {"frequency": 4.7},
+               "overrides": {"frequency": 4.7}}
+    base = small_base().to_dict()
+    crash_record = runner_mod._worker_failure(
+        payload, RuntimeError("boom"), base
+    )
+    runner_mod._install_shared_base(base)
+    try:
+        monkeypatch.setattr(
+            ScenarioSpec, "with_overrides",
+            lambda self, o: (_ for _ in ()).throw(RuntimeError("no")),
+        )
+        resolve_record = runner_mod.run_point_payload(payload)
+    finally:
+        runner_mod._install_shared_base(None)
+    assert resolve_record["spec_hash"] == crash_record["spec_hash"]
+
+
+def test_override_only_payload_without_base_is_an_error_row():
+    """Defensive path: an override-only task with no shared base spec
+    resolves to an error record, not a crash."""
+    from repro.spec.runner import execute_payloads
+
+    records = execute_payloads(
+        [{"spec_overrides": {"frequency": 4.7},
+          "overrides": {"frequency": 4.7}}],
+        parallel=False,
+    )
+    assert len(records) == 1
+    assert "shared base spec" in records[0]["metrics"]["error"]
+
+
 def test_expand_grid_deterministic_order():
     points = expand_grid({"a": [1, 2], "b": [10, 20]})
     assert points == [

@@ -89,6 +89,21 @@ def test_spec_dump_then_run_round_trip(tmp_path, capsys):
     assert "V_cc" in out
 
 
+def test_run_profile_prints_component_breakdown(tmp_path, capsys):
+    from repro.spec.presets import preset
+
+    path = tmp_path / "spec.json"
+    path.write_text(
+        preset("crossover-hibernus").with_override("duration", 0.3).to_json()
+    )
+    assert main(["run", str(path), "--profile"]) in (0, 1)
+    out = capsys.readouterr().out
+    assert "cumulative time by component" in out
+    # The breakdown names framework layers, not raw file paths.
+    assert "repro.power" in out and "repro.sim" in out
+    assert "functions by cumulative time" in out
+
+
 def test_sweep_command_grid_rows(capsys):
     code = main([
         "sweep", "--serial", "--duration", "0.4",
