@@ -1,0 +1,27 @@
+# The simulation service, containerised.  Stdlib-only at runtime: the
+# image is the Python base plus this package — no service dependencies.
+#
+#   docker build -t repro-serve .
+#   docker run -p 8000:8000 -v "$PWD/data:/data" repro-serve
+#
+# or use the committed docker-compose.yml.
+FROM python:3.11-slim
+
+WORKDIR /app
+COPY pyproject.toml README.md ./
+COPY src ./src
+RUN pip install --no-cache-dir .
+
+# The store volume: results (runs.jsonl) and job history
+# (runs.jsonl.jobs) survive container restarts; a restarted service
+# marks in-flight jobs interrupted and resumed sweeps recompute only
+# missing points.
+VOLUME /data
+
+EXPOSE 8000
+
+# PID 1 receives docker stop's SIGTERM directly (exec form, no shell):
+# the service's signal handlers mark in-flight jobs interrupted and
+# reap the warm worker pool before exit.
+CMD ["repro", "serve", "--host", "0.0.0.0", "--port", "8000", \
+     "--store", "/data/runs.jsonl"]

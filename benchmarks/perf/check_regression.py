@@ -19,6 +19,11 @@ one fails (so one regression does not mask another):
   multi-fidelity search matches the exhaustive grid's answer within one
   grid step on at most 30% of its full-horizon simulations, and a
   cached re-run recomputes zero points.
+* **serve** — the service load harness (``perf_serve.py``): concurrent
+  clients with overlapping sweep grids compute each unique point exactly
+  once (dedupe ratio 1.0), every concurrent job completes, a union-grid
+  resubmission computes zero points over HTTP, and cached result
+  queries sustain the documented requests/sec floor.
 
 When ``$GITHUB_STEP_SUMMARY`` is set (GitHub Actions), a before/after
 speedup table and per-section gate verdicts are appended to the job
@@ -43,6 +48,10 @@ from perf_explore import (
     run_benchmarks as run_explore_benchmarks,
 )
 from perf_kernel import SPEEDUP_FLOORS, run_benchmarks
+from perf_serve import (
+    format_summary as format_serve_summary,
+    run_benchmarks as run_serve_benchmarks,
+)
 from perf_sweep import format_summary, run_benchmarks as run_sweep_benchmarks
 
 
@@ -94,7 +103,8 @@ def kernel_summary_rows(baseline: dict, fresh: dict) -> list:
 
 
 def write_github_summary(sections: dict, baseline: dict, fresh: dict,
-                         sweep_fresh, explore_fresh) -> None:
+                         sweep_fresh, explore_fresh,
+                         serve_fresh=None) -> None:
     """Append the before/after table to the Actions job summary, if any."""
     path = os.environ.get("GITHUB_STEP_SUMMARY")
     if not path:
@@ -134,6 +144,9 @@ def write_github_summary(sections: dict, baseline: dict, fresh: dict,
     if explore_fresh is not None:
         lines += ["", "### Exploration engine", "",
                   "```", format_explore_summary(explore_fresh), "```"]
+    if serve_fresh is not None:
+        lines += ["", "### Service load", "",
+                  "```", format_serve_summary(serve_fresh), "```"]
     for name, failures in sections.items():
         if failures:
             lines += ["", f"### {name} failures", ""]
@@ -165,6 +178,11 @@ def main(argv=None) -> int:
                              "path")
     parser.add_argument("--skip-explore", action="store_true",
                         help="skip the exploration-engine benchmarks")
+    parser.add_argument("--serve-output", type=Path, default=None,
+                        help="write the fresh service-load results to this "
+                             "path")
+    parser.add_argument("--skip-serve", action="store_true",
+                        help="skip the service-load benchmarks")
     args = parser.parse_args(argv)
     baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
     sections = {}
@@ -246,9 +264,27 @@ def main(argv=None) -> int:
                   "hold")
             print(format_explore_summary(explore_fresh))
 
+    # -- serve gate (dedupe/fairness invariants + query-rate floor) ------
+    serve_fresh = None
+    if not args.skip_serve:
+        try:
+            serve_fresh = run_serve_benchmarks(repeats=args.repeats)
+            sections["serve"] = []
+        except AssertionError as error:
+            sections["serve"] = [str(error)]
+            print(f"service perf regression detected:\n  - {error}")
+        if serve_fresh is not None:
+            if args.serve_output is not None:
+                args.serve_output.write_text(
+                    json.dumps(serve_fresh, indent=2) + "\n",
+                    encoding="utf-8",
+                )
+            print("service perf OK: dedupe/fairness/query gates hold")
+            print(format_serve_summary(serve_fresh))
+
     write_github_summary(
         sections, baseline, fresh or {"cases": {}}, sweep_fresh,
-        explore_fresh,
+        explore_fresh, serve_fresh,
     )
     return 1 if any(sections.values()) else 0
 

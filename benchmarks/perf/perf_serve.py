@@ -1,0 +1,242 @@
+"""Service load harness: dedupe ratio, fairness, cached-query rate.
+
+Starts a real ``repro serve`` instance on an ephemeral port and drives
+it with concurrent pure-stdlib clients, measuring what the service
+layer is *for* and writing ``BENCH_serve.json``::
+
+    PYTHONPATH=src python benchmarks/perf/perf_serve.py
+    PYTHONPATH=src python benchmarks/perf/perf_serve.py --repeats 5 \
+        --output BENCH_serve.json
+
+Three properties are *gated* on every fresh run; the first two are
+machine-independent by construction, the third carries a floor far
+below any plausible hardware:
+
+* **dedupe** — concurrent clients submitting overlapping sweep grids
+  compute each unique grid point exactly once (ratio == 1.0): the whole
+  point of one shared hash-keyed store behind the queue;
+* **fairness + idempotence** — every concurrent job completes, and a
+  follow-up sweep covering the union grid computes zero points (pure
+  cache hits over HTTP);
+* **query throughput** — ``GET /v1/results?best=...`` over the populated
+  store sustains at least ``QUERY_RPS_FLOOR`` requests/sec.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.serve import ServiceClient, create_server
+from repro.spec import SweepRunner, preset
+
+#: GET /v1/results on a small populated store must sustain at least
+#: this many requests/sec — a deliberate lowball (local HTTP manages
+#: hundreds) so only a genuine serving regression trips it.
+QUERY_RPS_FLOOR = 20.0
+
+#: Requests timed per repeat for the query-throughput measurement.
+QUERY_REQUESTS = 100
+
+#: Per-point scenario cost (kept small: the harness measures the
+#: service layer, not the simulator).
+OVERRIDES = {"duration": 0.3, "n": 64}
+
+#: Four clients, each a 2x2 sub-grid; every unique point appears in
+#: exactly two grids, so the 16 submitted points cover 8 unique ones.
+FREQUENCIES = [4.7, 9.4]
+CAPACITANCE_PAIRS = [
+    (22e-6, 47e-6),
+    (47e-6, 100e-6),
+    (100e-6, 220e-6),
+    (220e-6, 22e-6),
+]
+UNION_CAPACITANCES = [22e-6, 47e-6, 100e-6, 220e-6]
+
+
+def _grid(capacitances) -> dict:
+    return {"capacitance": list(capacitances), "frequency": FREQUENCIES}
+
+
+def _request(grid: dict) -> dict:
+    return {"preset": "fig7", "overrides": dict(OVERRIDES), "grid": grid}
+
+
+def _unique_points(*grids) -> int:
+    base = preset("fig7").with_overrides(OVERRIDES)
+    hashes = set()
+    for grid in grids:
+        hashes.update(SweepRunner(base, grid).hashes)
+    return len(hashes)
+
+
+def run_benchmarks(repeats: int = 3) -> dict:
+    """Drive a live server; returns the BENCH_serve payload."""
+    with tempfile.TemporaryDirectory() as tmp:
+        server = create_server(
+            port=0, store_path=os.path.join(tmp, "serve.jsonl")
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            return _run_against(server, repeats)
+        finally:
+            server.service.close()
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+
+def _run_against(server, repeats: int) -> dict:
+    host, port = server.server_address[:2]
+    base_url = f"http://{host}:{port}"
+    ServiceClient(base_url).healthz()  # warm the listener
+
+    # -- concurrent overlapping sweeps (dedupe + fairness) ---------------
+    grids = [_grid(pair) for pair in CAPACITANCE_PAIRS]
+    unique = _unique_points(*grids)
+    submitted = sum(
+        len(g["capacitance"]) * len(g["frequency"]) for g in grids
+    )
+    outcomes = [None] * len(grids)
+
+    def drive(index: int, grid: dict) -> None:
+        client = ServiceClient(base_url)
+        job = client.submit_sweep(_request(grid))
+        outcomes[index] = client.wait(job["job_id"], timeout=600)
+
+    print(f"  {len(grids)} concurrent clients, {submitted} submitted / "
+          f"{unique} unique points ...", flush=True)
+    t0 = time.perf_counter()
+    threads = [
+        threading.Thread(target=drive, args=(i, grid))
+        for i, grid in enumerate(grids)
+    ]
+    for worker in threads:
+        worker.start()
+    for worker in threads:
+        worker.join()
+    sweep_wall = time.perf_counter() - t0
+
+    incomplete = [o for o in outcomes if o is None or o["status"] != "done"]
+    if incomplete:
+        raise AssertionError(
+            f"{len(incomplete)} of {len(grids)} concurrent sweep jobs did "
+            "not complete — FIFO fairness broken"
+        )
+    computed = sum(o["result"]["computed"] for o in outcomes)
+    cached = sum(o["result"]["cached"] for o in outcomes)
+    dedupe_ratio = unique / computed if computed else 0.0
+    if computed != unique:
+        raise AssertionError(
+            f"overlapping grids computed {computed} points for {unique} "
+            f"unique ones (dedupe ratio {dedupe_ratio:.2f}; expected 1.0)"
+        )
+
+    # -- idempotent union resubmission (zero recompute over HTTP) --------
+    print("  union-grid resubmission ...", flush=True)
+    client = ServiceClient(base_url)
+    t0 = time.perf_counter()
+    union_job = client.submit_sweep(_request(_grid(UNION_CAPACITANCES)))
+    union = client.wait(union_job["job_id"], timeout=600)
+    resubmit_wall = time.perf_counter() - t0
+    if union["result"]["computed"] != 0:
+        raise AssertionError(
+            f"union resubmission recomputed {union['result']['computed']} "
+            "points; expected pure cache hits"
+        )
+
+    # -- cached query throughput -----------------------------------------
+    print(f"  {QUERY_REQUESTS} results queries x {repeats} repeats ...",
+          flush=True)
+    best_wall = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(QUERY_REQUESTS):
+            client.results(best="energy_total")
+        wall = time.perf_counter() - t0
+        best_wall = wall if best_wall is None else min(best_wall, wall)
+    query_rps = QUERY_REQUESTS / best_wall
+    if query_rps < QUERY_RPS_FLOOR:
+        raise AssertionError(
+            f"cached results queries at {query_rps:.1f} req/s fell below "
+            f"the {QUERY_RPS_FLOOR:.0f} req/s floor"
+        )
+
+    metrics = client.metrics()
+    return {
+        "schema": 1,
+        "python": platform.python_version(),
+        "cpus": os.cpu_count() or 1,
+        "repeats": repeats,
+        "query_rps_floor": QUERY_RPS_FLOOR,
+        "dedupe": {
+            "clients": len(grids),
+            "submitted_points": submitted,
+            "unique_points": unique,
+            "computed": computed,
+            "cached": cached,
+            "dedupe_ratio": round(dedupe_ratio, 4),
+            "wall_s": round(sweep_wall, 4),
+            "points_per_s": round(unique / sweep_wall, 2),
+        },
+        "resubmit": {
+            "computed": union["result"]["computed"],
+            "cached": union["result"]["cached"],
+            "wall_s": round(resubmit_wall, 4),
+        },
+        "query": {
+            "requests": QUERY_REQUESTS,
+            "wall_s": round(best_wall, 4),
+            "requests_per_s": round(query_rps, 1),
+        },
+        "server": {
+            "cache_hit_ratio": metrics["points"]["cache_hit_ratio"],
+            "store_rows": metrics["store"]["rows"],
+        },
+    }
+
+
+def format_summary(payload: dict) -> str:
+    dedupe = payload["dedupe"]
+    resubmit = payload["resubmit"]
+    query = payload["query"]
+    return "\n".join([
+        "service load:",
+        f"  dedupe: {dedupe['clients']} clients, "
+        f"{dedupe['submitted_points']} submitted -> "
+        f"{dedupe['computed']} computed of {dedupe['unique_points']} unique "
+        f"(ratio {dedupe['dedupe_ratio']:.2f}) in {dedupe['wall_s']:.2f} s",
+        f"  resubmit: {resubmit['computed']} computed, "
+        f"{resubmit['cached']} cached in {resubmit['wall_s']:.3f} s",
+        f"  queries: {query['requests_per_s']:.1f} req/s "
+        f"(floor {payload['query_rps_floor']:.0f})",
+    ])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats for the query measurement")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parents[2]
+                        / "BENCH_serve.json")
+    args = parser.parse_args(argv)
+    print("service benchmarks (best of %d):" % args.repeats, flush=True)
+    payload = run_benchmarks(repeats=args.repeats)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n",
+                           encoding="utf-8")
+    print(f"wrote {args.output}")
+    print(format_summary(payload))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Drive a running ``repro serve`` instance — pure stdlib, no installs.
+
+Start the service in one terminal::
+
+    python -m repro.cli serve --port 8000 --store runs.jsonl
+
+then run this client in another::
+
+    python examples/service_client.py
+    python examples/service_client.py --base-url http://127.0.0.1:8123
+
+It submits the capacitance design sweep (the same study as
+``examples/capacitance_sweep.py``, but over HTTP), streams the job's
+progress lines as they happen, and prints the energy/availability
+Pareto frontier from the service's shared store.  Run it twice: the
+second submission is idempotent — the service recognises the job id and
+every point is already cached, so nothing recomputes.
+
+``--wait JOB_ID`` skips the demo and just follows an existing job to
+completion (used by the CI smoke job).
+"""
+
+import argparse
+import sys
+
+from repro.serve import ServiceClient, ServiceError
+
+SWEEP = {
+    "preset": "fig7",
+    "overrides": {"duration": 0.8},
+    "grid": {
+        "capacitance": [4.7e-6, 10e-6, 22e-6, 47e-6],
+        "frequency": [4.7, 9.4],
+    },
+}
+
+
+def follow(client: ServiceClient, job_id: str) -> dict:
+    """Stream a job's event lines until it finishes; return the record."""
+    for line in client.events(job_id):
+        print(f"  {line}")
+    record = client.wait(job_id, timeout=600)
+    print(f"job {job_id}: {record['status']}")
+    return record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--base-url", default="http://127.0.0.1:8000",
+                        help="the running service (default %(default)s)")
+    parser.add_argument("--wait", metavar="JOB_ID", default=None,
+                        help="follow an existing job instead of running "
+                             "the sweep demo")
+    args = parser.parse_args(argv)
+    client = ServiceClient(args.base_url)
+
+    try:
+        health = client.healthz()
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        print("is the service running?  python -m repro.cli serve",
+              file=sys.stderr)
+        return 1
+
+    try:
+        if args.wait is not None:
+            record = follow(client, args.wait)
+            return 0 if record["status"] == "done" else 1
+
+        print(f"service at {args.base_url}: {health['status']}")
+        job = client.submit_sweep(SWEEP)
+        print(f"submitted sweep {job['job_id']} "
+              f"(status {job['status']})")
+        record = follow(client, job["job_id"])
+        if record["status"] != "done":
+            print(f"error: {record.get('error')}", file=sys.stderr)
+            return 1
+        summary = record["result"]
+        print(f"{summary['points']} points: {summary['computed']} computed, "
+              f"{summary['cached']} cached, {summary['errors']} error(s)")
+
+        body = client.results(
+            best="energy_total", pareto="energy_total,availability"
+        )
+        best = body["best"]
+        print(f"\nstore: {body['rows']} rows "
+              f"({body['failed']} infeasible corners)")
+        print("least total energy: "
+              f"C={best['overrides'].get('capacitance', 0) * 1e6:.1f} uF "
+              f"-> {best['value'] * 1e6:.0f} uJ")
+        print("energy/availability Pareto frontier:")
+        for row in body["pareto"]:
+            overrides = row["overrides"]
+            print(f"  C={overrides.get('capacitance', 0) * 1e6:.1f} uF "
+                  f"@ {overrides.get('frequency')} Hz: "
+                  f"{row['energy_total'] * 1e6:.0f} uJ, "
+                  f"availability {row['availability']:.3f}")
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

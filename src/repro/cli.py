@@ -13,6 +13,7 @@
         --objective capacitance --require completed --budget 24 \
         --output explore.jsonl --resume
     python -m repro.cli results sweep.jsonl --best energy_total
+    python -m repro.cli serve --port 8000 --store service.jsonl
     python -m repro.cli components
 
 The figure subcommands run the reproduction scenarios and print the same
@@ -24,7 +25,10 @@ parameter grid and executes the points in parallel across processes;
 :class:`~repro.results.ResultStore` and ``--resume`` recomputes only the
 points the store does not already hold.  ``results`` queries a store
 after the fact: tabulate, merge shards, pick bests, extract Pareto
-frontiers.
+frontiers.  ``serve`` runs the whole stack as a long-lived HTTP service
+(see :mod:`repro.serve`): clients POST specs/grids/search-spaces, jobs
+queue onto one warm worker pool, and a shared store dedupes overlapping
+work across clients.
 """
 
 from __future__ import annotations
@@ -79,6 +83,7 @@ def cmd_list(_: argparse.Namespace) -> int:
         ["sweep", "expand a parameter grid and run it in parallel"],
         ["explore", "budgeted design-space search with an optimizer"],
         ["results", "query a persisted sweep result store"],
+        ["serve", "run the HTTP simulation service (job queue + store)"],
         ["components", "list the registered spec components"],
     ]
     print(format_table(["command", "experiment"], rows))
@@ -600,6 +605,35 @@ def cmd_results(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the HTTP simulation service until SIGTERM/SIGINT.
+
+    One process serves every client: jobs queue FIFO onto a persistent
+    warm-worker pool, results land in the shared ``--store`` (so
+    overlapping requests compute each point exactly once), and shutdown
+    is graceful — in-flight jobs are marked ``interrupted`` in the job
+    file and no worker processes are leaked.
+    """
+    from repro.serve import create_server, serve_forever
+
+    server = create_server(
+        host=args.host,
+        port=args.port,
+        store_path=args.store,
+        max_workers=args.workers,
+        parallel=not args.serial,
+    )
+    host, port = server.server_address[:2]
+    store_note = args.store if args.store is not None else "in-memory"
+    print(f"repro serve: listening on http://{host}:{port} "
+          f"(store: {store_note})", flush=True)
+    print("  POST /v1/runs|/v1/sweeps|/v1/explorations, GET /v1/jobs/{id}, "
+          "GET /v1/results, /healthz, /metrics", flush=True)
+    serve_forever(server)
+    print("repro serve: shut down cleanly")
+    return 0
+
+
 def cmd_components(_: argparse.Namespace) -> int:
     """List every registered spec component by kind."""
     rows = [[kind, ", ".join(available(kind))] for kind in kinds()]
@@ -754,6 +788,25 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar=("COST", "BENEFIT"),
                          help="print the (min COST, max BENEFIT) frontier")
     results.set_defaults(fn=cmd_results)
+
+    serve = sub.add_parser(
+        "serve", help="run the HTTP simulation service"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1; use "
+                            "0.0.0.0 inside containers)")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="bind port (default 8000; 0 = ephemeral)")
+    serve.add_argument("--store", default=None, metavar="STORE.jsonl",
+                       help="shared JSONL result store (the cross-client "
+                            "compute cache); job status persists beside "
+                            "it as STORE.jsonl.jobs")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="warm-pool width (default: CPU count)")
+    serve.add_argument("--serial", action="store_true",
+                       help="run grid points on the executor thread "
+                            "instead of a process pool")
+    serve.set_defaults(fn=cmd_serve)
 
     components = sub.add_parser("components", help="list spec components")
     components.set_defaults(fn=cmd_components)

@@ -194,6 +194,10 @@ class ExplorationDriver:
         seed: optimizer RNG seed — fix it and a re-run asks the
             identical candidate sequence (the cache-hit guarantee).
         progress: optional per-batch :class:`BatchProgress` hook.
+        pool: a caller-managed :class:`WarmPool` to evaluate on.  The
+            driver then leaves lifecycle to the caller (the pool stays
+            open after :meth:`run`) — how the ``repro serve`` executor
+            shares one warm pool across every job.
     """
 
     def __init__(
@@ -210,6 +214,7 @@ class ExplorationDriver:
         max_workers: Optional[int] = None,
         seed: int = 0,
         progress: Optional[ProgressHook] = None,
+        pool: Optional[WarmPool] = None,
     ):
         self.base = base
         self.space = space
@@ -241,6 +246,8 @@ class ExplorationDriver:
         self.max_workers = max_workers
         self.seed = seed
         self.progress = progress
+        #: A caller-owned pool shared across runs (never closed here).
+        self._external_pool = pool
         #: The warm-worker pool serving the current run(), if parallel.
         self._pool: Optional[WarmPool] = None
 
@@ -445,8 +452,10 @@ class ExplorationDriver:
         evaluations: List[Evaluation] = []
         computed = cached = computed_full = batches = 0
         # One warm pool for the whole exploration: workers initialise
-        # from the base spec once and serve every optimizer batch.
-        self._pool = (
+        # from the base spec once and serve every optimizer batch.  A
+        # caller-owned pool takes precedence and outlives the run.
+        owns_pool = self._external_pool is None and self.parallel
+        self._pool = self._external_pool or (
             WarmPool(
                 max_workers=self.max_workers,
                 base_spec=self.base.to_dict(),
@@ -480,9 +489,9 @@ class ExplorationDriver:
                         total=len(evaluations),
                     ))
         finally:
-            if self._pool is not None:
+            if self._pool is not None and owns_pool:
                 self._pool.close()
-                self._pool = None
+            self._pool = None
         frontier = optimizer.frontier()
         return ExplorationResult(
             name=self.base.name,

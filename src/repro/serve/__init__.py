@@ -1,0 +1,53 @@
+"""Simulation-as-a-service: an HTTP API + job queue over the framework.
+
+The serve layer turns the one-shot CLI stack into a long-running
+service: clients POST ScenarioSpec / sweep-grid / SearchSpace JSON,
+jobs execute FIFO on one persistent warm-worker pool, every result
+lands in one shared hash-deduped :class:`~repro.results.ResultStore`
+(overlapping requests from independent clients compute each point
+exactly once), and progress streams back per job.
+
+Layers, bottom up:
+
+* :mod:`repro.serve.jobs` — deterministic job ids, persisted
+  :class:`JobRecord` snapshots (:class:`JobStore`);
+* :mod:`repro.serve.queue` — :class:`JobQueue`: idempotent submission,
+  FIFO executor thread, streamable per-job event logs;
+* :mod:`repro.serve.service` — :class:`SimulationService`: request
+  validation, execution on the shared pool/store, metrics and result
+  queries;
+* :mod:`repro.serve.api` — the stdlib HTTP surface
+  (:func:`create_server` / :func:`serve_forever`);
+* :mod:`repro.serve.client` — a pure-stdlib :class:`ServiceClient`.
+
+Entry point: ``python -m repro.cli serve --port 8000 --store runs.jsonl``
+(see the ``serve`` CLI subcommand and the committed docker-compose
+deployment).
+"""
+
+from repro.serve.api import ServeHTTPServer, create_server, serve_forever
+from repro.serve.client import ServiceClient, ServiceError
+from repro.serve.jobs import (
+    JOB_KINDS,
+    JOB_STATUSES,
+    JobRecord,
+    JobStore,
+    job_id_for,
+)
+from repro.serve.queue import JobQueue
+from repro.serve.service import SimulationService
+
+__all__ = [
+    "JOB_KINDS",
+    "JOB_STATUSES",
+    "JobQueue",
+    "JobRecord",
+    "JobStore",
+    "ServeHTTPServer",
+    "ServiceClient",
+    "ServiceError",
+    "SimulationService",
+    "create_server",
+    "job_id_for",
+    "serve_forever",
+]

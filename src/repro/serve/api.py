@@ -1,0 +1,247 @@
+"""The HTTP surface of the simulation service (stdlib only).
+
+Built on :class:`http.server.ThreadingHTTPServer`: one daemon thread per
+connection for the cheap request/response endpoints, while the heavy
+lifting stays on the service's single executor thread and its warm
+worker pool.  Routes::
+
+    POST /v1/runs            submit a single-run job
+    POST /v1/sweeps          submit a sweep-grid job
+    POST /v1/explorations    submit a budgeted-exploration job
+    GET  /v1/jobs            list job records
+    GET  /v1/jobs/{id}       one job's status + progress counters
+    GET  /v1/jobs/{id}/events   chunked stream of progress lines
+    GET  /v1/results         store queries (best / pareto / series / rows)
+    GET  /healthz            liveness
+    GET  /metrics            jobs, cache and pool statistics
+
+Error contract (the API-boundary satellite): any
+:class:`~repro.errors.ReproError` raised while handling a request —
+bad spec JSON, unknown component, malformed grid, invalid axis — maps
+to **HTTP 400 with the same one-line message** the CLI prints on its
+exit-2 path, as ``{"error": "..."}``.  Tracebacks never cross the wire;
+a genuinely unexpected failure is a terse 500 with the exception type.
+
+``GET /v1/jobs/{id}/events`` streams with ``Transfer-Encoding:
+chunked``: one UTF-8 line per lifecycle transition or
+:class:`~repro.spec.runner.BatchProgress` batch, flushed as produced,
+ending when the job reaches a terminal status.  ``?since=N`` skips the
+first N lines (reconnect support); ``?follow=0`` returns only what has
+already happened.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlparse
+
+from repro.errors import ReproError, SpecError
+from repro.serve.service import SimulationService
+
+#: Largest accepted request body; a spec + grid is kilobytes, so
+#: anything bigger is a client error, not a workload.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: POST collection -> job kind.
+_COLLECTIONS = {
+    "runs": "run",
+    "sweeps": "sweep",
+    "explorations": "exploration",
+}
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """A ThreadingHTTPServer that owns a :class:`SimulationService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: SimulationService):
+        super().__init__(address, ServeHandler)
+        self.service = service
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """Routes requests onto the server's :class:`SimulationService`."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------------
+
+    @property
+    def service(self) -> SimulationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # Quiet by default; the job event streams are the observability
+        # surface.  Subclass to re-enable stdlib request logging.
+        pass
+
+    def _send_json(self, status: int, body: Dict[str, Any]) -> None:
+        payload = (json.dumps(body, indent=2) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise SpecError("request needs a JSON body")
+        if length > MAX_BODY_BYTES:
+            raise SpecError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise SpecError(f"request body is not valid JSON: {error}")
+
+    def _route(self) -> Tuple[str, Dict[str, str]]:
+        parsed = urlparse(self.path)
+        return parsed.path.rstrip("/") or "/", dict(parse_qsl(parsed.query))
+
+    # -- request handling ------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        path, _params = self._route()
+        self.service.requests_served += 1
+        try:
+            parts = path.strip("/").split("/")
+            if len(parts) == 2 and parts[0] == "v1" and \
+                    parts[1] in _COLLECTIONS:
+                record = self.service.submit(
+                    _COLLECTIONS[parts[1]], self._read_body()
+                )
+                self._send_json(202, record.to_record())
+                return
+            self._send_error_json(404, f"no such endpoint: POST {path}")
+        except ReproError as error:
+            # The CLI's one-line exit-2 contract, over HTTP: client
+            # errors are 400s carrying the message, never tracebacks.
+            self._send_error_json(400, str(error))
+        except BrokenPipeError:
+            pass
+        except Exception as error:
+            self._send_error_json(500, f"internal error: "
+                                       f"{type(error).__name__}")
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        path, params = self._route()
+        self.service.requests_served += 1
+        try:
+            if path == "/healthz":
+                self._send_json(200, self.service.healthz())
+            elif path == "/metrics":
+                self._send_json(200, self.service.metrics())
+            elif path == "/v1/jobs":
+                self._send_json(200, {
+                    "jobs": [
+                        r.to_record() for r in self.service.queue.records()
+                    ],
+                })
+            elif path.startswith("/v1/jobs/"):
+                self._job_route(path, params)
+            elif path == "/v1/results":
+                self._send_json(200, self.service.results_query(params))
+            else:
+                self._send_error_json(404, f"no such endpoint: GET {path}")
+        except ReproError as error:
+            self._send_error_json(400, str(error))
+        except BrokenPipeError:
+            pass
+        except Exception as error:
+            self._send_error_json(500, f"internal error: "
+                                       f"{type(error).__name__}")
+
+    def _job_route(self, path: str, params: Dict[str, str]) -> None:
+        parts = path.strip("/").split("/")
+        job_id = parts[2]
+        record = self.service.queue.get(job_id)
+        if record is None:
+            self._send_error_json(404, f"no such job: {job_id}")
+            return
+        if len(parts) == 3:
+            self._send_json(200, record.to_record())
+            return
+        if len(parts) == 4 and parts[3] == "events":
+            self._stream_events(job_id, params)
+            return
+        self._send_error_json(404, f"no such endpoint: GET {path}")
+
+    def _stream_events(self, job_id: str, params: Dict[str, str]) -> None:
+        try:
+            since = int(params.get("since", 0))
+        except ValueError:
+            raise SpecError("'since' must be an integer event index")
+        follow = params.get("follow", "1").lower() not in ("0", "false", "no")
+        try:
+            timeout = float(params.get("timeout", 300.0))
+        except ValueError:
+            raise SpecError("'timeout' must be a number of seconds")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        try:
+            for line in self.service.queue.events(
+                job_id, since=since, follow=follow, timeout=timeout
+            ):
+                self._write_chunk(line + "\n")
+            self.wfile.write(b"0\r\n\r\n")
+        except (BrokenPipeError, ConnectionResetError):
+            # The client hung up mid-stream; nothing to clean up — the
+            # job keeps running and the event log keeps accumulating.
+            self.close_connection = True
+
+    def _write_chunk(self, text: str) -> None:
+        data = text.encode("utf-8")
+        self.wfile.write(f"{len(data):x}\r\n".encode("ascii"))
+        self.wfile.write(data + b"\r\n")
+        self.wfile.flush()
+
+
+def create_server(
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    service: Optional[SimulationService] = None,
+    **service_kwargs: Any,
+) -> ServeHTTPServer:
+    """Bind the API to ``host:port`` over a started service.
+
+    Pass an existing :class:`SimulationService` to share it, or service
+    keyword arguments (``store_path``, ``max_workers``, ``parallel``) to
+    construct one.  ``port=0`` binds an ephemeral port (tests); read it
+    back from ``server.server_address``.
+    """
+    if service is None:
+        service = SimulationService(**service_kwargs)
+    service.start()
+    return ServeHTTPServer((host, port), service)
+
+
+def serve_forever(server: ServeHTTPServer) -> None:
+    """Run until SIGTERM/SIGINT, then shut down gracefully.
+
+    Signals route through :func:`repro.spec.runner.install_signal_handlers`,
+    whose hooks mark in-flight jobs ``interrupted`` and reap the warm
+    pool before the process exits — the no-leaked-workers contract.
+    """
+    from repro.spec.runner import install_signal_handlers
+
+    install_signal_handlers()
+    try:
+        server.serve_forever()
+    except (KeyboardInterrupt, SystemExit):
+        pass
+    finally:
+        server.service.close()
+        server.server_close()

@@ -1,0 +1,237 @@
+"""The service's job queue: FIFO execution with streamable progress.
+
+:class:`JobQueue` owns the job lifecycle between the HTTP boundary and
+the execution engine.  Submissions are **idempotent** (deterministic job
+ids — see :mod:`repro.serve.jobs`): resubmitting a finished or in-flight
+request returns the existing job; resubmitting a ``failed`` or
+``interrupted`` one re-enqueues it.
+
+Jobs execute **one at a time, in submission order**, on a single
+executor thread.  That is a deliberate design point, not a limitation:
+
+* *dedupe* — concurrent clients submitting overlapping grids against
+  the shared result store each compute only the points no earlier job
+  has computed, because every job sees the store state its predecessors
+  left (two truly simultaneous sweeps could otherwise both compute the
+  overlap);
+* *fairness* — FIFO over whole jobs; within a job the warm-worker pool
+  provides the parallelism, so a small job queued behind a large one
+  waits bounded time instead of starving under interleaved scheduling;
+* *safety* — the JSONL result store is written from one thread only.
+
+Every job carries an append-only **event log** (one line per lifecycle
+transition or :class:`~repro.spec.runner.BatchProgress` batch); readers
+(``GET /v1/jobs/{id}/events``) follow it with a condition variable, so
+streaming costs no polling.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.serve.jobs import JobRecord, JobStore, job_id_for
+
+#: How long an executor thread sleeps between stop-flag checks while
+#: the queue is empty.
+_IDLE_WAIT_S = 0.1
+
+
+class JobQueue:
+    """FIFO job execution over a :class:`JobStore`, with event streams.
+
+    Args:
+        store: persistence for job snapshots (in-memory when pathless).
+        execute: the callback that actually runs one job (the service's
+            execution engine).  It is responsible for driving the
+            record through ``running`` to a terminal status via
+            :meth:`transition` / :meth:`emit`; an escaped exception
+            marks the job ``failed`` defensively.
+    """
+
+    def __init__(
+        self,
+        store: Optional[JobStore] = None,
+        execute: Optional[Callable[[JobRecord], None]] = None,
+    ):
+        self.store = store if store is not None else JobStore()
+        self._execute = execute
+        self._cond = threading.Condition()
+        self._pending: "deque[str]" = deque()
+        self._events: Dict[str, List[str]] = {}
+        self._thread: Optional[threading.Thread] = None
+        self._stopping = False
+        #: The job currently on the executor thread, if any.
+        self._active: Optional[str] = None
+        # A restarted service inherits the previous process's job file:
+        # anything still in flight there is dead by definition.
+        for record in self.store.mark_stale_interrupted():
+            self._events[record.job_id] = [
+                f"[{record.job_id}] interrupted: {record.error}"
+            ]
+
+    # -- submission ------------------------------------------------------
+
+    def submit(
+        self, kind: str, request: Mapping[str, Any]
+    ) -> Tuple[JobRecord, bool]:
+        """Enqueue (or re-address) a job; returns ``(record, enqueued)``.
+
+        ``enqueued`` is False when the deterministic id matched a job
+        that is already queued, running, or done — the idempotent path.
+        ``failed``/``interrupted`` jobs re-enqueue with reset counters.
+        """
+        job_id = job_id_for(kind, request)
+        with self._cond:
+            if self._stopping:
+                from repro.errors import ReproError
+
+                raise ReproError("service is shutting down")
+            existing = self.store.get(job_id)
+            if existing is not None and existing.status in (
+                "queued", "running", "done",
+            ):
+                return existing, False
+            record = JobRecord(job_id=job_id, kind=kind, request=dict(request))
+            self._events[job_id] = []
+            self.store.save(record)
+            self._append_event(
+                record, f"queued ({kind}, position {len(self._pending) + 1})"
+            )
+            self._pending.append(job_id)
+            self._cond.notify_all()
+        return record, True
+
+    # -- state transitions (called by the execution engine) --------------
+
+    def transition(self, record: JobRecord) -> None:
+        """Persist a record snapshot and wake event-stream readers."""
+        self.store.save(record)
+        with self._cond:
+            self._cond.notify_all()
+
+    def emit(self, record: JobRecord, line: str) -> None:
+        """Append one event line to the job's stream."""
+        with self._cond:
+            self._append_event(record, line)
+            self._cond.notify_all()
+
+    def _append_event(self, record: JobRecord, line: str) -> None:
+        self._events.setdefault(record.job_id, []).append(
+            f"[{record.job_id}] {line}"
+        )
+
+    # -- lookup ----------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        return self.store.get(job_id)
+
+    def records(self) -> List[JobRecord]:
+        return self.store.records()
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs per status (every status present, zero or not)."""
+        from repro.serve.jobs import JOB_STATUSES
+
+        counts = {status: 0 for status in JOB_STATUSES}
+        for record in self.records():
+            counts[record.status] = counts.get(record.status, 0) + 1
+        return counts
+
+    def events(
+        self,
+        job_id: str,
+        since: int = 0,
+        follow: bool = True,
+        timeout: float = 300.0,
+    ) -> Iterator[str]:
+        """Yield a job's event lines from index ``since``.
+
+        With ``follow`` (the default) the iterator blocks for new lines
+        until the job reaches a terminal status (or ``timeout`` seconds
+        pass without one) — the body of the streaming endpoint.
+        """
+        index = max(0, since)
+        while True:
+            with self._cond:
+                lines = self._events.get(job_id, [])
+                fresh = lines[index:]
+                index = len(lines)
+                record = self.store.get(job_id)
+                done = record is None or record.terminal
+                if not fresh and not done and follow:
+                    if not self._cond.wait(timeout):
+                        return
+                    continue
+            for line in fresh:
+                yield line
+            if done or not follow:
+                return
+
+    # -- the executor thread ---------------------------------------------
+
+    def start(self) -> None:
+        """Start the executor thread (idempotent)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._stopping = False
+            self._thread = threading.Thread(
+                target=self._work, name="repro-serve-executor", daemon=True
+            )
+            self._thread.start()
+
+    def _work(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending and not self._stopping:
+                    self._cond.wait(_IDLE_WAIT_S)
+                if self._stopping:
+                    return
+                job_id = self._pending.popleft()
+                self._active = job_id
+            record = self.store.get(job_id)
+            try:
+                if record is not None and self._execute is not None:
+                    self._execute(record)
+            except Exception as error:  # the engine should have caught it
+                if record is not None:
+                    import time as _time
+
+                    record.status = "failed"
+                    record.error = f"{type(error).__name__}: {error}"
+                    record.finished_s = _time.time()
+                    self.emit(record, f"failed: {record.error}")
+                    self.transition(record)
+            finally:
+                with self._cond:
+                    self._active = None
+                    self._cond.notify_all()
+
+    def stop(self, timeout: float = 10.0) -> List[JobRecord]:
+        """Stop executing and mark in-flight jobs ``interrupted``.
+
+        The executor thread is asked to stop, given ``timeout`` seconds
+        to finish the active job, and every job still non-terminal —
+        queued, or running past the grace period — is marked
+        ``interrupted`` and persisted, so a killed service never leaves
+        jobs ``running`` forever.  Returns the interrupted records.
+        """
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        if self._thread is not None and self._thread.is_alive():
+            self._thread.join(timeout)
+        interrupted = []
+        import time as _time
+
+        for record in self.records():
+            if record.status in ("queued", "running"):
+                record.status = "interrupted"
+                record.error = "service shut down while the job was in flight"
+                record.finished_s = _time.time()
+                self.store.save(record)
+                with self._cond:
+                    self._append_event(record, "interrupted: service shutdown")
+                    self._cond.notify_all()
+                interrupted.append(record)
+        return interrupted

@@ -30,9 +30,12 @@ driver reuses the same warm workers for every optimizer round.
 
 from __future__ import annotations
 
+import atexit
 import math
 import os
 import sys
+import threading
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import nullcontext
 from dataclasses import dataclass, field
@@ -248,15 +251,114 @@ def _worker_failure(
 
 def _run_payload_batch(
     worker: Callable[[Dict[str, Any]], Dict[str, Any]],
+    base_dict: Optional[Dict[str, Any]],
     tasks: List[Dict[str, Any]],
 ) -> List[Dict[str, Any]]:
-    """Pool-side batch body: one IPC round-trip for many tasks."""
+    """Pool-side batch body: one IPC round-trip for many tasks.
+
+    ``base_dict`` is the shared base spec the chunk's override-only
+    tasks resolve against; it is installed only when it differs from
+    what the worker already holds, so a pool serving one sweep parses
+    its base exactly once per worker while a *session-wide* pool (the
+    ``repro serve`` job executor) can switch bases between jobs at the
+    cost of one re-parse per worker per switch.
+    """
+    if base_dict is not None and base_dict != _SHARED_BASE_DICT:
+        _install_shared_base(base_dict)
     return [worker(task) for task in tasks]
 
 
 #: Submission chunks per worker: small enough for load balancing across
 #: unevenly sized points, large enough that IPC stays amortised.
 _CHUNKS_PER_WORKER = 4
+
+
+#: Every WarmPool not yet closed.  A weak set: a pool that is simply
+#: garbage-collected drops out on its own; the set exists so process
+#: teardown (atexit) and termination signals can close *live* pools —
+#: long sweeps and ``repro serve`` must never leak worker processes.
+_LIVE_POOLS: "weakref.WeakSet[WarmPool]" = weakref.WeakSet()
+
+#: Callbacks to run before pools are reaped on shutdown (registered by
+#: long-running callers, e.g. the service marking in-flight jobs
+#: interrupted).  Run in registration order.
+_SHUTDOWN_HOOKS: List[Callable[[], None]] = []
+
+
+def register_shutdown_hook(hook: Callable[[], None]) -> Callable[[], None]:
+    """Run ``hook`` before worker pools are closed at process shutdown.
+
+    Returns the hook so callers can :func:`unregister_shutdown_hook` it.
+    """
+    _SHUTDOWN_HOOKS.append(hook)
+    return hook
+
+
+def unregister_shutdown_hook(hook: Callable[[], None]) -> None:
+    """Remove a previously registered shutdown hook (idempotent)."""
+    while hook in _SHUTDOWN_HOOKS:
+        _SHUTDOWN_HOOKS.remove(hook)
+
+
+def shutdown_all_pools() -> None:
+    """Run the shutdown hooks, then close every live :class:`WarmPool`.
+
+    Idempotent and safe to call from ``atexit`` or a signal handler:
+    hooks that raise are swallowed (shutdown must make progress), and a
+    pool already closed is a no-op.
+    """
+    hooks, _SHUTDOWN_HOOKS[:] = list(_SHUTDOWN_HOOKS), []
+    for hook in hooks:
+        try:
+            hook()
+        except Exception:
+            pass
+    for pool in list(_LIVE_POOLS):
+        try:
+            pool.close()
+        except Exception:
+            pass
+
+
+#: atexit covers normal interpreter exit; install_signal_handlers()
+#: (called by long-running entry points like ``repro serve``) extends
+#: the same cleanup to SIGTERM/SIGINT delivery.
+atexit.register(shutdown_all_pools)
+
+
+def install_signal_handlers(signals: Optional[Sequence[int]] = None) -> bool:
+    """Route SIGTERM/SIGINT through :func:`shutdown_all_pools`.
+
+    The handler runs the shutdown hooks, closes every live pool, then
+    chains to the previously installed handler (so an application's own
+    SIGINT behaviour — ``KeyboardInterrupt`` — is preserved; for the
+    default SIGTERM disposition it exits with the conventional
+    ``128 + signum``).  Returns False when handlers cannot be installed
+    (not the main thread); pool cleanup then still happens via atexit.
+    """
+    import signal as signal_module
+
+    if signals is None:
+        signals = (signal_module.SIGTERM, signal_module.SIGINT)
+    if threading.current_thread() is not threading.main_thread():
+        return False
+    for signum in signals:
+        previous = signal_module.getsignal(signum)
+
+        def _handler(num, frame, _previous=previous):
+            shutdown_all_pools()
+            if callable(_previous):
+                _previous(num, frame)
+            elif num == signal_module.SIGINT:
+                raise KeyboardInterrupt
+            else:
+                raise SystemExit(128 + num)
+
+        try:
+            signal_module.signal(signum, _handler)
+        except (ValueError, OSError):
+            return False
+    return True
 
 
 class WarmPool:
@@ -285,11 +387,15 @@ class WarmPool:
         self.max_workers = max_workers or (os.cpu_count() or 1)
         self._pool: Optional[ProcessPoolExecutor] = None
         self._broken = False
+        # Track from birth so shutdown_all_pools() reaps pools whose
+        # worker processes spawn later (lazily, on the first run()).
+        _LIVE_POOLS.add(self)
 
     # -- lifecycle -------------------------------------------------------
 
     def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
         if self._pool is None and not self._broken:
+            _LIVE_POOLS.add(self)  # a closed pool can be re-driven
             try:
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.max_workers,
@@ -307,6 +413,7 @@ class WarmPool:
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        _LIVE_POOLS.discard(self)
 
     def __enter__(self) -> "WarmPool":
         return self
@@ -317,12 +424,16 @@ class WarmPool:
     # -- execution -------------------------------------------------------
 
     def _run_serial(
-        self, payloads: List[Dict[str, Any]]
+        self,
+        payloads: List[Dict[str, Any]],
+        base_spec: Optional[Dict[str, Any]] = None,
     ) -> List[Dict[str, Any]]:
         worker = sys.modules[__name__].run_point_payload
         global _SHARED_BASE, _SHARED_BASE_DICT
         saved = (_SHARED_BASE, _SHARED_BASE_DICT)
-        _install_shared_base(self.base_spec)
+        _install_shared_base(
+            base_spec if base_spec is not None else self.base_spec
+        )
         try:
             records = []
             for payload in payloads:
@@ -330,13 +441,17 @@ class WarmPool:
                     records.append(worker(payload))
                 except Exception as error:
                     records.append(
-                        _worker_failure(payload, error, self.base_spec)
+                        _worker_failure(payload, error, _SHARED_BASE_DICT)
                     )
             return records
         finally:
             _SHARED_BASE, _SHARED_BASE_DICT = saved
 
-    def run(self, payloads: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    def run(
+        self,
+        payloads: List[Dict[str, Any]],
+        base_spec: Optional[Dict[str, Any]] = None,
+    ) -> List[Dict[str, Any]]:
         """Run one batch; failures become error records, never raises.
 
         A worker raising (as opposed to a scenario failing *inside* the
@@ -344,12 +459,19 @@ class WarmPool:
         infrastructure failure; it is pinned to every payload of its
         submission chunk as a :data:`WORKER_FAILURE_PREFIX` error record
         so the rest of the batch still lands.
+
+        ``base_spec`` overrides the pool's own base spec for this batch:
+        override-only payloads resolve against it instead.  A persistent
+        pool serving many scenarios (the ``repro serve`` executor) ships
+        the active base with each chunk; workers re-parse only when it
+        actually changes.
         """
+        batch_base = base_spec if base_spec is not None else self.base_spec
         if len(payloads) <= 1:
-            return self._run_serial(payloads)
+            return self._run_serial(payloads, base_spec=batch_base)
         pool = self._ensure_pool()
         if pool is None:
-            return self._run_serial(payloads)
+            return self._run_serial(payloads, base_spec=batch_base)
         # Resolved in the submitting process so tests (and callers) can
         # substitute the worker; it is pickled by reference per chunk.
         worker = sys.modules[__name__].run_point_payload
@@ -363,13 +485,13 @@ class WarmPool:
         ]
         try:
             futures = [
-                pool.submit(_run_payload_batch, worker, chunk)
+                pool.submit(_run_payload_batch, worker, batch_base, chunk)
                 for chunk in chunks
             ]
         except (OSError, PermissionError):
             self._broken = True
             self.close()
-            return self._run_serial(payloads)
+            return self._run_serial(payloads, base_spec=batch_base)
         from concurrent.futures import BrokenExecutor
 
         records: List[Dict[str, Any]] = []
@@ -382,7 +504,7 @@ class WarmPool:
                 if isinstance(error, BrokenExecutor):
                     pool_died = True
                 records.extend(
-                    _worker_failure(payload, error, self.base_spec)
+                    _worker_failure(payload, error, batch_base)
                     for payload in chunk
                 )
         if pool_died:
@@ -410,10 +532,13 @@ def execute_payloads(
     lacks multiprocessing primitives.  Pass ``base_spec`` (a spec dict)
     to let payloads ship ``"spec_overrides"`` instead of full specs, and
     ``pool`` to reuse a caller-managed :class:`WarmPool` across batches
-    (its ``base_spec`` then applies and the pool is left open).
+    (the pool is left open; ``base_spec`` rides along per batch, so a
+    session-wide pool can serve callers with different base scenarios).
     """
     if pool is not None:
-        return pool.run(payloads) if parallel else pool._run_serial(payloads)
+        if parallel:
+            return pool.run(payloads, base_spec=base_spec)
+        return pool._run_serial(payloads, base_spec=base_spec)
     workers = min(
         max_workers or (os.cpu_count() or 1), max(1, len(payloads))
     )
@@ -545,7 +670,10 @@ class SweepRunner:
         ]
 
     def _execute(
-        self, payloads: List[Dict[str, Any]], parallel: bool
+        self,
+        payloads: List[Dict[str, Any]],
+        parallel: bool,
+        pool: Optional[WarmPool] = None,
     ) -> List[Dict[str, Any]]:
         """Run payloads through the shared :func:`execute_payloads` core."""
         return execute_payloads(
@@ -553,6 +681,7 @@ class SweepRunner:
             parallel=parallel,
             max_workers=self.max_workers,
             base_spec=self.base.to_dict(),
+            pool=pool,
         )
 
     def run(
@@ -562,6 +691,7 @@ class SweepRunner:
         resume: bool = False,
         capture_traces: Sequence[str] = (),
         progress: Optional[ProgressHook] = None,
+        pool: Optional[WarmPool] = None,
     ) -> SweepResult:
         """Execute the grid; rows come back in grid order.
 
@@ -574,6 +704,8 @@ class SweepRunner:
                 computed point should carry.
             progress: optional hook receiving one :class:`BatchProgress`
                 event (a sweep is one batch) once the grid is satisfied.
+            pool: a caller-managed :class:`WarmPool` to execute on (left
+                open); this sweep's base spec rides along per batch.
         """
         if resume and store is None:
             raise SpecError("resume=True needs a result store to resume from")
@@ -584,7 +716,9 @@ class SweepRunner:
             if not (resume and self.hashes[i] in store
                     and not _is_worker_crash(store.get(self.hashes[i])))
         ]
-        records = self._execute(self._payloads(pending, capture_traces), parallel)
+        records = self._execute(
+            self._payloads(pending, capture_traces), parallel, pool=pool
+        )
         computed: Dict[int, RunResult] = {}
         # One batched store transaction: appends buffer and hit the disk
         # with a single fsync instead of one per point.

@@ -1,0 +1,128 @@
+"""The concurrency acceptance test: two clients, overlapping grids,
+one shared store — every grid point computed exactly once.
+
+Worker invocations are counted by routing the serial execution path
+through a monkeypatched ``run_point_payload`` (the sweep resume tests'
+technique); the service fixture runs ``parallel=False`` so every point
+executes in-process on the queue's executor thread where the patch is
+visible.
+"""
+
+import threading
+
+from repro.serve import ServiceClient
+from repro.spec import SweepRunner, preset
+from repro.spec import runner as runner_mod
+from tests.serve.conftest import small_sweep_request
+
+GRID_A = {"capacitance": [22e-6, 47e-6], "frequency": [4.7]}
+GRID_B = {"capacitance": [47e-6, 100e-6], "frequency": [4.7]}  # overlaps 47u
+
+
+def counting_worker(monkeypatch):
+    calls = []
+    real = runner_mod.run_point_payload
+
+    def worker(payload):
+        calls.append(dict(payload["overrides"]))
+        return real(payload)
+
+    monkeypatch.setattr(runner_mod, "run_point_payload", worker)
+    return calls
+
+
+def unique_points(*grids):
+    """The spec hashes of the union of the grids (the dedupe target)."""
+    base = preset("fig7").with_overrides({"duration": 0.3, "n": 64})
+    hashes = set()
+    for grid in grids:
+        hashes.update(SweepRunner(base, grid).hashes)
+    return hashes
+
+
+def test_concurrent_overlapping_sweeps_compute_each_point_once(
+    serve_server, client, monkeypatch
+):
+    calls = counting_worker(monkeypatch)
+    host, port = serve_server.server_address[:2]
+    outcomes = {}
+
+    def submit_and_wait(label, grid):
+        # Each client gets its own ServiceClient, as real clients would.
+        own = ServiceClient(f"http://{host}:{port}")
+        job = own.submit_sweep(small_sweep_request(grid=grid))
+        outcomes[label] = own.wait(job["job_id"])
+
+    threads = [
+        threading.Thread(target=submit_and_wait, args=("a", GRID_A)),
+        threading.Thread(target=submit_and_wait, args=("b", GRID_B)),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+        assert not thread.is_alive()
+
+    # Both clients got complete results.
+    for done in outcomes.values():
+        assert done["status"] == "done"
+        assert done["result"]["points"] == 2
+        assert done["result"]["errors"] == 0
+
+    # The acceptance criterion: 3 unique points across the two grids,
+    # exactly 3 worker invocations — the overlap computed once, served
+    # to the second job from the store.
+    expected = unique_points(GRID_A, GRID_B)
+    assert len(expected) == 3
+    assert len(calls) == 3
+    computed = {c["capacitance"] for c in calls}
+    assert computed == {22e-6, 47e-6, 100e-6}
+    total_computed = sum(o["result"]["computed"] for o in outcomes.values())
+    total_cached = sum(o["result"]["cached"] for o in outcomes.values())
+    assert total_computed == 3 and total_cached == 1
+
+    # The shared store holds exactly the union, keyed by spec hash.
+    store = serve_server.service.store
+    assert len(store) == 3
+    assert {r.spec_hash for r in store.results()} == expected
+
+    # A third client replaying the whole union is a pure cache hit.
+    union = small_sweep_request(
+        grid={"capacitance": [22e-6, 47e-6, 100e-6], "frequency": [4.7]}
+    )
+    replay = client.wait(client.submit_sweep(union)["job_id"])
+    assert replay["result"]["computed"] == 0
+    assert replay["result"]["cached"] == 3
+    assert len(calls) == 3  # still: zero extra worker invocations
+
+
+def test_many_concurrent_clients_all_complete_fifo(serve_server, client,
+                                                   monkeypatch):
+    """Fairness: N clients racing distinct single-point sweeps all
+    finish, and each point is computed exactly once."""
+    calls = counting_worker(monkeypatch)
+    host, port = serve_server.server_address[:2]
+    frequencies = [3.1, 4.7, 6.2, 9.4]
+    outcomes = {}
+
+    def submit_and_wait(frequency):
+        own = ServiceClient(f"http://{host}:{port}")
+        job = own.submit_sweep(small_sweep_request(
+            grid={"capacitance": [22e-6], "frequency": [frequency]}
+        ))
+        outcomes[frequency] = own.wait(job["job_id"])
+
+    threads = [
+        threading.Thread(target=submit_and_wait, args=(f,))
+        for f in frequencies
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+        assert not thread.is_alive()
+
+    assert all(o["status"] == "done" for o in outcomes.values())
+    assert len(calls) == len(frequencies)
+    assert {c["frequency"] for c in calls} == set(frequencies)
+    assert serve_server.service.metrics()["jobs"]["done"] == 4

@@ -1,0 +1,155 @@
+"""The HTTP surface end-to-end: a real server on an ephemeral port."""
+
+import json
+from urllib.request import Request, urlopen
+
+import pytest
+
+from repro.serve import ServiceError
+from tests.serve.conftest import small_sweep_request
+
+
+def test_healthz_and_metrics_respond(client):
+    health = client.healthz()
+    assert health["status"] == "ok"
+    assert health["jobs"]["running"] == 0
+    metrics = client.metrics()
+    assert metrics["store"]["rows"] == 0
+    assert metrics["requests_served"] >= 1
+
+
+def test_sweep_submit_poll_results_round_trip(client):
+    job = client.submit_sweep(small_sweep_request())
+    assert job["status"] == "queued" and job["kind"] == "sweep"
+    done = client.wait(job["job_id"])
+    assert done["status"] == "done"
+    assert done["result"]["computed"] == 2
+    assert done["schema"] == 1
+
+    body = client.results(best="energy_total")
+    assert body["rows"] == 2
+    assert body["best"]["value"] > 0
+    assert client.job(job["job_id"])["result"] == done["result"]
+    assert any(j["job_id"] == job["job_id"] for j in client.jobs())
+
+
+def test_idempotent_resubmission_over_http(client):
+    request = small_sweep_request()
+    first = client.submit_sweep(request)
+    done = client.wait(first["job_id"])
+    again = client.submit_sweep(request)
+    assert again["job_id"] == first["job_id"]
+    assert again["status"] == "done"
+    assert client.metrics()["points"]["computed"] == \
+        done["points_computed"]  # nothing recomputed
+
+
+def test_exploration_and_run_over_http(client):
+    run = client.submit_run({
+        "preset": "fig7", "overrides": {"duration": 0.3, "n": 64},
+    })
+    assert client.wait(run["job_id"])["result"]["metrics"][
+        "energy_total"] > 0
+
+    exploration = client.submit_exploration({
+        "preset": "fig7",
+        "overrides": {"duration": 0.3, "n": 64},
+        "space": {"capacitance": {"kind": "log", "low": 1e-5, "high": 1e-4}},
+        "objectives": ["energy_total:min"],
+        "optimizer": "random",
+        "budget": 3,
+        "seed": 1,
+    })
+    done = client.wait(exploration["job_id"])
+    assert done["status"] == "done"
+    assert done["result"]["evaluations"] == 3
+
+
+def test_event_stream_covers_the_lifecycle(client):
+    job = client.submit_sweep(small_sweep_request())
+    lines = list(client.events(job["job_id"]))  # follows until terminal
+    text = "\n".join(lines)
+    assert "queued" in text and "running" in text and "done:" in text
+    # Reconnect support: ?since skips what was already seen.
+    tail = list(client.events(job["job_id"], since=len(lines) - 1,
+                              follow=False))
+    assert tail == lines[-1:]
+    assert list(client.events(job["job_id"], since=0, follow=False)) == lines
+
+
+def test_framework_errors_are_one_line_400s(client):
+    cases = [
+        ("submit_run", {"preset": "nope"}),
+        ("submit_run", {}),
+        ("submit_sweep", small_sweep_request(grid={"not_a_knob": [1]})),
+        ("submit_sweep", {"preset": "fig7", "grid": {}}),
+        ("submit_exploration", {
+            "preset": "fig7",
+            "space": {"capacitance": {"kind": "banana", "low": 1, "high": 2}},
+            "budget": 3,
+        }),
+    ]
+    for method, request in cases:
+        with pytest.raises(ServiceError) as excinfo:
+            getattr(client, method)(request)
+        assert excinfo.value.status == 400
+        message = str(excinfo.value)
+        assert "\n" not in message and "Traceback" not in message
+        assert message  # the CLI's one-liner, not an empty body
+
+
+def test_unknown_preset_400_names_the_alternatives(client):
+    with pytest.raises(ServiceError, match="fig7") as excinfo:
+        client.submit_run({"preset": "nope"})
+    assert excinfo.value.status == 400
+
+
+def test_malformed_json_body_is_a_400_not_a_500(serve_server):
+    host, port = serve_server.server_address[:2]
+    request = Request(
+        f"http://{host}:{port}/v1/sweeps",
+        data=b"{not json",
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        urlopen(request, timeout=10)
+        raise AssertionError("expected HTTP 400")
+    except Exception as error:
+        assert getattr(error, "code", None) == 400
+        body = json.loads(error.read())
+        assert "not valid JSON" in body["error"]
+
+
+def test_empty_body_is_a_400(client):
+    with pytest.raises(ServiceError, match="JSON body") as excinfo:
+        client._json("POST", "/v1/sweeps")
+    assert excinfo.value.status == 400
+
+
+def test_unknown_routes_and_jobs_are_404s(client):
+    with pytest.raises(ServiceError) as excinfo:
+        client._json("GET", "/v1/nope")
+    assert excinfo.value.status == 404
+    with pytest.raises(ServiceError, match="no such job") as excinfo:
+        client.job("job-0000000000000000")
+    assert excinfo.value.status == 404
+    with pytest.raises(ServiceError) as excinfo:
+        client._json("POST", "/v1/teleports", body={})
+    assert excinfo.value.status == 404
+
+
+def test_bad_results_query_is_a_400(client):
+    with pytest.raises(ServiceError, match="two comma-separated") as excinfo:
+        client.results(pareto="energy_total")
+    assert excinfo.value.status == 400
+
+
+def test_results_series_and_pareto_over_http(client):
+    client.wait(client.submit_sweep(small_sweep_request(
+        grid={"frequency": [4.7, 9.4]}
+    ))["job_id"])
+    series = client.results(series="frequency,energy_total")["series"]
+    assert series["xs"] == [4.7, 9.4]
+    pareto = client.results(pareto="energy_total,availability")["pareto"]
+    assert len(pareto) >= 1

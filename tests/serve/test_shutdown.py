@@ -1,0 +1,162 @@
+"""Graceful teardown: pool registry, shutdown hooks, signal handlers.
+
+The no-leaked-workers satellite: ``repro serve`` (and any long sweep)
+must reap warm worker processes on exit, atexit, SIGTERM and SIGINT —
+and the service must mark in-flight jobs ``interrupted`` on the way out.
+"""
+
+import signal
+import threading
+
+import pytest
+
+from repro.serve import SimulationService
+from repro.spec import runner as runner_mod
+from repro.spec.runner import (
+    WarmPool,
+    install_signal_handlers,
+    register_shutdown_hook,
+    shutdown_all_pools,
+    unregister_shutdown_hook,
+)
+from tests.serve.conftest import small_sweep_request
+
+
+def test_pools_register_live_and_deregister_on_close():
+    pool = WarmPool(max_workers=1)
+    assert pool in runner_mod._LIVE_POOLS
+    pool.close()
+    assert pool not in runner_mod._LIVE_POOLS
+
+
+def test_shutdown_all_pools_closes_every_live_pool():
+    pool_a = WarmPool(max_workers=1)
+    pool_b = WarmPool(max_workers=1)
+    shutdown_all_pools()
+    assert pool_a not in runner_mod._LIVE_POOLS
+    assert pool_b not in runner_mod._LIVE_POOLS
+    assert pool_a._pool is None and pool_b._pool is None
+
+
+def test_shutdown_hooks_run_once_in_order_and_swallow_errors():
+    ran = []
+    hooks = [
+        register_shutdown_hook(lambda: ran.append("first")),
+        register_shutdown_hook(
+            lambda: (_ for _ in ()).throw(RuntimeError("boom"))
+        ),
+        register_shutdown_hook(lambda: ran.append("last")),
+    ]
+    try:
+        shutdown_all_pools()
+        assert ran == ["first", "last"]  # raising hook did not stop us
+        shutdown_all_pools()
+        assert ran == ["first", "last"]  # hooks are consumed, not re-run
+    finally:
+        for hook in hooks:
+            unregister_shutdown_hook(hook)
+
+
+def test_unregistered_hooks_do_not_run():
+    ran = []
+    hook = register_shutdown_hook(lambda: ran.append("nope"))
+    unregister_shutdown_hook(hook)
+    shutdown_all_pools()
+    assert ran == []
+    unregister_shutdown_hook(hook)  # idempotent
+
+
+def _preserve_handlers(signums):
+    return {num: signal.getsignal(num) for num in signums}
+
+
+def _restore_handlers(saved):
+    for num, handler in saved.items():
+        signal.signal(num, handler)
+
+
+def test_sigterm_handler_reaps_pools_and_exits_128_plus_signum():
+    saved = _preserve_handlers([signal.SIGTERM])
+    try:
+        assert install_signal_handlers([signal.SIGTERM])
+        pool = WarmPool(max_workers=1)
+        handler = signal.getsignal(signal.SIGTERM)
+        with pytest.raises(SystemExit) as excinfo:
+            handler(signal.SIGTERM, None)
+        assert excinfo.value.code == 128 + signal.SIGTERM
+        assert pool not in runner_mod._LIVE_POOLS
+    finally:
+        _restore_handlers(saved)
+
+
+def test_sigint_handler_preserves_keyboard_interrupt():
+    saved = _preserve_handlers([signal.SIGINT])
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_DFL)
+        assert install_signal_handlers([signal.SIGINT])
+        handler = signal.getsignal(signal.SIGINT)
+        with pytest.raises(KeyboardInterrupt):
+            handler(signal.SIGINT, None)
+    finally:
+        _restore_handlers(saved)
+
+
+def test_signal_handler_chains_to_the_previous_handler():
+    saved = _preserve_handlers([signal.SIGTERM])
+    chained = []
+    try:
+        signal.signal(
+            signal.SIGTERM, lambda num, frame: chained.append(num)
+        )
+        assert install_signal_handlers([signal.SIGTERM])
+        signal.getsignal(signal.SIGTERM)(signal.SIGTERM, None)
+        assert chained == [signal.SIGTERM]
+    finally:
+        _restore_handlers(saved)
+
+
+def test_install_refuses_off_the_main_thread():
+    results = []
+    thread = threading.Thread(
+        target=lambda: results.append(
+            install_signal_handlers([signal.SIGTERM])
+        )
+    )
+    thread.start()
+    thread.join()
+    assert results == [False]
+
+
+def test_service_registers_hook_and_interrupts_jobs_on_shutdown(tmp_path):
+    service = SimulationService(
+        store_path=str(tmp_path / "s.jsonl"), parallel=False
+    )
+    record = service.submit("sweep", small_sweep_request())
+    # Process teardown (atexit / signal) reaches the service through its
+    # registered hook: jobs are interrupted, the service closes.
+    shutdown_all_pools()
+    assert service._closed
+    assert service.queue.get(record.job_id).status == "interrupted"
+    assert "shut down" in service.queue.get(record.job_id).error
+
+
+def test_closed_service_hook_is_unregistered(tmp_path):
+    service = SimulationService(
+        store_path=str(tmp_path / "s.jsonl"), parallel=False
+    )
+    service.close()
+    assert service._shutdown_hook not in runner_mod._SHUTDOWN_HOOKS
+
+
+def test_reopened_pool_rejoins_the_live_registry():
+    # close() then run() lazily re-creates the pool; the registry must
+    # re-learn it or shutdown would leak the second generation.
+    pool = WarmPool(max_workers=1)
+    pool.close()
+    pool._ensure_pool()
+    if pool._broken:
+        pytest.skip("process pools unavailable in this sandbox")
+    try:
+        assert pool in runner_mod._LIVE_POOLS
+    finally:
+        pool.close()
