@@ -24,6 +24,19 @@ one fails (so one regression does not mask another):
   once (dedupe ratio 1.0), every concurrent job completes, a union-grid
   resubmission computes zero points over HTTP, and cached result
   queries sustain the documented requests/sec floor.
+* **store** — the result-store backend harness (``perf_store.py``):
+  fleet shard-merge ingest plus best/pareto/series queries on both
+  backends; the columnar backend must ingest >= 10x faster than JSONL
+  and both must return identical query answers.  CI runs a reduced row
+  count (``--store-rows``); the gated number is a same-machine ratio,
+  so it transfers to the committed 1M-row ``BENCH_store.json``.
+
+The sweep section's pool-vs-serial floor only *enforces* on multi-core
+runners; on a single-CPU runner the speedup is recorded but cannot gate
+(a pool cannot beat serial there by construction).  That status is
+re-checked here — a multi-core runner whose recorded speedup slipped
+under the floor fails the sweep section even if ``perf_sweep`` somehow
+let it through — and surfaced explicitly in the job-summary gate table.
 
 When ``$GITHUB_STEP_SUMMARY`` is set (GitHub Actions), a before/after
 speedup table and per-section gate verdicts are appended to the job
@@ -52,7 +65,16 @@ from perf_serve import (
     format_summary as format_serve_summary,
     run_benchmarks as run_serve_benchmarks,
 )
-from perf_sweep import format_summary, run_benchmarks as run_sweep_benchmarks
+from perf_store import (
+    format_summary as format_store_summary,
+    run_benchmarks as run_store_benchmarks,
+)
+from perf_sweep import (
+    POOL_GATE_MIN_CPUS,
+    POOL_SPEEDUP_FLOOR,
+    format_summary,
+    run_benchmarks as run_sweep_benchmarks,
+)
 
 
 #: Cases whose baseline reference wall time is below this are
@@ -102,9 +124,22 @@ def kernel_summary_rows(baseline: dict, fresh: dict) -> list:
     return rows
 
 
+def pool_gate_note(sweep_fresh) -> str:
+    """The sweep gate's pool-floor status for the summary table."""
+    if sweep_fresh is None:
+        return ""
+    speedup = sweep_fresh["modes"]["pool"].get("speedup")
+    if sweep_fresh["pool_gate_enforced"]:
+        return (f" (pool {speedup}x vs floor "
+                f"{sweep_fresh['pool_speedup_floor']}x, enforced)")
+    return (f" (pool speedup {speedup}x **recorded only** — "
+            f"{sweep_fresh['cpus']} CPU runner, floor needs >= "
+            f"{sweep_fresh['pool_gate_min_cpus']})")
+
+
 def write_github_summary(sections: dict, baseline: dict, fresh: dict,
                          sweep_fresh, explore_fresh,
-                         serve_fresh=None) -> None:
+                         serve_fresh=None, store_fresh=None) -> None:
     """Append the before/after table to the Actions job summary, if any."""
     path = os.environ.get("GITHUB_STEP_SUMMARY")
     if not path:
@@ -114,6 +149,8 @@ def write_github_summary(sections: dict, baseline: dict, fresh: dict,
     lines.append("|------|--------|")
     for name, failures in sections.items():
         status = "✅ pass" if not failures else "❌ **fail**"
+        if name == "sweep":
+            status += pool_gate_note(sweep_fresh)
         lines.append(f"| {name} | {status} |")
     lines += ["", "### Kernel speedups (before → after)", ""]
     lines.append("| case | baseline | fresh | floor |")
@@ -147,6 +184,9 @@ def write_github_summary(sections: dict, baseline: dict, fresh: dict,
     if serve_fresh is not None:
         lines += ["", "### Service load", "",
                   "```", format_serve_summary(serve_fresh), "```"]
+    if store_fresh is not None:
+        lines += ["", "### Store backends", "",
+                  "```", format_store_summary(store_fresh), "```"]
     for name, failures in sections.items():
         if failures:
             lines += ["", f"### {name} failures", ""]
@@ -183,6 +223,17 @@ def main(argv=None) -> int:
                              "path")
     parser.add_argument("--skip-serve", action="store_true",
                         help="skip the service-load benchmarks")
+    parser.add_argument("--store-output", type=Path, default=None,
+                        help="write the fresh store-backend results to this "
+                             "path")
+    parser.add_argument("--skip-store", action="store_true",
+                        help="skip the store-backend benchmarks")
+    parser.add_argument("--store-rows", type=int, default=200_000,
+                        help="row count for the store-backend section "
+                             "(the committed BENCH_store.json baseline "
+                             "is a full 1M-row run; the gated speedup "
+                             "is a same-machine ratio, so CI runs fewer "
+                             "rows)")
     args = parser.parse_args(argv)
     baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
     sections = {}
@@ -228,6 +279,23 @@ def main(argv=None) -> int:
         except AssertionError as error:
             sections["sweep"] = [str(error)]
             print(f"sweep perf regression detected:\n  - {error}")
+        if sweep_fresh is not None:
+            # Defense in depth on the pool floor: perf_sweep gates this
+            # itself, but re-check the recorded numbers here so the gate
+            # cannot silently rot into recorded-only on a multi-core
+            # runner.
+            cpus = sweep_fresh.get("cpus", os.cpu_count() or 1)
+            pool_speedup = sweep_fresh["modes"]["pool"].get("speedup", 0.0)
+            if cpus >= POOL_GATE_MIN_CPUS \
+                    and pool_speedup < POOL_SPEEDUP_FLOOR:
+                sections["sweep"].append(
+                    f"pool speedup {pool_speedup}x below the "
+                    f"{POOL_SPEEDUP_FLOOR}x floor on a {cpus}-core runner"
+                )
+            elif cpus < POOL_GATE_MIN_CPUS:
+                print(f"  NOTE: pool-vs-serial floor recorded only "
+                      f"({cpus} CPU < {POOL_GATE_MIN_CPUS}): "
+                      f"speedup {pool_speedup}x not enforced")
         if sweep_fresh is not None:
             if args.sweep_output is not None:
                 args.sweep_output.write_text(
@@ -282,9 +350,28 @@ def main(argv=None) -> int:
             print("service perf OK: dedupe/fairness/query gates hold")
             print(format_serve_summary(serve_fresh))
 
+    # -- store gate (backend ingest ratio + identical query answers) -----
+    store_fresh = None
+    if not args.skip_store:
+        try:
+            store_fresh = run_store_benchmarks(rows=args.store_rows)
+            sections["store"] = []
+        except AssertionError as error:
+            sections["store"] = [str(error)]
+            print(f"store perf regression detected:\n  - {error}")
+        if store_fresh is not None:
+            if args.store_output is not None:
+                args.store_output.write_text(
+                    json.dumps(store_fresh, indent=2) + "\n",
+                    encoding="utf-8",
+                )
+            print("store perf OK: columnar ingest floor holds, query "
+                  "answers identical")
+            print(format_store_summary(store_fresh))
+
     write_github_summary(
         sections, baseline, fresh or {"cases": {}}, sweep_fresh,
-        explore_fresh, serve_fresh,
+        explore_fresh, serve_fresh, store_fresh,
     )
     return 1 if any(sections.values()) else 0
 

@@ -49,7 +49,7 @@ from repro.explore import (
     SearchSpace,
     available_optimizers,
 )
-from repro.results import ResultStore, RunResult
+from repro.results import BACKEND_CHOICES, ResultStore, RunResult
 from repro.core.taxonomy import classify, exemplars
 from repro.errors import ReproError
 from repro.harvest.solar import PhotovoltaicHarvester
@@ -186,7 +186,7 @@ def cmd_crossover(args: argparse.Namespace) -> int:
     interpolated crossover are store queries.
     """
     grid = {"frequency": [float(f) for f in args.frequencies]}
-    store = ResultStore(args.output)
+    store = ResultStore(args.output, backend=args.backend)
     wanted = set()
     for strategy in ("hibernus", "quickrecall"):
         base = crossover_spec(strategy)
@@ -362,7 +362,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         result = spec.run()
         _print_run_summary(spec, result)
     if args.output is not None:
-        store = ResultStore(args.output)
+        store = ResultStore(args.output, backend=args.backend)
         store.add(
             RunResult.from_system_run(result, spec, capture_traces=("vcc",)),
             overwrite=True,
@@ -420,7 +420,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         grid = {"capacitance": [22e-6, 47e-6], "frequency": [4.7, 9.4]}
     if args.resume and args.output is None:
         raise ReproError("--resume needs --output (the store to resume from)")
-    store = ResultStore(args.output) if args.output is not None else None
+    store = (ResultStore(args.output, backend=args.backend)
+             if args.output is not None else None)
     runner = SweepRunner(base, grid, max_workers=args.workers)
     progress = None
     if args.progress:
@@ -515,7 +516,8 @@ def cmd_explore(args: argparse.Namespace) -> int:
     ]
     if args.resume and args.output is None:
         raise ReproError("--resume needs --output (the store to resume from)")
-    store = ResultStore(args.output) if args.output is not None else None
+    store = (ResultStore(args.output, backend=args.backend)
+             if args.output is not None else None)
 
     def progress(event):
         print(f"  {event.describe()}")
@@ -562,20 +564,22 @@ def cmd_explore(args: argparse.Namespace) -> int:
     return 0 if outcome.best is not None else 1
 
 
-def _load_store(path: str) -> ResultStore:
+def _load_store(path: str, backend: str = "auto") -> ResultStore:
     if not os.path.exists(path):
         raise ReproError(f"no result store at {path!r}")
-    return ResultStore(path)
+    return ResultStore(path, backend=backend)
 
 
 def cmd_results(args: argparse.Namespace) -> int:
     """Query a persisted result store: tabulate, merge, best, pareto."""
     if args.merge:
-        store = ResultStore.merge_shards(args.merge, output=args.store)
+        store = ResultStore.merge_shards(
+            args.merge, output=args.store, backend=args.backend
+        )
         print(f"merged {len(args.merge)} shard(s) into {args.store} "
               f"({len(store)} unique results)")
     else:
-        store = _load_store(args.store)
+        store = _load_store(args.store, args.backend)
     if len(store) == 0:
         print("store is empty")
         return 0
@@ -620,6 +624,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         store_path=args.store,
+        store_backend=args.backend,
         max_workers=args.workers,
         parallel=not args.serial,
     )
@@ -661,6 +666,13 @@ def build_parser() -> argparse.ArgumentParser:
                  "identical physics)",
         )
 
+    def add_backend_flag(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--backend", choices=list(BACKEND_CHOICES), default="auto",
+            help="result-store backend; auto selects columnar for "
+                 "*.colstore paths and JSONL otherwise",
+        )
+
     fig7 = sub.add_parser("fig7", help="Fig. 7 Hibernus FFT")
     fig7.add_argument("--fft-size", type=int, default=512)
     fig7.add_argument("--supply-hz", type=float, default=4.7)
@@ -674,9 +686,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     crossover.add_argument("--serial", action="store_true",
                            help="run points in-process instead of a pool")
-    crossover.add_argument("--output", default=None, metavar="STORE.jsonl",
-                           help="persist points to a JSONL result store "
-                                "(re-runs reuse stored points)")
+    crossover.add_argument("--output", default=None, metavar="STORE",
+                           help="persist points to a result store — JSONL "
+                                "file or *.colstore directory (re-runs "
+                                "reuse stored points)")
+    add_backend_flag(crossover)
     add_kernel_flag(crossover)
     crossover.set_defaults(fn=cmd_crossover)
 
@@ -689,9 +703,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("spec", help="path to a ScenarioSpec JSON file")
     run.add_argument("--duration", type=float, default=None,
                      help="override the spec's duration")
-    run.add_argument("--output", default=None, metavar="STORE.jsonl",
+    run.add_argument("--output", default=None, metavar="STORE",
                      help="append the run (with its vcc trace) to a "
-                          "JSONL result store")
+                          "result store (JSONL file or *.colstore "
+                          "directory)")
+    add_backend_flag(run)
     run.add_argument("--profile", action="store_true",
                      help="profile the run with cProfile and print a "
                           "per-component cumulative-time breakdown plus "
@@ -711,8 +727,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--serial", action="store_true",
                        help="run points in-process instead of a pool")
     sweep.add_argument("--workers", type=int, default=None)
-    sweep.add_argument("--output", default=None, metavar="STORE.jsonl",
-                       help="persist every point to a JSONL result store")
+    sweep.add_argument("--output", default=None, metavar="STORE",
+                       help="persist every point to a result store "
+                            "(JSONL file or *.colstore directory)")
+    add_backend_flag(sweep)
     sweep.add_argument("--resume", action="store_true",
                        help="skip points --output already holds; only the "
                             "missing points are computed")
@@ -761,9 +779,10 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--serial", action="store_true",
                          help="run evaluations in-process instead of a pool")
     explore.add_argument("--workers", type=int, default=None)
-    explore.add_argument("--output", default=None, metavar="STORE.jsonl",
-                         help="persist every evaluation to a JSONL result "
-                              "store")
+    explore.add_argument("--output", default=None, metavar="STORE",
+                         help="persist every evaluation to a result store "
+                              "(JSONL file or *.colstore directory)")
+    add_backend_flag(explore)
     explore.add_argument("--resume", action="store_true",
                          help="reuse evaluations --output already holds; a "
                               "re-run with the same seed recomputes nothing")
@@ -775,11 +794,14 @@ def build_parser() -> argparse.ArgumentParser:
     results = sub.add_parser(
         "results", help="query a persisted result store"
     )
-    results.add_argument("store", help="path to a JSONL result store")
+    results.add_argument("store", help="path to a result store (JSONL "
+                                       "file or *.colstore directory)")
     results.add_argument("--merge", nargs="+", default=None,
-                         metavar="SHARD.jsonl",
+                         metavar="SHARD",
                          help="fold shard stores into STORE before querying "
-                              "(dedupes by spec hash)")
+                              "(dedupes by spec hash; all-columnar merges "
+                              "move whole column blocks)")
+    add_backend_flag(results)
     results.add_argument("--best", default=None, metavar="METRIC",
                          help="report the row optimising METRIC")
     results.add_argument("--maximize", action="store_true",
@@ -797,10 +819,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "0.0.0.0 inside containers)")
     serve.add_argument("--port", type=int, default=8000,
                        help="bind port (default 8000; 0 = ephemeral)")
-    serve.add_argument("--store", default=None, metavar="STORE.jsonl",
-                       help="shared JSONL result store (the cross-client "
-                            "compute cache); job status persists beside "
-                            "it as STORE.jsonl.jobs")
+    serve.add_argument("--store", default=None, metavar="STORE",
+                       help="shared result store (the cross-client "
+                            "compute cache) — JSONL file or *.colstore "
+                            "directory; job status persists beside it "
+                            "as STORE.jobs")
+    add_backend_flag(serve)
     serve.add_argument("--workers", type=int, default=None,
                        help="warm-pool width (default: CPU count)")
     serve.add_argument("--serial", action="store_true",

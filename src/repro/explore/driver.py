@@ -21,6 +21,7 @@ framework:
 
 from __future__ import annotations
 
+import os
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
@@ -186,7 +187,9 @@ class ExplorationDriver:
             optimizer.
         store: persist every evaluation here; with ``resume`` (the
             default) previously stored rows satisfy re-asked candidates
-            for free.
+            for free.  A path opens one — ``.colstore`` selects the
+            sharded columnar backend, anything else JSONL
+            (``store_backend`` overrides).
         resume: reuse rows the store already holds (stored worker-crash
             rows are never reused).
         parallel / max_workers: process-pool knobs, as for
@@ -208,13 +211,14 @@ class ExplorationDriver:
         *,
         optimizer: Union[str, Optimizer] = "successive-halving",
         optimizer_params: Optional[Dict[str, Any]] = None,
-        store: Optional[ResultStore] = None,
+        store: Optional[Union[ResultStore, str, "os.PathLike[str]"]] = None,
         resume: bool = True,
         parallel: bool = True,
         max_workers: Optional[int] = None,
         seed: int = 0,
         progress: Optional[ProgressHook] = None,
         pool: Optional[WarmPool] = None,
+        store_backend: Optional[str] = None,
     ):
         self.base = base
         self.space = space
@@ -240,6 +244,10 @@ class ExplorationDriver:
             )
         self.optimizer = optimizer
         self.optimizer_params = dict(optimizer_params or {})
+        if store is not None and not isinstance(store, ResultStore):
+            # A path selects its backend by suffix (`.colstore` ->
+            # columnar) unless store_backend overrides it.
+            store = ResultStore(store, backend=store_backend)
         self.store = store
         self.resume = resume
         self.parallel = parallel

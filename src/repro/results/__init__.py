@@ -9,8 +9,11 @@ Three pieces (see DESIGN.md, "Results pipeline"):
   (spec hash + overrides + metrics + optional decimated traces) every
   analysis tool consumes, and the canonical :func:`spec_hash`.
 * :mod:`repro.results.store` — :class:`ResultStore`: hash-keyed columnar
-  queries with JSONL persistence, partial-write recovery and shard
+  queries with pluggable persistence, partial-write recovery and shard
   merging; the substrate of resumable sweeps.
+* :mod:`repro.results.backends` — the :class:`StoreBackend` protocol and
+  its implementations: append-only JSONL (portable default) and the
+  sharded columnar ``.colstore`` format (fleet-scale analytics).
 
 Only the registry loads eagerly — the rest follows the lazy-init pattern
 of :mod:`repro.spec` so component modules can register extractors at
@@ -35,6 +38,13 @@ _LAZY = {
     "RECORD_SCHEMA": "repro.results.run_result",
     "ResultStore": "repro.results.store",
     "rankable_results": "repro.results.store",
+    "StoreBackend": "repro.results.backends",
+    "JsonlBackend": "repro.results.backends",
+    "ColumnarBackend": "repro.results.backends",
+    "MemoryBackend": "repro.results.backends",
+    "make_backend": "repro.results.backends",
+    "BACKEND_CHOICES": "repro.results.backends",
+    "COLUMNAR_SUFFIX": "repro.results.backends",
 }
 
 __all__ = [

@@ -1,105 +1,115 @@
 """Persistent, mergeable storage for :class:`RunResult` rows.
 
 A :class:`ResultStore` is the query surface of the results pipeline:
-spec-hash keyed in memory, persisted as append-only JSONL (one record
-per line) so results survive process exit and interrupted sweeps resume
-instead of recomputing.  Shards written by separate processes or
+spec-hash keyed in memory, persisted through a pluggable
+:class:`~repro.results.backends.StoreBackend` so results survive process
+exit and interrupted sweeps resume instead of recomputing.  Two durable
+backends ship (see :mod:`repro.results.backends`): append-only JSONL
+(one record per line — the portable default) and a sharded columnar
+format (``.colstore`` directories of numpy column blocks — the
+fleet-scale analytics store).  Shards written by separate processes or
 machines merge by hash — the sweep grid is the unit of distribution.
 
-Durability model: records are flushed per append, and a load tolerates a
-truncated final line (the signature of a process killed mid-write) by
-dropping it and compacting the file; corruption anywhere earlier raises,
-because silently skipping interior rows would misreport a sweep as
-complete.
+Durability model: records are flushed per append (or once per
+:meth:`batch`), and a load tolerates a torn tail — the signature of a
+process killed mid-write — by dropping it and compacting; corruption
+anywhere earlier raises, because silently skipping interior rows would
+misreport a sweep as complete.  Every load, append and rewrite holds an
+advisory file lock, and compaction re-reads the file under that lock,
+so concurrent writers (a live ``repro serve`` plus a CLI merge) never
+lose durable rows.
 """
 
 from __future__ import annotations
 
-import json
 import math
 import os
 import warnings
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Union
 
-from repro.errors import ReproError, ResultStoreError
+from repro.errors import ResultStoreError
+from repro.results.backends import (
+    BACKEND_CHOICES,
+    ColumnarBackend,
+    StoreBackend,
+    make_backend,
+)
 from repro.results.metrics import result_columns
 from repro.results.run_result import RunResult
+
+__all__ = ["ResultStore", "rankable_results", "BACKEND_CHOICES"]
 
 PathLike = Union[str, "os.PathLike[str]"]
 
 
 class ResultStore:
-    """Columnar queries over run results, with optional JSONL persistence.
+    """Columnar queries over run results, with pluggable persistence.
 
     Args:
-        path: the JSONL file to load from and append to.  None keeps the
-            store purely in memory (the default for one-shot sweeps).
+        path: the backing file (JSONL) or directory (``.colstore``) to
+            load from and append to.  None keeps the store purely in
+            memory (the default for one-shot sweeps).
+        backend: ``"auto"`` (default) selects by path suffix —
+            ``.colstore`` means the sharded columnar backend, anything
+            else JSONL; pass ``"jsonl"``/``"columnar"`` to override.
 
     Iteration order is insertion order (load order, then append order),
     so a store round-trips its table layout.
     """
 
-    def __init__(self, path: Optional[PathLike] = None):
-        self.path = os.fspath(path) if path is not None else None
-        self._results: Dict[str, RunResult] = {}
-        #: Buffered JSONL lines while a :meth:`batch` is open, else None.
-        self._pending: Optional[List[str]] = None
-        if self.path is not None and os.path.exists(self.path):
-            self._load()
+    def __init__(
+        self,
+        path: Optional[PathLike] = None,
+        backend: Optional[str] = None,
+    ):
+        self._backend: StoreBackend = make_backend(path, backend)
+        self.path = self._backend.path
+        #: Lazily-loaded row index (hash -> RunResult); None until the
+        #: first access so pure block-move operations (columnar shard
+        #: merges) never materialize a million Python objects.
+        self._rows: Optional[Dict[str, RunResult]] = None
+        #: Buffered rows while a :meth:`batch` is open, else None.
+        self._pending: Optional[List[RunResult]] = None
+        #: True when an overwrite happened mid-batch: compaction is
+        #: deferred to batch exit (one rewrite, not one per overwrite).
+        self._dirty = False
+        if self._backend.ephemeral:
+            self._rows = {}
+
+    @property
+    def backend(self) -> str:
+        """The persistence backend name: memory, jsonl or columnar."""
+        return self._backend.name
+
+    @property
+    def _results(self) -> Dict[str, RunResult]:
+        """The row index, loading from the backend on first access."""
+        if self._rows is None:
+            rows: Dict[str, RunResult] = {}
+            for result in self._backend.load():
+                rows.setdefault(result.spec_hash, result)
+            self._rows = rows
+        return self._rows
 
     # -- persistence -----------------------------------------------------
 
-    def _load(self) -> None:
-        with open(self.path, "r", encoding="utf-8") as stream:
-            lines = stream.readlines()
-        records: List[RunResult] = []
-        bad_tail = False
-        for lineno, line in enumerate(lines, start=1):
-            if not line.strip():
-                continue
-            try:
-                payload = json.loads(line)
-                result = RunResult.from_record(payload)
-            except (json.JSONDecodeError, ReproError) as error:
-                if lineno == len(lines):
-                    # A torn final line: the writer died mid-append.
-                    # Recoverable by construction — drop it and compact.
-                    bad_tail = True
-                    break
-                raise ResultStoreError(
-                    f"{self.path}:{lineno}: corrupt result record: {error}"
-                ) from error
-            records.append(result)
-        for result in records:
-            self._results[result.spec_hash] = result
-        if bad_tail:
-            self._rewrite()
-
     def _rewrite(self) -> None:
-        """Compact the backing file to exactly the in-memory records."""
-        tmp_path = f"{self.path}.tmp"
-        with open(tmp_path, "w", encoding="utf-8") as stream:
-            for result in self._results.values():
-                stream.write(json.dumps(result.to_record()) + "\n")
-        os.replace(tmp_path, self.path)
+        """Compact the backing store to the in-memory records.
+
+        The backend re-reads the file under its lock and preserves any
+        durable rows another process appended since our load; those
+        strangers fold back into the in-memory index so they are not
+        recomputed later.
+        """
+        for result in self._backend.rewrite(list(self._results.values())):
+            self._results.setdefault(result.spec_hash, result)
         if self._pending is not None:
             # Every in-memory record — including any buffered ones — is
             # now durably on disk; appending the buffer again on batch
             # exit would duplicate rows.
             self._pending.clear()
-
-    def _append(self, result: RunResult) -> None:
-        if self.path is None:
-            return
-        line = json.dumps(result.to_record()) + "\n"
-        if self._pending is not None:
-            self._pending.append(line)
-            return
-        with open(self.path, "a", encoding="utf-8") as stream:
-            stream.write(line)
-            stream.flush()
-            os.fsync(stream.fileno())
+            self._dirty = False
 
     @contextmanager
     def batch(self):
@@ -107,27 +117,32 @@ class ResultStore:
 
         Inside the ``with`` block, :meth:`add` updates the in-memory
         index immediately (lookups and dedupe behave normally) but
-        queues the JSONL lines instead of paying a write + fsync per
-        row; on exit the whole buffer lands in a single append.  A crash
-        mid-flush can tear at most the final line, which the loader's
-        torn-tail recovery already drops — earlier rows of the batch
-        stay durable.  Nesting is flattening: inner batches join the
-        outermost one.  The workhorse of sweep/exploration workers,
-        whose per-point fsync used to dominate small-grid throughput.
+        queues the rows instead of paying a write + fsync per row; on
+        exit the whole buffer lands in a single append.  Overwrites
+        inside a batch defer their compaction to batch exit too — one
+        rewrite covers the lot, instead of a full-file rewrite per
+        overwritten row (O(n²) on overwrite-heavy batches).  A crash
+        mid-flush tears at most the final line (JSONL) or final record
+        batch (columnar), which the loader's torn-tail recovery drops —
+        earlier rows stay durable.  Nesting is flattening: inner
+        batches join the outermost one.  The workhorse of
+        sweep/exploration workers, whose per-point fsync used to
+        dominate small-grid throughput.
         """
-        if self.path is None or self._pending is not None:
+        if self._backend.ephemeral or self._pending is not None:
             yield self
             return
         self._pending = []
+        self._dirty = False
         try:
             yield self
         finally:
             pending, self._pending = self._pending, None
-            if pending:
-                with open(self.path, "a", encoding="utf-8") as stream:
-                    stream.writelines(pending)
-                    stream.flush()
-                    os.fsync(stream.fileno())
+            dirty, self._dirty = self._dirty, False
+            if dirty:
+                self._rewrite()
+            elif pending:
+                self._backend.append_many(pending)
 
     # -- mutation --------------------------------------------------------
 
@@ -135,7 +150,8 @@ class ResultStore:
         """Insert one result; returns False for an already-known hash.
 
         ``overwrite=True`` replaces the stored row (and compacts the
-        file so the stale record does not shadow-resume later).
+        file so the stale record does not shadow-resume later; inside a
+        :meth:`batch` the compaction is deferred to batch exit).
         Re-adding a record identical to the stored one is a no-op —
         deterministic re-runs over a populated store cost no I/O.
         """
@@ -144,37 +160,70 @@ class ResultStore:
             if not overwrite or known.to_record() == result.to_record():
                 return False
             self._results[result.spec_hash] = result
-            if self.path is not None:
+            if self._backend.ephemeral:
+                return True
+            if self._pending is not None:
+                self._dirty = True
+            else:
                 self._rewrite()
         else:
             self._results[result.spec_hash] = result
-            self._append(result)
+            if self._pending is not None:
+                self._pending.append(result)
+            else:
+                self._backend.append(result)
         return True
 
     def merge(self, other: Union["ResultStore", PathLike]) -> int:
-        """Fold another store (or shard file) in; returns rows absorbed.
+        """Fold another store (or shard path) in; returns rows absorbed.
 
         First-writer-wins on hash collisions — shards of one sweep hold
         identical rows for identical hashes, so order doesn't matter.
+        The absorbed rows land in one batched flush, not one fsync per
+        row.
         """
         if not isinstance(other, ResultStore):
             other = ResultStore(other)
         absorbed = 0
-        for result in other:
-            if self.add(result):
-                absorbed += 1
+        with self.batch():
+            for result in other:
+                if self.add(result):
+                    absorbed += 1
         return absorbed
 
     @classmethod
     def merge_shards(
-        cls, shards: Iterable[PathLike], output: Optional[PathLike] = None
+        cls,
+        shards: Iterable[PathLike],
+        output: Optional[PathLike] = None,
+        backend: Optional[str] = None,
     ) -> "ResultStore":
-        """Combine shard files (one per worker/machine) into one store."""
-        store = cls(output)
-        for shard in shards:
-            if not os.path.exists(os.fspath(shard)):
-                raise ResultStoreError(f"shard {os.fspath(shard)!r} not found")
-            store.merge(shard)
+        """Combine shard stores (one per worker/machine) into one store.
+
+        This is the fleet ingest path.  When the output store and every
+        shard are columnar, rows move as whole column blocks with
+        vectorized hash dedupe (``np.isin``) — no per-row Python work —
+        which is an order of magnitude faster than row-wise merging at
+        million-row scale (see ``benchmarks/perf/perf_store.py``).
+        Mixed or JSONL shards fall back to row-wise merge with one
+        batched flush per shard.
+        """
+        shard_paths = [os.fspath(shard) for shard in shards]
+        for shard in shard_paths:
+            if not os.path.exists(shard):
+                raise ResultStoreError(f"shard {shard!r} not found")
+        store = cls(output, backend=backend)
+        if (
+            isinstance(store._backend, ColumnarBackend)
+            and store._backend.can_bulk_merge(shard_paths)
+        ):
+            store._backend.bulk_merge(shard_paths)
+            # The blocks moved without materializing; drop any loaded
+            # index so the next query reads the merged state.
+            store._rows = None
+        else:
+            for shard in shard_paths:
+                store.merge(shard)
         return store
 
     # -- lookup ----------------------------------------------------------

@@ -44,6 +44,11 @@ from repro.serve.service import SimulationService
 #: anything bigger is a client error, not a workload.
 MAX_BODY_BYTES = 4 * 1024 * 1024
 
+#: Default keep-alive interval for event streams (override per request
+#: with ``?heartbeat=SECONDS``): quiet follows emit a marker line this
+#: often so dead sockets surface as broken pipes, not parked threads.
+_STREAM_HEARTBEAT_S = 15.0
+
 #: POST collection -> job kind.
 _COLLECTIONS = {
     "runs": "run",
@@ -187,13 +192,21 @@ class ServeHandler(BaseHTTPRequestHandler):
             timeout = float(params.get("timeout", 300.0))
         except ValueError:
             raise SpecError("'timeout' must be a number of seconds")
+        try:
+            heartbeat = float(params.get("heartbeat", _STREAM_HEARTBEAT_S))
+        except ValueError:
+            raise SpecError("'heartbeat' must be a number of seconds")
         self.send_response(200)
         self.send_header("Content-Type", "text/plain; charset=utf-8")
         self.send_header("Transfer-Encoding", "chunked")
         self.end_headers()
         try:
+            # Heartbeat lines double as liveness probes: writing one to
+            # a vanished client raises BrokenPipeError here, freeing the
+            # thread instead of parking it until `timeout`.
             for line in self.service.queue.events(
-                job_id, since=since, follow=follow, timeout=timeout
+                job_id, since=since, follow=follow, timeout=timeout,
+                heartbeat=heartbeat,
             ):
                 self._write_chunk(line + "\n")
             self.wfile.write(b"0\r\n\r\n")

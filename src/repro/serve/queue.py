@@ -28,6 +28,7 @@ streaming costs no polling.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
@@ -36,6 +37,16 @@ from repro.serve.jobs import JobRecord, JobStore, job_id_for
 #: How long an executor thread sleeps between stop-flag checks while
 #: the queue is empty.
 _IDLE_WAIT_S = 0.1
+
+#: Upper bound on one event-follower condition wait: the stream
+#: re-checks shutdown and its deadline at least this often, so a
+#: follower never outlives the queue by more than a beat.
+_FOLLOW_POLL_S = 0.25
+
+#: The keep-alive marker :meth:`JobQueue.events` yields when a
+#: ``heartbeat`` interval passes with no real event.  Starts with a
+#: colon so stream consumers can filter it like an SSE comment.
+HEARTBEAT_LINE = ": heartbeat"
 
 
 class JobQueue:
@@ -145,15 +156,29 @@ class JobQueue:
         since: int = 0,
         follow: bool = True,
         timeout: float = 300.0,
+        heartbeat: Optional[float] = None,
     ) -> Iterator[str]:
         """Yield a job's event lines from index ``since``.
 
         With ``follow`` (the default) the iterator blocks for new lines
-        until the job reaches a terminal status (or ``timeout`` seconds
-        pass without one) — the body of the streaming endpoint.
+        until the job reaches a terminal status, ``timeout`` seconds
+        pass without one, or the queue starts shutting down — the body
+        of the streaming endpoint.  Every wait is bounded (short
+        condition waits against a monotonic deadline), so a follower of
+        a quiet job can never pin a server thread across SIGTERM.
+
+        ``heartbeat`` (seconds) additionally yields
+        :data:`HEARTBEAT_LINE` whenever that long passes without a real
+        event — the HTTP layer writes it through to the socket, turning
+        silently-vanished clients into prompt broken pipes instead of
+        threads parked until ``timeout``.
         """
         index = max(0, since)
+        deadline = time.monotonic() + timeout
+        last_line_s = time.monotonic()
         while True:
+            fresh: List[str] = []
+            send_heartbeat = False
             with self._cond:
                 lines = self._events.get(job_id, [])
                 fresh = lines[index:]
@@ -161,10 +186,22 @@ class JobQueue:
                 record = self.store.get(job_id)
                 done = record is None or record.terminal
                 if not fresh and not done and follow:
-                    if not self._cond.wait(timeout):
+                    if self._stopping or time.monotonic() >= deadline:
                         return
-                    continue
+                    if (heartbeat is not None
+                            and time.monotonic() - last_line_s >= heartbeat):
+                        send_heartbeat = True
+                    else:
+                        # Wake early for shutdown checks even if nothing
+                        # notifies; notify_all() still wakes us sooner.
+                        self._cond.wait(_FOLLOW_POLL_S)
+                        continue
+            if send_heartbeat:
+                last_line_s = time.monotonic()
+                yield HEARTBEAT_LINE
+                continue
             for line in fresh:
+                last_line_s = time.monotonic()
                 yield line
             if done or not follow:
                 return

@@ -60,8 +60,12 @@ class SimulationService:
     """Everything ``repro serve`` does, minus the HTTP framing.
 
     Args:
-        store_path: the shared JSONL result store (None: in-memory — the
-            cache then lives and dies with the process).
+        store_path: the shared result store (None: in-memory — the
+            cache then lives and dies with the process).  A
+            ``.colstore`` suffix selects the sharded columnar backend;
+            anything else is JSONL.
+        store_backend: override backend selection (``"jsonl"`` or
+            ``"columnar"``) regardless of the path suffix.
         jobs_path: job-status persistence; defaults to
             ``<store_path>.jobs`` when a store path is given.
         max_workers: warm-pool width (defaults to the CPU count).
@@ -75,10 +79,11 @@ class SimulationService:
         jobs_path: Optional[str] = None,
         max_workers: Optional[int] = None,
         parallel: bool = True,
+        store_backend: Optional[str] = None,
     ):
         if jobs_path is None and store_path is not None:
             jobs_path = f"{store_path}.jobs"
-        self.store = ResultStore(store_path)
+        self.store = ResultStore(store_path, backend=store_backend)
         self.parallel = parallel
         self.max_workers = max_workers
         self.pool = WarmPool(max_workers=max_workers) if parallel else None

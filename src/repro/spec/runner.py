@@ -39,7 +39,17 @@ import weakref
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.errors import SpecError
 from repro.results.metrics import empty_metrics, result_columns
@@ -687,19 +697,24 @@ class SweepRunner:
     def run(
         self,
         parallel: bool = True,
-        store: Optional[ResultStore] = None,
+        store: Optional[Union[ResultStore, str, "os.PathLike[str]"]] = None,
         resume: bool = False,
         capture_traces: Sequence[str] = (),
         progress: Optional[ProgressHook] = None,
         pool: Optional[WarmPool] = None,
+        store_backend: Optional[str] = None,
     ) -> SweepResult:
         """Execute the grid; rows come back in grid order.
 
         Args:
             parallel: fan points out across a process pool.
-            store: persist/dedupe results through this store.
+            store: persist/dedupe results through this store.  A path
+                opens one — a ``.colstore`` suffix selects the sharded
+                columnar backend, anything else JSONL.
             resume: skip points whose spec hash ``store`` already holds
                 (requires ``store``); only the gap is recomputed.
+            store_backend: override backend selection when ``store`` is
+                a path (``"jsonl"`` or ``"columnar"``).
             capture_traces: probe names whose (decimated) traces each
                 computed point should carry.
             progress: optional hook receiving one :class:`BatchProgress`
@@ -707,6 +722,8 @@ class SweepRunner:
             pool: a caller-managed :class:`WarmPool` to execute on (left
                 open); this sweep's base spec rides along per batch.
         """
+        if store is not None and not isinstance(store, ResultStore):
+            store = ResultStore(store, backend=store_backend)
         if resume and store is None:
             raise SpecError("resume=True needs a result store to resume from")
         pending = [

@@ -144,7 +144,7 @@ def test_sweep_batches_store_writes(tmp_path, monkeypatch):
     fsyncs = []
     real_fsync = os_mod.fsync
     monkeypatch.setattr(
-        "repro.results.store.os.fsync",
+        "repro.results.backends.os.fsync",
         lambda fd: (fsyncs.append(fd), real_fsync(fd))[1],
     )
     path = tmp_path / "sweep.jsonl"
@@ -167,7 +167,8 @@ def test_interior_corruption_raises(tmp_path):
     lines[0] = '{"not": "a result record"}'
     path.write_text("\n".join(lines) + "\n")
     with pytest.raises(ResultStoreError, match="corrupt"):
-        ResultStore(path)
+        # Rows load lazily; the first query hits the corruption.
+        len(ResultStore(path))
 
 
 def test_overwrite_compacts_the_file(tmp_path):

@@ -148,6 +148,78 @@ def test_closed_service_hook_is_unregistered(tmp_path):
     assert service._shutdown_hook not in runner_mod._SHUTDOWN_HOOKS
 
 
+def _follow(queue, job_id, lines, **kwargs):
+    """Drain an event stream into ``lines`` (runs on a follower thread)."""
+    for line in queue.events(job_id, follow=True, **kwargs):
+        lines.append(line)
+
+
+def test_attached_follower_unblocks_on_queue_stop():
+    """A client following a quiet job's event stream must not pin a
+    server thread across shutdown: stop() wakes and ends the stream."""
+    from repro.serve.queue import JobQueue
+
+    queue = JobQueue()  # executor never started: the job stays queued
+    record, _ = queue.submit("sweep", small_sweep_request())
+    lines = []
+    follower = threading.Thread(
+        target=_follow, args=(queue, record.job_id, lines),
+        kwargs={"timeout": 60.0}, daemon=True,
+    )
+    follower.start()
+    deadline = 50  # wait for the follower to consume the queued line
+    while not lines and deadline:
+        deadline -= 1
+        threading.Event().wait(0.02)
+    assert lines and "queued" in lines[0]
+    queue.stop(timeout=1.0)
+    follower.join(timeout=5.0)
+    assert not follower.is_alive(), "follower outlived queue.stop()"
+
+
+def test_attached_follower_times_out_on_a_quiet_job():
+    from repro.serve.queue import JobQueue
+
+    queue = JobQueue()
+    record, _ = queue.submit("sweep", small_sweep_request())
+    lines = list(queue.events(record.job_id, follow=True, timeout=0.4))
+    assert lines and "queued" in lines[0]  # returned instead of hanging
+
+
+def test_follower_heartbeats_keep_the_stream_warm():
+    from repro.serve.queue import HEARTBEAT_LINE, JobQueue
+
+    queue = JobQueue()
+    record, _ = queue.submit("sweep", small_sweep_request())
+    beats = 0
+    for line in queue.events(record.job_id, follow=True, timeout=10.0,
+                             heartbeat=0.05):
+        if line == HEARTBEAT_LINE:
+            beats += 1
+            if beats >= 2:
+                queue.stop(timeout=0.1)
+    assert beats >= 2
+
+
+def test_attached_follower_unblocks_on_service_close(tmp_path):
+    service = SimulationService(
+        store_path=str(tmp_path / "s.jsonl"), parallel=False
+    )
+    record = service.submit("sweep", small_sweep_request())
+    lines = []
+    follower = threading.Thread(
+        target=_follow, args=(service.queue, record.job_id, lines),
+        kwargs={"timeout": 60.0}, daemon=True,
+    )
+    follower.start()
+    service.close()
+    follower.join(timeout=10.0)
+    assert not follower.is_alive(), "follower outlived service.close()"
+    # The stream either saw the job run to completion or saw it get
+    # interrupted by the shutdown — but it ended, promptly, either way.
+    assert lines and "queued" in lines[0]
+
+
 def test_reopened_pool_rejoins_the_live_registry():
     # close() then run() lazily re-creates the pool; the registry must
     # re-learn it or shutdown would leak the second generation.
