@@ -13,8 +13,11 @@ one fails (so one regression does not mask another):
   even if the committed baseline already regressed.
 * **sweep** — the sweep-throughput benchmarks (``perf_sweep.py``):
   a resumed sweep computes zero points, the cached mode beats serial by
-  the documented floor, and on a multi-core runner the warm-worker pool
-  beats serial points/sec by its floor.
+  the documented floor, on a multi-core runner the warm-worker pool
+  beats serial points/sec by its floor, and the batched SoA kernel
+  beats per-point serial execution by ``BATCHED_SPEEDUP_FLOOR`` — the
+  batched floor is CPU-count independent and enforced on *every*
+  runner, with identical rows and a zero-recompute store replay.
 * **explore** — the exploration-engine benchmarks (``perf_explore.py``):
   multi-fidelity search matches the exhaustive grid's answer within one
   grid step on at most 30% of its full-horizon simulations, and a
@@ -70,6 +73,8 @@ from perf_store import (
     run_benchmarks as run_store_benchmarks,
 )
 from perf_sweep import (
+    BATCHED_SPEEDUP_FLOOR,
+    CACHED_SPEEDUP_FLOOR,
     POOL_GATE_MIN_CPUS,
     POOL_SPEEDUP_FLOOR,
     format_summary,
@@ -137,6 +142,41 @@ def pool_gate_note(sweep_fresh) -> str:
             f"{sweep_fresh['pool_gate_min_cpus']})")
 
 
+def sweep_gate_rows(sweep_fresh: dict) -> list:
+    """(mode, speedup, floor, status) rows for every gated sweep mode.
+
+    The pool floor only enforces on multi-core runners; the cached and
+    batched floors are machine-independent (store lookups and in-process
+    vectorization respectively) and enforce everywhere.
+    """
+    pool_enforced = sweep_fresh.get("pool_gate_enforced", False)
+    pool_status = (
+        "enforced" if pool_enforced
+        else (f"recorded only ({sweep_fresh.get('cpus', 1)} CPU < "
+              f"{sweep_fresh.get('pool_gate_min_cpus', POOL_GATE_MIN_CPUS)})")
+    )
+    rows = [[
+        "pool vs serial",
+        f"{sweep_fresh['modes']['pool'].get('speedup', 0.0)}x",
+        f">= {sweep_fresh.get('pool_speedup_floor', POOL_SPEEDUP_FLOOR)}x",
+        pool_status,
+    ], [
+        "cached vs serial",
+        f"{sweep_fresh['modes']['cached'].get('speedup', 0.0)}x",
+        f">= {sweep_fresh.get('cached_speedup_floor', CACHED_SPEEDUP_FLOOR)}x",
+        "enforced",
+    ]]
+    batched = sweep_fresh["modes"].get("batched")
+    if batched is not None:
+        rows.append([
+            "batched vs serial",
+            f"{batched.get('speedup', 0.0)}x",
+            f">= {sweep_fresh.get('batched_speedup_floor', BATCHED_SPEEDUP_FLOOR)}x",
+            "enforced",
+        ])
+    return rows
+
+
 def write_github_summary(sections: dict, baseline: dict, fresh: dict,
                          sweep_fresh, explore_fresh,
                          serve_fresh=None, store_fresh=None) -> None:
@@ -158,7 +198,6 @@ def write_github_summary(sections: dict, baseline: dict, fresh: dict,
     for row in kernel_summary_rows(baseline, fresh):
         lines.append("| " + " | ".join(row) + " |")
     if sweep_fresh is not None:
-        base_pool = None
         lines += ["", "### Sweep throughput", ""]
         lines.append("| mode | wall s | points/s | vs serial |")
         lines.append("|------|--------|----------|-----------|")
@@ -170,13 +209,16 @@ def write_github_summary(sections: dict, baseline: dict, fresh: dict,
                 f"| {mode} | {case['wall_s']:.3f} | "
                 f"{case['points_per_s']:.1f} | {speedup} |"
             )
+        lines += ["", "### Sweep gates", ""]
+        lines.append("| gate | speedup | floor | status |")
+        lines.append("|------|---------|-------|--------|")
+        for row in sweep_gate_rows(sweep_fresh):
+            lines.append("| " + " | ".join(row) + " |")
         lines.append("")
         lines.append(
-            f"{sweep_fresh['cpus']} CPU(s); pool floor "
-            f"{sweep_fresh['pool_speedup_floor']}x "
-            + ("enforced" if sweep_fresh["pool_gate_enforced"]
-               else f"recorded only (< {sweep_fresh['pool_gate_min_cpus']} "
-                    "cores)")
+            f"{sweep_fresh['cpus']} CPU(s); the batched and cached floors "
+            "enforce on every runner, the pool floor only with >= "
+            f"{sweep_fresh['pool_gate_min_cpus']} cores."
         )
     if explore_fresh is not None:
         lines += ["", "### Exploration engine", "",
@@ -296,6 +338,21 @@ def main(argv=None) -> int:
                 print(f"  NOTE: pool-vs-serial floor recorded only "
                       f"({cpus} CPU < {POOL_GATE_MIN_CPUS}): "
                       f"speedup {pool_speedup}x not enforced")
+            # The batched floor is CPU-count independent (in-process
+            # vectorization): enforced on every runner, so the sweep
+            # section cannot pass on a single-core box with a regressed
+            # batched kernel the way the pool floor would allow.
+            batched = sweep_fresh["modes"].get("batched")
+            if batched is None:
+                sections["sweep"].append(
+                    "batched mode missing from the fresh sweep run"
+                )
+            elif batched.get("speedup", 0.0) < BATCHED_SPEEDUP_FLOOR:
+                sections["sweep"].append(
+                    f"batched speedup {batched.get('speedup')}x below "
+                    f"the {BATCHED_SPEEDUP_FLOOR}x floor (enforced on "
+                    "every runner)"
+                )
         if sweep_fresh is not None:
             if args.sweep_output is not None:
                 args.sweep_output.write_text(

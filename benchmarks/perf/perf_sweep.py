@@ -15,11 +15,18 @@ run (they are machine-independent by construction):
 
 * a resumed sweep computes zero points (pure cache hits),
 * the cached mode beats serial recomputation by at least
-  ``CACHED_SPEEDUP_FLOOR`` — the point of persisting results at all, and
+  ``CACHED_SPEEDUP_FLOOR`` — the point of persisting results at all,
 * on a multi-core runner (>= 2 CPUs), the warm-worker pool beats serial
   points/sec by at least ``POOL_SPEEDUP_FLOOR`` — the point of having a
   pool at all.  On a single-core runner the pool cannot beat serial by
-  construction, so the floor is recorded but not enforced.
+  construction, so the floor is recorded but not enforced, and
+* the batched SoA kernel (``batch_size``) beats per-point serial
+  execution by at least ``BATCHED_SPEEDUP_FLOOR`` on the batched grid.
+  Unlike the pool floor this one is CPU-count independent — batching is
+  a single-process vectorization win — so it is *enforced everywhere*,
+  single-core runners included.  The batched rows must also match the
+  serial rows exactly (same spec hashes, metrics within 1e-9) and a
+  store-backed replay must recompute zero points.
 """
 
 from __future__ import annotations
@@ -36,6 +43,12 @@ from pathlib import Path
 from repro.results.store import ResultStore
 from repro.spec.presets import preset
 from repro.spec.runner import SweepRunner
+from repro.spec.specs import (
+    HarvesterSpec,
+    PlatformSpec,
+    ScenarioSpec,
+    StorageSpec,
+)
 
 #: A resumed (all-cached) sweep must be at least this much faster than
 #: serial recomputation.
@@ -46,6 +59,11 @@ CACHED_SPEEDUP_FLOOR = 10.0
 POOL_GATE_MIN_CPUS = 2
 POOL_SPEEDUP_FLOOR = 1.5
 
+#: The batched SoA kernel must beat per-point serial execution by at
+#: least this much on the batched grid.  Enforced on every runner —
+#: the win is vectorization inside one process, not parallelism.
+BATCHED_SPEEDUP_FLOOR = 10.0
+
 #: The benchmark grid: 8 points over the fig7 scenario, sized so serial
 #: execution takes seconds (stable ratios) but CI stays fast.
 GRID = {
@@ -53,6 +71,50 @@ GRID = {
     "frequency": [4.7, 9.4],
 }
 DURATION = 1.5
+
+#: The batched-mode grid: one topology (fast kernel, hibernus on the
+#: synthetic engine), capacitance x source-resistance.  Sub-threshold
+#: amplitude keeps the batch in vectorized steady state — the regime
+#: the batched kernel exists for — and the resistance axis shares one
+#: memoized source plan across the whole batch.  Sized large (2048
+#: points) so per-point Python overhead amortizes to the true kernel
+#: ratio; only a small sample of it runs serially.
+BATCHED_CAPS = 512
+BATCHED_RESISTANCES = [120.0, 150.0, 180.0, 210.0]
+BATCHED_DURATION = 4.0
+BATCHED_SERIAL_SAMPLE_CAPS = 3
+
+
+def _batched_base() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="bench-batched",
+        dt=50e-6,
+        duration=BATCHED_DURATION,
+        decimate=64,
+        kernel="fast",
+        storage=StorageSpec("capacitor",
+                            {"capacitance": 47e-6, "v_max": 3.3}),
+        harvesters=(
+            HarvesterSpec("signal-generator", {
+                "amplitude": 1.2, "frequency": 4.7, "rectified": True,
+                "source_resistance": 150.0,
+            }),
+        ),
+        platform=PlatformSpec(
+            strategy="hibernus",
+            engine="synthetic",
+            engine_params={"total_cycles": 40_000_000},
+        ),
+    )
+
+
+def _batched_grid(caps: int) -> dict:
+    lo, hi = 22e-6, 220e-6
+    step = (hi - lo) / max(1, caps - 1)
+    return {
+        "capacitance": [lo + i * step for i in range(caps)],
+        "source_resistance": list(BATCHED_RESISTANCES),
+    }
 
 
 def _best_of(repeats, fn):
@@ -122,6 +184,8 @@ def run_benchmarks(repeats: int = 3) -> dict:
             f"{CACHED_SPEEDUP_FLOOR:.0f}x floor"
         )
 
+    batched = run_batched_benchmark(repeats=repeats)
+
     def mode(wall, **extra):
         payload = {
             "wall_s": round(wall, 4),
@@ -131,7 +195,7 @@ def run_benchmarks(repeats: int = 3) -> dict:
         return payload
 
     return {
-        "schema": 1,
+        "schema": 2,
         "python": platform.python_version(),
         "repeats": repeats,
         "grid_points": points,
@@ -141,6 +205,8 @@ def run_benchmarks(repeats: int = 3) -> dict:
         "pool_speedup_floor": POOL_SPEEDUP_FLOOR,
         "pool_gate_min_cpus": POOL_GATE_MIN_CPUS,
         "pool_gate_enforced": cpus >= POOL_GATE_MIN_CPUS,
+        "batched_speedup_floor": BATCHED_SPEEDUP_FLOOR,
+        "batched_gate_enforced": True,
         "modes": {
             "serial": mode(serial_wall),
             "pool": mode(
@@ -149,7 +215,128 @@ def run_benchmarks(repeats: int = 3) -> dict:
             "cached": mode(
                 cached_wall, speedup=round(cached_speedup, 2)
             ),
+            "batched": batched,
         },
+    }
+
+
+def run_batched_benchmark(repeats: int = 3) -> dict:
+    """Time the batched SoA kernel against per-point serial execution.
+
+    The full batched grid runs once through ``SweepRunner`` with
+    ``batch_size`` equal to the grid (one SoA batch); serial cost comes
+    from a sample sub-grid of the same points (best-of ``repeats``), so
+    the benchmark stays minutes-free while the ratio reflects the real
+    per-point costs of both modes.  Three exactness gates ride along:
+    identical spec hashes and metrics (within 1e-9) on the overlapping
+    sample, and a store-backed replay of the sample recomputing zero
+    points.
+    """
+    base = _batched_base()
+    full_grid = _batched_grid(BATCHED_CAPS)
+    full = SweepRunner(base, full_grid)
+    # The serial sample sweeps an exact subset of the full grid's points
+    # so its spec hashes land inside the batched sweep's.
+    stride = max(1, BATCHED_CAPS // BATCHED_SERIAL_SAMPLE_CAPS)
+    sample_grid = {
+        "capacitance": full_grid["capacitance"][::stride][
+            :BATCHED_SERIAL_SAMPLE_CAPS
+        ],
+        "source_resistance": full_grid["source_resistance"],
+    }
+    sample = SweepRunner(base, sample_grid)
+    sample_points = len(sample)
+
+    print(f"  timing batched serial sample ({sample_points} points) ...",
+          flush=True)
+    sample_wall, sample_result = _best_of(
+        repeats, lambda: sample.run(parallel=False)
+    )
+    serial_per_point = sample_wall / sample_points
+
+    print(f"  timing batched SoA sweep ({len(full)} points) ...",
+          flush=True)
+    events = []
+    t0 = time.perf_counter()
+    batched_result = full.run(
+        parallel=False, batch_size=len(full), progress=events.append
+    )
+    batched_wall = time.perf_counter() - t0
+    batched_per_point = batched_wall / len(full)
+    speedup = serial_per_point / batched_per_point
+
+    # -- exactness gates (machine-independent) ---------------------------
+    by_hash = {
+        point.spec_hash: point for point in batched_result
+    }
+    for point in batched_result:
+        if point.error is not None:
+            raise AssertionError(
+                f"batched sweep produced an error row: {point.error}"
+            )
+    for serial_point in sample_result:
+        batched_point = by_hash.get(serial_point.spec_hash)
+        if batched_point is None:
+            raise AssertionError(
+                "serial sample point missing from the batched sweep: "
+                "spec hashes diverged"
+            )
+        for key, value in serial_point.metrics.items():
+            other = batched_point.metrics.get(key)
+            if isinstance(value, float) and isinstance(other, float):
+                if abs(value - other) > 1e-9 * max(1.0, abs(value)):
+                    raise AssertionError(
+                        f"batched metric {key} diverged: "
+                        f"{other!r} != {value!r}"
+                    )
+            elif other != value:
+                raise AssertionError(
+                    f"batched metric {key} diverged: {other!r} != {value!r}"
+                )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = os.path.join(tmp, "batched.jsonl")
+        first = sample.run(
+            parallel=False, batch_size=0, store=ResultStore(store_path)
+        )
+        replay = sample.run(
+            parallel=False, batch_size=0, store=ResultStore(store_path),
+            resume=True,
+        )
+    if first.computed != sample_points or replay.computed != 0 \
+            or replay.cached != sample_points:
+        raise AssertionError(
+            f"batched store replay recomputed {replay.computed} of "
+            f"{sample_points} points; expected pure cache hits"
+        )
+
+    if speedup < BATCHED_SPEEDUP_FLOOR:
+        raise AssertionError(
+            f"batched speedup {speedup:.2f}x fell below the "
+            f"{BATCHED_SPEEDUP_FLOOR:.0f}x floor (serial "
+            f"{serial_per_point * 1e3:.2f} ms/pt vs batched "
+            f"{batched_per_point * 1e3:.2f} ms/pt)"
+        )
+
+    stats = {}
+    if events and events[0].members is not None:
+        stats = {
+            "members": events[0].members,
+            "passes": events[0].passes,
+            "advanced": events[0].advanced,
+            "settled": events[0].settled,
+            "diverged": events[0].diverged,
+        }
+    return {
+        "wall_s": round(batched_wall, 4),
+        "points_per_s": round(len(full) / batched_wall, 2),
+        "speedup": round(speedup, 2),
+        "grid_points": len(full),
+        "duration_s": BATCHED_DURATION,
+        "serial_sample_points": sample_points,
+        "serial_ms_per_point": round(serial_per_point * 1e3, 3),
+        "batched_ms_per_point": round(batched_per_point * 1e3, 3),
+        "stats": stats,
     }
 
 

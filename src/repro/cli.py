@@ -428,7 +428,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         progress = lambda event: print(f"  {event.describe()}")
     result = runner.run(
         parallel=not args.serial, store=store, resume=args.resume,
-        progress=progress,
+        progress=progress, batch_size=args.batch_size,
     )
     mode = "serial" if args.serial else "parallel"
     print_section(
@@ -534,6 +534,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         seed=args.seed,
         progress=progress,
+        batch_size=args.batch_size,
     )
     goals = ", ".join(o.describe() for o in driver.objectives)
     print(f"explore: {base.name} via {args.optimizer} "
@@ -673,6 +674,21 @@ def build_parser() -> argparse.ArgumentParser:
                  "*.colstore paths and JSONL otherwise",
         )
 
+    def batch_size(text: str) -> int:
+        value = int(text)
+        if value < 0:
+            raise argparse.ArgumentTypeError("must be >= 0")
+        return value
+
+    def add_batch_size_flag(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--batch-size", type=batch_size, default=0, metavar="M",
+            help="advance up to M same-topology fast-kernel points "
+                 "together through the batched SoA kernel (0 = auto, "
+                 "1 = per-point execution); results are identical "
+                 "either way",
+        )
+
     fig7 = sub.add_parser("fig7", help="Fig. 7 Hibernus FFT")
     fig7.add_argument("--fft-size", type=int, default=512)
     fig7.add_argument("--supply-hz", type=float, default=4.7)
@@ -736,6 +752,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "missing points are computed")
     sweep.add_argument("--progress", action="store_true",
                        help="print computed/cached/error counts per batch")
+    add_batch_size_flag(sweep)
     add_kernel_flag(sweep)
     sweep.set_defaults(fn=cmd_sweep)
 
@@ -788,6 +805,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "re-run with the same seed recomputes nothing")
     explore.add_argument("--top", type=int, default=10,
                          help="rows of the ranked table to print")
+    add_batch_size_flag(explore)
     add_kernel_flag(explore)
     explore.set_defaults(fn=cmd_explore)
 

@@ -154,13 +154,19 @@ class EnergyDrivenSystem:
                     else 0.0
                 )
 
+            # Constant across a chunk: a zero-stride broadcast view is
+            # enough (the recorder copies the decimated samples out).
             self.simulator.probe(
                 "state", state_code, decimate=decimate,
-                chunk_fn=lambda k: np.full(k, state_code()),
+                chunk_fn=lambda k: np.broadcast_to(
+                    np.float64(state_code()), (k,)
+                ),
             )
             self.simulator.probe(
                 "frequency", frequency, decimate=decimate,
-                chunk_fn=lambda k: np.full(k, frequency()),
+                chunk_fn=lambda k: np.broadcast_to(
+                    np.float64(frequency()), (k,)
+                ),
             )
         self._probes_installed = True
 

@@ -45,6 +45,8 @@ from repro.spec.runner import (
     WarmPool,
     _is_worker_crash,
     execute_payloads,
+    flatten_batch_records,
+    group_batch_payloads,
 )
 from repro.spec.specs import ScenarioSpec
 
@@ -201,6 +203,11 @@ class ExplorationDriver:
             driver then leaves lifecycle to the caller (the pool stays
             open after :meth:`run`) — how the ``repro serve`` executor
             shares one warm pool across every job.
+        batch_size: evaluate each ask-batch through the batched SoA
+            kernel, grouping same-topology candidates into batches of up
+            to this many members (``0`` = auto, ``None``/``1`` =
+            per-candidate execution).  Results and spec hashes are
+            identical either way.
     """
 
     def __init__(
@@ -219,6 +226,7 @@ class ExplorationDriver:
         progress: Optional[ProgressHook] = None,
         pool: Optional[WarmPool] = None,
         store_backend: Optional[str] = None,
+        batch_size: Optional[int] = None,
     ):
         self.base = base
         self.space = space
@@ -254,10 +262,14 @@ class ExplorationDriver:
         self.max_workers = max_workers
         self.seed = seed
         self.progress = progress
+        self.batch_size = batch_size
         #: A caller-owned pool shared across runs (never closed here).
         self._external_pool = pool
         #: The warm-worker pool serving the current run(), if parallel.
         self._pool: Optional[WarmPool] = None
+        #: Batched-kernel stats from the most recent _evaluate() call
+        #: (empty when nothing batched); surfaced on progress events.
+        self._last_batch_stats: Dict[str, int] = {}
 
     # -- the fidelity model ----------------------------------------------
 
@@ -406,13 +418,43 @@ class ExplorationDriver:
                 "spec_overrides": task,
                 "overrides": overrides,
             })
-        records = execute_payloads(
-            payloads,
-            parallel=self.parallel,
-            max_workers=self.max_workers,
-            base_spec=self.base.to_dict(),
-            pool=self._pool,
-        )
+        self._last_batch_stats = {}
+        if (self.batch_size is not None and self.batch_size != 1
+                and len(payloads) > 1):
+            grouped, order = group_batch_payloads(
+                payloads, [specs[i] for i in to_compute], self.batch_size
+            )
+            raw = execute_payloads(
+                grouped,
+                parallel=self.parallel,
+                max_workers=self.max_workers,
+                base_spec=self.base.to_dict(),
+                pool=self._pool,
+            )
+            flat, self._last_batch_stats = flatten_batch_records(raw)
+            records: List[Optional[Dict[str, Any]]] = [None] * len(payloads)
+            for position, record in zip(order, flat):
+                records[position] = record
+            from repro.spec.runner import WORKER_FAILURE_PREFIX
+
+            records = [
+                record if record is not None else RunResult.failed(
+                    f"{WORKER_FAILURE_PREFIX}batch worker returned no "
+                    "record",
+                    spec_hash=hashes[to_compute[position]],
+                    name=self.base.name,
+                    overrides=dict(batch[to_compute[position]].overrides),
+                ).to_record()
+                for position, record in enumerate(records)
+            ]
+        else:
+            records = execute_payloads(
+                payloads,
+                parallel=self.parallel,
+                max_workers=self.max_workers,
+                base_spec=self.base.to_dict(),
+                pool=self._pool,
+            )
         computed_full = 0
         transient: Dict[str, RunResult] = {}
         store_batch = (
@@ -485,6 +527,7 @@ class ExplorationDriver:
                 cached += len(batch_evals) - batch_computed
                 batches += 1
                 if self.progress is not None:
+                    stats = self._last_batch_stats
                     self.progress(BatchProgress(
                         label=self.base.name,
                         batch=batches,
@@ -495,6 +538,11 @@ class ExplorationDriver:
                             if e.result.error is not None
                         ),
                         total=len(evaluations),
+                        members=stats.get("members") if stats else None,
+                        passes=stats.get("passes"),
+                        advanced=stats.get("advanced"),
+                        settled=stats.get("settled"),
+                        diverged=stats.get("diverged"),
                     ))
         finally:
             if self._pool is not None and owns_pool:

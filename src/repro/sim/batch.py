@@ -1,0 +1,1367 @@
+"""Batched structure-of-arrays execution of scenario batches.
+
+The fast kernel (:mod:`repro.sim.kernel`) chunks *one* scenario at a
+time; a sweep over M grid points still pays the per-step Python cost M
+times.  This module advances M scenarios that share a topology *together*
+as structure-of-arrays state: one numpy lane per member holding the rail
+voltage ``vcc[M]``, the cumulative energy ledger, and per-lane event
+horizons, with closed-form source plans evaluated once over the full run
+horizon and shared across every member with an identical harvester
+configuration.
+
+Execution model (see DESIGN.md, "Batched SoA kernel"):
+
+* Each member is a **lane**: its own built system, simulator, rail and
+  platform, plus the per-lane scalars the array passes need (capacitor
+  physics, precomputed source-plan arrays, the last startable step).
+* A **round** gathers every runnable lane's current regime — exactly the
+  same :meth:`~repro.power.rail.RailLoad.load_profile` /
+  source-plan protocol the per-scenario fast kernel uses — groups lanes
+  whose regimes have the same shape, and advances each group through one
+  masked **array pass**.  Per-step arithmetic inside a pass replicates
+  the scalar chunk loops of :class:`~repro.power.rail.SupplyRail`
+  operation for operation, so the committed voltage sequence is
+  bit-identical to a per-scenario fast run (chunk partitioning cannot
+  change a pure per-step recurrence).
+* Per-lane event boundaries (boot/wake/brownout/active-guard voltage
+  crossings, snapshot/restore countdowns via ``max_steps``) freeze the
+  lane inside the pass at exactly the step the scalar loop would have
+  broken on; the boundary step then settles scalar-side through the
+  unmodified reference path and the lane re-enters the next round.
+* Lanes whose regime cannot be vectorized degrade gracefully: a lane in
+  a one-member group advances through the ordinary scalar
+  :meth:`~repro.power.rail.SupplyRail.step_chunk`; a lane whose sources
+  cannot publish array plans at all (MPPT trackers, converter-fronted
+  power sources, stateful harvesters) runs the entire scenario through
+  the untouched per-scenario path.
+
+Exactness contract: the vcc trace and every event step index are
+bit-identical to per-scenario fast runs.  Scalar metric accumulators
+that the fast kernel itself folds per-chunk (state-residency times,
+per-chunk committed energies) agree to floating-point re-association
+tolerance (~1e-12 relative), exactly as fast-vs-reference already does.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.power.rail import HarvesterInjector, RectifiedInjector, SupplyRail
+from repro.results.run_result import MAX_TRACE_SAMPLES, RunResult, spec_hash
+from repro.sim import _ckernel
+from repro.sim.engine import _MAX_BACKOFF, _MIN_CHUNK
+from repro.spec.specs import ScenarioSpec
+
+#: Hard cap on steps per array pass (bounds the per-pass vcc matrix and
+#: amortises the per-pass Python overheads; any pass partition commits
+#: bit-identical results, so the cap is purely a scheduling knob).
+_PASS_CAP = 65536
+#: Per-pass vcc matrix byte budget: for wide batches the effective pass
+#: length shrinks below ``_PASS_CAP`` so the trace matrix stays bounded.
+#: Longer passes mean fewer commit/regather cycles per lane — the
+#: dominant fixed cost once the step loop itself is vectorized.
+_PASS_BUDGET_BYTES = 256 * 1024 * 1024
+#: Minimum steps before the break-at-quarter early exit may trigger.
+_EARLY_EXIT_MIN_STEPS = 64
+#: Below this many runnable lanes a round stops vectorizing and the
+#: remaining lanes finish through the per-scenario chunked path.
+_MIN_VECTOR_LANES = 2
+#: Minimum lanes in a pass group before the vectorized pass beats the
+#: scalar chunk loop (per-row numpy dispatch is ~30x a scalar step, so
+#: small groups advance through ``step_chunk`` instead).  Tests lower
+#: this to force array passes on tiny batches.
+_MIN_VECTOR_GROUP = 32
+#: Auto batch size cap (memory: one full-horizon plan per distinct
+#: harvester configuration plus O(pass_cap * M) scratch — ~17 MB of
+#: per-pass vcc matrix at the cap, amortised over 512 grid points).
+AUTO_BATCH_SIZE = 512
+
+
+def _uniform_scalar(arr: np.ndarray) -> Any:
+    """``arr`` as a Python float when every lane shares one value.
+
+    A scalar ufunc operand computes the exact same IEEE result as the
+    equal-valued array while skipping one array read per step — grid
+    axes usually leave most per-lane parameter arrays constant.
+    """
+    first = arr[0]
+    if bool((arr == first).all()):
+        return float(first)
+    return arr
+
+
+def _pass_cap(m_count: int) -> int:
+    """Steps per pass for an ``m_count``-lane group.
+
+    ``_PASS_CAP`` bounded by the ``_PASS_BUDGET_BYTES`` trace-matrix
+    budget (8 bytes per lane-step).  Any pass partition commits
+    bit-identical results, so this is purely a scheduling knob.
+    """
+    by_budget = _PASS_BUDGET_BYTES // (max(1, m_count) * 8)
+    return max(1, min(_PASS_CAP, by_budget))
+
+
+@dataclass
+class BatchStats:
+    """Per-batch execution diagnostics, reported through progress events.
+
+    Attributes:
+        members: lanes that entered batched execution.
+        passes: array passes executed.
+        advanced: member-steps advanced through array passes.
+        settled: member-steps settled through the scalar reference path.
+        diverged: members that left array execution for the per-scenario
+            fast kernel (ineligible sources or a drained batch).
+    """
+
+    members: int = 0
+    passes: int = 0
+    advanced: int = 0
+    settled: int = 0
+    diverged: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "members": self.members,
+            "passes": self.passes,
+            "advanced": self.advanced,
+            "settled": self.settled,
+            "diverged": self.diverged,
+        }
+
+
+#: Optional per-round progress hook: called with the running BatchStats
+#: after every round of array passes.
+RoundHook = Callable[[BatchStats], None]
+
+
+def topology_key(spec: ScenarioSpec) -> str:
+    """The batching-compatibility key of a spec: its non-numeric skeleton.
+
+    Two grid points may share a batch only when they differ in *numeric*
+    parameters alone.  Every string-valued axis — the kernel, the
+    strategy kind, the harvester/storage/load/rectifier/converter
+    families, the engine and program — stays in the key, so a grid that
+    sweeps any axis changing chunk eligibility partitions into separate
+    sub-batches instead of batching incompatible members together.
+    """
+
+    def strip(value: Any) -> Any:
+        if isinstance(value, Mapping):
+            return {key: strip(item) for key, item in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [strip(item) for item in value]
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, (int, float)):
+            return None
+        return value
+
+    skeleton = strip(spec.to_dict())
+    # to_dict omits default-valued fields; pin the ones that gate
+    # batching so presence/absence differences cannot alias.
+    skeleton["kernel"] = spec.kernel
+    skeleton["stop_on_completion"] = spec.stop_on_completion
+    return json.dumps(skeleton, sort_keys=True)
+
+
+def batchable(spec: ScenarioSpec) -> bool:
+    """Whether a spec may join an array batch at all (fast kernel only)."""
+    return spec.kernel == "fast"
+
+
+class _PlanCache:
+    """Full-horizon source-plan arrays shared across batch members.
+
+    Keyed by the harvester's resolved configuration and the time grid, so
+    a capacitance sweep — every member carrying the same harvester —
+    plans each waveform exactly once per batch, not once per member.
+    Values are a pure function of the step index (evaluated at the exact
+    engine grid ``k * dt``), so any member's window is a plain slice.
+    """
+
+    def __init__(self) -> None:
+        self._plans: Dict[str, np.ndarray] = {}
+
+    @staticmethod
+    def key(spec: ScenarioSpec, index: int, variant: str) -> str:
+        """Cache key for one harvester's plan.
+
+        ``source_resistance`` is excluded: an open-circuit voltage (or
+        harvested power) waveform is by definition independent of the
+        source's Thevenin resistance, so a resistance sweep shares one
+        plan.  ``variant`` marks what the stored array holds ('p' for
+        power, 'v'/'v-abs' for plain/rectified voltage) so the same
+        harvester behind different rectifiers cannot alias.
+        """
+        entry = spec.harvesters[index]
+        params = dict(spec._harvester_params(index, entry))
+        params.pop("source_resistance", None)
+        return json.dumps(
+            {
+                "kind": entry.kind,
+                "params": params,
+                "dt": spec.dt,
+                "variant": variant,
+            },
+            sort_keys=True,
+            default=str,
+        )
+
+    def voltage_values(
+        self, key: str, injector: RectifiedInjector, take_abs: bool,
+        dt: float, steps: int,
+    ) -> np.ndarray:
+        plan = self._plans.get(key)
+        if plan is None or len(plan) < steps:
+            times = np.arange(0, steps) * dt
+            values = injector.harvester.open_circuit_voltage_array(times)
+            if take_abs:
+                values = np.abs(values)
+            plan = np.asarray(values, dtype=float)
+            self._plans[key] = plan
+        return plan
+
+    def power_values(
+        self, key: str, injector: HarvesterInjector, dt: float, steps: int
+    ) -> np.ndarray:
+        plan = self._plans.get(key)
+        if plan is None or len(plan) < steps:
+            times = np.arange(0, steps) * dt
+            plan = np.asarray(
+                injector.harvester.power_array(times), dtype=float
+            )
+            self._plans[key] = plan
+        return plan
+
+
+@dataclass
+class _Source:
+    """One injector's array-pass descriptor (full-horizon values)."""
+
+    kind: str  # 'v' (rectified voltage source) or 'p' (power source)
+    values: np.ndarray
+    drop: float = 0.0
+    r_total: float = 1.0
+
+
+class _Lane:
+    """One batch member: a built system plus its array-pass state."""
+
+    __slots__ = (
+        "index", "spec", "overrides", "system", "sim", "rail", "platform",
+        "physics", "s_max", "dt", "sources", "leak", "overhead",
+        "done", "stopped_early", "pending_scalar", "backoff", "error",
+    )
+
+    def __init__(self, index: int, spec: ScenarioSpec,
+                 overrides: Dict[str, Any]):
+        self.index = index
+        self.spec = spec
+        self.overrides = overrides
+        self.system = None
+        self.sim = None
+        self.rail: Optional[SupplyRail] = None
+        self.platform = None
+        self.physics = None
+        self.s_max = -1
+        self.dt = spec.dt
+        self.sources: List[_Source] = []
+        self.leak: Optional[float] = None
+        self.overhead = 1.0
+        self.done = False
+        self.stopped_early = False
+        self.pending_scalar = 0
+        self.backoff = 0
+        self.error: Optional[str] = None
+
+
+@dataclass
+class _Gathered:
+    """One lane's regime for the pass about to run."""
+
+    lane: _Lane
+    v: float
+    horizon: int
+    profiles: List[Any] = field(default_factory=list)
+
+
+def _build_lane(index: int, spec: ScenarioSpec,
+                overrides: Dict[str, Any]) -> _Lane:
+    """Construct a lane: build the system and install the probes."""
+    lane = _Lane(index, spec, overrides)
+    system = spec.build()
+    system.install_probes(decimate=spec.decimate)
+    lane.system = system
+    lane.sim = system.simulator
+    lane.rail = system.rail
+    lane.platform = system.platform
+    lane.s_max = lane.sim._last_startable_step(spec.duration)
+    lane.sim._recorder.reserve(lane.s_max + 1)
+    return lane
+
+
+def _lane_chunkable(lane: _Lane) -> bool:
+    """Mirror of the solo fast kernel's chunk-engagement predicate."""
+    sim = lane.sim
+    if lane.spec.kernel != "fast" or lane.rail is None:
+        return False
+    if len(sim._components) != 1 or sim._components[0] is not lane.rail:
+        return False
+    if not sim._recorder.chunk_capable():
+        return False
+    if sim._has_unchunkable_conditions:
+        return False
+    physics = lane.rail.storage.chunk_physics()
+    if physics is None:
+        return False
+    lane.physics = physics
+    lane.leak = physics.leak_factor(lane.dt)
+    lane.overhead = physics.draw_overhead
+    return True
+
+
+def _lane_vectorizable(lane: _Lane, cache: _PlanCache) -> bool:
+    """Resolve every injector to a full-horizon array plan, or fail.
+
+    The eligibility predicates mirror the injectors' own ``chunk_plan``
+    guards; a converter-fronted power source additionally disqualifies
+    the lane (``ConversionStage.output_power`` is per-step Python), as
+    does any injector outside the two standard classes.
+    """
+    rail = lane.rail
+    total_steps = lane.s_max + 1
+    if total_steps <= 0:
+        return True  # zero-step run: trivially fine
+    sources: List[_Source] = []
+    for position, injector in enumerate(rail._injectors):
+        if isinstance(injector, RectifiedInjector):
+            if type(injector).inject is not RectifiedInjector.inject:
+                return False
+            if not injector.harvester.chunk_safe():
+                return False
+            chunk_params = getattr(injector.rectifier, "chunk_params", None)
+            params = (
+                chunk_params(injector.harvester.source_resistance)
+                if chunk_params is not None
+                else None
+            )
+            if params is None:
+                return False
+            drop, r_total, take_abs = params
+            key = cache.key(
+                lane.spec, position, "v-abs" if take_abs else "v"
+            )
+            values = cache.voltage_values(
+                key, injector, take_abs, lane.dt, total_steps
+            )
+            sources.append(
+                _Source("v", values, drop=drop, r_total=r_total)
+            )
+        elif isinstance(injector, HarvesterInjector):
+            if type(injector).inject is not HarvesterInjector.inject:
+                return False
+            if injector.mppt is not None or injector.converter is not None:
+                return False
+            if not injector.harvester.chunk_safe():
+                return False
+            key = cache.key(lane.spec, position, "p")
+            values = cache.power_values(key, injector, lane.dt, total_steps)
+            sources.append(_Source("p", values))
+        else:
+            return False
+    lane.sources = sources
+    return True
+
+
+def _check_lane_stopped(lane: _Lane) -> None:
+    """Post-advance bookkeeping shared by every execution path."""
+    sim = lane.sim
+    conditions = sim._stop_conditions
+    if conditions and any(cond(sim.t) for cond in conditions):
+        lane.done = True
+        lane.stopped_early = True
+    elif sim.steps > lane.s_max:
+        lane.done = True
+
+
+def _run_scalar_steps(lane: _Lane, count: int, stats: BatchStats) -> None:
+    """Settle ``count`` steps through the unmodified reference path."""
+    sim = lane.sim
+    chunk_stats = sim.chunk_stats
+    for _ in range(count):
+        if sim.steps > lane.s_max:
+            lane.done = True
+            return
+        chunk_stats.fallback_steps += 1
+        sim.step()
+        stats.settled += 1
+        conditions = sim._stop_conditions
+        if conditions and any(cond(sim.t) for cond in conditions):
+            lane.done = True
+            lane.stopped_early = True
+            return
+    if sim.steps > lane.s_max:
+        lane.done = True
+
+
+def _advance_chunk_scalar(lane: _Lane, stats: BatchStats) -> None:
+    """Advance a lone lane one chunk through the ordinary scalar loop."""
+    sim = lane.sim
+    n = min(sim.chunk_size, lane.s_max - sim.steps + 1)
+    taken = 0
+    if n > 1:
+        taken = lane.rail.step_chunk(sim.t, sim.dt, n)
+    if taken:
+        lane.backoff = 0
+        chunk_stats = sim.chunk_stats
+        chunk_stats.chunks += 1
+        chunk_stats.chunked_steps += taken
+        first = sim.steps + 1
+        sim.steps += taken
+        sim.t = sim.steps * sim.dt
+        sim._recorder.sample_chunk(first, taken, sim.dt)
+        stats.advanced += taken
+        _check_lane_stopped(lane)
+    else:
+        lane.backoff = (
+            min(2 * lane.backoff, _MAX_BACKOFF) if lane.backoff else 1
+        )
+        lane.pending_scalar = lane.backoff
+
+
+def _finish_solo(lane: _Lane, stats: BatchStats) -> None:
+    """Run a lane to completion through the per-scenario fast schedule.
+
+    Identical results to :meth:`Simulator._run_fast` continuing from the
+    lane's current state: the grow/backoff schedule only changes which
+    steps chunk, never their arithmetic.
+    """
+    sim = lane.sim
+    rail = lane.rail
+    dt = sim.dt
+    chunk_stats = sim.chunk_stats
+    conditions = sim._stop_conditions
+    grow = _MIN_CHUNK
+    skip = 0
+    backoff = 0
+    chunkable = lane.physics is not None
+    while not lane.done:
+        if sim.steps > lane.s_max:
+            lane.done = True
+            return
+        taken = 0
+        if chunkable and skip == 0:
+            n = min(grow, sim.chunk_size, lane.s_max - sim.steps + 1)
+            if n > 1:
+                taken = rail.step_chunk(sim.t, dt, n)
+                if taken:
+                    backoff = 0
+                    grow = (
+                        min(2 * n, sim.chunk_size)
+                        if taken == n
+                        else _MIN_CHUNK
+                    )
+                    chunk_stats.chunks += 1
+                    chunk_stats.chunked_steps += taken
+                    first = sim.steps + 1
+                    sim.steps += taken
+                    sim.t = sim.steps * dt
+                    sim._recorder.sample_chunk(first, taken, dt)
+                    stats.advanced += taken
+                else:
+                    backoff = min(2 * backoff, _MAX_BACKOFF) if backoff else 1
+                    skip = backoff
+        elif skip:
+            skip -= 1
+        if taken == 0:
+            chunk_stats.fallback_steps += 1
+            sim.step()
+            stats.settled += 1
+        if conditions and any(cond(sim.t) for cond in conditions):
+            lane.done = True
+            lane.stopped_early = True
+            return
+
+
+def _gather(lane: _Lane) -> Optional[_Gathered]:
+    """One lane's regime for the next pass, or None to settle scalar-side.
+
+    Mirrors :meth:`SupplyRail.step_chunk`'s gather phase: fresh load
+    profiles at the present voltage, the horizon bounded by every
+    profile's ``max_steps`` and the last startable step.  Source windows
+    come from the lane's precomputed full-horizon arrays instead of
+    per-chunk ``chunk_plan`` calls.
+    """
+    sim = lane.sim
+    remaining = lane.s_max - sim.steps + 1
+    if remaining <= 0:
+        lane.done = True
+        return None
+    v = lane.physics.read_voltage()
+    t0 = sim.t
+    dt = sim.dt
+    horizon = remaining
+    profiles = []
+    for load in lane.rail._loads:
+        profile = load.load_profile(t0, dt, v)
+        if profile is None:
+            return None
+        if profile.max_steps is not None:
+            if profile.max_steps <= 0:
+                return None
+            horizon = min(horizon, profile.max_steps)
+        profiles.append(profile)
+    if horizon < 1:
+        return None
+    return _Gathered(lane=lane, v=v, horizon=horizon, profiles=profiles)
+
+
+def _group_key(gathered: _Gathered) -> Tuple:
+    """The pass-group a gathered lane joins.
+
+    ``('s',)`` is the simple-loop shape (single rectified source, single
+    constant-energy load, ideal capacitor) — classified with exactly the
+    predicate :meth:`SupplyRail.step_chunk` uses, so the committed
+    per-load energies follow the same accumulation as the scalar kernel.
+    A load profile mixing a resistive and a current-like term falls back
+    to the scalar chunk loop (``('c', ...)``: a one-lane group).
+    """
+    lane = gathered.lane
+    profiles = gathered.profiles
+    for profile in profiles:
+        if profile.resistance is not None and profile.current != 0.0:
+            return ("c", lane.index)
+    if (
+        len(lane.sources) == 1
+        and lane.sources[0].kind == "v"
+        and len(profiles) == 1
+        and profiles[0].resistance is None
+        and profiles[0].current == 0.0
+        and lane.leak is None
+        and lane.overhead == 1.0
+    ):
+        return ("s",)
+    kinds = tuple(source.kind for source in lane.sources)
+    return ("g", kinds, len(profiles))
+
+
+def _commit_lane(
+    lane: _Lane,
+    gathered: _Gathered,
+    taken: int,
+    v_final: float,
+    ledger: Dict[str, float],
+    esums: Sequence[float],
+    vcc: np.ndarray,
+    evented: bool,
+    stats: BatchStats,
+) -> None:
+    """Fold one lane's pass outcome back into its live system.
+
+    Mirrors the commit the solo fast kernel performs after
+    ``step_chunk``: voltage write-back, stats ledger, per-load commits,
+    probe bulk-sampling, then the stop-condition / end-of-run checks.
+    """
+    sim = lane.sim
+    dt = sim.dt
+    if taken > 0:
+        lane.physics.write_voltage(v_final)
+        rail_stats = lane.rail.stats
+        rail_stats.harvested = ledger["harvested"]
+        rail_stats.consumed = ledger["consumed"]
+        rail_stats.starved = ledger["starved"]
+        if "leaked" in ledger:
+            rail_stats.leaked = ledger["leaked"]
+        lane.rail._chunk_vcc = vcc
+        for profile, esum in zip(gathered.profiles, esums):
+            if profile.commit is not None:
+                profile.commit(taken, dt, esum)
+        chunk_stats = sim.chunk_stats
+        chunk_stats.chunks += 1
+        chunk_stats.chunked_steps += taken
+        first = sim.steps + 1
+        sim.steps += taken
+        sim.t = sim.steps * dt
+        sim._recorder.sample_chunk(first, taken, dt)
+        stats.advanced += taken
+    _check_lane_stopped(lane)
+    if not lane.done and evented:
+        # The boundary step itself must execute through the reference
+        # path — exactly as the solo kernel's failed-attempt fallback.
+        lane.pending_scalar = max(lane.pending_scalar, 1)
+
+
+def _pass_order(members: List[_Gathered]) -> None:
+    """Sort a pass group so lanes sharing plans and step positions are
+    adjacent (member order within a pass is free — every lane commits
+    independently).  Runs of identical (plan, start) then fill their
+    window columns with one broadcast slice each instead of M strided
+    column writes."""
+    members.sort(
+        key=lambda g: (
+            tuple(id(source.values) for source in g.lane.sources),
+            g.lane.sim.steps,
+        )
+    )
+
+
+def _source_windows(
+    members: Sequence[_Gathered], source_index: int, pass_n: int,
+) -> np.ndarray:
+    """The ``[pass_n, M]`` value matrix for one source position.
+
+    Members must be in :func:`_pass_order`; each run of lanes sharing a
+    plan array and step position fills as one broadcast column block.
+    Rows past a short run's plan stay zero — they are beyond every such
+    lane's horizon and never commit.
+    """
+    m_count = len(members)
+    vals = np.zeros((pass_n, m_count), dtype=float)
+    begin = 0
+    while begin < m_count:
+        lane = members[begin].lane
+        plan = lane.sources[source_index].values
+        start = lane.sim.steps
+        end = begin + 1
+        while (
+            end < m_count
+            and members[end].lane.sources[source_index].values is plan
+            and members[end].lane.sim.steps == start
+        ):
+            end += 1
+        span = min(pass_n, len(plan) - start)
+        vals[:span, begin:end] = plan[start:start + span, None]
+        begin = end
+    return vals
+
+
+def _compiled_windows(
+    lanes: Sequence[_Lane], horizons: np.ndarray
+) -> Optional[np.ndarray]:
+    """Per-lane data pointers into each lane's full source plan.
+
+    The compiled kernel reads each lane's pass window in place (no
+    [pass_n, M] matrix, no ``tolist``).  Returns None when any plan
+    cannot back a raw double pointer — then the numpy pass runs.
+    """
+    ptrs = np.empty(len(lanes), dtype=np.uintp)
+    for m, lane in enumerate(lanes):
+        plan = lane.sources[0].values
+        if (
+            not isinstance(plan, np.ndarray)
+            or plan.dtype != np.float64
+            or not plan.flags.c_contiguous
+        ):
+            return None
+        start = lane.sim.steps
+        if len(plan) - start < int(horizons[m]):
+            return None
+        ptrs[m] = plan.ctypes.data + start * 8
+    return ptrs
+
+
+def _commit_pass(
+    members: Sequence[_Gathered],
+    horizons: np.ndarray,
+    taken: np.ndarray,
+    v: np.ndarray,
+    harvested: np.ndarray,
+    consumed: np.ndarray,
+    starved: np.ndarray,
+    e_dem_py: Sequence[float],
+    vcc: np.ndarray,
+    stats: BatchStats,
+) -> None:
+    """Fold a finished simple pass back into every member lane."""
+    for m, gathered in enumerate(members):
+        steps_taken = int(taken[m])
+        _commit_lane(
+            gathered.lane,
+            gathered,
+            steps_taken,
+            float(v[m]),
+            {
+                "harvested": float(harvested[m]),
+                "consumed": float(consumed[m]),
+                "starved": float(starved[m]),
+            },
+            [steps_taken * e_dem_py[m]],
+            vcc[m, :steps_taken],
+            evented=steps_taken < int(horizons[m]),
+            stats=stats,
+        )
+    stats.passes += 1
+
+
+def _simple_pass(members: List[_Gathered], stats: BatchStats) -> None:
+    """Vectorized counterpart of :meth:`SupplyRail._chunk_loop_simple`.
+
+    Per-step operation sequence and association order replicate the
+    scalar loop exactly; lanes that hit an event boundary (or their own
+    horizon) freeze in place via the ``alive`` mask while the rest of
+    the batch keeps advancing.
+    """
+    _pass_order(members)
+    m_count = len(members)
+    lanes = [g.lane for g in members]
+    cap_n = _pass_cap(m_count)
+    horizons = np.array(
+        [min(g.horizon, cap_n) for g in members], dtype=np.int64
+    )
+    pass_n = int(horizons.max())
+    v = np.array([g.v for g in members], dtype=float)
+    cap = np.array([lane.physics.capacitance for lane in lanes], dtype=float)
+    half_c = 0.5 * cap
+    v_max = np.array([lane.physics.v_max for lane in lanes], dtype=float)
+    drop = np.array([lane.sources[0].drop for lane in lanes], dtype=float)
+    r_total = np.array(
+        [lane.sources[0].r_total for lane in lanes], dtype=float
+    )
+    # Per-step demand precombined in Python floats, exactly as the
+    # scalar loop computes its local e_dem.
+    e_dem_py = [
+        g.profiles[0].power * g.lane.dt + g.profiles[0].energy
+        for g in members
+    ]
+    e_dem = np.array(e_dem_py, dtype=float)
+    v_rise = np.array([g.profiles[0].v_rising for g in members], dtype=float)
+    v_fall = np.array([g.profiles[0].v_falling for g in members], dtype=float)
+    has_fall = bool(np.isfinite(v_fall).any())
+    harvested = np.array(
+        [lane.rail.stats.harvested for lane in lanes], dtype=float
+    )
+    consumed = np.array(
+        [lane.rail.stats.consumed for lane in lanes], dtype=float
+    )
+    starved = np.array(
+        [lane.rail.stats.starved for lane in lanes], dtype=float
+    )
+    dt_raw = np.array([lane.dt for lane in lanes], dtype=float)
+    # Lane-major so each lane's committed trace is a contiguous row
+    # (the per-step column write touches one cache line per lane and
+    # stays resident; a step-major layout would make every lane's
+    # commit re-walk the whole matrix at page stride).  Rows are padded
+    # so the column-write stride is not a power of two — an exact 32 KB
+    # stride would alias every lane onto one cache set.
+    vcc_full = np.empty((m_count, pass_n + 8), dtype=float)
+    taken = horizons.copy()
+    # Compiled fast path: the runtime-built C kernel replays the exact
+    # scalar operation sequence per lane (see repro.sim._ckernel), so
+    # masking, the deferred ledger and the early-exit heuristics are
+    # unnecessary — every lane simply runs to its own event boundary or
+    # horizon.  Ledger totals accumulate in the scalar loop's own
+    # per-step order, so they match solo fast runs bit for bit.
+    kernel = _ckernel.load()
+    if kernel is not None:
+        ptrs = _compiled_windows(lanes, horizons)
+        if ptrs is not None:
+            kernel(
+                m_count, ptrs, horizons, v, cap, v_max, drop, r_total,
+                e_dem, v_rise, v_fall, dt_raw, harvested, consumed,
+                starved, vcc_full, pass_n + 8, taken,
+            )
+            _commit_pass(members, horizons, taken, v, harvested,
+                         consumed, starved, e_dem_py, vcc_full, stats)
+            return
+    # When every lane shares one plan array *and* the same step position
+    # (lock-step batches: the common case for numeric sweeps over a
+    # single harvester configuration), the pass reads a zero-copy 1-D
+    # window of the shared plan and broadcasts each scalar across the
+    # batch — skipping the [pass_n, M] matrix build entirely.  Values
+    # are identical either way (same array, same indices).
+    plan0 = lanes[0].sources[0].values
+    start0 = lanes[0].sim.steps
+    if all(
+        lane.sources[0].values is plan0 and lane.sim.steps == start0
+        for lane in lanes
+    ):
+        # Python-float rows: the fastest scalar ufunc operand path.
+        vals = plan0[start0:start0 + pass_n].tolist()
+    else:
+        vals = _source_windows(members, 0, pass_n)
+    # Parameters every lane agrees on collapse to Python-float operands
+    # (bit-identical arithmetic, one array read per step less; grid
+    # sweeps usually vary only an axis or two).
+    cap = _uniform_scalar(cap)
+    half_c = 0.5 * cap if isinstance(cap, float) else half_c
+    v_max = _uniform_scalar(v_max)
+    drop = _uniform_scalar(drop)
+    r_total = _uniform_scalar(r_total)
+    e_dem = _uniform_scalar(e_dem)
+    v_rise = _uniform_scalar(v_rise)
+    v_fall = _uniform_scalar(v_fall)
+    vcc = vcc_full[:, :pass_n]
+    alive = np.ones(m_count, dtype=bool)
+    alive_all = True
+    min_hz = int(horizons.min())
+    dt_arr = _uniform_scalar(dt_raw)
+    # ``has_fall`` (computed above, pre-scalarization): skip the lower-
+    # threshold comparison when no lane has one (the OFF phase:
+    # v_falling is -inf across the batch) — the upper threshold is
+    # always finite (boot/wake voltages), so it is always checked.
+    # Preallocated per-step scratch: the hot loop runs allocation-free.
+    b_head = np.empty(m_count, dtype=float)
+    b_before = np.empty(m_count, dtype=float)
+    b_q = np.empty(m_count, dtype=float)
+    b_tv = np.empty(m_count, dtype=float)
+    b_after = np.empty(m_count, dtype=float)
+    b_gain = np.empty(m_count, dtype=float)
+    b_rem = np.empty(m_count, dtype=float)
+    b_deliv = np.empty(m_count, dtype=float)
+    b_sdel = np.empty(m_count, dtype=float)
+    b_ge = np.empty(m_count, dtype=bool)
+    b_lt = np.empty(m_count, dtype=bool)
+    b_starve = np.empty(m_count, dtype=bool)
+    b_flag = np.empty(m_count, dtype=bool)
+    # Deferred energy ledger.  Within an uninterrupted run of unmasked
+    # no-starve steps every lane delivers exactly e_dem, and the commit
+    # relation half_c*v'^2 = avail - e_dem makes the per-step harvest
+    # gains telescope:
+    #
+    #   sum(dh) = half_c*(v_end^2 - v_start^2) + n*e_dem
+    #   sum(delivered) = n*e_dem,  sum(starved) = 0
+    #
+    # so the per-step ledger arithmetic drops out of the hot loop and a
+    # segment settles in O(1) vector ops when it closes (a starve, an
+    # event, a frozen lane, or the end of the pass).  The vcc recursion
+    # itself is untouched — traces stay bit-identical; the settled sums
+    # differ from per-step accumulation only by float re-association,
+    # far inside the kernel's documented ~1e-12 metrics tolerance.
+    seg_sq = np.multiply(v, v)
+    seg_start = 0
+    deferred = True
+    committed = 0
+
+    def _settle_segment(upto: int) -> None:
+        """Fold the deferred ledger for steps [seg_start, upto) using the
+        present ``v`` as the segment-end voltage."""
+        nonlocal seg_start
+        n = upto - seg_start
+        if n > 0:
+            t = np.multiply(v, v, out=b_before)
+            np.subtract(t, seg_sq, out=t)
+            np.multiply(t, half_c, out=t)
+            np.add(harvested, t, out=harvested)
+            nd = np.multiply(e_dem, float(n), out=b_gain)
+            np.add(harvested, nd, out=harvested)
+            np.add(consumed, nd, out=consumed)
+        seg_start = upto
+
+    with np.errstate(invalid="ignore", divide="ignore", over="ignore"):
+        for i in range(pass_n):
+            # Shared prefix, scalar-loop order: head = values[i]-v-drop;
+            # vn = v + (head/r_total*dt)/C, clamped to v_max.  The
+            # head>0 gate folds into max(q, 0): a non-positive charge
+            # becomes +0.0 and v + 0.0 is bit-identical to v, and the
+            # energy gain (after - before) is then a - a = +0.0, exactly
+            # the scalar loop's dh = 0.0 for a non-charging step.
+            head = np.subtract(vals[i], v, out=b_head)
+            np.subtract(head, drop, out=head)
+            q = np.divide(head, r_total, out=b_q)
+            np.multiply(q, dt_arr, out=q)
+            np.divide(q, cap, out=q)
+            np.maximum(q, 0.0, out=q)
+            tv = np.add(v, q, out=b_tv)
+            np.minimum(tv, v_max, out=tv)
+            ev = np.greater_equal(tv, v_rise, out=b_ge)
+            if has_fall:
+                lt = np.less(tv, v_fall, out=b_lt)
+                ev = np.logical_or(ev, lt, out=b_ge)
+            after = np.multiply(half_c, tv, out=b_after)
+            np.multiply(after, tv, out=after)
+            if alive_all:
+                starve = np.greater_equal(e_dem, after, out=b_starve)
+                flag = np.logical_or(ev, starve, out=b_flag)
+                if not flag.any():
+                    # Fast path: every lane commits, nobody starves —
+                    # one reduction, no ledger arithmetic (deferred).
+                    rem = np.subtract(after, e_dem, out=b_rem)
+                    np.multiply(rem, 2.0, out=rem)
+                    np.divide(rem, cap, out=rem)
+                    np.sqrt(rem, out=v)
+                    vcc[:, i] = v
+                    committed = i + 1
+                    if i + 1 >= min_hz:
+                        np.greater(horizons, i + 1, out=alive)
+                        alive_all = bool(alive.all())
+                        live = int(np.count_nonzero(alive))
+                        if live == 0:
+                            break
+                        if (
+                            i + 1 >= _EARLY_EXIT_MIN_STEPS
+                            and live * 4 < m_count
+                        ):
+                            np.copyto(taken, i + 1, where=alive)
+                            break
+                    continue
+                if not ev.any():
+                    # Some lane starves but nobody events: settle the
+                    # open segment (v is still the pre-step voltage)
+                    # and take this one step with the explicit ledger.
+                    _settle_segment(i)
+                    before = np.multiply(half_c, v, out=b_before)
+                    np.multiply(before, v, out=before)
+                    gain = np.subtract(after, before, out=b_gain)
+                    np.add(harvested, gain, out=harvested)
+                    rem = np.subtract(after, e_dem, out=b_rem)
+                    np.multiply(rem, 2.0, out=rem)
+                    np.divide(rem, cap, out=rem)
+                    root = np.sqrt(rem, out=rem)
+                    np.copyto(v, root)
+                    np.copyto(v, 0.0, where=starve)
+                    deliv = b_deliv
+                    np.copyto(deliv, e_dem)
+                    np.copyto(deliv, after, where=starve)
+                    np.add(consumed, deliv, out=consumed)
+                    sdel = np.subtract(e_dem, deliv, out=b_sdel)
+                    np.add(starved, sdel, out=starved)
+                    vcc[:, i] = v
+                    committed = i + 1
+                    np.multiply(v, v, out=seg_sq)
+                    seg_start = i + 1
+                    if i + 1 >= min_hz:
+                        np.greater(horizons, i + 1, out=alive)
+                        alive_all = bool(alive.all())
+                        live = int(np.count_nonzero(alive))
+                        if live == 0:
+                            break
+                        if (
+                            i + 1 >= _EARLY_EXIT_MIN_STEPS
+                            and live * 4 < m_count
+                        ):
+                            np.copyto(taken, i + 1, where=alive)
+                            break
+                    continue
+            # Masked path: at least one lane is frozen or events now.
+            if deferred:
+                # All lanes committed steps [seg_start, i) unmasked and
+                # v is unchanged since the last commit: settle once,
+                # then run the explicit per-lane ledger from here on.
+                _settle_segment(i)
+                deferred = False
+            newly = alive & ev
+            if newly.any():
+                np.copyto(taken, i, where=newly)
+            commit = alive & ~ev
+            before = np.multiply(half_c, v, out=b_before)
+            np.multiply(before, v, out=before)
+            gain = np.subtract(after, before, out=b_gain)
+            np.copyto(harvested, harvested + gain, where=commit)
+            starve = np.greater_equal(e_dem, after, out=b_starve)
+            rem = np.subtract(after, e_dem, out=b_rem)
+            np.multiply(rem, 2.0, out=rem)
+            np.divide(rem, cap, out=rem)
+            root = np.sqrt(rem, out=rem)
+            np.copyto(v, root, where=commit)
+            np.copyto(v, 0.0, where=commit & starve)
+            deliv = b_deliv
+            np.copyto(deliv, e_dem)
+            np.copyto(deliv, after, where=starve)
+            np.copyto(consumed, consumed + deliv, where=commit)
+            sdel = np.subtract(e_dem, deliv, out=b_sdel)
+            np.copyto(starved, starved + sdel, where=commit)
+            vcc[:, i] = v
+            alive = commit & (np.int64(i + 1) < horizons)
+            alive_all = False
+            live = int(np.count_nonzero(alive))
+            if live == 0:
+                break
+            if i + 1 >= _EARLY_EXIT_MIN_STEPS and live * 4 < m_count:
+                # Most lanes are frozen: cut the pass short (shorter
+                # chunks are equally valid) and regather.
+                np.copyto(taken, i + 1, where=alive)
+                break
+    if deferred:
+        _settle_segment(committed)
+    _commit_pass(members, horizons, taken, v, harvested, consumed,
+                 starved, e_dem_py, vcc, stats)
+
+
+def _general_pass(members: List[_Gathered], stats: BatchStats) -> None:
+    """Vectorized counterpart of :meth:`SupplyRail._chunk_loop`.
+
+    Handles any mix of rectified/power sources, multiple loads, leakage
+    and ESR draw overhead.  Every lane in the group shares the source
+    kind sequence and load count; all other parameters are per-lane
+    arrays.  Operation order per step matches the scalar loop so every
+    committed step is bit-identical.
+    """
+    _pass_order(members)
+    m_count = len(members)
+    lanes = [g.lane for g in members]
+    n_sources = len(lanes[0].sources)
+    n_loads = len(members[0].profiles)
+    cap_n = _pass_cap(m_count)
+    horizons = np.array(
+        [min(g.horizon, cap_n) for g in members], dtype=np.int64
+    )
+    pass_n = int(horizons.max())
+    dt_arr = np.array([lane.dt for lane in lanes], dtype=float)
+    v = np.array([g.v for g in members], dtype=float)
+    cap = np.array([lane.physics.capacitance for lane in lanes], dtype=float)
+    half_c = 0.5 * cap
+    v_max = np.array([lane.physics.v_max for lane in lanes], dtype=float)
+    e_cap = (half_c * v_max) * v_max
+    overhead = np.array([lane.overhead for lane in lanes], dtype=float)
+    has_leak = any(lane.leak is not None for lane in lanes)
+    leak = np.array(
+        [1.0 if lane.leak is None else lane.leak for lane in lanes],
+        dtype=float,
+    )
+    source_vals = [
+        _source_windows(members, k, pass_n) for k in range(n_sources)
+    ]
+    source_kind = [lanes[0].sources[k].kind for k in range(n_sources)]
+    source_drop = [
+        np.array([lane.sources[k].drop for lane in lanes], dtype=float)
+        for k in range(n_sources)
+    ]
+    source_rt = [
+        np.array([lane.sources[k].r_total for lane in lanes], dtype=float)
+        for k in range(n_sources)
+    ]
+    # Per-load constants; e_const precombined per lane in Python floats
+    # (power * dt + energy), matching the scalar loop's precombination.
+    load_e_const = [
+        np.array(
+            [g.profiles[j].power * g.lane.dt + g.profiles[j].energy
+             for g in members],
+            dtype=float,
+        )
+        for j in range(n_loads)
+    ]
+    load_res = [
+        np.array(
+            [np.inf if g.profiles[j].resistance is None
+             else g.profiles[j].resistance for g in members],
+            dtype=float,
+        )
+        for j in range(n_loads)
+    ]
+    load_cur = [
+        np.array([g.profiles[j].current for g in members], dtype=float)
+        for j in range(n_loads)
+    ]
+    load_gain = [
+        np.array([g.profiles[j].current_gain for g in members], dtype=float)
+        for j in range(n_loads)
+    ]
+    load_rise = [
+        np.array([g.profiles[j].v_rising for g in members], dtype=float)
+        for j in range(n_loads)
+    ]
+    load_fall = [
+        np.array([g.profiles[j].v_falling for g in members], dtype=float)
+        for j in range(n_loads)
+    ]
+    harvested = np.array(
+        [lane.rail.stats.harvested for lane in lanes], dtype=float
+    )
+    leaked = np.array([lane.rail.stats.leaked for lane in lanes], dtype=float)
+    consumed = np.array(
+        [lane.rail.stats.consumed for lane in lanes], dtype=float
+    )
+    starved = np.array(
+        [lane.rail.stats.starved for lane in lanes], dtype=float
+    )
+    esums = [np.zeros(m_count, dtype=float) for _ in range(n_loads)]
+    edems = [None] * n_loads
+    # Lane-major, padded rows: see the matching comment in _simple_pass.
+    vcc = np.empty((m_count, pass_n + 8), dtype=float)[:, :pass_n]
+    taken = horizons.copy()
+    alive = np.ones(m_count, dtype=bool)
+    with np.errstate(invalid="ignore", divide="ignore", over="ignore"):
+        for i in range(pass_n):
+            v0 = v
+            tv = v.copy()
+            h_t = harvested
+            for k in range(n_sources):
+                if source_kind[k] == "v":
+                    head = source_vals[k][i] - v0
+                    head = head - source_drop[k]
+                    pos = head > 0.0
+                    before = (half_c * tv) * tv
+                    q = head / source_rt[k]
+                    q = q * dt_arr
+                    q = q / cap
+                    vn = tv + q
+                    clamped = np.minimum(vn, v_max)
+                    after = (half_c * clamped) * clamped
+                    h_t = np.where(pos, h_t + (after - before), h_t)
+                    tv = np.where(pos, clamped, tv)
+                else:
+                    p = source_vals[k][i]
+                    p_dt = p * dt_arr
+                    ppos = p > 0.0
+                    e = (half_c * tv) * tv
+                    e_new = e + p_dt
+                    over = e_new > e_cap
+                    accepted = e_cap - e
+                    rem = 2.0 * e_new
+                    rem = rem / cap
+                    root = np.sqrt(rem)
+                    h_over = np.where(accepted > 0.0, h_t + accepted, h_t)
+                    h_new = np.where(over, h_over, h_t + p_dt)
+                    tv_new = np.where(over, v_max, root)
+                    tv = np.where(ppos, tv_new, tv)
+                    h_t = np.where(ppos, h_new, h_t)
+            le_t = leaked
+            if has_leak:
+                before = (half_c * tv) * tv
+                tv = tv * leak
+                after = (half_c * tv) * tv
+                le_t = le_t + (before - after)
+            co_t = consumed
+            st_t = starved
+            evstep = np.zeros(m_count, dtype=bool)
+            for j in range(n_loads):
+                ev = (tv >= load_rise[j]) | (tv < load_fall[j])
+                evstep = evstep | ev
+                r_term = ((tv * tv) / load_res[j]) * dt_arr
+                c_term = ((load_cur[j] * tv) * load_gain[j]) * dt_arr
+                e_dem = (r_term + c_term) + load_e_const[j]
+                demand = e_dem * overhead
+                avail = (half_c * tv) * tv
+                starve = demand >= avail
+                rem = avail - demand
+                rem = 2.0 * rem
+                rem = rem / cap
+                root = np.sqrt(rem)
+                delivered = np.where(
+                    starve, avail / overhead, demand / overhead
+                )
+                tv = np.where(starve, 0.0, root)
+                co_t = co_t + delivered
+                st_t = st_t + (e_dem - delivered)
+                edems[j] = e_dem
+            newly = alive & evstep
+            if newly.any():
+                np.copyto(taken, i, where=newly)
+            commit = alive & ~evstep
+            np.copyto(v, tv, where=commit)
+            np.copyto(harvested, h_t, where=commit)
+            if has_leak:
+                np.copyto(leaked, le_t, where=commit)
+            np.copyto(consumed, co_t, where=commit)
+            np.copyto(starved, st_t, where=commit)
+            for j in range(n_loads):
+                np.copyto(esums[j], esums[j] + edems[j], where=commit)
+            vcc[:, i] = v
+            alive = commit & (np.int64(i + 1) < horizons)
+            live = int(np.count_nonzero(alive))
+            if live == 0:
+                break
+            if i + 1 >= _EARLY_EXIT_MIN_STEPS and live * 4 < m_count:
+                np.copyto(taken, i + 1, where=alive)
+                break
+    for m, gathered in enumerate(members):
+        steps_taken = int(taken[m])
+        _commit_lane(
+            gathered.lane,
+            gathered,
+            steps_taken,
+            float(v[m]),
+            {
+                "harvested": float(harvested[m]),
+                "leaked": float(leaked[m]),
+                "consumed": float(consumed[m]),
+                "starved": float(starved[m]),
+            },
+            [float(esums[j][m]) for j in range(n_loads)],
+            vcc[m, :steps_taken],
+            evented=steps_taken < int(horizons[m]),
+            stats=stats,
+        )
+    stats.passes += 1
+
+
+def _finalize(lane: _Lane, capture_traces: Sequence[str],
+              max_trace_samples: int) -> RunResult:
+    """Wrap a finished lane as a RunResult, mirroring run_point_payload."""
+    from repro.core.system import SystemRunResult
+
+    spec = lane.spec
+    try:
+        run = SystemRunResult(
+            t_end=lane.sim.t,
+            traces=lane.sim._recorder.traces(),
+            rail=lane.rail,
+            platform=lane.platform,
+        )
+        return RunResult.from_system_run(
+            run,
+            spec,
+            overrides=lane.overrides,
+            capture_traces=tuple(capture_traces),
+            max_trace_samples=max_trace_samples,
+        )
+    except Exception as error:
+        return RunResult.failed(
+            f"{type(error).__name__}: {error}",
+            spec_hash=spec_hash(spec),
+            name=spec.name,
+            overrides=lane.overrides,
+            spec=spec,
+        )
+
+
+def _run_solo(spec: ScenarioSpec, overrides: Dict[str, Any],
+              capture_traces: Sequence[str],
+              max_trace_samples: int) -> RunResult:
+    """The unbatched per-scenario path, identical to run_point_payload."""
+    try:
+        system = spec.build()
+        run = system.run(spec.duration, decimate=spec.decimate)
+        return RunResult.from_system_run(
+            run,
+            spec,
+            overrides=overrides,
+            capture_traces=tuple(capture_traces),
+            max_trace_samples=max_trace_samples,
+        )
+    except Exception as error:
+        return RunResult.failed(
+            f"{type(error).__name__}: {error}",
+            spec_hash=spec_hash(spec),
+            name=spec.name,
+            overrides=overrides,
+            spec=spec,
+        )
+
+
+def run_specs_batched(
+    specs: Sequence[ScenarioSpec],
+    overrides_list: Optional[Sequence[Dict[str, Any]]] = None,
+    capture_traces: Sequence[str] = (),
+    max_trace_samples: int = MAX_TRACE_SAMPLES,
+    stats: Optional[BatchStats] = None,
+    round_hook: Optional[RoundHook] = None,
+) -> List[RunResult]:
+    """Run a batch of same-topology scenarios through the SoA kernel.
+
+    Returns one :class:`RunResult` per spec, in order — each identical
+    in spec hash, event timing and vcc trace to a per-scenario fast run.
+    Members the batch kernel cannot vectorize run through the untouched
+    per-scenario path (and count as ``diverged`` in ``stats``); a member
+    that fails to build or run becomes an error result, exactly as
+    :func:`repro.spec.runner.run_point_payload` produces.
+
+    Args:
+        specs: the batch members (callers group by :func:`topology_key`;
+            mixed batches still produce correct results, just fewer
+            shared passes).
+        overrides_list: per-member override dicts recorded on results.
+        capture_traces / max_trace_samples: as for the point worker.
+        stats: a :class:`BatchStats` to accumulate into (optional).
+        round_hook: called with the running stats after every round.
+    """
+    if overrides_list is None:
+        overrides_list = [{} for _ in specs]
+    if stats is None:
+        stats = BatchStats()
+    results: List[Optional[RunResult]] = [None] * len(specs)
+    cache = _PlanCache()
+    lanes: List[_Lane] = []
+    for index, (spec, overrides) in enumerate(zip(specs, overrides_list)):
+        overrides = dict(overrides)
+        if not batchable(spec):
+            results[index] = _run_solo(
+                spec, overrides, capture_traces, max_trace_samples
+            )
+            continue
+        try:
+            lane = _build_lane(index, spec, overrides)
+            if not _lane_chunkable(lane) or not _lane_vectorizable(
+                lane, cache
+            ):
+                results[index] = _run_solo(
+                    spec, overrides, capture_traces, max_trace_samples
+                )
+                stats.diverged += 1
+                continue
+        except Exception as error:
+            results[index] = RunResult.failed(
+                f"{type(error).__name__}: {error}",
+                spec_hash=spec_hash(spec),
+                name=spec.name,
+                overrides=overrides,
+                spec=spec,
+            )
+            continue
+        lanes.append(lane)
+    stats.members += len(lanes)
+    try:
+        _drive_lanes(lanes, stats, round_hook)
+        for lane in lanes:
+            results[lane.index] = _finalize(
+                lane, capture_traces, max_trace_samples
+            )
+    except Exception:
+        # Batch-machinery safety net: rerun every unfinished member
+        # through the per-scenario path on a fresh system (results are
+        # deterministic, so a rebuild reproduces the run exactly).
+        for lane in lanes:
+            if results[lane.index] is None:
+                results[lane.index] = _run_solo(
+                    lane.spec, lane.overrides, capture_traces,
+                    max_trace_samples,
+                )
+                stats.diverged += 1
+    return [result for result in results if result is not None]
+
+
+def _drive_lanes(
+    lanes: List[_Lane], stats: BatchStats, round_hook: Optional[RoundHook]
+) -> None:
+    """The round loop: settle, gather, group, pass — until all lanes end."""
+    while True:
+        runnable = [lane for lane in lanes if not lane.done]
+        if not runnable:
+            return
+        if len(runnable) < _MIN_VECTOR_LANES:
+            for lane in runnable:
+                stats.diverged += 1
+                _finish_solo(lane, stats)
+            return
+        # 1. Scalar settlement: event-boundary steps and backoff runs
+        #    execute through the unmodified reference path.
+        for lane in runnable:
+            if lane.pending_scalar and not lane.done:
+                count = lane.pending_scalar
+                lane.pending_scalar = 0
+                _run_scalar_steps(lane, count, stats)
+        # 2. Gather every lane's current regime and group compatible
+        #    shapes for shared passes.
+        groups: Dict[Tuple, List[_Gathered]] = {}
+        for lane in runnable:
+            if lane.done:
+                continue
+            gathered = _gather(lane)
+            if gathered is None:
+                if not lane.done:
+                    lane.backoff = (
+                        min(2 * lane.backoff, _MAX_BACKOFF)
+                        if lane.backoff
+                        else 1
+                    )
+                    lane.pending_scalar = lane.backoff
+                continue
+            lane.backoff = 0
+            groups.setdefault(_group_key(gathered), []).append(gathered)
+        # 3. Advance each group: vectorized passes for real groups, the
+        #    ordinary scalar chunk loop for loners.
+        for key, members in groups.items():
+            if len(members) < _MIN_VECTOR_GROUP or key[0] == "c":
+                for gathered in members:
+                    _advance_chunk_scalar(gathered.lane, stats)
+            elif key[0] == "s":
+                _simple_pass(members, stats)
+            else:
+                _general_pass(members, stats)
+        if round_hook is not None:
+            round_hook(stats)

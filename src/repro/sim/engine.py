@@ -299,6 +299,8 @@ class Simulator:
         )
         conditions = self._stop_conditions
         s_max = self._last_startable_step(t_stop) if t_stop is not None else None
+        if s_max is not None:
+            self._recorder.reserve(s_max + 1)
         # Scheduling heuristics (semantics-neutral: steps not chunked just
         # run per-step): chunks start short and double while fully
         # consumed, so a chunk ending at a nearby event boundary never

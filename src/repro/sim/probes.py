@@ -90,6 +90,10 @@ class Trace:
 #: Initial ring-buffer allocation (samples); buffers double as they fill.
 _INITIAL_CAPACITY = 1024
 
+#: Cap on up-front :meth:`Probe.reserve` allocations (samples) so a huge
+#: requested horizon cannot balloon memory; growth falls back to doubling.
+_MAX_RESERVE = 4_000_000
+
 
 class Probe:
     """Samples ``fn()`` every ``decimate`` engine steps.
@@ -139,6 +143,21 @@ class Probe:
         return self._chunk_fn is not None
 
     # -- storage ---------------------------------------------------------
+
+    def reserve(self, steps: int) -> None:
+        """Pre-size the sample buffers for a run of ``steps`` steps.
+
+        A no-op for ring probes (fixed capacity) and for buffers that
+        are already large enough.  Callers that know the run horizon
+        (the fast kernel, the batched kernel) use this to skip the
+        incremental grow-and-copy churn of long runs.
+        """
+        if self._capacity is not None:
+            return
+        needed = steps // self._decimate + 2
+        if needed > _MAX_RESERVE:
+            needed = _MAX_RESERVE
+        self._grow(needed)
 
     def _grow(self, needed: int) -> None:
         capacity = self._times.size
@@ -223,6 +242,29 @@ class Probe:
         self._append(np.asarray(times[sel], dtype=float),
                      np.asarray(values[sel], dtype=float))
 
+    def sample_chunk_grid(self, first_step: int, k: int, dt: float) -> None:
+        """Record a chunk of ``k`` steps on the regular ``steps * dt`` grid.
+
+        Equivalent to ``sample_chunk(arange(first_step, first_step+k)*dt,
+        chunk_fn(k))`` but materialises only the decimated sample times
+        (``(first_step + j) * dt`` for the selected ``j`` — bit-identical
+        to slicing the full grid, since the integer step indices are
+        exact either way).
+        """
+        if k == 0:
+            return
+        d = self._decimate
+        values = self._chunk_fn(k)
+        first = 0 if d == 1 else d - self._counter - 1
+        self._counter = (self._counter + k) % d
+        if first >= k:
+            return
+        steps = np.arange(first_step + first, first_step + k, d)
+        values = np.asarray(values, dtype=float)
+        if d > 1:
+            values = values[first::d]
+        self._append(steps * dt, values)
+
     def clear(self) -> None:
         """Drop all recorded samples (buffers are kept allocated)."""
         self._counter = 0
@@ -265,6 +307,11 @@ class Recorder:
         self._probes[name] = probe
         return probe
 
+    def reserve(self, steps: int) -> None:
+        """Pre-size every probe's buffers for a run of ``steps`` steps."""
+        for probe in self._probes.values():
+            probe.reserve(steps)
+
     def sample(self, t: float) -> None:
         """Sample every probe at time ``t``."""
         for probe in self._probes.values():
@@ -277,9 +324,8 @@ class Recorder:
         chunk, so sample times are ``first_step*dt .. (first_step+k-1)*dt``
         — the exact ``steps * dt`` grid per-step execution produces.
         """
-        times = np.arange(first_step, first_step + k) * dt
         for probe in self._probes.values():
-            probe.sample_chunk(times, probe._chunk_fn(k))
+            probe.sample_chunk_grid(first_step, k, dt)
 
     def chunk_capable(self) -> bool:
         """True when every probe supports bulk chunk sampling."""

@@ -115,6 +115,13 @@ def resolve(kind: str, name: str) -> Callable[..., Any]:
     return factory
 
 
+#: Introspected-signature cache, keyed by the factory object itself so a
+#: re-registration under the same name invalidates naturally.  Signature
+#: introspection is surprisingly expensive and batch builds resolve the
+#: same few factories thousands of times.
+_SIGNATURE_CACHE: Dict[int, Tuple[Any, Tuple[List[str], bool]]] = {}
+
+
 def accepted_parameters(kind: str, name: str) -> Tuple[List[str], bool]:
     """Keyword parameters ``(kind, name)``'s factory accepts.
 
@@ -123,10 +130,15 @@ def accepted_parameters(kind: str, name: str) -> Tuple[List[str], bool]:
         takes ``**kwargs`` so any keyword is potentially valid.
     """
     factory = resolve(kind, name)
+    cached = _SIGNATURE_CACHE.get(id(factory))
+    if cached is not None and cached[0] is factory:
+        return cached[1]
     try:
         signature = inspect.signature(factory)
     except (TypeError, ValueError):  # builtins without introspectable sigs
-        return [], True
+        result: Tuple[List[str], bool] = ([], True)
+        _SIGNATURE_CACHE[id(factory)] = (factory, result)
+        return result
     names: List[str] = []
     open_ended = False
     for parameter in signature.parameters.values():
@@ -137,7 +149,9 @@ def accepted_parameters(kind: str, name: str) -> Tuple[List[str], bool]:
             inspect.Parameter.KEYWORD_ONLY,
         ):
             names.append(parameter.name)
-    return names, open_ended
+    result = (names, open_ended)
+    _SIGNATURE_CACHE[id(factory)] = (factory, result)
+    return result
 
 
 def validate_params(kind: str, name: str, params: Dict[str, Any]) -> None:

@@ -135,6 +135,54 @@ def _payload_spec(payload: Dict[str, Any]) -> ScenarioSpec:
     return _SHARED_BASE.with_overrides(payload["spec_overrides"])
 
 
+def _run_batch_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker body for a whole-batch task: M grid points in one payload.
+
+    Members resolve against the shared base spec exactly like
+    override-only point tasks, then run together through the batched
+    SoA kernel (:func:`repro.sim.batch.run_specs_batched`) — identical
+    spec hashes, metrics and traces per member, one worker round-trip
+    for the whole batch.  Returns ``{"batch": [records...], "stats":
+    {...}}`` with one record per member, in member order.
+    """
+    from repro.sim.batch import BatchStats, run_specs_batched
+
+    member_tasks = payload["spec_overrides_batch"]
+    overrides_list = payload.get("overrides_batch") or member_tasks
+    records: List[Optional[Dict[str, Any]]] = [None] * len(member_tasks)
+    specs: List[ScenarioSpec] = []
+    spec_overrides: List[Dict[str, Any]] = []
+    positions: List[int] = []
+    for index, task in enumerate(member_tasks):
+        try:
+            spec = _payload_spec({"spec_overrides": task})
+        except Exception as error:
+            records[index] = RunResult.failed(
+                f"{type(error).__name__}: {error}",
+                spec_hash=_task_failure_key(
+                    {"spec_overrides": task}, _SHARED_BASE_DICT
+                ),
+                overrides=dict(overrides_list[index]),
+            ).to_record()
+            continue
+        specs.append(spec)
+        spec_overrides.append(dict(overrides_list[index]))
+        positions.append(index)
+    stats = BatchStats()
+    results = run_specs_batched(
+        specs,
+        overrides_list=spec_overrides,
+        capture_traces=tuple(payload.get("traces", ())),
+        max_trace_samples=payload.get(
+            "max_trace_samples", MAX_TRACE_SAMPLES
+        ),
+        stats=stats,
+    )
+    for position, result in zip(positions, results):
+        records[position] = result.to_record()
+    return {"batch": records, "stats": stats.to_dict()}
+
+
 def run_point_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Process-pool worker: one grid point in, one result record out.
 
@@ -143,7 +191,14 @@ def run_point_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     warm-worker tasks, ``"spec_overrides"`` (applied to the shared base
     spec) in place of ``"spec"``; the return value is a
     :meth:`RunResult.to_record` dict.
+
+    A *batch* payload (``"spec_overrides_batch"``: a list of override
+    dicts) runs all its members through the batched SoA kernel in one
+    task and returns ``{"batch": [records...], "stats": {...}}``
+    instead (see :func:`_run_batch_payload`).
     """
+    if "spec_overrides_batch" in payload:
+        return _run_batch_payload(payload)
     overrides = dict(payload.get("overrides", {}))
     try:
         spec = _payload_spec(payload)
@@ -197,6 +252,12 @@ class BatchProgress:
         cached: points satisfied from the result store in this batch.
         errors: points in this batch whose row carries an error.
         total: cumulative points satisfied so far across the run.
+        members: points that ran through the batched SoA kernel (None
+            when batching was off for this batch).
+        passes: vectorized passes the batched kernel executed.
+        advanced: member-steps advanced inside vectorized passes.
+        settled: members settled scalar-side at event boundaries.
+        diverged: members that degraded to the per-scenario kernel.
     """
 
     label: str
@@ -205,14 +266,28 @@ class BatchProgress:
     cached: int
     errors: int
     total: int
+    members: Optional[int] = None
+    passes: Optional[int] = None
+    advanced: Optional[int] = None
+    settled: Optional[int] = None
+    diverged: Optional[int] = None
 
     def describe(self) -> str:
         """The canonical one-line rendering of this event."""
-        return (
+        line = (
             f"[{self.label}] batch {self.batch}: "
             f"{self.computed} computed, {self.cached} cached, "
             f"{self.errors} error(s); {self.total} total"
         )
+        if self.members is not None:
+            line += (
+                f" [batched: {self.members} members, "
+                f"{self.passes or 0} passes, "
+                f"{self.advanced or 0} advanced, "
+                f"{self.settled or 0} settled, "
+                f"{self.diverged or 0} diverged]"
+            )
+        return line
 
 
 #: The progress-hook signature accepted by runners and drivers.
@@ -246,7 +321,29 @@ def _is_worker_crash(result: Optional[RunResult]) -> bool:
 def _worker_failure(
     payload: Dict[str, Any], error: BaseException, base_spec=None
 ) -> Dict[str, Any]:
-    """The error record pinned to a payload whose worker crashed."""
+    """The error record pinned to a payload whose worker crashed.
+
+    A batch payload comes back as ``{"batch": [...]}`` with one crash
+    record per member — keyed exactly like the member's own
+    resolution-failure path, so either scheme finds the other's rows.
+    """
+    if "spec_overrides_batch" in payload:
+        name = (base_spec or {}).get("name", "scenario")
+        member_tasks = payload["spec_overrides_batch"]
+        overrides_list = payload.get("overrides_batch") or member_tasks
+        return {
+            "batch": [
+                RunResult.failed(
+                    f"{WORKER_FAILURE_PREFIX}{type(error).__name__}: {error}",
+                    spec_hash=_task_failure_key(
+                        {"spec_overrides": task}, base_spec
+                    ),
+                    name=name,
+                    overrides=dict(overrides),
+                ).to_record()
+                for task, overrides in zip(member_tasks, overrides_list)
+            ]
+        }
     if "spec" in payload:
         name = payload["spec"].get("name", "scenario")
     else:
@@ -561,6 +658,97 @@ def execute_payloads(
         transient.close()
 
 
+def group_batch_payloads(
+    payloads: List[Dict[str, Any]],
+    specs: Sequence[ScenarioSpec],
+    batch_size: Optional[int],
+) -> Tuple[List[Dict[str, Any]], List[int]]:
+    """Regroup per-point payloads into batched-kernel payloads.
+
+    Points whose specs share a topology (same component skeleton, fast
+    kernel — see :func:`repro.sim.batch.topology_key`) merge into batch
+    payloads of up to ``batch_size`` members; everything else (full-spec
+    payloads, non-batchable specs, singleton groups) passes through
+    untouched.  ``batch_size`` semantics: ``None`` or ``1`` disables
+    grouping, ``0`` (or negative) picks
+    :data:`repro.sim.batch.AUTO_BATCH_SIZE`.
+
+    Returns:
+        ``(grouped, order)`` — ``grouped`` is the payload list to
+        execute, and ``order[k]`` is the index into ``payloads`` of the
+        k-th record after :func:`flatten_batch_records` (batch payloads
+        contribute one record per member, in member order).
+    """
+    identity = list(range(len(payloads)))
+    if batch_size is None or batch_size == 1 or len(payloads) < 2:
+        return list(payloads), identity
+    from repro.sim.batch import AUTO_BATCH_SIZE, batchable, topology_key
+
+    size = batch_size if batch_size > 1 else AUTO_BATCH_SIZE
+    groups: Dict[str, List[int]] = {}
+    solo: List[int] = []
+    for index, (payload, spec) in enumerate(zip(payloads, specs)):
+        if "spec_overrides" in payload and batchable(spec):
+            groups.setdefault(topology_key(spec), []).append(index)
+        else:
+            solo.append(index)
+    grouped: List[Dict[str, Any]] = []
+    order: List[int] = []
+    for indices in groups.values():
+        if len(indices) < 2:
+            solo.extend(indices)
+            continue
+        for begin in range(0, len(indices), size):
+            chunk = indices[begin : begin + size]
+            if len(chunk) < 2:
+                solo.extend(chunk)
+                continue
+            first = payloads[chunk[0]]
+            batch_payload: Dict[str, Any] = {
+                "spec_overrides_batch": [
+                    payloads[i]["spec_overrides"] for i in chunk
+                ],
+                "overrides_batch": [
+                    payloads[i].get("overrides", {}) for i in chunk
+                ],
+                "traces": list(first.get("traces", ())),
+            }
+            if "max_trace_samples" in first:
+                batch_payload["max_trace_samples"] = first[
+                    "max_trace_samples"
+                ]
+            grouped.append(batch_payload)
+            order.extend(chunk)
+    for index in sorted(solo):
+        grouped.append(payloads[index])
+        order.append(index)
+    return grouped, order
+
+
+def flatten_batch_records(
+    records: List[Dict[str, Any]],
+) -> Tuple[List[Dict[str, Any]], Dict[str, int]]:
+    """Expand batch worker records back to one record per point.
+
+    The inverse of :func:`group_batch_payloads`'s regrouping: batch
+    records (``{"batch": [...], "stats": {...}}``) contribute their
+    members in order, point records pass through — so the flattened list
+    lines up with the ``order`` index list.  Batch stats sum across all
+    batches into the returned totals dict (empty when nothing batched).
+    """
+    flat: List[Dict[str, Any]] = []
+    totals: Dict[str, int] = {}
+    for record in records:
+        if isinstance(record, dict) and "batch" in record:
+            flat.extend(record["batch"])
+            for key, value in (record.get("stats") or {}).items():
+                totals[key] = totals.get(key, 0) + int(value)
+            totals.setdefault("members", 0)
+        else:
+            flat.append(record)
+    return flat, totals
+
+
 @dataclass(frozen=True)
 class SweepResult:
     """All grid points of one sweep, in grid order.
@@ -703,6 +891,7 @@ class SweepRunner:
         progress: Optional[ProgressHook] = None,
         pool: Optional[WarmPool] = None,
         store_backend: Optional[str] = None,
+        batch_size: Optional[int] = None,
     ) -> SweepResult:
         """Execute the grid; rows come back in grid order.
 
@@ -721,6 +910,11 @@ class SweepRunner:
                 event (a sweep is one batch) once the grid is satisfied.
             pool: a caller-managed :class:`WarmPool` to execute on (left
                 open); this sweep's base spec rides along per batch.
+            batch_size: group points sharing a topology into batched
+                SoA-kernel tasks of up to this many members (``0`` =
+                :data:`repro.sim.batch.AUTO_BATCH_SIZE`; ``None``/``1``
+                = per-point execution).  Results are identical either
+                way — same spec hashes, metrics and store rows.
         """
         if store is not None and not isinstance(store, ResultStore):
             store = ResultStore(store, backend=store_backend)
@@ -733,9 +927,26 @@ class SweepRunner:
             if not (resume and self.hashes[i] in store
                     and not _is_worker_crash(store.get(self.hashes[i])))
         ]
-        records = self._execute(
-            self._payloads(pending, capture_traces), parallel, pool=pool
-        )
+        payloads = self._payloads(pending, capture_traces)
+        batch_stats: Dict[str, int] = {}
+        if batch_size is not None and batch_size != 1:
+            grouped, order = group_batch_payloads(
+                payloads, [self.specs[i] for i in pending], batch_size
+            )
+            raw = self._execute(grouped, parallel, pool=pool)
+            flat, batch_stats = flatten_batch_records(raw)
+            records: List[Optional[Dict[str, Any]]] = [None] * len(payloads)
+            for position, record in zip(order, flat):
+                records[position] = record
+            for position, record in enumerate(records):
+                if record is None:  # a worker returned a short batch
+                    records[position] = _worker_failure(
+                        payloads[position],
+                        RuntimeError("batch worker returned no record"),
+                        self.base.to_dict(),
+                    )
+        else:
+            records = self._execute(payloads, parallel, pool=pool)
         computed: Dict[int, RunResult] = {}
         # One batched store transaction: appends buffer and hit the disk
         # with a single fsync instead of one per point.
@@ -765,6 +976,12 @@ class SweepRunner:
                 cached=len(points) - len(computed),
                 errors=sum(1 for p in points if p.error is not None),
                 total=len(points),
+                members=batch_stats.get("members")
+                if batch_stats else None,
+                passes=batch_stats.get("passes"),
+                advanced=batch_stats.get("advanced"),
+                settled=batch_stats.get("settled"),
+                diverged=batch_stats.get("diverged"),
             ))
         return SweepResult(
             base_name=self.base.name,
