@@ -33,6 +33,15 @@ one fails (so one regression does not mask another):
   and both must return identical query answers.  CI runs a reduced row
   count (``--store-rows``); the gated number is a same-machine ratio,
   so it transfers to the committed 1M-row ``BENCH_store.json``.
+* **obs** — the instrumentation-overhead harness (``perf_obs.py``):
+  runs with the default-on metrics layer enabled must stay within 3%
+  of the same runs with observability disabled (``REPRO_OBS=0``),
+  on both the kernel and sweep regimes BENCH_kernel/BENCH_sweep gate.
+
+Every invocation also appends one timestamped JSON line of gate
+verdicts (and the headline numbers behind them) to ``BENCH_history.jsonl``
+at the repo root — a machine-readable record of how the gates moved
+run over run (``--history`` to redirect it, ``--no-history`` to skip).
 
 The sweep section's pool-vs-serial floor only *enforces* on multi-core
 runners; on a single-CPU runner the speedup is recorded but cannot gate
@@ -64,6 +73,10 @@ from perf_explore import (
     run_benchmarks as run_explore_benchmarks,
 )
 from perf_kernel import SPEEDUP_FLOORS, run_benchmarks
+from perf_obs import (
+    format_summary as format_obs_summary,
+    run_benchmarks as run_obs_benchmarks,
+)
 from perf_serve import (
     format_summary as format_serve_summary,
     run_benchmarks as run_serve_benchmarks,
@@ -177,9 +190,52 @@ def sweep_gate_rows(sweep_fresh: dict) -> list:
     return rows
 
 
+def append_history(path: Path, sections: dict, kernel_fresh,
+                   sweep_fresh, obs_fresh) -> None:
+    """Append one timestamped gate-verdict line to the history JSONL.
+
+    Each line is self-contained: UTC timestamp, pass/fail (with the
+    failure messages) per gate section, and the headline numbers —
+    kernel speedups, sweep mode speedups, obs overheads — so trends are
+    greppable without re-running anything.  Failures to write (read-only
+    checkout, odd CI sandbox) are reported but never fail the gate.
+    """
+    import datetime
+
+    record = {
+        "timestamp": datetime.datetime.now(
+            datetime.timezone.utc
+        ).isoformat(timespec="seconds"),
+        "gates": {
+            name: {"pass": not failures, "failures": failures}
+            for name, failures in sections.items()
+        },
+        "kernel_speedups": {
+            name: case["speedup"]
+            for name, case in (kernel_fresh or {}).get("cases", {}).items()
+        },
+        "sweep_speedups": {
+            mode: case["speedup"]
+            for mode, case in (sweep_fresh or {}).get("modes", {}).items()
+            if "speedup" in case
+        },
+        "obs_overheads": {
+            name: case["overhead"]
+            for name, case in (obs_fresh or {}).get("cases", {}).items()
+        },
+    }
+    try:
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write(json.dumps(record, sort_keys=True) + "\n")
+        print(f"appended gate history to {path}")
+    except OSError as error:
+        print(f"NOTE: could not append gate history to {path}: {error}")
+
+
 def write_github_summary(sections: dict, baseline: dict, fresh: dict,
                          sweep_fresh, explore_fresh,
-                         serve_fresh=None, store_fresh=None) -> None:
+                         serve_fresh=None, store_fresh=None,
+                         obs_fresh=None) -> None:
     """Append the before/after table to the Actions job summary, if any."""
     path = os.environ.get("GITHUB_STEP_SUMMARY")
     if not path:
@@ -229,6 +285,9 @@ def write_github_summary(sections: dict, baseline: dict, fresh: dict,
     if store_fresh is not None:
         lines += ["", "### Store backends", "",
                   "```", format_store_summary(store_fresh), "```"]
+    if obs_fresh is not None:
+        lines += ["", "### Instrumentation overhead", "",
+                  "```", format_obs_summary(obs_fresh), "```"]
     for name, failures in sections.items():
         if failures:
             lines += ["", f"### {name} failures", ""]
@@ -270,6 +329,18 @@ def main(argv=None) -> int:
                              "path")
     parser.add_argument("--skip-store", action="store_true",
                         help="skip the store-backend benchmarks")
+    parser.add_argument("--obs-output", type=Path, default=None,
+                        help="write the fresh obs-overhead results to this "
+                             "path")
+    parser.add_argument("--skip-obs", action="store_true",
+                        help="skip the instrumentation-overhead benchmarks")
+    parser.add_argument("--history", type=Path,
+                        default=Path(__file__).resolve().parents[2]
+                        / "BENCH_history.jsonl",
+                        help="append one timestamped gate-verdict line "
+                             "per run to this JSONL file")
+    parser.add_argument("--no-history", action="store_true",
+                        help="do not append to the gate history file")
     parser.add_argument("--store-rows", type=int, default=200_000,
                         help="row count for the store-backend section "
                              "(the committed BENCH_store.json baseline "
@@ -426,10 +497,32 @@ def main(argv=None) -> int:
                   "answers identical")
             print(format_store_summary(store_fresh))
 
+    # -- obs gate (instrumentation overhead ceiling) ---------------------
+    obs_fresh = None
+    if not args.skip_obs:
+        try:
+            obs_fresh = run_obs_benchmarks()
+            sections["obs"] = []
+        except AssertionError as error:
+            sections["obs"] = [str(error)]
+            print(f"obs overhead regression detected:\n  - {error}")
+        if obs_fresh is not None:
+            if args.obs_output is not None:
+                args.obs_output.write_text(
+                    json.dumps(obs_fresh, indent=2) + "\n",
+                    encoding="utf-8",
+                )
+            print("obs overhead OK: instrumented runs within the ceiling")
+            print(format_obs_summary(obs_fresh))
+
     write_github_summary(
         sections, baseline, fresh or {"cases": {}}, sweep_fresh,
-        explore_fresh, serve_fresh, store_fresh,
+        explore_fresh, serve_fresh, store_fresh, obs_fresh,
     )
+    if not args.no_history:
+        append_history(
+            args.history, sections, fresh, sweep_fresh, obs_fresh,
+        )
     return 1 if any(sections.values()) else 0
 
 

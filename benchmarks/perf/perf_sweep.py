@@ -42,7 +42,7 @@ from pathlib import Path
 
 from repro.results.store import ResultStore
 from repro.spec.presets import preset
-from repro.spec.runner import SweepRunner
+from repro.spec.runner import POOL_GATE_MIN_CPUS, SweepRunner
 from repro.spec.specs import (
     HarvesterSpec,
     PlatformSpec,
@@ -54,9 +54,11 @@ from repro.spec.specs import (
 #: serial recomputation.
 CACHED_SPEEDUP_FLOOR = 10.0
 
-#: On a runner with at least this many CPUs, the warm-worker pool must
-#: beat serial points/sec by at least POOL_SPEEDUP_FLOOR.
-POOL_GATE_MIN_CPUS = 2
+#: On a runner with at least POOL_GATE_MIN_CPUS CPUs (the canonical
+#: constant lives in :mod:`repro.spec.runner`, next to the pool it
+#: describes — the service /metrics gate status reads the same one),
+#: the warm-worker pool must beat serial points/sec by at least
+#: POOL_SPEEDUP_FLOOR.
 POOL_SPEEDUP_FLOOR = 1.5
 
 #: The batched SoA kernel must beat per-point serial execution by at

@@ -14,6 +14,8 @@
         --output explore.jsonl --resume
     python -m repro.cli results sweep.jsonl --best energy_total
     python -m repro.cli serve --port 8000 --store service.jsonl
+    python -m repro.cli sweep --set frequency=2,10 --trace-out trace.json
+    python -m repro.cli obs trace.json
     python -m repro.cli components
 
 The figure subcommands run the reproduction scenarios and print the same
@@ -28,15 +30,20 @@ after the fact: tabulate, merge shards, pick bests, extract Pareto
 frontiers.  ``serve`` runs the whole stack as a long-lived HTTP service
 (see :mod:`repro.serve`): clients POST specs/grids/search-spaces, jobs
 queue onto one warm worker pool, and a shared store dedupes overlapping
-work across clients.
+work across clients.  ``run``/``sweep``/``explore`` take ``--trace-out``
+to record kernel/pool/store spans (see :mod:`repro.obs`) as Chrome
+trace-event JSON, and ``obs`` summarizes such a file as text tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
-from typing import List, Optional
+from typing import Iterator, List, Optional
+
+from repro import obs
 
 from repro.analysis.crossover import crossover_from_store, series_from_store
 from repro.analysis.pareto import pareto_from_store
@@ -84,6 +91,7 @@ def cmd_list(_: argparse.Namespace) -> int:
         ["explore", "budgeted design-space search with an optimizer"],
         ["results", "query a persisted sweep result store"],
         ["serve", "run the HTTP simulation service (job queue + store)"],
+        ["obs", "summarize a --trace-out trace file (spans + metrics)"],
         ["components", "list the registered spec components"],
     ]
     print(format_table(["command", "experiment"], rows))
@@ -243,6 +251,26 @@ def cmd_crossover(args: argparse.Namespace) -> int:
     return 0
 
 
+@contextlib.contextmanager
+def _maybe_tracing(trace_out: Optional[str]) -> Iterator[None]:
+    """Capture spans for the block and export them to ``trace_out``.
+
+    With no ``--trace-out`` this is free — tracing stays off and every
+    ``obs.span`` in the stack returns the shared no-op.  With a path,
+    spans buffer in memory for the duration of the command and land as
+    one Chrome trace-event JSON file (open it in Perfetto or
+    ``chrome://tracing``, or summarize it with ``repro obs``).
+    """
+    if trace_out is None:
+        yield
+        return
+    with obs.capture():
+        yield
+    count = obs.export_trace(trace_out)
+    print(f"\nwrote {count} trace event(s) to {trace_out} "
+          f"(view: Perfetto / chrome://tracing; summarize: repro obs)")
+
+
 def _print_run_summary(spec: ScenarioSpec, result) -> None:
     vcc = result.vcc()
     print_section(
@@ -353,21 +381,24 @@ def cmd_run(args: argparse.Namespace) -> int:
         spec = spec.with_override("kernel", args.kernel)
     if args.duration is not None:
         spec = spec.with_override("duration", args.duration)
-    if getattr(args, "profile", False):
-        result, profile_report = _profiled_run(spec)
-        _print_run_summary(spec, result)
-        print()
-        print(profile_report)
-    else:
-        result = spec.run()
-        _print_run_summary(spec, result)
-    if args.output is not None:
-        store = ResultStore(args.output, backend=args.backend)
-        store.add(
-            RunResult.from_system_run(result, spec, capture_traces=("vcc",)),
-            overwrite=True,
-        )
-        print(f"\nstored 1 result ({len(store)} total) in {args.output}")
+    with _maybe_tracing(args.trace_out):
+        if getattr(args, "profile", False):
+            result, profile_report = _profiled_run(spec)
+            _print_run_summary(spec, result)
+            print()
+            print(profile_report)
+        else:
+            result = spec.run()
+            _print_run_summary(spec, result)
+        if args.output is not None:
+            store = ResultStore(args.output, backend=args.backend)
+            store.add(
+                RunResult.from_system_run(
+                    result, spec, capture_traces=("vcc",)
+                ),
+                overwrite=True,
+            )
+            print(f"\nstored 1 result ({len(store)} total) in {args.output}")
     if result.platform is None:
         return 0
     return 0 if result.platform.metrics.first_completion_time is not None else 1
@@ -426,10 +457,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     progress = None
     if args.progress:
         progress = lambda event: print(f"  {event.describe()}")
-    result = runner.run(
-        parallel=not args.serial, store=store, resume=args.resume,
-        progress=progress, batch_size=args.batch_size,
-    )
+    with _maybe_tracing(args.trace_out):
+        result = runner.run(
+            parallel=not args.serial, store=store, resume=args.resume,
+            progress=progress, batch_size=args.batch_size,
+        )
     mode = "serial" if args.serial else "parallel"
     print_section(
         f"sweep: {base.name}, {len(runner)} points ({mode})",
@@ -539,7 +571,8 @@ def cmd_explore(args: argparse.Namespace) -> int:
     goals = ", ".join(o.describe() for o in driver.objectives)
     print(f"explore: {base.name} via {args.optimizer} "
           f"(budget {args.budget}, {goals})")
-    outcome = driver.run(budget=args.budget)
+    with _maybe_tracing(args.trace_out):
+        outcome = driver.run(budget=args.budget)
     print_section(
         f"top {min(args.top, len(outcome))} of {len(outcome)} evaluation(s)",
         outcome.format(top=args.top),
@@ -640,6 +673,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Summarize a ``--trace-out`` trace file as human-readable tables.
+
+    Prints the top spans by cumulative time plus — when the trace was
+    exported with a metrics snapshot (every ``--trace-out`` export is)
+    — counter/gauge values and histogram summaries with p50/p99
+    estimates.  The same file loads unchanged in Perfetto or
+    ``chrome://tracing`` for the timeline view.
+    """
+    from repro.obs.report import load_trace, render_report
+
+    if not os.path.exists(args.trace):
+        raise ReproError(f"no trace file at {args.trace!r}")
+    print(render_report(load_trace(args.trace), top=args.top))
+    return 0
+
+
 def cmd_components(_: argparse.Namespace) -> int:
     """List every registered spec component by kind."""
     rows = [[kind, ", ".join(available(kind))] for kind in kinds()]
@@ -689,6 +739,15 @@ def build_parser() -> argparse.ArgumentParser:
                  "either way",
         )
 
+    def add_trace_flag(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--trace-out", default=None, metavar="TRACE.json",
+            help="record kernel/pool/store spans for this command and "
+                 "write them as Chrome trace-event JSON (open in "
+                 "Perfetto or chrome://tracing, or summarize with "
+                 "'repro obs TRACE.json')",
+        )
+
     fig7 = sub.add_parser("fig7", help="Fig. 7 Hibernus FFT")
     fig7.add_argument("--fft-size", type=int, default=512)
     fig7.add_argument("--supply-hz", type=float, default=4.7)
@@ -729,6 +788,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "per-component cumulative-time breakdown plus "
                           "the hottest functions")
     add_kernel_flag(run)
+    add_trace_flag(run)
     run.set_defaults(fn=cmd_run)
 
     sweep = sub.add_parser("sweep", help="run a parameter grid in parallel")
@@ -754,6 +814,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print computed/cached/error counts per batch")
     add_batch_size_flag(sweep)
     add_kernel_flag(sweep)
+    add_trace_flag(sweep)
     sweep.set_defaults(fn=cmd_sweep)
 
     explore = sub.add_parser(
@@ -807,6 +868,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="rows of the ranked table to print")
     add_batch_size_flag(explore)
     add_kernel_flag(explore)
+    add_trace_flag(explore)
     explore.set_defaults(fn=cmd_explore)
 
     results = sub.add_parser(
@@ -849,6 +911,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run grid points on the executor thread "
                             "instead of a process pool")
     serve.set_defaults(fn=cmd_serve)
+
+    obs_cmd = sub.add_parser(
+        "obs", help="summarize a --trace-out trace file"
+    )
+    obs_cmd.add_argument("trace", metavar="TRACE.json",
+                         help="Chrome trace JSON written by --trace-out "
+                              "or GET /v1/trace")
+    obs_cmd.add_argument("--top", type=int, default=20,
+                         help="rows of the span table to print")
+    obs_cmd.set_defaults(fn=cmd_obs)
 
     components = sub.add_parser("components", help="list spec components")
     components.set_defaults(fn=cmd_components)

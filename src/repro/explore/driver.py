@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ExploreError
+from repro import obs
 from repro.explore.objectives import Objective, normalize_objectives, scores
 from repro.explore.optimizers import (
     FULL_FIDELITY,
@@ -512,6 +513,8 @@ class ExplorationDriver:
             )
             if self.parallel else None
         )
+        explore_span = obs.span("explore.run", label=self.base.name)
+        explore_span.__enter__()
         try:
             while not optimizer.done:
                 batch = optimizer.ask()
@@ -526,25 +529,31 @@ class ExplorationDriver:
                 computed_full += batch_full
                 cached += len(batch_evals) - batch_computed
                 batches += 1
+                # Progress always flows through the obs layer first (one
+                # shared stream), then to any caller hook.
+                stats = self._last_batch_stats
+                event = BatchProgress(
+                    label=self.base.name,
+                    batch=batches,
+                    computed=batch_computed,
+                    cached=len(batch_evals) - batch_computed,
+                    errors=sum(
+                        1 for e in batch_evals
+                        if e.result.error is not None
+                    ),
+                    total=len(evaluations),
+                    members=stats.get("members") if stats else None,
+                    passes=stats.get("passes"),
+                    advanced=stats.get("advanced"),
+                    settled=stats.get("settled"),
+                    diverged=stats.get("diverged"),
+                )
+                obs.record_progress(event)
                 if self.progress is not None:
-                    stats = self._last_batch_stats
-                    self.progress(BatchProgress(
-                        label=self.base.name,
-                        batch=batches,
-                        computed=batch_computed,
-                        cached=len(batch_evals) - batch_computed,
-                        errors=sum(
-                            1 for e in batch_evals
-                            if e.result.error is not None
-                        ),
-                        total=len(evaluations),
-                        members=stats.get("members") if stats else None,
-                        passes=stats.get("passes"),
-                        advanced=stats.get("advanced"),
-                        settled=stats.get("settled"),
-                        diverged=stats.get("diverged"),
-                    ))
+                    self.progress(event)
         finally:
+            explore_span.annotate(batches=batches, computed=computed)
+            explore_span.__exit__(None, None, None)
             if self._pool is not None and owns_pool:
                 self._pool.close()
             self._pool = None

@@ -1,0 +1,134 @@
+"""``repro.obs`` — the unified instrumentation layer.
+
+Two primitives, one enablement switch:
+
+* **Metrics** (:mod:`repro.obs.metrics`): a process-wide get-or-create
+  registry of counters, gauges and fixed-bucket histograms.  On by
+  default (the enabled path is a lock + float add, bumped per run / per
+  batch / per request — never per simulation step); ``REPRO_OBS=0``
+  or :func:`set_obs_enabled` reduces every update to an attribute
+  check.
+* **Spans** (:mod:`repro.obs.trace`): ``with obs.span("kernel.run",
+  kernel="fast"):`` context managers on monotonic clocks, captured into
+  a bounded buffer only while tracing is enabled (``--trace-out``, the
+  service's ``/v1/trace`` window, or :class:`capture` in tests) and
+  exported as Chrome trace-event JSON.
+
+Instrumented layers import this package as ``from repro import obs``
+and use the module-level helpers; nothing needs wiring or setup.  See
+DESIGN.md "Observability" for the naming scheme and the checklist for
+instrumenting a new component.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    obs_enabled,
+    registry,
+    set_obs_enabled,
+)
+from repro.obs.trace import (
+    absorb,
+    capture,
+    chrome_trace,
+    disable_tracing,
+    drain,
+    dropped_events,
+    enable_tracing,
+    events,
+    instant,
+    span,
+    tracing_enabled,
+    write_trace,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "obs_enabled",
+    "set_obs_enabled",
+    "counter",
+    "gauge",
+    "histogram",
+    "span",
+    "instant",
+    "capture",
+    "tracing_enabled",
+    "enable_tracing",
+    "disable_tracing",
+    "events",
+    "drain",
+    "absorb",
+    "dropped_events",
+    "chrome_trace",
+    "write_trace",
+    "record_progress",
+    "export_trace",
+]
+
+
+def counter(name: str, **labels: Any) -> Counter:
+    """``registry.counter`` shorthand."""
+    return registry.counter(name, **labels)
+
+
+def gauge(name: str, **labels: Any) -> Gauge:
+    """``registry.gauge`` shorthand."""
+    return registry.gauge(name, **labels)
+
+
+def histogram(name: str, buckets=None, **labels: Any) -> Histogram:
+    """``registry.histogram`` shorthand."""
+    return registry.histogram(name, buckets=buckets, **labels)
+
+
+def record_progress(event: Any) -> None:
+    """Fold one :class:`repro.spec.runner.BatchProgress` into the layer.
+
+    Called centrally by the sweep runner and exploration driver for
+    every batch — whether or not a ``--progress`` hook is attached — so
+    the CLI progress stream, job event logs and ``/metrics`` all read
+    from the same numbers.  Bumps the progress counters and, when a
+    trace is being captured, emits one instant event marking the batch
+    on the timeline.
+    """
+    if not obs_enabled():
+        return
+    registry.counter("repro_progress_batches_total").inc()
+    registry.counter("repro_points_computed_total").inc(event.computed)
+    registry.counter("repro_points_cached_total").inc(event.cached)
+    registry.counter("repro_points_errors_total").inc(event.errors)
+    instant(
+        "progress.batch",
+        label=event.label,
+        batch=event.batch,
+        computed=event.computed,
+        cached=event.cached,
+        errors=event.errors,
+        total=event.total,
+    )
+
+
+def export_trace(path: str, metrics: Optional[Mapping[str, Any]] = None) -> int:
+    """Drain the span buffer to a Chrome trace file at ``path``.
+
+    The CLI ``--trace-out`` epilogue: the buffered events are consumed
+    (so back-to-back runs in one process don't bleed together) and the
+    current metrics snapshot rides along under ``otherData.metrics``
+    unless an explicit snapshot is passed.  Returns the event count.
+    """
+    snapshot: Dict[str, Any] = (
+        dict(metrics) if metrics is not None else registry.snapshot()
+    )
+    return write_trace(path, trace_events=drain(), metrics=snapshot)

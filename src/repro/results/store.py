@@ -24,10 +24,12 @@ from __future__ import annotations
 
 import math
 import os
+import time
 import warnings
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Union
 
+from repro import obs
 from repro.errors import ResultStoreError
 from repro.results.backends import (
     BACKEND_CHOICES,
@@ -86,10 +88,19 @@ class ResultStore:
     def _results(self) -> Dict[str, RunResult]:
         """The row index, loading from the backend on first access."""
         if self._rows is None:
-            rows: Dict[str, RunResult] = {}
-            for result in self._backend.load():
-                rows.setdefault(result.spec_hash, result)
-            self._rows = rows
+            t0 = time.monotonic()
+            with obs.span("store.load", backend=self.backend) as lspan:
+                rows: Dict[str, RunResult] = {}
+                for result in self._backend.load():
+                    rows.setdefault(result.spec_hash, result)
+                self._rows = rows
+                lspan.annotate(rows=len(rows))
+            obs.histogram(
+                "repro_store_load_seconds", backend=self.backend
+            ).observe(time.monotonic() - t0)
+            obs.counter(
+                "repro_store_rows_loaded_total", backend=self.backend
+            ).inc(len(rows))
         return self._rows
 
     # -- persistence -----------------------------------------------------
@@ -102,8 +113,18 @@ class ResultStore:
         strangers fold back into the in-memory index so they are not
         recomputed later.
         """
-        for result in self._backend.rewrite(list(self._results.values())):
-            self._results.setdefault(result.spec_hash, result)
+        t0 = time.monotonic()
+        with obs.span(
+            "store.compact", backend=self.backend, rows=len(self._results)
+        ):
+            for result in self._backend.rewrite(list(self._results.values())):
+                self._results.setdefault(result.spec_hash, result)
+        obs.counter(
+            "repro_store_compactions_total", backend=self.backend
+        ).inc()
+        obs.histogram(
+            "repro_store_compact_seconds", backend=self.backend
+        ).observe(time.monotonic() - t0)
         if self._pending is not None:
             # Every in-memory record — including any buffered ones — is
             # now durably on disk; appending the buffer again on batch
@@ -142,7 +163,19 @@ class ResultStore:
             if dirty:
                 self._rewrite()
             elif pending:
-                self._backend.append_many(pending)
+                # The append (and its fsync) is the batch's one durable
+                # write; the histogram therefore measures flush+fsync.
+                t0 = time.monotonic()
+                with obs.span(
+                    "store.append", backend=self.backend, rows=len(pending)
+                ):
+                    self._backend.append_many(pending)
+                obs.histogram(
+                    "repro_store_append_seconds", backend=self.backend
+                ).observe(time.monotonic() - t0)
+                obs.counter(
+                    "repro_store_rows_appended_total", backend=self.backend
+                ).inc(len(pending))
 
     # -- mutation --------------------------------------------------------
 
@@ -158,6 +191,9 @@ class ResultStore:
         known = self._results.get(result.spec_hash)
         if known is not None:
             if not overwrite or known.to_record() == result.to_record():
+                obs.counter(
+                    "repro_store_dedupe_hits_total", backend=self.backend
+                ).inc()
                 return False
             self._results[result.spec_hash] = result
             if self._backend.ephemeral:
@@ -172,6 +208,9 @@ class ResultStore:
                 self._pending.append(result)
             else:
                 self._backend.append(result)
+                obs.counter(
+                    "repro_store_rows_appended_total", backend=self.backend
+                ).inc()
         return True
 
     def merge(self, other: Union["ResultStore", PathLike]) -> int:
@@ -185,10 +224,19 @@ class ResultStore:
         if not isinstance(other, ResultStore):
             other = ResultStore(other)
         absorbed = 0
-        with self.batch():
-            for result in other:
-                if self.add(result):
-                    absorbed += 1
+        t0 = time.monotonic()
+        with obs.span("store.merge", backend=self.backend) as mspan:
+            with self.batch():
+                for result in other:
+                    if self.add(result):
+                        absorbed += 1
+            mspan.annotate(absorbed=absorbed)
+        obs.histogram(
+            "repro_store_merge_seconds", backend=self.backend
+        ).observe(time.monotonic() - t0)
+        obs.counter(
+            "repro_store_rows_merged_total", backend=self.backend
+        ).inc(absorbed)
         return absorbed
 
     @classmethod
@@ -217,7 +265,11 @@ class ResultStore:
             isinstance(store._backend, ColumnarBackend)
             and store._backend.can_bulk_merge(shard_paths)
         ):
-            store._backend.bulk_merge(shard_paths)
+            with obs.span(
+                "store.merge", backend=store.backend, bulk=True,
+                shards=len(shard_paths),
+            ):
+                store._backend.bulk_merge(shard_paths)
             # The blocks moved without materializing; drop any loaded
             # index so the next query reads the merged state.
             store._rows = None

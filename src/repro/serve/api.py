@@ -13,7 +13,10 @@ worker pool.  Routes::
     GET  /v1/jobs/{id}/events   chunked stream of progress lines
     GET  /v1/results         store queries (best / pareto / series / rows)
     GET  /healthz            liveness
-    GET  /metrics            jobs, cache and pool statistics
+    GET  /metrics            jobs, cache and pool statistics (JSON by
+                             default; ``?format=prometheus`` serves the
+                             text exposition format)
+    GET  /v1/trace           the live span buffer as Chrome trace JSON
 
 Error contract (the API-boundary satellite): any
 :class:`~repro.errors.ReproError` raised while handling a request —
@@ -33,10 +36,12 @@ already happened.
 from __future__ import annotations
 
 import json
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qsl, urlparse
 
+from repro import obs
 from repro.errors import ReproError, SpecError
 from repro.serve.service import SimulationService
 
@@ -55,6 +60,22 @@ _COLLECTIONS = {
     "sweeps": "sweep",
     "explorations": "exploration",
 }
+
+#: Prometheus text exposition content type (format version 0.0.4).
+_PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _coarse_endpoint(path: str) -> str:
+    """A low-cardinality endpoint label for request metrics.
+
+    Job ids (and any other per-resource path segment) collapse to
+    placeholders so the label set stays bounded no matter how many jobs
+    a service sees: ``/v1/jobs/abc123/events`` -> ``/v1/jobs/{id}/events``.
+    """
+    parts = path.strip("/").split("/")
+    if len(parts) >= 3 and parts[0] == "v1" and parts[1] == "jobs":
+        parts[2] = "{id}"
+    return "/" + "/".join(parts) if parts != [""] else "/"
 
 
 class ServeHTTPServer(ThreadingHTTPServer):
@@ -95,6 +116,14 @@ class ServeHandler(BaseHTTPRequestHandler):
     def _send_error_json(self, status: int, message: str) -> None:
         self._send_json(status, {"error": message})
 
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        payload = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
     def _read_body(self) -> Dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
         if length <= 0:
@@ -117,6 +146,35 @@ class ServeHandler(BaseHTTPRequestHandler):
     # -- request handling ------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        self._timed("POST", self._handle_post)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._timed("GET", self._handle_get)
+
+    def _timed(self, method: str, handler: Any) -> None:
+        """Run one request handler under per-endpoint latency metrics.
+
+        Endpoint labels are coarse (:func:`_coarse_endpoint`), so the
+        per-(method, endpoint) histogram family stays bounded.  The
+        measured time covers the whole handler — for event streams that
+        includes the follow, which is the honest request latency.
+        """
+        path, _ = self._route()
+        endpoint = _coarse_endpoint(path)
+        t0 = time.monotonic()
+        try:
+            handler()
+        finally:
+            obs.counter(
+                "repro_http_requests_total",
+                method=method, endpoint=endpoint,
+            ).inc()
+            obs.histogram(
+                "repro_http_request_seconds",
+                method=method, endpoint=endpoint,
+            ).observe(time.monotonic() - t0)
+
+    def _handle_post(self) -> None:
         path, _params = self._route()
         self.service.requests_served += 1
         try:
@@ -139,14 +197,23 @@ class ServeHandler(BaseHTTPRequestHandler):
             self._send_error_json(500, f"internal error: "
                                        f"{type(error).__name__}")
 
-    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+    def _handle_get(self) -> None:
         path, params = self._route()
         self.service.requests_served += 1
         try:
             if path == "/healthz":
                 self._send_json(200, self.service.healthz())
             elif path == "/metrics":
-                self._send_json(200, self.service.metrics())
+                if params.get("format") == "prometheus":
+                    self._send_text(
+                        200,
+                        self.service.metrics_prometheus(),
+                        _PROMETHEUS_CONTENT_TYPE,
+                    )
+                else:
+                    self._send_json(200, self.service.metrics())
+            elif path == "/v1/trace":
+                self._send_json(200, self.service.trace())
             elif path == "/v1/jobs":
                 self._send_json(200, {
                     "jobs": [

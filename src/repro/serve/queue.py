@@ -32,6 +32,7 @@ import time
 from collections import deque
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
+from repro import obs
 from repro.serve.jobs import JobRecord, JobStore, job_id_for
 
 #: How long an executor thread sleeps between stop-flag checks while
@@ -75,6 +76,9 @@ class JobQueue:
         self._stopping = False
         #: The job currently on the executor thread, if any.
         self._active: Optional[str] = None
+        #: Last status seen per job, so :meth:`transition` counts real
+        #: status changes rather than every persisted snapshot.
+        self._last_status: Dict[str, str] = {}
         # A restarted service inherits the previous process's job file:
         # anything still in flight there is dead by definition.
         for record in self.store.mark_stale_interrupted():
@@ -103,6 +107,9 @@ class JobQueue:
             if existing is not None and existing.status in (
                 "queued", "running", "done",
             ):
+                obs.counter(
+                    "repro_jobs_resubmit_hits_total", kind=kind
+                ).inc()
                 return existing, False
             record = JobRecord(job_id=job_id, kind=kind, request=dict(request))
             self._events[job_id] = []
@@ -111,15 +118,27 @@ class JobQueue:
                 record, f"queued ({kind}, position {len(self._pending) + 1})"
             )
             self._pending.append(job_id)
+            obs.counter("repro_jobs_submitted_total", kind=kind).inc()
+            obs.gauge("repro_jobs_queue_depth").set(len(self._pending))
             self._cond.notify_all()
         return record, True
 
     # -- state transitions (called by the execution engine) --------------
 
     def transition(self, record: JobRecord) -> None:
-        """Persist a record snapshot and wake event-stream readers."""
+        """Persist a record snapshot and wake event-stream readers.
+
+        A *status change* (as opposed to a progress-counter update
+        persisted under the same status) also bumps the
+        ``repro_jobs_transitions_total{status=...}`` counter.
+        """
         self.store.save(record)
         with self._cond:
+            if self._last_status.get(record.job_id) != record.status:
+                self._last_status[record.job_id] = record.status
+                obs.counter(
+                    "repro_jobs_transitions_total", status=record.status
+                ).inc()
             self._cond.notify_all()
 
     def emit(self, record: JobRecord, line: str) -> None:
@@ -149,6 +168,33 @@ class JobQueue:
         for record in self.records():
             counts[record.status] = counts.get(record.status, 0) + 1
         return counts
+
+    def stats(self) -> Dict[str, Any]:
+        """One consistent snapshot of queue state and progress counters.
+
+        The whole read happens under the queue condition lock — the same
+        lock :meth:`submit`, :meth:`transition` and the service's
+        progress hook mutate under — so the returned status counts,
+        queue depth, and summed point counters always describe a single
+        instant (a job mid-update can never show, say, its ``computed``
+        increment without the matching ``batches`` one).  This is the
+        consistency guarantee ``GET /metrics`` documents.
+        """
+        with self._cond:
+            records = self.records()
+            counts = self.counts()
+            computed = sum(r.points_computed for r in records)
+            cached = sum(r.points_cached for r in records)
+            return {
+                "jobs": counts,
+                "queue_depth": len(self._pending),
+                "active": self._active,
+                "points": {
+                    "computed": computed,
+                    "cached": cached,
+                    "errors": sum(r.points_errors for r in records),
+                },
+            }
 
     def events(
         self,
@@ -226,7 +272,12 @@ class JobQueue:
                     return
                 job_id = self._pending.popleft()
                 self._active = job_id
+                obs.gauge("repro_jobs_queue_depth").set(len(self._pending))
             record = self.store.get(job_id)
+            if record is not None:
+                obs.histogram("repro_jobs_queue_wait_seconds").observe(
+                    max(0.0, time.time() - record.created_s)
+                )
             try:
                 if record is not None and self._execute is not None:
                     self._execute(record)

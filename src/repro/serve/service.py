@@ -25,9 +25,11 @@ error rows exactly as sweeps always have.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Any, Dict, List, Mapping, Optional
 
+from repro import obs
 from repro.analysis.crossover import series_from_store
 from repro.analysis.pareto import pareto_from_store
 from repro.errors import ReproError, SpecError
@@ -44,9 +46,14 @@ from repro.spec import ScenarioSpec, SweepRunner, preset, preset_names
 from repro.spec.runner import (
     BatchProgress,
     WarmPool,
+    pool_gate_status,
     register_shutdown_hook,
     unregister_shutdown_hook,
 )
+
+#: Event cap for the service's always-on trace window: ``GET /v1/trace``
+#: returns the most recent window of spans, old events evicted beyond it.
+SERVICE_TRACE_EVENT_LIMIT = 100_000
 
 
 def _require_mapping(payload: Any, what: str) -> Dict[str, Any]:
@@ -99,7 +106,15 @@ class SimulationService:
     # -- lifecycle -------------------------------------------------------
 
     def start(self) -> "SimulationService":
-        """Start executing queued jobs; returns self for chaining."""
+        """Start executing queued jobs; returns self for chaining.
+
+        Also turns on the bounded span-trace window backing
+        ``GET /v1/trace`` (unless tracing was already enabled by the
+        embedding process, whose window is then left alone).
+        """
+        self._owns_tracing = not obs.tracing_enabled()
+        if self._owns_tracing:
+            obs.enable_tracing(limit=SERVICE_TRACE_EVENT_LIMIT)
         self.queue.start()
         return self
 
@@ -109,6 +124,8 @@ class SimulationService:
         if self._closed:
             return
         self._closed = True
+        if getattr(self, "_owns_tracing", False):
+            obs.disable_tracing()
         unregister_shutdown_hook(self._shutdown_hook)
         self.queue.stop()
         if self.pool is not None:
@@ -265,11 +282,15 @@ class SimulationService:
 
     def _progress_hook(self, record: JobRecord):
         def hook(event: BatchProgress) -> None:
-            record.batches = event.batch
-            record.points_computed += event.computed
-            record.points_cached += event.cached
-            record.points_errors += event.errors
-            record.points_total = max(record.points_total, event.total)
+            # Counter mutation happens under the queue condition lock
+            # (reentrant), the same lock JobQueue.stats() snapshots
+            # under — /metrics can never observe a half-applied batch.
+            with self.queue._cond:
+                record.batches = event.batch
+                record.points_computed += event.computed
+                record.points_cached += event.cached
+                record.points_errors += event.errors
+                record.points_total = max(record.points_total, event.total)
             self.queue.emit(record, event.describe())
             self.queue.transition(record)
 
@@ -280,28 +301,33 @@ class SimulationService:
         record.started_s = time.time()
         self.queue.emit(record, f"running ({record.kind})")
         self.queue.transition(record)
-        try:
-            if record.kind == "run":
-                record.result = self._run_job(record)
-            elif record.kind == "sweep":
-                record.result = self._sweep_job(record)
-            else:
-                record.result = self._exploration_job(record)
-            record.status = "done"
-            record.finished_s = time.time()
-            self.queue.emit(
-                record,
-                f"done: {record.points_computed} computed, "
-                f"{record.points_cached} cached, "
-                f"{record.points_errors} error(s)",
-            )
-        except Exception as error:
-            # Defensive: submission already validated the request, so
-            # this is an unexpected engine failure, not a client error.
-            record.status = "failed"
-            record.error = f"{type(error).__name__}: {error}"
-            record.finished_s = time.time()
-            self.queue.emit(record, f"failed: {record.error}")
+        with obs.span("job.run", kind=record.kind) as jspan:
+            try:
+                if record.kind == "run":
+                    record.result = self._run_job(record)
+                elif record.kind == "sweep":
+                    record.result = self._sweep_job(record)
+                else:
+                    record.result = self._exploration_job(record)
+                record.status = "done"
+                record.finished_s = time.time()
+                self.queue.emit(
+                    record,
+                    f"done: {record.points_computed} computed, "
+                    f"{record.points_cached} cached, "
+                    f"{record.points_errors} error(s)",
+                )
+            except Exception as error:
+                # Defensive: submission already validated the request, so
+                # this is an unexpected engine failure, not a client error.
+                record.status = "failed"
+                record.error = f"{type(error).__name__}: {error}"
+                record.finished_s = time.time()
+                self.queue.emit(record, f"failed: {record.error}")
+            jspan.annotate(status=record.status)
+        obs.histogram(
+            "repro_jobs_run_seconds", kind=record.kind
+        ).observe(max(0.0, record.finished_s - record.started_s))
         self.queue.transition(record)
 
     def _run_job(self, record: JobRecord) -> Dict[str, Any]:
@@ -450,20 +476,31 @@ class SimulationService:
         return body
 
     def metrics(self) -> Dict[str, Any]:
-        """The ``GET /metrics`` body: queue, cache and pool statistics."""
-        jobs = self.queue.counts()
-        records = self.queue.records()
-        computed = sum(r.points_computed for r in records)
-        cached = sum(r.points_cached for r in records)
+        """The ``GET /metrics`` body: queue, cache and pool statistics.
+
+        Consistency guarantee: the queue/job counters come from one
+        :meth:`JobQueue.stats` snapshot taken under the queue condition
+        lock — the same lock every submit, status transition, and
+        progress-hook counter update holds — so the reported job counts
+        and point totals describe a single instant and can never show a
+        half-applied progress batch.  The store/pool/instrument sections
+        are each internally consistent reads taken immediately after.
+        """
+        queue_stats = self.queue.stats()
+        points = queue_stats["points"]
+        computed = points["computed"]
+        cached = points["cached"]
         satisfied = computed + cached
         return {
             "uptime_s": round(time.time() - self.started_s, 3),
             "requests_served": self.requests_served,
-            "jobs": jobs,
+            "cpus": os.cpu_count() or 1,
+            "jobs": queue_stats["jobs"],
+            "queue_depth": queue_stats["queue_depth"],
             "points": {
                 "computed": computed,
                 "cache_hits": cached,
-                "errors": sum(r.points_errors for r in records),
+                "errors": points["errors"],
                 "cache_hit_ratio": (
                     round(cached / satisfied, 4) if satisfied else None
                 ),
@@ -484,8 +521,50 @@ class SimulationService:
                 "broken": (
                     self.pool._broken if self.pool is not None else False
                 ),
+                # The pool-vs-serial perf gate's posture on this host
+                # (previously visible only in CI job summaries).
+                "gate": pool_gate_status(),
             },
+            # The process-wide instrument registry: kernel/pool/store/
+            # HTTP counters and histograms (see repro.obs).
+            "instruments": obs.registry.snapshot(),
         }
+
+    def metrics_prometheus(self) -> str:
+        """``GET /metrics?format=prometheus``: text exposition (0.0.4).
+
+        Service-level state (uptime, job counts, queue depth, store
+        rows, pool posture) is folded into gauges right before the
+        render, so one scrape carries both the event-driven instruments
+        and the point-in-time service view.
+        """
+        stats = self.queue.stats()
+        gauge = obs.registry.gauge
+        gauge("repro_service_uptime_seconds").set(
+            time.time() - self.started_s
+        )
+        gauge("repro_service_requests_served").set(self.requests_served)
+        gauge("repro_service_cpus").set(os.cpu_count() or 1)
+        for status, count in stats["jobs"].items():
+            gauge("repro_jobs", status=status).set(count)
+        gauge("repro_jobs_queue_depth").set(stats["queue_depth"])
+        gauge("repro_store_rows").set(len(self.store))
+        gate = pool_gate_status()
+        gauge("repro_pool_gate_enforced").set(1 if gate["enforced"] else 0)
+        gauge("repro_pool_max_workers").set(
+            self.pool.max_workers if self.pool is not None else 1
+        )
+        return obs.registry.render_prometheus()
+
+    def trace(self) -> Dict[str, Any]:
+        """The ``GET /v1/trace`` body: the live Chrome-trace window.
+
+        Returns (without draining) the most recent
+        :data:`SERVICE_TRACE_EVENT_LIMIT` span events plus a metrics
+        snapshot under ``otherData.metrics`` — load it in
+        ``about:tracing``/Perfetto, or feed it to ``repro obs``.
+        """
+        return obs.chrome_trace(metrics=obs.registry.snapshot())
 
     def healthz(self) -> Dict[str, Any]:
         """The ``GET /healthz`` body (cheap: no store traversal)."""

@@ -45,11 +45,13 @@ tolerance (~1e-12 relative), exactly as fast-vs-reference already does.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.power.rail import HarvesterInjector, RectifiedInjector, SupplyRail
 from repro.results.run_result import MAX_TRACE_SAMPLES, RunResult, spec_hash
 from repro.sim import _ckernel
@@ -760,6 +762,7 @@ def _simple_pass(members: List[_Gathered], stats: BatchStats) -> None:
     if kernel is not None:
         ptrs = _compiled_windows(lanes, horizons)
         if ptrs is not None:
+            obs.counter("repro_batch_pass_path_total", path="c").inc()
             kernel(
                 m_count, ptrs, horizons, v, cap, v_max, drop, r_total,
                 e_dem, v_rise, v_fall, dt_raw, harvested, consumed,
@@ -768,6 +771,7 @@ def _simple_pass(members: List[_Gathered], stats: BatchStats) -> None:
             _commit_pass(members, horizons, taken, v, harvested,
                          consumed, starved, e_dem_py, vcc_full, stats)
             return
+    obs.counter("repro_batch_pass_path_total", path="numpy").inc()
     # When every lane shares one plan array *and* the same step position
     # (lock-step batches: the common case for numeric sweeps over a
     # single harvester configuration), the pass reads a zero-copy 1-D
@@ -991,6 +995,7 @@ def _general_pass(members: List[_Gathered], stats: BatchStats) -> None:
     arrays.  Operation order per step matches the scalar loop so every
     committed step is bit-identical.
     """
+    obs.counter("repro_batch_pass_path_total", path="numpy-general").inc()
     _pass_order(members)
     m_count = len(members)
     lanes = [g.lane for g in members]
@@ -1264,6 +1269,12 @@ def run_specs_batched(
         overrides_list = [{} for _ in specs]
     if stats is None:
         stats = BatchStats()
+    # Delta basis for the obs flush below: the caller may hand in a
+    # BatchStats that already accumulated earlier batches.
+    stats0 = stats.to_dict()
+    t0 = time.monotonic()
+    batch_span = obs.span("batch.run", specs=len(specs))
+    batch_span.__enter__()
     results: List[Optional[RunResult]] = [None] * len(specs)
     cache = _PlanCache()
     lanes: List[_Lane] = []
@@ -1312,6 +1323,19 @@ def run_specs_batched(
                     max_trace_samples,
                 )
                 stats.diverged += 1
+    if obs.obs_enabled():
+        delta = {
+            key: value - stats0.get(key, 0)
+            for key, value in stats.to_dict().items()
+        }
+        for key in ("members", "passes", "advanced", "settled", "diverged"):
+            if delta.get(key):
+                obs.counter(f"repro_batch_{key}_total").inc(delta[key])
+        obs.histogram("repro_batch_run_seconds").observe(
+            time.monotonic() - t0
+        )
+        batch_span.annotate(**delta)
+    batch_span.__exit__(None, None, None)
     return [result for result in results if result is not None]
 
 

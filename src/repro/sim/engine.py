@@ -32,9 +32,11 @@ drifting by accumulated rounding error.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.errors import ConfigurationError, SimulationError
 from repro.sim.kernel import ChunkStats, validate_kernel
 from repro.sim.probes import Recorder, Trace
@@ -247,10 +249,39 @@ class Simulator:
             raise ConfigurationError("run() needs duration and/or max_steps")
         t_stop = self.t + duration if duration is not None else None
         steps_before = self.steps
-        if self.kernel == "fast":
-            stopped_early = self._run_fast(t_stop, max_steps, steps_before)
-        else:
-            stopped_early = self._run_reference(t_stop, max_steps, steps_before)
+        # Instrumentation is per *run*, never per step: one span, a few
+        # counter bumps from the cumulative ChunkStats delta.
+        stats = self.chunk_stats
+        chunks0, chunked0, fallback0 = (
+            stats.chunks, stats.chunked_steps, stats.fallback_steps,
+        )
+        t0 = time.monotonic()
+        with obs.span("kernel.run", kernel=self.kernel) as kspan:
+            if self.kernel == "fast":
+                stopped_early = self._run_fast(t_stop, max_steps, steps_before)
+            else:
+                stopped_early = self._run_reference(
+                    t_stop, max_steps, steps_before
+                )
+            kspan.annotate(steps=self.steps - steps_before)
+        if obs.obs_enabled():
+            obs.counter("repro_kernel_runs_total", kernel=self.kernel).inc()
+            obs.counter(
+                "repro_kernel_steps_total", kernel=self.kernel
+            ).inc(self.steps - steps_before)
+            obs.histogram(
+                "repro_kernel_run_seconds", kernel=self.kernel
+            ).observe(time.monotonic() - t0)
+            if self.kernel == "fast":
+                obs.counter("repro_kernel_chunks_total").inc(
+                    stats.chunks - chunks0
+                )
+                obs.counter("repro_kernel_chunked_steps_total").inc(
+                    stats.chunked_steps - chunked0
+                )
+                obs.counter("repro_kernel_fallback_steps_total").inc(
+                    stats.fallback_steps - fallback0
+                )
         return SimulationResult(
             t_end=self.t,
             steps=self.steps - steps_before,

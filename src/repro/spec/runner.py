@@ -35,6 +35,7 @@ import math
 import os
 import sys
 import threading
+import time
 import weakref
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import nullcontext
@@ -51,6 +52,7 @@ from typing import (
     Union,
 )
 
+from repro import obs
 from repro.errors import SpecError
 from repro.results.metrics import empty_metrics, result_columns
 from repro.results.run_result import MAX_TRACE_SAMPLES, RunResult, spec_hash
@@ -360,7 +362,8 @@ def _run_payload_batch(
     worker: Callable[[Dict[str, Any]], Dict[str, Any]],
     base_dict: Optional[Dict[str, Any]],
     tasks: List[Dict[str, Any]],
-) -> List[Dict[str, Any]]:
+    obs_opts: Optional[Dict[str, Any]] = None,
+) -> Any:
     """Pool-side batch body: one IPC round-trip for many tasks.
 
     ``base_dict`` is the shared base spec the chunk's override-only
@@ -369,15 +372,76 @@ def _run_payload_batch(
     its base exactly once per worker while a *session-wide* pool (the
     ``repro serve`` job executor) can switch bases between jobs at the
     cost of one re-parse per worker per switch.
+
+    ``obs_opts`` (set by :meth:`WarmPool.run` when instrumentation is
+    enabled) switches the return value from a bare record list to an
+    ``{"records": [...], "obs": {...}}`` envelope carrying what this
+    chunk produced in *this worker process* — the counter/histogram
+    delta accumulated while the chunk ran, the spans it recorded (when
+    the parent is tracing), the chunk's wall time, and the wall-clock
+    instant work started (the parent derives queue wait from it).  The
+    shipment rides the existing result pickle; the parent folds it into
+    its own registry/trace buffer so ``/metrics`` and ``--trace-out``
+    reflect kernel activity wherever it physically ran.
     """
     if base_dict is not None and base_dict != _SHARED_BASE_DICT:
         _install_shared_base(base_dict)
-    return [worker(task) for task in tasks]
+    if not obs_opts:
+        return [worker(task) for task in tasks]
+    start_wall = time.time()
+    start_mono = time.monotonic()
+    before = obs.registry.values()
+    trace = bool(obs_opts.get("trace"))
+    if trace:
+        obs.enable_tracing()
+    try:
+        records = [worker(task) for task in tasks]
+    finally:
+        if trace:
+            spans = obs.drain()
+            obs.disable_tracing()
+        else:
+            spans = []
+    return {
+        "records": records,
+        "obs": {
+            "pid": os.getpid(),
+            "tasks": len(tasks),
+            "start_wall": start_wall,
+            "wall_s": time.monotonic() - start_mono,
+            "metrics": obs.registry.delta(before),
+            "spans": spans,
+        },
+    }
 
 
 #: Submission chunks per worker: small enough for load balancing across
 #: unevenly sized points, large enough that IPC stays amortised.
 _CHUNKS_PER_WORKER = 4
+
+#: Minimum detected CPU cores for pool speedup to be *enforced* rather
+#: than recorded-only.  The canonical copy — the perf gate
+#: (``benchmarks/perf/perf_sweep.py``) and the service ``/metrics``
+#: pool-status report both read it from here, so CI and a running
+#: service describe the same policy.
+POOL_GATE_MIN_CPUS = 2
+
+
+def pool_gate_status(cpus: Optional[int] = None) -> Dict[str, Any]:
+    """How the pool-vs-serial perf gate applies on this host.
+
+    Returns ``{"cpus", "min_cpus", "enforced"}``: with fewer than
+    :data:`POOL_GATE_MIN_CPUS` detected cores the pool speedup floor is
+    recorded but not enforced (a single-core runner cannot demonstrate
+    parallel speedup).  Surfaced in the service ``/metrics`` payload so
+    the gate's posture is visible outside CI job summaries.
+    """
+    detected = cpus if cpus is not None else (os.cpu_count() or 1)
+    return {
+        "cpus": detected,
+        "min_cpus": POOL_GATE_MIN_CPUS,
+        "enforced": detected >= POOL_GATE_MIN_CPUS,
+    }
 
 
 #: Every WarmPool not yet closed.  A weak set: a pool that is simply
@@ -530,6 +594,35 @@ class WarmPool:
 
     # -- execution -------------------------------------------------------
 
+    @staticmethod
+    def _absorb_chunk(result: Any, submit_wall: float) -> List[Dict[str, Any]]:
+        """Unwrap one chunk result, folding its obs shipment into us.
+
+        A chunk run with ``obs_opts`` comes back as an ``{"records",
+        "obs"}`` envelope (see :func:`_run_payload_batch`); a bare list
+        means instrumentation was off at submit time.  Worker counter/
+        histogram deltas merge only when they were produced by a
+        *different* process — a shipment stamped with our own pid would
+        double-count increments the in-process path already recorded.
+        """
+        if not (isinstance(result, dict) and "records" in result):
+            return result
+        shipment = result.get("obs") or {}
+        if shipment.get("pid") != os.getpid():
+            obs.registry.merge_delta(shipment.get("metrics") or {})
+        if shipment.get("spans"):
+            obs.absorb(shipment["spans"])
+        start_wall = shipment.get("start_wall")
+        if start_wall is not None:
+            obs.histogram("repro_pool_chunk_wait_seconds").observe(
+                max(0.0, start_wall - submit_wall)
+            )
+        if shipment.get("wall_s") is not None:
+            obs.histogram("repro_pool_worker_busy_seconds").observe(
+                shipment["wall_s"]
+            )
+        return result["records"]
+
     def _run_serial(
         self,
         payloads: List[Dict[str, Any]],
@@ -541,16 +634,22 @@ class WarmPool:
         _install_shared_base(
             base_spec if base_spec is not None else self.base_spec
         )
+        # In-process execution: kernel instrumentation lands directly in
+        # this process's registry/trace buffer — no shipment envelope.
+        obs.counter("repro_pool_tasks_total", mode="serial").inc(
+            len(payloads)
+        )
         try:
-            records = []
-            for payload in payloads:
-                try:
-                    records.append(worker(payload))
-                except Exception as error:
-                    records.append(
-                        _worker_failure(payload, error, _SHARED_BASE_DICT)
-                    )
-            return records
+            with obs.span("pool.serial", tasks=len(payloads)):
+                records = []
+                for payload in payloads:
+                    try:
+                        records.append(worker(payload))
+                    except Exception as error:
+                        records.append(
+                            _worker_failure(payload, error, _SHARED_BASE_DICT)
+                        )
+                return records
         finally:
             _SHARED_BASE, _SHARED_BASE_DICT = saved
 
@@ -578,6 +677,7 @@ class WarmPool:
             return self._run_serial(payloads, base_spec=batch_base)
         pool = self._ensure_pool()
         if pool is None:
+            obs.counter("repro_pool_serial_fallback_total").inc()
             return self._run_serial(payloads, base_spec=batch_base)
         # Resolved in the submitting process so tests (and callers) can
         # substitute the worker; it is pickled by reference per chunk.
@@ -590,30 +690,54 @@ class WarmPool:
             payloads[i : i + chunk_size]
             for i in range(0, len(payloads), chunk_size)
         ]
-        try:
-            futures = [
-                pool.submit(_run_payload_batch, worker, batch_base, chunk)
-                for chunk in chunks
-            ]
-        except (OSError, PermissionError):
-            self._broken = True
-            self.close()
-            return self._run_serial(payloads, base_spec=batch_base)
-        from concurrent.futures import BrokenExecutor
+        # When instrumentation is on, workers wrap each chunk in an obs
+        # envelope (see _run_payload_batch); tracing in *this* process
+        # asks workers to capture and ship their spans too.
+        obs_opts = None
+        if obs.obs_enabled():
+            obs_opts = {"trace": obs.tracing_enabled()}
+        with obs.span(
+            "pool.run", tasks=len(payloads), chunks=len(chunks),
+            workers=self.max_workers,
+        ):
+            submit_wall = time.time()
+            try:
+                futures = [
+                    pool.submit(
+                        _run_payload_batch, worker, batch_base, chunk,
+                        obs_opts,
+                    )
+                    for chunk in chunks
+                ]
+            except (OSError, PermissionError):
+                self._broken = True
+                self.close()
+                obs.counter("repro_pool_serial_fallback_total").inc()
+                return self._run_serial(payloads, base_spec=batch_base)
+            from concurrent.futures import BrokenExecutor
 
-        records: List[Dict[str, Any]] = []
-        pool_died = False
-        for chunk, future in zip(chunks, futures):
-            error = future.exception()
-            if error is None:
-                records.extend(future.result())
-            else:
-                if isinstance(error, BrokenExecutor):
-                    pool_died = True
-                records.extend(
-                    _worker_failure(payload, error, batch_base)
-                    for payload in chunk
-                )
+            obs.counter("repro_pool_tasks_total", mode="pool").inc(
+                len(payloads)
+            )
+            obs.counter("repro_pool_chunks_submitted_total").inc(len(chunks))
+            records: List[Dict[str, Any]] = []
+            pool_died = False
+            for chunk, future in zip(chunks, futures):
+                error = future.exception()
+                if error is None:
+                    records.extend(
+                        self._absorb_chunk(future.result(), submit_wall)
+                    )
+                else:
+                    if isinstance(error, BrokenExecutor):
+                        pool_died = True
+                    obs.counter("repro_pool_worker_failures_total").inc(
+                        len(chunk)
+                    )
+                    records.extend(
+                        _worker_failure(payload, error, batch_base)
+                        for payload in chunk
+                    )
         if pool_died:
             # A dead worker poisons the whole executor: every later
             # submit would raise.  Drop it so the next batch gets a
@@ -920,6 +1044,11 @@ class SweepRunner:
             store = ResultStore(store, backend=store_backend)
         if resume and store is None:
             raise SpecError("resume=True needs a result store to resume from")
+        sweep_span = obs.span(
+            "sweep.run", label=self.base.name, points=len(self.specs),
+            parallel=parallel,
+        )
+        sweep_span.__enter__()
         pending = [
             i for i in range(len(self.specs))
             # A stored worker-crash row (older stores may hold them) is
@@ -968,21 +1097,29 @@ class SweepRunner:
             else:
                 cached = store.get(self.hashes[i])
                 points.append(cached.with_context(index=i, spec=self.specs[i]))
+        # One shared progress stream: the event always flows through the
+        # obs layer (metrics + trace instant), then to any caller hook.
+        event = BatchProgress(
+            label=self.base.name,
+            batch=1,
+            computed=len(computed),
+            cached=len(points) - len(computed),
+            errors=sum(1 for p in points if p.error is not None),
+            total=len(points),
+            members=batch_stats.get("members")
+            if batch_stats else None,
+            passes=batch_stats.get("passes"),
+            advanced=batch_stats.get("advanced"),
+            settled=batch_stats.get("settled"),
+            diverged=batch_stats.get("diverged"),
+        )
+        obs.record_progress(event)
         if progress is not None:
-            progress(BatchProgress(
-                label=self.base.name,
-                batch=1,
-                computed=len(computed),
-                cached=len(points) - len(computed),
-                errors=sum(1 for p in points if p.error is not None),
-                total=len(points),
-                members=batch_stats.get("members")
-                if batch_stats else None,
-                passes=batch_stats.get("passes"),
-                advanced=batch_stats.get("advanced"),
-                settled=batch_stats.get("settled"),
-                diverged=batch_stats.get("diverged"),
-            ))
+            progress(event)
+        sweep_span.annotate(
+            computed=len(computed), cached=len(points) - len(computed),
+        )
+        sweep_span.__exit__(None, None, None)
         return SweepResult(
             base_name=self.base.name,
             grid_keys=list(self.grid),

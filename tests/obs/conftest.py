@@ -1,0 +1,23 @@
+"""Shared obs-test hygiene: a clean registry and trace buffer per test.
+
+The metrics registry and the span buffer are process-wide by design, so
+every test here starts from an empty registry with tracing off and
+leaves the world the same way — no obs test can see another's counters.
+"""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs.registry.reset()
+    obs.disable_tracing()
+    obs.drain()
+    previous = obs.set_obs_enabled(True)
+    yield
+    obs.set_obs_enabled(previous)
+    obs.registry.reset()
+    obs.disable_tracing()
+    obs.drain()

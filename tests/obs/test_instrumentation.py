@@ -1,0 +1,107 @@
+"""End-to-end instrumentation: real runs populate metrics and spans.
+
+The acceptance test for the observability layer lives here: one traced
+store-backed sweep must produce spans from the kernel, pool, and store
+layers in a single Chrome-trace export, with the worker processes'
+counters merged back into the parent registry.
+"""
+
+import json
+
+from repro import obs
+from repro.results import ResultStore
+from repro.spec.presets import fig7_spec
+from repro.spec.runner import SweepRunner, pool_gate_status
+
+
+def _counter_total(name):
+    return sum(
+        c["value"] for c in obs.registry.snapshot()["counters"]
+        if c["name"] == name
+    )
+
+
+def test_single_run_bumps_kernel_metrics():
+    fig7_spec(fft_size=64, duration=0.2).run()
+    assert _counter_total("repro_kernel_runs_total") == 1
+    assert _counter_total("repro_kernel_steps_total") > 0
+
+
+def test_traced_sweep_covers_kernel_pool_store(tmp_path):
+    """The acceptance criterion: kernel+pool+store spans in one trace."""
+    store = ResultStore(str(tmp_path / "points.jsonl"))
+    base = fig7_spec(fft_size=64, duration=0.2)
+    runner = SweepRunner(base, {"frequency": [4.7, 9.4]})
+    with obs.capture():
+        result = runner.run(parallel=True, store=store)
+    assert result.computed == 2
+
+    path = tmp_path / "trace.json"
+    obs.export_trace(str(path))
+    body = json.loads(path.read_text())
+    cats = {e["cat"] for e in body["traceEvents"] if e["ph"] == "X"}
+    assert {"kernel", "pool", "store", "sweep"} <= cats
+
+    # Worker-process kernel counters merged back into this registry.
+    assert _counter_total("repro_kernel_runs_total") == 2
+    assert _counter_total("repro_pool_tasks_total") == 2
+    assert _counter_total("repro_store_rows_appended_total") == 2
+    assert _counter_total("repro_points_computed_total") == 2
+
+    # Chunk-wait and worker-busy histograms observed per chunk.
+    hists = {h["name"]: h for h in obs.registry.snapshot()["histograms"]}
+    assert hists["repro_pool_chunk_wait_seconds"]["count"] >= 1
+    assert hists["repro_pool_worker_busy_seconds"]["count"] >= 1
+
+
+def test_resumed_sweep_counts_cached_points(tmp_path):
+    store = ResultStore(str(tmp_path / "points.jsonl"))
+    base = fig7_spec(fft_size=64, duration=0.2)
+    grid = {"frequency": [4.7, 9.4]}
+    SweepRunner(base, grid).run(parallel=False, store=store)
+    obs.registry.reset()
+    result = SweepRunner(base, grid).run(
+        parallel=False, store=store, resume=True
+    )
+    assert result.cached == 2
+    assert _counter_total("repro_points_cached_total") == 2
+    assert _counter_total("repro_points_computed_total") == 0
+
+
+def test_serial_sweep_records_serial_mode():
+    base = fig7_spec(fft_size=64, duration=0.2)
+    SweepRunner(base, {"frequency": [4.7]}).run(parallel=False)
+    counters = {
+        (c["name"], tuple(sorted(c["labels"].items()))): c["value"]
+        for c in obs.registry.snapshot()["counters"]
+    }
+    assert counters[
+        ("repro_pool_tasks_total", (("mode", "serial"),))
+    ] == 1
+
+
+def test_store_dedupe_hits_count_rejected_adds(tmp_path):
+    from repro.results import RunResult
+
+    store = ResultStore(str(tmp_path / "points.jsonl"))
+    base = fig7_spec(fft_size=64, duration=0.2)
+    SweepRunner(base, {"frequency": [4.7]}).run(parallel=False, store=store)
+    row = next(iter(store))
+    assert store.add(row) is False  # same spec hash: dedupe
+    assert _counter_total("repro_store_dedupe_hits_total") == 1
+
+
+def test_disabled_obs_records_nothing_during_a_run():
+    previous = obs.set_obs_enabled(False)
+    try:
+        fig7_spec(fft_size=64, duration=0.2).run()
+    finally:
+        obs.set_obs_enabled(previous)
+    assert obs.registry.snapshot()["counters"] == []
+
+
+def test_pool_gate_status_reports_cpu_policy():
+    status = pool_gate_status(cpus=8)
+    assert status == {"cpus": 8, "min_cpus": 2, "enforced": True}
+    assert pool_gate_status(cpus=1)["enforced"] is False
+    assert set(pool_gate_status()) == {"cpus", "min_cpus", "enforced"}

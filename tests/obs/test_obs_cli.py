@@ -1,0 +1,49 @@
+"""The CLI observability surface: ``--trace-out`` and ``repro obs``."""
+
+import json
+
+from repro.cli import main
+
+
+def _write_spec(tmp_path):
+    from repro.spec.presets import fig7_spec
+
+    path = tmp_path / "spec.json"
+    path.write_text(fig7_spec(fft_size=64, duration=0.2).to_json())
+    return str(path)
+
+
+def test_sweep_trace_out_writes_a_loadable_trace(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    code = main([
+        "sweep", _write_spec(tmp_path),
+        "--set", "frequency=4.7,9.4",
+        "--output", str(tmp_path / "pts.jsonl"),
+        "--trace-out", str(trace),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "trace event(s)" in out
+    body = json.loads(trace.read_text())
+    cats = {e["cat"] for e in body["traceEvents"] if e["ph"] == "X"}
+    assert {"kernel", "pool", "store", "sweep"} <= cats
+    assert body["otherData"]["metrics"]["counters"]  # snapshot rides along
+
+
+def test_run_trace_out_and_obs_report(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    assert main([
+        "run", _write_spec(tmp_path), "--trace-out", str(trace),
+    ]) in (0, 1)  # completion exit code is scenario-dependent
+    capsys.readouterr()
+
+    assert main(["obs", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "top spans by cumulative wall time" in out
+    assert "kernel.run" in out
+    assert "repro_kernel_runs_total" in out
+
+
+def test_obs_command_rejects_missing_files(tmp_path, capsys):
+    assert main(["obs", str(tmp_path / "nope.json")]) == 2
+    assert "no trace file" in capsys.readouterr().err

@@ -1,0 +1,109 @@
+"""Span tracing: capture semantics, buffer bounds, Chrome-trace export."""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import _NOOP
+
+
+def test_spans_are_noops_until_tracing_is_enabled():
+    assert obs.span("kernel.run") is _NOOP
+    with obs.span("kernel.run", kernel="fast") as s:
+        s.annotate(steps=10)
+    assert obs.events() == []
+
+
+def test_span_records_a_complete_event():
+    with obs.capture():
+        with obs.span("kernel.run", kernel="fast") as s:
+            s.annotate(steps=3)
+    (event,) = obs.events()
+    assert event["name"] == "kernel.run"
+    assert event["cat"] == "kernel"
+    assert event["ph"] == "X"
+    assert event["pid"] == os.getpid()
+    assert event["dur"] >= 0
+    assert event["args"] == {"kernel": "fast", "steps": 3}
+
+
+def test_span_marks_the_exception_that_ended_it():
+    with obs.capture():
+        with pytest.raises(RuntimeError):
+            with obs.span("store.append"):
+                raise RuntimeError("boom")
+    (event,) = obs.events()
+    assert event["args"]["error"] == "RuntimeError"
+
+
+def test_instants_and_nesting():
+    with obs.capture():
+        with obs.span("sweep.run"):
+            with obs.span("pool.run"):
+                pass
+            obs.instant("progress.batch", computed=2)
+    names = [e["name"] for e in obs.events()]
+    # Inner spans close (and record) before outer ones.
+    assert names == ["pool.run", "progress.batch", "sweep.run"]
+    instant = obs.events()[1]
+    assert instant["ph"] == "i" and instant["args"] == {"computed": 2}
+
+
+def test_capture_restores_but_does_not_clear():
+    with obs.capture():
+        with obs.span("a.b"):
+            pass
+    assert not obs.tracing_enabled()
+    assert len(obs.events()) == 1
+    drained = obs.drain()
+    assert len(drained) == 1 and obs.events() == []
+
+
+def test_buffer_eviction_keeps_the_recent_window():
+    with obs.capture(limit=10):
+        for index in range(25):
+            obs.instant("tick.n", index=index)
+        assert obs.dropped_events() > 0
+        kept = [e["args"]["index"] for e in obs.events()]
+        assert kept == sorted(kept)
+        assert kept[-1] == 24  # newest survives
+        assert len(kept) <= 10
+    assert "evictions" in obs.chrome_trace()["otherData"]
+
+
+def test_absorb_merges_foreign_events():
+    foreign = [{"name": "kernel.run", "cat": "kernel", "ph": "X",
+                "ts": 1.0, "dur": 2.0, "pid": 99999, "tid": 1, "args": {}}]
+    obs.absorb(foreign)  # disabled: dropped
+    assert obs.events() == []
+    with obs.capture():
+        obs.absorb(foreign)
+        assert obs.events()[0]["pid"] == 99999
+
+
+def test_tracing_stays_off_when_obs_is_globally_disabled():
+    previous = obs.set_obs_enabled(False)
+    try:
+        obs.enable_tracing()
+        assert not obs.tracing_enabled()
+    finally:
+        obs.set_obs_enabled(previous)
+
+
+def test_write_trace_round_trips_with_metrics(tmp_path):
+    obs.counter("repro_test_total").inc()
+    with obs.capture():
+        with obs.span("kernel.run"):
+            pass
+    path = tmp_path / "trace.json"
+    count = obs.export_trace(str(path))
+    assert count == 1
+    body = json.loads(path.read_text())
+    assert body["displayTimeUnit"] == "ms"
+    assert body["otherData"]["generator"] == "repro.obs"
+    assert body["otherData"]["metrics"]["counters"][0]["value"] == 1.0
+    (event,) = body["traceEvents"]
+    assert {"name", "cat", "ph", "ts", "dur", "pid", "tid"} <= set(event)
+    assert obs.events() == []  # export drains

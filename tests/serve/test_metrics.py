@@ -1,0 +1,119 @@
+"""The observability surface of the service: /metrics and /v1/trace.
+
+JSON and Prometheus renderings must both parse, counters must move when
+jobs run, the dedupe arithmetic must hold after overlapping resubmits,
+and the live trace buffer must serve as loadable Chrome-trace JSON.
+"""
+
+import json
+import re
+from urllib.request import urlopen
+
+from repro import obs
+from repro.spec.runner import pool_gate_status
+from tests.serve.conftest import small_sweep_request
+
+#: A Prometheus exposition sample line: name, optional labels, value.
+_LABEL = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\])*"'
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    rf"(\{{{_LABEL}(,{_LABEL})*\}})?"
+    r" (NaN|[+-]?Inf|[-+0-9.eE]+)$"
+)
+
+
+def _get(serve_server, path):
+    host, port = serve_server.server_address[:2]
+    with urlopen(f"http://{host}:{port}{path}") as response:
+        return response.headers.get("Content-Type"), response.read().decode()
+
+
+def test_metrics_json_surfaces_cpus_and_pool_gate(client, serve_server):
+    metrics = client.metrics()
+    assert metrics["cpus"] >= 1
+    assert metrics["queue_depth"] == 0
+    assert metrics["pool"]["gate"] == pool_gate_status()
+    instruments = metrics["instruments"]
+    assert set(instruments) == {"counters", "gauges", "histograms"}
+
+
+def test_metrics_prometheus_is_well_formed(client, serve_server):
+    content_type, text = _get(serve_server, "/metrics?format=prometheus")
+    assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+    lines = text.splitlines()
+    assert any(l.startswith("# TYPE repro_service_uptime_seconds gauge")
+               for l in lines)
+    for line in lines:
+        if line.startswith("#") or not line:
+            continue
+        assert _SAMPLE_RE.match(line), f"malformed sample line: {line!r}"
+    # Per-status job gauges and the pool gate are folded in.
+    assert any(l.startswith('repro_jobs{status="done"}') for l in lines)
+    assert any(l.startswith("repro_pool_gate_enforced") for l in lines)
+    assert any(l.startswith("repro_service_cpus") for l in lines)
+
+
+def test_counters_move_after_a_submitted_job(client, serve_server):
+    obs.registry.reset()
+    job = client.submit_sweep(small_sweep_request())
+    assert client.wait(job["job_id"])["status"] == "done"
+
+    metrics = client.metrics()
+    assert metrics["jobs"]["done"] == 1
+    assert metrics["points"]["computed"] == 2
+    counters = {
+        (c["name"], tuple(sorted(c["labels"].items()))): c["value"]
+        for c in metrics["instruments"]["counters"]
+    }
+    assert counters[("repro_jobs_submitted_total", (("kind", "sweep"),))] == 1
+    assert counters[
+        ("repro_jobs_transitions_total", (("status", "done"),))
+    ] == 1
+    assert sum(
+        v for (name, _), v in counters.items()
+        if name == "repro_kernel_runs_total"
+    ) == 2
+    hists = {h["name"] for h in metrics["instruments"]["histograms"]}
+    assert {"repro_jobs_queue_wait_seconds", "repro_jobs_run_seconds",
+            "repro_http_request_seconds"} <= hists
+
+    _, text = _get(serve_server, "/metrics?format=prometheus")
+    assert 'repro_jobs{status="done"} 1' in text.splitlines()
+
+
+def test_dedupe_arithmetic_after_overlapping_resubmit(client, serve_server):
+    obs.registry.reset()
+    first = client.submit_sweep(small_sweep_request())
+    assert client.wait(first["job_id"])["result"]["computed"] == 2
+
+    union = small_sweep_request()
+    union["grid"]["capacitance"].append(100e-6)  # 2 old points + 1 new
+    second = client.submit_sweep(union)
+    done = client.wait(second["job_id"])
+    assert done["result"]["computed"] == 1
+    assert done["result"]["cached"] == 2
+
+    metrics = client.metrics()
+    # 3 unique points each computed exactly once; the overlap was served
+    # from the shared store.
+    assert metrics["store"]["rows"] == 3
+    points = metrics["points"]
+    assert points["computed"] == 3
+    assert points["cache_hits"] == 2
+    assert points["errors"] == 0
+    assert points["cache_hit_ratio"] == 2 / 5
+
+
+def test_trace_endpoint_serves_chrome_trace_json(client, serve_server):
+    job = client.submit_sweep(small_sweep_request())
+    client.wait(job["job_id"])
+    _, text = _get(serve_server, "/v1/trace")
+    body = json.loads(text)
+    assert body["displayTimeUnit"] == "ms"
+    names = {e["name"] for e in body["traceEvents"] if e["ph"] == "X"}
+    assert "job.run" in names and "kernel.run" in names
+    assert body["otherData"]["metrics"]["counters"]
+    # The live buffer is a window, not a drain: a second read still
+    # holds the spans.
+    _, again = _get(serve_server, "/v1/trace")
+    assert "job.run" in again
