@@ -37,6 +37,11 @@ one fails (so one regression does not mask another):
   runs with the default-on metrics layer enabled must stay within 3%
   of the same runs with observability disabled (``REPRO_OBS=0``),
   on both the kernel and sweep regimes BENCH_kernel/BENCH_sweep gate.
+* **faults** — the supervision-overhead harness (``perf_faults.py``):
+  a sweep run under an armed-but-idle supervision policy (deadline +
+  retry budget, zero injected faults) must stay within 3% of the same
+  run unsupervised, serially and through the worker pool — robustness
+  machinery that taxes healthy runs would never stay enabled.
 
 Every invocation also appends one timestamped JSON line of gate
 verdicts (and the headline numbers behind them) to ``BENCH_history.jsonl``
@@ -71,6 +76,10 @@ from pathlib import Path
 from perf_explore import (
     format_summary as format_explore_summary,
     run_benchmarks as run_explore_benchmarks,
+)
+from perf_faults import (
+    format_summary as format_faults_summary,
+    run_benchmarks as run_faults_benchmarks,
 )
 from perf_kernel import SPEEDUP_FLOORS, run_benchmarks
 from perf_obs import (
@@ -235,7 +244,7 @@ def append_history(path: Path, sections: dict, kernel_fresh,
 def write_github_summary(sections: dict, baseline: dict, fresh: dict,
                          sweep_fresh, explore_fresh,
                          serve_fresh=None, store_fresh=None,
-                         obs_fresh=None) -> None:
+                         obs_fresh=None, faults_fresh=None) -> None:
     """Append the before/after table to the Actions job summary, if any."""
     path = os.environ.get("GITHUB_STEP_SUMMARY")
     if not path:
@@ -288,6 +297,9 @@ def write_github_summary(sections: dict, baseline: dict, fresh: dict,
     if obs_fresh is not None:
         lines += ["", "### Instrumentation overhead", "",
                   "```", format_obs_summary(obs_fresh), "```"]
+    if faults_fresh is not None:
+        lines += ["", "### Supervision overhead", "",
+                  "```", format_faults_summary(faults_fresh), "```"]
     for name, failures in sections.items():
         if failures:
             lines += ["", f"### {name} failures", ""]
@@ -334,6 +346,11 @@ def main(argv=None) -> int:
                              "path")
     parser.add_argument("--skip-obs", action="store_true",
                         help="skip the instrumentation-overhead benchmarks")
+    parser.add_argument("--faults-output", type=Path, default=None,
+                        help="write the fresh supervision-overhead results "
+                             "to this path")
+    parser.add_argument("--skip-faults", action="store_true",
+                        help="skip the supervision-overhead benchmarks")
     parser.add_argument("--history", type=Path,
                         default=Path(__file__).resolve().parents[2]
                         / "BENCH_history.jsonl",
@@ -515,9 +532,29 @@ def main(argv=None) -> int:
             print("obs overhead OK: instrumented runs within the ceiling")
             print(format_obs_summary(obs_fresh))
 
+    # -- faults gate (supervision overhead ceiling) ----------------------
+    faults_fresh = None
+    if not args.skip_faults:
+        try:
+            faults_fresh = run_faults_benchmarks()
+            sections["faults"] = []
+        except AssertionError as error:
+            sections["faults"] = [str(error)]
+            print(f"supervision overhead regression detected:\n  - {error}")
+        if faults_fresh is not None:
+            if args.faults_output is not None:
+                args.faults_output.write_text(
+                    json.dumps(faults_fresh, indent=2) + "\n",
+                    encoding="utf-8",
+                )
+            print("supervision overhead OK: armed-but-idle supervision "
+                  "within the ceiling")
+            print(format_faults_summary(faults_fresh))
+
     write_github_summary(
         sections, baseline, fresh or {"cases": {}}, sweep_fresh,
         explore_fresh, serve_fresh, store_fresh, obs_fresh,
+        faults_fresh,
     )
     if not args.no_history:
         append_history(

@@ -91,6 +91,7 @@ def cmd_list(_: argparse.Namespace) -> int:
         ["explore", "budgeted design-space search with an optimizer"],
         ["results", "query a persisted sweep result store"],
         ["serve", "run the HTTP simulation service (job queue + store)"],
+        ["chaos", "fault-injection smoke: faulted sweep == clean sweep"],
         ["obs", "summarize a --trace-out trace file (spans + metrics)"],
         ["components", "list the registered spec components"],
     ]
@@ -441,6 +442,19 @@ def _load_base(args: argparse.Namespace) -> ScenarioSpec:
     return base
 
 
+def _supervision_policy(args: argparse.Namespace):
+    """The ``--deadline``/``--max-retries`` flags as a
+    :class:`~repro.spec.runner.SupervisionPolicy` (None when both are
+    unset — the exact historical unsupervised path)."""
+    deadline = getattr(args, "deadline", None)
+    retries = getattr(args, "max_retries", 0) or 0
+    if deadline is None and retries <= 0:
+        return None
+    from repro.spec.runner import SupervisionPolicy
+
+    return SupervisionPolicy(deadline_s=deadline, max_retries=retries)
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Expand a parameter grid over a base spec and run it in parallel."""
     base = _load_base(args)
@@ -461,6 +475,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         result = runner.run(
             parallel=not args.serial, store=store, resume=args.resume,
             progress=progress, batch_size=args.batch_size,
+            policy=_supervision_policy(args),
         )
     mode = "serial" if args.serial else "parallel"
     print_section(
@@ -554,6 +569,14 @@ def cmd_explore(args: argparse.Namespace) -> int:
     def progress(event):
         print(f"  {event.describe()}")
 
+    # --deadline/--max-retries ride in on a supervised warm pool (the
+    # driver threads no per-call policy; a pool default covers it).
+    policy = _supervision_policy(args)
+    pool = None
+    if policy is not None and not args.serial:
+        from repro.spec.runner import WarmPool
+
+        pool = WarmPool(max_workers=args.workers, policy=policy)
     driver = ExplorationDriver(
         base,
         space,
@@ -567,12 +590,17 @@ def cmd_explore(args: argparse.Namespace) -> int:
         seed=args.seed,
         progress=progress,
         batch_size=args.batch_size,
+        pool=pool,
     )
     goals = ", ".join(o.describe() for o in driver.objectives)
     print(f"explore: {base.name} via {args.optimizer} "
           f"(budget {args.budget}, {goals})")
-    with _maybe_tracing(args.trace_out):
-        outcome = driver.run(budget=args.budget)
+    try:
+        with _maybe_tracing(args.trace_out):
+            outcome = driver.run(budget=args.budget)
+    finally:
+        if pool is not None:
+            pool.close()
     print_section(
         f"top {min(args.top, len(outcome))} of {len(outcome)} evaluation(s)",
         outcome.format(top=args.top),
@@ -661,6 +689,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         store_backend=args.backend,
         max_workers=args.workers,
         parallel=not args.serial,
+        default_deadline_s=args.deadline,
+        default_max_retries=args.max_retries,
     )
     host, port = server.server_address[:2]
     store_note = args.store if args.store is not None else "in-memory"
@@ -670,6 +700,97 @@ def cmd_serve(args: argparse.Namespace) -> int:
           "GET /v1/results, /healthz, /metrics", flush=True)
     serve_forever(server)
     print("repro serve: shut down cleanly")
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Fault-injection smoke test: a faulted sweep must equal a clean one.
+
+    Runs the same grid twice — once fault-free, once with the
+    ``--faults`` injection points armed and the supervised pool's
+    retry/deadline machinery turned on — and demands the chaos run
+    converge to **bit-identical** results (metrics and vcc traces per
+    spec hash).  Prints the injection/retry/reap counters so the chaos
+    actually exercised something, and exits nonzero on any divergence
+    or quarantined payload.
+    """
+    from repro import faults as faults_mod
+    from repro.spec.runner import SupervisionPolicy, is_quarantined
+
+    base = _load_base(args)
+    grid = _parse_grid(args.set)
+    if not grid:
+        grid = {"capacitance": [22e-6, 33e-6, 47e-6, 68e-6],
+                "frequency": [2.0, 4.7, 9.4, 20.0]}
+    probabilities = faults_mod.parse_spec(args.faults)
+    policy = SupervisionPolicy(
+        deadline_s=args.deadline, max_retries=args.max_retries
+    )
+    parallel = not args.serial
+    if "worker.hang" in probabilities and not parallel:
+        print("note: worker.hang is only reapable under pool execution; "
+              "serial hangs sleep their full duration")
+
+    runner = SweepRunner(base, grid, max_workers=args.workers)
+    print(f"chaos: {base.name}, {len(runner)} points; "
+          f"faults {args.faults} (seed {args.seed}), "
+          f"deadline {policy.deadline_s}s, "
+          f"max retries {policy.max_retries}")
+    # The reference run must be genuinely fault-free even when the
+    # process inherited ambient REPRO_FAULTS arming: an empty
+    # probability map masks it for the duration.
+    with faults_mod.active({}):
+        clean = runner.run(parallel=parallel, capture_traces=("vcc",))
+    with faults_mod.active(
+        probabilities, seed=args.seed, hang_s=args.hang_s
+    ):
+        chaos = SweepRunner(base, grid, max_workers=args.workers).run(
+            parallel=parallel, capture_traces=("vcc",), policy=policy,
+        )
+
+    mismatched = []
+    quarantined = 0
+    for clean_point, chaos_point in zip(clean.points, chaos.points):
+        if is_quarantined(chaos_point):
+            quarantined += 1
+        elif (clean_point.metrics != chaos_point.metrics
+                or clean_point.traces != chaos_point.traces):
+            mismatched.append(clean_point.spec_hash)
+
+    wanted = (
+        "repro_faults_injected_total",
+        "repro_pool_retries_total",
+        "repro_pool_workers_reaped_total",
+        "repro_pool_deadline_timeouts_total",
+        "repro_pool_quarantined_total",
+    )
+    rows = [
+        [
+            entry["name"]
+            + ("{" + ", ".join(f"{k}={v}" for k, v in
+                               sorted(entry["labels"].items())) + "}"
+               if entry["labels"] else ""),
+            str(entry["value"]),
+        ]
+        for entry in obs.registry.snapshot()["counters"]
+        if entry["name"] in wanted
+    ]
+    print_section(
+        "fault / supervision counters",
+        format_table(["counter", "value"], rows) if rows
+        else "(none fired)",
+    )
+    verdict = []
+    if mismatched:
+        verdict.append(f"{len(mismatched)} point(s) diverged from the "
+                       f"clean run: {', '.join(mismatched[:4])}...")
+    if quarantined:
+        verdict.append(f"{quarantined} payload(s) quarantined")
+    if verdict:
+        print("chaos: FAIL — " + "; ".join(verdict))
+        return 1
+    print(f"chaos: OK — {len(chaos)} faulted point(s) bit-identical "
+          "to the clean run, zero quarantined")
     return 0
 
 
@@ -738,6 +859,22 @@ def build_parser() -> argparse.ArgumentParser:
                  "1 = per-point execution); results are identical "
                  "either way",
         )
+
+    def add_supervision_flags(
+        command: argparse.ArgumentParser,
+        deadline_help: str = "per-task wall deadline in seconds: a "
+                             "worker that exceeds it is reaped and the "
+                             "task retried (needs --max-retries) or "
+                             "recorded as a timeout error",
+        retries_help: str = "retry a payload whose worker crashed or "
+                            "timed out up to N times (with backoff) "
+                            "before quarantining it (default 0: "
+                            "crashes stay error rows)",
+    ) -> None:
+        command.add_argument("--deadline", type=float, default=None,
+                             metavar="SECONDS", help=deadline_help)
+        command.add_argument("--max-retries", type=int, default=0,
+                             metavar="N", help=retries_help)
 
     def add_trace_flag(command: argparse.ArgumentParser) -> None:
         command.add_argument(
@@ -813,6 +950,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--progress", action="store_true",
                        help="print computed/cached/error counts per batch")
     add_batch_size_flag(sweep)
+    add_supervision_flags(sweep)
     add_kernel_flag(sweep)
     add_trace_flag(sweep)
     sweep.set_defaults(fn=cmd_sweep)
@@ -867,6 +1005,7 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--top", type=int, default=10,
                          help="rows of the ranked table to print")
     add_batch_size_flag(explore)
+    add_supervision_flags(explore)
     add_kernel_flag(explore)
     add_trace_flag(explore)
     explore.set_defaults(fn=cmd_explore)
@@ -910,7 +1049,52 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--serial", action="store_true",
                        help="run grid points on the executor thread "
                             "instead of a process pool")
+    add_supervision_flags(
+        serve,
+        deadline_help="default wall-clock budget (seconds) for jobs "
+                      "whose request sets no deadline_s; an expired "
+                      "job fails instead of running",
+        retries_help="default job retry budget for jobs whose request "
+                     "sets no max_retries; transiently-failed jobs "
+                     "re-enqueue with backoff up to N times",
+    )
     serve.set_defaults(fn=cmd_serve)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection smoke test (faulted sweep == clean sweep)",
+    )
+    chaos.add_argument("spec", nargs="?", default=None,
+                       help="base ScenarioSpec JSON file (default: preset)")
+    chaos.add_argument("--preset", default="fig7",
+                       help="base preset when no spec file is given")
+    chaos.add_argument("--set", action="append", metavar="KEY=V1,V2,...",
+                       help="one grid dimension (repeatable); default: a "
+                            "4x4 capacitance x frequency grid")
+    chaos.add_argument("--duration", type=float, default=None)
+    chaos.add_argument("--serial", action="store_true",
+                       help="run points in-process (note: hangs are only "
+                            "reapable under pool execution)")
+    chaos.add_argument("--workers", type=int, default=None)
+    chaos.add_argument("--faults", default="worker.crash:0.3,worker.hang:0.1",
+                       metavar="POINT:PROB,...",
+                       help="injection points to arm (see repro.faults; "
+                            "default worker.crash:0.3,worker.hang:0.1)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="fault-roll seed (same seed => identical "
+                            "injections, run over run)")
+    chaos.add_argument("--hang-s", type=float, default=30.0,
+                       help="how long an injected hang sleeps (must "
+                            "exceed --deadline so reaping triggers)")
+    chaos.add_argument("--deadline", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="per-task deadline: hung workers are reaped "
+                            "this many seconds in (default 2)")
+    chaos.add_argument("--max-retries", type=int, default=10, metavar="N",
+                       help="per-payload retry budget before quarantine "
+                            "(default 10 — generous, so chaos converges)")
+    add_kernel_flag(chaos)
+    chaos.set_defaults(fn=cmd_chaos)
 
     obs_cmd = sub.add_parser(
         "obs", help="summarize a --trace-out trace file"

@@ -53,13 +53,15 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Un
 
 import numpy as np
 
+from repro import faults
+
 try:  # advisory locking is POSIX-only; elsewhere operations are unlocked
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None
 
 from repro.errors import ReproError, ResultStoreError
-from repro.results.run_result import RunResult
+from repro.results.run_result import RunResult, is_worker_crash_error
 
 PathLike = Union[str, "os.PathLike[str]"]
 
@@ -248,8 +250,26 @@ class JsonlBackend(StoreBackend):
         if not results:
             return
         lines = [json.dumps(r.to_record()) + "\n" for r in results]
+        fault_key = f"{results[0].spec_hash}|{len(results)}"
+        faults.maybe_delay(fault_key)
+        faults.inject(
+            "store.append_fail", fault_key,
+            f"injected append failure on {self.path}",
+        )
         with self._lock:
             with open(self.path, "a", encoding="utf-8") as stream:
+                if faults.fire("store.torn_write", fault_key):
+                    # Simulate death mid-append: a prefix of the encoded
+                    # bytes reaches disk (whole leading records plus a
+                    # torn final line), then the "process" dies.  load()
+                    # recovers by dropping the torn tail and compacting.
+                    payload = "".join(lines)
+                    stream.write(payload[: max(1, len(payload) // 2)])
+                    stream.flush()
+                    os.fsync(stream.fileno())
+                    raise faults.FaultInjected(
+                        f"injected torn write on {self.path}"
+                    )
                 stream.writelines(lines)
                 stream.flush()
                 os.fsync(stream.fileno())
@@ -260,7 +280,15 @@ class JsonlBackend(StoreBackend):
             if os.path.exists(self.path):
                 known = {r.spec_hash for r in results}
                 disk, _bad_tail = self._read()
-                preserved = [r for r in disk if r.spec_hash not in known]
+                # Transient worker-crash rows are never worth
+                # preserving: carrying them through a compaction would
+                # resurrect exactly the rows the load-time cleanup
+                # exists to drop.
+                preserved = [
+                    r for r in disk
+                    if r.spec_hash not in known
+                    and not is_worker_crash_error(r.error)
+                ]
             self._replace_with(list(results) + preserved)
         return preserved
 
@@ -663,6 +691,12 @@ class ColumnarBackend(StoreBackend):
         """Append one record batch durably (sidecar first, then data)."""
         if not results:
             return
+        fault_key = f"{results[0].spec_hash}|{len(results)}"
+        faults.maybe_delay(fault_key)
+        faults.inject(
+            "store.append_fail", fault_key,
+            f"injected append failure on {self.path}",
+        )
         with self._lock:
             needed = self._batch_columns(results)
             shard = self._sync_active()
@@ -681,6 +715,17 @@ class ColumnarBackend(StoreBackend):
                     os.fsync(stream.fileno())
                 shard.sidecar_size += len(payload.encode("utf-8"))
             with open(shard.dat, "ab") as stream:
+                if faults.fire("store.torn_write", fault_key):
+                    # Simulate death between the sidecar fsync (already
+                    # durable above) and the data append: only a prefix
+                    # of the frame lands, which decode recognises as a
+                    # torn final batch and compacts away on reopen.
+                    stream.write(frame[: max(1, len(frame) // 2)])
+                    stream.flush()
+                    os.fsync(stream.fileno())
+                    raise faults.FaultInjected(
+                        f"injected torn write on {shard.dat}"
+                    )
                 stream.write(frame)
                 stream.flush()
                 os.fsync(stream.fileno())
@@ -896,8 +941,11 @@ class ColumnarBackend(StoreBackend):
                 known = {r.spec_hash for r in results}
                 seen: Set[str] = set()
                 for row in self.load():
+                    # As in the JSONL backend: compaction never
+                    # preserves transient worker-crash rows.
                     if row.spec_hash not in known \
-                            and row.spec_hash not in seen:
+                            and row.spec_hash not in seen \
+                            and not is_worker_crash_error(row.error):
                         seen.add(row.spec_hash)
                         preserved.append(row)
                 for dat, sidecar in self._shard_paths():

@@ -25,6 +25,30 @@ from repro.results.metrics import ERROR_COLUMN, extract_metrics, result_columns
 #: Record layout version; bump when the persisted shape changes.
 RECORD_SCHEMA = 1
 
+#: Error prefix marking a *worker* crash (pool/pickling/OOM) rather than
+#: a scenario that deterministically failed.  Crash rows are transient:
+#: they are never persisted to a store, resume recomputes them, and
+#: store compaction drops any left behind by older stores.  Defined
+#: here (not in the runner) so the results layer can classify rows
+#: without importing the execution stack.
+WORKER_FAILURE_PREFIX = "worker failed: "
+
+#: Error prefix marking a payload quarantined after exhausting its
+#: supervised retries (see ``repro.spec.runner.SupervisionPolicy``).
+#: Quarantine rows are deterministic *outcomes*: they persist, resume
+#: treats them as satisfied, and ranking skips them like any error row.
+QUARANTINE_PREFIX = "quarantined: "
+
+
+def is_worker_crash_error(error: Optional[str]) -> bool:
+    """True when an error message marks a transient worker crash."""
+    return error is not None and error.startswith(WORKER_FAILURE_PREFIX)
+
+
+def is_quarantined_error(error: Optional[str]) -> bool:
+    """True when an error message marks a quarantined poison payload."""
+    return error is not None and error.startswith(QUARANTINE_PREFIX)
+
 #: Default cap on persisted trace samples: traces are evidence, not the
 #: analysis substrate, so they are decimated down to a plottable size.
 MAX_TRACE_SAMPLES = 2048

@@ -38,7 +38,7 @@ from repro.results.backends import (
     make_backend,
 )
 from repro.results.metrics import result_columns
-from repro.results.run_result import RunResult
+from repro.results.run_result import RunResult, is_worker_crash_error
 
 __all__ = ["ResultStore", "rankable_results", "BACKEND_CHOICES"]
 
@@ -89,9 +89,18 @@ class ResultStore:
         """The row index, loading from the backend on first access."""
         if self._rows is None:
             t0 = time.monotonic()
+            stale_crashes = 0
             with obs.span("store.load", backend=self.backend) as lspan:
                 rows: Dict[str, RunResult] = {}
                 for result in self._backend.load():
+                    if is_worker_crash_error(result.error):
+                        # Transient worker-crash rows (left behind by
+                        # older stores; the runner no longer persists
+                        # them) would be skipped on every resume but
+                        # grow the file forever — drop them here and
+                        # compact below.
+                        stale_crashes += 1
+                        continue
                     rows.setdefault(result.spec_hash, result)
                 self._rows = rows
                 lspan.annotate(rows=len(rows))
@@ -101,6 +110,12 @@ class ResultStore:
             obs.counter(
                 "repro_store_rows_loaded_total", backend=self.backend
             ).inc(len(rows))
+            if stale_crashes:
+                obs.counter(
+                    "repro_store_crash_rows_dropped_total",
+                    backend=self.backend,
+                ).inc(stale_crashes)
+                self._rewrite()
         return self._rows
 
     # -- persistence -----------------------------------------------------
@@ -111,13 +126,17 @@ class ResultStore:
         The backend re-reads the file under its lock and preserves any
         durable rows another process appended since our load; those
         strangers fold back into the in-memory index so they are not
-        recomputed later.
+        recomputed later.  Stranger worker-crash rows are not folded
+        back (they are transient; the next load of this store drops
+        and compacts them).
         """
         t0 = time.monotonic()
         with obs.span(
             "store.compact", backend=self.backend, rows=len(self._results)
         ):
             for result in self._backend.rewrite(list(self._results.values())):
+                if is_worker_crash_error(result.error):
+                    continue
                 self._results.setdefault(result.spec_hash, result)
         obs.counter(
             "repro_store_compactions_total", backend=self.backend

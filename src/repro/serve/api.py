@@ -12,7 +12,11 @@ worker pool.  Routes::
     GET  /v1/jobs/{id}       one job's status + progress counters
     GET  /v1/jobs/{id}/events   chunked stream of progress lines
     GET  /v1/results         store queries (best / pareto / series / rows)
-    GET  /healthz            liveness
+    GET  /healthz            liveness (is the process up?)
+    GET  /readyz             readiness (can it execute jobs at full
+                             capacity?  503 + failing checks when not;
+                             the body also reports the degradation
+                             ladder's current rungs)
     GET  /metrics            jobs, cache and pool statistics (JSON by
                              default; ``?format=prometheus`` serves the
                              text exposition format)
@@ -203,6 +207,9 @@ class ServeHandler(BaseHTTPRequestHandler):
         try:
             if path == "/healthz":
                 self._send_json(200, self.service.healthz())
+            elif path == "/readyz":
+                body = self.service.readyz()
+                self._send_json(200 if body["ready"] else 503, body)
             elif path == "/metrics":
                 if params.get("format") == "prometheus":
                     self._send_text(

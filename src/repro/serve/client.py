@@ -23,6 +23,7 @@ would have printed locally.
 from __future__ import annotations
 
 import json
+import random
 import time
 from typing import Any, Dict, Iterator, List, Mapping, Optional
 from urllib.error import HTTPError, URLError
@@ -47,15 +48,37 @@ class ServiceError(ReproError):
 class ServiceClient:
     """Talk to a ``repro serve`` instance over HTTP.
 
+    Connection failures (``URLError``: refused, reset, DNS) retry with
+    capped exponential backoff + jitter before surfacing as
+    :class:`ServiceError` — safe for every method here, because GETs
+    are idempotent and submissions are content-hash idempotent (a
+    retried POST re-addresses the same job).  HTTP *responses* (4xx,
+    5xx) never retry: the server spoke, the answer stands.
+
     Args:
         base_url: e.g. ``http://127.0.0.1:8000`` (trailing slash ok).
         timeout: per-request socket timeout in seconds (streaming
             endpoints pass their own).
+        retries: connection-error retry budget per request (0 restores
+            the old fail-on-first-error behavior).
+        backoff_s: base backoff; attempt ``k`` waits
+            ``min(backoff_cap_s, backoff_s * 2**k)`` plus jitter.
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    #: Upper bound on one connection-retry backoff sleep.
+    backoff_cap_s = 2.0
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: int = 3,
+        backoff_s: float = 0.2,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff_s = backoff_s
 
     # -- transport -------------------------------------------------------
 
@@ -75,21 +98,27 @@ class ServiceClient:
         if body is not None:
             data = json.dumps(dict(body)).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = Request(url, data=data, headers=headers, method=method)
-        try:
-            return urlopen(request, timeout=timeout or self.timeout)
-        except HTTPError as error:
-            detail = error.read().decode("utf-8", "replace")
+        for attempt in range(self.retries + 1):
+            request = Request(url, data=data, headers=headers, method=method)
             try:
-                detail = json.loads(detail).get("error", detail)
-            except json.JSONDecodeError:
-                pass
-            raise ServiceError(detail.strip() or f"HTTP {error.code}",
-                               status=error.code) from None
-        except URLError as error:
-            raise ServiceError(
-                f"cannot reach {self.base_url}: {error.reason}"
-            ) from None
+                return urlopen(request, timeout=timeout or self.timeout)
+            except HTTPError as error:
+                detail = error.read().decode("utf-8", "replace")
+                try:
+                    detail = json.loads(detail).get("error", detail)
+                except json.JSONDecodeError:
+                    pass
+                raise ServiceError(detail.strip() or f"HTTP {error.code}",
+                                   status=error.code) from None
+            except URLError as error:
+                if attempt >= self.retries:
+                    raise ServiceError(
+                        f"cannot reach {self.base_url}: {error.reason}"
+                        + (f" (after {attempt + 1} attempts)"
+                           if attempt else "")
+                    ) from None
+                delay = min(self.backoff_cap_s, self.backoff_s * 2 ** attempt)
+                time.sleep(delay * (1.0 + 0.25 * random.random()))
 
     def _json(self, *args: Any, **kwargs: Any) -> Dict[str, Any]:
         with self._request(*args, **kwargs) as response:

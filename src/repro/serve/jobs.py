@@ -65,6 +65,14 @@ class JobRecord:
         points_computed / points_cached / points_errors: progress
             counters fanned out from :class:`~repro.spec.runner.BatchProgress`.
         batches: progress batches observed so far.
+        deadline_s: total wall-clock budget from submission; a job
+            whose budget expires before (or while waiting for) the
+            executor fails with a deadline error instead of running.
+            None means no deadline.
+        max_retries: how many times a transiently-failed execution
+            re-enqueues (with backoff) before the failure is terminal.
+        attempts: completed execution attempts so far (0 until the
+            first one fails and the job is re-enqueued).
         error: the one-line failure message for ``failed`` jobs.
         result: the kind-specific completion summary (spec hashes, best
             point, ...); None until ``done``.
@@ -82,8 +90,18 @@ class JobRecord:
     points_cached: int = 0
     points_errors: int = 0
     batches: int = 0
+    deadline_s: Optional[float] = None
+    max_retries: int = 0
+    attempts: int = 0
     error: Optional[str] = None
     result: Optional[Dict[str, Any]] = None
+
+    def deadline_remaining(self, now: Optional[float] = None) -> Optional[float]:
+        """Seconds of wall budget left (None when no deadline is set)."""
+        if self.deadline_s is None:
+            return None
+        now = time.time() if now is None else now
+        return self.created_s + self.deadline_s - now
 
     @property
     def terminal(self) -> bool:

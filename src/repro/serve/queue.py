@@ -71,6 +71,10 @@ class JobQueue:
         self._execute = execute
         self._cond = threading.Condition()
         self._pending: "deque[str]" = deque()
+        #: Jobs re-enqueued with a backoff delay: job_id -> monotonic
+        #: due time.  The executor promotes due entries before it picks
+        #: the next pending job.
+        self._delayed: Dict[str, float] = {}
         self._events: Dict[str, List[str]] = {}
         self._thread: Optional[threading.Thread] = None
         self._stopping = False
@@ -89,13 +93,20 @@ class JobQueue:
     # -- submission ------------------------------------------------------
 
     def submit(
-        self, kind: str, request: Mapping[str, Any]
+        self,
+        kind: str,
+        request: Mapping[str, Any],
+        deadline_s: Optional[float] = None,
+        max_retries: int = 0,
     ) -> Tuple[JobRecord, bool]:
         """Enqueue (or re-address) a job; returns ``(record, enqueued)``.
 
         ``enqueued`` is False when the deterministic id matched a job
         that is already queued, running, or done — the idempotent path.
         ``failed``/``interrupted`` jobs re-enqueue with reset counters.
+        ``deadline_s``/``max_retries`` set the fresh record's
+        supervision fields (ignored on the idempotent path — the
+        original submission's policy stands).
         """
         job_id = job_id_for(kind, request)
         with self._cond:
@@ -111,7 +122,13 @@ class JobQueue:
                     "repro_jobs_resubmit_hits_total", kind=kind
                 ).inc()
                 return existing, False
-            record = JobRecord(job_id=job_id, kind=kind, request=dict(request))
+            record = JobRecord(
+                job_id=job_id,
+                kind=kind,
+                request=dict(request),
+                deadline_s=deadline_s,
+                max_retries=max_retries,
+            )
             self._events[job_id] = []
             self.store.save(record)
             self._append_event(
@@ -146,6 +163,42 @@ class JobQueue:
         with self._cond:
             self._append_event(record, line)
             self._cond.notify_all()
+
+    def requeue(self, record: JobRecord, delay_s: float = 0.0) -> None:
+        """Put a job back in line after ``delay_s`` seconds (job retry).
+
+        Called by the execution engine when an attempt failed
+        transiently and the record's retry budget allows another go:
+        the record goes back to ``queued`` (persisted), and the
+        executor picks it up again once the backoff delay has passed.
+        """
+        record.status = "queued"
+        record.started_s = None
+        self.store.save(record)
+        with self._cond:
+            self._last_status[record.job_id] = "queued"
+            if delay_s > 0:
+                self._delayed[record.job_id] = time.monotonic() + delay_s
+            elif record.job_id not in self._pending:
+                self._pending.append(record.job_id)
+            obs.counter("repro_jobs_retries_total", kind=record.kind).inc()
+            self._cond.notify_all()
+
+    def _promote_due_locked(self) -> float:
+        """Move due delayed jobs into the pending deque (under the
+        condition lock); returns seconds until the next one is due
+        (``_IDLE_WAIT_S`` when none are scheduled)."""
+        now = time.monotonic()
+        wait = _IDLE_WAIT_S
+        for job_id, due in sorted(self._delayed.items(), key=lambda kv: kv[1]):
+            if due <= now:
+                del self._delayed[job_id]
+                if job_id not in self._pending:
+                    self._pending.append(job_id)
+            else:
+                wait = min(wait, due - now)
+                break
+        return wait
 
     def _append_event(self, record: JobRecord, line: str) -> None:
         self._events.setdefault(record.job_id, []).append(
@@ -188,6 +241,7 @@ class JobQueue:
             return {
                 "jobs": counts,
                 "queue_depth": len(self._pending),
+                "delayed": len(self._delayed),
                 "active": self._active,
                 "points": {
                     "computed": computed,
@@ -266,8 +320,10 @@ class JobQueue:
     def _work(self) -> None:
         while True:
             with self._cond:
+                wait = self._promote_due_locked()
                 while not self._pending and not self._stopping:
-                    self._cond.wait(_IDLE_WAIT_S)
+                    self._cond.wait(wait)
+                    wait = self._promote_due_locked()
                 if self._stopping:
                     return
                 job_id = self._pending.popleft()

@@ -26,10 +26,11 @@ error rows exactly as sweeps always have.
 from __future__ import annotations
 
 import os
+import random
 import time
 from typing import Any, Dict, List, Mapping, Optional
 
-from repro import obs
+from repro import degrade, obs
 from repro.analysis.crossover import series_from_store
 from repro.analysis.pareto import pareto_from_store
 from repro.errors import ReproError, SpecError
@@ -45,11 +46,17 @@ from repro.serve.queue import JobQueue
 from repro.spec import ScenarioSpec, SweepRunner, preset, preset_names
 from repro.spec.runner import (
     BatchProgress,
+    SupervisionPolicy,
     WarmPool,
     pool_gate_status,
     register_shutdown_hook,
     unregister_shutdown_hook,
 )
+
+#: Job-retry backoff: ``min(cap, base * 2**(attempt-1))`` seconds plus
+#: up to 25% jitter, clamped to the job's remaining deadline budget.
+_JOB_RETRY_BASE_S = 0.25
+_JOB_RETRY_CAP_S = 5.0
 
 #: Event cap for the service's always-on trace window: ``GET /v1/trace``
 #: returns the most recent window of spans, old events evicted beyond it.
@@ -78,6 +85,10 @@ class SimulationService:
         max_workers: warm-pool width (defaults to the CPU count).
         parallel: fan grid points across the pool; ``False`` runs every
             point on the executor thread (sandboxes, deterministic tests).
+        default_deadline_s: wall-clock budget applied to jobs whose
+            request does not set ``deadline_s`` (None: no deadline).
+        default_max_retries: job-retry budget applied to jobs whose
+            request does not set ``max_retries``.
     """
 
     def __init__(
@@ -87,9 +98,13 @@ class SimulationService:
         max_workers: Optional[int] = None,
         parallel: bool = True,
         store_backend: Optional[str] = None,
+        default_deadline_s: Optional[float] = None,
+        default_max_retries: int = 0,
     ):
         if jobs_path is None and store_path is not None:
             jobs_path = f"{store_path}.jobs"
+        self.default_deadline_s = default_deadline_s
+        self.default_max_retries = default_max_retries
         self.store = ResultStore(store_path, backend=store_backend)
         self.parallel = parallel
         self.max_workers = max_workers
@@ -155,8 +170,31 @@ class SimulationService:
                 f"unknown job kind {kind!r}; expected run, sweep, "
                 "or exploration"
             )
-        record, _ = self.queue.submit(kind, payload)
+        deadline_s, max_retries = self._supervision(payload)
+        record, _ = self.queue.submit(
+            kind, payload, deadline_s=deadline_s, max_retries=max_retries
+        )
         return record
+
+    def _supervision(
+        self, payload: Mapping[str, Any]
+    ) -> "tuple[Optional[float], int]":
+        """The job's validated ``(deadline_s, max_retries)``, falling
+        back to the service defaults for unset keys."""
+        deadline_s = payload.get("deadline_s", self.default_deadline_s)
+        if deadline_s is not None:
+            if isinstance(deadline_s, bool) or not isinstance(
+                deadline_s, (int, float)
+            ) or deadline_s <= 0:
+                raise SpecError(
+                    "'deadline_s' must be a positive number of seconds"
+                )
+            deadline_s = float(deadline_s)
+        max_retries = payload.get("max_retries", self.default_max_retries)
+        if isinstance(max_retries, bool) or not isinstance(max_retries, int) \
+                or max_retries < 0:
+            raise SpecError("'max_retries' must be a non-negative integer")
+        return deadline_s, max_retries
 
     def _base_spec(self, payload: Mapping[str, Any]) -> ScenarioSpec:
         """The request's base scenario: a full spec dict or a preset."""
@@ -198,6 +236,7 @@ class SimulationService:
     def _validate_run(self, payload: Mapping[str, Any]) -> None:
         self._base_spec(payload)
         self._traces(payload)
+        self._supervision(payload)
 
     def _sweep_runner(self, payload: Mapping[str, Any]) -> SweepRunner:
         base = self._base_spec(payload)
@@ -214,6 +253,7 @@ class SimulationService:
         self._sweep_runner(payload)
         self._traces(payload)
         self._batch_size(payload)
+        self._supervision(payload)
 
     def _explore_driver(
         self,
@@ -277,6 +317,7 @@ class SimulationService:
 
     def _validate_exploration(self, payload: Mapping[str, Any]) -> None:
         self._explore_driver(payload)
+        self._supervision(payload)
 
     # -- execution (runs on the queue's executor thread) -----------------
 
@@ -296,17 +337,61 @@ class SimulationService:
 
         return hook
 
+    def _job_policy(self, record: JobRecord) -> Optional[SupervisionPolicy]:
+        """The task-level supervision this job runs under (None: the
+        exact historical unsupervised path).
+
+        The job's remaining wall budget becomes the per-attempt task
+        deadline (so a hung worker is reaped before the job's clock
+        runs out) and the job's ``max_retries`` doubles as the
+        per-payload retry budget for transient worker crashes.
+        """
+        remaining = record.deadline_remaining()
+        if remaining is None and record.max_retries <= 0:
+            return None
+        return SupervisionPolicy(
+            deadline_s=max(0.001, remaining) if remaining is not None
+            else None,
+            max_retries=record.max_retries,
+        )
+
+    def _fail_deadline(self, record: JobRecord) -> None:
+        record.status = "failed"
+        record.error = (
+            f"deadline of {record.deadline_s:g}s exceeded before execution"
+        )
+        record.finished_s = time.time()
+        obs.counter(
+            "repro_jobs_deadline_exceeded_total", kind=record.kind
+        ).inc()
+        obs.instant("job.deadline_exceeded", job_id=record.job_id)
+        self.queue.emit(record, f"failed: {record.error}")
+        self.queue.transition(record)
+
     def _execute_job(self, record: JobRecord) -> None:
+        remaining = record.deadline_remaining()
+        if remaining is not None and remaining <= 0:
+            # The budget ran out while the job waited in the queue
+            # (or between retry attempts): fail without running.
+            self._fail_deadline(record)
+            return
         record.status = "running"
         record.started_s = time.time()
         self.queue.emit(record, f"running ({record.kind})")
         self.queue.transition(record)
+        policy = self._job_policy(record)
+        retry_delay: Optional[float] = None
         with obs.span("job.run", kind=record.kind) as jspan:
+            if self.pool is not None:
+                # Jobs execute one at a time, so the shared pool can
+                # carry this job's policy for paths that do not thread
+                # it explicitly (exploration drivers).
+                self.pool.policy = policy
             try:
                 if record.kind == "run":
-                    record.result = self._run_job(record)
+                    record.result = self._run_job(record, policy)
                 elif record.kind == "sweep":
-                    record.result = self._sweep_job(record)
+                    record.result = self._sweep_job(record, policy)
                 else:
                     record.result = self._exploration_job(record)
                 record.status = "done"
@@ -319,18 +404,50 @@ class SimulationService:
                 )
             except Exception as error:
                 # Defensive: submission already validated the request, so
-                # this is an unexpected engine failure, not a client error.
-                record.status = "failed"
+                # this is an unexpected engine failure, not a client error
+                # — possibly transient, which is what the job's retry
+                # budget is for.
+                record.attempts += 1
                 record.error = f"{type(error).__name__}: {error}"
-                record.finished_s = time.time()
-                self.queue.emit(record, f"failed: {record.error}")
-            jspan.annotate(status=record.status)
+                remaining = record.deadline_remaining()
+                if record.attempts <= record.max_retries and (
+                    remaining is None or remaining > 0
+                ):
+                    retry_delay = min(
+                        _JOB_RETRY_CAP_S,
+                        _JOB_RETRY_BASE_S * 2 ** (record.attempts - 1),
+                    ) * (1.0 + 0.25 * random.random())
+                    if remaining is not None:
+                        retry_delay = min(retry_delay, remaining)
+                else:
+                    record.status = "failed"
+                    record.finished_s = time.time()
+                    self.queue.emit(record, f"failed: {record.error}")
+            finally:
+                if self.pool is not None:
+                    self.pool.policy = None
+            jspan.annotate(
+                status="retrying" if retry_delay is not None
+                else record.status
+            )
+        if retry_delay is not None:
+            self.queue.emit(
+                record,
+                f"attempt {record.attempts} failed ({record.error}); "
+                f"retrying in {retry_delay:.2f}s",
+            )
+            self.queue.requeue(record, retry_delay)
+            return
         obs.histogram(
             "repro_jobs_run_seconds", kind=record.kind
         ).observe(max(0.0, record.finished_s - record.started_s))
         self.queue.transition(record)
 
-    def _run_job(self, record: JobRecord) -> Dict[str, Any]:
+    def _run_job(
+        self,
+        record: JobRecord,
+        policy: Optional[SupervisionPolicy] = None,
+    ) -> Dict[str, Any]:
         # A single run is a one-point sweep: same store dedupe, same
         # resume semantics, same worker path.
         base = self._base_spec(record.request)
@@ -343,6 +460,7 @@ class SimulationService:
             capture_traces=self._traces(record.request),
             progress=self._progress_hook(record),
             pool=self.pool,
+            policy=policy,
         )
         point = sweep.points[0]
         return {
@@ -351,7 +469,11 @@ class SimulationService:
             "metrics": dict(point.metrics),
         }
 
-    def _sweep_job(self, record: JobRecord) -> Dict[str, Any]:
+    def _sweep_job(
+        self,
+        record: JobRecord,
+        policy: Optional[SupervisionPolicy] = None,
+    ) -> Dict[str, Any]:
         runner = self._sweep_runner(record.request)
         record.points_total = len(runner)
         sweep = runner.run(
@@ -362,6 +484,7 @@ class SimulationService:
             progress=self._progress_hook(record),
             pool=self.pool,
             batch_size=self._batch_size(record.request),
+            policy=policy,
         )
         return {
             "points": len(sweep),
@@ -567,10 +690,38 @@ class SimulationService:
         return obs.chrome_trace(metrics=obs.registry.snapshot())
 
     def healthz(self) -> Dict[str, Any]:
-        """The ``GET /healthz`` body (cheap: no store traversal)."""
+        """The ``GET /healthz`` body: **liveness** (cheap: no store
+        traversal).  "The process is up and answering" — nothing more.
+        Readiness (can it actually take and execute work?) is the
+        separate :meth:`readyz` probe."""
         return {
             "status": "shutting-down" if self._closed else "ok",
             "jobs": self.queue.counts(),
+        }
+
+    def readyz(self) -> Dict[str, Any]:
+        """The ``GET /readyz`` body: **readiness**.
+
+        Ready means the service can accept and execute jobs at full
+        capacity: it is not shutting down, the executor thread is
+        alive, and (when parallel) the warm pool is not broken.  The
+        body also carries the degradation ladder's current rungs (see
+        :mod:`repro.degrade`), so an operator sees "running, but on
+        the numpy kernel / serial executor" without profiling.
+        """
+        executor = self.queue._thread
+        checks = {
+            "accepting": not self._closed,
+            "executor": executor is not None and executor.is_alive(),
+            "pool": (
+                not self.parallel
+                or (self.pool is not None and not self.pool._broken)
+            ),
+        }
+        return {
+            "ready": all(checks.values()),
+            "checks": checks,
+            "degrade": degrade.snapshot(),
         }
 
 

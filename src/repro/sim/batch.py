@@ -51,7 +51,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro import obs
+from repro import degrade, obs
 from repro.power.rail import HarvesterInjector, RectifiedInjector, SupplyRail
 from repro.results.run_result import MAX_TRACE_SAMPLES, RunResult, spec_hash
 from repro.sim import _ckernel
@@ -763,6 +763,7 @@ def _simple_pass(members: List[_Gathered], stats: BatchStats) -> None:
         ptrs = _compiled_windows(lanes, horizons)
         if ptrs is not None:
             obs.counter("repro_batch_pass_path_total", path="c").inc()
+            degrade.report("batch.kernel", "c")
             kernel(
                 m_count, ptrs, horizons, v, cap, v_max, drop, r_total,
                 e_dem, v_rise, v_fall, dt_raw, harvested, consumed,
@@ -772,6 +773,7 @@ def _simple_pass(members: List[_Gathered], stats: BatchStats) -> None:
                          consumed, starved, e_dem_py, vcc_full, stats)
             return
     obs.counter("repro_batch_pass_path_total", path="numpy").inc()
+    degrade.report("batch.kernel", "numpy")
     # When every lane shares one plan array *and* the same step position
     # (lock-step batches: the common case for numeric sweeps over a
     # single harvester configuration), the pass reads a zero-copy 1-D

@@ -33,6 +33,7 @@ from __future__ import annotations
 import atexit
 import math
 import os
+import random
 import sys
 import threading
 import time
@@ -52,10 +53,16 @@ from typing import (
     Union,
 )
 
-from repro import obs
+from repro import degrade, faults, obs
 from repro.errors import SpecError
 from repro.results.metrics import empty_metrics, result_columns
-from repro.results.run_result import MAX_TRACE_SAMPLES, RunResult, spec_hash
+from repro.results.run_result import (
+    MAX_TRACE_SAMPLES,
+    QUARANTINE_PREFIX,
+    WORKER_FAILURE_PREFIX,
+    RunResult,
+    spec_hash,
+)
 from repro.results.store import ResultStore
 from repro.spec.specs import ScenarioSpec, expand_grid
 
@@ -199,6 +206,13 @@ def run_point_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     task and returns ``{"batch": [records...], "stats": {...}}``
     instead (see :func:`_run_batch_payload`).
     """
+    if faults.is_armed():
+        # Chaos harness: an injected crash raises out of the worker (the
+        # pool pins the chunk as retryable crash rows), an injected hang
+        # sleeps until the supervisor's task deadline reaps this worker.
+        fault_key = faults.payload_key(payload)
+        faults.inject("worker.crash", fault_key, "injected worker crash")
+        faults.maybe_hang(fault_key)
     if "spec_overrides_batch" in payload:
         return _run_batch_payload(payload)
     overrides = dict(payload.get("overrides", {}))
@@ -306,10 +320,9 @@ def log_progress(event: BatchProgress) -> None:
 
     logging.getLogger("repro.progress").info("%s", event.describe())
 
-#: Error prefix marking a *worker* crash (pool/pickling/OOM) rather than
-#: a scenario that deterministically failed.  Crash rows are transient:
-#: they are never persisted to a store and resume recomputes them.
-WORKER_FAILURE_PREFIX = "worker failed: "
+# WORKER_FAILURE_PREFIX / QUARANTINE_PREFIX live in
+# repro.results.run_result (the results layer classifies rows too) and
+# are re-exported here, their historical home.
 
 
 def _is_worker_crash(result: Optional[RunResult]) -> bool:
@@ -318,6 +331,110 @@ def _is_worker_crash(result: Optional[RunResult]) -> bool:
         and result.error is not None
         and result.error.startswith(WORKER_FAILURE_PREFIX)
     )
+
+
+def is_quarantined(result: Optional[RunResult]) -> bool:
+    """True for a row pinned by poison-payload quarantine.
+
+    Quarantine rows are deterministic outcomes: persisted, treated as
+    satisfied on resume, and skipped by best/pareto ranking like any
+    other error row.
+    """
+    return (
+        result is not None
+        and result.error is not None
+        and result.error.startswith(QUARANTINE_PREFIX)
+    )
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """How :meth:`WarmPool.run` supervises one batch of payloads.
+
+    Attributes:
+        deadline_s: per-*attempt* monotonic deadline.  A chunk whose
+            worker has not finished by the deadline is pinned with
+            retryable timeout rows and the pool's workers are reaped
+            (killed and respawned lazily) — a hung worker costs one
+            deadline window, never the whole sweep.  None = wait
+            forever (the historical behaviour).
+        max_retries: how many times a payload whose worker *crashed*
+            (or timed out) is re-attempted.  Retries re-ship the
+            payload with a bumped ``fault_attempt`` counter, so
+            injected faults re-roll per attempt.  A payload still
+            crashing after ``max_retries`` retries is **quarantined**:
+            its crash row becomes a persistent
+            :data:`QUARANTINE_PREFIX` error row carrying the attempt
+            count.  0 = no retries, crash rows stay transient
+            (the historical behaviour).
+        backoff_base_s / backoff_cap_s / jitter: exponential backoff
+            between attempts — ``min(cap, base * 2**(attempt-1))``
+            stretched by up to ``jitter`` fraction of random jitter
+            (thundering-herd protection; timing only, never results).
+    """
+
+    deadline_s: Optional[float] = None
+    max_retries: int = 0
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    jitter: float = 0.25
+
+    @property
+    def supervised(self) -> bool:
+        """True when this policy changes anything about execution."""
+        return self.deadline_s is not None or self.max_retries > 0
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Seconds to sleep before retry ``attempt`` (1-based)."""
+        delay = min(
+            self.backoff_cap_s,
+            self.backoff_base_s * (2.0 ** max(0, attempt - 1)),
+        )
+        if self.jitter:
+            delay *= 1.0 + self.jitter * random.random()
+        return delay
+
+
+def _record_is_crash(record: Any) -> bool:
+    """Crash test for a raw worker record (dict form, pre-RunResult).
+
+    A batch record counts as crashed when *any* member carries the
+    crash prefix — the whole payload is the retry unit.
+    """
+    if not isinstance(record, dict):
+        return False
+    if "batch" in record:
+        return any(_record_is_crash(member) for member in record["batch"])
+    error = (record.get("metrics") or {}).get("error")
+    return isinstance(error, str) and error.startswith(WORKER_FAILURE_PREFIX)
+
+
+def _quarantine_record(record: Any, attempts: int) -> Any:
+    """Convert a crash record into a persistent quarantine error row.
+
+    The crash prefix is replaced (so the row stops being transient) and
+    the attempt history rides in the message and an ``attempts`` metric
+    column.  Batch records quarantine only their crashed members.
+    """
+    if isinstance(record, dict) and "batch" in record:
+        out = dict(record)
+        out["batch"] = [
+            _quarantine_record(member, attempts)
+            if _record_is_crash(member) else member
+            for member in record["batch"]
+        ]
+        return out
+    out = dict(record)
+    metrics = dict(out.get("metrics") or {})
+    last = metrics.get("error") or ""
+    if last.startswith(WORKER_FAILURE_PREFIX):
+        last = last[len(WORKER_FAILURE_PREFIX):]
+    metrics["error"] = (
+        f"{QUARANTINE_PREFIX}{attempts} attempt(s) crashed; last: {last}"
+    )
+    metrics["attempts"] = attempts
+    out["metrics"] = metrics
+    return out
 
 
 def _worker_failure(
@@ -363,6 +480,7 @@ def _run_payload_batch(
     base_dict: Optional[Dict[str, Any]],
     tasks: List[Dict[str, Any]],
     obs_opts: Optional[Dict[str, Any]] = None,
+    fault_state: Optional[Dict[str, Any]] = None,
 ) -> Any:
     """Pool-side batch body: one IPC round-trip for many tasks.
 
@@ -386,8 +504,24 @@ def _run_payload_batch(
     """
     if base_dict is not None and base_dict != _SHARED_BASE_DICT:
         _install_shared_base(base_dict)
+    # The chunk carries the submitter's fault configuration: workers
+    # spawned before the faults were armed programmatically (or after
+    # they were cleared) sync to the parent on their next chunk.
+    if fault_state is not None or faults.is_armed():
+        faults.install(fault_state)
+
+    def one(task: Dict[str, Any]) -> Dict[str, Any]:
+        # Mirror the serial path: an exception escaping the worker body
+        # (which already converts scenario failures) pins a retryable
+        # crash record for *this* task, not the whole chunk.  Real
+        # process death still surfaces as BrokenExecutor on the future.
+        try:
+            return worker(task)
+        except Exception as error:
+            return _worker_failure(task, error, _SHARED_BASE_DICT)
+
     if not obs_opts:
-        return [worker(task) for task in tasks]
+        return [one(task) for task in tasks]
     start_wall = time.time()
     start_mono = time.monotonic()
     before = obs.registry.values()
@@ -395,7 +529,7 @@ def _run_payload_batch(
     if trace:
         obs.enable_tracing()
     try:
-        records = [worker(task) for task in tasks]
+        records = [one(task) for task in tasks]
     finally:
         if trace:
             spans = obs.drain()
@@ -553,9 +687,13 @@ class WarmPool:
         self,
         max_workers: Optional[int] = None,
         base_spec: Optional[Dict[str, Any]] = None,
+        policy: Optional[SupervisionPolicy] = None,
     ):
         self.base_spec = base_spec
         self.max_workers = max_workers or (os.cpu_count() or 1)
+        #: Default supervision for every :meth:`run` (per-call policies
+        #: override).  None = unsupervised, the historical behaviour.
+        self.policy = policy
         self._pool: Optional[ProcessPoolExecutor] = None
         self._broken = False
         # Track from birth so shutdown_all_pools() reaps pools whose
@@ -585,6 +723,43 @@ class WarmPool:
             self._pool.shutdown()
             self._pool = None
         _LIVE_POOLS.discard(self)
+
+    def _reap_workers(self) -> int:
+        """Kill every worker process and drop the executor.
+
+        The hung-worker escape hatch: a worker stuck past its task
+        deadline cannot be interrupted cooperatively, so the whole
+        worker set is terminated (SIGTERM, then SIGKILL for any
+        survivor) and the executor discarded — the next :meth:`run`
+        respawns fresh workers through the pool initializer.  Returns
+        the number of processes reaped.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return 0
+        processes = list(getattr(pool, "_processes", {}).values())
+        for process in processes:
+            try:
+                process.terminate()
+            except Exception:
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except TypeError:  # pragma: no cover - pre-3.9 signature
+            pool.shutdown(wait=False)
+        for process in processes:
+            try:
+                process.join(0.2)
+                if process.is_alive():
+                    process.kill()
+            except Exception:
+                pass
+        if processes:
+            obs.counter("repro_pool_workers_reaped_total").inc(
+                len(processes)
+            )
+            obs.instant("pool.reap", workers=len(processes))
+        return len(processes)
 
     def __enter__(self) -> "WarmPool":
         return self
@@ -627,6 +802,7 @@ class WarmPool:
         self,
         payloads: List[Dict[str, Any]],
         base_spec: Optional[Dict[str, Any]] = None,
+        deadline: Optional[float] = None,
     ) -> List[Dict[str, Any]]:
         worker = sys.modules[__name__].run_point_payload
         global _SHARED_BASE, _SHARED_BASE_DICT
@@ -643,6 +819,16 @@ class WarmPool:
             with obs.span("pool.serial", tasks=len(payloads)):
                 records = []
                 for payload in payloads:
+                    # In-process a running payload cannot be reaped;
+                    # the deadline bounds how much *further* work
+                    # starts once the budget is spent.
+                    if deadline is not None and time.monotonic() > deadline:
+                        records.append(_worker_failure(
+                            payload,
+                            TimeoutError("task deadline exceeded"),
+                            _SHARED_BASE_DICT,
+                        ))
+                        continue
                     try:
                         records.append(worker(payload))
                     except Exception as error:
@@ -657,6 +843,8 @@ class WarmPool:
         self,
         payloads: List[Dict[str, Any]],
         base_spec: Optional[Dict[str, Any]] = None,
+        policy: Optional[SupervisionPolicy] = None,
+        serial: bool = False,
     ) -> List[Dict[str, Any]]:
         """Run one batch; failures become error records, never raises.
 
@@ -671,21 +859,140 @@ class WarmPool:
         pool serving many scenarios (the ``repro serve`` executor) ships
         the active base with each chunk; workers re-parse only when it
         actually changes.
+
+        ``policy`` (default: the pool's own) supervises the batch: each
+        attempt gets a per-attempt deadline (hung workers are reaped
+        at expiry), crashed payloads are retried with exponential
+        backoff up to ``max_retries`` times, and payloads still
+        crashing after that are quarantined as persistent error rows.
+        ``serial=True`` runs attempts in-process (supervision minus
+        reaping) — used by ``execute_payloads(parallel=False)``.
         """
         batch_base = base_spec if base_spec is not None else self.base_spec
-        if len(payloads) <= 1:
-            return self._run_serial(payloads, base_spec=batch_base)
+        policy = policy if policy is not None else self.policy
+        if serial:
+            def attempt_fn(tasks, deadline):
+                return self._run_serial(
+                    tasks, base_spec=batch_base, deadline=deadline
+                )
+        else:
+            def attempt_fn(tasks, deadline):
+                return self._run_pool_once(tasks, batch_base, deadline)
+        if policy is None or not policy.supervised:
+            return attempt_fn(payloads, None)
+        return self._supervise(payloads, policy, attempt_fn)
+
+    def _supervise(
+        self,
+        payloads: List[Dict[str, Any]],
+        policy: SupervisionPolicy,
+        attempt_fn: Callable[
+            [List[Dict[str, Any]], Optional[float]], List[Dict[str, Any]]
+        ],
+    ) -> List[Dict[str, Any]]:
+        """The retry/quarantine loop around per-attempt execution.
+
+        Attempt 0 runs every payload; each later attempt re-runs only
+        the payloads whose previous record was a crash (worker death or
+        deadline timeout), shipping them with a bumped
+        ``fault_attempt`` counter so injected faults re-roll.  Results
+        are position-stable: retried payloads overwrite their own slot.
+        """
+        final: List[Any] = [None] * len(payloads)
+        indices = list(range(len(payloads)))
+        current = list(payloads)
+        attempt = 0
+        while True:
+            deadline = (
+                time.monotonic() + policy.deadline_s
+                if policy.deadline_s is not None else None
+            )
+            for position, record in zip(
+                indices, attempt_fn(current, deadline)
+            ):
+                final[position] = record
+            crashed = [
+                position for position in indices
+                if _record_is_crash(final[position])
+            ]
+            if not crashed:
+                break
+            if attempt >= policy.max_retries:
+                if policy.max_retries > 0:
+                    # Poison payloads: stop burning attempts on them
+                    # and pin a persistent, rank-excluded outcome row
+                    # carrying the attempt history.
+                    for position in crashed:
+                        final[position] = _quarantine_record(
+                            final[position], attempt + 1
+                        )
+                    obs.counter("repro_pool_quarantined_total").inc(
+                        len(crashed)
+                    )
+                    obs.instant(
+                        "pool.quarantine", payloads=len(crashed),
+                        attempts=attempt + 1,
+                    )
+                break
+            attempt += 1
+            obs.counter("repro_pool_retries_total").inc(len(crashed))
+            obs.instant(
+                "pool.retry", attempt=attempt, payloads=len(crashed)
+            )
+            delay = policy.backoff_delay(attempt)
+            if delay > 0:
+                time.sleep(delay)
+            indices = crashed
+            current = [
+                dict(payloads[position], fault_attempt=attempt)
+                for position in crashed
+            ]
+        return final
+
+    def _run_pool_once(
+        self,
+        payloads: List[Dict[str, Any]],
+        batch_base: Optional[Dict[str, Any]],
+        deadline: Optional[float] = None,
+    ) -> List[Dict[str, Any]]:
+        """One unsupervised attempt across the process pool.
+
+        ``deadline`` (monotonic) bounds how long this attempt waits for
+        its futures: a chunk not finished by then is pinned with
+        retryable timeout rows and, once every finished chunk has been
+        collected, the worker set is reaped (see :meth:`_reap_workers`)
+        so the hang cannot leak into the next attempt.
+        """
+        # A deadline needs the process boundary: an in-process hang
+        # cannot be reaped, so even a single payload goes to the pool.
+        if len(payloads) <= 1 and deadline is None:
+            return self._run_serial(
+                payloads, base_spec=batch_base, deadline=deadline
+            )
         pool = self._ensure_pool()
         if pool is None:
             obs.counter("repro_pool_serial_fallback_total").inc()
-            return self._run_serial(payloads, base_spec=batch_base)
+            degrade.report("executor", "serial")
+            return self._run_serial(
+                payloads, base_spec=batch_base, deadline=deadline
+            )
         # Resolved in the submitting process so tests (and callers) can
         # substitute the worker; it is pickled by reference per chunk.
         worker = sys.modules[__name__].run_point_payload
-        chunk_size = max(
-            1,
-            math.ceil(len(payloads) / (self.max_workers * _CHUNKS_PER_WORKER)),
-        )
+        # Under a deadline the chunk is the timeout blast radius: a hang
+        # pins every chunk-mate with a retryable timeout row, burning
+        # their retry budgets on someone else's fault.  One payload per
+        # future keeps the radius to (roughly) the hung task itself; the
+        # extra IPC is the price of supervision, paid only when armed.
+        if deadline is not None:
+            chunk_size = 1
+        else:
+            chunk_size = max(
+                1,
+                math.ceil(
+                    len(payloads) / (self.max_workers * _CHUNKS_PER_WORKER)
+                ),
+            )
         chunks = [
             payloads[i : i + chunk_size]
             for i in range(0, len(payloads), chunk_size)
@@ -696,6 +1003,7 @@ class WarmPool:
         obs_opts = None
         if obs.obs_enabled():
             obs_opts = {"trace": obs.tracing_enabled()}
+        fault_state = faults.state_snapshot()
         with obs.span(
             "pool.run", tasks=len(payloads), chunks=len(chunks),
             workers=self.max_workers,
@@ -705,7 +1013,7 @@ class WarmPool:
                 futures = [
                     pool.submit(
                         _run_payload_batch, worker, batch_base, chunk,
-                        obs_opts,
+                        obs_opts, fault_state,
                     )
                     for chunk in chunks
                 ]
@@ -713,17 +1021,38 @@ class WarmPool:
                 self._broken = True
                 self.close()
                 obs.counter("repro_pool_serial_fallback_total").inc()
-                return self._run_serial(payloads, base_spec=batch_base)
+                degrade.report("executor", "serial")
+                return self._run_serial(
+                    payloads, base_spec=batch_base, deadline=deadline
+                )
             from concurrent.futures import BrokenExecutor
+            from concurrent.futures import TimeoutError as _FutureTimeout
 
+            degrade.report("executor", "pool")
             obs.counter("repro_pool_tasks_total", mode="pool").inc(
                 len(payloads)
             )
             obs.counter("repro_pool_chunks_submitted_total").inc(len(chunks))
             records: List[Dict[str, Any]] = []
             pool_died = False
+            timed_out = 0
             for chunk, future in zip(chunks, futures):
-                error = future.exception()
+                try:
+                    if deadline is None:
+                        error = future.exception()
+                    else:
+                        error = future.exception(
+                            timeout=max(0.0, deadline - time.monotonic())
+                        )
+                except _FutureTimeout:
+                    # Past the deadline: this chunk's worker is hung
+                    # (or the queue behind a hung worker).  Pin
+                    # retryable timeout rows; the reap below clears
+                    # the worker set.
+                    timed_out += 1
+                    error = TimeoutError(
+                        "task deadline exceeded; hung worker reaped"
+                    )
                 if error is None:
                     records.extend(
                         self._absorb_chunk(future.result(), submit_wall)
@@ -738,6 +1067,11 @@ class WarmPool:
                         _worker_failure(payload, error, batch_base)
                         for payload in chunk
                     )
+            if timed_out:
+                obs.counter("repro_pool_deadline_timeouts_total").inc(
+                    timed_out
+                )
+                self._reap_workers()
         if pool_died:
             # A dead worker poisons the whole executor: every later
             # submit would raise.  Drop it so the next batch gets a
@@ -753,6 +1087,7 @@ def execute_payloads(
     max_workers: Optional[int] = None,
     base_spec: Optional[Dict[str, Any]] = None,
     pool: Optional[WarmPool] = None,
+    policy: Optional[SupervisionPolicy] = None,
 ) -> List[Dict[str, Any]]:
     """Run worker payloads; failures become error records, never raises.
 
@@ -765,10 +1100,17 @@ def execute_payloads(
     ``pool`` to reuse a caller-managed :class:`WarmPool` across batches
     (the pool is left open; ``base_spec`` rides along per batch, so a
     session-wide pool can serve callers with different base scenarios).
+    ``policy`` supervises the batch (deadlines, retries, quarantine —
+    see :class:`SupervisionPolicy`); with ``parallel=False`` the same
+    loop runs in-process, minus hung-worker reaping.
     """
     if pool is not None:
         if parallel:
-            return pool.run(payloads, base_spec=base_spec)
+            return pool.run(payloads, base_spec=base_spec, policy=policy)
+        if policy is not None and policy.supervised:
+            return pool.run(
+                payloads, base_spec=base_spec, policy=policy, serial=True
+            )
         return pool._run_serial(payloads, base_spec=base_spec)
     workers = min(
         max_workers or (os.cpu_count() or 1), max(1, len(payloads))
@@ -776,7 +1118,9 @@ def execute_payloads(
     transient = WarmPool(max_workers=workers, base_spec=base_spec)
     try:
         if parallel:
-            return transient.run(payloads)
+            return transient.run(payloads, policy=policy)
+        if policy is not None and policy.supervised:
+            return transient.run(payloads, policy=policy, serial=True)
         return transient._run_serial(payloads)
     finally:
         transient.close()
@@ -996,6 +1340,7 @@ class SweepRunner:
         payloads: List[Dict[str, Any]],
         parallel: bool,
         pool: Optional[WarmPool] = None,
+        policy: Optional[SupervisionPolicy] = None,
     ) -> List[Dict[str, Any]]:
         """Run payloads through the shared :func:`execute_payloads` core."""
         return execute_payloads(
@@ -1004,6 +1349,7 @@ class SweepRunner:
             max_workers=self.max_workers,
             base_spec=self.base.to_dict(),
             pool=pool,
+            policy=policy,
         )
 
     def run(
@@ -1016,6 +1362,7 @@ class SweepRunner:
         pool: Optional[WarmPool] = None,
         store_backend: Optional[str] = None,
         batch_size: Optional[int] = None,
+        policy: Optional[SupervisionPolicy] = None,
     ) -> SweepResult:
         """Execute the grid; rows come back in grid order.
 
@@ -1039,6 +1386,10 @@ class SweepRunner:
                 :data:`repro.sim.batch.AUTO_BATCH_SIZE`; ``None``/``1``
                 = per-point execution).  Results are identical either
                 way — same spec hashes, metrics and store rows.
+            policy: supervise execution (per-attempt deadlines with
+                hung-worker reaping, bounded retries with backoff,
+                poison-payload quarantine) — see
+                :class:`SupervisionPolicy`.  None = unsupervised.
         """
         if store is not None and not isinstance(store, ResultStore):
             store = ResultStore(store, backend=store_backend)
@@ -1062,7 +1413,7 @@ class SweepRunner:
             grouped, order = group_batch_payloads(
                 payloads, [self.specs[i] for i in pending], batch_size
             )
-            raw = self._execute(grouped, parallel, pool=pool)
+            raw = self._execute(grouped, parallel, pool=pool, policy=policy)
             flat, batch_stats = flatten_batch_records(raw)
             records: List[Optional[Dict[str, Any]]] = [None] * len(payloads)
             for position, record in zip(order, flat):
@@ -1075,7 +1426,9 @@ class SweepRunner:
                         self.base.to_dict(),
                     )
         else:
-            records = self._execute(payloads, parallel, pool=pool)
+            records = self._execute(
+                payloads, parallel, pool=pool, policy=policy
+            )
         computed: Dict[int, RunResult] = {}
         # One batched store transaction: appends buffer and hit the disk
         # with a single fsync instead of one per point.

@@ -1,0 +1,59 @@
+"""The degradation ladder: rung tracking, change-only transitions and
+the ``/readyz`` snapshot shape."""
+
+import pytest
+
+from repro import degrade, obs
+
+
+@pytest.fixture(autouse=True)
+def fresh_ladder():
+    degrade.reset()
+    yield
+    degrade.reset()
+
+
+def transition_count(domain, mode):
+    wanted = {"domain": domain, "mode": mode}
+    for row in obs.registry.snapshot()["counters"]:
+        if row["name"] == "repro_degrade_transitions_total" \
+                and dict(row["labels"]) == wanted:
+            return row["value"]
+    return 0
+
+
+def test_level_of_orders_rungs_best_first():
+    assert degrade.level_of("batch.kernel", "c") == 0
+    assert degrade.level_of("batch.kernel", "numpy") == 1
+    assert degrade.level_of("executor", "pool") == 0
+    assert degrade.level_of("executor", "serial") == 1
+    # Unknown domains/modes collapse to rung 0 instead of exploding.
+    assert degrade.level_of("nope", "whatever") == 0
+
+
+def test_report_tracks_current_mode():
+    assert degrade.current("batch.kernel") is None
+    degrade.report("batch.kernel", "c")
+    assert degrade.current("batch.kernel") == "c"
+    degrade.report("batch.kernel", "numpy")
+    assert degrade.current("batch.kernel") == "numpy"
+
+
+def test_snapshot_reports_mode_and_level():
+    degrade.report("batch.kernel", "numpy")
+    degrade.report("executor", "pool")
+    assert degrade.snapshot() == {
+        "batch.kernel": {"mode": "numpy", "level": 1},
+        "executor": {"mode": "pool", "level": 0},
+    }
+
+
+def test_transitions_count_changes_not_reports():
+    before = transition_count("executor", "serial")
+    degrade.report("executor", "serial")
+    degrade.report("executor", "serial")  # steady state: no new transition
+    degrade.report("executor", "serial")
+    assert transition_count("executor", "serial") == before + 1
+    degrade.report("executor", "pool")
+    degrade.report("executor", "serial")  # a genuine flap counts again
+    assert transition_count("executor", "serial") == before + 2
